@@ -1,0 +1,139 @@
+//! **Figure 8** — impact of graph density on the correlation results:
+//! plant noiseless pairs on the original graph, then randomly remove
+//! (a) or add (b) edges and re-run the Batch BFS test.
+//!
+//! Paper shape to reproduce: removing edges breaks *positive* pairs
+//! (distances stretch) while negative recall stays at 1; adding edges
+//! breaks *negative* pairs (everything moves closer) while positive
+//! recall stays at 1. 1-hop positives resist removal longest (linked
+//! pairs at distance 0 survive any removal).
+//!
+//! Run: `cargo run --release -p tesc-bench --bin fig8_graph_density`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::{BfsScratch, Tail, TescConfig, TescEngine};
+use tesc_bench::{dblp_scenario, flag, fmt_recall, parse_flags, scale_flag};
+use tesc_events::simulate::{negative_pair, positive_pair, EventPair};
+use tesc_graph::perturb::{add_random_edges, remove_random_edges};
+
+const USAGE: &str = "fig8_graph_density — recall vs edges removed/added (Fig. 8)
+  --scale small|medium|large   graph scale (default medium)
+  --pairs N                    planted pairs per cell (default 20)
+  --sample-size N              reference nodes per test (default 900)
+  --seed N                     base seed (default 42)";
+
+fn main() {
+    let flags = parse_flags(USAGE);
+    let scale = scale_flag(&flags);
+    let pairs = flag(&flags, "pairs", 20usize);
+    let sample_size = flag(&flags, "sample-size", 900usize);
+    let seed = flag(&flags, "seed", 42u64);
+
+    eprintln!("building DBLP-like scenario ({scale:?})...");
+    let s = dblp_scenario(scale, seed);
+    let g0 = &s.graph;
+    let m = g0.num_edges();
+    let mut scratch = BfsScratch::new(g0.num_nodes());
+
+    // Plant the six noiseless pair sets on the ORIGINAL graph.
+    let mut sets: Vec<(bool, u32, Vec<EventPair>)> = Vec::new();
+    for h in [1u32, 2, 3] {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for t in 0..pairs {
+            let ps = seed.wrapping_add((h as u64) << 24).wrapping_add(t as u64);
+            let mut rng = StdRng::seed_from_u64(ps);
+            if let Ok(lp) = positive_pair(g0, &mut scratch, scale.event_size(), h, &mut rng) {
+                pos.push(lp.to_pair());
+            }
+            if let Ok(p) = negative_pair(
+                g0,
+                &mut scratch,
+                scale.event_size(),
+                scale.event_size(),
+                h,
+                &mut rng,
+            ) {
+                neg.push(p);
+            }
+        }
+        sets.push((true, h, pos));
+        sets.push((false, h, neg));
+    }
+
+    println!("# Figure 8: recall under random edge removal (a) / addition (b), Batch BFS");
+    println!("# |E| = {m}, event size = {}, n = {sample_size}, pairs = {pairs}", scale.event_size());
+
+    // (a) Removal sweep — paper removes up to all edges of DBLP.
+    println!("{:<10} {:<4} {:<14} {:>7}", "direction", "h", "edges_removed", "recall");
+    for frac in [0.0, 0.3, 0.6, 0.9] {
+        let count = (m as f64 * frac) as usize;
+        let g = if count == 0 {
+            g0.clone()
+        } else {
+            remove_random_edges(g0, count, &mut StdRng::seed_from_u64(seed ^ 0xAAAA)).0
+        };
+        let mut engine = TescEngine::new(&g);
+        for (is_pos, h, set) in &sets {
+            let (tail, label) = if *is_pos {
+                (Tail::Upper, "Positive")
+            } else {
+                (Tail::Lower, "Negative")
+            };
+            let mut hits = 0usize;
+            let mut done = 0usize;
+            for (t, pair) in set.iter().enumerate() {
+                let cfg = TescConfig::new(*h).with_sample_size(sample_size).with_tail(tail);
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64) ^ 0x5555);
+                if let Ok(res) = engine.test(&pair.a, &pair.b, &cfg, &mut rng) {
+                    done += 1;
+                    hits += res.outcome.is_significant() as usize;
+                }
+            }
+            println!(
+                "{:<10} {:<4} {:<14} {:>7}",
+                label,
+                h,
+                count,
+                fmt_recall(hits as f64 / done.max(1) as f64)
+            );
+        }
+    }
+
+    // (b) Addition sweep — paper adds up to ~14× the original edges.
+    println!("{:<10} {:<4} {:<14} {:>7}", "direction", "h", "edges_added", "recall");
+    for mult in [0.0, 2.0, 5.0, 14.0] {
+        let count = (m as f64 * mult) as usize;
+        let g = if count == 0 {
+            g0.clone()
+        } else {
+            add_random_edges(g0, count, &mut StdRng::seed_from_u64(seed ^ 0xBBBB)).0
+        };
+        let mut engine = TescEngine::new(&g);
+        for (is_pos, h, set) in &sets {
+            let (tail, label) = if *is_pos {
+                (Tail::Upper, "Positive")
+            } else {
+                (Tail::Lower, "Negative")
+            };
+            let mut hits = 0usize;
+            let mut done = 0usize;
+            for (t, pair) in set.iter().enumerate() {
+                let cfg = TescConfig::new(*h).with_sample_size(sample_size).with_tail(tail);
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64) ^ 0x7777);
+                if let Ok(res) = engine.test(&pair.a, &pair.b, &cfg, &mut rng) {
+                    done += 1;
+                    hits += res.outcome.is_significant() as usize;
+                }
+            }
+            println!(
+                "{:<10} {:<4} {:<14} {:>7}",
+                label,
+                h,
+                count,
+                fmt_recall(hits as f64 / done.max(1) as f64)
+            );
+        }
+    }
+}

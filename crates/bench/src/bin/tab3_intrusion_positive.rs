@@ -1,0 +1,64 @@
+//! **Table 3** — five alert pairs exhibiting high 1-hop positive TESC
+//! on the Intrusion(-like) graph, contrasted with their TC scores.
+//!
+//! Paper shape to reproduce: all pairs strongly positive under TESC
+//! while TC is small or even negative — "attacks consume bandwidth",
+//! so attackers alternate related techniques across the hosts of a
+//! subnet and the node sets barely overlap.
+//!
+//! Run: `cargo run --release -p tesc-bench --bin tab3_intrusion_positive`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::{Tail, TescConfig, TescEngine};
+use tesc_baselines::transaction_correlation;
+use tesc_bench::{flag, parse_flags};
+use tesc_datasets::{IntrusionConfig, IntrusionScenario};
+
+const USAGE: &str = "tab3_intrusion_positive — Table 3: 1-hop positive alert pairs (Intrusion-like)
+  --sample-size N   reference nodes per test (default 900)
+  --seed N          base seed (default 42)";
+
+/// Table 3 alert pairs with planting intensity (#shared subnets,
+/// max hosts per subnet per alert).
+const PAIRS: [(&str, usize, usize); 5] = [
+    ("Ping Sweep vs. SMB Service Sweep", 30, 12),
+    ("Ping Flood vs. ICMP Flood", 28, 11),
+    ("Email Command Overflow vs. Email Pipe", 26, 10),
+    ("HTML Hostname Overflow vs. HTML NullChar Evasion", 22, 9),
+    ("Email Error vs. Email Pipe", 14, 8),
+];
+
+fn main() {
+    let flags = parse_flags(USAGE);
+    let sample_size = flag(&flags, "sample-size", 900usize);
+    let seed = flag(&flags, "seed", 42u64);
+
+    eprintln!("building Intrusion-like scenario...");
+    let s = IntrusionScenario::build(IntrusionConfig::default(), &mut StdRng::seed_from_u64(seed));
+    eprintln!(
+        "graph: {} nodes, {} edges, max degree {}",
+        s.graph.num_nodes(),
+        s.graph.num_edges(),
+        s.graph.max_degree()
+    );
+    let mut engine = TescEngine::new(&s.graph);
+
+    println!("# Table 3: alert pairs with high 1-hop positive correlation (Intrusion-like)");
+    println!("# all scores are z-scores; TESC via Batch BFS, n = {sample_size}");
+    println!("{:<50} {:>12} {:>9}", "pair", "TESC (h=1)", "TC");
+    for (i, (name, subnets, max_hosts)) in PAIRS.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed + i as u64 + 1);
+        let (va, vb) = s.plant_alternating_alert_pair(*subnets, *max_hosts, &mut rng);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(sample_size)
+            .with_tail(Tail::Upper);
+        let mut trng = StdRng::seed_from_u64(seed + 300 + i as u64);
+        let z = engine
+            .test(&va, &vb, &cfg, &mut trng)
+            .map(|r| r.z())
+            .unwrap_or(f64::NAN);
+        let tc = transaction_correlation(s.graph.num_nodes(), &va, &vb);
+        println!("{:<50} {:>12.2} {:>9.2}", name, z, tc.z);
+    }
+}

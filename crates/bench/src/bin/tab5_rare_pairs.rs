@@ -1,0 +1,90 @@
+//! **Table 5** — rare alert pairs with significant positive 1-hop TESC
+//! that frequency-based proximity pattern mining does **not** discover.
+//!
+//! Paper shape to reproduce: pairs with only tens of occurrences reach
+//! p < 0.01 under TESC, yet fall below the proximity miner's support
+//! threshold (the paper uses minsup = 10/|V| for pFP and still finds
+//! these pairs absent); a frequent control pair is found by both.
+//!
+//! Run: `cargo run --release -p tesc-bench --bin tab5_rare_pairs`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::{BfsScratch, Tail, TescConfig, TescEngine};
+use tesc_baselines::ProximityMiner;
+use tesc_bench::{flag, parse_flags};
+use tesc_datasets::{IntrusionConfig, IntrusionScenario};
+
+const USAGE: &str = "tab5_rare_pairs — Table 5: rare pairs TESC finds, proximity mining misses
+  --sample-size N   reference nodes per test (default 900)
+  --minsup-count N  support threshold as a node count (default 5% of |V|)
+  --seed N          base seed (default 42)";
+
+/// Table 5's two rare pairs with their occurrence counts, plus a
+/// frequent control pair.
+const RARE: [(&str, usize, usize); 2] = [
+    ("HTTP IE Script HRAlign Overflow (16) vs. HTTP DotDotDot (29)", 16, 29),
+    ("HTTP ISA Rules Engine Bypass (81) vs. HTTP Script Bypass (12)", 81, 12),
+];
+
+fn main() {
+    let flags = parse_flags(USAGE);
+    let sample_size = flag(&flags, "sample-size", 900usize);
+    let seed = flag(&flags, "seed", 42u64);
+
+    eprintln!("building Intrusion-like scenario...");
+    let s = IntrusionScenario::build(IntrusionConfig::default(), &mut StdRng::seed_from_u64(seed));
+    let n_nodes = s.graph.num_nodes();
+    // The paper's minsup (10/|V| for pFP's propagated transactions) is
+    // not directly portable to plain neighborhood transactions; 5% of
+    // nodes separates the frequent control (which blankets a third of
+    // the subnets) from the rare plants by an order of magnitude.
+    let minsup_count = flag(&flags, "minsup-count", n_nodes / 20);
+    let minsup = minsup_count as f64 / n_nodes as f64;
+    let miner = ProximityMiner::new(1, minsup);
+    let mut engine = TescEngine::new(&s.graph);
+    let mut scratch = BfsScratch::new(n_nodes);
+
+    println!("# Table 5: rare positive pairs — TESC vs proximity pattern mining");
+    println!("# minsup = {minsup_count}/{n_nodes} = {minsup:.2e}, n = {sample_size}");
+    println!(
+        "{:<62} {:>8} {:>10} {:>9} {:>8}",
+        "pair", "z", "p-value", "support", "mined?"
+    );
+    for (i, (name, ca, cb)) in RARE.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed + i as u64 + 1);
+        let (va, vb) = s.plant_rare_pair(*ca, *cb, &mut rng);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(sample_size)
+            .with_tail(Tail::Upper);
+        let mut trng = StdRng::seed_from_u64(seed + 500 + i as u64);
+        let res = engine.test(&va, &vb, &cfg, &mut trng).expect("rare pair test");
+        let support = miner.pair_support(&s.graph, &mut scratch, &va, &vb);
+        println!(
+            "{:<62} {:>8.2} {:>10.4} {:>9.2e} {:>8}",
+            name,
+            res.z(),
+            res.outcome.p_value,
+            support,
+            if support >= minsup { "yes" } else { "NO" }
+        );
+    }
+
+    // Control: a frequent positively correlated pair is found by both.
+    let mut rng = StdRng::seed_from_u64(seed + 99);
+    let (va, vb) = s.plant_alternating_alert_pair(40, 12, &mut rng);
+    let cfg = TescConfig::new(1)
+        .with_sample_size(sample_size)
+        .with_tail(Tail::Upper);
+    let mut trng = StdRng::seed_from_u64(seed + 600);
+    let res = engine.test(&va, &vb, &cfg, &mut trng).expect("control pair test");
+    let support = miner.pair_support(&s.graph, &mut scratch, &va, &vb);
+    println!(
+        "{:<62} {:>8.2} {:>10.4} {:>9.2e} {:>8}",
+        "control: Ping Sweep vs. SMB Service Sweep (frequent)",
+        res.z(),
+        res.outcome.p_value,
+        support,
+        if support >= minsup { "yes" } else { "NO" }
+    );
+}

@@ -1,0 +1,180 @@
+//! Recall-sweep machinery shared by the Fig. 5/6/7/8 binaries.
+//!
+//! One *trial* = plant a correlated pair (Sec. 5.2), inject noise, run
+//! the one-tailed TESC test at `α = 0.05`, record whether the planted
+//! correlation was recovered. Recall = recovered fraction over many
+//! trials. Each trial is generated once and tested with every sampler
+//! under comparison, mirroring the paper's per-pair comparisons.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::{SamplerKind, Tail, TescConfig, TescEngine};
+use tesc_events::simulate::{
+    apply_negative_noise, apply_positive_noise, negative_pair, positive_pair, EventPair,
+};
+use tesc_graph::bfs::BfsScratch;
+use tesc_graph::csr::CsrGraph;
+use tesc_graph::VicinityIndex;
+
+/// Outcome of a sweep cell: one (h, noise, sampler) combination.
+#[derive(Debug, Clone, Copy)]
+pub struct RecallCell {
+    /// Sampler under test.
+    pub sampler: SamplerKind,
+    /// Fraction of planted pairs recovered.
+    pub recall: f64,
+    /// Mean z-score over the trials (diagnostic).
+    pub mean_z: f64,
+}
+
+/// Which correlation direction a sweep plants and tests for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Linked-pair positives, upper-tail test (Fig. 5).
+    Positive,
+    /// Separated negatives, lower-tail test (Fig. 6).
+    Negative,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Vicinity level.
+    pub h: u32,
+    /// Noise level `p`.
+    pub noise: f64,
+    /// Planted event size (`|V_a|`, and `|V_b|` for negatives).
+    pub event_size: usize,
+    /// Reference sample size `n`.
+    pub sample_size: usize,
+    /// Number of planted pairs per cell.
+    pub pairs: usize,
+    /// Base RNG seed (trial `t` uses `seed + t`).
+    pub seed: u64,
+    /// Samplers to compare on each pair.
+    pub samplers: Vec<SamplerKind>,
+}
+
+/// Run one sweep cell. The vicinity index is only required when the
+/// sampler list contains rejection/importance sampling.
+pub fn run_cell(
+    g: &CsrGraph,
+    idx: Option<&VicinityIndex>,
+    dir: Direction,
+    spec: &SweepSpec,
+) -> Vec<RecallCell> {
+    let mut engine = match idx {
+        Some(idx) => TescEngine::with_vicinity_index(g, idx),
+        None => TescEngine::new(g),
+    };
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut hits = vec![0usize; spec.samplers.len()];
+    let mut z_sum = vec![0.0f64; spec.samplers.len()];
+    let mut completed = vec![0usize; spec.samplers.len()];
+
+    for t in 0..spec.pairs {
+        let pair_seed = spec.seed.wrapping_add(t as u64);
+        let Some(pair) = plant(g, &mut scratch, dir, spec, pair_seed) else {
+            continue; // graph couldn't host this plant; skip the trial
+        };
+        for (si, &sampler) in spec.samplers.iter().enumerate() {
+            let tail = match dir {
+                Direction::Positive => Tail::Upper,
+                Direction::Negative => Tail::Lower,
+            };
+            let cfg = TescConfig::new(spec.h)
+                .with_sample_size(spec.sample_size)
+                .with_tail(tail)
+                .with_sampler(sampler);
+            let mut rng = StdRng::seed_from_u64(pair_seed ^ 0x9E37_79B9_7F4A_7C15);
+            match engine.test(&pair.a, &pair.b, &cfg, &mut rng) {
+                Ok(res) => {
+                    completed[si] += 1;
+                    z_sum[si] += res.z();
+                    if res.outcome.is_significant() {
+                        hits[si] += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("warn: trial {t} sampler {sampler} failed: {e}");
+                }
+            }
+        }
+    }
+
+    spec.samplers
+        .iter()
+        .enumerate()
+        .map(|(si, &sampler)| RecallCell {
+            sampler,
+            recall: crate::recall(hits[si], completed[si].max(1)),
+            mean_z: z_sum[si] / completed[si].max(1) as f64,
+        })
+        .collect()
+}
+
+/// Plant one noised pair.
+fn plant(
+    g: &CsrGraph,
+    scratch: &mut BfsScratch,
+    dir: Direction,
+    spec: &SweepSpec,
+    seed: u64,
+) -> Option<EventPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dir {
+        Direction::Positive => {
+            let lp = positive_pair(g, scratch, spec.event_size, spec.h, &mut rng).ok()?;
+            apply_positive_noise(g, scratch, &lp, spec.noise, &mut rng).ok()
+        }
+        Direction::Negative => {
+            let pair =
+                negative_pair(g, scratch, spec.event_size, spec.event_size, spec.h, &mut rng)
+                    .ok()?;
+            Some(apply_negative_noise(
+                g, scratch, &pair, spec.h, spec.noise, &mut rng,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesc_datasets::{DblpConfig, DblpScenario};
+
+    #[test]
+    fn zero_noise_positive_recall_is_high() {
+        let s = DblpScenario::build(DblpConfig::small(), &mut StdRng::seed_from_u64(1));
+        let spec = SweepSpec {
+            h: 2,
+            noise: 0.0,
+            event_size: 40,
+            sample_size: 300,
+            pairs: 5,
+            seed: 7,
+            samplers: vec![SamplerKind::BatchBfs],
+        };
+        let cells = run_cell(&s.graph, None, Direction::Positive, &spec);
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].recall >= 0.8, "recall = {}", cells[0].recall);
+        assert!(cells[0].mean_z > 0.0);
+    }
+
+    #[test]
+    fn zero_noise_negative_recall_is_high() {
+        let s = DblpScenario::build(DblpConfig::small(), &mut StdRng::seed_from_u64(2));
+        let spec = SweepSpec {
+            h: 1,
+            noise: 0.0,
+            event_size: 40,
+            sample_size: 300,
+            pairs: 5,
+            seed: 9,
+            samplers: vec![SamplerKind::BatchBfs],
+        };
+        let cells = run_cell(&s.graph, None, Direction::Negative, &spec);
+        assert!(cells[0].recall >= 0.8, "recall = {}", cells[0].recall);
+        assert!(cells[0].mean_z < 0.0);
+    }
+}

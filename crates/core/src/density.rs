@@ -1,0 +1,189 @@
+//! Event densities in reference-node vicinities (Eq. 2 of the paper).
+//!
+//! `s^h_a(r) = |V_a ∩ V^h_r| / |V^h_r|` — the occurrence count
+//! normalized by the vicinity's node count, the graph analogue of
+//! density per unit area. One `h`-hop BFS per reference node collects
+//! every count the test needs (size, `a` hits, `b` hits, union hits),
+//! so the density phase costs exactly `n` BFS searches.
+
+use tesc_events::NodeMask;
+use tesc_graph::bfs::BfsScratch;
+use tesc_graph::csr::CsrGraph;
+use tesc_graph::NodeId;
+
+/// All per-reference-node counts gathered in a single BFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DensityCounts {
+    /// `|V^h_r|` (includes `r` itself).
+    pub vicinity_size: usize,
+    /// `|V_a ∩ V^h_r|`.
+    pub count_a: usize,
+    /// `|V_b ∩ V^h_r|`.
+    pub count_b: usize,
+    /// `|V_{a∪b} ∩ V^h_r|` — the `c` of Procedure RejectSamp step 3.
+    pub count_union: usize,
+}
+
+impl DensityCounts {
+    /// `s^h_a(r)`.
+    #[inline]
+    pub fn density_a(&self) -> f64 {
+        self.count_a as f64 / self.vicinity_size as f64
+    }
+
+    /// `s^h_b(r)`.
+    #[inline]
+    pub fn density_b(&self) -> f64 {
+        self.count_b as f64 / self.vicinity_size as f64
+    }
+
+    /// Is `r` an eligible reference node (Def. 3) — can it see any
+    /// occurrence of `a` or `b` within `h` hops?
+    #[inline]
+    pub fn is_reference(&self) -> bool {
+        self.count_union > 0
+    }
+}
+
+/// Gather [`DensityCounts`] for reference node `r` with one `h`-hop BFS.
+pub fn density_counts(
+    g: &CsrGraph,
+    scratch: &mut BfsScratch,
+    r: NodeId,
+    h: u32,
+    mask_a: &NodeMask,
+    mask_b: &NodeMask,
+) -> DensityCounts {
+    let mut count_a = 0usize;
+    let mut count_b = 0usize;
+    let mut count_union = 0usize;
+    let vicinity_size = scratch.visit_h_vicinity(g, &[r], h, |v, _| {
+        let in_a = mask_a.contains(v);
+        let in_b = mask_b.contains(v);
+        count_a += in_a as usize;
+        count_b += in_b as usize;
+        count_union += (in_a || in_b) as usize;
+    });
+    DensityCounts {
+        vicinity_size,
+        count_a,
+        count_b,
+        count_union,
+    }
+}
+
+/// Densities of both events at every reference node, as the two paired
+/// vectors (`s^h_a`, `s^h_b`) the Kendall machinery consumes.
+pub fn density_vectors(
+    g: &CsrGraph,
+    scratch: &mut BfsScratch,
+    refs: &[NodeId],
+    h: u32,
+    mask_a: &NodeMask,
+    mask_b: &NodeMask,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut sa = Vec::with_capacity(refs.len());
+    let mut sb = Vec::with_capacity(refs.len());
+    for &r in refs {
+        let c = density_counts(g, scratch, r, h, mask_a, mask_b);
+        sa.push(c.density_a());
+        sb.push(c.density_b());
+    }
+    (sa, sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesc_graph::csr::from_edges;
+    use tesc_graph::generators::{path, star};
+
+    fn masks(n: usize, a: &[NodeId], b: &[NodeId]) -> (NodeMask, NodeMask) {
+        (NodeMask::from_nodes(n, a), NodeMask::from_nodes(n, b))
+    }
+
+    #[test]
+    fn counts_on_path() {
+        // 0-1-2-3-4 ; a on {0,1}, b on {3}.
+        let g = path(5);
+        let (ma, mb) = masks(5, &[0, 1], &[3]);
+        let mut s = BfsScratch::new(5);
+        let c = density_counts(&g, &mut s, 2, 1, &ma, &mb);
+        // V^1_2 = {1,2,3}: a-hits {1}, b-hits {3}.
+        assert_eq!(c.vicinity_size, 3);
+        assert_eq!(c.count_a, 1);
+        assert_eq!(c.count_b, 1);
+        assert_eq!(c.count_union, 2);
+        assert!((c.density_a() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.density_b() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(c.is_reference());
+    }
+
+    #[test]
+    fn out_of_sight_node_detected() {
+        let g = path(7);
+        let (ma, mb) = masks(7, &[0], &[1]);
+        let mut s = BfsScratch::new(7);
+        let c = density_counts(&g, &mut s, 6, 2, &ma, &mb);
+        assert_eq!(c.count_union, 0);
+        assert!(!c.is_reference());
+        assert_eq!(c.density_a(), 0.0);
+    }
+
+    #[test]
+    fn node_with_both_events_counts_once_in_union() {
+        let g = path(3);
+        let (ma, mb) = masks(3, &[1], &[1]);
+        let mut s = BfsScratch::new(3);
+        let c = density_counts(&g, &mut s, 0, 1, &ma, &mb);
+        assert_eq!(c.count_a, 1);
+        assert_eq!(c.count_b, 1);
+        assert_eq!(c.count_union, 1, "a∪b membership must not double count");
+    }
+
+    #[test]
+    fn normalization_compensates_vicinity_size() {
+        // Hub vs leaf on a star: the hub sees everything (big vicinity),
+        // a leaf sees only itself and the hub.
+        let g = star(11); // hub 0, leaves 1..=10
+        let (ma, mb) = masks(11, &[1, 2, 3], &[4]);
+        let mut s = BfsScratch::new(11);
+        let hub = density_counts(&g, &mut s, 0, 1, &ma, &mb);
+        assert_eq!(hub.vicinity_size, 11);
+        assert!((hub.density_a() - 3.0 / 11.0).abs() < 1e-12);
+        let leaf = density_counts(&g, &mut s, 1, 1, &ma, &mb);
+        // V^1_1 = {1, 0}: only the leaf itself carries a.
+        assert_eq!(leaf.vicinity_size, 2);
+        assert!((leaf.density_a() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_vectors_align_with_refs() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let (ma, mb) = masks(6, &[0], &[5]);
+        let mut s = BfsScratch::new(6);
+        let refs = [0u32, 2, 5];
+        let (sa, sb) = density_vectors(&g, &mut s, &refs, 1, &ma, &mb);
+        assert_eq!(sa.len(), 3);
+        // ref 0: V^1 = {0,1}, a-hit 1 → 0.5 ; b-hit 0.
+        assert!((sa[0] - 0.5).abs() < 1e-12);
+        assert_eq!(sb[0], 0.0);
+        // ref 2: V^1 = {1,2,3}: neither event.
+        assert_eq!(sa[1], 0.0);
+        assert_eq!(sb[1], 0.0);
+        // ref 5: V^1 = {4,5}: b-hit 1 → 0.5.
+        assert_eq!(sa[2], 0.0);
+        assert!((sb[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_zero_density_is_indicator() {
+        let g = path(4);
+        let (ma, mb) = masks(4, &[2], &[0]);
+        let mut s = BfsScratch::new(4);
+        let c = density_counts(&g, &mut s, 2, 0, &ma, &mb);
+        assert_eq!(c.vicinity_size, 1);
+        assert_eq!(c.density_a(), 1.0);
+        assert_eq!(c.density_b(), 0.0);
+    }
+}

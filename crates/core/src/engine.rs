@@ -1,0 +1,927 @@
+//! The end-to-end TESC significance test (Sec. 3 of the paper).
+//!
+//! [`TescEngine`] owns the reusable BFS scratch for one graph and runs
+//! the full pipeline: reference-node sampling → density computation →
+//! Kendall τ → z-score → verdict.
+
+use crate::density::{density_counts, DensityCounts};
+use crate::sampler::{
+    batch_bfs_sample, importance_sample, rejection_sample, whole_graph_sample, SamplerKind,
+    UniformSample,
+};
+use rand::Rng;
+use tesc_events::{store::merge_union, NodeMask};
+use tesc_graph::bfs::BfsScratch;
+use tesc_graph::csr::CsrGraph;
+use tesc_graph::{NodeId, VicinityIndex};
+use tesc_stats::kendall::{
+    kendall_tau, var_s_tie_corrected, weighted_tau, KendallMethod, KendallSummary,
+};
+use tesc_stats::rank::nontrivial_tie_group_sizes;
+use tesc_stats::spearman::spearman_rho;
+use tesc_stats::{SignificanceLevel, Tail, TestOutcome};
+
+/// Which rank-correlation statistic the test aggregates concordance
+/// with. The paper uses Kendall's τ and notes Spearman's ρ as the
+/// alternative (Sec. 8); ρ is offered for cross-checking verdicts but
+/// does not support the importance sampler (the weighted `t̃`
+/// estimator of Eq. 8 is τ-specific).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Statistic {
+    /// Kendall's τ (Eq. 4) with tie-corrected variance (Eq. 6).
+    #[default]
+    KendallTau,
+    /// Spearman's ρ of the density midranks, `Var(ρ) = 1/(n−1)`.
+    SpearmanRho,
+}
+
+/// Configuration of one TESC test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TescConfig {
+    /// Vicinity level `h` (the paper studies `h = 1, 2, 3`).
+    pub h: u32,
+    /// Number of reference nodes to sample (`n`); the paper uses 900
+    /// and notes `Var(t) ≤ 2(1−τ²)/n` regardless of `N`.
+    pub sample_size: usize,
+    /// Significance level `α` of the test.
+    pub alpha: SignificanceLevel,
+    /// Tail convention. The paper's evaluation uses one-tailed tests
+    /// ([`Tail::Upper`] for positive, [`Tail::Lower`] for negative).
+    pub tail: Tail,
+    /// Reference-node sampling strategy.
+    pub sampler: SamplerKind,
+    /// Rank-correlation statistic.
+    pub statistic: Statistic,
+    /// Draw budget for rejection/importance sampling, as a multiple of
+    /// `sample_size` (termination guard for tiny populations).
+    pub max_draw_factor: usize,
+}
+
+impl TescConfig {
+    /// Defaults from the paper: `n = 900`, `α = 0.05`, two-sided,
+    /// Batch BFS sampling.
+    pub fn new(h: u32) -> Self {
+        TescConfig {
+            h,
+            sample_size: 900,
+            alpha: SignificanceLevel::FIVE_PERCENT,
+            tail: Tail::TwoSided,
+            sampler: SamplerKind::BatchBfs,
+            statistic: Statistic::KendallTau,
+            max_draw_factor: 64,
+        }
+    }
+
+    /// Set the reference-node sample size `n`.
+    pub fn with_sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the significance level.
+    pub fn with_alpha(mut self, alpha: SignificanceLevel) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Set the tail convention.
+    pub fn with_tail(mut self, tail: Tail) -> Self {
+        self.tail = tail;
+        self
+    }
+
+    /// Set the sampling strategy.
+    pub fn with_sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Set the rank-correlation statistic.
+    pub fn with_statistic(mut self, statistic: Statistic) -> Self {
+        self.statistic = statistic;
+        self
+    }
+}
+
+/// Failure modes of a TESC test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TescError {
+    /// Both events have no occurrences — there are no reference nodes.
+    NoEventNodes,
+    /// Fewer than 3 reference nodes could be collected (Eq. 6 needs
+    /// `n ≥ 3`; the paper recommends `n > 30`).
+    TooFewReferenceNodes {
+        /// Number of reference nodes actually collected.
+        found: usize,
+    },
+    /// The chosen sampler needs a [`VicinityIndex`] covering level `h`,
+    /// but none (or a too-shallow one) was supplied.
+    MissingVicinityIndex {
+        /// The level the test needed.
+        needed_h: u32,
+    },
+    /// The importance sampler's weighted estimator (Eq. 8) is specific
+    /// to Kendall's τ; it cannot be combined with Spearman's ρ.
+    StatisticUnsupportedBySampler,
+}
+
+impl std::fmt::Display for TescError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TescError::NoEventNodes => write!(f, "both events are empty; no reference nodes"),
+            TescError::TooFewReferenceNodes { found } => {
+                write!(f, "only {found} reference nodes available; need at least 3")
+            }
+            TescError::MissingVicinityIndex { needed_h } => write!(
+                f,
+                "sampler requires a VicinityIndex covering h = {needed_h}; \
+                 construct the engine with TescEngine::with_vicinity_index"
+            ),
+            TescError::StatisticUnsupportedBySampler => write!(
+                f,
+                "importance sampling's weighted estimator is Kendall-specific; \
+                 use Statistic::KendallTau or a uniform sampler"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TescError {}
+
+/// Result of a TESC test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TescResult {
+    /// Statistic, z-score, p-value and verdict.
+    pub outcome: TestOutcome,
+    /// Number of (distinct) reference nodes the statistic used.
+    pub n_refs: usize,
+    /// `N = |V^h_{a∪b}|` when the sampler enumerated it (Batch BFS).
+    pub population_size: Option<usize>,
+    /// Candidate draws spent by the sampler (diagnostics).
+    pub draws: usize,
+    /// The full Kendall summary for uniform samplers (`None` for
+    /// importance sampling, whose statistic is the weighted `t̃`).
+    pub kendall: Option<KendallSummary>,
+}
+
+impl TescResult {
+    /// The correlation estimate (τ for uniform samplers, `t̃` for
+    /// importance sampling).
+    #[inline]
+    pub fn statistic(&self) -> f64 {
+        self.outcome.statistic
+    }
+
+    /// The z-score (Eq. 7).
+    #[inline]
+    pub fn z(&self) -> f64 {
+        self.outcome.z
+    }
+}
+
+/// The TESC test engine for one graph.
+///
+/// Owns the BFS scratch space; create once and reuse across event
+/// pairs. Rejection and importance sampling additionally need the
+/// offline vicinity-size index (Sec. 4.2) — supply it via
+/// [`TescEngine::with_vicinity_index`].
+pub struct TescEngine<'a> {
+    graph: &'a CsrGraph,
+    vicinity: Option<&'a VicinityIndex>,
+    scratch: BfsScratch,
+}
+
+impl<'a> TescEngine<'a> {
+    /// Engine without a vicinity index (Batch BFS and whole-graph
+    /// sampling only).
+    pub fn new(graph: &'a CsrGraph) -> Self {
+        TescEngine {
+            graph,
+            vicinity: None,
+            scratch: BfsScratch::new(graph.num_nodes()),
+        }
+    }
+
+    /// Engine with the precomputed `|V^h_v|` index, enabling rejection
+    /// and importance sampling.
+    pub fn with_vicinity_index(graph: &'a CsrGraph, vicinity: &'a VicinityIndex) -> Self {
+        TescEngine {
+            graph,
+            vicinity: Some(vicinity),
+            scratch: BfsScratch::new(graph.num_nodes()),
+        }
+    }
+
+    /// The graph under test.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// Run the TESC test for events `va`, `vb` (occurrence node sets,
+    /// need not be sorted).
+    pub fn test(
+        &mut self,
+        va: &[NodeId],
+        vb: &[NodeId],
+        cfg: &TescConfig,
+        rng: &mut impl Rng,
+    ) -> Result<TescResult, TescError> {
+        let (a_sorted, b_sorted) = (normalize(va), normalize(vb));
+        let union = merge_union(&a_sorted, &b_sorted);
+        if union.is_empty() {
+            return Err(TescError::NoEventNodes);
+        }
+        let mask_a = NodeMask::from_nodes(self.graph.num_nodes(), &a_sorted);
+        let mask_b = NodeMask::from_nodes(self.graph.num_nodes(), &b_sorted);
+
+        match cfg.sampler {
+            SamplerKind::Importance { batch_size } => {
+                if cfg.statistic != Statistic::KendallTau {
+                    return Err(TescError::StatisticUnsupportedBySampler);
+                }
+                self.test_importance(&union, &mask_a, &mask_b, cfg, batch_size, rng)
+            }
+            _ => self.test_uniform(&union, &mask_a, &mask_b, cfg, rng),
+        }
+    }
+
+    /// Draw a uniform reference-node sample with the configured
+    /// (non-importance) strategy.
+    fn draw_uniform_sample(
+        &mut self,
+        union: &[NodeId],
+        cfg: &TescConfig,
+        rng: &mut impl Rng,
+    ) -> Result<UniformSample, TescError> {
+        let max_draws = cfg.max_draw_factor.saturating_mul(cfg.sample_size).max(1);
+        let sample = match cfg.sampler {
+            SamplerKind::BatchBfs => batch_bfs_sample(
+                self.graph,
+                &mut self.scratch,
+                union,
+                cfg.h,
+                cfg.sample_size,
+                rng,
+            ),
+            SamplerKind::Rejection => {
+                let vic = self.require_vicinity(cfg.h)?;
+                let union_mask = NodeMask::from_nodes(self.graph.num_nodes(), union);
+                rejection_sample(
+                    self.graph,
+                    &mut self.scratch,
+                    union,
+                    &union_mask,
+                    vic,
+                    cfg.h,
+                    cfg.sample_size,
+                    max_draws,
+                    rng,
+                )
+            }
+            SamplerKind::WholeGraph => {
+                let union_mask = NodeMask::from_nodes(self.graph.num_nodes(), union);
+                whole_graph_sample(
+                    self.graph,
+                    &mut self.scratch,
+                    &union_mask,
+                    cfg.h,
+                    cfg.sample_size,
+                    rng,
+                )
+            }
+            SamplerKind::Importance { .. } => unreachable!("importance handled separately"),
+        };
+        if sample.nodes.len() < 3 {
+            return Err(TescError::TooFewReferenceNodes {
+                found: sample.nodes.len(),
+            });
+        }
+        Ok(sample)
+    }
+
+    /// Turn paired density vectors + a uniform sample into a result.
+    fn finish_uniform(
+        sa: &[f64],
+        sb: &[f64],
+        sample: &UniformSample,
+        cfg: &TescConfig,
+    ) -> TescResult {
+        let (outcome, kendall) = match cfg.statistic {
+            Statistic::KendallTau => {
+                let summary = kendall_tau(sa, sb, KendallMethod::MergeSort);
+                (
+                    TestOutcome::from_z(summary.tau, summary.z, cfg.tail, cfg.alpha),
+                    Some(summary),
+                )
+            }
+            Statistic::SpearmanRho => {
+                let s = spearman_rho(sa, sb);
+                (TestOutcome::from_z(s.rho, s.z, cfg.tail, cfg.alpha), None)
+            }
+        };
+        TescResult {
+            outcome,
+            n_refs: sample.nodes.len(),
+            population_size: sample.population_size,
+            draws: sample.draws,
+            kendall,
+        }
+    }
+
+    /// Uniform-sampler path: sample → densities → `t` (Eq. 4) → z.
+    fn test_uniform(
+        &mut self,
+        union: &[NodeId],
+        mask_a: &NodeMask,
+        mask_b: &NodeMask,
+        cfg: &TescConfig,
+        rng: &mut impl Rng,
+    ) -> Result<TescResult, TescError> {
+        let sample = self.draw_uniform_sample(union, cfg, rng)?;
+        let (sa, sb) = crate::density::density_vectors(
+            self.graph,
+            &mut self.scratch,
+            &sample.nodes,
+            cfg.h,
+            mask_a,
+            mask_b,
+        );
+        Ok(Self::finish_uniform(&sa, &sb, &sample, cfg))
+    }
+
+    /// Intensity-weighted TESC test — the Sec. 6 extension. Densities
+    /// use the events' intensity mass (see [`crate::intensity`]);
+    /// reference eligibility and sampling are presence-based and
+    /// unchanged.
+    pub fn test_intensity(
+        &mut self,
+        a: &crate::intensity::Intensities,
+        b: &crate::intensity::Intensities,
+        cfg: &TescConfig,
+        rng: &mut impl Rng,
+    ) -> Result<TescResult, TescError> {
+        assert_eq!(
+            a.num_nodes(),
+            self.graph.num_nodes(),
+            "intensities sized for a different graph"
+        );
+        assert_eq!(b.num_nodes(), self.graph.num_nodes());
+        let union = merge_union(a.support(), b.support());
+        if union.is_empty() {
+            return Err(TescError::NoEventNodes);
+        }
+        match cfg.sampler {
+            SamplerKind::Importance { batch_size } => {
+                if cfg.statistic != Statistic::KendallTau {
+                    return Err(TescError::StatisticUnsupportedBySampler);
+                }
+                let vic = self.require_vicinity(cfg.h)?;
+                let max_draws = cfg.max_draw_factor.saturating_mul(cfg.sample_size).max(1);
+                let sample = importance_sample(
+                    self.graph,
+                    &mut self.scratch,
+                    &union,
+                    vic,
+                    cfg.h,
+                    cfg.sample_size,
+                    batch_size,
+                    max_draws,
+                    rng,
+                );
+                let n = sample.nodes.len();
+                if n < 3 {
+                    return Err(TescError::TooFewReferenceNodes { found: n });
+                }
+                let mut sa = Vec::with_capacity(n);
+                let mut sb = Vec::with_capacity(n);
+                let mut omega = Vec::with_capacity(n);
+                for (i, &r) in sample.nodes.iter().enumerate() {
+                    let c = crate::intensity::intensity_counts(
+                        self.graph,
+                        &mut self.scratch,
+                        r,
+                        cfg.h,
+                        a,
+                        b,
+                    );
+                    debug_assert!(c.count_union > 0);
+                    sa.push(c.density_a());
+                    sb.push(c.density_b());
+                    omega.push(sample.multiplicities[i] as f64 / c.count_union as f64);
+                }
+                Ok(Self::finish_weighted(&sa, &sb, &omega, &sample, cfg))
+            }
+            _ => {
+                let sample = self.draw_uniform_sample(&union, cfg, rng)?;
+                let (sa, sb) = crate::intensity::intensity_density_vectors(
+                    self.graph,
+                    &mut self.scratch,
+                    &sample.nodes,
+                    cfg.h,
+                    a,
+                    b,
+                );
+                Ok(Self::finish_uniform(&sa, &sb, &sample, cfg))
+            }
+        }
+    }
+
+    /// Assemble the importance-sampled (weighted `t̃`) result.
+    fn finish_weighted(
+        sa: &[f64],
+        sb: &[f64],
+        omega: &[f64],
+        sample: &crate::sampler::WeightedSample,
+        cfg: &TescConfig,
+    ) -> TescResult {
+        let n = sa.len();
+        let t_tilde = weighted_tau(sa, sb, omega);
+        let u = nontrivial_tie_group_sizes(sa);
+        let v = nontrivial_tie_group_sizes(sb);
+        let var_s = var_s_tie_corrected(n, &u, &v);
+        let half = (n * (n - 1) / 2) as f64;
+        let sigma_tau = (var_s / (half * half)).sqrt();
+        let z = if sigma_tau > 0.0 { t_tilde / sigma_tau } else { 0.0 };
+        let outcome = TestOutcome::from_z(t_tilde, z, cfg.tail, cfg.alpha);
+        TescResult {
+            outcome,
+            n_refs: n,
+            population_size: None,
+            draws: sample.total_draws,
+            kendall: None,
+        }
+    }
+
+    /// Importance-sampler path: weighted draws → densities → `t̃`
+    /// (Eq. 8) → z against the tie-corrected null variance.
+    fn test_importance(
+        &mut self,
+        union: &[NodeId],
+        mask_a: &NodeMask,
+        mask_b: &NodeMask,
+        cfg: &TescConfig,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> Result<TescResult, TescError> {
+        let vic = self.require_vicinity(cfg.h)?;
+        let max_draws = cfg.max_draw_factor.saturating_mul(cfg.sample_size).max(1);
+        let sample = importance_sample(
+            self.graph,
+            &mut self.scratch,
+            union,
+            vic,
+            cfg.h,
+            cfg.sample_size,
+            batch_size,
+            max_draws,
+            rng,
+        );
+        let n = sample.nodes.len();
+        if n < 3 {
+            return Err(TescError::TooFewReferenceNodes { found: n });
+        }
+        // One BFS per distinct node gathers densities AND the inclusion
+        // weight ingredient |V^h_r ∩ V_{a∪b}| (RejectSamp's `c`).
+        let mut sa = Vec::with_capacity(n);
+        let mut sb = Vec::with_capacity(n);
+        let mut omega = Vec::with_capacity(n);
+        for (i, &r) in sample.nodes.iter().enumerate() {
+            let c: DensityCounts =
+                density_counts(self.graph, &mut self.scratch, r, cfg.h, mask_a, mask_b);
+            debug_assert!(c.count_union > 0, "sampled node must see an event");
+            sa.push(c.density_a());
+            sb.push(c.density_b());
+            // ω_i = w_i / p(r_i); p(r_i) = count_union / N_sum and the
+            // constant N_sum cancels in Eq. 8.
+            omega.push(sample.multiplicities[i] as f64 / c.count_union as f64);
+        }
+        // Significance "accordingly" (Sec. 4.2): the same tie-corrected
+        // null variance as the unweighted statistic over n distinct
+        // reference nodes.
+        Ok(Self::finish_weighted(&sa, &sb, &omega, &sample, cfg))
+    }
+
+    /// Exact τ over the *entire* reference population `V^h_{a∪b}` —
+    /// Eq. 3 without sampling. Intended for validation on small graphs
+    /// (cost `O(N²)` pairs via the merge-sort counter's `O(N log N)`).
+    pub fn exact_summary(
+        &mut self,
+        va: &[NodeId],
+        vb: &[NodeId],
+        h: u32,
+    ) -> Result<KendallSummary, TescError> {
+        let (a_sorted, b_sorted) = (normalize(va), normalize(vb));
+        let union = merge_union(&a_sorted, &b_sorted);
+        if union.is_empty() {
+            return Err(TescError::NoEventNodes);
+        }
+        let mut population = Vec::new();
+        self.scratch
+            .h_vicinity_into(self.graph, &union, h, &mut population);
+        if population.len() < 3 {
+            return Err(TescError::TooFewReferenceNodes {
+                found: population.len(),
+            });
+        }
+        let mask_a = NodeMask::from_nodes(self.graph.num_nodes(), &a_sorted);
+        let mask_b = NodeMask::from_nodes(self.graph.num_nodes(), &b_sorted);
+        let (sa, sb) = crate::density::density_vectors(
+            self.graph,
+            &mut self.scratch,
+            &population,
+            h,
+            &mask_a,
+            &mask_b,
+        );
+        Ok(kendall_tau(&sa, &sb, KendallMethod::MergeSort))
+    }
+
+    fn require_vicinity(&self, h: u32) -> Result<&'a VicinityIndex, TescError> {
+        match self.vicinity {
+            Some(v) if v.max_level() >= h => Ok(v),
+            _ => Err(TescError::MissingVicinityIndex { needed_h: h }),
+        }
+    }
+}
+
+fn normalize(nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut v = nodes.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tesc_events::simulate::{independent_pair, negative_pair, positive_pair};
+    use tesc_graph::generators::{barabasi_albert, grid, planted_partition};
+    use tesc_stats::significance::Verdict;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn all_samplers() -> Vec<SamplerKind> {
+        vec![
+            SamplerKind::BatchBfs,
+            SamplerKind::Rejection,
+            SamplerKind::Importance { batch_size: 1 },
+            SamplerKind::Importance { batch_size: 3 },
+            SamplerKind::WholeGraph,
+        ]
+    }
+
+    #[test]
+    fn detects_planted_positive_pair_with_every_sampler() {
+        // h = 1 positive detection needs a triangle-dense substrate
+        // (the paper's DBLP co-authorship graph is clique-heavy); a
+        // community graph with dense blocks models that.
+        let (g, _) = planted_partition(400, 10, 0.8, 0.0008, &mut rng(1));
+        let idx = VicinityIndex::build(&g, 1);
+        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let lp = positive_pair(&g, &mut scratch, 300, 1, &mut rng(2)).unwrap();
+        let pair = lp.to_pair();
+        for sampler in all_samplers() {
+            let cfg = TescConfig::new(1)
+                .with_sample_size(600)
+                .with_tail(Tail::Upper)
+                .with_sampler(sampler);
+            let res = engine.test(&pair.a, &pair.b, &cfg, &mut rng(3)).unwrap();
+            assert_eq!(
+                res.outcome.verdict,
+                Verdict::PositiveCorrelation,
+                "sampler {sampler}: z = {}",
+                res.z()
+            );
+        }
+    }
+
+    #[test]
+    fn detects_planted_negative_pair_with_every_sampler() {
+        let g = barabasi_albert(4000, 3, &mut rng(4));
+        let idx = VicinityIndex::build(&g, 1);
+        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let pair = negative_pair(&g, &mut scratch, 120, 120, 1, &mut rng(5)).unwrap();
+        for sampler in all_samplers() {
+            let cfg = TescConfig::new(1)
+                .with_sample_size(300)
+                .with_tail(Tail::Lower)
+                .with_sampler(sampler);
+            let res = engine.test(&pair.a, &pair.b, &cfg, &mut rng(6)).unwrap();
+            assert_eq!(
+                res.outcome.verdict,
+                Verdict::NegativeCorrelation,
+                "sampler {sampler}: z = {}",
+                res.z()
+            );
+        }
+    }
+
+    #[test]
+    fn independent_events_rarely_declared_positive() {
+        // One-tailed Type-I check for attraction, matching the paper's
+        // one-tailed evaluation protocol (Sec. 5.2).
+        let g = barabasi_albert(3000, 3, &mut rng(7));
+        let mut engine = TescEngine::new(&g);
+        let mut rejections = 0;
+        let trials = 40;
+        for t in 0..trials {
+            let pair = independent_pair(&g, 100, 100, &mut rng(100 + t)).unwrap();
+            let cfg = TescConfig::new(1)
+                .with_sample_size(200)
+                .with_tail(Tail::Upper);
+            let res = engine
+                .test(&pair.a, &pair.b, &cfg, &mut rng(200 + t))
+                .unwrap();
+            if res.outcome.is_significant() {
+                rejections += 1;
+            }
+        }
+        assert!(
+            rejections <= 6,
+            "false-attraction rate too high: {rejections}/{trials}"
+        );
+    }
+
+    #[test]
+    fn sparse_independent_events_skew_negative_at_h1() {
+        // Documented property of the measure: two sparse independent
+        // events at small h rarely co-occur in any vicinity, so most
+        // cross pairs of reference nodes are discordant and TESC reads
+        // repulsion. This is exactly why the paper calls 1-hop negative
+        // correlations "easier": "for h = 1 it is easier to find a node
+        // whose 1-vicinity does not even overlap with V^1_a".
+        let g = barabasi_albert(3000, 3, &mut rng(21));
+        let mut engine = TescEngine::new(&g);
+        let pair = independent_pair(&g, 100, 100, &mut rng(22)).unwrap();
+        let cfg = TescConfig::new(1).with_sample_size(300);
+        let res = engine.test(&pair.a, &pair.b, &cfg, &mut rng(23)).unwrap();
+        assert!(res.z() < 0.0, "sparse independent events should lean negative");
+    }
+
+    #[test]
+    fn batch_bfs_uses_whole_population_when_small() {
+        let g = grid(8, 8);
+        let mut engine = TescEngine::new(&g);
+        let cfg = TescConfig::new(2).with_sample_size(10_000);
+        let res = engine.test(&[0, 1], &[8, 9], &cfg, &mut rng(8)).unwrap();
+        let pop = res.population_size.unwrap();
+        assert_eq!(res.n_refs, pop, "n > N must clamp to the population");
+        assert!(res.kendall.is_some());
+    }
+
+    #[test]
+    fn exact_summary_matches_full_sample_tau() {
+        let g = grid(12, 12);
+        let mut engine = TescEngine::new(&g);
+        let va: Vec<u32> = vec![0, 1, 2, 13, 26];
+        let vb: Vec<u32> = vec![14, 15, 27, 40];
+        let exact = engine.exact_summary(&va, &vb, 1).unwrap();
+        // A Batch BFS "sample" big enough to take the full population
+        // must produce the identical statistic.
+        let cfg = TescConfig::new(1).with_sample_size(1_000_000);
+        let sampled = engine.test(&va, &vb, &cfg, &mut rng(9)).unwrap();
+        let k = sampled.kendall.unwrap();
+        assert_eq!(exact.n, k.n);
+        assert!((exact.tau - k.tau).abs() < 1e-12);
+        assert!((exact.z - k.z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_events_error() {
+        let g = grid(4, 4);
+        let mut engine = TescEngine::new(&g);
+        let cfg = TescConfig::new(1);
+        assert_eq!(
+            engine.test(&[], &[], &cfg, &mut rng(0)).unwrap_err(),
+            TescError::NoEventNodes
+        );
+        assert_eq!(
+            engine.exact_summary(&[], &[], 1).unwrap_err(),
+            TescError::NoEventNodes
+        );
+    }
+
+    #[test]
+    fn missing_vicinity_index_error() {
+        let g = grid(6, 6);
+        let mut engine = TescEngine::new(&g);
+        let cfg = TescConfig::new(1).with_sampler(SamplerKind::Importance { batch_size: 1 });
+        let err = engine.test(&[0], &[1], &cfg, &mut rng(0)).unwrap_err();
+        assert!(matches!(err, TescError::MissingVicinityIndex { needed_h: 1 }));
+    }
+
+    #[test]
+    fn too_shallow_vicinity_index_error() {
+        let g = grid(6, 6);
+        let idx = VicinityIndex::build(&g, 1);
+        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let cfg = TescConfig::new(3).with_sampler(SamplerKind::Rejection);
+        let err = engine.test(&[0], &[1], &cfg, &mut rng(0)).unwrap_err();
+        assert!(matches!(err, TescError::MissingVicinityIndex { needed_h: 3 }));
+    }
+
+    #[test]
+    fn too_few_reference_nodes_error() {
+        // Isolated event node: population = {v} only.
+        let g = tesc_graph::csr::from_edges(5, &[(1, 2)]);
+        let mut engine = TescEngine::new(&g);
+        let cfg = TescConfig::new(1).with_sample_size(10);
+        let err = engine.test(&[0], &[], &cfg, &mut rng(0)).unwrap_err();
+        assert_eq!(err, TescError::TooFewReferenceNodes { found: 1 });
+    }
+
+    #[test]
+    fn results_are_seed_reproducible() {
+        let g = barabasi_albert(1000, 3, &mut rng(10));
+        let mut engine = TescEngine::new(&g);
+        let va: Vec<u32> = (0..50).collect();
+        let vb: Vec<u32> = (25..75).collect();
+        let cfg = TescConfig::new(1).with_sample_size(100);
+        let r1 = engine.test(&va, &vb, &cfg, &mut rng(11)).unwrap();
+        let r2 = engine.test(&va, &vb, &cfg, &mut rng(11)).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn importance_estimate_close_to_exact_on_small_graph() {
+        let g = grid(15, 15);
+        let idx = VicinityIndex::build(&g, 1);
+        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let va: Vec<u32> = (0..30).collect();
+        let vb: Vec<u32> = (15..45).collect();
+        let exact = engine.exact_summary(&va, &vb, 1).unwrap();
+        // Sample essentially the whole population with importance
+        // weighting; t̃ should approach τ (consistency, Thm. 1).
+        let cfg = TescConfig::new(1)
+            .with_sample_size(exact.n)
+            .with_sampler(SamplerKind::Importance { batch_size: 1 });
+        let res = engine.test(&va, &vb, &cfg, &mut rng(12)).unwrap();
+        assert!(
+            (res.statistic() - exact.tau).abs() < 0.15,
+            "t̃ = {}, τ = {}",
+            res.statistic(),
+            exact.tau
+        );
+        assert_eq!(
+            res.z() > 0.0,
+            exact.z > 0.0,
+            "sign of the evidence must agree"
+        );
+    }
+
+    #[test]
+    fn spearman_statistic_agrees_with_kendall_on_verdicts() {
+        let (g, _) = planted_partition(400, 10, 0.8, 0.0008, &mut rng(31));
+        let mut engine = TescEngine::new(&g);
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let lp = positive_pair(&g, &mut scratch, 200, 1, &mut rng(32)).unwrap();
+        let pair = lp.to_pair();
+        let base = TescConfig::new(1)
+            .with_sample_size(400)
+            .with_tail(Tail::Upper);
+        let kt = engine.test(&pair.a, &pair.b, &base, &mut rng(33)).unwrap();
+        let sp = engine
+            .test(
+                &pair.a,
+                &pair.b,
+                &base.with_statistic(Statistic::SpearmanRho),
+                &mut rng(33),
+            )
+            .unwrap();
+        assert_eq!(kt.outcome.verdict, sp.outcome.verdict);
+        assert!(sp.kendall.is_none(), "Spearman result carries no Kendall summary");
+        // ρ typically exceeds τ in magnitude for monotone association.
+        assert!(sp.statistic() >= kt.statistic() * 0.8);
+    }
+
+    #[test]
+    fn spearman_with_importance_sampler_is_rejected() {
+        let g = grid(6, 6);
+        let idx = VicinityIndex::build(&g, 1);
+        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let cfg = TescConfig::new(1)
+            .with_sampler(SamplerKind::Importance { batch_size: 1 })
+            .with_statistic(Statistic::SpearmanRho);
+        let err = engine.test(&[0, 1], &[2, 3], &cfg, &mut rng(34)).unwrap_err();
+        assert_eq!(err, TescError::StatisticUnsupportedBySampler);
+    }
+
+    #[test]
+    fn intensity_test_with_unit_weights_matches_plain_test() {
+        let g = barabasi_albert(1500, 3, &mut rng(41));
+        let mut engine = TescEngine::new(&g);
+        let va: Vec<u32> = (0..80).collect();
+        let vb: Vec<u32> = (40..120).collect();
+        let cfg = TescConfig::new(1).with_sample_size(200);
+        let plain = engine.test(&va, &vb, &cfg, &mut rng(42)).unwrap();
+        let ia = crate::intensity::Intensities::uniform(g.num_nodes(), &va);
+        let ib = crate::intensity::Intensities::uniform(g.num_nodes(), &vb);
+        let weighted = engine.test_intensity(&ia, &ib, &cfg, &mut rng(42)).unwrap();
+        assert_eq!(plain, weighted, "unit intensities must be a strict generalization");
+    }
+
+    #[test]
+    fn intensity_strengthens_correlation_signal() {
+        // Co-located heavy-intensity occurrences against a uniform
+        // background: the weighted densities co-vary more strongly
+        // than the presence-only view.
+        let (g, _) = planted_partition(200, 10, 0.8, 0.001, &mut rng(43));
+        let n = g.num_nodes();
+        // Both events occur *everywhere* lightly (pure presence sees
+        // nothing but ties)…
+        let every: Vec<(u32, f64)> = (0..n as u32).map(|v| (v, 1.0)).collect();
+        let mut pa = every.clone();
+        let mut pb = every;
+        // …but share heavy hot spots in communities 0..30.
+        for c in 0..30u32 {
+            for i in 0..5 {
+                pa.push((c * 10 + i, 50.0));
+                pb.push((c * 10 + 5 + i, 50.0));
+            }
+        }
+        let ia = crate::intensity::Intensities::from_pairs(n, &pa);
+        let ib = crate::intensity::Intensities::from_pairs(n, &pb);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(400)
+            .with_tail(Tail::Upper);
+        let weighted = engine_for(&g).test_intensity(&ia, &ib, &cfg, &mut rng(44)).unwrap();
+        assert!(
+            weighted.z() > 2.33,
+            "intensity view must expose the hot spots: z = {}",
+            weighted.z()
+        );
+        // The presence-only view is blind here: every node carries both
+        // events, so all densities are tied at 1 within equal-size
+        // vicinities and no attraction is detectable.
+        let va: Vec<u32> = (0..n as u32).collect();
+        let plain = engine_for(&g).test(&va, &va, &cfg, &mut rng(44)).unwrap();
+        assert!(plain.z() < weighted.z());
+    }
+
+    fn engine_for(g: &CsrGraph) -> TescEngine<'_> {
+        TescEngine::new(g)
+    }
+
+    #[test]
+    fn intensity_importance_sampling_path_works() {
+        let (g, _) = planted_partition(300, 10, 0.7, 0.001, &mut rng(45));
+        let idx = VicinityIndex::build(&g, 1);
+        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let lp = positive_pair(&g, &mut scratch, 150, 1, &mut rng(46)).unwrap();
+        let ia = crate::intensity::Intensities::uniform(g.num_nodes(), &lp.a_nodes);
+        let ib = crate::intensity::Intensities::uniform(g.num_nodes(), &lp.b_nodes);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(300)
+            .with_tail(Tail::Upper)
+            .with_sampler(SamplerKind::Importance { batch_size: 1 });
+        let r = engine.test_intensity(&ia, &ib, &cfg, &mut rng(47)).unwrap();
+        assert_eq!(r.outcome.verdict, Verdict::PositiveCorrelation, "z = {}", r.z());
+    }
+
+    #[test]
+    fn intensity_empty_events_error() {
+        let g = grid(4, 4);
+        let mut engine = TescEngine::new(&g);
+        let empty = crate::intensity::Intensities::uniform(16, &[]);
+        let cfg = TescConfig::new(1);
+        assert_eq!(
+            engine
+                .test_intensity(&empty, &empty, &cfg, &mut rng(48))
+                .unwrap_err(),
+            TescError::NoEventNodes
+        );
+    }
+
+    #[test]
+    fn duplicate_event_nodes_are_tolerated() {
+        let g = grid(8, 8);
+        let mut engine = TescEngine::new(&g);
+        let cfg = TescConfig::new(1).with_sample_size(50);
+        let r1 = engine.test(&[0, 0, 1, 1], &[2, 2, 3], &cfg, &mut rng(13)).unwrap();
+        let r2 = engine.test(&[0, 1], &[2, 3], &cfg, &mut rng(13)).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn overlapping_events_positive_tesc() {
+        // Identical events are maximally attracted.
+        let g = barabasi_albert(2000, 3, &mut rng(14));
+        let mut engine = TescEngine::new(&g);
+        let va: Vec<u32> = (0..100).collect();
+        let cfg = TescConfig::new(1)
+            .with_sample_size(200)
+            .with_tail(Tail::Upper);
+        let res = engine.test(&va, &va, &cfg, &mut rng(15)).unwrap();
+        assert_eq!(res.outcome.verdict, Verdict::PositiveCorrelation);
+        // τ_a stays below 1 because tied density pairs contribute 0.
+        assert!(res.statistic() > 0.8, "τ = {}", res.statistic());
+    }
+}

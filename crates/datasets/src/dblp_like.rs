@@ -1,0 +1,413 @@
+//! DBLP-like co-authorship scenario.
+//!
+//! Real co-authorship graphs are unions of paper cliques with strong
+//! community structure — exactly the two properties the DBLP
+//! experiments exercise (triangle-dense 1-vicinities for Table 1's
+//! 1-hop positive pairs, far-apart communities for Table 2's 3-hop
+//! negative pairs). The builder synthesizes that directly: communities
+//! of authors, papers as cliques sampled within (and occasionally
+//! across) communities.
+
+use rand::Rng;
+use tesc_graph::csr::{CsrGraph, GraphBuilder};
+use tesc_graph::NodeId;
+
+/// Configuration of the DBLP-like generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DblpConfig {
+    /// Number of research communities.
+    pub num_communities: usize,
+    /// Authors per community.
+    pub community_size: usize,
+    /// Papers written inside each community.
+    pub papers_per_community: usize,
+    /// Author count per paper, inclusive range.
+    pub authors_per_paper: (usize, usize),
+    /// Probability that a paper is a cross-community collaboration
+    /// (its authors are split over two communities).
+    pub cross_community_prob: f64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            num_communities: 100,
+            community_size: 50,
+            papers_per_community: 120,
+            authors_per_paper: (2, 5),
+            cross_community_prob: 0.05,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A small configuration for unit tests (≈ 2k nodes).
+    pub fn small() -> Self {
+        DblpConfig {
+            num_communities: 40,
+            community_size: 50,
+            papers_per_community: 100,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of authors.
+    pub fn num_nodes(&self) -> usize {
+        self.num_communities * self.community_size
+    }
+}
+
+/// A built DBLP-like scenario: the co-author graph plus the
+/// community label of every author, with planting helpers for the
+/// Table 1 / Table 2 style keyword pairs.
+#[derive(Debug, Clone)]
+pub struct DblpScenario {
+    /// The co-author graph.
+    pub graph: CsrGraph,
+    /// `community[v]` = community id of author `v`.
+    pub community: Vec<u32>,
+    /// Node ranges per community (authors are contiguous per block).
+    config: DblpConfig,
+}
+
+impl DblpScenario {
+    /// Build the scenario.
+    pub fn build(config: DblpConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.num_communities >= 2, "need at least 2 communities");
+        assert!(
+            config.authors_per_paper.0 >= 2
+                && config.authors_per_paper.0 <= config.authors_per_paper.1,
+            "authors_per_paper range invalid"
+        );
+        assert!(
+            config.authors_per_paper.1 <= config.community_size,
+            "papers cannot have more authors than a community"
+        );
+        let n = config.num_nodes();
+        let mut b = GraphBuilder::with_capacity(
+            n,
+            config.num_communities * config.papers_per_community * 4,
+        );
+        let community: Vec<u32> = (0..n)
+            .map(|v| (v / config.community_size) as u32)
+            .collect();
+
+        let mut authors: Vec<NodeId> = Vec::new();
+        for c in 0..config.num_communities {
+            for _ in 0..config.papers_per_community {
+                let k = rng.gen_range(config.authors_per_paper.0..=config.authors_per_paper.1);
+                authors.clear();
+                let cross = rng.gen_range(0.0..1.0f64) < config.cross_community_prob;
+                if cross {
+                    // Split authors over this and one random other community.
+                    let other = loop {
+                        let o = rng.gen_range(0..config.num_communities);
+                        if o != c {
+                            break o;
+                        }
+                    };
+                    let here = k.div_ceil(2);
+                    sample_from_block(&config, c, here, &mut authors, rng);
+                    sample_from_block(&config, other, k - here, &mut authors, rng);
+                } else {
+                    sample_from_block(&config, c, k, &mut authors, rng);
+                }
+                // The paper clique.
+                for i in 0..authors.len() {
+                    for j in (i + 1)..authors.len() {
+                        b.add_edge(authors[i], authors[j]);
+                    }
+                }
+            }
+        }
+        DblpScenario {
+            graph: b.build(),
+            community,
+            config,
+        }
+    }
+
+    /// The configuration the scenario was built with.
+    pub fn config(&self) -> &DblpConfig {
+        &self.config
+    }
+
+    /// Node id range of a community.
+    pub fn community_nodes(&self, c: usize) -> std::ops::Range<NodeId> {
+        let s = self.config.community_size;
+        (c * s) as NodeId..((c + 1) * s) as NodeId
+    }
+
+    /// Plant a **Table 1** style pair: two "keywords" of one research
+    /// area (e.g. *Wireless* / *Sensor*). Both live in the same
+    /// `num_shared` communities; within each community the authors are
+    /// split so most carry only one of the two keywords
+    /// (`co_author_frac` of them carry both — the authors who "use both
+    /// keywords"). Strong 1-hop positive TESC; TC positive but driven
+    /// only by the shared authors.
+    pub fn plant_positive_keyword_pair(
+        &self,
+        num_shared: usize,
+        per_community: usize,
+        co_author_frac: f64,
+        rng: &mut impl Rng,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        assert!(num_shared <= self.config.num_communities);
+        assert!(2 * per_community <= self.config.community_size);
+        assert!((0.0..=1.0).contains(&co_author_frac));
+        let comms = sample_communities(self.config.num_communities, num_shared, rng);
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        for &c in &comms {
+            let mut pool: Vec<NodeId> = self.community_nodes(c).collect();
+            partial_shuffle(&mut pool, 2 * per_community, rng);
+            let (first, second) = pool[..2 * per_community].split_at(per_community);
+            va.extend_from_slice(first);
+            vb.extend_from_slice(second);
+            // A fraction of authors use both keywords.
+            let co = (per_community as f64 * co_author_frac).round() as usize;
+            va.extend_from_slice(&second[..co.min(second.len())]);
+            vb.extend_from_slice(&first[..co.min(first.len())]);
+        }
+        (va, vb)
+    }
+
+    /// Plant a **Table 2** style pair: two keywords of *distant* topics
+    /// (e.g. *Texture* vs *Java*) living in disjoint community sets,
+    /// plus `shared_authors` generalists who used both. The handful of
+    /// co-occurrences makes TC positive, while the bulk separation
+    /// makes TESC strongly negative.
+    pub fn plant_negative_keyword_pair(
+        &self,
+        communities_each: usize,
+        per_community: usize,
+        shared_authors: usize,
+        rng: &mut impl Rng,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        assert!(2 * communities_each <= self.config.num_communities);
+        assert!(per_community <= self.config.community_size);
+        let comms = sample_communities(self.config.num_communities, 2 * communities_each, rng);
+        let (ca, cb) = comms.split_at(communities_each);
+        let mut va = plant_in_communities(self, ca, per_community, rng);
+        let mut vb = plant_in_communities(self, cb, per_community, rng);
+        // Generalists: nodes carrying both keywords, drawn from a's side
+        // (any side works — what matters is n11 > 0 for TC).
+        vb.extend_from_slice(&va[..shared_authors.min(va.len())]);
+        va.sort_unstable();
+        va.dedup();
+        vb.sort_unstable();
+        vb.dedup();
+        (va, vb)
+    }
+
+    /// Plant an independent "keyword": uniform random authors.
+    pub fn plant_uniform_keyword(&self, size: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+        tesc_graph::perturb::sample_nodes(&self.graph, size, rng)
+    }
+}
+
+fn sample_from_block(
+    cfg: &DblpConfig,
+    c: usize,
+    k: usize,
+    out: &mut Vec<NodeId>,
+    rng: &mut impl Rng,
+) {
+    let base = (c * cfg.community_size) as NodeId;
+    let mut tries = 0;
+    let start = out.len();
+    while out.len() - start < k {
+        let v = base + rng.gen_range(0..cfg.community_size as NodeId);
+        if !out[start..].contains(&v) {
+            out.push(v);
+        }
+        tries += 1;
+        if tries > 64 * k {
+            break; // community too small relative to k; accept fewer
+        }
+    }
+}
+
+fn sample_communities(total: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..total).collect();
+    partial_shuffle(&mut ids, k, rng);
+    ids.truncate(k);
+    ids
+}
+
+fn partial_shuffle<T>(v: &mut [T], k: usize, rng: &mut impl Rng) {
+    let k = k.min(v.len());
+    for i in 0..k {
+        let j = rng.gen_range(i..v.len());
+        v.swap(i, j);
+    }
+}
+
+fn plant_in_communities(
+    s: &DblpScenario,
+    comms: &[usize],
+    per_community: usize,
+    rng: &mut impl Rng,
+) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(comms.len() * per_community);
+    for &c in comms {
+        let mut pool: Vec<NodeId> = s.community_nodes(c).collect();
+        partial_shuffle(&mut pool, per_community, rng);
+        out.extend_from_slice(&pool[..per_community]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tesc::{SamplerKind, Tail, TescConfig, TescEngine};
+    use tesc_baselines::transaction_correlation;
+    use tesc_graph::dist::is_connected;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn small() -> DblpScenario {
+        DblpScenario::build(DblpConfig::small(), &mut rng(1))
+    }
+
+    #[test]
+    fn structure_is_dblp_like() {
+        let s = small();
+        let g = &s.graph;
+        assert_eq!(g.num_nodes(), 2000);
+        // Average degree in DBLP is ≈ 7.4; ours should be in that
+        // ballpark (same order).
+        let avg = g.average_degree();
+        assert!((3.0..30.0).contains(&avg), "avg degree {avg}");
+        // Triangle-dense: count triangles incident to a sample of edges.
+        let mut closed = 0usize;
+        let mut total = 0usize;
+        for (u, v) in g.edges().take(500) {
+            total += 1;
+            let nu = g.neighbors(u);
+            let nv = g.neighbors(v);
+            // Intersect the two sorted lists.
+            let (mut i, mut j) = (0, 0);
+            let mut common = 0;
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        common += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            if common > 0 {
+                closed += 1;
+            }
+        }
+        assert!(
+            closed * 2 > total,
+            "paper cliques should close most edges into triangles ({closed}/{total})"
+        );
+    }
+
+    #[test]
+    fn communities_are_labeled_contiguously() {
+        let s = small();
+        assert_eq!(s.community[0], 0);
+        assert_eq!(s.community[49], 0);
+        assert_eq!(s.community[50], 1);
+        assert_eq!(s.community_nodes(1), 50..100);
+    }
+
+    #[test]
+    fn mostly_connected_via_cross_papers() {
+        // Cross-community papers keep the giant component large.
+        let s = small();
+        let labels = tesc_graph::dist::connected_components(&s.graph);
+        let mut counts = std::collections::HashMap::new();
+        for &l in &labels {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        let giant = counts.values().copied().max().unwrap();
+        assert!(
+            giant as f64 > 0.9 * s.graph.num_nodes() as f64,
+            "giant component only {giant}"
+        );
+        let _ = is_connected(&s.graph); // smoke: no panic on big graphs
+    }
+
+    #[test]
+    fn positive_pair_has_positive_tesc_and_tc() {
+        let s = small();
+        let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.2, &mut rng(2));
+        let mut engine = TescEngine::new(&s.graph);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(400)
+            .with_tail(Tail::Upper);
+        let res = engine.test(&va, &vb, &cfg, &mut rng(3)).unwrap();
+        assert!(res.z() > 2.33, "TESC z = {}", res.z());
+        let tc = transaction_correlation(s.graph.num_nodes(), &va, &vb);
+        assert!(tc.z > 0.0, "TC z = {}", tc.z);
+    }
+
+    #[test]
+    fn negative_pair_has_negative_tesc_but_positive_tc() {
+        let s = small();
+        // Universe 2000, |V_a| = |V_b| ≈ 120 ⇒ expected chance overlap
+        // ≈ 7.2 nodes; 20 shared generalists push TC clearly positive.
+        let (va, vb) = s.plant_negative_keyword_pair(10, 12, 20, &mut rng(4));
+        let mut engine = TescEngine::new(&s.graph);
+        let cfg = TescConfig::new(2)
+            .with_sample_size(400)
+            .with_tail(Tail::Lower);
+        let res = engine.test(&va, &vb, &cfg, &mut rng(5)).unwrap();
+        assert!(res.z() < -2.33, "TESC z = {}", res.z());
+        // The generalist authors make the transaction view positive —
+        // the Table 2 inversion.
+        let tc = transaction_correlation(s.graph.num_nodes(), &va, &vb);
+        assert!(tc.z > 0.0, "TC z = {}", tc.z);
+    }
+
+    #[test]
+    fn positive_pair_is_detectable_with_importance_sampling() {
+        let s = small();
+        let idx = tesc_graph::VicinityIndex::build(&s.graph, 1);
+        let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.2, &mut rng(6));
+        let mut engine = TescEngine::with_vicinity_index(&s.graph, &idx);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(400)
+            .with_tail(Tail::Upper)
+            .with_sampler(SamplerKind::Importance { batch_size: 1 });
+        let res = engine.test(&va, &vb, &cfg, &mut rng(7)).unwrap();
+        assert!(res.z() > 2.33, "importance-sampled z = {}", res.z());
+    }
+
+    #[test]
+    fn uniform_keyword_has_requested_size() {
+        let s = small();
+        let kw = s.plant_uniform_keyword(100, &mut rng(8));
+        assert_eq!(kw.len(), 100);
+    }
+
+    #[test]
+    fn build_is_seed_reproducible() {
+        let a = DblpScenario::build(DblpConfig::small(), &mut rng(9));
+        let b = DblpScenario::build(DblpConfig::small(), &mut rng(9));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 communities")]
+    fn degenerate_config_rejected() {
+        let cfg = DblpConfig {
+            num_communities: 1,
+            ..DblpConfig::small()
+        };
+        let _ = DblpScenario::build(cfg, &mut rng(0));
+    }
+}

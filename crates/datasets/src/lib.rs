@@ -1,0 +1,32 @@
+//! Synthetic dataset scenarios standing in for the paper's real graphs.
+//!
+//! The paper evaluates on three proprietary/non-redistributable
+//! datasets. Each module here builds a synthetic equivalent that
+//! preserves the structural properties the evaluation leans on, and
+//! plants named event pairs mirroring the relationships reported in
+//! Tables 1–5 (see `DESIGN.md` §3 for the substitution rationale):
+//!
+//! * [`dblp_like`] — DBLP co-author graph (965k nodes / 3.5M edges,
+//!   keyword events). Substitute: a *paper-clique* community graph —
+//!   authors cluster into research communities, every "paper" adds a
+//!   clique over 2–5 authors, occasional cross-community papers keep
+//!   the graph small-world and triangle-dense (real co-authorship
+//!   graphs are clique unions by construction).
+//! * [`intrusion_like`] — Intrusion alert graph (201k nodes / 703k
+//!   edges, 545 alert events, several ~50k-degree hubs, low diameter).
+//!   Substitute: dense "subnets" bridged by a few very-high-degree
+//!   hub nodes, with alert events planted per subnet.
+//! * [`twitter_like`](mod@twitter_like) — Twitter follower graph (20M nodes / 160M
+//!   edges), used only for scalability. Substitute: Barabási–Albert at
+//!   a configurable scale (heavy-tailed degrees, `O(log n)` diameter).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dblp_like;
+pub mod intrusion_like;
+pub mod twitter_like;
+
+pub use dblp_like::{DblpConfig, DblpScenario};
+pub use intrusion_like::{IntrusionConfig, IntrusionScenario};
+pub use twitter_like::twitter_like;

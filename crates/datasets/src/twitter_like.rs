@@ -1,0 +1,49 @@
+//! Twitter-like scalability graph.
+//!
+//! The paper's Twitter snapshot (20M nodes, 0.16B edges) carries no
+//! events; it exists purely to stress the samplers (Fig. 9) and the
+//! BFS/z-score micro-benchmarks (Fig. 10). A Barabási–Albert graph
+//! reproduces the properties those experiments exercise — heavy-tailed
+//! degree distribution and `O(log n)` effective diameter — at whatever
+//! scale the machine affords.
+
+use rand::Rng;
+use tesc_graph::csr::CsrGraph;
+use tesc_graph::generators::barabasi_albert;
+
+/// Average out-degree of the paper's Twitter subgraph (160M/20M = 8
+/// edges per node); we attach with `m = 8` accordingly.
+pub const TWITTER_ATTACHMENT: usize = 8;
+
+/// Build a Twitter-like graph with `n` nodes.
+pub fn twitter_like(n: usize, rng: &mut impl Rng) -> CsrGraph {
+    barabasi_albert(n, TWITTER_ATTACHMENT, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degree_scale_matches_twitter() {
+        let g = twitter_like(20_000, &mut StdRng::seed_from_u64(1));
+        let avg = g.average_degree();
+        // 2m = 16 asymptotically.
+        assert!((10.0..20.0).contains(&avg), "avg degree {avg}");
+        assert!(g.max_degree() > 100, "heavy tail expected");
+    }
+
+    #[test]
+    fn small_world_distances() {
+        let g = twitter_like(20_000, &mut StdRng::seed_from_u64(2));
+        let mut scratch = tesc_graph::BfsScratch::new(g.num_nodes());
+        let d = tesc_graph::dist::distances_from_set(&g, &mut scratch, &[0], 6);
+        let reached = d.iter().filter(|&&x| x != u32::MAX).count();
+        assert!(
+            reached as f64 > 0.99 * g.num_nodes() as f64,
+            "{reached} nodes within 6 hops"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Plain-text serialization for event occurrence lists.
+//!
+//! Format: one node id per line; blank lines and `#` comments ignored.
+//! This is the interchange format of the `tesc-cli` tool.
+
+use std::io::{self, BufRead, Write};
+use tesc_graph::NodeId;
+
+/// Write an occurrence list, one node per line.
+pub fn write_node_list(nodes: &[NodeId], w: &mut impl Write) -> io::Result<()> {
+    for &v in nodes {
+        writeln!(w, "{v}")?;
+    }
+    Ok(())
+}
+
+/// Read an occurrence list (one node id per line; `#` comments and
+/// blank lines skipped). Returns a parse error message with the line
+/// number on malformed input.
+pub fn read_node_list(r: &mut impl BufRead) -> Result<Vec<NodeId>, String> {
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        lineno += 1;
+        let read = r.read_line(&mut line).map_err(|e| format!("I/O error: {e}"))?;
+        if read == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let v: NodeId = t
+            .parse()
+            .map_err(|e| format!("line {lineno}: bad node id {t:?}: {e}"))?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let nodes = vec![3u32, 1, 4, 1, 5];
+        let mut buf = Vec::new();
+        write_node_list(&nodes, &mut buf).unwrap();
+        let back = read_node_list(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back, nodes);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# event a\n1\n\n2\n# trailing\n3\n";
+        assert_eq!(read_node_list(&mut Cursor::new(text)).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let text = "1\nnope\n";
+        let err = read_node_list(&mut Cursor::new(text)).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_list() {
+        assert!(read_node_list(&mut Cursor::new("")).unwrap().is_empty());
+    }
+}

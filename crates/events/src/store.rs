@@ -1,0 +1,338 @@
+//! Event registry and dense node-set membership.
+
+use tesc_graph::NodeId;
+
+/// Identifier of an event within an [`EventStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+/// Registry of named events and their occurrence node sets
+/// (`V_a` in the paper's notation).
+///
+/// Occurrence lists are kept sorted and deduplicated, so set operations
+/// (union for `V_{a∪b}`, intersection for transaction-correlation
+/// baselines) are linear merges.
+#[derive(Debug, Clone, Default)]
+pub struct EventStore {
+    names: Vec<String>,
+    occurrences: Vec<Vec<NodeId>>,
+}
+
+impl EventStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an event with its occurrence nodes (deduplicated and
+    /// sorted internally). Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event with the same name already exists.
+    pub fn add_event(&mut self, name: impl Into<String>, nodes: Vec<NodeId>) -> EventId {
+        let name = name.into();
+        assert!(
+            self.id_by_name(&name).is_none(),
+            "duplicate event name {name:?}"
+        );
+        let mut nodes = nodes;
+        nodes.sort_unstable();
+        nodes.dedup();
+        let id = EventId(self.names.len() as u32);
+        self.names.push(name);
+        self.occurrences.push(nodes);
+        id
+    }
+
+    /// Number of registered events.
+    #[inline]
+    pub fn num_events(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The sorted occurrence node set `V_a`.
+    #[inline]
+    pub fn nodes(&self, id: EventId) -> &[NodeId] {
+        &self.occurrences[id.0 as usize]
+    }
+
+    /// Number of occurrences `|V_a|`.
+    #[inline]
+    pub fn size(&self, id: EventId) -> usize {
+        self.nodes(id).len()
+    }
+
+    /// Event name.
+    #[inline]
+    pub fn name(&self, id: EventId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Look an event up by name.
+    pub fn id_by_name(&self, name: &str) -> Option<EventId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| EventId(i as u32))
+    }
+
+    /// Iterate `(id, name, nodes)` over all events.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &str, &[NodeId])> {
+        self.names
+            .iter()
+            .zip(&self.occurrences)
+            .enumerate()
+            .map(|(i, (n, o))| (EventId(i as u32), n.as_str(), o.as_slice()))
+    }
+
+    /// Sorted union `V_a ∪ V_b` — the paper's `V_{a∪b}` (all event nodes).
+    pub fn union(&self, a: EventId, b: EventId) -> Vec<NodeId> {
+        merge_union(self.nodes(a), self.nodes(b))
+    }
+
+    /// Sorted intersection `V_a ∩ V_b` (nodes carrying both events).
+    pub fn intersection(&self, a: EventId, b: EventId) -> Vec<NodeId> {
+        let (mut i, mut j) = (0, 0);
+        let (xa, xb) = (self.nodes(a), self.nodes(b));
+        let mut out = Vec::new();
+        while i < xa.len() && j < xb.len() {
+            match xa[i].cmp(&xb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(xa[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Merge two sorted deduplicated node lists into their sorted union.
+pub fn merge_union(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Dense bitset over node ids for O(1) membership during BFS sweeps.
+///
+/// The density computation (Eq. 2) tests every node of every reference
+/// vicinity for event membership; a sorted-`Vec` binary search would add
+/// a `log |V_a|` factor to the innermost loop, so we spend `|V|/8` bytes
+/// instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMask {
+    bits: Vec<u64>,
+    num_nodes: usize,
+    count: usize,
+}
+
+impl NodeMask {
+    /// All-empty mask over `num_nodes` ids.
+    pub fn new(num_nodes: usize) -> Self {
+        NodeMask {
+            bits: vec![0; num_nodes.div_ceil(64)],
+            num_nodes,
+            count: 0,
+        }
+    }
+
+    /// Mask with the given members set.
+    pub fn from_nodes(num_nodes: usize, nodes: &[NodeId]) -> Self {
+        let mut m = Self::new(num_nodes);
+        for &v in nodes {
+            m.insert(v);
+        }
+        m
+    }
+
+    /// Number of ids the mask covers.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of set members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Is the mask empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        debug_assert!((v as usize) < self.num_nodes);
+        self.bits[v as usize / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Insert `v`; returns whether it was newly inserted.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        assert!((v as usize) < self.num_nodes, "node {v} out of mask range");
+        let slot = &mut self.bits[v as usize / 64];
+        let bit = 1u64 << (v % 64);
+        if *slot & bit == 0 {
+            *slot |= bit;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `v`; returns whether it was present.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        assert!((v as usize) < self.num_nodes, "node {v} out of mask range");
+        let slot = &mut self.bits[v as usize / 64];
+        let bit = 1u64 << (v % 64);
+        if *slot & bit != 0 {
+            *slot &= !bit;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Collect the members in ascending order.
+    pub fn to_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.count);
+        for (w, &word) in self.bits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((w * 64) as NodeId + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_sorts_and_dedups() {
+        let mut s = EventStore::new();
+        let a = s.add_event("a", vec![5, 1, 3, 1, 5]);
+        assert_eq!(s.nodes(a), &[1, 3, 5]);
+        assert_eq!(s.size(a), 3);
+        assert_eq!(s.name(a), "a");
+    }
+
+    #[test]
+    fn store_lookup_by_name() {
+        let mut s = EventStore::new();
+        let a = s.add_event("wireless", vec![1]);
+        let b = s.add_event("sensor", vec![2]);
+        assert_eq!(s.id_by_name("wireless"), Some(a));
+        assert_eq!(s.id_by_name("sensor"), Some(b));
+        assert_eq!(s.id_by_name("nope"), None);
+        assert_eq!(s.num_events(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate event name")]
+    fn duplicate_names_rejected() {
+        let mut s = EventStore::new();
+        s.add_event("x", vec![]);
+        s.add_event("x", vec![1]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut s = EventStore::new();
+        let a = s.add_event("a", vec![1, 3, 5, 7]);
+        let b = s.add_event("b", vec![2, 3, 6, 7, 9]);
+        assert_eq!(s.union(a, b), vec![1, 2, 3, 5, 6, 7, 9]);
+        assert_eq!(s.intersection(a, b), vec![3, 7]);
+    }
+
+    #[test]
+    fn union_disjoint_and_identical() {
+        assert_eq!(merge_union(&[1, 2], &[3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(merge_union(&[1, 2], &[1, 2]), vec![1, 2]);
+        assert_eq!(merge_union(&[], &[5]), vec![5]);
+        assert_eq!(merge_union(&[], &[]), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut s = EventStore::new();
+        s.add_event("a", vec![1]);
+        s.add_event("b", vec![2]);
+        let collected: Vec<_> = s.iter().map(|(_, n, o)| (n.to_string(), o.to_vec())).collect();
+        assert_eq!(
+            collected,
+            vec![("a".into(), vec![1u32]), ("b".into(), vec![2u32])]
+        );
+    }
+
+    #[test]
+    fn mask_basics() {
+        let mut m = NodeMask::new(130);
+        assert!(m.is_empty());
+        assert!(m.insert(0));
+        assert!(m.insert(64));
+        assert!(m.insert(129));
+        assert!(!m.insert(64), "double insert reports false");
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(0) && m.contains(64) && m.contains(129));
+        assert!(!m.contains(1) && !m.contains(128));
+        assert!(m.remove(64));
+        assert!(!m.remove(64));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.to_nodes(), vec![0, 129]);
+    }
+
+    #[test]
+    fn mask_from_nodes_round_trips() {
+        let nodes = vec![3, 17, 63, 64, 65, 99];
+        let m = NodeMask::from_nodes(100, &nodes);
+        assert_eq!(m.to_nodes(), nodes);
+        assert_eq!(m.len(), nodes.len());
+    }
+
+    #[test]
+    fn mask_from_nodes_with_duplicates() {
+        let m = NodeMask::from_nodes(10, &[1, 1, 2, 2, 2]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of mask range")]
+    fn mask_out_of_range_insert_panics() {
+        let mut m = NodeMask::new(10);
+        m.insert(10);
+    }
+}

@@ -1,0 +1,348 @@
+//! BFS toolkit: single-source `h`-hop BFS and the paper's Batch BFS.
+//!
+//! Every TESC operation is BFS-shaped: event densities (Eq. 2) need an
+//! `h`-hop BFS per reference node, and Batch BFS (Algorithm 1) retrieves
+//! `V^h_{a∪b}` with a single multi-source sweep. Because a test run
+//! performs thousands of these searches, the scratch state (visited
+//! marks + frontier buffers) lives in a reusable [`BfsScratch`] with
+//! **epoch-stamped** visited marks: instead of clearing an `O(|V|)`
+//! bitmap per search, a search is "new" simply because its epoch is.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Reusable BFS scratch space for one graph size.
+///
+/// Create once per thread, reuse for every search. Searches over graphs
+/// with more nodes than the scratch was created for will panic.
+#[derive(Debug, Clone)]
+pub struct BfsScratch {
+    /// `stamp[v] == epoch` ⇔ `v` visited in the current search.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Flat BFS queue (level boundaries tracked by the driver loop).
+    queue: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    /// Scratch for graphs of up to `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        BfsScratch {
+            stamp: vec![0; num_nodes],
+            epoch: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Begin a new search: bump the epoch, handling wrap-around.
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn mark(&mut self, v: NodeId) -> bool {
+        let s = &mut self.stamp[v as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+
+    /// Level-synchronous BFS from `sources` out to `h` hops, invoking
+    /// `visit(node, depth)` for every reached node exactly once
+    /// (sources at depth 0). Duplicate sources are visited once.
+    ///
+    /// With a single source this is the `h`-hop BFS of Sec. 2; with all
+    /// event nodes as sources it is **Batch BFS** (Algorithm 1), whose
+    /// correctness the paper argues via a virtual node connected to all
+    /// sources: worst case `O(|V| + |E|)` regardless of `|sources|`.
+    ///
+    /// Returns the number of nodes visited.
+    pub fn visit_h_vicinity(
+        &mut self,
+        g: &CsrGraph,
+        sources: &[NodeId],
+        h: u32,
+        mut visit: impl FnMut(NodeId, u32),
+    ) -> usize {
+        assert!(
+            self.stamp.len() >= g.num_nodes(),
+            "BfsScratch sized for {} nodes, graph has {}",
+            self.stamp.len(),
+            g.num_nodes()
+        );
+        self.begin();
+        for &s in sources {
+            debug_assert!((s as usize) < g.num_nodes(), "source {s} out of range");
+            if self.mark(s) {
+                self.queue.push(s);
+                visit(s, 0);
+            }
+        }
+        let mut visited = self.queue.len();
+        let mut level_start = 0usize;
+        let mut depth = 0u32;
+        while depth < h {
+            let level_end = self.queue.len();
+            if level_start == level_end {
+                break;
+            }
+            depth += 1;
+            for qi in level_start..level_end {
+                let u = self.queue[qi];
+                let (lo, hi) = {
+                    // Split borrows: neighbors() borrows g, not self.
+                    (0, g.neighbors(u).len())
+                };
+                for ni in lo..hi {
+                    let v = g.neighbors(u)[ni];
+                    if self.mark(v) {
+                        self.queue.push(v);
+                        visit(v, depth);
+                        visited += 1;
+                    }
+                }
+            }
+            level_start = level_end;
+        }
+        visited
+    }
+
+    /// Collect the node set of the `h`-vicinity of `sources` into `out`
+    /// (cleared first). This is Algorithm 1's output `V_out` when
+    /// `sources = V_{a∪b}`.
+    pub fn h_vicinity_into(
+        &mut self,
+        g: &CsrGraph,
+        sources: &[NodeId],
+        h: u32,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        self.visit_h_vicinity(g, sources, h, |v, _| out.push(v));
+    }
+
+    /// Allocating convenience wrapper over [`Self::h_vicinity_into`].
+    pub fn h_vicinity(&mut self, g: &CsrGraph, source: NodeId, h: u32) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.h_vicinity_into(g, &[source], h, &mut out);
+        out
+    }
+
+    /// `|V^h_v|` — the node count of `v`'s `h`-vicinity (including `v`).
+    pub fn vicinity_size(&mut self, g: &CsrGraph, v: NodeId, h: u32) -> usize {
+        self.visit_h_vicinity(g, &[v], h, |_, _| {})
+    }
+
+    /// One-pass density numerator/denominator for Eq. 2: returns
+    /// `(|pred-matching nodes in V^h_r|, |V^h_r|)`.
+    pub fn count_matching(
+        &mut self,
+        g: &CsrGraph,
+        r: NodeId,
+        h: u32,
+        mut pred: impl FnMut(NodeId) -> bool,
+    ) -> (usize, usize) {
+        let mut matching = 0usize;
+        let total = self.visit_h_vicinity(g, &[r], h, |v, _| {
+            if pred(v) {
+                matching += 1;
+            }
+        });
+        (matching, total)
+    }
+
+    /// Does the `h`-vicinity of `v` contain any node satisfying `pred`?
+    /// Used by Whole-graph sampling (Alg. 3) to test reference-node
+    /// eligibility; short-circuits are not possible with a level-
+    /// synchronous sweep, so this simply scans (worst case = one BFS).
+    pub fn vicinity_contains(
+        &mut self,
+        g: &CsrGraph,
+        v: NodeId,
+        h: u32,
+        mut pred: impl FnMut(NodeId) -> bool,
+    ) -> bool {
+        let mut found = false;
+        self.visit_h_vicinity(g, &[v], h, |u, _| {
+            if !found && pred(u) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+
+    /// Path 0-1-2-3-4-5.
+    fn path6() -> CsrGraph {
+        from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn single_source_h_limits_depth() {
+        let g = path6();
+        let mut s = BfsScratch::new(g.num_nodes());
+        let mut v1 = s.h_vicinity(&g, 0, 1);
+        v1.sort_unstable();
+        assert_eq!(v1, vec![0, 1]);
+        let mut v3 = s.h_vicinity(&g, 0, 3);
+        v3.sort_unstable();
+        assert_eq!(v3, vec![0, 1, 2, 3]);
+        let mut vall = s.h_vicinity(&g, 0, 10);
+        vall.sort_unstable();
+        assert_eq!(vall, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn h_zero_returns_only_sources() {
+        let g = path6();
+        let mut s = BfsScratch::new(g.num_nodes());
+        assert_eq!(s.h_vicinity(&g, 2, 0), vec![2]);
+    }
+
+    #[test]
+    fn depths_are_shortest_distances() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3; distance(0,3) = 2 via two routes.
+        let g = from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut s = BfsScratch::new(4);
+        let mut depths = vec![u32::MAX; 4];
+        s.visit_h_vicinity(&g, &[0], 5, |v, d| depths[v as usize] = d);
+        assert_eq!(depths, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn batch_bfs_equals_union_of_single_source() {
+        let g = from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (3, 4),
+            ],
+        );
+        let sources = [0u32, 6];
+        let mut s = BfsScratch::new(9);
+        for h in 0..4 {
+            let mut batch = Vec::new();
+            s.h_vicinity_into(&g, &sources, h, &mut batch);
+            batch.sort_unstable();
+            let mut union: Vec<NodeId> = sources
+                .iter()
+                .flat_map(|&src| s.h_vicinity(&g, src, h))
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            assert_eq!(batch, union, "h={h}");
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_visited_once() {
+        let g = path6();
+        let mut s = BfsScratch::new(6);
+        let mut count = 0;
+        s.visit_h_vicinity(&g, &[3, 3, 3], 0, |_, _| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn each_node_visited_exactly_once() {
+        let g = from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (1, 3)]);
+        let mut s = BfsScratch::new(5);
+        let mut seen = vec![0u32; 5];
+        s.visit_h_vicinity(&g, &[0], 10, |v, _| seen[v as usize] += 1);
+        assert_eq!(seen, vec![1; 5]);
+    }
+
+    #[test]
+    fn scratch_reuse_isolated_between_searches() {
+        let g = path6();
+        let mut s = BfsScratch::new(6);
+        let a = s.vicinity_size(&g, 0, 1);
+        let b = s.vicinity_size(&g, 5, 1);
+        let c = s.vicinity_size(&g, 0, 1);
+        assert_eq!(a, 2);
+        assert_eq!(b, 2);
+        assert_eq!(a, c, "reuse must not leak visited marks");
+    }
+
+    #[test]
+    fn vicinity_size_counts_self() {
+        let g = path6();
+        let mut s = BfsScratch::new(6);
+        assert_eq!(s.vicinity_size(&g, 2, 0), 1);
+        assert_eq!(s.vicinity_size(&g, 2, 1), 3);
+        assert_eq!(s.vicinity_size(&g, 2, 2), 5);
+    }
+
+    #[test]
+    fn count_matching_density_pieces() {
+        let g = path6();
+        let mut s = BfsScratch::new(6);
+        // "Event" on odd nodes.
+        let (m, t) = s.count_matching(&g, 2, 2, |v| v % 2 == 1);
+        // V^2_2 = {0,1,2,3,4}; odd members = {1,3}.
+        assert_eq!((m, t), (2, 5));
+    }
+
+    #[test]
+    fn vicinity_contains_respects_h() {
+        let g = path6();
+        let mut s = BfsScratch::new(6);
+        assert!(!s.vicinity_contains(&g, 0, 2, |v| v == 4));
+        assert!(s.vicinity_contains(&g, 0, 4, |v| v == 4));
+    }
+
+    #[test]
+    fn disconnected_components_not_reached() {
+        let g = from_edges(5, &[(0, 1), (2, 3)]);
+        let mut s = BfsScratch::new(5);
+        let mut v = s.h_vicinity(&g, 0, 9);
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1]);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_cleanly() {
+        let g = path6();
+        let mut s = BfsScratch::new(6);
+        // Force the epoch to the brink, then verify searches still work.
+        s.epoch = u32::MAX - 1;
+        assert_eq!(s.vicinity_size(&g, 0, 1), 2); // epoch -> MAX... begin bumps to MAX
+        assert_eq!(s.vicinity_size(&g, 0, 1), 2); // wraps: stamps cleared
+        assert_eq!(s.vicinity_size(&g, 5, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "BfsScratch sized for")]
+    fn undersized_scratch_panics() {
+        let g = path6();
+        let mut s = BfsScratch::new(3);
+        let _ = s.vicinity_size(&g, 0, 1);
+    }
+
+    #[test]
+    fn visited_count_matches_collected() {
+        let g = from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6)]);
+        let mut s = BfsScratch::new(7);
+        let mut collected = Vec::new();
+        let n = s.visit_h_vicinity(&g, &[0], 2, |v, _| collected.push(v));
+        assert_eq!(n, collected.len());
+    }
+}

@@ -1,0 +1,345 @@
+//! Compact immutable CSR graph and its mutable builder.
+//!
+//! Design notes (following the paper's cost model, Sec. 4.4):
+//!
+//! * Node ids are `u32` — the paper's largest graph (Twitter, 20M nodes)
+//!   fits comfortably, and halving the id width halves the adjacency
+//!   footprint, which is what BFS-bound workloads are limited by.
+//! * Adjacency is a single `Box<[u32]>` indexed by a `Box<[u64]>` offset
+//!   array (`|V|+1` entries). Neighbor lists are sorted, enabling
+//!   `O(log d)` edge queries.
+//! * The graph is undirected and simple: every edge is stored in both
+//!   endpoints' lists; self-loops and parallel edges are rejected or
+//!   deduplicated at build time.
+
+/// Node identifier (dense, `0..n`).
+pub type NodeId = u32;
+
+/// An immutable undirected simple graph in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `v`'s neighbor slice.
+    offsets: Box<[u64]>,
+    /// Concatenated, per-node-sorted adjacency.
+    neighbors: Box<[NodeId]>,
+}
+
+impl CsrGraph {
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Does the undirected edge `{u, v}` exist? `O(log deg)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Probe the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of degrees (`2|E|`), useful for average-degree reporting.
+    #[inline]
+    pub fn degree_sum(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.degree_sum() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Rebuild a [`GraphBuilder`] seeded with this graph's edges — the
+    /// escape hatch for mutation (used by [`crate::perturb`]).
+    pub fn to_builder(&self) -> GraphBuilder {
+        let mut b = GraphBuilder::new(self.num_nodes());
+        for (u, v) in self.edges() {
+            b.add_edge(u, v);
+        }
+        b
+    }
+}
+
+/// Mutable edge-list accumulator that [`GraphBuilder::build`]s into a
+/// [`CsrGraph`].
+///
+/// Self-loops are rejected eagerly (panic — they are always a bug in
+/// this codebase); parallel edges are deduplicated at build time.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// Normalized `(min, max)` pairs; may contain duplicates until build.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph over `num_nodes` nodes (ids `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes <= u32::MAX as usize,
+            "node ids are u32; {num_nodes} nodes do not fit"
+        );
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builder with preallocated edge capacity.
+    pub fn with_capacity(num_nodes: usize, edge_capacity: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.edges.reserve(edge_capacity);
+        b
+    }
+
+    /// Number of nodes this builder was created for.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added so far (before deduplication).
+    #[inline]
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add the undirected edge `{u, v}`. Duplicates are allowed and
+    /// removed at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert_ne!(u, v, "self-loop at node {u}");
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((u.min(v), u.max(v)));
+    }
+
+    /// Add every edge from an iterator.
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Check whether `{u, v}` has been added (linear scan — intended for
+    /// tests and small builders; large-scale generators use their own
+    /// membership structures).
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = (u.min(v), u.max(v));
+        self.edges.contains(&key)
+    }
+
+    /// Finalize into a CSR graph: sort, dedup, count, fill.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.num_nodes;
+        let mut degrees = vec![0u64; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+
+        let total = offsets[n] as usize;
+        let mut neighbors = vec![0 as NodeId; total];
+        // `cursor[v]` = next write slot in v's range.
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were emitted in sorted (u, v) order, so each node's
+        // lower-id neighbors arrive sorted, but the mix of "as source"
+        // and "as target" writes can interleave out of order; sort each
+        // range to establish the invariant.
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            neighbors[lo..hi].sort_unstable();
+        }
+
+        CsrGraph {
+            offsets: offsets.into_boxed_slice(),
+            neighbors: neighbors.into_boxed_slice(),
+        }
+    }
+}
+
+/// Build a graph directly from an edge list (test/example convenience).
+pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(num_nodes, edges.len());
+    b.extend_edges(edges.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1, 1-2, 2-0 triangle; 2-3-4 tail.
+        from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.degree_sum(), 10);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        for (u, v) in g.edges() {
+            assert!(g.neighbors(u).contains(&v));
+            assert!(g.neighbors(v).contains(&u));
+        }
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "node {v} not sorted/dedup");
+        }
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(0, 4));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once_ordered() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn isolated_nodes_supported() {
+        let g = from_edges(4, &[(0, 1)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(3), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let g = triangle_plus_tail();
+        let g2 = g.to_builder().build();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn builder_contains_edge_is_order_insensitive() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1);
+        assert!(b.contains_edge(1, 2));
+        assert!(b.contains_edge(2, 1));
+        assert!(!b.contains_edge(0, 1));
+    }
+}

@@ -1,0 +1,447 @@
+//! Random and deterministic graph generators.
+//!
+//! The paper evaluates on real graphs (DBLP, Intrusion, Twitter) that
+//! are not redistributable; these generators produce synthetic stand-ins
+//! with the structural properties the evaluation actually exercises:
+//! small-world diameter, heavy-tailed degrees (Barabási–Albert),
+//! community structure (planted partition), and tunable density
+//! (Erdős–Rényi). Deterministic toys (path, cycle, star, grid, complete)
+//! serve the unit tests.
+//!
+//! All generators take a caller-supplied RNG so every experiment in the
+//! repository is reproducible from a seed.
+
+use crate::csr::{CsrGraph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Pack an undirected edge into a dedup key.
+#[inline]
+fn edge_key(u: NodeId, v: NodeId) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair independently an edge with
+/// probability `p`.
+///
+/// Uses geometric gap-sampling per row, so the cost is
+/// `O(n + expected edges)` rather than `O(n²)` — necessary for the
+/// multi-million-node Twitter-like scalability graphs.
+pub fn erdos_renyi_gnp(n: usize, p: f64, rng: &mut impl Rng) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    let log1p = (1.0 - p).ln();
+    for u in 0..(n - 1) as NodeId {
+        // Skip-sample columns in (u, n): gap ~ Geometric(p).
+        let mut v = u as i64; // "cursor" position; next candidate is v + gap + 1
+        loop {
+            let r: f64 = rng.gen_range(0.0..1.0f64);
+            // log(1-r) is ≤ 0; gap ≥ 0.
+            let gap = ((1.0 - r).ln() / log1p).floor() as i64;
+            v += gap + 1;
+            if v >= n as i64 {
+                break;
+            }
+            b.add_edge(u, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges chosen uniformly.
+pub fn erdos_renyi_gnm(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "cannot place {m} edges in a simple graph on {n} nodes (max {max_edges})"
+    );
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut seen = HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        if seen.insert(edge_key(u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: start from a small seed
+/// clique, attach each new node to `m` existing nodes chosen
+/// proportionally to degree (via the standard repeated-endpoint trick).
+///
+/// Produces the heavy-tailed degree distribution and `O(log n)` diameter
+/// of social graphs — the paper's Twitter stand-in.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
+    assert!(m >= 1, "attachment count m must be ≥ 1");
+    assert!(n > m, "need more nodes ({n}) than attachment count ({m})");
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // Endpoint multiset: each edge contributes both endpoints, so
+    // sampling uniformly from it is degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+
+    // Seed: a clique on m+1 nodes (guarantees every early node has
+    // degree ≥ m and the endpoint pool is nonempty).
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+    for new in (m + 1)..n {
+        let new = new as NodeId;
+        targets.clear();
+        // Degree-proportional sampling without replacement.
+        while targets.len() < m {
+            let &t = endpoints
+                .choose(rng)
+                .expect("endpoint pool is nonempty after seeding");
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(new, t);
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: ring lattice with `k` neighbors per
+/// node (k even), each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even, got {k}");
+    assert!(k >= 2 && n > k, "need n > k ≥ 2 (n={n}, k={k})");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut seen = HashSet::with_capacity(n * k);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            let key = edge_key(u as NodeId, v as NodeId);
+            if seen.insert(key) {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    // Rewire: replace (u, v) with (u, w) for uniform random w.
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for edge in edges.iter_mut() {
+        let (u, v) = *edge;
+        if rng.gen_range(0.0..1.0f64) < beta {
+            // Try a few times to find a fresh endpoint; fall back to the
+            // original edge in pathological (dense) cases.
+            let mut rewired = false;
+            for _ in 0..32 {
+                let w = rng.gen_range(0..n as NodeId);
+                if w == u {
+                    continue;
+                }
+                let key = edge_key(u, w);
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.remove(&edge_key(u, v));
+                seen.insert(key);
+                *edge = (u, w);
+                rewired = true;
+                break;
+            }
+            let _ = rewired;
+        }
+    }
+    for &(u, v) in &edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Planted-partition graph: `communities` blocks of `block_size` nodes
+/// each; within-block pairs are edges with probability `p_in`,
+/// cross-block pairs with probability `p_out`.
+///
+/// Returns the graph and the community label of every node. Node ids
+/// are contiguous per block (block `c` owns
+/// `c*block_size .. (c+1)*block_size`).
+pub fn planted_partition(
+    communities: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut impl Rng,
+) -> (CsrGraph, Vec<u32>) {
+    assert!(communities >= 1 && block_size >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = communities * block_size;
+    let mut b = GraphBuilder::new(n);
+    let labels: Vec<u32> = (0..n).map(|v| (v / block_size) as u32).collect();
+
+    let mut sample_range = |b: &mut GraphBuilder, u: NodeId, lo: usize, hi: usize, p: f64| {
+        // Skip-sample targets in [lo, hi) with probability p each.
+        if p <= 0.0 || lo >= hi {
+            return;
+        }
+        if p >= 1.0 {
+            for v in lo..hi {
+                b.add_edge(u, v as NodeId);
+            }
+            return;
+        }
+        let log1p = (1.0 - p).ln();
+        let mut v = lo as i64 - 1;
+        loop {
+            let r: f64 = rng.gen_range(0.0..1.0f64);
+            let gap = ((1.0 - r).ln() / log1p).floor() as i64;
+            v += gap + 1;
+            if v >= hi as i64 {
+                break;
+            }
+            b.add_edge(u, v as NodeId);
+        }
+    };
+
+    for u in 0..n {
+        let block = u / block_size;
+        let block_end = (block + 1) * block_size;
+        // Within-block, only targets above u (avoid double counting).
+        sample_range(&mut b, u as NodeId, u + 1, block_end.min(n), p_in);
+        // Cross-block: everything from block_end up.
+        sample_range(&mut b, u as NodeId, block_end, n, p_out);
+    }
+    (b.build(), labels)
+}
+
+/// Path graph `0 — 1 — … — n−1`.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n ≥ 3` nodes.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n as NodeId - 1, 0);
+    b.build()
+}
+
+/// Star graph: node 0 is the hub, `1..n` are leaves.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 2, "a star needs at least 2 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// `w × h` grid graph (4-neighborhood); node `(x, y)` has id `x*h + y`.
+pub fn grid(w: usize, h: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(w * h);
+    let id = |x: usize, y: usize| (x * h + y) as NodeId;
+    for x in 0..w {
+        for y in 0..h {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 2000;
+        let p = 0.005;
+        let g = erdos_renyi_gnp(n, p, &mut rng(7));
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        // 5-sigma band for a binomial with this variance.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "edges {got} vs expected {expected} (σ={sigma:.1})"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(50, 0.0, &mut rng(1)).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, &mut rng(1)).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, &mut rng(3));
+        assert_eq!(g.num_edges(), 250);
+        assert_eq!(g.num_nodes(), 100);
+    }
+
+    #[test]
+    fn gnm_full_graph() {
+        let g = erdos_renyi_gnm(6, 15, &mut rng(3));
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn gnm_too_many_edges_panics() {
+        let _ = erdos_renyi_gnm(4, 7, &mut rng(0));
+    }
+
+    #[test]
+    fn ba_degree_and_connectivity() {
+        let g = barabasi_albert(500, 3, &mut rng(11));
+        assert_eq!(g.num_nodes(), 500);
+        assert!(is_connected(&g), "BA graphs are connected by construction");
+        // Every non-seed node attaches with exactly m edges, so degree ≥ m... for
+        // new nodes; seed nodes have degree ≥ m from the clique.
+        for v in g.nodes() {
+            assert!(g.degree(v) >= 3, "node {v} degree {}", g.degree(v));
+        }
+        // Heavy tail: max degree far above average.
+        assert!(g.max_degree() as f64 > 3.0 * g.average_degree());
+    }
+
+    #[test]
+    fn ba_edge_count_formula() {
+        let (n, m) = (200, 2);
+        let g = barabasi_albert(n, m, &mut rng(5));
+        // Seed clique has m(m+1)/2 edges; each later node adds exactly m.
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn ws_degree_regular_before_rewiring() {
+        let g = watts_strogatz(60, 6, 0.0, &mut rng(2));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 6);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_edge_count() {
+        let g0 = watts_strogatz(100, 4, 0.0, &mut rng(4));
+        let g1 = watts_strogatz(100, 4, 0.3, &mut rng(4));
+        assert_eq!(g0.num_edges(), g1.num_edges());
+    }
+
+    #[test]
+    fn planted_partition_density_contrast() {
+        let (g, labels) = planted_partition(4, 100, 0.2, 0.002, &mut rng(9));
+        assert_eq!(g.num_nodes(), 400);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[399], 3);
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        // Expected within ≈ 4 * C(100,2) * 0.2 = 3960; across ≈ C(400,2)*... cross
+        // pairs = 400*300/2 = 60000 * 0.002 = 120.
+        assert!(within > 3000, "within-block edges {within}");
+        assert!(across < 400, "cross-block edges {across}");
+        assert!(within > 10 * across);
+    }
+
+    #[test]
+    fn deterministic_toys() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(star(5).degree(0), 4);
+        assert_eq!(complete(5).num_edges(), 10);
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // vertical + horizontal
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn generators_are_seed_reproducible() {
+        let a = barabasi_albert(300, 2, &mut rng(42));
+        let b = barabasi_albert(300, 2, &mut rng(42));
+        assert_eq!(a, b);
+        let c = erdos_renyi_gnp(300, 0.01, &mut rng(42));
+        let d = erdos_renyi_gnp(300, 0.01, &mut rng(42));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn generated_graphs_are_simple() {
+        // No self loops (builder would panic) and no parallel edges
+        // (CSR neighbor lists strictly increasing).
+        for g in [
+            erdos_renyi_gnp(200, 0.05, &mut rng(1)),
+            erdos_renyi_gnm(200, 500, &mut rng(2)),
+            barabasi_albert(200, 4, &mut rng(3)),
+            watts_strogatz(200, 6, 0.2, &mut rng(4)),
+            planted_partition(4, 50, 0.3, 0.01, &mut rng(5)).0,
+        ] {
+            for v in g.nodes() {
+                let ns = g.neighbors(v);
+                assert!(ns.windows(2).all(|w| w[0] < w[1]));
+                assert!(!ns.contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first line `num_nodes num_edges`, then one `u v` pair per
+//! line. Lines starting with `#` are comments. This is the interchange
+//! format the examples use to persist generated scenario graphs.
+
+use crate::csr::{CsrGraph, GraphBuilder, NodeId};
+use std::io::{self, BufRead, Write};
+
+/// Write `g` in edge-list format.
+pub fn write_edge_list(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "{} {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not in the expected format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "I/O error: {e}"),
+            ReadError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read a graph in edge-list format.
+pub fn read_edge_list(r: &mut impl BufRead) -> Result<CsrGraph, ReadError> {
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    // Header (skipping comments/blank lines).
+    let (num_nodes, num_edges) = loop {
+        line.clear();
+        lineno += 1;
+        if r.read_line(&mut line)? == 0 {
+            return Err(ReadError::Parse {
+                line: lineno,
+                message: "missing header".into(),
+            });
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parse = |s: Option<&str>, what: &str, lineno: usize| {
+            s.ok_or_else(|| ReadError::Parse {
+                line: lineno,
+                message: format!("header missing {what}"),
+            })
+            .and_then(|s| {
+                s.parse::<usize>().map_err(|e| ReadError::Parse {
+                    line: lineno,
+                    message: format!("bad {what}: {e}"),
+                })
+            })
+        };
+        let n = parse(parts.next(), "node count", lineno)?;
+        let m = parse(parts.next(), "edge count", lineno)?;
+        break (n, m);
+    };
+
+    let mut b = GraphBuilder::with_capacity(num_nodes, num_edges);
+    let mut seen_edges = 0usize;
+    while seen_edges < num_edges {
+        line.clear();
+        lineno += 1;
+        if r.read_line(&mut line)? == 0 {
+            return Err(ReadError::Parse {
+                line: lineno,
+                message: format!("expected {num_edges} edges, found {seen_edges}"),
+            });
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let mut endpoint = |what: &str| -> Result<NodeId, ReadError> {
+            parts
+                .next()
+                .ok_or_else(|| ReadError::Parse {
+                    line: lineno,
+                    message: format!("edge missing {what}"),
+                })?
+                .parse::<NodeId>()
+                .map_err(|e| ReadError::Parse {
+                    line: lineno,
+                    message: format!("bad {what}: {e}"),
+                })
+        };
+        let u = endpoint("source")?;
+        let v = endpoint("target")?;
+        if u == v || (u as usize) >= num_nodes || (v as usize) >= num_nodes {
+            return Err(ReadError::Parse {
+                line: lineno,
+                message: format!("invalid edge ({u}, {v}) for {num_nodes} nodes"),
+            });
+        }
+        b.add_edge(u, v);
+        seen_edges += 1;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a graph\n\n3 2\n# edges\n0 1\n\n1 2\n";
+        let g = read_edge_list(&mut Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let text = "3 2\n0 1\n";
+        let err = read_edge_list(&mut Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, ReadError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn self_loop_is_an_error() {
+        let text = "3 1\n1 1\n";
+        let err = read_edge_list(&mut Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("invalid edge"));
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let text = "3 1\n0 7\n";
+        assert!(read_edge_list(&mut Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let text = "# nothing\n";
+        assert!(read_edge_list(&mut Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = from_edges(0, &[]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Graph substrate for the TESC reproduction.
+//!
+//! The paper (*Measuring Two-Event Structural Correlations on Graphs*,
+//! VLDB 2012) works on large undirected, unweighted graphs stored as
+//! adjacency lists (Sec. 4.4: "The major space cost is O(|E|), for
+//! storing the graph as adjacency lists"). This crate provides that
+//! substrate, built from scratch:
+//!
+//! * [`csr`] — a compact immutable CSR (compressed sparse row) graph
+//!   plus a mutable [`csr::GraphBuilder`].
+//! * [`bfs`] — the BFS toolkit: single-source `h`-hop BFS and the
+//!   multi-source **Batch BFS** of Algorithm 1, with reusable,
+//!   epoch-stamped scratch space so repeated searches allocate nothing.
+//! * [`vicinity`] — the offline `|V^h_v|` index of Sec. 4.2 used by
+//!   rejection/importance sampling, with incremental maintenance.
+//! * [`generators`] — random-graph generators (Erdős–Rényi,
+//!   Barabási–Albert, Watts–Strogatz, planted partition) standing in
+//!   for the paper's real datasets, plus deterministic toy graphs.
+//! * [`perturb`] — random edge addition/removal (the Fig. 8 experiment).
+//! * [`dist`] — bounded shortest-path helpers used by the event
+//!   simulator and tests.
+//! * [`io`] — plain-text edge-list serialization for the examples.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bfs;
+pub mod csr;
+pub mod dist;
+pub mod generators;
+pub mod io;
+pub mod perturb;
+pub mod vicinity;
+
+pub use bfs::BfsScratch;
+pub use csr::{CsrGraph, GraphBuilder, NodeId};
+pub use vicinity::VicinityIndex;

@@ -1,0 +1,188 @@
+//! Random edge perturbation — the graph-density experiment of Fig. 8.
+//!
+//! The paper alters the DBLP graph "by randomly adding/removing edges"
+//! and re-runs the correlation tests: removing edges stretches
+//! distances (breaking positive correlations), adding edges shrinks
+//! them (breaking negative correlations).
+
+use crate::csr::{CsrGraph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Remove `count` uniformly random edges. Returns the new graph and the
+/// removed edges.
+///
+/// # Panics
+///
+/// Panics if `count > |E|`.
+pub fn remove_random_edges(
+    g: &CsrGraph,
+    count: usize,
+    rng: &mut impl Rng,
+) -> (CsrGraph, Vec<(NodeId, NodeId)>) {
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    assert!(
+        count <= edges.len(),
+        "cannot remove {count} of {} edges",
+        edges.len()
+    );
+    // Partial Fisher–Yates: shuffle only the prefix we need.
+    for i in 0..count {
+        let j = rng.gen_range(i..edges.len());
+        edges.swap(i, j);
+    }
+    let removed: Vec<(NodeId, NodeId)> = edges[..count].to_vec();
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), edges.len() - count);
+    b.extend_edges(edges[count..].iter().copied());
+    (b.build(), removed)
+}
+
+/// Add `count` uniformly random *new* edges (no duplicates, no
+/// self-loops). Returns the new graph and the added edges.
+///
+/// # Panics
+///
+/// Panics if the simple graph cannot hold `count` more edges.
+pub fn add_random_edges(
+    g: &CsrGraph,
+    count: usize,
+    rng: &mut impl Rng,
+) -> (CsrGraph, Vec<(NodeId, NodeId)>) {
+    let n = g.num_nodes();
+    let max_edges = n * n.saturating_sub(1) / 2;
+    assert!(
+        g.num_edges() + count <= max_edges,
+        "cannot add {count} edges: graph has {} of {max_edges} possible",
+        g.num_edges()
+    );
+    let mut added = Vec::with_capacity(count);
+    let mut fresh: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(count * 2);
+    while added.len() < count {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if g.has_edge(u, v) || !fresh.insert(key) {
+            continue;
+        }
+        added.push(key);
+    }
+    let mut b = g.to_builder();
+    b.extend_edges(added.iter().copied());
+    (b.build(), added)
+}
+
+/// Uniformly sample `count` node ids without replacement.
+pub fn sample_nodes(g: &CsrGraph, count: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert!(count <= n, "cannot sample {count} of {n} nodes");
+    if count * 3 >= n {
+        // Dense case: shuffle the full id range.
+        let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+        ids.shuffle(rng);
+        ids.truncate(count);
+        ids
+    } else {
+        // Sparse case: rejection into a set.
+        let mut seen = HashSet::with_capacity(count * 2);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let v = rng.gen_range(0..n as NodeId);
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::generators::{complete, erdos_renyi_gnm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn remove_reduces_count_and_edges_are_gone() {
+        let g = erdos_renyi_gnm(200, 800, &mut rng(1));
+        let (g2, removed) = remove_random_edges(&g, 100, &mut rng(2));
+        assert_eq!(g2.num_edges(), 700);
+        assert_eq!(removed.len(), 100);
+        for &(u, v) in &removed {
+            assert!(g.has_edge(u, v), "removed edge must have existed");
+            assert!(!g2.has_edge(u, v), "removed edge must be gone");
+        }
+    }
+
+    #[test]
+    fn remove_all_edges() {
+        let g = complete(6);
+        let (g2, _) = remove_random_edges(&g, 15, &mut rng(3));
+        assert_eq!(g2.num_edges(), 0);
+        assert_eq!(g2.num_nodes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn remove_too_many_panics() {
+        let g = from_edges(3, &[(0, 1)]);
+        let _ = remove_random_edges(&g, 2, &mut rng(0));
+    }
+
+    #[test]
+    fn add_increases_count_with_fresh_edges() {
+        let g = erdos_renyi_gnm(200, 300, &mut rng(4));
+        let (g2, added) = add_random_edges(&g, 150, &mut rng(5));
+        assert_eq!(g2.num_edges(), 450);
+        assert_eq!(added.len(), 150);
+        for &(u, v) in &added {
+            assert!(!g.has_edge(u, v), "added edge must be new");
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn add_preserves_existing_edges() {
+        let g = from_edges(5, &[(0, 1), (2, 3)]);
+        let (g2, _) = add_random_edges(&g, 3, &mut rng(6));
+        assert!(g2.has_edge(0, 1));
+        assert!(g2.has_edge(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add")]
+    fn add_beyond_complete_panics() {
+        let g = complete(4);
+        let _ = add_random_edges(&g, 1, &mut rng(0));
+    }
+
+    #[test]
+    fn sample_nodes_distinct_and_in_range() {
+        let g = erdos_renyi_gnm(50, 100, &mut rng(7));
+        for count in [0, 1, 10, 49, 50] {
+            let s = sample_nodes(&g, count, &mut rng(8));
+            assert_eq!(s.len(), count);
+            let set: HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), count, "samples must be distinct");
+            assert!(s.iter().all(|&v| (v as usize) < 50));
+        }
+    }
+
+    #[test]
+    fn perturbation_is_seed_reproducible() {
+        let g = erdos_renyi_gnm(100, 300, &mut rng(9));
+        let (a, ra) = remove_random_edges(&g, 50, &mut rng(10));
+        let (b, rb) = remove_random_edges(&g, 50, &mut rng(10));
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+}

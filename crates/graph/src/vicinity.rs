@@ -1,0 +1,331 @@
+//! The offline `|V^h_v|` vicinity-size index of Sec. 4.2.
+//!
+//! Rejection and importance sampling both need `|V^h_v|` for every event
+//! node `v` and every vicinity level `h ≤ h_m`. The paper precomputes
+//! these "offline by doing a h_m-hop BFS from each node in the graph",
+//! noting the space cost is only `O(|V|)` per level and that the index
+//! "can be efficiently updated as the graph changes". [`VicinityIndex`]
+//! implements exactly that, including the incremental update.
+
+use crate::bfs::BfsScratch;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Per-level vicinity node-set sizes for every node of a graph:
+/// `sizes(h)[v] = |V^h_v|` (which always includes `v` itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VicinityIndex {
+    max_level: u32,
+    /// `levels[h-1][v]` = |V^h_v| ; `|V^0_v|` = 1 is implicit.
+    levels: Vec<Vec<u32>>,
+}
+
+impl VicinityIndex {
+    /// Build the index for levels `1..=max_level` with a single-threaded
+    /// sweep (one `max_level`-hop BFS per node).
+    pub fn build(g: &CsrGraph, max_level: u32) -> Self {
+        assert!(max_level >= 1, "max_level must be at least 1");
+        let n = g.num_nodes();
+        let mut levels = vec![vec![0u32; n]; max_level as usize];
+        let mut scratch = BfsScratch::new(n);
+        let mut counts = vec![0u32; max_level as usize + 1];
+        for v in 0..n as NodeId {
+            Self::fill_node(g, &mut scratch, v, max_level, &mut counts, &mut levels);
+        }
+        VicinityIndex { max_level, levels }
+    }
+
+    /// Build the index with `threads` worker threads (scoped std
+    /// threads; node ranges are partitioned statically).
+    pub fn build_parallel(g: &CsrGraph, max_level: u32, threads: usize) -> Self {
+        assert!(max_level >= 1, "max_level must be at least 1");
+        let threads = threads.max(1);
+        let n = g.num_nodes();
+        if threads == 1 || n < 1024 {
+            return Self::build(g, max_level);
+        }
+        let mut levels = vec![vec![0u32; n]; max_level as usize];
+        {
+            // Split each level vector into per-thread chunks. To keep the
+            // borrow checker happy we transpose the work: each thread owns
+            // a contiguous node range across all levels, communicated via
+            // raw chunk splitting of the level slices.
+            let chunk = n.div_ceil(threads);
+            let mut level_chunks: Vec<Vec<&mut [u32]>> = Vec::with_capacity(threads);
+            let mut rest: Vec<&mut [u32]> = levels.iter_mut().map(|l| l.as_mut_slice()).collect();
+            for _ in 0..threads {
+                let mut mine = Vec::with_capacity(max_level as usize);
+                let mut remaining = Vec::with_capacity(max_level as usize);
+                for slice in rest {
+                    let split = chunk.min(slice.len());
+                    let (a, b) = slice.split_at_mut(split);
+                    mine.push(a);
+                    remaining.push(b);
+                }
+                rest = remaining;
+                level_chunks.push(mine);
+            }
+            std::thread::scope(|scope| {
+                for (t, mine) in level_chunks.into_iter().enumerate() {
+                    let start = (t * chunk).min(n) as NodeId;
+                    scope.spawn(move || {
+                        let mut scratch = BfsScratch::new(g.num_nodes());
+                        let mut counts = vec![0u32; max_level as usize + 1];
+                        let len = mine.first().map_or(0, |s| s.len());
+                        let mut mine = mine;
+                        #[allow(clippy::needless_range_loop)] // indexes several parallel level slices
+                        for i in 0..len {
+                            let v = start + i as NodeId;
+                            counts.fill(0);
+                            scratch.visit_h_vicinity(g, &[v], max_level, |_, d| {
+                                counts[d as usize] += 1;
+                            });
+                            let mut cum = counts[0];
+                            for h in 1..=max_level as usize {
+                                cum += counts[h];
+                                mine[h - 1][i] = cum;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        VicinityIndex { max_level, levels }
+    }
+
+    /// Build the index *only for the given nodes* (sizes of all other
+    /// nodes read as 0 — do not query them).
+    ///
+    /// Rejection/importance sampling only ever need `|V^h_v|` for the
+    /// current event nodes `V_{a∪b}` (the weight table of Sec. 4.2), so
+    /// a single-pair workload can skip the full offline sweep. The
+    /// full [`VicinityIndex::build`] is the right choice when many
+    /// event pairs share one graph.
+    pub fn build_for_nodes(g: &CsrGraph, nodes: &[NodeId], max_level: u32) -> Self {
+        assert!(max_level >= 1, "max_level must be at least 1");
+        let n = g.num_nodes();
+        let mut levels = vec![vec![0u32; n]; max_level as usize];
+        let mut scratch = BfsScratch::new(n);
+        let mut counts = vec![0u32; max_level as usize + 1];
+        for &v in nodes {
+            Self::fill_node(g, &mut scratch, v, max_level, &mut counts, &mut levels);
+        }
+        VicinityIndex { max_level, levels }
+    }
+
+    fn fill_node(
+        g: &CsrGraph,
+        scratch: &mut BfsScratch,
+        v: NodeId,
+        max_level: u32,
+        counts: &mut [u32],
+        levels: &mut [Vec<u32>],
+    ) {
+        counts.fill(0);
+        scratch.visit_h_vicinity(g, &[v], max_level, |_, d| {
+            counts[d as usize] += 1;
+        });
+        let mut cum = counts[0];
+        for h in 1..=max_level as usize {
+            cum += counts[h];
+            levels[h - 1][v as usize] = cum;
+        }
+    }
+
+    /// Highest level this index stores.
+    #[inline]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// `|V^h_v|`. `h = 0` returns 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h > max_level()`.
+    #[inline]
+    pub fn size(&self, v: NodeId, h: u32) -> usize {
+        if h == 0 {
+            return 1;
+        }
+        assert!(
+            h <= self.max_level,
+            "index built for h ≤ {}, asked for {h}",
+            self.max_level
+        );
+        self.levels[h as usize - 1][v as usize] as usize
+    }
+
+    /// `N_sum = Σ_{v ∈ nodes} |V^h_v|` — the normalizer of
+    /// RejectSamp/Importance sampling (Sec. 4.2).
+    pub fn sum_over(&self, nodes: &[NodeId], h: u32) -> u64 {
+        nodes.iter().map(|&v| self.size(v, h) as u64).sum()
+    }
+
+    /// Incrementally refresh after the graph changed near `touched`
+    /// nodes (typically the endpoints of added/removed edges).
+    ///
+    /// Any node whose `h`-vicinity could have changed lies within
+    /// `max_level` hops of a touched node in the old *or* new graph, so
+    /// we recompute exactly that dirty set against `g_new`. Pass the
+    /// pre-change graph as `g_old` when edges were removed (the dirty
+    /// region must be discovered through the now-deleted edges too).
+    pub fn refresh(
+        &mut self,
+        g_new: &CsrGraph,
+        g_old: Option<&CsrGraph>,
+        touched: &[NodeId],
+    ) {
+        assert_eq!(
+            self.levels[0].len(),
+            g_new.num_nodes(),
+            "refresh cannot change the node count"
+        );
+        let n = g_new.num_nodes();
+        let mut scratch = BfsScratch::new(n);
+        let mut dirty = Vec::new();
+        scratch.visit_h_vicinity(g_new, touched, self.max_level, |v, _| dirty.push(v));
+        if let Some(old) = g_old {
+            let mut dirty_old = Vec::new();
+            scratch.visit_h_vicinity(old, touched, self.max_level, |v, _| dirty_old.push(v));
+            dirty.extend(dirty_old);
+            dirty.sort_unstable();
+            dirty.dedup();
+        }
+        let mut counts = vec![0u32; self.max_level as usize + 1];
+        for &v in &dirty {
+            Self::fill_node(
+                g_new,
+                &mut scratch,
+                v,
+                self.max_level,
+                &mut counts,
+                &mut self.levels,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+
+    fn path5() -> CsrGraph {
+        from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn sizes_match_direct_bfs() {
+        let g = path5();
+        let idx = VicinityIndex::build(&g, 3);
+        let mut s = BfsScratch::new(5);
+        for v in 0..5u32 {
+            for h in 1..=3 {
+                assert_eq!(
+                    idx.size(v, h),
+                    s.vicinity_size(&g, v, h),
+                    "v={v} h={h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_zero_is_one() {
+        let g = path5();
+        let idx = VicinityIndex::build(&g, 1);
+        assert_eq!(idx.size(3, 0), 1);
+    }
+
+    #[test]
+    fn sizes_monotone_in_h() {
+        let g = from_edges(7, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6)]);
+        let idx = VicinityIndex::build(&g, 3);
+        for v in 0..7u32 {
+            for h in 1..3 {
+                assert!(idx.size(v, h) <= idx.size(v, h + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn sum_over_matches_manual() {
+        let g = path5();
+        let idx = VicinityIndex::build(&g, 2);
+        // |V^2_v| on a path of 5: node 0 → {0,1,2}=3; 1 → 4; 2 → 5; 3 → 4; 4 → 3.
+        assert_eq!(idx.sum_over(&[0, 2, 4], 2), 3 + 5 + 3);
+        assert_eq!(idx.sum_over(&[], 2), 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Grid-ish graph with enough nodes to trigger the parallel path.
+        let mut edges = Vec::new();
+        let side = 40u32; // 1600 nodes > 1024 threshold
+        let id = |x: u32, y: u32| x * side + y;
+        for x in 0..side {
+            for y in 0..side {
+                if x + 1 < side {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < side {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        let g = from_edges((side * side) as usize, &edges);
+        let seq = VicinityIndex::build(&g, 2);
+        let par = VicinityIndex::build_parallel(&g, 2, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn refresh_after_adding_edge() {
+        let g_old = path5();
+        let mut idx = VicinityIndex::build(&g_old, 3);
+        // Add chord 0-4, turning the path into a cycle.
+        let g_new = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        idx.refresh(&g_new, Some(&g_old), &[0, 4]);
+        assert_eq!(idx, VicinityIndex::build(&g_new, 3));
+    }
+
+    #[test]
+    fn refresh_after_removing_edge() {
+        let g_old = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let mut idx = VicinityIndex::build(&g_old, 3);
+        let g_new = path5();
+        idx.refresh(&g_new, Some(&g_old), &[0, 4]);
+        assert_eq!(idx, VicinityIndex::build(&g_new, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "asked for")]
+    fn asking_beyond_max_level_panics() {
+        let g = path5();
+        let idx = VicinityIndex::build(&g, 2);
+        let _ = idx.size(0, 3);
+    }
+
+    #[test]
+    fn build_for_nodes_matches_full_build_on_those_nodes() {
+        let g = from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 6)]);
+        let full = VicinityIndex::build(&g, 2);
+        let targets = [1u32, 4, 6];
+        let sparse = VicinityIndex::build_for_nodes(&g, &targets, 2);
+        for &v in &targets {
+            for h in 1..=2 {
+                assert_eq!(sparse.size(v, h), full.size(v, h), "v={v} h={h}");
+            }
+        }
+        // Unqueried nodes read 0 (documented sentinel).
+        assert_eq!(sparse.size(0, 1), 0);
+    }
+
+    #[test]
+    fn isolated_node_size_is_one() {
+        let g = from_edges(3, &[(0, 1)]);
+        let idx = VicinityIndex::build(&g, 2);
+        assert_eq!(idx.size(2, 1), 1);
+        assert_eq!(idx.size(2, 2), 1);
+    }
+}

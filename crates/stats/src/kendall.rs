@@ -1,0 +1,592 @@
+//! Kendall's τ rank correlation and its null-hypothesis significance.
+//!
+//! This is the statistical heart of the TESC test (Sec. 3 of the paper):
+//!
+//! * [`pair_counts_exact`] enumerates all `n(n−1)/2` pairs — the direct
+//!   transcription of Eq. 1 + Eq. 4 — in `O(n²)`.
+//! * [`pair_counts_merge`] is Knight's `O(n log n)` algorithm, which
+//!   computes the same counts by sorting and inversion counting.
+//! * [`var_s_no_ties`] / [`var_s_tie_corrected`] implement Eq. 5 and the
+//!   tie-corrected Eq. 6 for the variance of the numerator
+//!   `S = Σ_{i<j} c(r_i, r_j)` under the null hypothesis.
+//! * [`kendall_tau`] bundles everything into a [`KendallSummary`]
+//!   carrying τ, S, the variance and the z-score of Eq. 7.
+//! * [`weighted_tau`] is the importance-sampling estimator `t̃` of
+//!   Eq. 8, used by the Importance sampler (Alg. 2).
+
+use crate::rank::{cmp_f64, nontrivial_tie_group_sizes};
+
+/// Pairwise concordance counts for two paired samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairCounts {
+    /// Number of strictly concordant pairs (`c(r_i, r_j) = 1`).
+    pub concordant: u64,
+    /// Number of strictly discordant pairs (`c(r_i, r_j) = −1`).
+    pub discordant: u64,
+    /// Pairs tied in `x` but not in `y`.
+    pub tied_x_only: u64,
+    /// Pairs tied in `y` but not in `x`.
+    pub tied_y_only: u64,
+    /// Pairs tied in both `x` and `y`.
+    pub tied_both: u64,
+}
+
+impl PairCounts {
+    /// The Kendall numerator `S = concordant − discordant`
+    /// (`Σ_{i<j} c(r_i, r_j)` in the paper's notation).
+    #[inline]
+    pub fn s(&self) -> i64 {
+        self.concordant as i64 - self.discordant as i64
+    }
+
+    /// Total number of pairs `n(n−1)/2`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.concordant + self.discordant + self.tied_x_only + self.tied_y_only + self.tied_both
+    }
+
+    /// τ_a: `S / (n(n−1)/2)` — Eq. 3/4 of the paper (ties in the
+    /// denominator are *not* removed; see the discussion after Eq. 6:
+    /// the alternative normalization makes no difference to the z-score).
+    #[inline]
+    pub fn tau_a(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.s() as f64 / total as f64
+        }
+    }
+
+    /// τ_b: `S / sqrt((n0 − n1)(n0 − n2))`, the tie-adjusted variant used
+    /// for the Transaction Correlation baseline (Tables 1–4 use
+    /// "Kendall's τ_b \[1\] to estimate the Transaction Correlation").
+    pub fn tau_b(&self) -> f64 {
+        let n0 = self.total() as f64;
+        let n1 = (self.tied_x_only + self.tied_both) as f64;
+        let n2 = (self.tied_y_only + self.tied_both) as f64;
+        let denom = ((n0 - n1) * (n0 - n2)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.s() as f64 / denom
+        }
+    }
+}
+
+/// Exact `O(n²)` pair enumeration (reference implementation).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn pair_counts_exact(x: &[f64], y: &[f64]) -> PairCounts {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let mut c = PairCounts::default();
+    for i in 0..x.len() {
+        for j in (i + 1)..x.len() {
+            let dx = cmp_f64(x[i], x[j]);
+            let dy = cmp_f64(y[i], y[j]);
+            use core::cmp::Ordering::Equal;
+            match (dx, dy) {
+                (Equal, Equal) => c.tied_both += 1,
+                (Equal, _) => c.tied_x_only += 1,
+                (_, Equal) => c.tied_y_only += 1,
+                (a, b) if a == b => c.concordant += 1,
+                _ => c.discordant += 1,
+            }
+        }
+    }
+    c
+}
+
+/// Knight's `O(n log n)` algorithm.
+///
+/// Sorts by `(x, y)`, counts tie pairs in `x`, in `y`, and jointly, then
+/// counts discordant pairs as strict inversions of `y` via merge sort.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn pair_counts_merge(x: &[f64], y: &[f64]) -> PairCounts {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let n = x.len();
+    let n0 = (n as u64) * (n as u64).saturating_sub(1) / 2;
+    if n < 2 {
+        return PairCounts::default();
+    }
+
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_by(|&a, &b| {
+        cmp_f64(x[a as usize], x[b as usize]).then(cmp_f64(y[a as usize], y[b as usize]))
+    });
+
+    // Tie pairs in x, and joint ties (x and y both equal).
+    let mut tied_x_pairs = 0u64;
+    let mut tied_both = 0u64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && x[idx[j] as usize] == x[idx[i] as usize] {
+                j += 1;
+            }
+            let run = (j - i) as u64;
+            tied_x_pairs += run * (run - 1) / 2;
+            // Within an x-tie run the order is sorted by y; count joint ties.
+            let mut k = i;
+            while k < j {
+                let mut m = k + 1;
+                while m < j && y[idx[m] as usize] == y[idx[k] as usize] {
+                    m += 1;
+                }
+                let jrun = (m - k) as u64;
+                tied_both += jrun * (jrun - 1) / 2;
+                k = m;
+            }
+            i = j;
+        }
+    }
+
+    // Tie pairs in y (independent of x).
+    let tied_y_pairs = crate::rank::tied_pair_count(y);
+
+    // Discordant pairs = strict inversions of y in the (x, y)-sorted order.
+    // Pairs tied in x are already sorted by y (no inversion); pairs tied
+    // in y are not strict inversions. So the inversion count is exactly
+    // the number of pairs with x strictly ordered and y strictly reversed.
+    let mut ys: Vec<f64> = idx.iter().map(|&i| y[i as usize]).collect();
+    let mut buf = vec![0.0f64; n];
+    let discordant = count_strict_inversions(&mut ys, &mut buf);
+
+    let tied_x_only = tied_x_pairs - tied_both;
+    let tied_y_only = tied_y_pairs - tied_both;
+    let concordant = n0 - tied_x_pairs - tied_y_only - discordant;
+    PairCounts {
+        concordant,
+        discordant,
+        tied_x_only,
+        tied_y_only,
+        tied_both,
+    }
+}
+
+/// Merge sort counting pairs `(i < j)` with `v[i] > v[j]` strictly.
+fn count_strict_inversions(v: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = v.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = v.split_at_mut(mid);
+    let mut inv = count_strict_inversions(left, buf) + count_strict_inversions(right, buf);
+    // Merge, counting how many elements of `left` remain (strictly
+    // greater) when each element of `right` is emitted.
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buf[k] = left[i];
+            i += 1;
+        } else {
+            // left[i] > right[j]: every remaining left element inverts with right[j].
+            inv += (left.len() - i) as u64;
+            buf[k] = right[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buf[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buf[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    v.copy_from_slice(&buf[..n]);
+    inv
+}
+
+/// Null-hypothesis variance of τ itself with no ties — Eq. 5:
+/// `σ² = 2(2n+5) / (9 n (n−1))`.
+#[inline]
+pub fn var_tau_no_ties(n: usize) -> f64 {
+    assert!(n >= 2, "variance needs at least 2 observations");
+    let nf = n as f64;
+    2.0 * (2.0 * nf + 5.0) / (9.0 * nf * (nf - 1.0))
+}
+
+/// Null-hypothesis variance of the numerator `S` with no ties:
+/// Eq. 5 multiplied by `[n(n−1)/2]²`, i.e. `n(n−1)(2n+5)/18`.
+#[inline]
+pub fn var_s_no_ties(n: usize) -> f64 {
+    assert!(n >= 2, "variance needs at least 2 observations");
+    let nf = n as f64;
+    nf * (nf - 1.0) * (2.0 * nf + 5.0) / 18.0
+}
+
+/// Tie-corrected null-hypothesis variance of `S` — Eq. 6 of the paper
+/// (Kendall & Gibbons, ch. 5).
+///
+/// `u` and `v` are the tie-group sizes (≥ 2; singletons may be included,
+/// they contribute nothing) of the two density vectors.
+pub fn var_s_tie_corrected(n: usize, u: &[usize], v: &[usize]) -> f64 {
+    assert!(n >= 3, "tie-corrected variance needs n ≥ 3 (Eq. 6 divides by n−2)");
+    let nf = n as f64;
+    let term = |sizes: &[usize], f: fn(f64) -> f64| -> f64 {
+        sizes.iter().map(|&s| f(s as f64)).sum()
+    };
+    let a_u = term(u, |s| s * (s - 1.0) * (2.0 * s + 5.0));
+    let a_v = term(v, |s| s * (s - 1.0) * (2.0 * s + 5.0));
+    let b_u = term(u, |s| s * (s - 1.0) * (s - 2.0));
+    let b_v = term(v, |s| s * (s - 1.0) * (s - 2.0));
+    let c_u = term(u, |s| s * (s - 1.0));
+    let c_v = term(v, |s| s * (s - 1.0));
+
+    (nf * (nf - 1.0) * (2.0 * nf + 5.0) - a_u - a_v) / 18.0
+        + b_u * b_v / (9.0 * nf * (nf - 1.0) * (nf - 2.0))
+        + c_u * c_v / (2.0 * nf * (nf - 1.0))
+}
+
+/// Which algorithm to use for pair counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KendallMethod {
+    /// Exact `O(n²)` enumeration — what the paper times in Fig. 10(b).
+    Exact,
+    /// Knight's `O(n log n)` merge-sort algorithm (identical output).
+    #[default]
+    MergeSort,
+}
+
+/// Full summary of a Kendall correlation test between two paired samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KendallSummary {
+    /// Sample size `n`.
+    pub n: usize,
+    /// Pair counts.
+    pub counts: PairCounts,
+    /// τ_a (Eq. 4 with the plain `n(n−1)/2` normalizer).
+    pub tau: f64,
+    /// τ_b (tie-adjusted normalizer), reported for reference.
+    pub tau_b: f64,
+    /// Null-hypothesis variance of the numerator `S` (Eq. 6, which
+    /// reduces to Eq. 5 × `[n(n−1)/2]²` when no ties exist).
+    pub var_s: f64,
+    /// The z-score of Eq. 7: `S / sqrt(Var(S))`.
+    pub z: f64,
+}
+
+impl KendallSummary {
+    /// One-tailed p-value for positive correlation (`P(Z ≥ z)`).
+    pub fn p_positive(&self) -> f64 {
+        crate::normal::StdNormal::p_upper(self.z)
+    }
+
+    /// One-tailed p-value for negative correlation (`P(Z ≤ z)`).
+    pub fn p_negative(&self) -> f64 {
+        crate::normal::StdNormal::p_lower(self.z)
+    }
+
+    /// Two-sided p-value (`P(|Z| ≥ |z|)`).
+    pub fn p_two_sided(&self) -> f64 {
+        crate::normal::StdNormal::p_two_sided(self.z)
+    }
+}
+
+/// Compute the Kendall correlation test between paired samples `x`, `y`.
+///
+/// This is Eq. 4–7 of the paper in one call: τ over all pairs, the
+/// tie-corrected variance of the numerator, and the z-score. Ties are
+/// detected from the data; when none exist the variance is exactly
+/// Eq. 5 scaled to the numerator.
+///
+/// # Panics
+///
+/// Panics if the samples differ in length or have fewer than 3 elements
+/// (Eq. 6 requires `n ≥ 3`; the paper recommends `n > 30` for a good
+/// normal approximation).
+pub fn kendall_tau(x: &[f64], y: &[f64], method: KendallMethod) -> KendallSummary {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    assert!(x.len() >= 3, "kendall_tau needs n ≥ 3, got {}", x.len());
+    let counts = match method {
+        KendallMethod::Exact => pair_counts_exact(x, y),
+        KendallMethod::MergeSort => pair_counts_merge(x, y),
+    };
+    let n = x.len();
+    let u = nontrivial_tie_group_sizes(x);
+    let v = nontrivial_tie_group_sizes(y);
+    let var_s = var_s_tie_corrected(n, &u, &v);
+    let s = counts.s() as f64;
+    let z = if var_s > 0.0 { s / var_s.sqrt() } else { 0.0 };
+    KendallSummary {
+        n,
+        counts,
+        tau: counts.tau_a(),
+        tau_b: counts.tau_b(),
+        var_s,
+        z,
+    }
+}
+
+/// The importance-sampling estimator `t̃(a, b)` of Eq. 8.
+///
+/// `x`, `y` are the density values at the *distinct* sampled reference
+/// nodes; `omega[i] = w_i / p(r_i)` is each node's weight (multiplicity
+/// over inclusion probability). Because the pair weight factorizes as
+/// `ω_i ω_j`, the estimator is
+///
+/// ```text
+/// t̃ = Σ_{i<j} c(i,j) ω_i ω_j  /  Σ_{i<j} ω_i ω_j .
+/// ```
+///
+/// Returns 0 when the denominator vanishes (all weights zero or n < 2).
+pub fn weighted_tau(x: &[f64], y: &[f64], omega: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    assert_eq!(x.len(), omega.len(), "weights must match sample length");
+    let n = x.len();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = omega[i] * omega[j];
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            let prod = dx * dy;
+            if prod > 0.0 {
+                num += w;
+            } else if prod < 0.0 {
+                num -= w;
+            }
+            den += w;
+        }
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(x: &[f64], y: &[f64]) -> KendallSummary {
+        kendall_tau(x, y, KendallMethod::Exact)
+    }
+
+    #[test]
+    fn perfect_agreement_gives_tau_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = summary(&x, &x);
+        assert_eq!(s.tau, 1.0);
+        assert_eq!(s.counts.concordant, 10);
+        assert_eq!(s.counts.discordant, 0);
+        assert!(s.z > 0.0);
+    }
+
+    #[test]
+    fn perfect_reversal_gives_tau_minus_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let s = summary(&x, &y);
+        assert_eq!(s.tau, -1.0);
+        assert!(s.z < 0.0);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // Classic example: x = 1..4, y = (1, 3, 2, 4):
+        // pairs: 6 total, discordant only (3,2) → S = 5 - 1 = 4, tau = 2/3.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 3.0, 2.0, 4.0];
+        let s = summary(&x, &y);
+        assert_eq!(s.counts.s(), 4);
+        assert!((s.tau - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_tied_x_gives_zero_tau_and_zero_z() {
+        let x = [1.0; 5];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = summary(&x, &y);
+        assert_eq!(s.tau, 0.0);
+        assert_eq!(s.z, 0.0, "variance collapses to 0 when one side is one big tie");
+    }
+
+    #[test]
+    fn eq6_reduces_to_eq5_without_ties() {
+        for n in [3usize, 5, 10, 30, 101] {
+            let no_ties = var_s_no_ties(n);
+            let corrected = var_s_tie_corrected(n, &[], &[]);
+            assert!(
+                (no_ties - corrected).abs() < 1e-9,
+                "n={n}: {no_ties} vs {corrected}"
+            );
+            // And singleton groups are genuinely neutral:
+            let with_singletons = var_s_tie_corrected(n, &vec![1; n], &vec![1; n]);
+            assert!((no_ties - with_singletons).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn var_tau_and_var_s_consistent() {
+        for n in [5usize, 20, 900] {
+            let half = (n * (n - 1) / 2) as f64;
+            assert!((var_s_no_ties(n) / (half * half) - var_tau_no_ties(n)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn ties_always_shrink_variance() {
+        // "more (larger) ties always lead to smaller σ_c²" (Sec. 3.1).
+        let n = 50;
+        let base = var_s_tie_corrected(n, &[], &[]);
+        let small_tie = var_s_tie_corrected(n, &[2], &[]);
+        let big_tie = var_s_tie_corrected(n, &[10], &[]);
+        let both_sides = var_s_tie_corrected(n, &[10], &[10]);
+        assert!(small_tie < base);
+        assert!(big_tie < small_tie);
+        assert!(both_sides < big_tie);
+    }
+
+    #[test]
+    fn z_score_uses_tie_corrected_variance() {
+        // Construct data with a big tie in y; z must be computed against
+        // the Eq. 6 variance, which differs from Eq. 5.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [1.0, 1.0, 1.0, 2.0, 3.0, 4.0];
+        let s = summary(&x, &y);
+        let var_naive = var_s_no_ties(6);
+        assert!(s.var_s < var_naive);
+        assert!((s.z - s.counts.s() as f64 / s.var_s.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sort_matches_exact_on_fixed_cases() {
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]),
+            (&[1.0, 2.0, 2.0, 3.0], &[1.0, 1.0, 2.0, 2.0]),
+            (&[1.0, 1.0, 1.0, 1.0], &[4.0, 3.0, 2.0, 1.0]),
+            (
+                &[0.1, 0.9, 0.4, 0.4, 0.7, 0.2, 0.9],
+                &[0.5, 0.5, 0.5, 0.1, 0.2, 0.2, 0.9],
+            ),
+        ];
+        for (x, y) in cases {
+            assert_eq!(pair_counts_exact(x, y), pair_counts_merge(x, y));
+        }
+    }
+
+    #[test]
+    fn merge_sort_matches_exact_randomized() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let n = 2 + (next() % 64) as usize;
+            // Coarse quantization to force plenty of ties.
+            let x: Vec<f64> = (0..n).map(|_| (next() % 7) as f64).collect();
+            let y: Vec<f64> = (0..n).map(|_| (next() % 5) as f64).collect();
+            assert_eq!(
+                pair_counts_exact(&x, &y),
+                pair_counts_merge(&x, &y),
+                "trial {trial} n={n} x={x:?} y={y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_counts_total_is_n_choose_2() {
+        let x = [0.0, 1.0, 1.0, 2.0, 5.0, 5.0, 5.0];
+        let c = pair_counts_exact(&x, &x);
+        assert_eq!(c.total(), 21);
+    }
+
+    #[test]
+    fn tau_b_handles_ties_like_textbook() {
+        // Agresti-style example: x has one tie pair, y has one tie pair.
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        let c = pair_counts_exact(&x, &y);
+        // pairs: (12):tx, (13):C, (14):C, (23):ty, (24):C, (34):C → S=4
+        assert_eq!(c.s(), 4);
+        let n0: f64 = 6.0;
+        let expect = 4.0 / ((n0 - 1.0) * (n0 - 1.0)).sqrt();
+        assert!((c.tau_b() - expect).abs() < 1e-12);
+        // τ_b ≥ τ_a in magnitude when ties exist.
+        assert!(c.tau_b() >= c.tau_a());
+    }
+
+    #[test]
+    fn weighted_tau_with_unit_weights_equals_tau_a_when_no_ties() {
+        let x = [0.3, 0.1, 0.9, 0.5, 0.7];
+        let y = [0.2, 0.4, 0.8, 0.6, 0.1];
+        let w = [1.0; 5];
+        let t = weighted_tau(&x, &y, &w);
+        let s = summary(&x, &y);
+        assert!((t - s.tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_tau_upweights_pairs() {
+        // One concordant pair with huge weight dominates the many
+        // discordant unit-weight pairs.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 1.0, 4.0, 3.0]; // pairs mixed
+        let flat = weighted_tau(&x, &y, &[1.0; 4]);
+        let skew = weighted_tau(&x, &y, &[1.0, 1.0, 100.0, 100.0]);
+        // Pair (3,4) is concordant (3<4, 4>3? dx=-1, dy=1 → discordant).
+        // Compute expectation directly instead of hand-waving:
+        let exact = pair_counts_exact(&x, &y);
+        assert_eq!(exact.total(), 6);
+        // The test's point: weighting changes the estimate.
+        assert_ne!(flat, skew);
+        assert!((-1.0..=1.0).contains(&skew));
+    }
+
+    #[test]
+    fn weighted_tau_zero_weights_returns_zero() {
+        assert_eq!(weighted_tau(&[1.0, 2.0], &[1.0, 2.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn weighted_tau_is_scale_invariant_in_weights() {
+        let x = [0.3, 0.1, 0.9, 0.5];
+        let y = [0.2, 0.4, 0.8, 0.6];
+        let w1 = [1.0, 2.0, 3.0, 4.0];
+        let w2 = [10.0, 20.0, 30.0, 40.0];
+        assert!((weighted_tau(&x, &y, &w1) - weighted_tau(&x, &y, &w2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = kendall_tau(&[1.0, 2.0, 3.0], &[1.0, 2.0], KendallMethod::Exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 3")]
+    fn too_small_sample_panics() {
+        let _ = kendall_tau(&[1.0, 2.0], &[1.0, 2.0], KendallMethod::Exact);
+    }
+
+    #[test]
+    fn null_z_is_moderate_for_independent_ranks() {
+        // A fixed "random-looking" permutation should yield |z| < 3.
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let y = [
+            17.0, 3.0, 29.0, 11.0, 38.0, 0.0, 24.0, 8.0, 33.0, 15.0, 1.0, 27.0, 19.0, 36.0, 5.0,
+            22.0, 13.0, 31.0, 9.0, 39.0, 2.0, 25.0, 16.0, 34.0, 7.0, 20.0, 12.0, 30.0, 4.0, 37.0,
+            23.0, 14.0, 32.0, 6.0, 26.0, 18.0, 35.0, 10.0, 28.0, 21.0,
+        ];
+        let s = summary(&x, &y);
+        assert!(s.z.abs() < 3.0, "z = {}", s.z);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistics substrate for the TESC reproduction.
+//!
+//! This crate implements the statistical machinery of
+//! *Measuring Two-Event Structural Correlations on Graphs*
+//! (Guan, Yan, Kaplan; VLDB 2012):
+//!
+//! * [`kendall`] — Kendall's τ rank correlation (Eq. 3/4 of the paper),
+//!   in both the exact `O(n²)` pair-enumeration form and Knight's
+//!   `O(n log n)` merge-sort form, together with the tie-corrected
+//!   null-hypothesis variance (Eq. 6) and the z-score (Eq. 7).
+//! * [`normal`] — the standard normal distribution: pdf, cdf, survival
+//!   function and quantile, used to convert z-scores into p-values.
+//! * [`rank`] — ranking utilities (average ranks, tie-group extraction)
+//!   shared by the τ implementations and the τ_b transaction-correlation
+//!   baseline.
+//! * [`significance`] — hypothesis-test plumbing: tails, significance
+//!   levels, and the [`significance::TestOutcome`] produced by a test.
+//! * [`descriptive`] — small online descriptive-statistics helpers
+//!   (Welford mean/variance) used by the experiment harness.
+//!
+//! The crate is dependency-free (std only) so that the statistical core
+//! can be audited in isolation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod descriptive;
+pub mod kendall;
+pub mod normal;
+pub mod rank;
+pub mod significance;
+pub mod spearman;
+
+pub use kendall::{kendall_tau, KendallMethod, KendallSummary};
+pub use spearman::{spearman_rho, SpearmanSummary};
+pub use normal::StdNormal;
+pub use significance::{SignificanceLevel, Tail, TestOutcome};

@@ -1,0 +1,395 @@
+#![allow(clippy::excessive_precision)] // full-precision Cody/Acklam constants are intentional
+//! The standard normal distribution.
+//!
+//! The TESC test converts the Kendall statistic into a z-score (Eq. 7 of
+//! the paper) and assesses significance against the standard normal,
+//! exploiting τ's asymptotic normality under the null hypothesis.
+//! This module provides the pdf, cdf, survival function and quantile
+//! needed for that conversion, implemented from scratch (no external
+//! special-function crates are available offline).
+
+/// The standard normal distribution `N(0, 1)`.
+///
+/// All methods are associated functions on this zero-sized type so call
+/// sites read as `StdNormal::cdf(z)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StdNormal;
+
+/// `1 / sqrt(2π)`.
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+/// `sqrt(2)`.
+const SQRT_2: f64 = core::f64::consts::SQRT_2;
+
+impl StdNormal {
+    /// Probability density function `φ(x)`.
+    #[inline]
+    pub fn pdf(x: f64) -> f64 {
+        INV_SQRT_2PI * (-0.5 * x * x).exp()
+    }
+
+    /// Cumulative distribution function `Φ(x) = P(Z ≤ x)`.
+    ///
+    /// Accurate to roughly `1e-15` relative error in the central region
+    /// and `1e-12` absolute error in the tails, via [`erfc`].
+    #[inline]
+    pub fn cdf(x: f64) -> f64 {
+        0.5 * erfc(-x / SQRT_2)
+    }
+
+    /// Survival function `P(Z > x) = 1 − Φ(x)`.
+    ///
+    /// Computed directly from `erfc` so it stays accurate for large
+    /// positive `x` where `1 − cdf(x)` would catastrophically cancel.
+    #[inline]
+    pub fn sf(x: f64) -> f64 {
+        0.5 * erfc(x / SQRT_2)
+    }
+
+    /// Quantile function (inverse cdf): returns `x` with `Φ(x) = p`.
+    ///
+    /// Uses Acklam's rational approximation refined with one Halley step,
+    /// giving ~`1e-15` relative accuracy over `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)` (0 and 1 map to ±∞, which the
+    /// caller almost always does not want; be explicit instead).
+    pub fn quantile(p: f64) -> f64 {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "StdNormal::quantile requires p in (0,1), got {p}"
+        );
+        let x = acklam_quantile(p);
+        // One Halley refinement step: solves cdf(x) - p = 0.
+        let e = Self::cdf(x) - p;
+        let u = e * (2.0 * core::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+        x - u / (1.0 + x * u / 2.0)
+    }
+
+    /// Two-sided p-value for an observed z-score: `P(|Z| ≥ |z|)`.
+    #[inline]
+    pub fn p_two_sided(z: f64) -> f64 {
+        2.0 * Self::sf(z.abs())
+    }
+
+    /// Upper-tail p-value: `P(Z ≥ z)`. Used for one-tailed tests of
+    /// positive correlation.
+    #[inline]
+    pub fn p_upper(z: f64) -> f64 {
+        Self::sf(z)
+    }
+
+    /// Lower-tail p-value: `P(Z ≤ z)`. Used for one-tailed tests of
+    /// negative correlation.
+    #[inline]
+    pub fn p_lower(z: f64) -> f64 {
+        Self::cdf(z)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Implementation: W. J. Cody's CALERF rational approximations
+/// (TOMS, 1969/1990), which keep ~1e-16 relative accuracy everywhere —
+/// including the far tail, where the TESC z-scores of strongly
+/// correlated pairs live (e.g. `z ≈ 30` in Table 1 of the paper).
+pub fn erfc(x: f64) -> f64 {
+    let y = x.abs();
+    let result = if y <= 0.46875 {
+        1.0 - erf_cody_small(x)
+    } else if y <= 4.0 {
+        erfc_cody_mid(y)
+    } else {
+        erfc_cody_large(y)
+    };
+    // For |x| ≤ 0.46875 the first branch already used the signed x via
+    // erf's odd symmetry; otherwise reflect erfc(-y) = 2 − erfc(y).
+    if x < -0.46875 {
+        2.0 - result
+    } else {
+        result
+    }
+}
+
+/// Error function `erf(x)`.
+pub fn erf(x: f64) -> f64 {
+    if x.abs() <= 0.46875 {
+        erf_cody_small(x)
+    } else {
+        1.0 - erfc(x)
+    }
+}
+
+/// Cody branch 1: `erf(x)` for `|x| ≤ 0.46875` (odd in x).
+fn erf_cody_small(x: f64) -> f64 {
+    const A: [f64; 5] = [
+        3.161_123_743_870_565_6e0,
+        1.138_641_541_510_501_56e2,
+        3.774_852_376_853_020_2e2,
+        3.209_377_589_138_469_47e3,
+        1.857_777_061_846_031_53e-1,
+    ];
+    const B: [f64; 4] = [
+        2.360_129_095_234_412_09e1,
+        2.440_246_379_344_441_73e2,
+        1.282_616_526_077_372_28e3,
+        2.844_236_833_439_170_62e3,
+    ];
+    let z = x * x;
+    let mut xnum = A[4] * z;
+    let mut xden = z;
+    for i in 0..3 {
+        xnum = (xnum + A[i]) * z;
+        xden = (xden + B[i]) * z;
+    }
+    x * (xnum + A[3]) / (xden + B[3])
+}
+
+/// Cody branch 2: `erfc(y)` for `0.46875 ≤ y ≤ 4`.
+fn erfc_cody_mid(y: f64) -> f64 {
+    const C: [f64; 9] = [
+        5.641_884_969_886_700_9e-1,
+        8.883_149_794_388_375_9e0,
+        6.611_919_063_714_163e1,
+        2.986_351_381_974_001_3e2,
+        8.819_522_212_417_690_9e2,
+        1.712_047_612_634_070_58e3,
+        2.051_078_377_826_071_47e3,
+        1.230_339_354_797_997_25e3,
+        2.153_115_354_744_038_46e-8,
+    ];
+    const D: [f64; 8] = [
+        1.574_492_611_070_983_47e1,
+        1.176_939_508_913_124_99e2,
+        5.371_811_018_620_098_58e2,
+        1.621_389_574_566_690_19e3,
+        3.290_799_235_733_459_63e3,
+        4.362_619_090_143_247_16e3,
+        3.439_367_674_143_721_64e3,
+        1.230_339_354_803_749_42e3,
+    ];
+    let mut xnum = C[8] * y;
+    let mut xden = y;
+    for i in 0..7 {
+        xnum = (xnum + C[i]) * y;
+        xden = (xden + D[i]) * y;
+    }
+    let r = (xnum + C[7]) / (xden + D[7]);
+    exp_neg_sq(y) * r
+}
+
+/// Cody branch 3: `erfc(y)` for `y > 4`.
+fn erfc_cody_large(y: f64) -> f64 {
+    const SQRPI: f64 = 5.641_895_835_477_562_9e-1; // 1/sqrt(pi)
+    const P: [f64; 6] = [
+        3.053_266_349_612_323_44e-1,
+        3.603_448_999_498_044_4e-1,
+        1.257_817_261_112_292_46e-1,
+        1.608_378_514_874_227_66e-2,
+        6.587_491_615_298_378e-4,
+        1.631_538_713_730_209_78e-2,
+    ];
+    const Q: [f64; 5] = [
+        2.568_520_192_289_822_4e0,
+        1.872_952_849_923_460_47e0,
+        5.279_051_029_514_284_1e-1,
+        6.051_834_131_244_131_9e-2,
+        2.335_204_976_268_691_85e-3,
+    ];
+    if y >= 26.64 {
+        // erfc underflows to 0 around y ≈ 26.64 in f64.
+        return 0.0;
+    }
+    let z = 1.0 / (y * y);
+    let mut xnum = P[5] * z;
+    let mut xden = z;
+    for i in 0..4 {
+        xnum = (xnum + P[i]) * z;
+        xden = (xden + Q[i]) * z;
+    }
+    let mut r = z * (xnum + P[4]) / (xden + Q[4]);
+    r = (SQRPI - r) / y;
+    exp_neg_sq(y) * r
+}
+
+/// `exp(-y²)` computed with the split-square trick from CALERF to avoid
+/// losing low-order bits of `y²` (matters for tail relative accuracy).
+fn exp_neg_sq(y: f64) -> f64 {
+    let ysq = (y * 16.0).trunc() / 16.0;
+    let del = (y - ysq) * (y + ysq);
+    (-ysq * ysq).exp() * (-del).exp()
+}
+
+/// Acklam's rational approximation to the normal quantile.
+fn acklam_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values computed with mpmath (50 digits), rounded to 17
+    /// significant digits.
+    const CDF_TABLE: &[(f64, f64)] = &[
+        (-5.0, 2.866_515_718_791_939e-7),
+        (-2.33, 9.903_075_559_164_252e-3),
+        (-1.0, 0.158_655_253_931_457_05),
+        (0.0, 0.5),
+        (0.5, 0.691_462_461_274_013_1),
+        (1.0, 0.841_344_746_068_542_9),
+        (1.96, 0.975_002_104_851_779_7),
+        (2.33, 0.990_096_924_440_835_7),
+        (3.0, 0.998_650_101_968_369_9),
+        (6.0, 0.999_999_999_013_412_3),
+    ];
+
+    #[test]
+    fn cdf_matches_reference_table() {
+        for &(x, want) in CDF_TABLE {
+            let got = StdNormal::cdf(x);
+            assert!(
+                (got - want).abs() < 1e-8,
+                "cdf({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sf_is_complement_of_cdf_centrally() {
+        for &(x, want) in CDF_TABLE {
+            let got = StdNormal::sf(x);
+            assert!((got - (1.0 - want)).abs() < 1e-8, "sf({x}) = {got}");
+        }
+    }
+
+    #[test]
+    fn sf_accurate_in_far_tail() {
+        // P(Z > 10) ~ 7.619e-24; a naive 1-cdf would return exactly 0.
+        let p = StdNormal::sf(10.0);
+        assert!(p > 0.0, "far-tail survival must not underflow to 0");
+        let want = 7.619_853_024_160_525e-24;
+        assert!((p - want).abs() / want < 1e-4, "sf(10) = {p:e}");
+    }
+
+    #[test]
+    fn pdf_symmetric_and_peaks_at_zero() {
+        assert!((StdNormal::pdf(0.0) - INV_SQRT_2PI).abs() < 1e-15);
+        for x in [0.3, 1.7, 4.2] {
+            assert!((StdNormal::pdf(x) - StdNormal::pdf(-x)).abs() < 1e-16);
+            assert!(StdNormal::pdf(x) < StdNormal::pdf(0.0));
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [1e-6, 0.001, 0.025, 0.05, 0.31, 0.5, 0.77, 0.95, 0.999, 1.0 - 1e-6] {
+            let x = StdNormal::quantile(p);
+            let back = StdNormal::cdf(x);
+            assert!((back - p).abs() < 1e-9, "quantile({p}) = {x}, cdf back {back}");
+        }
+    }
+
+    #[test]
+    fn quantile_known_critical_values() {
+        // One-tailed alpha = 0.05 and 0.01 critical values used in the paper.
+        assert!((StdNormal::quantile(0.95) - 1.644_853_626_951_472_8).abs() < 1e-9);
+        assert!((StdNormal::quantile(0.99) - 2.326_347_874_040_841).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn quantile_rejects_zero() {
+        let _ = StdNormal::quantile(0.0);
+    }
+
+    #[test]
+    fn paper_z_cutoff_claim_holds() {
+        // Sec. 5.4: "a z-score > 2.33 or < -2.33 indicates the
+        // corresponding p-value < 0.01 for one-tailed testing".
+        assert!(StdNormal::p_upper(2.331) < 0.01);
+        assert!(StdNormal::p_lower(-2.331) < 0.01);
+        assert!(StdNormal::p_upper(2.32) > 0.01);
+    }
+
+    #[test]
+    fn erf_erfc_consistency() {
+        for x in [-4.0, -1.2, -0.3, 0.0, 0.2, 0.49, 0.51, 1.0, 2.5, 5.0] {
+            let s = erf(x) + erfc(x);
+            assert!((s - 1.0).abs() < 1e-9, "erf+erfc at {x} = {s}");
+        }
+    }
+
+    #[test]
+    fn erf_odd_symmetry() {
+        for x in [0.1, 0.5, 1.5, 3.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn p_two_sided_is_twice_one_sided_for_positive_z() {
+        for z in [0.5, 1.0, 2.0, 3.5] {
+            let two = StdNormal::p_two_sided(z);
+            let one = StdNormal::p_upper(z);
+            assert!((two - 2.0 * one).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut prev = StdNormal::cdf(-8.0);
+        let mut x = -8.0;
+        while x <= 8.0 {
+            let c = StdNormal::cdf(x);
+            assert!(c + 1e-12 >= prev, "cdf not monotone at {x}");
+            prev = c;
+            x += 0.05;
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Ranking utilities: average ranks and tie-group extraction.
+//!
+//! Ties are central to the TESC test: reference nodes whose vicinities
+//! contain only one of the two events form large tie groups in the
+//! density vectors (Sec. 3.2 of the paper), and the null-hypothesis
+//! variance must be corrected for them (Eq. 6). This module provides the
+//! shared tie bookkeeping.
+
+/// Total order on `f64` for ranking purposes.
+///
+/// Panics on NaN: event densities are ratios of finite counts and can
+/// never be NaN, so a NaN here is a logic error upstream.
+#[inline]
+pub fn cmp_f64(a: f64, b: f64) -> core::cmp::Ordering {
+    a.partial_cmp(&b)
+        .expect("density values must not be NaN")
+}
+
+/// Sizes of the tie groups of `values`, *including* groups of size 1.
+///
+/// The returned sizes sum to `values.len()` and are reported in
+/// ascending value order.
+pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| cmp_f64(*a, *b));
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        groups.push(j - i);
+        i = j;
+    }
+    groups
+}
+
+/// Sizes of tie groups with at least two members (the `u_i`/`v_i` of
+/// Eq. 6; singleton groups contribute nothing to the correction terms).
+pub fn nontrivial_tie_group_sizes(values: &[f64]) -> Vec<usize> {
+    tie_group_sizes(values)
+        .into_iter()
+        .filter(|&s| s >= 2)
+        .collect()
+}
+
+/// Average ("midrank") ranks of `values`, 1-based.
+///
+/// Tied values receive the mean of the ranks they span — the convention
+/// required by τ_b and Spearman-style statistics.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| cmp_f64(values[a], values[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && values[idx[j]] == values[idx[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j (1-based) share the average rank.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            ranks[k] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Number of pairs `(i, j)`, `i < j`, tied within `values`
+/// (i.e. `Σ s(s−1)/2` over tie groups). This is the `n1`/`n2` of the
+/// standard τ_b notation.
+pub fn tied_pair_count(values: &[f64]) -> u64 {
+    nontrivial_tie_group_sizes(values)
+        .iter()
+        .map(|&s| (s as u64) * (s as u64 - 1) / 2)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tie_groups_all_distinct() {
+        assert_eq!(tie_group_sizes(&[3.0, 1.0, 2.0]), vec![1, 1, 1]);
+        assert!(nontrivial_tie_group_sizes(&[3.0, 1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn tie_groups_with_duplicates() {
+        let v = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        assert_eq!(tie_group_sizes(&v), vec![1, 2, 3]);
+        assert_eq!(nontrivial_tie_group_sizes(&v), vec![2, 3]);
+    }
+
+    #[test]
+    fn tie_groups_all_equal() {
+        assert_eq!(tie_group_sizes(&[5.0; 4]), vec![4]);
+    }
+
+    #[test]
+    fn tie_groups_empty_input() {
+        assert!(tie_group_sizes(&[]).is_empty());
+    }
+
+    #[test]
+    fn tie_group_sizes_sum_to_len() {
+        let v = [0.5, 0.5, 0.1, 0.9, 0.1, 0.1, 0.7];
+        assert_eq!(tie_group_sizes(&v).iter().sum::<usize>(), v.len());
+    }
+
+    #[test]
+    fn average_ranks_no_ties() {
+        assert_eq!(average_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn average_ranks_with_ties_take_midrank() {
+        // values: 1, 2, 2, 4 → ranks 1, 2.5, 2.5, 4
+        assert_eq!(
+            average_ranks(&[1.0, 2.0, 2.0, 4.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+    }
+
+    #[test]
+    fn average_ranks_all_tied() {
+        assert_eq!(average_ranks(&[7.0; 5]), vec![3.0; 5]);
+    }
+
+    #[test]
+    fn average_ranks_sum_invariant() {
+        // Ranks always sum to n(n+1)/2, ties or not.
+        let v = [0.3, 0.3, 0.9, 0.1, 0.9, 0.9, 0.2];
+        let n = v.len() as f64;
+        let sum: f64 = average_ranks(&v).iter().sum();
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tied_pair_count_examples() {
+        assert_eq!(tied_pair_count(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(tied_pair_count(&[1.0, 1.0, 2.0]), 1);
+        assert_eq!(tied_pair_count(&[2.0; 4]), 6);
+        assert_eq!(tied_pair_count(&[1.0, 1.0, 2.0, 2.0, 2.0]), 1 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_is_rejected() {
+        let _ = average_ranks(&[1.0, f64::NAN]);
+    }
+}

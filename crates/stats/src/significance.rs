@@ -1,0 +1,207 @@
+//! Hypothesis-test plumbing shared by the TESC test and the baselines.
+
+use crate::normal::StdNormal;
+
+/// Which tail(s) of the null distribution count as "extreme".
+///
+/// The paper's evaluation (Sec. 5.2) uses **one-tailed** tests at
+/// `α = 0.05`: the upper tail when hunting positive correlation, the
+/// lower tail for negative correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tail {
+    /// Reject for large positive statistics (attraction).
+    Upper,
+    /// Reject for large negative statistics (repulsion).
+    Lower,
+    /// Reject for large |statistic| (either direction).
+    TwoSided,
+}
+
+impl Tail {
+    /// p-value of an observed z-score under this tail convention.
+    pub fn p_value(self, z: f64) -> f64 {
+        match self {
+            Tail::Upper => StdNormal::p_upper(z),
+            Tail::Lower => StdNormal::p_lower(z),
+            Tail::TwoSided => StdNormal::p_two_sided(z),
+        }
+    }
+
+    /// Critical z value at significance level `alpha`: the observed z is
+    /// significant iff it is more extreme than this cutoff (in the
+    /// direction(s) of the tail).
+    pub fn critical_z(self, alpha: SignificanceLevel) -> f64 {
+        match self {
+            Tail::Upper => StdNormal::quantile(1.0 - alpha.0),
+            Tail::Lower => -StdNormal::quantile(1.0 - alpha.0),
+            Tail::TwoSided => StdNormal::quantile(1.0 - alpha.0 / 2.0),
+        }
+    }
+}
+
+/// A validated significance level `α ∈ (0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct SignificanceLevel(f64);
+
+impl SignificanceLevel {
+    /// The paper's default, `α = 0.05`.
+    pub const FIVE_PERCENT: SignificanceLevel = SignificanceLevel(0.05);
+    /// `α = 0.01` (the z > 2.33 rule of thumb quoted in Sec. 5.4).
+    pub const ONE_PERCENT: SignificanceLevel = SignificanceLevel(0.01);
+
+    /// Construct a significance level, validating the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "significance level must be in (0,1), got {alpha}"
+        );
+        SignificanceLevel(alpha)
+    }
+
+    /// The raw α.
+    #[inline]
+    pub fn alpha(self) -> f64 {
+        self.0
+    }
+}
+
+/// Verdict of a correlation significance test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Null hypothesis rejected in favour of positive correlation.
+    PositiveCorrelation,
+    /// Null hypothesis rejected in favour of negative correlation.
+    NegativeCorrelation,
+    /// Null hypothesis not rejected.
+    Independent,
+}
+
+/// Outcome of a significance test: the statistic, its z-score, p-value
+/// and the accept/reject verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestOutcome {
+    /// Point estimate of the correlation (τ or t̃ in the paper).
+    pub statistic: f64,
+    /// z-score of the statistic under the null hypothesis (Eq. 7).
+    pub z: f64,
+    /// p-value under the chosen tail.
+    pub p_value: f64,
+    /// Tail convention the p-value was computed under.
+    pub tail: Tail,
+    /// Significance level the verdict was taken at.
+    pub alpha: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl TestOutcome {
+    /// Assemble an outcome from a statistic + z-score.
+    pub fn from_z(statistic: f64, z: f64, tail: Tail, alpha: SignificanceLevel) -> Self {
+        let p = tail.p_value(z);
+        let significant = p < alpha.alpha();
+        let verdict = if !significant {
+            Verdict::Independent
+        } else {
+            match tail {
+                Tail::Upper => Verdict::PositiveCorrelation,
+                Tail::Lower => Verdict::NegativeCorrelation,
+                Tail::TwoSided => {
+                    if z >= 0.0 {
+                        Verdict::PositiveCorrelation
+                    } else {
+                        Verdict::NegativeCorrelation
+                    }
+                }
+            }
+        };
+        TestOutcome {
+            statistic,
+            z,
+            p_value: p,
+            tail,
+            alpha: alpha.alpha(),
+            verdict,
+        }
+    }
+
+    /// Did the test reject the null hypothesis?
+    #[inline]
+    pub fn is_significant(&self) -> bool {
+        self.verdict != Verdict::Independent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_tail_p_values() {
+        assert!(Tail::Upper.p_value(3.0) < 0.01);
+        assert!(Tail::Upper.p_value(0.0) == 0.5);
+        assert!(Tail::Upper.p_value(-3.0) > 0.99);
+    }
+
+    #[test]
+    fn lower_tail_mirrors_upper() {
+        for z in [-2.5, -0.4, 0.0, 1.3, 4.0] {
+            let a = Tail::Lower.p_value(z);
+            let b = Tail::Upper.p_value(-z);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn critical_values_match_textbook() {
+        let a05 = SignificanceLevel::FIVE_PERCENT;
+        assert!((Tail::Upper.critical_z(a05) - 1.6449).abs() < 1e-3);
+        assert!((Tail::Lower.critical_z(a05) + 1.6449).abs() < 1e-3);
+        assert!((Tail::TwoSided.critical_z(a05) - 1.9600).abs() < 1e-3);
+    }
+
+    #[test]
+    fn verdicts_follow_tail_and_alpha() {
+        let a = SignificanceLevel::FIVE_PERCENT;
+        let o = TestOutcome::from_z(0.4, 2.0, Tail::Upper, a);
+        assert_eq!(o.verdict, Verdict::PositiveCorrelation);
+        assert!(o.is_significant());
+
+        let o = TestOutcome::from_z(0.4, 1.0, Tail::Upper, a);
+        assert_eq!(o.verdict, Verdict::Independent);
+
+        let o = TestOutcome::from_z(-0.4, -2.0, Tail::Lower, a);
+        assert_eq!(o.verdict, Verdict::NegativeCorrelation);
+
+        // A strongly negative z is NOT significant under the upper tail.
+        let o = TestOutcome::from_z(-0.4, -5.0, Tail::Upper, a);
+        assert_eq!(o.verdict, Verdict::Independent);
+    }
+
+    #[test]
+    fn two_sided_verdict_takes_sign_from_z() {
+        let a = SignificanceLevel::FIVE_PERCENT;
+        let o = TestOutcome::from_z(0.4, 2.5, Tail::TwoSided, a);
+        assert_eq!(o.verdict, Verdict::PositiveCorrelation);
+        let o = TestOutcome::from_z(-0.4, -2.5, Tail::TwoSided, a);
+        assert_eq!(o.verdict, Verdict::NegativeCorrelation);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn invalid_alpha_rejected() {
+        let _ = SignificanceLevel::new(1.5);
+    }
+
+    #[test]
+    fn stricter_alpha_flips_borderline_cases() {
+        let z = 2.0; // p ≈ 0.0228 one-tailed
+        let at5 = TestOutcome::from_z(0.1, z, Tail::Upper, SignificanceLevel::FIVE_PERCENT);
+        let at1 = TestOutcome::from_z(0.1, z, Tail::Upper, SignificanceLevel::ONE_PERCENT);
+        assert!(at5.is_significant());
+        assert!(!at1.is_significant());
+    }
+}

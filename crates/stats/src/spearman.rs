@@ -1,0 +1,154 @@
+//! Spearman's ρ rank correlation — the alternative statistic the paper
+//! mentions in its conclusions ("Another rank correlation statistic,
+//! Spearman's ρ could also be used. We choose Kendall's τ since it can
+//! provide an intuitive interpretation and also facilitate the
+//! derivation of the efficient importance sampling method").
+//!
+//! We provide it so users can cross-check verdicts: ρ is the Pearson
+//! correlation of the average ranks, tie-corrected, and is also
+//! asymptotically normal under independence with
+//! `Var(ρ) = 1/(n − 1)`, so the same z-score machinery applies.
+
+use crate::rank::average_ranks;
+use crate::{SignificanceLevel, Tail, TestOutcome};
+
+/// Summary of a Spearman correlation test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpearmanSummary {
+    /// Sample size.
+    pub n: usize,
+    /// Spearman's ρ (Pearson correlation of midranks; tie-safe).
+    pub rho: f64,
+    /// z-score under the null: `ρ · sqrt(n − 1)`.
+    pub z: f64,
+}
+
+impl SpearmanSummary {
+    /// Outcome at a significance level / tail convention.
+    pub fn outcome(&self, tail: Tail, alpha: SignificanceLevel) -> TestOutcome {
+        TestOutcome::from_z(self.rho, self.z, tail, alpha)
+    }
+}
+
+/// Compute Spearman's ρ between paired samples.
+///
+/// Uses the Pearson-of-midranks formulation, which is exact in the
+/// presence of ties (the classic `1 − 6Σd²/(n(n²−1))` shortcut is not).
+/// Degenerate inputs (either side one big tie) yield `ρ = z = 0`.
+///
+/// # Panics
+///
+/// Panics if the samples differ in length or `n < 3`.
+pub fn spearman_rho(x: &[f64], y: &[f64]) -> SpearmanSummary {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let n = x.len();
+    assert!(n >= 3, "spearman_rho needs n ≥ 3, got {n}");
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    let mean = (n + 1) as f64 / 2.0; // mean rank is (n+1)/2 on both sides
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for i in 0..n {
+        let dx = rx[i] - mean;
+        let dy = ry[i] - mean;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    let denom = (var_x * var_y).sqrt();
+    let rho = if denom > 0.0 { cov / denom } else { 0.0 };
+    let z = if denom > 0.0 {
+        rho * ((n - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+    SpearmanSummary { n, rho, z }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_gives_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 4.0, 8.0, 16.0, 32.0]; // monotone, nonlinear
+        let s = spearman_rho(&x, &y);
+        assert!((s.rho - 1.0).abs() < 1e-12);
+        assert!((s.z - 2.0).abs() < 1e-12, "z = rho*sqrt(n-1) = 2");
+    }
+
+    #[test]
+    fn perfect_reversal_gives_minus_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [9.0, 7.0, 5.0, 1.0];
+        let s = spearman_rho(&x, &y);
+        assert!((s.rho + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_example_without_ties() {
+        // Ranks x: 1..5, ranks y: (1, 3, 2, 5, 4); Σd² = 0+1+1+1+1 = 4
+        // ρ = 1 − 6·4 / (5·24) = 0.8.
+        let x = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let y = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let s = spearman_rho(&x, &y);
+        assert!((s.rho - 0.8).abs() < 1e-12, "rho = {}", s.rho);
+    }
+
+    #[test]
+    fn tie_handling_via_midranks() {
+        // x = (1, 2, 2, 4): midranks (1, 2.5, 2.5, 4).
+        // A y that follows x exactly gives rho = 1 even with the tie.
+        let x = [1.0, 2.0, 2.0, 4.0];
+        let s = spearman_rho(&x, &x);
+        assert!((s.rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_all_tied_side_is_zero() {
+        let x = [3.0; 5];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = spearman_rho(&x, &y);
+        assert_eq!(s.rho, 0.0);
+        assert_eq!(s.z, 0.0);
+    }
+
+    #[test]
+    fn agrees_in_sign_with_kendall() {
+        use crate::kendall::{kendall_tau, KendallMethod};
+        let x = [0.1, 0.9, 0.3, 0.7, 0.5, 0.2, 0.8];
+        let y = [0.2, 0.8, 0.4, 0.9, 0.3, 0.1, 0.7];
+        let sp = spearman_rho(&x, &y);
+        let kt = kendall_tau(&x, &y, KendallMethod::Exact);
+        assert_eq!(sp.rho > 0.0, kt.tau > 0.0);
+        // |rho| >= |tau| typically for monotone-ish data.
+        assert!(sp.rho.abs() >= kt.tau.abs() * 0.8);
+    }
+
+    #[test]
+    fn outcome_wiring() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let s = spearman_rho(&x, &x);
+        let o = s.outcome(Tail::Upper, SignificanceLevel::FIVE_PERCENT);
+        assert!(o.is_significant());
+        let o = s.outcome(Tail::Lower, SignificanceLevel::FIVE_PERCENT);
+        assert!(!o.is_significant());
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 3")]
+    fn too_small_panics() {
+        let _ = spearman_rho(&[1.0, 2.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let x = [0.4, 0.1, 0.8, 0.8, 0.2];
+        let y = [0.3, 0.3, 0.9, 0.5, 0.1];
+        let a = spearman_rho(&x, &y);
+        let b = spearman_rho(&y, &x);
+        assert!((a.rho - b.rho).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! DBLP-style case study: keyword correlations in a co-authorship
+//! network, reproducing the Table 1 / Table 2 phenomena — including
+//! the pairs where TESC and transaction correlation *disagree*.
+//!
+//! Run: `cargo run --release --example dblp_keywords`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::{Tail, TescConfig, TescEngine};
+use tesc_baselines::{lift, transaction_correlation};
+use tesc_datasets::{DblpConfig, DblpScenario};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let scenario = DblpScenario::build(DblpConfig::small(), &mut rng);
+    let g = &scenario.graph;
+    println!(
+        "co-author graph: {} authors, {} edges, avg degree {:.1}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        g.average_degree()
+    );
+    let mut engine = TescEngine::new(g);
+
+    // --- A Table-1-style pair: two keywords of one research area. ---
+    let (wireless, sensor) = scenario.plant_positive_keyword_pair(12, 10, 0.25, &mut rng);
+    report(
+        "\"Wireless\" vs \"Sensor\"  (same communities, some co-authors)",
+        &mut engine,
+        g.num_nodes(),
+        &wireless,
+        &sensor,
+        Tail::Upper,
+        &mut rng,
+    );
+
+    // --- A Table-2-style pair: far-apart topics, a few generalists. --
+    let (texture, java) = scenario.plant_negative_keyword_pair(10, 12, 20, &mut rng);
+    report(
+        "\"Texture\" vs \"Java\"    (distant communities, 20 generalists)",
+        &mut engine,
+        g.num_nodes(),
+        &texture,
+        &java,
+        Tail::Lower,
+        &mut rng,
+    );
+
+    println!(
+        "Note the second pair: transaction measures see the generalist\n\
+         authors and call the keywords positively associated, while TESC\n\
+         sees that the occurrences live in far-apart regions of the\n\
+         co-author graph — the inversion reported in Table 2 of the paper."
+    );
+}
+
+fn report(
+    title: &str,
+    engine: &mut TescEngine<'_>,
+    num_nodes: usize,
+    va: &[u32],
+    vb: &[u32],
+    tail: Tail,
+    rng: &mut StdRng,
+) {
+    println!("{title}");
+    println!("  |V_a| = {}, |V_b| = {}", va.len(), vb.len());
+    for h in [1u32, 2, 3] {
+        let cfg = TescConfig::new(h).with_sample_size(400).with_tail(tail);
+        match engine.test(va, vb, &cfg, rng) {
+            Ok(r) => println!(
+                "  TESC h={h}:  tau = {:+.3}  z = {:+7.2}  p = {:.2e}  -> {:?}",
+                r.statistic(),
+                r.z(),
+                r.outcome.p_value,
+                r.outcome.verdict
+            ),
+            Err(e) => println!("  TESC h={h}:  failed: {e}"),
+        }
+    }
+    let tc = transaction_correlation(num_nodes, va, vb);
+    let l = lift(num_nodes, va, vb).unwrap_or(f64::NAN);
+    println!("  TC (tau_b): z = {:+.2}   lift = {:.2}\n", tc.z, l);
+}

@@ -1,0 +1,62 @@
+//! Intrusion-detection case study: correlated alert types in a
+//! computer network, including the rare-pair scenario where TESC
+//! detects what frequent-pattern mining misses (Table 5).
+//!
+//! Run: `cargo run --release --example intrusion_alerts`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::{BfsScratch, Tail, TescConfig, TescEngine};
+use tesc_baselines::{transaction_correlation, ProximityMiner};
+use tesc_datasets::{IntrusionConfig, IntrusionScenario};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let scenario = IntrusionScenario::build(IntrusionConfig::small(), &mut rng);
+    let g = &scenario.graph;
+    println!(
+        "network: {} hosts, {} links, max degree {} (hub)\n",
+        g.num_nodes(),
+        g.num_edges(),
+        g.max_degree()
+    );
+    let mut engine = TescEngine::new(g);
+    let mut scratch = BfsScratch::new(g.num_nodes());
+
+    // Alternating attack techniques across shared subnets (Table 3).
+    let (ping_sweep, smb_sweep) = scenario.plant_alternating_alert_pair(12, 10, &mut rng);
+    let cfg = TescConfig::new(1).with_sample_size(400).with_tail(Tail::Upper);
+    let r = engine.test(&ping_sweep, &smb_sweep, &cfg, &mut rng).unwrap();
+    let tc = transaction_correlation(g.num_nodes(), &ping_sweep, &smb_sweep);
+    println!("Ping Sweep vs SMB Service Sweep (alternated across subnets):");
+    println!("  TESC h=1: z = {:+.2} ({:?})", r.z(), r.outcome.verdict);
+    println!("  TC:       z = {:+.2}", tc.z);
+    println!("  -> disjoint host sets: invisible to market-basket measures,");
+    println!("     strongly attractive in the graph structure.\n");
+
+    // Platform-separated techniques (Table 4).
+    let (tftp, ldap) = scenario.plant_separated_alert_pair(10, 10, &mut rng);
+    let cfg = TescConfig::new(2).with_sample_size(400).with_tail(Tail::Lower);
+    let r = engine.test(&tftp, &ldap, &cfg, &mut rng).unwrap();
+    println!("Audit TFTP Get Filename vs LDAP Auth Failed (different platforms):");
+    println!("  TESC h=2: z = {:+.2} ({:?})\n", r.z(), r.outcome.verdict);
+
+    // The rare pair (Table 5): strongly co-located, too infrequent for
+    // a support threshold.
+    let (rare_a, rare_b) = scenario.plant_rare_pair(16, 12, &mut rng);
+    let cfg = TescConfig::new(1).with_sample_size(300).with_tail(Tail::Upper);
+    let r = engine.test(&rare_a, &rare_b, &cfg, &mut rng).unwrap();
+    let miner = ProximityMiner::new(1, 0.05);
+    let support = miner.pair_support(g, &mut scratch, &rare_a, &rare_b);
+    println!(
+        "Rare pair ({} + {} occurrences):",
+        rare_a.len(),
+        rare_b.len()
+    );
+    println!("  TESC h=1: z = {:+.2}, p = {:.1e} ({:?})", r.z(), r.outcome.p_value, r.outcome.verdict);
+    println!(
+        "  proximity mining: support {:.2e} < minsup {:.2e} -> NOT mined",
+        support,
+        miner.minsup
+    );
+}

@@ -1,0 +1,225 @@
+//! `tesc-cli` — run the TESC test from the command line.
+//!
+//! ```text
+//! tesc-cli demo --dir DIR
+//!     Write a demo scenario (graph + two correlated event files).
+//!
+//! tesc-cli test --graph G.txt --event-a A.txt --event-b B.txt
+//!               [--h 1] [--n 900] [--tail upper|lower|two]
+//!               [--alpha 0.05] [--sampler batch|reject|importance|whole]
+//!               [--statistic kendall|spearman] [--seed 42]
+//!     Run the TESC significance test and the transaction-correlation
+//!     baseline, print both.
+//! ```
+//!
+//! Graph format: `tesc_graph::io` edge list (`num_nodes num_edges`
+//! header, one `u v` pair per line). Event format: one node id per
+//! line (`tesc_events::io`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::process::ExitCode;
+use tesc::{SamplerKind, SignificanceLevel, Statistic, Tail, TescConfig, TescEngine};
+use tesc_baselines::{lift, transaction_correlation};
+use tesc_graph::VicinityIndex;
+
+const USAGE: &str = "usage:
+  tesc-cli demo --dir DIR
+  tesc-cli test --graph G.txt --event-a A.txt --event-b B.txt
+                [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
+                [--sampler batch|reject|importance|whole]
+                [--statistic kendall|spearman] [--seed 42]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "demo" => run_demo(&flags),
+        "test" => run_test(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let name = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        map.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("could not parse --{name} {v:?}")),
+        None => Ok(default),
+    }
+}
+
+/// Write a small demo scenario into `--dir`: a community graph plus two
+/// positively correlated events, ready for `tesc-cli test`.
+fn run_demo(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = get(flags, "dir")?;
+    let seed: u64 = parse(flags, "seed", 7u64)?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (graph, _) = tesc_graph::generators::planted_partition(100, 20, 0.4, 0.002, &mut rng);
+    let va: Vec<u32> = (0..25u32).flat_map(|c| (0..4).map(move |i| c * 20 + i)).collect();
+    let vb: Vec<u32> = (0..25u32).flat_map(|c| (4..8).map(move |i| c * 20 + i)).collect();
+
+    let write = |name: &str, f: &dyn Fn(&mut BufWriter<File>) -> std::io::Result<()>| {
+        let path = Path::new(dir).join(name);
+        let file = File::create(&path).map_err(|e| format!("creating {}: {e}", path.display()))?;
+        let mut w = BufWriter::new(file);
+        f(&mut w).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("graph.txt", &|w| tesc_graph::io::write_edge_list(&graph, w))?;
+    write("event_a.txt", &|w| tesc_events::io::write_node_list(&va, w))?;
+    write("event_b.txt", &|w| tesc_events::io::write_node_list(&vb, w))?;
+    println!("wrote {dir}/graph.txt, {dir}/event_a.txt, {dir}/event_b.txt");
+    println!("try: tesc-cli test --graph {dir}/graph.txt --event-a {dir}/event_a.txt --event-b {dir}/event_b.txt --tail upper --n 300");
+    Ok(())
+}
+
+fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
+    let graph_path = get(flags, "graph")?;
+    let a_path = get(flags, "event-a")?;
+    let b_path = get(flags, "event-b")?;
+    let h: u32 = parse(flags, "h", 1u32)?;
+    let n: usize = parse(flags, "n", 900usize)?;
+    let alpha: f64 = parse(flags, "alpha", 0.05f64)?;
+    let seed: u64 = parse(flags, "seed", 42u64)?;
+    let tail = match flags.get("tail").map(String::as_str) {
+        None | Some("two") => Tail::TwoSided,
+        Some("upper") => Tail::Upper,
+        Some("lower") => Tail::Lower,
+        Some(other) => return Err(format!("--tail must be upper|lower|two, got {other:?}")),
+    };
+    let sampler = match flags.get("sampler").map(String::as_str) {
+        None | Some("batch") => SamplerKind::BatchBfs,
+        Some("reject") => SamplerKind::Rejection,
+        Some("importance") => SamplerKind::Importance {
+            batch_size: match h {
+                1 => 1,
+                2 => 3,
+                _ => 6,
+            },
+        },
+        Some("whole") => SamplerKind::WholeGraph,
+        Some(other) => {
+            return Err(format!(
+                "--sampler must be batch|reject|importance|whole, got {other:?}"
+            ))
+        }
+    };
+    let statistic = match flags.get("statistic").map(String::as_str) {
+        None | Some("kendall") => Statistic::KendallTau,
+        Some("spearman") => Statistic::SpearmanRho,
+        Some(other) => return Err(format!("--statistic must be kendall|spearman, got {other:?}")),
+    };
+
+    let open = |p: &str| -> Result<BufReader<File>, String> {
+        File::open(p)
+            .map(BufReader::new)
+            .map_err(|e| format!("opening {p}: {e}"))
+    };
+    let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let va = tesc_events::io::read_node_list(&mut open(a_path)?)
+        .map_err(|e| format!("reading {a_path}: {e}"))?;
+    let vb = tesc_events::io::read_node_list(&mut open(b_path)?)
+        .map_err(|e| format!("reading {b_path}: {e}"))?;
+
+    eprintln!(
+        "graph: {} nodes, {} edges; |V_a| = {}, |V_b| = {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        va.len(),
+        vb.len()
+    );
+
+    let cfg = TescConfig::new(h)
+        .with_sample_size(n)
+        .with_tail(tail)
+        .with_alpha(SignificanceLevel::new(alpha))
+        .with_sampler(sampler)
+        .with_statistic(statistic);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Rejection/importance need the vicinity index over the event nodes.
+    let needs_index = matches!(
+        sampler,
+        SamplerKind::Rejection | SamplerKind::Importance { .. }
+    );
+    let index;
+    let mut engine = if needs_index {
+        let mut union = va.clone();
+        union.extend(&vb);
+        union.sort_unstable();
+        union.dedup();
+        eprintln!("building |V^h_v| index for {} event nodes...", union.len());
+        index = VicinityIndex::build_for_nodes(&graph, &union, h);
+        TescEngine::with_vicinity_index(&graph, &index)
+    } else {
+        TescEngine::new(&graph)
+    };
+
+    let result = engine
+        .test(&va, &vb, &cfg, &mut rng)
+        .map_err(|e| format!("TESC test failed: {e}"))?;
+    println!("TESC (h = {h}, n = {}, {sampler}):", result.n_refs);
+    println!("  statistic = {:+.4}", result.statistic());
+    println!("  z-score   = {:+.3}", result.z());
+    println!("  p-value   = {:.3e}", result.outcome.p_value);
+    println!("  verdict   = {:?} (alpha = {alpha})", result.outcome.verdict);
+
+    let tc = transaction_correlation(graph.num_nodes(), &va, &vb);
+    println!("Transaction correlation baseline:");
+    println!("  tau_b     = {:+.4}", tc.tau_b);
+    println!("  z-score   = {:+.3}", tc.z);
+    if let Some(l) = lift(graph.num_nodes(), &va, &vb) {
+        println!("  lift      = {l:.3}");
+    }
+    Ok(())
+}

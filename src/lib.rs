@@ -1,0 +1,28 @@
+//! Umbrella crate for the TESC reproduction workspace.
+//!
+//! This crate exists to host the repository-level examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`);
+//! it simply re-exports the workspace members:
+//!
+//! * [`tesc`] — the TESC measure and testing framework (the paper's
+//!   contribution).
+//! * [`tesc_graph`] — CSR graphs, BFS toolkit, vicinity index,
+//!   generators.
+//! * [`tesc_stats`] — Kendall's τ, tie-corrected variance, normal
+//!   distribution.
+//! * [`tesc_events`] — event stores and the Sec. 5.2 event simulator.
+//! * [`tesc_baselines`] — transaction correlation, proximity pattern
+//!   mining, hitting time.
+//! * [`tesc_datasets`] — DBLP-like / Intrusion-like / Twitter-like
+//!   scenario builders.
+//!
+//! Start with `examples/quickstart.rs`, or see README.md.
+
+#![warn(missing_docs)]
+
+pub use tesc;
+pub use tesc_baselines;
+pub use tesc_datasets;
+pub use tesc_events;
+pub use tesc_graph;
+pub use tesc_stats;

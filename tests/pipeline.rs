@@ -1,0 +1,167 @@
+//! End-to-end integration tests: the full TESC pipeline over the
+//! scenario crates, crossing every workspace member.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::{SamplerKind, Tail, TescConfig, TescEngine, VicinityIndex};
+use tesc_baselines::transaction_correlation;
+use tesc_datasets::{DblpConfig, DblpScenario, IntrusionConfig, IntrusionScenario};
+use tesc_events::simulate::{
+    apply_positive_noise, independent_pair, negative_pair, positive_pair,
+};
+use tesc_graph::BfsScratch;
+use tesc_stats::significance::Verdict;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn dblp_scenario_full_pipeline_positive_all_samplers() {
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(1));
+    let idx = VicinityIndex::build(&s.graph, 2);
+    let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(2));
+    let mut engine = TescEngine::with_vicinity_index(&s.graph, &idx);
+    for sampler in [
+        SamplerKind::BatchBfs,
+        SamplerKind::Rejection,
+        SamplerKind::Importance { batch_size: 1 },
+        SamplerKind::Importance { batch_size: 3 },
+        SamplerKind::WholeGraph,
+    ] {
+        for h in [1u32, 2] {
+            let cfg = TescConfig::new(h)
+                .with_sample_size(400)
+                .with_tail(Tail::Upper)
+                .with_sampler(sampler);
+            let r = engine.test(&va, &vb, &cfg, &mut rng(3)).unwrap();
+            assert_eq!(
+                r.outcome.verdict,
+                Verdict::PositiveCorrelation,
+                "{sampler} at h={h}: z = {}",
+                r.z()
+            );
+        }
+    }
+}
+
+#[test]
+fn noise_degrades_recall_monotonically_in_expectation() {
+    // The Fig. 5 mechanism in miniature: mean z over a few pairs
+    // decreases as noise increases.
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(4));
+    let mut engine = TescEngine::new(&s.graph);
+    let mut scratch = BfsScratch::new(s.graph.num_nodes());
+    let h = 2u32;
+    let mut mean_z = Vec::new();
+    for &noise in &[0.0, 0.3, 0.8] {
+        let mut acc = 0.0;
+        let trials = 6;
+        for t in 0..trials {
+            let lp = positive_pair(&s.graph, &mut scratch, 40, h, &mut rng(10 + t)).unwrap();
+            let pair = apply_positive_noise(&s.graph, &mut scratch, &lp, noise, &mut rng(20 + t))
+                .unwrap();
+            let cfg = TescConfig::new(h).with_sample_size(300).with_tail(Tail::Upper);
+            let r = engine.test(&pair.a, &pair.b, &cfg, &mut rng(30 + t)).unwrap();
+            acc += r.z();
+        }
+        mean_z.push(acc / trials as f64);
+    }
+    assert!(
+        mean_z[0] > mean_z[1] && mean_z[1] > mean_z[2],
+        "mean z should fall with noise: {mean_z:?}"
+    );
+}
+
+#[test]
+fn intrusion_scenario_tesc_vs_tc_disagreement() {
+    // The paper's headline qualitative finding: pairs can be strongly
+    // positive under TESC while (weakly) negative under TC.
+    let s = IntrusionScenario::build(IntrusionConfig::small(), &mut rng(5));
+    let (va, vb) = s.plant_alternating_alert_pair(14, 10, &mut rng(6));
+    let mut engine = TescEngine::new(&s.graph);
+    let cfg = TescConfig::new(1).with_sample_size(400).with_tail(Tail::Upper);
+    let tesc_res = engine.test(&va, &vb, &cfg, &mut rng(7)).unwrap();
+    let tc = transaction_correlation(s.graph.num_nodes(), &va, &vb);
+    assert!(tesc_res.z() > 2.33, "TESC z = {}", tesc_res.z());
+    assert!(tc.z < 1.0, "TC z = {} should be ~0 or negative", tc.z);
+}
+
+#[test]
+fn negative_pair_verdicts_across_h() {
+    let s = IntrusionScenario::build(IntrusionConfig::small(), &mut rng(8));
+    let (va, vb) = s.plant_separated_alert_pair(10, 10, &mut rng(9));
+    let mut engine = TescEngine::new(&s.graph);
+    for h in [1u32, 2] {
+        let cfg = TescConfig::new(h).with_sample_size(400).with_tail(Tail::Lower);
+        let r = engine.test(&va, &vb, &cfg, &mut rng(10)).unwrap();
+        assert_eq!(r.outcome.verdict, Verdict::NegativeCorrelation, "h={h}");
+    }
+}
+
+#[test]
+fn independent_pairs_control_false_attraction_rate() {
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(11));
+    let mut engine = TescEngine::new(&s.graph);
+    let trials = 30;
+    let mut false_pos = 0;
+    for t in 0..trials {
+        let pair = independent_pair(&s.graph, 60, 60, &mut rng(100 + t)).unwrap();
+        let cfg = TescConfig::new(2).with_sample_size(300).with_tail(Tail::Upper);
+        let r = engine.test(&pair.a, &pair.b, &cfg, &mut rng(200 + t)).unwrap();
+        false_pos += r.outcome.is_significant() as usize;
+    }
+    assert!(false_pos <= 5, "false attractions: {false_pos}/{trials}");
+}
+
+#[test]
+fn importance_and_batch_agree_on_verdicts() {
+    // Over a batch of planted pairs (positive AND negative), the two
+    // main samplers must reach the same verdicts nearly always.
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(12));
+    let idx = VicinityIndex::build(&s.graph, 2);
+    let mut engine = TescEngine::with_vicinity_index(&s.graph, &idx);
+    let mut scratch = BfsScratch::new(s.graph.num_nodes());
+    let mut disagreements = 0;
+    let trials = 10;
+    for t in 0..trials {
+        let (pair, tail) = if t % 2 == 0 {
+            (
+                positive_pair(&s.graph, &mut scratch, 40, 2, &mut rng(300 + t))
+                    .unwrap()
+                    .to_pair(),
+                Tail::Upper,
+            )
+        } else {
+            (
+                negative_pair(&s.graph, &mut scratch, 40, 40, 2, &mut rng(300 + t)).unwrap(),
+                Tail::Lower,
+            )
+        };
+        let base = TescConfig::new(2).with_sample_size(400).with_tail(tail);
+        let r1 = engine
+            .test(&pair.a, &pair.b, &base, &mut rng(400 + t))
+            .unwrap();
+        let r2 = engine
+            .test(
+                &pair.a,
+                &pair.b,
+                &base.with_sampler(SamplerKind::Importance { batch_size: 3 }),
+                &mut rng(500 + t),
+            )
+            .unwrap();
+        disagreements += (r1.outcome.verdict != r2.outcome.verdict) as usize;
+    }
+    assert!(disagreements <= 1, "{disagreements}/{trials} verdict disagreements");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_given_seeds() {
+    let s = IntrusionScenario::build(IntrusionConfig::small(), &mut rng(13));
+    let (va, vb) = s.plant_alternating_alert_pair(10, 8, &mut rng(14));
+    let mut engine = TescEngine::new(&s.graph);
+    let cfg = TescConfig::new(1).with_sample_size(300).with_tail(Tail::Upper);
+    let a = engine.test(&va, &vb, &cfg, &mut rng(15)).unwrap();
+    let b = engine.test(&va, &vb, &cfg, &mut rng(15)).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) for the core invariants promised in
+//! DESIGN.md §8.
+
+use proptest::prelude::*;
+use tesc_events::store::merge_union;
+use tesc_events::NodeMask;
+use tesc_graph::csr::from_edges;
+use tesc_graph::{BfsScratch, VicinityIndex};
+use tesc_stats::kendall::{
+    kendall_tau, pair_counts_exact, pair_counts_merge, var_s_no_ties, var_s_tie_corrected,
+    weighted_tau, KendallMethod,
+};
+use tesc_stats::normal::StdNormal;
+
+/// Paired sample vectors with deliberate tie pressure (quantized).
+fn paired_samples() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (3usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0u8..8).prop_map(|q| q as f64 / 8.0), n),
+            proptest::collection::vec((0u8..8).prop_map(|q| q as f64 / 8.0), n),
+        )
+    })
+}
+
+/// Random simple graph as an edge list over `n` nodes.
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, raw: &[(u32, u32)]) -> tesc_graph::CsrGraph {
+    let filtered: Vec<(u32, u32)> = raw.iter().copied().filter(|(u, v)| u != v).collect();
+    from_edges(n, &filtered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tau_is_bounded((x, y) in paired_samples()) {
+        let s = kendall_tau(&x, &y, KendallMethod::MergeSort);
+        prop_assert!((-1.0..=1.0).contains(&s.tau), "tau = {}", s.tau);
+        prop_assert!((-1.0..=1.0).contains(&s.tau_b), "tau_b = {}", s.tau_b);
+        prop_assert!(s.var_s >= 0.0);
+        prop_assert!(s.z.is_finite());
+    }
+
+    #[test]
+    fn tau_antisymmetric_under_negation((x, y) in paired_samples()) {
+        let pos = kendall_tau(&x, &y, KendallMethod::MergeSort);
+        let neg_y: Vec<f64> = y.iter().map(|v| -v).collect();
+        let neg = kendall_tau(&x, &neg_y, KendallMethod::MergeSort);
+        prop_assert!((pos.tau + neg.tau).abs() < 1e-12);
+        prop_assert!((pos.z + neg.z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_symmetric_in_arguments((x, y) in paired_samples()) {
+        let a = kendall_tau(&x, &y, KendallMethod::MergeSort);
+        let b = kendall_tau(&y, &x, KendallMethod::MergeSort);
+        prop_assert_eq!(a.counts.s(), b.counts.s());
+        prop_assert!((a.tau - b.tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sort_equals_exact((x, y) in paired_samples()) {
+        prop_assert_eq!(pair_counts_exact(&x, &y), pair_counts_merge(&x, &y));
+    }
+
+    #[test]
+    fn self_correlation_is_maximal((x, _) in paired_samples()) {
+        let s = kendall_tau(&x, &x, KendallMethod::MergeSort);
+        prop_assert_eq!(s.counts.discordant, 0);
+        prop_assert!(s.tau >= 0.0);
+        // With no ties tau(x, x) = 1 exactly.
+        let distinct: Vec<f64> = (0..x.len()).map(|i| i as f64).collect();
+        let d = kendall_tau(&distinct, &distinct, KendallMethod::Exact);
+        prop_assert_eq!(d.tau, 1.0);
+    }
+
+    #[test]
+    fn tie_corrected_variance_never_exceeds_eq5(n in 3usize..200, sizes in proptest::collection::vec(2usize..10, 0..8)) {
+        // Clamp tie groups to fit n.
+        let mut used = 0usize;
+        let mut groups = Vec::new();
+        for s in sizes {
+            if used + s <= n {
+                groups.push(s);
+                used += s;
+            }
+        }
+        let v = var_s_tie_corrected(n, &groups, &[]);
+        prop_assert!(v <= var_s_no_ties(n) + 1e-9);
+        prop_assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn weighted_tau_bounded_and_matches_unweighted((x, y) in paired_samples()) {
+        let uniform = vec![1.0; x.len()];
+        let wt = weighted_tau(&x, &y, &uniform);
+        prop_assert!((-1.0..=1.0).contains(&wt));
+        let s = kendall_tau(&x, &y, KendallMethod::Exact);
+        prop_assert!((wt - s.tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_properties(x in -30.0f64..30.0) {
+        let c = StdNormal::cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        // Symmetry.
+        prop_assert!((c + StdNormal::cdf(-x) - 1.0).abs() < 1e-12);
+        // sf complements.
+        prop_assert!((StdNormal::sf(x) - (1.0 - c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bfs_vicinity_monotone_in_h((n, raw) in random_graph(), src in 0u32..40, h in 0u32..5) {
+        let g = build(n, &raw);
+        let src = src % n as u32;
+        let mut scratch = BfsScratch::new(n);
+        let small = scratch.vicinity_size(&g, src, h);
+        let big = scratch.vicinity_size(&g, src, h + 1);
+        prop_assert!(small <= big);
+        prop_assert!(small >= 1, "vicinity always contains the source");
+        prop_assert!(big <= n);
+    }
+
+    #[test]
+    fn batch_bfs_equals_union_of_singles((n, raw) in random_graph(), h in 0u32..4) {
+        let g = build(n, &raw);
+        let sources: Vec<u32> = (0..n as u32).step_by(3).collect();
+        prop_assume!(!sources.is_empty());
+        let mut scratch = BfsScratch::new(n);
+        let mut batch = Vec::new();
+        scratch.h_vicinity_into(&g, &sources, h, &mut batch);
+        batch.sort_unstable();
+        let mut union: Vec<u32> = sources
+            .iter()
+            .flat_map(|&s| scratch.h_vicinity(&g, s, h))
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        prop_assert_eq!(batch, union);
+    }
+
+    #[test]
+    fn vicinity_index_matches_direct_bfs((n, raw) in random_graph()) {
+        let g = build(n, &raw);
+        let idx = VicinityIndex::build(&g, 3);
+        let mut scratch = BfsScratch::new(n);
+        for v in 0..n as u32 {
+            for h in 1..=3u32 {
+                prop_assert_eq!(idx.size(v, h), scratch.vicinity_size(&g, v, h));
+            }
+        }
+    }
+
+    #[test]
+    fn node_mask_round_trips(nodes in proptest::collection::vec(0u32..500, 0..64)) {
+        let mask = NodeMask::from_nodes(500, &nodes);
+        let mut expect = nodes.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(mask.to_nodes(), expect.clone());
+        prop_assert_eq!(mask.len(), expect.len());
+        for v in expect {
+            prop_assert!(mask.contains(v));
+        }
+    }
+
+    #[test]
+    fn merge_union_is_sorted_dedup_union(
+        mut a in proptest::collection::vec(0u32..100, 0..40),
+        mut b in proptest::collection::vec(0u32..100, 0..40),
+    ) {
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let u = merge_union(&a, &b);
+        prop_assert!(u.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        for &x in a.iter().chain(&b) {
+            prop_assert!(u.binary_search(&x).is_ok());
+        }
+        for &x in &u {
+            prop_assert!(a.binary_search(&x).is_ok() || b.binary_search(&x).is_ok());
+        }
+    }
+
+    #[test]
+    fn generated_graphs_have_consistent_degree_sums((n, raw) in random_graph()) {
+        let g = build(n, &raw);
+        let by_nodes: u64 = g.nodes().map(|v| g.degree(v) as u64).sum();
+        prop_assert_eq!(by_nodes, g.degree_sum());
+        prop_assert_eq!(g.degree_sum() as usize, 2 * g.num_edges());
+        // Every edge is reported once with u < v.
+        let edges: Vec<_> = g.edges().collect();
+        prop_assert_eq!(edges.len(), g.num_edges());
+        prop_assert!(edges.iter().all(|&(u, v)| u < v));
+    }
+}
