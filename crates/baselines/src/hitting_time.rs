@@ -90,10 +90,7 @@ mod tests {
     fn source_in_targets_hits_immediately() {
         let g = path(5);
         let t = mask(5, &[2]);
-        assert_eq!(
-            truncated_hitting_time(&g, 2, &t, 10, 50, &mut rng(1)),
-            0.0
-        );
+        assert_eq!(truncated_hitting_time(&g, 2, &t, 10, 50, &mut rng(1)), 0.0);
     }
 
     #[test]
@@ -128,10 +125,7 @@ mod tests {
         let far = mask(30, &[25]);
         let h_near = truncated_hitting_time(&g, 0, &near, 50, 400, &mut rng(5));
         let h_far = truncated_hitting_time(&g, 0, &far, 50, 400, &mut rng(5));
-        assert!(
-            h_near < h_far,
-            "near {h_near} should beat far {h_far}"
-        );
+        assert!(h_near < h_far, "near {h_near} should beat far {h_far}");
     }
 
     #[test]

@@ -77,18 +77,13 @@ impl ProximityMiner {
 
     /// Mine all event pairs from `store` whose support clears `minsup`,
     /// sorted by descending support.
-    pub fn mine_pairs(
-        &self,
-        g: &CsrGraph,
-        store: &EventStore,
-    ) -> Vec<ProximityPattern> {
+    pub fn mine_pairs(&self, g: &CsrGraph, store: &EventStore) -> Vec<ProximityPattern> {
         let mut scratch = BfsScratch::new(g.num_nodes());
         let ids: Vec<EventId> = store.iter().map(|(id, _, _)| id).collect();
         let mut out = Vec::new();
         for (i, &a) in ids.iter().enumerate() {
             for &b in &ids[i + 1..] {
-                let support =
-                    self.pair_support(g, &mut scratch, store.nodes(a), store.nodes(b));
+                let support = self.pair_support(g, &mut scratch, store.nodes(a), store.nodes(b));
                 if support >= self.minsup {
                     out.push(ProximityPattern { a, b, support });
                 }
@@ -103,13 +98,7 @@ impl ProximityMiner {
     }
 
     /// Would the miner report this pair? (Table 5's question.)
-    pub fn detects(
-        &self,
-        g: &CsrGraph,
-        scratch: &mut BfsScratch,
-        va: &[u32],
-        vb: &[u32],
-    ) -> bool {
+    pub fn detects(&self, g: &CsrGraph, scratch: &mut BfsScratch, va: &[u32], vb: &[u32]) -> bool {
         self.pair_support(g, scratch, va, vb) >= self.minsup
     }
 }
@@ -165,15 +154,15 @@ mod tests {
         let miner = ProximityMiner::new(1, 0.10);
         let patterns = miner.mine_pairs(&g, &store);
         let has = |x: &str, y: &str| {
-            let (ix, iy) = (
-                store.id_by_name(x).unwrap(),
-                store.id_by_name(y).unwrap(),
-            );
+            let (ix, iy) = (store.id_by_name(x).unwrap(), store.id_by_name(y).unwrap());
             patterns
                 .iter()
                 .any(|p| (p.a == ix && p.b == iy) || (p.a == iy && p.b == ix))
         };
-        assert!(has("frequent_a", "frequent_b"), "frequent pair must be mined");
+        assert!(
+            has("frequent_a", "frequent_b"),
+            "frequent pair must be mined"
+        );
         assert!(
             !has("rare_a", "rare_b"),
             "rare pair must fall below minsup despite perfect co-location"

@@ -37,7 +37,10 @@ impl Contingency {
         b.sort_unstable();
         b.dedup();
         for &v in a.iter().chain(&b) {
-            assert!((v as usize) < num_nodes, "node {v} out of range {num_nodes}");
+            assert!(
+                (v as usize) < num_nodes,
+                "node {v} out of range {num_nodes}"
+            );
         }
         let mut n11 = 0u64;
         let (mut i, mut j) = (0usize, 0usize);
@@ -224,7 +227,11 @@ mod tests {
 
     #[test]
     fn outcome_respects_tail() {
-        let tc = transaction_correlation(30, &(0..10).collect::<Vec<_>>(), &(0..10).collect::<Vec<_>>());
+        let tc = transaction_correlation(
+            30,
+            &(0..10).collect::<Vec<_>>(),
+            &(0..10).collect::<Vec<_>>(),
+        );
         let o = tc.outcome(Tail::Upper, SignificanceLevel::FIVE_PERCENT);
         assert!(o.is_significant());
         let o = tc.outcome(Tail::Lower, SignificanceLevel::FIVE_PERCENT);

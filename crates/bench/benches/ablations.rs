@@ -1,24 +1,26 @@
 //! Ablation benches for the design choices called out in DESIGN.md §7.
 //!
-//! * `tau/exact_vs_merge` — the O(n²) pair enumeration against
+//! * `tau/{exact,merge}_n*` — the O(n²) pair enumeration against
 //!   Knight's O(n log n) algorithm across sample sizes (identical
 //!   output, cross-checked in tests).
-//! * `variance/ties` — the tie-corrected Eq. 6 against the naive
-//!   Eq. 5 (cost of the correction is negligible; correctness is what
-//!   the engine pays for).
-//! * `bfs/epoch_vs_clear` — epoch-stamped visited marks against a
+//! * `variance/*` — the tie-corrected Eq. 6 against the naive Eq. 5
+//!   (cost of the correction is negligible; correctness is what the
+//!   engine pays for).
+//! * `bfs_marks/*` — epoch-stamped visited marks against a
 //!   clear-the-bitmap-per-search baseline, the reason BfsScratch
 //!   exists.
-//! * `density/bfs_vs_hitting` — Eq. 2 BFS density against the
-//!   hitting-time affinity (the Sec. 5.3 cost claim).
+//! * `density/*` — Eq. 2 BFS density against the hitting-time
+//!   affinity (the Sec. 5.3 cost claim).
+//!
+//! Runs on the in-repo [`tesc_bench::timing`] harness (criterion is
+//! not vendorable offline): `cargo bench --bench ablations [-- filter]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::hint::black_box;
 use tesc::density::density_counts;
 use tesc::{BfsScratch, NodeMask};
 use tesc_baselines::hitting_time::truncated_hitting_time;
+use tesc_bench::timing::Harness;
 use tesc_datasets::twitter_like;
 use tesc_graph::csr::CsrGraph;
 use tesc_graph::perturb::sample_nodes;
@@ -26,35 +28,14 @@ use tesc_stats::kendall::{
     pair_counts_exact, pair_counts_merge, var_s_no_ties, var_s_tie_corrected,
 };
 
-fn tau_ablation(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut group = c.benchmark_group("tau");
-    for n in [100usize, 300, 900] {
-        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
-        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
-        group.bench_function(format!("exact_n{n}"), |b| {
-            b.iter(|| black_box(pair_counts_exact(&x, &y)))
-        });
-        group.bench_function(format!("merge_n{n}"), |b| {
-            b.iter(|| black_box(pair_counts_merge(&x, &y)))
-        });
-    }
-    group.finish();
-}
-
-fn variance_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("variance");
-    let u: Vec<usize> = (2..100).collect();
-    let v: Vec<usize> = (2..80).collect();
-    group.bench_function("naive_eq5", |b| b.iter(|| black_box(var_s_no_ties(900))));
-    group.bench_function("tie_corrected_eq6", |b| {
-        b.iter(|| black_box(var_s_tie_corrected(900, &u, &v)))
-    });
-    group.finish();
-}
-
 /// Clearing baseline: a fresh visited bitmap per BFS.
-fn bfs_with_clearing(g: &CsrGraph, visited: &mut [bool], queue: &mut Vec<u32>, src: u32, h: u32) -> usize {
+fn bfs_with_clearing(
+    g: &CsrGraph,
+    visited: &mut [bool],
+    queue: &mut Vec<u32>,
+    src: u32,
+    h: u32,
+) -> usize {
     visited.iter_mut().for_each(|b| *b = false);
     queue.clear();
     visited[src as usize] = true;
@@ -78,66 +59,63 @@ fn bfs_with_clearing(g: &CsrGraph, visited: &mut [bool], queue: &mut Vec<u32>, s
     count
 }
 
-fn bfs_epoch_ablation(c: &mut Criterion) {
-    let g = twitter_like(100_000, &mut StdRng::seed_from_u64(2));
-    let sources = sample_nodes(&g, 128, &mut StdRng::seed_from_u64(3));
-    let mut group = c.benchmark_group("bfs_marks");
-    let h = 2u32;
+fn main() {
+    let harness = Harness::new().with_samples(15);
 
-    let mut scratch = BfsScratch::new(g.num_nodes());
-    let mut i = 0usize;
-    group.bench_function("epoch_stamped", |b| {
-        b.iter(|| {
-            let s = sources[i % sources.len()];
-            i += 1;
-            black_box(scratch.visit_h_vicinity(&g, &[s], h, |_, _| {}))
-        })
+    // --- tau ----------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [100usize, 300, 900] {
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        harness.bench(&format!("tau/exact_n{n}"), || pair_counts_exact(&x, &y));
+        harness.bench(&format!("tau/merge_n{n}"), || pair_counts_merge(&x, &y));
+    }
+
+    // --- variance -----------------------------------------------------
+    let u: Vec<usize> = (2..100).collect();
+    let v: Vec<usize> = (2..80).collect();
+    harness.bench("variance/naive_eq5", || var_s_no_ties(900));
+    harness.bench("variance/tie_corrected_eq6", || {
+        var_s_tie_corrected(900, &u, &v)
     });
 
+    // --- bfs_marks ----------------------------------------------------
+    let g = twitter_like(100_000, &mut StdRng::seed_from_u64(2));
+    let sources = sample_nodes(&g, 128, &mut StdRng::seed_from_u64(3));
+    let h = 2u32;
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut i = 0usize;
+    harness.bench("bfs_marks/epoch_stamped", || {
+        let s = sources[i % sources.len()];
+        i += 1;
+        scratch.visit_h_vicinity(&g, &[s], h, |_, _| {})
+    });
     let mut visited = vec![false; g.num_nodes()];
     let mut queue = Vec::new();
     let mut j = 0usize;
-    group.bench_function("clear_per_search", |b| {
-        b.iter(|| {
-            let s = sources[j % sources.len()];
-            j += 1;
-            black_box(bfs_with_clearing(&g, &mut visited, &mut queue, s, h))
-        })
+    harness.bench("bfs_marks/clear_per_search", || {
+        let s = sources[j % sources.len()];
+        j += 1;
+        bfs_with_clearing(&g, &mut visited, &mut queue, s, h)
     });
-    group.finish();
-}
 
-fn density_vs_hitting(c: &mut Criterion) {
+    // --- density ------------------------------------------------------
     let g = twitter_like(100_000, &mut StdRng::seed_from_u64(4));
     let events = sample_nodes(&g, 1000, &mut StdRng::seed_from_u64(5));
     let mask = NodeMask::from_nodes(g.num_nodes(), &events);
     let sources = sample_nodes(&g, 64, &mut StdRng::seed_from_u64(6));
     let mut scratch = BfsScratch::new(g.num_nodes());
     let mut rng = StdRng::seed_from_u64(7);
-
-    let mut group = c.benchmark_group("density");
     let mut i = 0usize;
-    group.bench_function("bfs_density_h2", |b| {
-        b.iter(|| {
-            let s = sources[i % sources.len()];
-            i += 1;
-            black_box(density_counts(&g, &mut scratch, s, 2, &mask, &mask))
-        })
+    harness.bench("density/bfs_density_h2", || {
+        let s = sources[i % sources.len()];
+        i += 1;
+        density_counts(&g, &mut scratch, s, 2, &mask, &mask)
     });
     let mut j = 0usize;
-    group.bench_function("hitting_time_t10_w1000", |b| {
-        b.iter(|| {
-            let s = sources[j % sources.len()];
-            j += 1;
-            black_box(truncated_hitting_time(&g, s, &mask, 10, 1000, &mut rng))
-        })
+    harness.bench("density/hitting_time_t10_w1000", || {
+        let s = sources[j % sources.len()];
+        j += 1;
+        truncated_hitting_time(&g, s, &mask, 10, 1000, &mut rng)
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = tau_ablation, variance_ablation, bfs_epoch_ablation, density_vs_hitting
-}
-criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Thread-scaling bench for the parallel batch engine (`tesc::batch`).
+//!
+//! Measures the fig8-style density workload — a batch of planted DBLP
+//! keyword pairs, Batch BFS sampling, n = 300 — at 1/2/4/8 worker
+//! threads, for both parallelism axes:
+//!
+//! * `batch/threads{T}` — across-test fan-out via `run_batch`.
+//! * `density/threads{T}` — within-test density fan-out via
+//!   `TescEngine::with_density_threads` on a single big test.
+//!
+//! Speedup is relative to the 1-thread row; on a single-core machine
+//! all rows are expected to be flat. Runs on the in-repo
+//! [`tesc_bench::timing`] harness (criterion is not vendorable
+//! offline): `cargo bench --bench batch_scaling`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::batch::{run_batch, BatchRequest, EventPair};
+use tesc::{BfsScratch, TescConfig, TescEngine};
+use tesc_bench::timing::Harness;
+use tesc_bench::{dblp_scenario, Scale};
+use tesc_events::simulate::positive_pair;
+use tesc_stats::Tail;
+
+fn main() {
+    let harness = Harness::new().with_samples(10);
+    let scale = Scale::Small;
+    let s = dblp_scenario(scale, 42);
+    let g = &s.graph;
+    let mut scratch = BfsScratch::new(g.num_nodes());
+
+    let pairs: Vec<EventPair> = (0..16)
+        .filter_map(|t| {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            positive_pair(g, &mut scratch, scale.event_size(), 2, &mut rng)
+                .ok()
+                .map(|lp| {
+                    let p = lp.to_pair();
+                    EventPair::new(format!("pair{t}"), p.a, p.b)
+                })
+        })
+        .collect();
+    let cfg = TescConfig::new(2)
+        .with_sample_size(300)
+        .with_tail(Tail::Upper);
+
+    let engine = TescEngine::new(g);
+    for threads in [1usize, 2, 4, 8] {
+        let req = BatchRequest::new(cfg)
+            .with_seed(7)
+            .with_threads(threads)
+            .with_pairs(pairs.clone());
+        harness.bench(&format!("batch/threads{threads}"), || {
+            run_batch(&engine, &req)
+        });
+    }
+
+    let single = &pairs[0];
+    for threads in [1usize, 2, 4, 8] {
+        let engine = TescEngine::new(g).with_density_threads(threads);
+        harness.bench(&format!("density/threads{threads}"), || {
+            let mut rng = StdRng::seed_from_u64(7);
+            engine.test(&single.a, &single.b, &cfg, &mut rng).unwrap()
+        });
+    }
+}

@@ -1,18 +1,20 @@
-//! Criterion micro-benchmarks for the per-test hot paths (Fig. 10).
+//! Micro-benchmarks for the per-test hot paths (Fig. 10).
 //!
 //! * `bfs/h{1,2,3}` — one h-hop BFS on a Twitter-like graph (the
 //!   density computation of Eq. 2).
-//! * `zscore/exact_n{…}` and `zscore/merge_n{…}` — the Kendall test at
-//!   reference sample sizes 300 and 900.
+//! * `zscore/{exact,merge}_n{300,900}` — the Kendall test at the
+//!   paper's reference sample sizes.
 //! * `sampling/*` — one full reference-node sampling round per
 //!   strategy at a fixed event-set size.
+//!
+//! Runs on the in-repo [`tesc_bench::timing`] harness (criterion is
+//! not vendorable offline): `cargo bench --bench micro [-- filter]`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::hint::black_box;
 use tesc::sampler::{batch_bfs_sample, importance_sample, whole_graph_sample};
 use tesc::{BfsScratch, NodeMask, VicinityIndex};
+use tesc_bench::timing::Harness;
 use tesc_datasets::twitter_like;
 use tesc_graph::perturb::sample_nodes;
 use tesc_stats::kendall::{kendall_tau, KendallMethod};
@@ -21,41 +23,40 @@ const GRAPH_NODES: usize = 100_000;
 const EVENT_NODES: usize = 1_000;
 const SAMPLE_SIZE: usize = 900;
 
-fn bfs_benches(c: &mut Criterion) {
+fn main() {
+    let harness = Harness::new();
+
+    // --- bfs/h{1,2,3} -------------------------------------------------
     let g = twitter_like(GRAPH_NODES, &mut StdRng::seed_from_u64(1));
     let mut scratch = BfsScratch::new(g.num_nodes());
     let sources = sample_nodes(&g, 256, &mut StdRng::seed_from_u64(2));
-    let mut group = c.benchmark_group("bfs");
     for h in [1u32, 2, 3] {
         let mut i = 0usize;
-        group.bench_function(format!("h{h}"), |b| {
-            b.iter(|| {
-                let s = sources[i % sources.len()];
-                i += 1;
-                black_box(scratch.visit_h_vicinity(&g, &[s], h, |_, _| {}))
-            })
+        harness.bench(&format!("bfs/h{h}"), || {
+            let s = sources[i % sources.len()];
+            i += 1;
+            scratch.visit_h_vicinity(&g, &[s], h, |_, _| {})
         });
     }
-    group.finish();
-}
 
-fn zscore_benches(c: &mut Criterion) {
+    // --- zscore/{exact,merge} ----------------------------------------
     let mut rng = StdRng::seed_from_u64(3);
-    let mut group = c.benchmark_group("zscore");
     for n in [300usize, 900] {
-        let sa: Vec<f64> = (0..n).map(|_| (rng.gen_range(0..40) as f64) / 40.0).collect();
-        let sb: Vec<f64> = (0..n).map(|_| (rng.gen_range(0..40) as f64) / 40.0).collect();
-        group.bench_function(format!("exact_n{n}"), |b| {
-            b.iter(|| black_box(kendall_tau(&sa, &sb, KendallMethod::Exact)))
+        let sa: Vec<f64> = (0..n)
+            .map(|_| (rng.gen_range(0..40) as f64) / 40.0)
+            .collect();
+        let sb: Vec<f64> = (0..n)
+            .map(|_| (rng.gen_range(0..40) as f64) / 40.0)
+            .collect();
+        harness.bench(&format!("zscore/exact_n{n}"), || {
+            kendall_tau(&sa, &sb, KendallMethod::Exact)
         });
-        group.bench_function(format!("merge_n{n}"), |b| {
-            b.iter(|| black_box(kendall_tau(&sa, &sb, KendallMethod::MergeSort)))
+        harness.bench(&format!("zscore/merge_n{n}"), || {
+            kendall_tau(&sa, &sb, KendallMethod::MergeSort)
         });
     }
-    group.finish();
-}
 
-fn sampling_benches(c: &mut Criterion) {
+    // --- sampling/* ---------------------------------------------------
     let g = twitter_like(GRAPH_NODES, &mut StdRng::seed_from_u64(4));
     let mut scratch = BfsScratch::new(g.num_nodes());
     let events = sample_nodes(&g, EVENT_NODES, &mut StdRng::seed_from_u64(5));
@@ -63,64 +64,26 @@ fn sampling_benches(c: &mut Criterion) {
     let h = 1u32;
     let idx = VicinityIndex::build_for_nodes(&g, &events, h);
 
-    let mut group = c.benchmark_group("sampling");
-    group.bench_function("batch_bfs", |b| {
-        b.iter_batched(
-            || StdRng::seed_from_u64(6),
-            |mut rng| {
-                black_box(batch_bfs_sample(
-                    &g,
-                    &mut scratch,
-                    &events,
-                    h,
-                    SAMPLE_SIZE,
-                    &mut rng,
-                ))
-            },
-            BatchSize::SmallInput,
+    harness.bench("sampling/batch_bfs", || {
+        let mut rng = StdRng::seed_from_u64(6);
+        batch_bfs_sample(&g, &mut scratch, &events, h, SAMPLE_SIZE, &mut rng)
+    });
+    harness.bench("sampling/importance", || {
+        let mut rng = StdRng::seed_from_u64(7);
+        importance_sample(
+            &g,
+            &mut scratch,
+            &events,
+            &idx,
+            h,
+            SAMPLE_SIZE,
+            1,
+            SAMPLE_SIZE * 64,
+            &mut rng,
         )
     });
-    group.bench_function("importance", |b| {
-        b.iter_batched(
-            || StdRng::seed_from_u64(7),
-            |mut rng| {
-                black_box(importance_sample(
-                    &g,
-                    &mut scratch,
-                    &events,
-                    &idx,
-                    h,
-                    SAMPLE_SIZE,
-                    1,
-                    SAMPLE_SIZE * 64,
-                    &mut rng,
-                ))
-            },
-            BatchSize::SmallInput,
-        )
+    harness.bench("sampling/whole_graph", || {
+        let mut rng = StdRng::seed_from_u64(8);
+        whole_graph_sample(&g, &mut scratch, &union_mask, h, SAMPLE_SIZE, &mut rng)
     });
-    group.bench_function("whole_graph", |b| {
-        b.iter_batched(
-            || StdRng::seed_from_u64(8),
-            |mut rng| {
-                black_box(whole_graph_sample(
-                    &g,
-                    &mut scratch,
-                    &union_mask,
-                    h,
-                    SAMPLE_SIZE,
-                    &mut rng,
-                ))
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bfs_benches, zscore_benches, sampling_benches
-}
-criterion_main!(benches);

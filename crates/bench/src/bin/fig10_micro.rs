@@ -8,7 +8,11 @@
 //!   (the `O(n²)` pair enumeration + tie-corrected variance) — the
 //!   paper reports 4 ms at n = 1000.
 //!
-//! Run: `cargo run --release -p tesc-bench --bin fig10_micro`
+//! Output: two `# `-headed blocks — (a) mean BFS milliseconds per
+//! `h graph_nodes` cell, (b) mean z-score-computation milliseconds per
+//! reference-sample size `n` for the exact and merge-sort counters.
+//!
+//! Run: `cargo run --release -p tesc_bench --bin fig10_micro`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -83,8 +87,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed + 2);
     for n in (100..=1000).step_by(100) {
         // Density-like vectors with plenty of ties (quantized ratios).
-        let sa: Vec<f64> = (0..n).map(|_| (rng.gen_range(0..40) as f64) / 40.0).collect();
-        let sb: Vec<f64> = (0..n).map(|_| (rng.gen_range(0..40) as f64) / 40.0).collect();
+        let sa: Vec<f64> = (0..n)
+            .map(|_| (rng.gen_range(0..40) as f64) / 40.0)
+            .collect();
+        let sb: Vec<f64> = (0..n)
+            .map(|_| (rng.gen_range(0..40) as f64) / 40.0)
+            .collect();
         let reps = 20;
         let mut t_exact = Vec::with_capacity(reps);
         let mut t_merge = Vec::with_capacity(reps);

@@ -1,0 +1,121 @@
+//! **Figure 11** (beyond the paper) — thread scaling of the parallel
+//! batch engine on the Fig. 8 density workload.
+//!
+//! The paper's evaluation is single-threaded; this binary charts what
+//! the batch layer adds: plant a set of positive DBLP keyword pairs,
+//! run the whole batch at 1/2/4/8 worker threads, and report wall
+//! time, throughput and speedup versus the serial run. It also
+//! verifies the engine's core determinism contract on every row: the
+//! z-scores at T threads are bit-identical to the 1-thread run.
+//!
+//! Output format (one row per thread count, TSV-ish):
+//!
+//! ```text
+//! threads  wall_ms  tests_per_s  speedup  identical
+//! 1        812.4    19.7         1.00     yes
+//! 4        221.9    72.1         3.66     yes
+//! ```
+//!
+//! Run: `cargo run --release -p tesc_bench --bin fig11_batch_scaling`
+//! Flags: `--scale small|medium|large`, `--pairs N`, `--sample-size N`,
+//! `--h H`, `--seed N`, `--max-threads T`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::batch::{run_batch, BatchRequest, EventPair};
+use tesc::{BfsScratch, TescConfig, TescEngine};
+use tesc_bench::{dblp_scenario, flag, parse_flags, scale_flag};
+use tesc_events::simulate::positive_pair;
+use tesc_stats::Tail;
+
+const USAGE: &str = "fig11_batch_scaling — batch-engine thread scaling (beyond the paper)
+  --scale small|medium|large   graph scale (default medium)
+  --pairs N                    planted pairs in the batch (default 32)
+  --sample-size N              reference nodes per test (default 300)
+  --h H                        vicinity level (default 2)
+  --seed N                     base seed (default 42)
+  --max-threads T              highest thread count to sweep (default 8)";
+
+fn main() {
+    let flags = parse_flags(USAGE);
+    let scale = scale_flag(&flags);
+    let num_pairs = flag(&flags, "pairs", 32usize);
+    let sample_size = flag(&flags, "sample-size", 300usize);
+    let h = flag(&flags, "h", 2u32);
+    let seed = flag(&flags, "seed", 42u64);
+    let max_threads = flag(&flags, "max-threads", 8usize);
+
+    eprintln!("building DBLP-like scenario ({scale:?})...");
+    let s = dblp_scenario(scale, seed);
+    let g = &s.graph;
+    let mut scratch = BfsScratch::new(g.num_nodes());
+
+    eprintln!("planting {num_pairs} positive pairs at h = {h}...");
+    let pairs: Vec<EventPair> = (0..num_pairs)
+        .filter_map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1000 + t as u64));
+            positive_pair(g, &mut scratch, scale.event_size(), h, &mut rng)
+                .ok()
+                .map(|lp| {
+                    let p = lp.to_pair();
+                    EventPair::new(format!("pair{t}"), p.a, p.b)
+                })
+        })
+        .collect();
+
+    let cfg = TescConfig::new(h)
+        .with_sample_size(sample_size)
+        .with_tail(Tail::Upper);
+    let engine = TescEngine::new(g);
+    let base_req = BatchRequest::new(cfg).with_seed(seed).with_pairs(pairs);
+
+    println!(
+        "# Figure 11: batch thread scaling — {} pairs, n = {sample_size}, h = {h}, |V| = {}, cores = {}",
+        base_req.pairs.len(),
+        g.num_nodes(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    println!(
+        "{:<8} {:>9} {:>12} {:>8} {:>10}",
+        "threads", "wall_ms", "tests_per_s", "speedup", "identical"
+    );
+
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+
+    let mut baseline: Option<(f64, Vec<f64>)> = None;
+    for &threads in &thread_counts {
+        let report = run_batch(&engine, &base_req.clone().with_threads(threads));
+        let wall_ms = report.wall.as_secs_f64() * 1e3;
+        let zs: Vec<f64> = report
+            .outcomes
+            .iter()
+            .map(|o| o.result.as_ref().map(|r| r.z()).unwrap_or(f64::NAN))
+            .collect();
+        let (base_ms, identical) = match &baseline {
+            None => {
+                baseline = Some((wall_ms, zs));
+                (wall_ms, true)
+            }
+            Some((base_ms, base_zs)) => {
+                let same = base_zs
+                    .iter()
+                    .zip(&zs)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                (*base_ms, same)
+            }
+        };
+        println!(
+            "{:<8} {:>9.1} {:>12.1} {:>8.2} {:>10}",
+            threads,
+            wall_ms,
+            report.tests_per_sec(),
+            base_ms / wall_ms,
+            if identical { "yes" } else { "NO" },
+        );
+    }
+}

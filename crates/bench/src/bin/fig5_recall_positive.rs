@@ -8,7 +8,10 @@
 //! positives are harder to break than h = 1 (the right-hand subfigure
 //! needs noise 0.7 to collapse, the left-hand one 0.3).
 //!
-//! Run: `cargo run --release -p tesc-bench --bin fig5_recall_positive`
+//! Output: `# `-prefixed provenance lines, then one whitespace-aligned
+//! row per cell: `h noise sampler recall mean_z` (recall in 0.00-1.00).
+//!
+//! Run: `cargo run --release -p tesc_bench --bin fig5_recall_positive`
 
 use tesc::{SamplerKind, VicinityIndex};
 use tesc_bench::recall::{run_cell, Direction, SweepSpec};
@@ -42,8 +45,14 @@ fn main() {
     let idx = VicinityIndex::build(&s.graph, 3);
 
     println!("# Figure 5: recall vs noise, positive pairs, alpha=0.05 one-tailed");
-    println!("# event size = {}, n = {sample_size}, pairs = {pairs}", scale.event_size());
-    println!("{:<4} {:<6} {:<18} {:>7} {:>9}", "h", "noise", "sampler", "recall", "mean_z");
+    println!(
+        "# event size = {}, n = {sample_size}, pairs = {pairs}",
+        scale.event_size()
+    );
+    println!(
+        "{:<4} {:<6} {:<18} {:>7} {:>9}",
+        "h", "noise", "sampler", "recall", "mean_z"
+    );
     for h in [1u32, 2, 3] {
         for &noise in positive_noise_grid(h) {
             let spec = SweepSpec {
@@ -52,7 +61,9 @@ fn main() {
                 event_size: scale.event_size(),
                 sample_size,
                 pairs,
-                seed: seed.wrapping_add((h as u64) << 32).wrapping_add((noise * 1000.0) as u64),
+                seed: seed
+                    .wrapping_add((h as u64) << 32)
+                    .wrapping_add((noise * 1000.0) as u64),
                 samplers: vec![
                     SamplerKind::BatchBfs,
                     SamplerKind::Importance {

@@ -6,7 +6,10 @@
 //! collapses by 0.5), because escaping `V^3_a` is nearly impossible
 //! when it covers most of the graph.
 //!
-//! Run: `cargo run --release -p tesc-bench --bin fig6_recall_negative`
+//! Output: `# `-prefixed provenance lines, then one whitespace-aligned
+//! row per cell: `h noise sampler recall mean_z` (recall in 0.00-1.00).
+//!
+//! Run: `cargo run --release -p tesc_bench --bin fig6_recall_negative`
 
 use tesc::{SamplerKind, VicinityIndex};
 use tesc_bench::recall::{run_cell, Direction, SweepSpec};
@@ -34,8 +37,14 @@ fn main() {
     let idx = VicinityIndex::build(&s.graph, 3);
 
     println!("# Figure 6: recall vs noise, negative pairs, alpha=0.05 one-tailed");
-    println!("# event size = {}, n = {sample_size}, pairs = {pairs}", scale.event_size());
-    println!("{:<4} {:<6} {:<18} {:>7} {:>9}", "h", "noise", "sampler", "recall", "mean_z");
+    println!(
+        "# event size = {}, n = {sample_size}, pairs = {pairs}",
+        scale.event_size()
+    );
+    println!(
+        "{:<4} {:<6} {:<18} {:>7} {:>9}",
+        "h", "noise", "sampler", "recall", "mean_z"
+    );
     for h in [1u32, 2, 3] {
         for &noise in negative_noise_grid(h) {
             let spec = SweepSpec {
@@ -44,7 +53,9 @@ fn main() {
                 event_size: scale.event_size(),
                 sample_size,
                 pairs,
-                seed: seed.wrapping_add((h as u64) << 32).wrapping_add((noise * 1000.0) as u64),
+                seed: seed
+                    .wrapping_add((h as u64) << 32)
+                    .wrapping_add((noise * 1000.0) as u64),
                 samplers: vec![
                     SamplerKind::BatchBfs,
                     SamplerKind::Importance {

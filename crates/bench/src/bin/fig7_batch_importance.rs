@@ -11,7 +11,10 @@
 //! at h = 3 (bigger vicinities tolerate more draws before the sample
 //! gets trapped in local correlations) and degrades sooner at h = 2.
 //!
-//! Run: `cargo run --release -p tesc-bench --bin fig7_batch_importance`
+//! Output: `# `-prefixed provenance lines, then one row per cell:
+//! `direction h noise k recall mean_z`.
+//!
+//! Run: `cargo run --release -p tesc_bench --bin fig7_batch_importance`
 
 use tesc::{SamplerKind, VicinityIndex};
 use tesc_bench::recall::{run_cell, Direction, SweepSpec};
@@ -44,7 +47,10 @@ fn main() {
     let ks = [1usize, 3, 5, 10, 15, 20];
 
     println!("# Figure 7: batched importance sampling, recall vs k");
-    println!("# event size = {}, n = {sample_size}, pairs = {pairs}", scale.event_size());
+    println!(
+        "# event size = {}, n = {sample_size}, pairs = {pairs}",
+        scale.event_size()
+    );
     println!(
         "{:<10} {:<4} {:<6} {:<4} {:>7} {:>9}",
         "direction", "h", "noise", "k", "recall", "mean_z"

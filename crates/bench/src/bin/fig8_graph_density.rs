@@ -8,7 +8,11 @@
 //! recall stays at 1. 1-hop positives resist removal longest (linked
 //! pairs at distance 0 survive any removal).
 //!
-//! Run: `cargo run --release -p tesc-bench --bin fig8_graph_density`
+//! Output: `# `-prefixed provenance lines, then two column blocks
+//! (removal sweep, addition sweep), one row per cell:
+//! `direction h edges_removed|edges_added recall`.
+//!
+//! Run: `cargo run --release -p tesc_bench --bin fig8_graph_density`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,10 +67,16 @@ fn main() {
     }
 
     println!("# Figure 8: recall under random edge removal (a) / addition (b), Batch BFS");
-    println!("# |E| = {m}, event size = {}, n = {sample_size}, pairs = {pairs}", scale.event_size());
+    println!(
+        "# |E| = {m}, event size = {}, n = {sample_size}, pairs = {pairs}",
+        scale.event_size()
+    );
 
     // (a) Removal sweep — paper removes up to all edges of DBLP.
-    println!("{:<10} {:<4} {:<14} {:>7}", "direction", "h", "edges_removed", "recall");
+    println!(
+        "{:<10} {:<4} {:<14} {:>7}",
+        "direction", "h", "edges_removed", "recall"
+    );
     for frac in [0.0, 0.3, 0.6, 0.9] {
         let count = (m as f64 * frac) as usize;
         let g = if count == 0 {
@@ -74,7 +84,7 @@ fn main() {
         } else {
             remove_random_edges(g0, count, &mut StdRng::seed_from_u64(seed ^ 0xAAAA)).0
         };
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         for (is_pos, h, set) in &sets {
             let (tail, label) = if *is_pos {
                 (Tail::Upper, "Positive")
@@ -84,7 +94,9 @@ fn main() {
             let mut hits = 0usize;
             let mut done = 0usize;
             for (t, pair) in set.iter().enumerate() {
-                let cfg = TescConfig::new(*h).with_sample_size(sample_size).with_tail(tail);
+                let cfg = TescConfig::new(*h)
+                    .with_sample_size(sample_size)
+                    .with_tail(tail);
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64) ^ 0x5555);
                 if let Ok(res) = engine.test(&pair.a, &pair.b, &cfg, &mut rng) {
                     done += 1;
@@ -102,7 +114,10 @@ fn main() {
     }
 
     // (b) Addition sweep — paper adds up to ~14× the original edges.
-    println!("{:<10} {:<4} {:<14} {:>7}", "direction", "h", "edges_added", "recall");
+    println!(
+        "{:<10} {:<4} {:<14} {:>7}",
+        "direction", "h", "edges_added", "recall"
+    );
     for mult in [0.0, 2.0, 5.0, 14.0] {
         let count = (m as f64 * mult) as usize;
         let g = if count == 0 {
@@ -110,7 +125,7 @@ fn main() {
         } else {
             add_random_edges(g0, count, &mut StdRng::seed_from_u64(seed ^ 0xBBBB)).0
         };
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         for (is_pos, h, set) in &sets {
             let (tail, label) = if *is_pos {
                 (Tail::Upper, "Positive")
@@ -120,7 +135,9 @@ fn main() {
             let mut hits = 0usize;
             let mut done = 0usize;
             for (t, pair) in set.iter().enumerate() {
-                let cfg = TescConfig::new(*h).with_sample_size(sample_size).with_tail(tail);
+                let cfg = TescConfig::new(*h)
+                    .with_sample_size(sample_size)
+                    .with_tail(tail);
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64) ^ 0x7777);
                 if let Ok(res) = engine.test(&pair.a, &pair.b, &cfg, &mut rng) {
                     done += 1;

@@ -14,12 +14,16 @@
 //! accounting (Sec. 4.4); the `|V^h_v|` index is the offline input of
 //! Sec. 4.2 and is built per event set with `build_for_nodes`.
 //!
-//! Run: `cargo run --release -p tesc-bench --bin fig9_sampler_scaling`
+//! Output: `# `-prefixed provenance line, then one row per event-set
+//! size: `h |Va∪b| Batch_BFS Importance WholeGraph index_build`, all
+//! times mean milliseconds per sampling round.
+//!
+//! Run: `cargo run --release -p tesc_bench --bin fig9_sampler_scaling`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tesc::{BfsScratch, NodeMask, VicinityIndex};
 use tesc::sampler::{batch_bfs_sample, importance_sample, whole_graph_sample};
+use tesc::{BfsScratch, NodeMask, VicinityIndex};
 use tesc_bench::{flag, importance_batch_size, mean_ms, parse_flags, time};
 use tesc_datasets::twitter_like;
 use tesc_graph::perturb::sample_nodes;
@@ -64,8 +68,9 @@ fn main() {
             let mut t_whole = Vec::new();
             let mut t_index = Vec::new();
             for rep in 0..reps {
-                let mut rng =
-                    StdRng::seed_from_u64(seed + rep as u64 + ((size as u64) << 20) + ((h as u64) << 50));
+                let mut rng = StdRng::seed_from_u64(
+                    seed + rep as u64 + ((size as u64) << 20) + ((h as u64) << 50),
+                );
                 let events = sample_nodes(&g, size, &mut rng);
                 let union_mask = NodeMask::from_nodes(g.num_nodes(), &events);
 
@@ -95,7 +100,8 @@ fn main() {
                 t_imp.push(d);
 
                 let ((), d) = time(|| {
-                    let _ = whole_graph_sample(&g, &mut scratch, &union_mask, h, sample_size, &mut rng);
+                    let _ =
+                        whole_graph_sample(&g, &mut scratch, &union_mask, h, sample_size, &mut rng);
                 });
                 t_whole.push(d);
             }

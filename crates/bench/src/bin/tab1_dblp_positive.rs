@@ -7,7 +7,10 @@
 //! keywords are used together by some authors *and* cluster in the
 //! same communities.
 //!
-//! Run: `cargo run --release -p tesc-bench --bin tab1_dblp_positive`
+//! Output: `# `-prefixed provenance lines, then one row per keyword
+//! pair: `pair h=1 h=2 h=3 TC` (all z-scores).
+//!
+//! Run: `cargo run --release -p tesc_bench --bin tab1_dblp_positive`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,7 +42,7 @@ fn main() {
 
     eprintln!("building DBLP-like scenario ({scale:?})...");
     let s = dblp_scenario(scale, seed);
-    let mut engine = TescEngine::new(&s.graph);
+    let engine = TescEngine::new(&s.graph);
 
     println!("# Table 1: keyword pairs with high 1-hop positive correlation (DBLP-like)");
     println!("# all scores are z-scores; TESC via Batch BFS, n = {sample_size}");

@@ -7,7 +7,10 @@
 //! "although some authors have used both two keywords, they are far
 //! away in the graph space".
 //!
-//! Run: `cargo run --release -p tesc-bench --bin tab2_dblp_negative`
+//! Output: `# `-prefixed provenance lines, then one row per keyword
+//! pair: `pair h=1 h=2 h=3 TC` (all z-scores).
+//!
+//! Run: `cargo run --release -p tesc_bench --bin tab2_dblp_negative`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +41,7 @@ fn main() {
 
     eprintln!("building DBLP-like scenario ({scale:?})...");
     let s = dblp_scenario(scale, seed);
-    let mut engine = TescEngine::new(&s.graph);
+    let engine = TescEngine::new(&s.graph);
 
     println!("# Table 2: keyword pairs with high 3-hop negative correlation (DBLP-like)");
     println!("# all scores are z-scores; TESC via Batch BFS, n = {sample_size}");

@@ -6,7 +6,10 @@
 //! so attackers alternate related techniques across the hosts of a
 //! subnet and the node sets barely overlap.
 //!
-//! Run: `cargo run --release -p tesc-bench --bin tab3_intrusion_positive`
+//! Output: `# `-prefixed provenance lines, then one row per alert
+//! pair: `pair TESC_h1 TC` (z-scores).
+//!
+//! Run: `cargo run --release -p tesc_bench --bin tab3_intrusion_positive`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +45,7 @@ fn main() {
         s.graph.num_edges(),
         s.graph.max_degree()
     );
-    let mut engine = TescEngine::new(&s.graph);
+    let engine = TescEngine::new(&s.graph);
 
     println!("# Table 3: alert pairs with high 1-hop positive correlation (Intrusion-like)");
     println!("# all scores are z-scores; TESC via Batch BFS, n = {sample_size}");

@@ -7,7 +7,10 @@
 //! paper uses h = 2 here because the hub structure makes 2-vicinities
 //! already cover much of the graph.
 //!
-//! Run: `cargo run --release -p tesc-bench --bin tab4_intrusion_negative`
+//! Output: `# `-prefixed provenance lines, then one row per alert
+//! pair: `pair TESC_h2 TC` (z-scores).
+//!
+//! Run: `cargo run --release -p tesc_bench --bin tab4_intrusion_negative`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,7 +40,7 @@ fn main() {
 
     eprintln!("building Intrusion-like scenario...");
     let s = IntrusionScenario::build(IntrusionConfig::default(), &mut StdRng::seed_from_u64(seed));
-    let mut engine = TescEngine::new(&s.graph);
+    let engine = TescEngine::new(&s.graph);
 
     println!("# Table 4: alert pairs with high 2-hop negative correlation (Intrusion-like)");
     println!("# all scores are z-scores; TESC via Batch BFS, n = {sample_size}");

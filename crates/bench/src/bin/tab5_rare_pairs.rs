@@ -6,7 +6,11 @@
 //! threshold (the paper uses minsup = 10/|V| for pFP and still finds
 //! these pairs absent); a frequent control pair is found by both.
 //!
-//! Run: `cargo run --release -p tesc-bench --bin tab5_rare_pairs`
+//! Output: `# `-prefixed provenance lines, then one row per pair:
+//! `pair z p-value support mined?` — `mined?` says whether the
+//! proximity miner's support threshold admitted the pair.
+//!
+//! Run: `cargo run --release -p tesc_bench --bin tab5_rare_pairs`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,8 +27,16 @@ const USAGE: &str = "tab5_rare_pairs — Table 5: rare pairs TESC finds, proximi
 /// Table 5's two rare pairs with their occurrence counts, plus a
 /// frequent control pair.
 const RARE: [(&str, usize, usize); 2] = [
-    ("HTTP IE Script HRAlign Overflow (16) vs. HTTP DotDotDot (29)", 16, 29),
-    ("HTTP ISA Rules Engine Bypass (81) vs. HTTP Script Bypass (12)", 81, 12),
+    (
+        "HTTP IE Script HRAlign Overflow (16) vs. HTTP DotDotDot (29)",
+        16,
+        29,
+    ),
+    (
+        "HTTP ISA Rules Engine Bypass (81) vs. HTTP Script Bypass (12)",
+        81,
+        12,
+    ),
 ];
 
 fn main() {
@@ -42,7 +54,7 @@ fn main() {
     let minsup_count = flag(&flags, "minsup-count", n_nodes / 20);
     let minsup = minsup_count as f64 / n_nodes as f64;
     let miner = ProximityMiner::new(1, minsup);
-    let mut engine = TescEngine::new(&s.graph);
+    let engine = TescEngine::new(&s.graph);
     let mut scratch = BfsScratch::new(n_nodes);
 
     println!("# Table 5: rare positive pairs — TESC vs proximity pattern mining");
@@ -58,7 +70,9 @@ fn main() {
             .with_sample_size(sample_size)
             .with_tail(Tail::Upper);
         let mut trng = StdRng::seed_from_u64(seed + 500 + i as u64);
-        let res = engine.test(&va, &vb, &cfg, &mut trng).expect("rare pair test");
+        let res = engine
+            .test(&va, &vb, &cfg, &mut trng)
+            .expect("rare pair test");
         let support = miner.pair_support(&s.graph, &mut scratch, &va, &vb);
         println!(
             "{:<62} {:>8.2} {:>10.4} {:>9.2e} {:>8}",
@@ -77,7 +91,9 @@ fn main() {
         .with_sample_size(sample_size)
         .with_tail(Tail::Upper);
     let mut trng = StdRng::seed_from_u64(seed + 600);
-    let res = engine.test(&va, &vb, &cfg, &mut trng).expect("control pair test");
+    let res = engine
+        .test(&va, &vb, &cfg, &mut trng)
+        .expect("control pair test");
     let support = miner.pair_support(&s.graph, &mut scratch, &va, &vb);
     println!(
         "{:<62} {:>8.2} {:>10.4} {:>9.2e} {:>8}",

@@ -14,6 +14,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod recall;
+pub mod timing;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

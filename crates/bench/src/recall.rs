@@ -63,7 +63,7 @@ pub fn run_cell(
     dir: Direction,
     spec: &SweepSpec,
 ) -> Vec<RecallCell> {
-    let mut engine = match idx {
+    let engine = match idx {
         Some(idx) => TescEngine::with_vicinity_index(g, idx),
         None => TescEngine::new(g),
     };
@@ -128,9 +128,15 @@ fn plant(
             apply_positive_noise(g, scratch, &lp, spec.noise, &mut rng).ok()
         }
         Direction::Negative => {
-            let pair =
-                negative_pair(g, scratch, spec.event_size, spec.event_size, spec.h, &mut rng)
-                    .ok()?;
+            let pair = negative_pair(
+                g,
+                scratch,
+                spec.event_size,
+                spec.event_size,
+                spec.h,
+                &mut rng,
+            )
+            .ok()?;
             Some(apply_negative_noise(
                 g, scratch, &pair, spec.h, spec.noise, &mut rng,
             ))

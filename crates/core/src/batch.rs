@@ -1,0 +1,407 @@
+//! Parallel batch execution of many TESC tests — the throughput layer.
+//!
+//! A realistic workload (Sec. 5.3's DBLP study, an alerting pipeline,
+//! an analytics dashboard) does not ask one question; it asks *all
+//! keyword pairs of a scenario*. Those tests are independent, they
+//! share the same read-only [`CsrGraph`](tesc_graph::CsrGraph) and
+//! [`VicinityIndex`](tesc_graph::VicinityIndex), and each one spends
+//! its time in `n` BFS searches — an embarrassingly parallel shape.
+//!
+//! [`run_batch`] fans a [`BatchRequest`] out over scoped worker
+//! threads pulling test indices from an atomic queue. Three invariants
+//! make the result independent of thread count and schedule:
+//!
+//! 1. **Shared state is read-only.** Graph and vicinity index are
+//!    `Sync` and never written; the only mutable shared state is the
+//!    engine's [`ScratchPool`](tesc_graph::ScratchPool), whose
+//!    contents never influence results.
+//! 2. **Per-test RNG streams.** Test `i` draws from
+//!    `StdRng::seed_from_u64(pair_seed(seed, i))` — derived from the
+//!    master seed and the test's index only, never from execution
+//!    order. See [`pair_seed`].
+//! 3. **Indexed output slots.** Each worker writes outcome `i` into
+//!    slot `i`; no reordering can occur.
+//!
+//! Consequently `run_batch` is **bit-identical** to [`run_batch_serial`]
+//! (and to calling [`TescEngine::test`] yourself with the same derived
+//! seeds) at every thread count — asserted by `tests/pipeline.rs`.
+//!
+//! ```
+//! use tesc::batch::{BatchRequest, EventPair, run_batch};
+//! use tesc::{TescConfig, TescEngine};
+//! use tesc_graph::generators::grid;
+//!
+//! let g = grid(20, 20);
+//! let engine = TescEngine::new(&g);
+//! let req = BatchRequest::new(TescConfig::new(1).with_sample_size(50))
+//!     .with_seed(7)
+//!     .with_threads(4)
+//!     .with_pair(EventPair::new("p0", (0..20).collect(), (10..30).collect()))
+//!     .with_pair(EventPair::new("p1", (0..20).collect(), (380..400).collect()));
+//! let report = run_batch(&engine, &req);
+//! assert_eq!(report.outcomes.len(), 2);
+//! ```
+
+use crate::engine::{TescConfig, TescEngine, TescError, TescResult};
+use rand::rngs::StdRng;
+use rand::{SeedableRng, SplitMix64};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use tesc_graph::NodeId;
+use tesc_stats::significance::Verdict;
+
+/// One event pair to test: a label plus the two occurrence node sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventPair {
+    /// Human-readable identifier carried through to the report
+    /// (e.g. `"sensor_network×wireless"`).
+    pub label: String,
+    /// Occurrence nodes of event `a` (any order, duplicates allowed).
+    pub a: Vec<NodeId>,
+    /// Occurrence nodes of event `b`.
+    pub b: Vec<NodeId>,
+}
+
+impl EventPair {
+    /// Bundle a labeled pair.
+    pub fn new(label: impl Into<String>, a: Vec<NodeId>, b: Vec<NodeId>) -> Self {
+        EventPair {
+            label: label.into(),
+            a,
+            b,
+        }
+    }
+}
+
+/// A batch of TESC tests sharing one configuration, one master seed
+/// and one thread budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The pairs to test, in report order.
+    pub pairs: Vec<EventPair>,
+    /// Configuration applied to every test.
+    pub cfg: TescConfig,
+    /// Master seed; test `i` uses the stream seeded with
+    /// [`pair_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Worker threads. `0` means "all available parallelism"; `1`
+    /// runs serially (identical results either way).
+    pub threads: usize,
+}
+
+impl BatchRequest {
+    /// Empty request with configuration `cfg`, seed 0, automatic
+    /// thread count.
+    pub fn new(cfg: TescConfig) -> Self {
+        BatchRequest {
+            pairs: Vec::new(),
+            cfg,
+            seed: 0,
+            threads: 0,
+        }
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the worker-thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Append one pair.
+    pub fn with_pair(mut self, pair: EventPair) -> Self {
+        self.pairs.push(pair);
+        self
+    }
+
+    /// Append many pairs.
+    pub fn with_pairs(mut self, pairs: impl IntoIterator<Item = EventPair>) -> Self {
+        self.pairs.extend(pairs);
+        self
+    }
+
+    /// The worker count this request resolves to on this machine.
+    pub fn effective_threads(&self) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        requested.clamp(1, self.pairs.len().max(1))
+    }
+}
+
+/// Outcome of one test of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairOutcome {
+    /// Position in [`BatchRequest::pairs`].
+    pub index: usize,
+    /// The pair's label, copied from the request.
+    pub label: String,
+    /// The test result (per-pair failures do not abort the batch).
+    pub result: Result<TescResult, TescError>,
+}
+
+impl PairOutcome {
+    /// The verdict, if the test ran.
+    pub fn verdict(&self) -> Option<Verdict> {
+        self.result.as_ref().ok().map(|r| r.outcome.verdict)
+    }
+}
+
+/// Everything a batch run produced, plus throughput diagnostics.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One outcome per requested pair, in request order.
+    pub outcomes: Vec<PairOutcome>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time of the fan-out (excludes request construction).
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Outcomes whose test completed and rejected the null hypothesis.
+    pub fn significant(&self) -> impl Iterator<Item = &PairOutcome> {
+        self.outcomes.iter().filter(|o| {
+            o.result
+                .as_ref()
+                .map(|r| r.outcome.is_significant())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Outcomes whose test failed (e.g. empty events).
+    pub fn failures(&self) -> impl Iterator<Item = &PairOutcome> {
+        self.outcomes.iter().filter(|o| o.result.is_err())
+    }
+
+    /// Completed tests per wall-clock second.
+    pub fn tests_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// One-line human summary (`12 pairs, 5 significant, 0 failed,
+    /// 34.2 tests/s on 4 threads`).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} pairs, {} significant, {} failed, {:.1} tests/s on {} thread{}",
+            self.outcomes.len(),
+            self.significant().count(),
+            self.failures().count(),
+            self.tests_per_sec(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// Deterministic per-test seed stream: mixes the master seed with the
+/// test index through SplitMix64 so that (a) every test's RNG stream
+/// is independent of execution order and thread count, and (b) nearby
+/// indices land on statistically unrelated streams.
+#[inline]
+pub fn pair_seed(master_seed: u64, index: usize) -> u64 {
+    let mut sm = SplitMix64(master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
+/// Run every test of `req` serially on the calling thread — the
+/// reference implementation the parallel fan-out must match
+/// bit-for-bit.
+pub fn run_batch_serial(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
+    let start = Instant::now();
+    let outcomes = req
+        .pairs
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| run_one(engine, req, i, pair))
+        .collect();
+    BatchReport {
+        outcomes,
+        threads: 1,
+        wall: start.elapsed(),
+    }
+}
+
+/// Run `req` with scoped worker threads pulling test indices from an
+/// atomic work queue (dynamic load balancing: event pairs with bigger
+/// vicinities cost more, so static chunking would straggle).
+///
+/// Results are bit-identical to [`run_batch_serial`] for every thread
+/// count; see the module docs for why.
+pub fn run_batch(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
+    let threads = req.effective_threads();
+    if threads <= 1 {
+        return run_batch_serial(engine, req);
+    }
+    let start = Instant::now();
+    let n = req.pairs.len();
+    let mut slots: Vec<Option<PairOutcome>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push(run_one(engine, req, i, &req.pairs[i]));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for outcome in worker.join().expect("batch worker panicked") {
+                let slot = outcome.index;
+                slots[slot] = Some(outcome);
+            }
+        }
+    });
+    BatchReport {
+        outcomes: slots
+            .into_iter()
+            .map(|s| s.expect("every index processed exactly once"))
+            .collect(),
+        threads,
+        wall: start.elapsed(),
+    }
+}
+
+fn run_one(engine: &TescEngine<'_>, req: &BatchRequest, i: usize, pair: &EventPair) -> PairOutcome {
+    let mut rng = StdRng::seed_from_u64(pair_seed(req.seed, i));
+    PairOutcome {
+        index: i,
+        label: pair.label.clone(),
+        result: engine.test(&pair.a, &pair.b, &req.cfg, &mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TescConfig;
+    use rand::Rng;
+    use tesc_graph::generators::{barabasi_albert, grid};
+    use tesc_stats::Tail;
+
+    fn pairs_on(n_pairs: usize, seed: u64, num_nodes: usize) -> Vec<EventPair> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_pairs)
+            .map(|i| {
+                let base = rng.gen_range(0..num_nodes as NodeId / 2);
+                let a: Vec<NodeId> = (base..base + 30).collect();
+                let b: Vec<NodeId> = (base + 15..base + 45).collect();
+                EventPair::new(format!("pair{i}"), a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let g = barabasi_albert(2000, 3, &mut StdRng::seed_from_u64(1));
+        let engine = TescEngine::new(&g);
+        let req = BatchRequest::new(TescConfig::new(1).with_sample_size(120))
+            .with_seed(99)
+            .with_pairs(pairs_on(12, 2, 2000));
+        let serial = run_batch_serial(&engine, &req);
+        for threads in [2, 4, 8] {
+            let par = run_batch(&engine, &req.clone().with_threads(threads));
+            assert_eq!(par.threads, threads.min(12));
+            for (s, p) in serial.outcomes.iter().zip(&par.outcomes) {
+                assert_eq!(s, p, "thread count {threads} changed an outcome");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_direct_engine_calls_with_derived_seeds() {
+        let g = grid(25, 25);
+        let engine = TescEngine::new(&g);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(60)
+            .with_tail(Tail::Upper);
+        let pairs = pairs_on(5, 3, 625);
+        let req = BatchRequest::new(cfg)
+            .with_seed(1234)
+            .with_threads(3)
+            .with_pairs(pairs.clone());
+        let report = run_batch(&engine, &req);
+        for (i, pair) in pairs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(pair_seed(1234, i));
+            let direct = engine.test(&pair.a, &pair.b, &cfg, &mut rng);
+            assert_eq!(report.outcomes[i].result, direct, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        let g = grid(8, 8);
+        let engine = TescEngine::new(&g);
+        let req = BatchRequest::new(TescConfig::new(1).with_sample_size(20))
+            .with_threads(2)
+            .with_pair(EventPair::new("ok", vec![0, 1, 2], vec![8, 9]))
+            .with_pair(EventPair::new("empty", vec![], vec![]))
+            .with_pair(EventPair::new("ok2", vec![3, 4], vec![11, 12]));
+        let report = run_batch(&engine, &req);
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.outcomes[0].result.is_ok());
+        assert_eq!(
+            report.outcomes[1].result,
+            Err(TescError::NoEventNodes),
+            "empty pair fails in place"
+        );
+        assert!(report.outcomes[2].result.is_ok());
+        assert_eq!(report.failures().count(), 1);
+    }
+
+    #[test]
+    fn pair_seed_is_order_free_and_spreads() {
+        let a: Vec<u64> = (0..64).map(|i| pair_seed(42, i)).collect();
+        let b: Vec<u64> = (0..64).rev().map(|i| pair_seed(42, i)).collect();
+        assert_eq!(a, b.into_iter().rev().collect::<Vec<_>>());
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "no colliding per-test seeds");
+        assert_ne!(pair_seed(42, 0), pair_seed(43, 0));
+    }
+
+    #[test]
+    fn report_summary_counts() {
+        let g = grid(10, 10);
+        let engine = TescEngine::new(&g);
+        let req = BatchRequest::new(TescConfig::new(1).with_sample_size(30))
+            .with_pair(EventPair::new("x", vec![0, 1], vec![10, 11]))
+            .with_pair(EventPair::new("broken", vec![], vec![]));
+        let report = run_batch(&engine, &req);
+        let s = report.summary();
+        assert!(s.contains("2 pairs"), "{s}");
+        assert!(s.contains("1 failed"), "{s}");
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let req = BatchRequest::new(TescConfig::new(1)).with_pairs(pairs_on(64, 4, 1000));
+        assert!(req.effective_threads() >= 1);
+        let one = BatchRequest::new(TescConfig::new(1))
+            .with_threads(16)
+            .with_pair(EventPair::new("solo", vec![0], vec![1]));
+        assert_eq!(one.effective_threads(), 1, "never more workers than tests");
+    }
+}

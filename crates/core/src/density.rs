@@ -5,11 +5,18 @@
 //! density per unit area. One `h`-hop BFS per reference node collects
 //! every count the test needs (size, `a` hits, `b` hits, union hits),
 //! so the density phase costs exactly `n` BFS searches.
+//!
+//! The `n` searches are independent, which makes this the test's
+//! embarrassingly parallel hot path: [`density_vectors_pooled`] fans
+//! the reference nodes out over scoped worker threads, each with its
+//! own [`BfsScratch`] checked out of a shared [`ScratchPool`], and is
+//! bit-identical to the serial [`density_vectors`] (no RNG is involved
+//! and every output slot is written by exactly one worker).
 
 use tesc_events::NodeMask;
 use tesc_graph::bfs::BfsScratch;
 use tesc_graph::csr::CsrGraph;
-use tesc_graph::NodeId;
+use tesc_graph::{NodeId, ScratchPool};
 
 /// All per-reference-node counts gathered in a single BFS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +97,78 @@ pub fn density_vectors(
         sb.push(c.density_b());
     }
     (sa, sb)
+}
+
+/// Apply `f(scratch, r)` to every reference node, fanned out over
+/// `threads` scoped worker threads, each with its own scratch checked
+/// out of `pool`. Output slot `i` always holds `f`'s result for
+/// `refs[i]` — positionally identical to a serial map at any thread
+/// count (the per-node work must not consume shared randomness, which
+/// holds for every density/count computation in this crate).
+///
+/// `threads ≤ 1` (or fewer than 2 reference nodes per worker) falls
+/// back to a serial loop on a single pooled scratch. This is the
+/// engine's `density_threads` primitive, shared by the presence,
+/// importance and intensity density loops.
+pub fn map_refs_pooled<T, F>(
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    threads: usize,
+    default: T,
+    f: F,
+) -> Vec<T>
+where
+    T: Clone + Send,
+    F: Fn(&mut BfsScratch, NodeId) -> T + Sync,
+{
+    let threads = threads.max(1).min(refs.len().max(1));
+    let mut out = vec![default; refs.len()];
+    if threads == 1 || refs.len() < 2 * threads {
+        let mut scratch = pool.acquire();
+        for (slot, &r) in out.iter_mut().zip(refs) {
+            *slot = f(&mut scratch, r);
+        }
+        return out;
+    }
+    let chunk = refs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (refs_c, out_c) in refs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                let mut scratch = pool.acquire();
+                for (slot, &r) in out_c.iter_mut().zip(refs_c) {
+                    *slot = f(&mut scratch, r);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Parallel [`density_vectors`] via [`map_refs_pooled`]. Output is
+/// positionally identical to the serial function at any thread count.
+pub fn density_vectors_pooled(
+    g: &CsrGraph,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    h: u32,
+    mask_a: &NodeMask,
+    mask_b: &NodeMask,
+    threads: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let zero = DensityCounts {
+        vicinity_size: 0,
+        count_a: 0,
+        count_b: 0,
+        count_union: 0,
+    };
+    let counts = map_refs_pooled(pool, refs, threads, zero, |scratch, r| {
+        density_counts(g, scratch, r, h, mask_a, mask_b)
+    });
+    counts
+        .iter()
+        .map(|c| (c.density_a(), c.density_b()))
+        .unzip()
 }
 
 #[cfg(test)]
@@ -174,6 +253,37 @@ mod tests {
         // ref 5: V^1 = {4,5}: b-hit 1 → 0.5.
         assert_eq!(sa[2], 0.0);
         assert!((sb[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_density_vectors_match_serial_exactly() {
+        let g = from_edges(
+            12,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (0, 6),
+                (3, 9),
+            ],
+        );
+        let (ma, mb) = masks(12, &[0, 4, 8], &[2, 9]);
+        let refs: Vec<NodeId> = (0..12).collect();
+        let mut s = BfsScratch::new(12);
+        let serial = density_vectors(&g, &mut s, &refs, 2, &ma, &mb);
+        let pool = ScratchPool::for_graph(&g);
+        for threads in [1, 2, 3, 5, 16] {
+            let pooled = density_vectors_pooled(&g, &pool, &refs, 2, &ma, &mb, threads);
+            assert_eq!(serial, pooled, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,8 +1,17 @@
 //! The end-to-end TESC significance test (Sec. 3 of the paper).
 //!
-//! [`TescEngine`] owns the reusable BFS scratch for one graph and runs
-//! the full pipeline: reference-node sampling → density computation →
-//! Kendall τ → z-score → verdict.
+//! [`TescEngine`] owns a thread-safe pool of BFS scratches for one
+//! graph and runs the full pipeline: reference-node sampling → density
+//! computation → Kendall τ → z-score → verdict.
+//!
+//! Every test method takes `&self`: the engine's only mutable state is
+//! the [`ScratchPool`], so one engine can serve any number of
+//! concurrent tests — that is the foundation of the parallel batch
+//! engine in [`crate::batch`]. Within a single test, the
+//! per-reference-node density loop can itself be fanned out over
+//! worker threads via [`TescEngine::with_density_threads`]; the result
+//! is bit-identical either way because density BFS consumes no
+//! randomness.
 
 use crate::density::{density_counts, DensityCounts};
 use crate::sampler::{
@@ -13,7 +22,7 @@ use rand::Rng;
 use tesc_events::{store::merge_union, NodeMask};
 use tesc_graph::bfs::BfsScratch;
 use tesc_graph::csr::CsrGraph;
-use tesc_graph::{NodeId, VicinityIndex};
+use tesc_graph::{NodeId, ScratchPool, VicinityIndex};
 use tesc_stats::kendall::{
     kendall_tau, var_s_tie_corrected, weighted_tau, KendallMethod, KendallSummary,
 };
@@ -181,14 +190,18 @@ impl TescResult {
 
 /// The TESC test engine for one graph.
 ///
-/// Owns the BFS scratch space; create once and reuse across event
-/// pairs. Rejection and importance sampling additionally need the
-/// offline vicinity-size index (Sec. 4.2) — supply it via
+/// Holds a [`ScratchPool`] instead of a single scratch, so every test
+/// method takes `&self` and the engine is `Sync`: share one engine
+/// across threads (see [`crate::batch`]) or call it from a loop — the
+/// pool grows to the number of concurrent tests and is then reused.
+/// Rejection and importance sampling additionally need the offline
+/// vicinity-size index (Sec. 4.2) — supply it via
 /// [`TescEngine::with_vicinity_index`].
 pub struct TescEngine<'a> {
     graph: &'a CsrGraph,
     vicinity: Option<&'a VicinityIndex>,
-    scratch: BfsScratch,
+    pool: ScratchPool,
+    density_threads: usize,
 }
 
 impl<'a> TescEngine<'a> {
@@ -198,7 +211,8 @@ impl<'a> TescEngine<'a> {
         TescEngine {
             graph,
             vicinity: None,
-            scratch: BfsScratch::new(graph.num_nodes()),
+            pool: ScratchPool::for_graph(graph),
+            density_threads: 1,
         }
     }
 
@@ -208,8 +222,28 @@ impl<'a> TescEngine<'a> {
         TescEngine {
             graph,
             vicinity: Some(vicinity),
-            scratch: BfsScratch::new(graph.num_nodes()),
+            pool: ScratchPool::for_graph(graph),
+            density_threads: 1,
         }
+    }
+
+    /// Fan the per-reference-node density loop of each *single* test
+    /// out over `threads` scoped worker threads (default 1 = serial).
+    ///
+    /// Density BFS draws no randomness, so results are bit-identical
+    /// to the serial engine at any thread count. Use this to cut the
+    /// latency of one big test; when running many tests concurrently
+    /// via [`crate::batch`], prefer across-test parallelism and leave
+    /// this at 1 (combining both oversubscribes the CPUs).
+    pub fn with_density_threads(mut self, threads: usize) -> Self {
+        self.density_threads = threads.max(1);
+        self
+    }
+
+    /// The configured within-test density thread count.
+    #[inline]
+    pub fn density_threads(&self) -> usize {
+        self.density_threads
     }
 
     /// The graph under test.
@@ -218,10 +252,17 @@ impl<'a> TescEngine<'a> {
         self.graph
     }
 
+    /// The engine's scratch pool (diagnostics: `pool().idle()` after a
+    /// batch run is the high-water mark of concurrent tests).
+    #[inline]
+    pub fn pool(&self) -> &ScratchPool {
+        &self.pool
+    }
+
     /// Run the TESC test for events `va`, `vb` (occurrence node sets,
     /// need not be sorted).
     pub fn test(
-        &mut self,
+        &self,
         va: &[NodeId],
         vb: &[NodeId],
         cfg: &TescConfig,
@@ -249,27 +290,23 @@ impl<'a> TescEngine<'a> {
     /// Draw a uniform reference-node sample with the configured
     /// (non-importance) strategy.
     fn draw_uniform_sample(
-        &mut self,
+        &self,
+        scratch: &mut BfsScratch,
         union: &[NodeId],
         cfg: &TescConfig,
         rng: &mut impl Rng,
     ) -> Result<UniformSample, TescError> {
         let max_draws = cfg.max_draw_factor.saturating_mul(cfg.sample_size).max(1);
         let sample = match cfg.sampler {
-            SamplerKind::BatchBfs => batch_bfs_sample(
-                self.graph,
-                &mut self.scratch,
-                union,
-                cfg.h,
-                cfg.sample_size,
-                rng,
-            ),
+            SamplerKind::BatchBfs => {
+                batch_bfs_sample(self.graph, scratch, union, cfg.h, cfg.sample_size, rng)
+            }
             SamplerKind::Rejection => {
                 let vic = self.require_vicinity(cfg.h)?;
                 let union_mask = NodeMask::from_nodes(self.graph.num_nodes(), union);
                 rejection_sample(
                     self.graph,
-                    &mut self.scratch,
+                    scratch,
                     union,
                     &union_mask,
                     vic,
@@ -283,7 +320,7 @@ impl<'a> TescEngine<'a> {
                 let union_mask = NodeMask::from_nodes(self.graph.num_nodes(), union);
                 whole_graph_sample(
                     self.graph,
-                    &mut self.scratch,
+                    scratch,
                     &union_mask,
                     cfg.h,
                     cfg.sample_size,
@@ -331,21 +368,25 @@ impl<'a> TescEngine<'a> {
 
     /// Uniform-sampler path: sample → densities → `t` (Eq. 4) → z.
     fn test_uniform(
-        &mut self,
+        &self,
         union: &[NodeId],
         mask_a: &NodeMask,
         mask_b: &NodeMask,
         cfg: &TescConfig,
         rng: &mut impl Rng,
     ) -> Result<TescResult, TescError> {
-        let sample = self.draw_uniform_sample(union, cfg, rng)?;
-        let (sa, sb) = crate::density::density_vectors(
+        let sample = {
+            let mut scratch = self.pool.acquire();
+            self.draw_uniform_sample(&mut scratch, union, cfg, rng)?
+        };
+        let (sa, sb) = crate::density::density_vectors_pooled(
             self.graph,
-            &mut self.scratch,
+            &self.pool,
             &sample.nodes,
             cfg.h,
             mask_a,
             mask_b,
+            self.density_threads,
         );
         Ok(Self::finish_uniform(&sa, &sb, &sample, cfg))
     }
@@ -355,7 +396,7 @@ impl<'a> TescEngine<'a> {
     /// reference eligibility and sampling are presence-based and
     /// unchanged.
     pub fn test_intensity(
-        &mut self,
+        &self,
         a: &crate::intensity::Intensities,
         b: &crate::intensity::Intensities,
         cfg: &TescConfig,
@@ -371,6 +412,7 @@ impl<'a> TescEngine<'a> {
         if union.is_empty() {
             return Err(TescError::NoEventNodes);
         }
+        let mut scratch = self.pool.acquire();
         match cfg.sampler {
             SamplerKind::Importance { batch_size } => {
                 if cfg.statistic != Statistic::KendallTau {
@@ -380,7 +422,7 @@ impl<'a> TescEngine<'a> {
                 let max_draws = cfg.max_draw_factor.saturating_mul(cfg.sample_size).max(1);
                 let sample = importance_sample(
                     self.graph,
-                    &mut self.scratch,
+                    &mut scratch,
                     &union,
                     vic,
                     cfg.h,
@@ -393,18 +435,12 @@ impl<'a> TescEngine<'a> {
                 if n < 3 {
                     return Err(TescError::TooFewReferenceNodes { found: n });
                 }
+                drop(scratch);
+                let counts = self.intensity_counts_for(&sample.nodes, cfg.h, a, b);
                 let mut sa = Vec::with_capacity(n);
                 let mut sb = Vec::with_capacity(n);
                 let mut omega = Vec::with_capacity(n);
-                for (i, &r) in sample.nodes.iter().enumerate() {
-                    let c = crate::intensity::intensity_counts(
-                        self.graph,
-                        &mut self.scratch,
-                        r,
-                        cfg.h,
-                        a,
-                        b,
-                    );
+                for (i, c) in counts.iter().enumerate() {
                     debug_assert!(c.count_union > 0);
                     sa.push(c.density_a());
                     sb.push(c.density_b());
@@ -413,18 +449,36 @@ impl<'a> TescEngine<'a> {
                 Ok(Self::finish_weighted(&sa, &sb, &omega, &sample, cfg))
             }
             _ => {
-                let sample = self.draw_uniform_sample(&union, cfg, rng)?;
-                let (sa, sb) = crate::intensity::intensity_density_vectors(
-                    self.graph,
-                    &mut self.scratch,
-                    &sample.nodes,
-                    cfg.h,
-                    a,
-                    b,
-                );
+                let sample = self.draw_uniform_sample(&mut scratch, &union, cfg, rng)?;
+                drop(scratch);
+                let counts = self.intensity_counts_for(&sample.nodes, cfg.h, a, b);
+                let (sa, sb) = counts
+                    .iter()
+                    .map(|c| (c.density_a(), c.density_b()))
+                    .unzip::<_, _, Vec<f64>, Vec<f64>>();
                 Ok(Self::finish_uniform(&sa, &sb, &sample, cfg))
             }
         }
+    }
+
+    /// Intensity densities for a reference sample, honoring
+    /// `density_threads` like the presence-based phases.
+    fn intensity_counts_for(
+        &self,
+        refs: &[NodeId],
+        h: u32,
+        a: &crate::intensity::Intensities,
+        b: &crate::intensity::Intensities,
+    ) -> Vec<crate::intensity::IntensityCounts> {
+        let zero = crate::intensity::IntensityCounts {
+            vicinity_size: 0,
+            mass_a: 0.0,
+            mass_b: 0.0,
+            count_union: 0,
+        };
+        crate::density::map_refs_pooled(&self.pool, refs, self.density_threads, zero, {
+            |scratch, r| crate::intensity::intensity_counts(self.graph, scratch, r, h, a, b)
+        })
     }
 
     /// Assemble the importance-sampled (weighted `t̃`) result.
@@ -442,7 +496,11 @@ impl<'a> TescEngine<'a> {
         let var_s = var_s_tie_corrected(n, &u, &v);
         let half = (n * (n - 1) / 2) as f64;
         let sigma_tau = (var_s / (half * half)).sqrt();
-        let z = if sigma_tau > 0.0 { t_tilde / sigma_tau } else { 0.0 };
+        let z = if sigma_tau > 0.0 {
+            t_tilde / sigma_tau
+        } else {
+            0.0
+        };
         let outcome = TestOutcome::from_z(t_tilde, z, cfg.tail, cfg.alpha);
         TescResult {
             outcome,
@@ -456,7 +514,7 @@ impl<'a> TescEngine<'a> {
     /// Importance-sampler path: weighted draws → densities → `t̃`
     /// (Eq. 8) → z against the tie-corrected null variance.
     fn test_importance(
-        &mut self,
+        &self,
         union: &[NodeId],
         mask_a: &NodeMask,
         mask_b: &NodeMask,
@@ -466,9 +524,10 @@ impl<'a> TescEngine<'a> {
     ) -> Result<TescResult, TescError> {
         let vic = self.require_vicinity(cfg.h)?;
         let max_draws = cfg.max_draw_factor.saturating_mul(cfg.sample_size).max(1);
+        let mut scratch = self.pool.acquire();
         let sample = importance_sample(
             self.graph,
-            &mut self.scratch,
+            &mut scratch,
             union,
             vic,
             cfg.h,
@@ -481,14 +540,26 @@ impl<'a> TescEngine<'a> {
         if n < 3 {
             return Err(TescError::TooFewReferenceNodes { found: n });
         }
+        drop(scratch);
         // One BFS per distinct node gathers densities AND the inclusion
-        // weight ingredient |V^h_r ∩ V_{a∪b}| (RejectSamp's `c`).
+        // weight ingredient |V^h_r ∩ V_{a∪b}| (RejectSamp's `c`); the
+        // loop honors `density_threads` like every other density phase.
+        let counts: Vec<DensityCounts> = crate::density::map_refs_pooled(
+            &self.pool,
+            &sample.nodes,
+            self.density_threads,
+            DensityCounts {
+                vicinity_size: 0,
+                count_a: 0,
+                count_b: 0,
+                count_union: 0,
+            },
+            |scratch, r| density_counts(self.graph, scratch, r, cfg.h, mask_a, mask_b),
+        );
         let mut sa = Vec::with_capacity(n);
         let mut sb = Vec::with_capacity(n);
         let mut omega = Vec::with_capacity(n);
-        for (i, &r) in sample.nodes.iter().enumerate() {
-            let c: DensityCounts =
-                density_counts(self.graph, &mut self.scratch, r, cfg.h, mask_a, mask_b);
+        for (i, c) in counts.iter().enumerate() {
             debug_assert!(c.count_union > 0, "sampled node must see an event");
             sa.push(c.density_a());
             sb.push(c.density_b());
@@ -506,7 +577,7 @@ impl<'a> TescEngine<'a> {
     /// Eq. 3 without sampling. Intended for validation on small graphs
     /// (cost `O(N²)` pairs via the merge-sort counter's `O(N log N)`).
     pub fn exact_summary(
-        &mut self,
+        &self,
         va: &[NodeId],
         vb: &[NodeId],
         h: u32,
@@ -517,7 +588,8 @@ impl<'a> TescEngine<'a> {
             return Err(TescError::NoEventNodes);
         }
         let mut population = Vec::new();
-        self.scratch
+        self.pool
+            .acquire()
             .h_vicinity_into(self.graph, &union, h, &mut population);
         if population.len() < 3 {
             return Err(TescError::TooFewReferenceNodes {
@@ -526,13 +598,14 @@ impl<'a> TescEngine<'a> {
         }
         let mask_a = NodeMask::from_nodes(self.graph.num_nodes(), &a_sorted);
         let mask_b = NodeMask::from_nodes(self.graph.num_nodes(), &b_sorted);
-        let (sa, sb) = crate::density::density_vectors(
+        let (sa, sb) = crate::density::density_vectors_pooled(
             self.graph,
-            &mut self.scratch,
+            &self.pool,
             &population,
             h,
             &mask_a,
             &mask_b,
+            self.density_threads,
         );
         Ok(kendall_tau(&sa, &sb, KendallMethod::MergeSort))
     }
@@ -582,7 +655,7 @@ mod tests {
         // community graph with dense blocks models that.
         let (g, _) = planted_partition(400, 10, 0.8, 0.0008, &mut rng(1));
         let idx = VicinityIndex::build(&g, 1);
-        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let engine = TescEngine::with_vicinity_index(&g, &idx);
         let mut scratch = BfsScratch::new(g.num_nodes());
         let lp = positive_pair(&g, &mut scratch, 300, 1, &mut rng(2)).unwrap();
         let pair = lp.to_pair();
@@ -605,7 +678,7 @@ mod tests {
     fn detects_planted_negative_pair_with_every_sampler() {
         let g = barabasi_albert(4000, 3, &mut rng(4));
         let idx = VicinityIndex::build(&g, 1);
-        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let engine = TescEngine::with_vicinity_index(&g, &idx);
         let mut scratch = BfsScratch::new(g.num_nodes());
         let pair = negative_pair(&g, &mut scratch, 120, 120, 1, &mut rng(5)).unwrap();
         for sampler in all_samplers() {
@@ -628,7 +701,7 @@ mod tests {
         // One-tailed Type-I check for attraction, matching the paper's
         // one-tailed evaluation protocol (Sec. 5.2).
         let g = barabasi_albert(3000, 3, &mut rng(7));
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let mut rejections = 0;
         let trials = 40;
         for t in 0..trials {
@@ -658,17 +731,20 @@ mod tests {
         // correlations "easier": "for h = 1 it is easier to find a node
         // whose 1-vicinity does not even overlap with V^1_a".
         let g = barabasi_albert(3000, 3, &mut rng(21));
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let pair = independent_pair(&g, 100, 100, &mut rng(22)).unwrap();
         let cfg = TescConfig::new(1).with_sample_size(300);
         let res = engine.test(&pair.a, &pair.b, &cfg, &mut rng(23)).unwrap();
-        assert!(res.z() < 0.0, "sparse independent events should lean negative");
+        assert!(
+            res.z() < 0.0,
+            "sparse independent events should lean negative"
+        );
     }
 
     #[test]
     fn batch_bfs_uses_whole_population_when_small() {
         let g = grid(8, 8);
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let cfg = TescConfig::new(2).with_sample_size(10_000);
         let res = engine.test(&[0, 1], &[8, 9], &cfg, &mut rng(8)).unwrap();
         let pop = res.population_size.unwrap();
@@ -679,7 +755,7 @@ mod tests {
     #[test]
     fn exact_summary_matches_full_sample_tau() {
         let g = grid(12, 12);
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let va: Vec<u32> = vec![0, 1, 2, 13, 26];
         let vb: Vec<u32> = vec![14, 15, 27, 40];
         let exact = engine.exact_summary(&va, &vb, 1).unwrap();
@@ -696,7 +772,7 @@ mod tests {
     #[test]
     fn empty_events_error() {
         let g = grid(4, 4);
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let cfg = TescConfig::new(1);
         assert_eq!(
             engine.test(&[], &[], &cfg, &mut rng(0)).unwrap_err(),
@@ -711,27 +787,33 @@ mod tests {
     #[test]
     fn missing_vicinity_index_error() {
         let g = grid(6, 6);
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let cfg = TescConfig::new(1).with_sampler(SamplerKind::Importance { batch_size: 1 });
         let err = engine.test(&[0], &[1], &cfg, &mut rng(0)).unwrap_err();
-        assert!(matches!(err, TescError::MissingVicinityIndex { needed_h: 1 }));
+        assert!(matches!(
+            err,
+            TescError::MissingVicinityIndex { needed_h: 1 }
+        ));
     }
 
     #[test]
     fn too_shallow_vicinity_index_error() {
         let g = grid(6, 6);
         let idx = VicinityIndex::build(&g, 1);
-        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let engine = TescEngine::with_vicinity_index(&g, &idx);
         let cfg = TescConfig::new(3).with_sampler(SamplerKind::Rejection);
         let err = engine.test(&[0], &[1], &cfg, &mut rng(0)).unwrap_err();
-        assert!(matches!(err, TescError::MissingVicinityIndex { needed_h: 3 }));
+        assert!(matches!(
+            err,
+            TescError::MissingVicinityIndex { needed_h: 3 }
+        ));
     }
 
     #[test]
     fn too_few_reference_nodes_error() {
         // Isolated event node: population = {v} only.
         let g = tesc_graph::csr::from_edges(5, &[(1, 2)]);
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let cfg = TescConfig::new(1).with_sample_size(10);
         let err = engine.test(&[0], &[], &cfg, &mut rng(0)).unwrap_err();
         assert_eq!(err, TescError::TooFewReferenceNodes { found: 1 });
@@ -740,7 +822,7 @@ mod tests {
     #[test]
     fn results_are_seed_reproducible() {
         let g = barabasi_albert(1000, 3, &mut rng(10));
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let va: Vec<u32> = (0..50).collect();
         let vb: Vec<u32> = (25..75).collect();
         let cfg = TescConfig::new(1).with_sample_size(100);
@@ -753,7 +835,7 @@ mod tests {
     fn importance_estimate_close_to_exact_on_small_graph() {
         let g = grid(15, 15);
         let idx = VicinityIndex::build(&g, 1);
-        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let engine = TescEngine::with_vicinity_index(&g, &idx);
         let va: Vec<u32> = (0..30).collect();
         let vb: Vec<u32> = (15..45).collect();
         let exact = engine.exact_summary(&va, &vb, 1).unwrap();
@@ -779,7 +861,7 @@ mod tests {
     #[test]
     fn spearman_statistic_agrees_with_kendall_on_verdicts() {
         let (g, _) = planted_partition(400, 10, 0.8, 0.0008, &mut rng(31));
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let mut scratch = BfsScratch::new(g.num_nodes());
         let lp = positive_pair(&g, &mut scratch, 200, 1, &mut rng(32)).unwrap();
         let pair = lp.to_pair();
@@ -796,7 +878,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(kt.outcome.verdict, sp.outcome.verdict);
-        assert!(sp.kendall.is_none(), "Spearman result carries no Kendall summary");
+        assert!(
+            sp.kendall.is_none(),
+            "Spearman result carries no Kendall summary"
+        );
         // ρ typically exceeds τ in magnitude for monotone association.
         assert!(sp.statistic() >= kt.statistic() * 0.8);
     }
@@ -805,18 +890,20 @@ mod tests {
     fn spearman_with_importance_sampler_is_rejected() {
         let g = grid(6, 6);
         let idx = VicinityIndex::build(&g, 1);
-        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let engine = TescEngine::with_vicinity_index(&g, &idx);
         let cfg = TescConfig::new(1)
             .with_sampler(SamplerKind::Importance { batch_size: 1 })
             .with_statistic(Statistic::SpearmanRho);
-        let err = engine.test(&[0, 1], &[2, 3], &cfg, &mut rng(34)).unwrap_err();
+        let err = engine
+            .test(&[0, 1], &[2, 3], &cfg, &mut rng(34))
+            .unwrap_err();
         assert_eq!(err, TescError::StatisticUnsupportedBySampler);
     }
 
     #[test]
     fn intensity_test_with_unit_weights_matches_plain_test() {
         let g = barabasi_albert(1500, 3, &mut rng(41));
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let va: Vec<u32> = (0..80).collect();
         let vb: Vec<u32> = (40..120).collect();
         let cfg = TescConfig::new(1).with_sample_size(200);
@@ -824,7 +911,10 @@ mod tests {
         let ia = crate::intensity::Intensities::uniform(g.num_nodes(), &va);
         let ib = crate::intensity::Intensities::uniform(g.num_nodes(), &vb);
         let weighted = engine.test_intensity(&ia, &ib, &cfg, &mut rng(42)).unwrap();
-        assert_eq!(plain, weighted, "unit intensities must be a strict generalization");
+        assert_eq!(
+            plain, weighted,
+            "unit intensities must be a strict generalization"
+        );
     }
 
     #[test]
@@ -851,7 +941,9 @@ mod tests {
         let cfg = TescConfig::new(1)
             .with_sample_size(400)
             .with_tail(Tail::Upper);
-        let weighted = engine_for(&g).test_intensity(&ia, &ib, &cfg, &mut rng(44)).unwrap();
+        let weighted = engine_for(&g)
+            .test_intensity(&ia, &ib, &cfg, &mut rng(44))
+            .unwrap();
         assert!(
             weighted.z() > 2.33,
             "intensity view must expose the hot spots: z = {}",
@@ -873,7 +965,7 @@ mod tests {
     fn intensity_importance_sampling_path_works() {
         let (g, _) = planted_partition(300, 10, 0.7, 0.001, &mut rng(45));
         let idx = VicinityIndex::build(&g, 1);
-        let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+        let engine = TescEngine::with_vicinity_index(&g, &idx);
         let mut scratch = BfsScratch::new(g.num_nodes());
         let lp = positive_pair(&g, &mut scratch, 150, 1, &mut rng(46)).unwrap();
         let ia = crate::intensity::Intensities::uniform(g.num_nodes(), &lp.a_nodes);
@@ -883,13 +975,18 @@ mod tests {
             .with_tail(Tail::Upper)
             .with_sampler(SamplerKind::Importance { batch_size: 1 });
         let r = engine.test_intensity(&ia, &ib, &cfg, &mut rng(47)).unwrap();
-        assert_eq!(r.outcome.verdict, Verdict::PositiveCorrelation, "z = {}", r.z());
+        assert_eq!(
+            r.outcome.verdict,
+            Verdict::PositiveCorrelation,
+            "z = {}",
+            r.z()
+        );
     }
 
     #[test]
     fn intensity_empty_events_error() {
         let g = grid(4, 4);
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let empty = crate::intensity::Intensities::uniform(16, &[]);
         let cfg = TescConfig::new(1);
         assert_eq!(
@@ -903,9 +1000,11 @@ mod tests {
     #[test]
     fn duplicate_event_nodes_are_tolerated() {
         let g = grid(8, 8);
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let cfg = TescConfig::new(1).with_sample_size(50);
-        let r1 = engine.test(&[0, 0, 1, 1], &[2, 2, 3], &cfg, &mut rng(13)).unwrap();
+        let r1 = engine
+            .test(&[0, 0, 1, 1], &[2, 2, 3], &cfg, &mut rng(13))
+            .unwrap();
         let r2 = engine.test(&[0, 1], &[2, 3], &cfg, &mut rng(13)).unwrap();
         assert_eq!(r1, r2);
     }
@@ -914,7 +1013,7 @@ mod tests {
     fn overlapping_events_positive_tesc() {
         // Identical events are maximally attracted.
         let g = barabasi_albert(2000, 3, &mut rng(14));
-        let mut engine = TescEngine::new(&g);
+        let engine = TescEngine::new(&g);
         let va: Vec<u32> = (0..100).collect();
         let cfg = TescConfig::new(1)
             .with_sample_size(200)

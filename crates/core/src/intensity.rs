@@ -45,7 +45,10 @@ impl Intensities {
                 (v as usize) < num_nodes,
                 "node {v} out of range for {num_nodes} nodes"
             );
-            assert!(w.is_finite() && w >= 0.0, "intensity must be finite and ≥ 0, got {w}");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "intensity must be finite and ≥ 0, got {w}"
+            );
             values[v as usize] += w;
         }
         let support: Vec<NodeId> = (0..num_nodes as NodeId)
@@ -178,7 +181,11 @@ mod tests {
         assert_eq!(i.weight(1), 2.5);
         assert_eq!(i.weight(3), 1.0);
         assert_eq!(i.weight(0), 0.0);
-        assert_eq!(i.support(), &[1, 3], "zero-weight nodes are not occurrences");
+        assert_eq!(
+            i.support(),
+            &[1, 3],
+            "zero-weight nodes are not occurrences"
+        );
         assert!((i.total() - 3.5).abs() < 1e-12);
     }
 
@@ -214,7 +221,10 @@ mod tests {
         let wl = intensity_counts(&g, &mut s, 0, 1, &light, &light);
         let wh = intensity_counts(&g, &mut s, 0, 1, &heavy, &heavy);
         assert!((wh.density_a() - 10.0 * wl.density_a()).abs() < 1e-12);
-        assert_eq!(wl.count_union, wh.count_union, "presence is intensity-blind");
+        assert_eq!(
+            wl.count_union, wh.count_union,
+            "presence is intensity-blind"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let g = grid(30, 30);
-//! let mut engine = TescEngine::new(&g);
+//! let engine = TescEngine::new(&g);
 //! let mut rng = StdRng::seed_from_u64(7);
 //!
 //! // Two events occupying the same corner of the grid: attraction.
@@ -38,21 +38,27 @@
 //!
 //! # Modules
 //!
-//! * [`density`] — Eq. 2 event densities, one BFS per reference node.
+//! * [`density`] — Eq. 2 event densities, one BFS per reference node,
+//!   with a pooled parallel fan-out for the per-test hot loop.
 //! * [`sampler`] — the reference-node samplers of Sec. 4: Batch BFS
 //!   (Alg. 1), rejection sampling, importance sampling (Alg. 2, with
 //!   the batched variant of Sec. 5.2.2) and whole-graph sampling
 //!   (Alg. 3).
 //! * [`engine`] — the end-to-end statistical test (Sec. 3).
+//! * [`batch`] — the parallel batch engine: run many tests against one
+//!   shared graph/vicinity index with deterministic per-test RNG
+//!   streams (bit-identical to serial execution).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod density;
 pub mod engine;
 pub mod intensity;
 pub mod sampler;
 
+pub use batch::{BatchReport, BatchRequest, EventPair};
 pub use engine::{Statistic, TescConfig, TescEngine, TescError, TescResult};
 pub use sampler::SamplerKind;
 

@@ -354,7 +354,15 @@ mod tests {
         let mut s = BfsScratch::new(g.num_nodes());
         let pop = reference_population(&g, &events, h);
         let sample = rejection_sample(
-            &g, &mut s, &events, &union_mask, &idx, h, 20, 100_000, &mut rng(3),
+            &g,
+            &mut s,
+            &events,
+            &union_mask,
+            &idx,
+            h,
+            20,
+            100_000,
+            &mut rng(3),
         );
         assert_eq!(sample.nodes.len(), 20);
         for &v in &sample.nodes {
@@ -405,8 +413,17 @@ mod tests {
         let union_mask = NodeMask::from_nodes(8, &events);
         let mut s = BfsScratch::new(8);
         // Ask for more nodes than the population holds; must terminate.
-        let sample =
-            rejection_sample(&g, &mut s, &events, &union_mask, &idx, 1, 50, 500, &mut rng(5));
+        let sample = rejection_sample(
+            &g,
+            &mut s,
+            &events,
+            &union_mask,
+            &idx,
+            1,
+            50,
+            500,
+            &mut rng(5),
+        );
         assert!(sample.nodes.len() <= 3, "population V^1_2 has 3 nodes");
         assert!(sample.draws <= 500);
     }
@@ -446,7 +463,12 @@ mod tests {
         }
         // Expected proportions 1/6, 2/6, 2/6, 1/6.
         let total = trials as f64;
-        for (v, want) in [(0usize, 1.0 / 6.0), (1, 2.0 / 6.0), (2, 2.0 / 6.0), (3, 1.0 / 6.0)] {
+        for (v, want) in [
+            (0usize, 1.0 / 6.0),
+            (1, 2.0 / 6.0),
+            (2, 2.0 / 6.0),
+            (3, 1.0 / 6.0),
+        ] {
             let got = counts[v] as f64 / total;
             assert!(
                 (got - want).abs() < 0.02,

@@ -88,9 +88,7 @@ impl DblpScenario {
             n,
             config.num_communities * config.papers_per_community * 4,
         );
-        let community: Vec<u32> = (0..n)
-            .map(|v| (v / config.community_size) as u32)
-            .collect();
+        let community: Vec<u32> = (0..n).map(|v| (v / config.community_size) as u32).collect();
 
         let mut authors: Vec<NodeId> = Vec::new();
         for c in 0..config.num_communities {
@@ -345,7 +343,7 @@ mod tests {
     fn positive_pair_has_positive_tesc_and_tc() {
         let s = small();
         let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.2, &mut rng(2));
-        let mut engine = TescEngine::new(&s.graph);
+        let engine = TescEngine::new(&s.graph);
         let cfg = TescConfig::new(1)
             .with_sample_size(400)
             .with_tail(Tail::Upper);
@@ -361,7 +359,7 @@ mod tests {
         // Universe 2000, |V_a| = |V_b| ≈ 120 ⇒ expected chance overlap
         // ≈ 7.2 nodes; 20 shared generalists push TC clearly positive.
         let (va, vb) = s.plant_negative_keyword_pair(10, 12, 20, &mut rng(4));
-        let mut engine = TescEngine::new(&s.graph);
+        let engine = TescEngine::new(&s.graph);
         let cfg = TescConfig::new(2)
             .with_sample_size(400)
             .with_tail(Tail::Lower);
@@ -378,7 +376,7 @@ mod tests {
         let s = small();
         let idx = tesc_graph::VicinityIndex::build(&s.graph, 1);
         let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.2, &mut rng(6));
-        let mut engine = TescEngine::with_vicinity_index(&s.graph, &idx);
+        let engine = TescEngine::with_vicinity_index(&s.graph, &idx);
         let cfg = TescConfig::new(1)
             .with_sample_size(400)
             .with_tail(Tail::Upper)

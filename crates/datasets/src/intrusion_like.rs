@@ -221,7 +221,11 @@ impl IntrusionScenario {
             let take = left.div_ceil(2).min(cap).max(1);
             // Don't leave a remainder of 1-2 dangling in its own subnet
             // if the current one still has room.
-            let take = if left - take <= 2 && left <= cap { left } else { take };
+            let take = if left - take <= 2 && left <= cap {
+                left
+            } else {
+                take
+            };
             needs.push(take);
             left -= take;
         }
@@ -343,7 +347,7 @@ mod tests {
         overlap.retain(|v| vb.contains(v));
         assert!(overlap.is_empty());
 
-        let mut engine = TescEngine::new(&s.graph);
+        let engine = TescEngine::new(&s.graph);
         let cfg = TescConfig::new(1)
             .with_sample_size(400)
             .with_tail(Tail::Upper);
@@ -359,7 +363,7 @@ mod tests {
     fn separated_pair_negative_tesc_at_h2() {
         let s = small();
         let (va, vb) = s.plant_separated_alert_pair(10, 10, &mut rng(4));
-        let mut engine = TescEngine::new(&s.graph);
+        let engine = TescEngine::new(&s.graph);
         let cfg = TescConfig::new(2)
             .with_sample_size(400)
             .with_tail(Tail::Lower);
@@ -376,7 +380,7 @@ mod tests {
         assert_eq!(va.len(), 16);
         assert_eq!(vb.len(), 12);
 
-        let mut engine = TescEngine::new(&s.graph);
+        let engine = TescEngine::new(&s.graph);
         let cfg = TescConfig::new(1)
             .with_sample_size(300)
             .with_tail(Tail::Upper);

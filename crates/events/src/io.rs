@@ -24,7 +24,9 @@ pub fn read_node_list(r: &mut impl BufRead) -> Result<Vec<NodeId>, String> {
     loop {
         line.clear();
         lineno += 1;
-        let read = r.read_line(&mut line).map_err(|e| format!("I/O error: {e}"))?;
+        let read = r
+            .read_line(&mut line)
+            .map_err(|e| format!("I/O error: {e}"))?;
         if read == 0 {
             break;
         }
@@ -57,7 +59,10 @@ mod tests {
     #[test]
     fn comments_and_blanks_ignored() {
         let text = "# event a\n1\n\n2\n# trailing\n3\n";
-        assert_eq!(read_node_list(&mut Cursor::new(text)).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            read_node_list(&mut Cursor::new(text)).unwrap(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

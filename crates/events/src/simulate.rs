@@ -96,7 +96,10 @@ impl std::fmt::Display for SimulateError {
             SimulateError::NotEnoughNodes {
                 requested,
                 available,
-            } => write!(f, "requested {requested} event nodes, graph has {available}"),
+            } => write!(
+                f,
+                "requested {requested} event nodes, graph has {available}"
+            ),
             SimulateError::ComplementTooSmall {
                 requested,
                 available,
@@ -163,7 +166,11 @@ pub fn positive_pair(
         };
         b_nodes.push(b);
     }
-    Ok(LinkedPair { a_nodes, b_nodes, h })
+    Ok(LinkedPair {
+        a_nodes,
+        b_nodes,
+        h,
+    })
 }
 
 /// Generate a strongly negatively correlated pair (Sec. 5.2): `size_a`
@@ -267,7 +274,10 @@ pub fn apply_negative_noise(
     rng: &mut impl Rng,
 ) -> EventPair {
     assert!((0.0..=1.0).contains(&p), "noise level must be in [0,1]");
-    assert!(!pair.a.is_empty(), "negative noise needs a nodes to attach to");
+    assert!(
+        !pair.a.is_empty(),
+        "negative noise needs a nodes to attach to"
+    );
     let mut b_nodes = Vec::with_capacity(pair.b.len());
     for &b in &pair.b {
         if rng.gen_range(0.0..1.0f64) < p {
@@ -296,12 +306,7 @@ pub fn apply_negative_noise(
 /// Strategy: rejection sampling while the complement is a reasonable
 /// fraction of the graph, falling back to explicit complement
 /// enumeration when rejection keeps missing (dense-mask case).
-fn sample_outside(
-    g: &CsrGraph,
-    mask: &NodeMask,
-    count: usize,
-    rng: &mut impl Rng,
-) -> Vec<NodeId> {
+fn sample_outside(g: &CsrGraph, mask: &NodeMask, count: usize, rng: &mut impl Rng) -> Vec<NodeId> {
     let n = g.num_nodes();
     let complement = n - mask.len();
     debug_assert!(count <= complement);
@@ -353,8 +358,7 @@ mod tests {
             assert_eq!(lp.a_nodes.len(), 40);
             assert_eq!(lp.b_nodes.len(), 40);
             for (&a, &b) in lp.a_nodes.iter().zip(&lp.b_nodes) {
-                let d = tesc_graph::dist::bounded_distance(&g, &mut s, a, b, h)
-                    .unwrap_or(u32::MAX);
+                let d = tesc_graph::dist::bounded_distance(&g, &mut s, a, b, h).unwrap_or(u32::MAX);
                 assert!(d <= h, "link distance {d} exceeds h={h}");
             }
         }
@@ -373,7 +377,10 @@ mod tests {
             .filter(|(a, b)| a == b)
             .count();
         // P(|N(0,3)| rounds to 0) ≈ 0.23; allow a broad band.
-        assert!(zero_dist > 20 && zero_dist < 180, "zero-distance links {zero_dist}");
+        assert!(
+            zero_dist > 20 && zero_dist < 180,
+            "zero-distance links {zero_dist}"
+        );
     }
 
     #[test]
@@ -400,7 +407,10 @@ mod tests {
         let mut s = BfsScratch::new(50);
         // With all nodes as event a, complement is empty.
         let err = negative_pair(&g, &mut s, 50, 1, 1, &mut rng(3)).unwrap_err();
-        assert!(matches!(err, SimulateError::ComplementTooSmall { .. }), "{err}");
+        assert!(
+            matches!(err, SimulateError::ComplementTooSmall { .. }),
+            "{err}"
+        );
     }
 
     #[test]

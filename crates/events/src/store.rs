@@ -291,7 +291,10 @@ mod tests {
         let mut s = EventStore::new();
         s.add_event("a", vec![1]);
         s.add_event("b", vec![2]);
-        let collected: Vec<_> = s.iter().map(|(_, n, o)| (n.to_string(), o.to_vec())).collect();
+        let collected: Vec<_> = s
+            .iter()
+            .map(|(_, n, o)| (n.to_string(), o.to_vec()))
+            .collect();
         assert_eq!(
             collected,
             vec![("a".into(), vec![1u32]), ("b".into(), vec![2u32])]

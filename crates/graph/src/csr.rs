@@ -267,7 +267,10 @@ mod tests {
         }
         for v in g.nodes() {
             let ns = g.neighbors(v);
-            assert!(ns.windows(2).all(|w| w[0] < w[1]), "node {v} not sorted/dedup");
+            assert!(
+                ns.windows(2).all(|w| w[0] < w[1]),
+                "node {v} not sorted/dedup"
+            );
         }
     }
 

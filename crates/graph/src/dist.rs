@@ -99,7 +99,11 @@ mod tests {
         let mut s = BfsScratch::new(5);
         assert_eq!(bounded_distance(&g, &mut s, 0, 0, 3), Some(0));
         assert_eq!(bounded_distance(&g, &mut s, 0, 3, 3), Some(3));
-        assert_eq!(bounded_distance(&g, &mut s, 0, 4, 3), None, "beyond horizon");
+        assert_eq!(
+            bounded_distance(&g, &mut s, 0, 4, 3),
+            None,
+            "beyond horizon"
+        );
         assert_eq!(bounded_distance(&g, &mut s, 0, 4, 4), Some(4));
     }
 

@@ -16,6 +16,9 @@
 //! * [`generators`] — random-graph generators (Erdős–Rényi,
 //!   Barabási–Albert, Watts–Strogatz, planted partition) standing in
 //!   for the paper's real datasets, plus deterministic toy graphs.
+//! * [`pool`] — a thread-safe [`pool::ScratchPool`] of BFS scratches,
+//!   the sharing primitive behind the parallel batch engine
+//!   (`tesc::batch`).
 //! * [`perturb`] — random edge addition/removal (the Fig. 8 experiment).
 //! * [`dist`] — bounded shortest-path helpers used by the event
 //!   simulator and tests.
@@ -30,8 +33,10 @@ pub mod dist;
 pub mod generators;
 pub mod io;
 pub mod perturb;
+pub mod pool;
 pub mod vicinity;
 
 pub use bfs::BfsScratch;
 pub use csr::{CsrGraph, GraphBuilder, NodeId};
+pub use pool::{PooledScratch, ScratchPool};
 pub use vicinity::VicinityIndex;

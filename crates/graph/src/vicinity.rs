@@ -72,7 +72,8 @@ impl VicinityIndex {
                         let mut counts = vec![0u32; max_level as usize + 1];
                         let len = mine.first().map_or(0, |s| s.len());
                         let mut mine = mine;
-                        #[allow(clippy::needless_range_loop)] // indexes several parallel level slices
+                        #[allow(clippy::needless_range_loop)]
+                        // indexes several parallel level slices
                         for i in 0..len {
                             let v = start + i as NodeId;
                             counts.fill(0);
@@ -169,12 +170,7 @@ impl VicinityIndex {
     /// we recompute exactly that dirty set against `g_new`. Pass the
     /// pre-change graph as `g_old` when edges were removed (the dirty
     /// region must be discovered through the now-deleted edges too).
-    pub fn refresh(
-        &mut self,
-        g_new: &CsrGraph,
-        g_old: Option<&CsrGraph>,
-        touched: &[NodeId],
-    ) {
+    pub fn refresh(&mut self, g_new: &CsrGraph, g_old: Option<&CsrGraph>, touched: &[NodeId]) {
         assert_eq!(
             self.levels[0].len(),
             g_new.num_nodes(),
@@ -221,11 +217,7 @@ mod tests {
         let mut s = BfsScratch::new(5);
         for v in 0..5u32 {
             for h in 1..=3 {
-                assert_eq!(
-                    idx.size(v, h),
-                    s.vicinity_size(&g, v, h),
-                    "v={v} h={h}"
-                );
+                assert_eq!(idx.size(v, h), s.vicinity_size(&g, v, h), "v={v} h={h}");
             }
         }
     }

@@ -1,0 +1,430 @@
+//! Offline stand-in for the parts of the [`rand`] crate this workspace
+//! uses.
+//!
+//! The build environment is fully offline (no crates.io), so the real
+//! `rand` cannot be vendored. This crate re-implements, from scratch
+//! and on `std` only, the exact API surface the workspace consumes:
+//!
+//! * [`RngCore`] / [`Rng`] — raw word generation plus the ergonomic
+//!   `gen_range` / `gen_bool` extension methods.
+//! * [`SeedableRng`] with the `seed_from_u64` constructor every test,
+//!   example and benchmark in the repository uses.
+//! * [`rngs::StdRng`] — a deterministic xoshiro256** generator seeded
+//!   via SplitMix64. **The stream differs from upstream `rand`'s
+//!   `StdRng`** (which is ChaCha12); determinism within this
+//!   repository, not cross-crate stream compatibility, is the contract.
+//! * [`seq::SliceRandom`] — `choose` and Fisher–Yates `shuffle`.
+//!
+//! Integer `gen_range` uses Lemire's widening-multiply mapping, which
+//! keeps the bias below 2⁻⁶⁴ per draw without a rejection loop, so
+//! every draw consumes exactly one `next_u64` — a property the batch
+//! engine's deterministic per-test RNG streams rely on.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Raw random word generation. Object safe (`&mut dyn RngCore` works).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Ergonomic sampling methods, blanket-implemented for every
+/// [`RngCore`] (including `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p = {p} out of [0, 1]");
+        // 53 uniform mantissa bits, the same mapping as float gen_range.
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generator construction.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 — the same
+    /// convention upstream `rand` documents for this method.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — seed expander (public for deterministic stream
+/// derivation, e.g. per-test seeds in the batch engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next word of the SplitMix64 sequence.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Map 64 random bits to `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types a range can be sampled from. Implemented for `Range` and
+/// `RangeInclusive` over the primitive integers and floats.
+pub trait SampleRange<T> {
+    /// Draw one uniform value.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((self.start as $u).wrapping_add(off as $u)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = ((rng.next_u64() as u128 * (span + 1) as u128) >> 64) as u64;
+                ((lo as $u).wrapping_add(off as $u)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                let v = self.start + (self.end - self.start) * u;
+                // `u` < 1, but the cast (f32) or the fused arithmetic
+                // can round `v` up onto the excluded bound; step one
+                // ulp back down to keep the half-open contract.
+                if v < self.end {
+                    v
+                } else {
+                    self.end.next_down().max(self.start)
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    ///
+    /// Not stream-compatible with upstream `rand::rngs::StdRng`
+    /// (ChaCha12); chosen for speed and a tiny, auditable
+    /// implementation. Same seed ⇒ same stream, forever, on every
+    /// platform.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *w = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Slice sampling helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// `choose` / `shuffle` on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng, SplitMix64};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..10 hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u32..=7);
+            assert!((5..=7).contains(&v));
+        }
+        for _ in 0..1000 {
+            let x = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_range_never_returns_the_excluded_bound() {
+        // All-ones words maximize the 53-bit unit mantissa, which
+        // rounds to exactly 1.0 when cast to f32 — the sampler must
+        // step one ulp back below the excluded bound.
+        struct MaxRng;
+        impl RngCore for MaxRng {
+            fn next_u32(&mut self) -> u32 {
+                u32::MAX
+            }
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let v32 = MaxRng.gen_range(0.0f32..1.0);
+        assert!(v32 < 1.0, "f32 excluded upper bound returned: {v32}");
+        assert!(v32 > 0.999_999, "should land just below the bound");
+        let v64 = MaxRng.gen_range(0.0f64..1.0);
+        assert!(v64 < 1.0, "f64 excluded upper bound returned: {v64}");
+        // Tiny spans stress the arithmetic-rounding path too.
+        let w = MaxRng.gen_range(1.0f32..1.000_000_2);
+        assert!(w < 1.000_000_2);
+        assert!(w >= 1.0);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 8];
+        let trials = 80_000;
+        for _ in 0..trials {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        let expect = trials as f64 / 8.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expect).abs() / expect;
+            assert!(rel < 0.05, "bucket {i}: {c} vs {expect} ({rel:.3})");
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &p in &[0.0, 0.25, 0.5, 0.9, 1.0] {
+            let hits = (0..20_000).filter(|_| rng.gen_bool(p)).count();
+            let freq = hits as f64 / 20_000.0;
+            assert!((freq - p).abs() < 0.02, "p = {p}, freq = {freq}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_none_on_empty_some_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [10u32, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_gen_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let v = dynamic.gen_range(0u64..100);
+        assert!(v < 100);
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference vector from the public-domain splitmix64.c.
+        let mut sm = SplitMix64(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

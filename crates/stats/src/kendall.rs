@@ -232,11 +232,13 @@ pub fn var_s_no_ties(n: usize) -> f64 {
 /// `u` and `v` are the tie-group sizes (≥ 2; singletons may be included,
 /// they contribute nothing) of the two density vectors.
 pub fn var_s_tie_corrected(n: usize, u: &[usize], v: &[usize]) -> f64 {
-    assert!(n >= 3, "tie-corrected variance needs n ≥ 3 (Eq. 6 divides by n−2)");
+    assert!(
+        n >= 3,
+        "tie-corrected variance needs n ≥ 3 (Eq. 6 divides by n−2)"
+    );
     let nf = n as f64;
-    let term = |sizes: &[usize], f: fn(f64) -> f64| -> f64 {
-        sizes.iter().map(|&s| f(s as f64)).sum()
-    };
+    let term =
+        |sizes: &[usize], f: fn(f64) -> f64| -> f64 { sizes.iter().map(|&s| f(s as f64)).sum() };
     let a_u = term(u, |s| s * (s - 1.0) * (2.0 * s + 5.0));
     let a_v = term(v, |s| s * (s - 1.0) * (2.0 * s + 5.0));
     let b_u = term(u, |s| s * (s - 1.0) * (s - 2.0));
@@ -412,7 +414,10 @@ mod tests {
         let y = [1.0, 2.0, 3.0, 4.0, 5.0];
         let s = summary(&x, &y);
         assert_eq!(s.tau, 0.0);
-        assert_eq!(s.z, 0.0, "variance collapses to 0 when one side is one big tie");
+        assert_eq!(
+            s.z, 0.0,
+            "variance collapses to 0 when one side is one big tie"
+        );
     }
 
     #[test]

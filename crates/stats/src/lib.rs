@@ -32,6 +32,6 @@ pub mod significance;
 pub mod spearman;
 
 pub use kendall::{kendall_tau, KendallMethod, KendallSummary};
-pub use spearman::{spearman_rho, SpearmanSummary};
 pub use normal::StdNormal;
 pub use significance::{SignificanceLevel, Tail, TestOutcome};
+pub use spearman::{spearman_rho, SpearmanSummary};

@@ -293,10 +293,7 @@ mod tests {
     fn cdf_matches_reference_table() {
         for &(x, want) in CDF_TABLE {
             let got = StdNormal::cdf(x);
-            assert!(
-                (got - want).abs() < 1e-8,
-                "cdf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-8, "cdf({x}) = {got}, want {want}");
         }
     }
 
@@ -328,10 +325,24 @@ mod tests {
 
     #[test]
     fn quantile_inverts_cdf() {
-        for p in [1e-6, 0.001, 0.025, 0.05, 0.31, 0.5, 0.77, 0.95, 0.999, 1.0 - 1e-6] {
+        for p in [
+            1e-6,
+            0.001,
+            0.025,
+            0.05,
+            0.31,
+            0.5,
+            0.77,
+            0.95,
+            0.999,
+            1.0 - 1e-6,
+        ] {
             let x = StdNormal::quantile(p);
             let back = StdNormal::cdf(x);
-            assert!((back - p).abs() < 1e-9, "quantile({p}) = {x}, cdf back {back}");
+            assert!(
+                (back - p).abs() < 1e-9,
+                "quantile({p}) = {x}, cdf back {back}"
+            );
         }
     }
 

@@ -12,8 +12,7 @@
 /// never be NaN, so a NaN here is a logic error upstream.
 #[inline]
 pub fn cmp_f64(a: f64, b: f64) -> core::cmp::Ordering {
-    a.partial_cmp(&b)
-        .expect("density values must not be NaN")
+    a.partial_cmp(&b).expect("density values must not be NaN")
 }
 
 /// Sizes of the tie groups of `values`, *including* groups of size 1.

@@ -20,13 +20,13 @@ fn main() {
         g.num_edges(),
         g.average_degree()
     );
-    let mut engine = TescEngine::new(g);
+    let engine = TescEngine::new(g);
 
     // --- A Table-1-style pair: two keywords of one research area. ---
     let (wireless, sensor) = scenario.plant_positive_keyword_pair(12, 10, 0.25, &mut rng);
     report(
         "\"Wireless\" vs \"Sensor\"  (same communities, some co-authors)",
-        &mut engine,
+        &engine,
         g.num_nodes(),
         &wireless,
         &sensor,
@@ -38,7 +38,7 @@ fn main() {
     let (texture, java) = scenario.plant_negative_keyword_pair(10, 12, 20, &mut rng);
     report(
         "\"Texture\" vs \"Java\"    (distant communities, 20 generalists)",
-        &mut engine,
+        &engine,
         g.num_nodes(),
         &texture,
         &java,
@@ -56,7 +56,7 @@ fn main() {
 
 fn report(
     title: &str,
-    engine: &mut TescEngine<'_>,
+    engine: &TescEngine<'_>,
     num_nodes: usize,
     va: &[u32],
     vb: &[u32],

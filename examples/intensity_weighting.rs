@@ -33,8 +33,10 @@ fn main() {
     let ia = Intensities::from_pairs(n, &usage_a);
     let ib = Intensities::from_pairs(n, &usage_b);
 
-    let mut engine = TescEngine::new(&graph);
-    let cfg = TescConfig::new(1).with_sample_size(400).with_tail(Tail::Upper);
+    let engine = TescEngine::new(&graph);
+    let cfg = TescConfig::new(1)
+        .with_sample_size(400)
+        .with_tail(Tail::Upper);
 
     // Presence view: both events on every node — pure ties, no signal.
     let all: Vec<u32> = (0..n as u32).collect();

@@ -20,13 +20,17 @@ fn main() {
         g.num_edges(),
         g.max_degree()
     );
-    let mut engine = TescEngine::new(g);
+    let engine = TescEngine::new(g);
     let mut scratch = BfsScratch::new(g.num_nodes());
 
     // Alternating attack techniques across shared subnets (Table 3).
     let (ping_sweep, smb_sweep) = scenario.plant_alternating_alert_pair(12, 10, &mut rng);
-    let cfg = TescConfig::new(1).with_sample_size(400).with_tail(Tail::Upper);
-    let r = engine.test(&ping_sweep, &smb_sweep, &cfg, &mut rng).unwrap();
+    let cfg = TescConfig::new(1)
+        .with_sample_size(400)
+        .with_tail(Tail::Upper);
+    let r = engine
+        .test(&ping_sweep, &smb_sweep, &cfg, &mut rng)
+        .unwrap();
     let tc = transaction_correlation(g.num_nodes(), &ping_sweep, &smb_sweep);
     println!("Ping Sweep vs SMB Service Sweep (alternated across subnets):");
     println!("  TESC h=1: z = {:+.2} ({:?})", r.z(), r.outcome.verdict);
@@ -36,7 +40,9 @@ fn main() {
 
     // Platform-separated techniques (Table 4).
     let (tftp, ldap) = scenario.plant_separated_alert_pair(10, 10, &mut rng);
-    let cfg = TescConfig::new(2).with_sample_size(400).with_tail(Tail::Lower);
+    let cfg = TescConfig::new(2)
+        .with_sample_size(400)
+        .with_tail(Tail::Lower);
     let r = engine.test(&tftp, &ldap, &cfg, &mut rng).unwrap();
     println!("Audit TFTP Get Filename vs LDAP Auth Failed (different platforms):");
     println!("  TESC h=2: z = {:+.2} ({:?})\n", r.z(), r.outcome.verdict);
@@ -44,7 +50,9 @@ fn main() {
     // The rare pair (Table 5): strongly co-located, too infrequent for
     // a support threshold.
     let (rare_a, rare_b) = scenario.plant_rare_pair(16, 12, &mut rng);
-    let cfg = TescConfig::new(1).with_sample_size(300).with_tail(Tail::Upper);
+    let cfg = TescConfig::new(1)
+        .with_sample_size(300)
+        .with_tail(Tail::Upper);
     let r = engine.test(&rare_a, &rare_b, &cfg, &mut rng).unwrap();
     let miner = ProximityMiner::new(1, 0.05);
     let support = miner.pair_support(g, &mut scratch, &rare_a, &rare_b);
@@ -53,10 +61,14 @@ fn main() {
         rare_a.len(),
         rare_b.len()
     );
-    println!("  TESC h=1: z = {:+.2}, p = {:.1e} ({:?})", r.z(), r.outcome.p_value, r.outcome.verdict);
+    println!(
+        "  TESC h=1: z = {:+.2}, p = {:.1e} ({:?})",
+        r.z(),
+        r.outcome.p_value,
+        r.outcome.verdict
+    );
     println!(
         "  proximity mining: support {:.2e} < minsup {:.2e} -> NOT mined",
-        support,
-        miner.minsup
+        support, miner.minsup
     );
 }

@@ -37,7 +37,7 @@ fn main() {
         .with_sample_size(300)
         .with_tail(Tail::Upper)
         .with_alpha(SignificanceLevel::ONE_PERCENT);
-    let mut engine = TescEngine::new(&graph);
+    let engine = TescEngine::new(&graph);
     let result = engine.test(&va, &vb, &cfg, &mut rng).expect("test runs");
 
     println!("\nTESC (Batch BFS sampling):");
@@ -49,7 +49,7 @@ fn main() {
 
     // The same test with importance sampling (needs the |V^h_v| index).
     let idx = VicinityIndex::build(&graph, 1);
-    let mut engine = TescEngine::with_vicinity_index(&graph, &idx);
+    let engine = TescEngine::with_vicinity_index(&graph, &idx);
     let cfg = cfg.with_sampler(SamplerKind::Importance { batch_size: 1 });
     let result = engine.test(&va, &vb, &cfg, &mut rng).expect("test runs");
     println!("\nTESC (importance sampling):");

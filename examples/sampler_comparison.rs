@@ -39,7 +39,7 @@ fn main() {
     let idx = VicinityIndex::build_for_nodes(&g, &union, h);
     println!("  index built in {:.1?}\n", t0.elapsed());
 
-    let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+    let engine = TescEngine::with_vicinity_index(&g, &idx);
     println!(
         "{:<18} {:>8} {:>8} {:>10} {:>8} {:>12}",
         "sampler", "tau/t~", "z", "p", "n_refs", "time"

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! tesc-cli demo --dir DIR
-//!     Write a demo scenario (graph + two correlated event files).
+//!     Write a demo scenario (graph, two correlated event files and a
+//!     pair-list file for `batch`).
 //!
 //! tesc-cli test --graph G.txt --event-a A.txt --event-b B.txt
 //!               [--h 1] [--n 900] [--tail upper|lower|two]
@@ -10,26 +11,42 @@
 //!               [--statistic kendall|spearman] [--seed 42]
 //!     Run the TESC significance test and the transaction-correlation
 //!     baseline, print both.
+//!
+//! tesc-cli batch --graph G.txt --pairs PAIRS.txt [--threads 0]
+//!                [--h 1] [--n 900] [--tail upper|lower|two]
+//!                [--alpha 0.05] [--sampler batch|reject|importance|whole]
+//!                [--statistic kendall|spearman] [--seed 42]
+//!     Run every pair of PAIRS.txt through the parallel batch engine
+//!     (tesc::batch) and print one row per pair plus a summary.
+//!     --threads 0 uses every core; results are bit-identical at any
+//!     thread count.
 //! ```
 //!
 //! Graph format: `tesc_graph::io` edge list (`num_nodes num_edges`
 //! header, one `u v` pair per line). Event format: one node id per
-//! line (`tesc_events::io`).
+//! line (`tesc_events::io`). Pair-list format: one pair per line,
+//! `label a1,a2,a3 b1,b2,b3` (comma-separated node ids; `#` starts a
+//! comment).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
+use tesc::batch::{run_batch, BatchRequest, EventPair};
 use tesc::{SamplerKind, SignificanceLevel, Statistic, Tail, TescConfig, TescEngine};
 use tesc_baselines::{lift, transaction_correlation};
-use tesc_graph::VicinityIndex;
+use tesc_graph::{NodeId, VicinityIndex};
 
 const USAGE: &str = "usage:
   tesc-cli demo --dir DIR
   tesc-cli test --graph G.txt --event-a A.txt --event-b B.txt
+                [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
+                [--sampler batch|reject|importance|whole]
+                [--statistic kendall|spearman] [--seed 42]
+  tesc-cli batch --graph G.txt --pairs PAIRS.txt [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42]";
@@ -50,6 +67,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "demo" => run_demo(&flags),
         "test" => run_test(&flags),
+        "batch" => run_batch_cmd(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -88,7 +106,11 @@ fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, St
         .ok_or_else(|| format!("missing required flag --{name}"))
 }
 
-fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> Result<T, String> {
+fn parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(name) {
         Some(v) => v
             .parse()
@@ -105,8 +127,12 @@ fn run_demo(flags: &HashMap<String, String>) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let (graph, _) = tesc_graph::generators::planted_partition(100, 20, 0.4, 0.002, &mut rng);
-    let va: Vec<u32> = (0..25u32).flat_map(|c| (0..4).map(move |i| c * 20 + i)).collect();
-    let vb: Vec<u32> = (0..25u32).flat_map(|c| (4..8).map(move |i| c * 20 + i)).collect();
+    let va: Vec<u32> = (0..25u32)
+        .flat_map(|c| (0..4).map(move |i| c * 20 + i))
+        .collect();
+    let vb: Vec<u32> = (0..25u32)
+        .flat_map(|c| (4..8).map(move |i| c * 20 + i))
+        .collect();
 
     let write = |name: &str, f: &dyn Fn(&mut BufWriter<File>) -> std::io::Result<()>| {
         let path = Path::new(dir).join(name);
@@ -117,19 +143,39 @@ fn run_demo(flags: &HashMap<String, String>) -> Result<(), String> {
     write("graph.txt", &|w| tesc_graph::io::write_edge_list(&graph, w))?;
     write("event_a.txt", &|w| tesc_events::io::write_node_list(&va, w))?;
     write("event_b.txt", &|w| tesc_events::io::write_node_list(&vb, w))?;
-    println!("wrote {dir}/graph.txt, {dir}/event_a.txt, {dir}/event_b.txt");
+    // A pair list for `tesc-cli batch`: the planted positive pair plus
+    // pairs placed in disjoint, far-apart communities — structurally
+    // *separated*, so TESC reads them as strongly negative (repulsion);
+    // under the suggested `--tail upper` they report Independent.
+    write("pairs.txt", &|w| {
+        writeln!(w, "# label a_nodes b_nodes (comma-separated)")?;
+        let fmt = |v: &[u32]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        writeln!(w, "planted_positive {} {}", fmt(&va), fmt(&vb))?;
+        for c in 0..4u32 {
+            let xa: Vec<u32> = (0..5u32).map(|i| c * 20 + 2 * i).collect();
+            let xb: Vec<u32> = (0..5u32).map(|i| (c + 10) * 20 + 2 * i + 1).collect();
+            writeln!(w, "separated_communities_{c} {} {}", fmt(&xa), fmt(&xb))?;
+        }
+        Ok(())
+    })?;
+    println!("wrote {dir}/graph.txt, {dir}/event_a.txt, {dir}/event_b.txt, {dir}/pairs.txt");
     println!("try: tesc-cli test --graph {dir}/graph.txt --event-a {dir}/event_a.txt --event-b {dir}/event_b.txt --tail upper --n 300");
+    println!(
+        "or:  tesc-cli batch --graph {dir}/graph.txt --pairs {dir}/pairs.txt --tail upper --n 300"
+    );
     Ok(())
 }
 
-fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
-    let graph_path = get(flags, "graph")?;
-    let a_path = get(flags, "event-a")?;
-    let b_path = get(flags, "event-b")?;
+/// Build the [`TescConfig`] shared by `test` and `batch` from flags.
+fn config_from_flags(flags: &HashMap<String, String>) -> Result<TescConfig, String> {
     let h: u32 = parse(flags, "h", 1u32)?;
     let n: usize = parse(flags, "n", 900usize)?;
     let alpha: f64 = parse(flags, "alpha", 0.05f64)?;
-    let seed: u64 = parse(flags, "seed", 42u64)?;
     let tail = match flags.get("tail").map(String::as_str) {
         None | Some("two") => Tail::TwoSided,
         Some("upper") => Tail::Upper,
@@ -156,20 +202,48 @@ fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
     let statistic = match flags.get("statistic").map(String::as_str) {
         None | Some("kendall") => Statistic::KendallTau,
         Some("spearman") => Statistic::SpearmanRho,
-        Some(other) => return Err(format!("--statistic must be kendall|spearman, got {other:?}")),
+        Some(other) => {
+            return Err(format!(
+                "--statistic must be kendall|spearman, got {other:?}"
+            ))
+        }
     };
+    Ok(TescConfig::new(h)
+        .with_sample_size(n)
+        .with_tail(tail)
+        .with_alpha(SignificanceLevel::new(alpha))
+        .with_sampler(sampler)
+        .with_statistic(statistic))
+}
 
-    let open = |p: &str| -> Result<BufReader<File>, String> {
-        File::open(p)
-            .map(BufReader::new)
-            .map_err(|e| format!("opening {p}: {e}"))
-    };
+fn open(p: &str) -> Result<BufReader<File>, String> {
+    File::open(p)
+        .map(BufReader::new)
+        .map_err(|e| format!("opening {p}: {e}"))
+}
+
+fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
+    let graph_path = get(flags, "graph")?;
+    let a_path = get(flags, "event-a")?;
+    let b_path = get(flags, "event-b")?;
+    let seed: u64 = parse(flags, "seed", 42u64)?;
+    let cfg = config_from_flags(flags)?;
+    let (h, alpha, sampler) = (cfg.h, cfg.alpha.alpha(), cfg.sampler);
+
     let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
         .map_err(|e| format!("reading {graph_path}: {e}"))?;
     let va = tesc_events::io::read_node_list(&mut open(a_path)?)
         .map_err(|e| format!("reading {a_path}: {e}"))?;
     let vb = tesc_events::io::read_node_list(&mut open(b_path)?)
         .map_err(|e| format!("reading {b_path}: {e}"))?;
+    for (name, nodes) in [(a_path, &va), (b_path, &vb)] {
+        if let Some(&v) = nodes.iter().find(|&&v| v as usize >= graph.num_nodes()) {
+            return Err(format!(
+                "{name}: node {v} out of range, the graph has only {} nodes",
+                graph.num_nodes()
+            ));
+        }
+    }
 
     eprintln!(
         "graph: {} nodes, {} edges; |V_a| = {}, |V_b| = {}",
@@ -179,12 +253,6 @@ fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
         vb.len()
     );
 
-    let cfg = TescConfig::new(h)
-        .with_sample_size(n)
-        .with_tail(tail)
-        .with_alpha(SignificanceLevel::new(alpha))
-        .with_sampler(sampler)
-        .with_statistic(statistic);
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Rejection/importance need the vicinity index over the event nodes.
@@ -193,7 +261,7 @@ fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
         SamplerKind::Rejection | SamplerKind::Importance { .. }
     );
     let index;
-    let mut engine = if needs_index {
+    let engine = if needs_index {
         let mut union = va.clone();
         union.extend(&vb);
         union.sort_unstable();
@@ -212,7 +280,10 @@ fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("  statistic = {:+.4}", result.statistic());
     println!("  z-score   = {:+.3}", result.z());
     println!("  p-value   = {:.3e}", result.outcome.p_value);
-    println!("  verdict   = {:?} (alpha = {alpha})", result.outcome.verdict);
+    println!(
+        "  verdict   = {:?} (alpha = {alpha})",
+        result.outcome.verdict
+    );
 
     let tc = transaction_correlation(graph.num_nodes(), &va, &vb);
     println!("Transaction correlation baseline:");
@@ -221,5 +292,129 @@ fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(l) = lift(graph.num_nodes(), &va, &vb) {
         println!("  lift      = {l:.3}");
     }
+    Ok(())
+}
+
+/// Parse a pair-list file: one pair per line,
+/// `label a1,a2,a3 b1,b2,b3`; blank lines and `#` comments skipped.
+fn parse_pairs(text: &str, path: &str) -> Result<Vec<EventPair>, String> {
+    let parse_ids = |field: &str, line_no: usize| -> Result<Vec<NodeId>, String> {
+        field
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse::<NodeId>()
+                    .map_err(|_| format!("{path}:{line_no}: bad node id {t:?}"))
+            })
+            .collect()
+    };
+    let mut pairs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(label), Some(a), Some(b), None) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            return Err(format!(
+                "{path}:{}: expected `label a1,a2,... b1,b2,...`, got {line:?}",
+                i + 1
+            ));
+        };
+        pairs.push(EventPair::new(
+            label,
+            parse_ids(a, i + 1)?,
+            parse_ids(b, i + 1)?,
+        ));
+    }
+    if pairs.is_empty() {
+        return Err(format!("{path}: no pairs found"));
+    }
+    Ok(pairs)
+}
+
+/// Run a whole pair list through the parallel batch engine.
+fn run_batch_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let graph_path = get(flags, "graph")?;
+    let pairs_path = get(flags, "pairs")?;
+    let seed: u64 = parse(flags, "seed", 42u64)?;
+    let threads: usize = parse(flags, "threads", 0usize)?;
+    let cfg = config_from_flags(flags)?;
+
+    let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(pairs_path).map_err(|e| format!("reading {pairs_path}: {e}"))?;
+    let pairs = parse_pairs(&text, pairs_path)?;
+    for p in &pairs {
+        if let Some(&v) =
+            p.a.iter()
+                .chain(&p.b)
+                .find(|&&v| v as usize >= graph.num_nodes())
+        {
+            return Err(format!(
+                "{pairs_path}: pair {:?} names node {v}, but the graph has only {} nodes",
+                p.label,
+                graph.num_nodes()
+            ));
+        }
+    }
+
+    eprintln!(
+        "graph: {} nodes, {} edges; {} pairs from {pairs_path}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        pairs.len()
+    );
+
+    // Rejection/importance need the vicinity index over every event
+    // node that occurs anywhere in the batch — built once, shared by
+    // all worker threads.
+    let needs_index = matches!(
+        cfg.sampler,
+        SamplerKind::Rejection | SamplerKind::Importance { .. }
+    );
+    let index;
+    let engine = if needs_index {
+        let mut union: Vec<NodeId> = pairs
+            .iter()
+            .flat_map(|p| p.a.iter().chain(&p.b).copied())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        eprintln!("building |V^h_v| index for {} event nodes...", union.len());
+        index = VicinityIndex::build_for_nodes(&graph, &union, cfg.h);
+        TescEngine::with_vicinity_index(&graph, &index)
+    } else {
+        TescEngine::new(&graph)
+    };
+
+    let req = BatchRequest::new(cfg)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_pairs(pairs);
+    let report = run_batch(&engine, &req);
+
+    println!(
+        "{:<24} {:>9} {:>8} {:>10} {:>9}  verdict",
+        "pair", "statistic", "z", "p", "n_refs"
+    );
+    for o in &report.outcomes {
+        match &o.result {
+            Ok(r) => println!(
+                "{:<24} {:>+9.4} {:>+8.3} {:>10.3e} {:>9}  {:?}",
+                o.label,
+                r.statistic(),
+                r.z(),
+                r.outcome.p_value,
+                r.n_refs,
+                r.outcome.verdict
+            ),
+            Err(e) => println!("{:<24} failed: {e}", o.label),
+        }
+    }
+    println!("summary: {}", report.summary());
     Ok(())
 }

@@ -29,8 +29,12 @@ fn tc_closed_form_agrees_with_generic_kendall_on_random_events() {
             continue;
         }
         let tc = transaction_correlation(n, &va, &vb);
-        let xa: Vec<f64> = (0..n as u32).map(|v| va.contains(&v) as u8 as f64).collect();
-        let xb: Vec<f64> = (0..n as u32).map(|v| vb.contains(&v) as u8 as f64).collect();
+        let xa: Vec<f64> = (0..n as u32)
+            .map(|v| va.contains(&v) as u8 as f64)
+            .collect();
+        let xb: Vec<f64> = (0..n as u32)
+            .map(|v| vb.contains(&v) as u8 as f64)
+            .collect();
         let gen = kendall_tau(&xa, &xb, KendallMethod::MergeSort);
         assert!(
             (tc.tau_b - gen.tau_b).abs() < 1e-10,
@@ -84,7 +88,7 @@ fn importance_t_tilde_converges_to_exact_tau() {
     let idx = VicinityIndex::build(&g, 1);
     let va: Vec<u32> = (0..36).collect();
     let vb: Vec<u32> = (18..54).collect();
-    let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+    let engine = TescEngine::with_vicinity_index(&g, &idx);
     let exact = engine.exact_summary(&va, &vb, 1).unwrap();
     let mut estimates = Vec::new();
     for t in 0..10 {
@@ -107,7 +111,7 @@ fn batch_bfs_statistic_with_full_population_equals_exact() {
     let g = barabasi_albert(800, 3, &mut rng(7));
     let va = sample_nodes(&g, 25, &mut rng(8));
     let vb = sample_nodes(&g, 25, &mut rng(9));
-    let mut engine = TescEngine::new(&g);
+    let engine = TescEngine::new(&g);
     let exact = engine.exact_summary(&va, &vb, 1).unwrap();
     let cfg = TescConfig::new(1).with_sample_size(usize::MAX / 2);
     let sampled = engine.test(&va, &vb, &cfg, &mut rng(10)).unwrap();
@@ -126,7 +130,7 @@ fn all_uniform_samplers_estimate_the_same_tau() {
     let idx = VicinityIndex::build(&g, 1);
     let va = sample_nodes(&g, 60, &mut rng(12));
     let vb = sample_nodes(&g, 60, &mut rng(13));
-    let mut engine = TescEngine::with_vicinity_index(&g, &idx);
+    let engine = TescEngine::with_vicinity_index(&g, &idx);
     let exact = engine.exact_summary(&va, &vb, 1).unwrap();
     for sampler in [
         SamplerKind::BatchBfs,
@@ -154,7 +158,7 @@ fn variance_upper_bound_from_paper_holds_empirically() {
     let g = grid(20, 20);
     let va: Vec<u32> = (0..60).collect();
     let vb: Vec<u32> = (30..90).collect();
-    let mut engine = TescEngine::new(&g);
+    let engine = TescEngine::new(&g);
     let exact = engine.exact_summary(&va, &vb, 1).unwrap();
     let n = 60usize;
     let mut samples = Vec::new();

@@ -1,7 +1,15 @@
-//! Property-based tests (proptest) for the core invariants promised in
+//! Property-based tests for the core invariants promised in
 //! DESIGN.md §8.
+//!
+//! Originally written against `proptest`; the offline build
+//! environment cannot vendor registry crates, so the same properties
+//! now run over deterministic seeded case generators (128 cases each,
+//! mirroring `ProptestConfig::with_cases(128)`). Shrinking is lost;
+//! every failure message carries the case seed instead, so a failing
+//! case can be reproduced by filtering on that seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tesc_events::store::merge_union;
 use tesc_events::NodeMask;
 use tesc_graph::csr::from_edges;
@@ -12,76 +20,113 @@ use tesc_stats::kendall::{
 };
 use tesc_stats::normal::StdNormal;
 
+const CASES: u64 = 128;
+
 /// Paired sample vectors with deliberate tie pressure (quantized).
-fn paired_samples() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (3usize..60).prop_flat_map(|n| {
-        (
-            proptest::collection::vec((0u8..8).prop_map(|q| q as f64 / 8.0), n),
-            proptest::collection::vec((0u8..8).prop_map(|q| q as f64 / 8.0), n),
-        )
-    })
+fn paired_samples(rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
+    let n = rng.gen_range(3usize..60);
+    let gen = |rng: &mut StdRng| {
+        (0..n)
+            .map(|_| rng.gen_range(0u8..8) as f64 / 8.0)
+            .collect::<Vec<f64>>()
+    };
+    let x = gen(rng);
+    let y = gen(rng);
+    (x, y)
 }
 
-/// Random simple graph as an edge list over `n` nodes.
-fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
-        (Just(n), edges)
-    })
+/// Random simple graph over `2..40` nodes (self-loops filtered).
+fn random_graph(rng: &mut StdRng) -> (usize, tesc_graph::CsrGraph) {
+    let n = rng.gen_range(2usize..40);
+    let num_edges = rng.gen_range(0usize..n * 3);
+    let edges: Vec<(u32, u32)> = (0..num_edges)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .filter(|(u, v)| u != v)
+        .collect();
+    (n, from_edges(n, &edges))
 }
 
-fn build(n: usize, raw: &[(u32, u32)]) -> tesc_graph::CsrGraph {
-    let filtered: Vec<(u32, u32)> = raw.iter().copied().filter(|(u, v)| u != v).collect();
-    from_edges(n, &filtered)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn tau_is_bounded((x, y) in paired_samples()) {
+#[test]
+fn tau_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let (x, y) = paired_samples(&mut rng);
         let s = kendall_tau(&x, &y, KendallMethod::MergeSort);
-        prop_assert!((-1.0..=1.0).contains(&s.tau), "tau = {}", s.tau);
-        prop_assert!((-1.0..=1.0).contains(&s.tau_b), "tau_b = {}", s.tau_b);
-        prop_assert!(s.var_s >= 0.0);
-        prop_assert!(s.z.is_finite());
+        assert!(
+            (-1.0..=1.0).contains(&s.tau),
+            "case {case}: tau = {}",
+            s.tau
+        );
+        assert!(
+            (-1.0..=1.0).contains(&s.tau_b),
+            "case {case}: tau_b = {}",
+            s.tau_b
+        );
+        assert!(s.var_s >= 0.0, "case {case}");
+        assert!(s.z.is_finite(), "case {case}");
     }
+}
 
-    #[test]
-    fn tau_antisymmetric_under_negation((x, y) in paired_samples()) {
+#[test]
+fn tau_antisymmetric_under_negation() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let (x, y) = paired_samples(&mut rng);
         let pos = kendall_tau(&x, &y, KendallMethod::MergeSort);
         let neg_y: Vec<f64> = y.iter().map(|v| -v).collect();
         let neg = kendall_tau(&x, &neg_y, KendallMethod::MergeSort);
-        prop_assert!((pos.tau + neg.tau).abs() < 1e-12);
-        prop_assert!((pos.z + neg.z).abs() < 1e-9);
+        assert!((pos.tau + neg.tau).abs() < 1e-12, "case {case}");
+        assert!((pos.z + neg.z).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn tau_symmetric_in_arguments((x, y) in paired_samples()) {
+#[test]
+fn tau_symmetric_in_arguments() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let (x, y) = paired_samples(&mut rng);
         let a = kendall_tau(&x, &y, KendallMethod::MergeSort);
         let b = kendall_tau(&y, &x, KendallMethod::MergeSort);
-        prop_assert_eq!(a.counts.s(), b.counts.s());
-        prop_assert!((a.tau - b.tau).abs() < 1e-12);
+        assert_eq!(a.counts.s(), b.counts.s(), "case {case}");
+        assert!((a.tau - b.tau).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn merge_sort_equals_exact((x, y) in paired_samples()) {
-        prop_assert_eq!(pair_counts_exact(&x, &y), pair_counts_merge(&x, &y));
+#[test]
+fn merge_sort_equals_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let (x, y) = paired_samples(&mut rng);
+        assert_eq!(
+            pair_counts_exact(&x, &y),
+            pair_counts_merge(&x, &y),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn self_correlation_is_maximal((x, _) in paired_samples()) {
+#[test]
+fn self_correlation_is_maximal() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let (x, _) = paired_samples(&mut rng);
         let s = kendall_tau(&x, &x, KendallMethod::MergeSort);
-        prop_assert_eq!(s.counts.discordant, 0);
-        prop_assert!(s.tau >= 0.0);
+        assert_eq!(s.counts.discordant, 0, "case {case}");
+        assert!(s.tau >= 0.0, "case {case}");
         // With no ties tau(x, x) = 1 exactly.
         let distinct: Vec<f64> = (0..x.len()).map(|i| i as f64).collect();
         let d = kendall_tau(&distinct, &distinct, KendallMethod::Exact);
-        prop_assert_eq!(d.tau, 1.0);
+        assert_eq!(d.tau, 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn tie_corrected_variance_never_exceeds_eq5(n in 3usize..200, sizes in proptest::collection::vec(2usize..10, 0..8)) {
+#[test]
+fn tie_corrected_variance_never_exceeds_eq5() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6000 + case);
+        let n = rng.gen_range(3usize..200);
+        let num_groups = rng.gen_range(0usize..8);
+        let sizes: Vec<usize> = (0..num_groups).map(|_| rng.gen_range(2usize..10)).collect();
         // Clamp tie groups to fit n.
         let mut used = 0usize;
         let mut groups = Vec::new();
@@ -92,46 +137,65 @@ proptest! {
             }
         }
         let v = var_s_tie_corrected(n, &groups, &[]);
-        prop_assert!(v <= var_s_no_ties(n) + 1e-9);
-        prop_assert!(v >= 0.0);
+        assert!(v <= var_s_no_ties(n) + 1e-9, "case {case}");
+        assert!(v >= 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn weighted_tau_bounded_and_matches_unweighted((x, y) in paired_samples()) {
+#[test]
+fn weighted_tau_bounded_and_matches_unweighted() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + case);
+        let (x, y) = paired_samples(&mut rng);
         let uniform = vec![1.0; x.len()];
         let wt = weighted_tau(&x, &y, &uniform);
-        prop_assert!((-1.0..=1.0).contains(&wt));
+        assert!((-1.0..=1.0).contains(&wt), "case {case}");
         let s = kendall_tau(&x, &y, KendallMethod::Exact);
-        prop_assert!((wt - s.tau).abs() < 1e-12);
+        assert!((wt - s.tau).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn normal_cdf_properties(x in -30.0f64..30.0) {
+#[test]
+fn normal_cdf_properties() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(8000 + case);
+        let x = rng.gen_range(-30.0f64..30.0);
         let c = StdNormal::cdf(x);
-        prop_assert!((0.0..=1.0).contains(&c));
+        assert!((0.0..=1.0).contains(&c), "case {case}: x = {x}");
         // Symmetry.
-        prop_assert!((c + StdNormal::cdf(-x) - 1.0).abs() < 1e-12);
+        assert!((c + StdNormal::cdf(-x) - 1.0).abs() < 1e-12, "case {case}");
         // sf complements.
-        prop_assert!((StdNormal::sf(x) - (1.0 - c)).abs() < 1e-9);
+        assert!((StdNormal::sf(x) - (1.0 - c)).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn bfs_vicinity_monotone_in_h((n, raw) in random_graph(), src in 0u32..40, h in 0u32..5) {
-        let g = build(n, &raw);
-        let src = src % n as u32;
+#[test]
+fn bfs_vicinity_monotone_in_h() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9000 + case);
+        let (n, g) = random_graph(&mut rng);
+        let src = rng.gen_range(0u32..40) % n as u32;
+        let h = rng.gen_range(0u32..5);
         let mut scratch = BfsScratch::new(n);
         let small = scratch.vicinity_size(&g, src, h);
         let big = scratch.vicinity_size(&g, src, h + 1);
-        prop_assert!(small <= big);
-        prop_assert!(small >= 1, "vicinity always contains the source");
-        prop_assert!(big <= n);
+        assert!(small <= big, "case {case}");
+        assert!(
+            small >= 1,
+            "case {case}: vicinity always contains the source"
+        );
+        assert!(big <= n, "case {case}");
     }
+}
 
-    #[test]
-    fn batch_bfs_equals_union_of_singles((n, raw) in random_graph(), h in 0u32..4) {
-        let g = build(n, &raw);
+#[test]
+fn batch_bfs_equals_union_of_singles() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(10_000 + case);
+        let (n, g) = random_graph(&mut rng);
+        let h = rng.gen_range(0u32..4);
         let sources: Vec<u32> = (0..n as u32).step_by(3).collect();
-        prop_assume!(!sources.is_empty());
+        assert!(!sources.is_empty());
         let mut scratch = BfsScratch::new(n);
         let mut batch = Vec::new();
         scratch.h_vicinity_into(&g, &sources, h, &mut batch);
@@ -142,62 +206,89 @@ proptest! {
             .collect();
         union.sort_unstable();
         union.dedup();
-        prop_assert_eq!(batch, union);
+        assert_eq!(batch, union, "case {case}");
     }
+}
 
-    #[test]
-    fn vicinity_index_matches_direct_bfs((n, raw) in random_graph()) {
-        let g = build(n, &raw);
+#[test]
+fn vicinity_index_matches_direct_bfs() {
+    // Fewer cases: each one sweeps the whole graph at 3 levels.
+    for case in 0..CASES / 4 {
+        let mut rng = StdRng::seed_from_u64(11_000 + case);
+        let (n, g) = random_graph(&mut rng);
         let idx = VicinityIndex::build(&g, 3);
         let mut scratch = BfsScratch::new(n);
         for v in 0..n as u32 {
             for h in 1..=3u32 {
-                prop_assert_eq!(idx.size(v, h), scratch.vicinity_size(&g, v, h));
+                assert_eq!(
+                    idx.size(v, h),
+                    scratch.vicinity_size(&g, v, h),
+                    "case {case}: v = {v}, h = {h}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn node_mask_round_trips(nodes in proptest::collection::vec(0u32..500, 0..64)) {
+#[test]
+fn node_mask_round_trips() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(12_000 + case);
+        let len = rng.gen_range(0usize..64);
+        let nodes: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..500)).collect();
         let mask = NodeMask::from_nodes(500, &nodes);
         let mut expect = nodes.clone();
         expect.sort_unstable();
         expect.dedup();
-        prop_assert_eq!(mask.to_nodes(), expect.clone());
-        prop_assert_eq!(mask.len(), expect.len());
+        assert_eq!(mask.to_nodes(), expect, "case {case}");
+        assert_eq!(mask.len(), expect.len(), "case {case}");
         for v in expect {
-            prop_assert!(mask.contains(v));
+            assert!(mask.contains(v), "case {case}: {v}");
         }
     }
+}
 
-    #[test]
-    fn merge_union_is_sorted_dedup_union(
-        mut a in proptest::collection::vec(0u32..100, 0..40),
-        mut b in proptest::collection::vec(0u32..100, 0..40),
-    ) {
-        a.sort_unstable();
-        a.dedup();
-        b.sort_unstable();
-        b.dedup();
+#[test]
+fn merge_union_is_sorted_dedup_union() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(13_000 + case);
+        let gen_sorted = |rng: &mut StdRng| {
+            let len = rng.gen_range(0usize..40);
+            let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..100)).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let a = gen_sorted(&mut rng);
+        let b = gen_sorted(&mut rng);
         let u = merge_union(&a, &b);
-        prop_assert!(u.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        assert!(
+            u.windows(2).all(|w| w[0] < w[1]),
+            "case {case}: sorted + dedup"
+        );
         for &x in a.iter().chain(&b) {
-            prop_assert!(u.binary_search(&x).is_ok());
+            assert!(u.binary_search(&x).is_ok(), "case {case}");
         }
         for &x in &u {
-            prop_assert!(a.binary_search(&x).is_ok() || b.binary_search(&x).is_ok());
+            assert!(
+                a.binary_search(&x).is_ok() || b.binary_search(&x).is_ok(),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn generated_graphs_have_consistent_degree_sums((n, raw) in random_graph()) {
-        let g = build(n, &raw);
+#[test]
+fn generated_graphs_have_consistent_degree_sums() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(14_000 + case);
+        let (_, g) = random_graph(&mut rng);
         let by_nodes: u64 = g.nodes().map(|v| g.degree(v) as u64).sum();
-        prop_assert_eq!(by_nodes, g.degree_sum());
-        prop_assert_eq!(g.degree_sum() as usize, 2 * g.num_edges());
+        assert_eq!(by_nodes, g.degree_sum(), "case {case}");
+        assert_eq!(g.degree_sum() as usize, 2 * g.num_edges(), "case {case}");
         // Every edge is reported once with u < v.
         let edges: Vec<_> = g.edges().collect();
-        prop_assert_eq!(edges.len(), g.num_edges());
-        prop_assert!(edges.iter().all(|&(u, v)| u < v));
+        assert_eq!(edges.len(), g.num_edges(), "case {case}");
+        assert!(edges.iter().all(|&(u, v)| u < v), "case {case}");
     }
 }
