@@ -2,11 +2,16 @@
 //!
 //! Measures the fig8-style density workload — a batch of planted DBLP
 //! keyword pairs, Batch BFS sampling, n = 300 — at 1/2/4/8 worker
-//! threads, for both parallelism axes:
+//! threads, for three batch-engine axes:
 //!
 //! * `batch/threads{T}` — across-test fan-out via `run_batch`.
 //! * `density/threads{T}` — within-test density fan-out via
 //!   `TescEngine::with_density_threads` on a single big test.
+//! * `cache/{off,cold,warm}` — the cross-pair density cache on a
+//!   shared-event pair list (one event × many partners): `off` is the
+//!   plain engine, `cold` pays first-run memoization, `warm` rides a
+//!   pre-populated cache. Results are bit-identical across all three
+//!   (asserted here each iteration via the verdict sequence).
 //!
 //! Speedup is relative to the 1-thread row; on a single-core machine
 //! all rows are expected to be flat. Runs on the in-repo
@@ -15,8 +20,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use tesc::batch::{run_batch, BatchRequest, EventPair};
-use tesc::{BfsScratch, TescConfig, TescEngine};
+use tesc::{BfsScratch, DensityCache, TescConfig, TescEngine};
 use tesc_bench::timing::Harness;
 use tesc_bench::{dblp_scenario, Scale};
 use tesc_events::simulate::positive_pair;
@@ -63,4 +69,37 @@ fn main() {
             engine.test(&single.a, &single.b, &cfg, &mut rng).unwrap()
         });
     }
+
+    // Cross-pair density cache on its target workload: one shared
+    // event tested against every other planted event (the Sec. 5.3
+    // "one keyword × many partners" shape).
+    let shared: Vec<EventPair> = pairs
+        .iter()
+        .skip(1)
+        .enumerate()
+        .map(|(i, p)| EventPair::new(format!("shared×{i}"), pairs[0].a.clone(), p.b.clone()))
+        .collect();
+    let shared_req = BatchRequest::new(cfg)
+        .with_seed(7)
+        .with_threads(1)
+        .with_pairs(shared);
+    let verdicts = |report: &tesc::BatchReport| -> Vec<_> {
+        report.outcomes.iter().map(|o| o.verdict()).collect()
+    };
+    let plain = TescEngine::new(g);
+    let baseline = verdicts(&run_batch(&plain, &shared_req));
+    harness.bench("cache/off", || run_batch(&plain, &shared_req));
+    harness.bench("cache/cold", || {
+        let engine = TescEngine::new(g).with_density_cache(Arc::new(DensityCache::for_graph(g)));
+        let report = run_batch(&engine, &shared_req);
+        assert_eq!(verdicts(&report), baseline, "cache changed a verdict");
+        report
+    });
+    let warm_engine = TescEngine::new(g).with_density_cache(Arc::new(DensityCache::for_graph(g)));
+    run_batch(&warm_engine, &shared_req); // populate
+    harness.bench("cache/warm", || {
+        let report = run_batch(&warm_engine, &shared_req);
+        assert_eq!(verdicts(&report), baseline, "cache changed a verdict");
+        report
+    });
 }

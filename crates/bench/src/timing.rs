@@ -32,18 +32,30 @@ impl Harness {
     /// Harness with 20 samples of ≥ 10 ms each; a CLI argument (from
     /// `cargo bench --bench NAME -- <substring>`) filters benchmarks
     /// by name.
+    ///
+    /// Two environment variables override the defaults — and win over
+    /// later [`Harness::with_samples`] calls — so CI can smoke-run
+    /// every bench binary in seconds without patching them:
+    ///
+    /// * `TESC_BENCH_SAMPLES` — timed samples per benchmark (≥ 1).
+    /// * `TESC_BENCH_MIN_SAMPLE_MS` — calibration floor per sample in
+    ///   milliseconds (0 = a single iteration per sample).
     pub fn new() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
         Harness {
-            samples: 20,
-            min_sample_time: Duration::from_millis(10),
+            samples: env_override("TESC_BENCH_SAMPLES").map_or(20, |s: usize| s.max(1)),
+            min_sample_time: env_override("TESC_BENCH_MIN_SAMPLE_MS")
+                .map_or(Duration::from_millis(10), Duration::from_millis),
             filter,
         }
     }
 
-    /// Number of timed samples per benchmark.
+    /// Number of timed samples per benchmark (the `TESC_BENCH_SAMPLES`
+    /// environment override, if set, wins).
     pub fn with_samples(mut self, samples: usize) -> Self {
-        self.samples = samples.max(1);
+        if std::env::var_os("TESC_BENCH_SAMPLES").is_none() {
+            self.samples = samples.max(1);
+        }
         self
     }
 
@@ -89,6 +101,12 @@ impl Harness {
             self.samples,
         );
     }
+}
+
+/// Parse an environment-variable override, ignoring unset or
+/// malformed values.
+fn env_override<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok()?.parse().ok()
 }
 
 /// Render seconds in the unit a human would pick.

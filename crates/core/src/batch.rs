@@ -26,6 +26,19 @@
 //! (and to calling [`TescEngine::test`] yourself with the same derived
 //! seeds) at every thread count — asserted by `tests/pipeline.rs`.
 //!
+//! **Cross-pair density cache.** Batch pair lists routinely share
+//! events (one keyword tested against many others). Attach a
+//! [`DensityCache`](crate::cache::DensityCache) to the engine
+//! ([`TescEngine::with_density_cache`], or use a
+//! [`Snapshot`](crate::context::Snapshot)-derived engine, which comes
+//! pre-wired) and the per-reference-node `(event, node, h)` vicinity
+//! counts are memoized across the whole run, so a shared event's
+//! density BFS happens once per reference node instead of once per
+//! pair. The cache stores the exact integers the BFS produces and
+//! never the RNG's output, so determinism invariant (1) still holds:
+//! cached, uncached, serial and parallel runs are all bit-identical
+//! (also asserted by `tests/pipeline.rs`).
+//!
 //! ```
 //! use tesc::batch::{BatchRequest, EventPair, run_batch};
 //! use tesc::{TescConfig, TescEngine};
@@ -347,6 +360,34 @@ mod tests {
             let direct = engine.test(&pair.a, &pair.b, &cfg, &mut rng);
             assert_eq!(report.outcomes[i].result, direct, "pair {i}");
         }
+    }
+
+    #[test]
+    fn cached_parallel_batch_matches_uncached_serial() {
+        let g = barabasi_albert(1500, 3, &mut StdRng::seed_from_u64(8));
+        // Pairs sharing event `a` — the cache's target workload.
+        let a: Vec<NodeId> = (0..40).collect();
+        let pairs: Vec<EventPair> = (0..6)
+            .map(|i| {
+                let b: Vec<NodeId> =
+                    (100 * (i as NodeId + 1)..100 * (i as NodeId + 1) + 40).collect();
+                EventPair::new(format!("a×b{i}"), a.clone(), b)
+            })
+            .collect();
+        let req = BatchRequest::new(TescConfig::new(1).with_sample_size(100))
+            .with_seed(21)
+            .with_pairs(pairs);
+        let plain = TescEngine::new(&g);
+        let baseline = run_batch_serial(&plain, &req);
+        let cache = std::sync::Arc::new(crate::cache::DensityCache::for_graph(&g));
+        let cached = TescEngine::new(&g).with_density_cache(cache.clone());
+        for threads in [1, 4] {
+            let report = run_batch(&cached, &req.clone().with_threads(threads));
+            for (b, c) in baseline.outcomes.iter().zip(&report.outcomes) {
+                assert_eq!(b, c, "threads = {threads}");
+            }
+        }
+        assert!(cache.hits() > 0, "shared event must produce hits");
     }
 
     #[test]

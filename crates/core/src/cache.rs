@@ -1,0 +1,320 @@
+//! Cross-pair density cache — memoized `(event, node, h)` vicinity
+//! counts for batch workloads.
+//!
+//! A batch over a keyword-pair list usually shares events between
+//! pairs (Sec. 5.3's DBLP study tests one keyword against many
+//! others). Without a cache, every pair redoes the density BFS of
+//! every reference node from scratch, recomputing
+//! `|V_a ∩ V^h_r| / |V^h_r|` for the shared event `a` once *per
+//! pair*. [`DensityCache`] memoizes the integer ingredients of Eq. 2 —
+//! `(|V^h_r|, |V_e ∩ V^h_r|)` keyed by `(event, reference node, h)` —
+//! so each is computed once per reference node and reused by every
+//! pair that shares the event.
+//!
+//! **Identity is content-addressed.** An event is keyed by its
+//! *normalized occurrence set* (sorted, deduplicated), wrapped in an
+//! [`EventKey`] carrying a precomputed hash; two pairs naming the same
+//! node set share cache entries no matter how the sets were
+//! constructed. Hash collisions cannot corrupt results: key equality
+//! compares the node sets themselves.
+//!
+//! **Bit-identity.** Cached entries are the exact integer counts the
+//! uncached BFS produces, and densities are derived with the identical
+//! `count as f64 / size as f64` arithmetic, so cached results are
+//! bit-identical to the uncached path (asserted in
+//! `tests/pipeline.rs` for every sampler).
+//!
+//! **Consistency.** Counts are only valid for the graph they were
+//! measured on. A cache is therefore pinned to one graph's structural
+//! fingerprint at construction ([`DensityCache::for_graph`]) and
+//! [`TescEngine::with_density_cache`](crate::TescEngine::with_density_cache)
+//! asserts the match; the versioned
+//! [`TescContext`](crate::context::TescContext) creates a fresh cache
+//! whenever the graph changes (stale counts can never leak across
+//! graph versions) and shares the warm cache across event-only
+//! versions, where every entry remains valid.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tesc_graph::{CsrGraph, NodeId};
+
+/// Content-addressed identity of an event's occurrence set.
+///
+/// Construction sorts/dedups once and precomputes a hash; clones are
+/// `Arc`-cheap, so a key can be shared across batch worker threads.
+#[derive(Debug, Clone)]
+pub struct EventKey {
+    hash: u64,
+    nodes: Arc<[NodeId]>,
+}
+
+impl EventKey {
+    /// Key for an occurrence list (any order, duplicates allowed).
+    pub fn new(nodes: &[NodeId]) -> Self {
+        let mut sorted = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Self::from_normalized(sorted)
+    }
+
+    /// Key for a list that is already sorted and deduplicated (the
+    /// engine's normalized form) — skips the re-sort.
+    pub fn from_normalized(nodes: Vec<NodeId>) -> Self {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "not normalized");
+        let mut hasher = DefaultHasher::new();
+        nodes.hash(&mut hasher);
+        EventKey {
+            hash: hasher.finish(),
+            nodes: nodes.into(),
+        }
+    }
+
+    /// The normalized occurrence set this key addresses.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash first (cheap reject), then the sets themselves — a
+        // 64-bit collision must not alias two distinct events.
+        self.hash == other.hash
+            && (Arc::ptr_eq(&self.nodes, &other.nodes) || self.nodes == other.nodes)
+    }
+}
+
+impl Eq for EventKey {}
+
+impl Hash for EventKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// The memoized integer ingredients of one event density (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedCount {
+    /// `|V^h_r|` (includes `r` itself).
+    pub vicinity_size: u32,
+    /// `|V_e ∩ V^h_r|` for the keyed event `e`.
+    pub count: u32,
+}
+
+impl CachedCount {
+    /// `s^h_e(r)` — identical arithmetic to the uncached
+    /// [`DensityCounts`](crate::density::DensityCounts) accessors, so
+    /// cached and uncached densities are bit-identical.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.count as f64 / self.vicinity_size as f64
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// One shard of the memo table: `(event, node, h) → count`.
+type Shard = HashMap<(EventKey, NodeId, u32), CachedCount>;
+
+/// Thread-safe `(event, node, h) → (|V^h_r|, count)` memo table.
+///
+/// Sharded by reference node so concurrent batch workers rarely
+/// contend; all counters are monotone atomics. See the module docs for
+/// the consistency contract.
+#[derive(Debug)]
+pub struct DensityCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Structural fingerprint of the graph this cache's counts were
+    /// measured on — counts alone would collide under count-neutral
+    /// rewirings like `tesc_graph::perturb`.
+    graph_fingerprint: u64,
+    bfs_invocations: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Fresh computations per event — the "density BFS once per
+    /// reference node" accounting the tests assert on.
+    fresh: Mutex<HashMap<EventKey, u64>>,
+}
+
+impl DensityCache {
+    /// Empty cache pinned to `g`'s structure.
+    pub fn for_graph(g: &CsrGraph) -> Self {
+        DensityCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            graph_fingerprint: g.fingerprint(),
+            bfs_invocations: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fresh: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Was this cache created for (a graph structurally identical to)
+    /// `g`? Compares [`CsrGraph::fingerprint`]s, so count-neutral
+    /// rewirings are caught too.
+    pub fn matches_graph(&self, g: &CsrGraph) -> bool {
+        self.graph_fingerprint == g.fingerprint()
+    }
+
+    #[inline]
+    fn shard(&self, r: NodeId) -> &Mutex<Shard> {
+        &self.shards[r as usize % SHARDS]
+    }
+
+    /// Look up the memoized count for `(event, r, h)`, recording a
+    /// hit/miss.
+    pub fn lookup(&self, event: &EventKey, r: NodeId, h: u32) -> Option<CachedCount> {
+        let got = self
+            .shard(r)
+            .lock()
+            .expect("density cache poisoned")
+            .get(&(event.clone(), r, h))
+            .copied();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Insert a freshly measured count. Counts the insertion against
+    /// the event's fresh-compute tally only if the slot was empty
+    /// (under races two workers may measure the same slot; the value
+    /// is deterministic either way).
+    pub fn insert(&self, event: &EventKey, r: NodeId, h: u32, value: CachedCount) {
+        let prev = self
+            .shard(r)
+            .lock()
+            .expect("density cache poisoned")
+            .insert((event.clone(), r, h), value);
+        if prev.is_none() {
+            *self
+                .fresh
+                .lock()
+                .expect("density cache poisoned")
+                .entry(event.clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Record one density BFS executed through the cache.
+    #[inline]
+    pub fn record_bfs(&self) {
+        self.bfs_invocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total density BFS invocations executed through the cache — the
+    /// work the cache could not avoid.
+    pub fn bfs_invocations(&self) -> u64 {
+        self.bfs_invocations.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// How many distinct `(node, h)` slots were freshly computed for
+    /// `event` — "density BFS once per reference node" means this
+    /// equals the number of distinct reference nodes the batch touched
+    /// for the event.
+    pub fn fresh_computes(&self, event: &EventKey) -> u64 {
+        self.fresh
+            .lock()
+            .expect("density cache poisoned")
+            .get(event)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of memoized `(event, node, h)` entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("density cache poisoned").len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesc_graph::csr::from_edges;
+
+    fn g() -> CsrGraph {
+        from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn event_key_is_order_and_dup_insensitive() {
+        let a = EventKey::new(&[3, 1, 2, 1]);
+        let b = EventKey::new(&[1, 2, 3]);
+        let c = EventKey::new(&[1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.nodes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn lookup_insert_round_trip_with_counters() {
+        let cache = DensityCache::for_graph(&g());
+        let e = EventKey::new(&[0, 2]);
+        assert_eq!(cache.lookup(&e, 1, 1), None);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let v = CachedCount {
+            vicinity_size: 3,
+            count: 2,
+        };
+        cache.insert(&e, 1, 1, v);
+        assert_eq!(cache.lookup(&e, 1, 1), Some(v));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.fresh_computes(&e), 1);
+        assert_eq!(cache.len(), 1);
+        // Same node, different h → distinct slot.
+        assert_eq!(cache.lookup(&e, 1, 2), None);
+        // Re-inserting the same slot does not double-count freshness.
+        cache.insert(&e, 1, 1, v);
+        assert_eq!(cache.fresh_computes(&e), 1);
+    }
+
+    #[test]
+    fn density_matches_uncached_arithmetic() {
+        let v = CachedCount {
+            vicinity_size: 3,
+            count: 1,
+        };
+        assert_eq!(v.density().to_bits(), (1.0f64 / 3.0f64).to_bits());
+    }
+
+    #[test]
+    fn graph_shape_pinning() {
+        let cache = DensityCache::for_graph(&g());
+        assert!(cache.matches_graph(&g()));
+        assert!(!cache.matches_graph(&g().with_edges(&[(0, 3)])));
+        // Count-neutral rewiring (same |V|, same |E|) is caught too.
+        let rewired = from_edges(4, &[(0, 1), (1, 3), (2, 3)]);
+        assert_eq!(rewired.num_edges(), g().num_edges());
+        assert!(!cache.matches_graph(&rewired));
+    }
+
+    #[test]
+    fn cache_is_sync() {
+        const fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<DensityCache>();
+        assert_sync::<EventKey>();
+    }
+}

@@ -1,0 +1,601 @@
+//! Versioned [`TescContext`] — the serving-shaped core of the stack.
+//!
+//! The paper notes the vicinity index "can be efficiently updated as
+//! the graph changes" (Sec. 4.2); this module turns that observation
+//! into an ingestion architecture. A [`TescContext`] owns a sequence
+//! of immutable [`Snapshot`]s — `Arc` bundles of
+//! [`CsrGraph`] + [`VicinityIndex`] + [`EventStore`] stamped with a
+//! monotone version — and an ingestion API
+//! ([`TescContext::add_edges`], [`TescContext::add_event_occurrences`],
+//! [`TescContext::add_event`]) that *prepares the next snapshot off to
+//! the side* and atomically publishes it:
+//!
+//! * **Readers never block and never tear.** [`TescContext::snapshot`]
+//!   is an `Arc` clone; a long-lived engine or batch run keeps working
+//!   against the graph/index/events triple it started with, even while
+//!   writers publish newer versions (the snapshot-separation idea of
+//!   HTAP designs, scaled to this library).
+//! * **Writers are incremental.** `add_edges` re-derives only the
+//!   dirty region of the vicinity index via the per-node rebuild path
+//!   of [`VicinityIndex::refresh`] — cost proportional to the
+//!   perturbed neighborhood, not `|V|` BFS sweeps. Event ingestion
+//!   reuses the graph and index entirely.
+//! * **Each snapshot carries a cross-pair [`DensityCache`]** shared by
+//!   every engine derived from it. Graph-changing ingests get a fresh
+//!   cache (memoized vicinity counts can never leak across graph
+//!   versions); event-only ingests keep riding the previous
+//!   snapshot's warm cache, which stays valid because entries are
+//!   content-addressed by occurrence set and depend only on the
+//!   unchanged graph.
+//!
+//! ```
+//! use tesc::context::TescContext;
+//! use tesc::{EventStore, TescConfig};
+//! use tesc_graph::generators::grid;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut events = EventStore::new();
+//! let a = events.add_event("a", (0..20).collect());
+//! let b = events.add_event("b", (10..30).collect());
+//! let ctx = TescContext::new(grid(20, 20), events, 2);
+//!
+//! let before = ctx.snapshot();                 // readers pin version 1
+//! ctx.add_edges(&[(0, 399)]).unwrap();         // writers publish version 2
+//! ctx.add_event_occurrences(b, &[399]).unwrap(); // ... and version 3
+//!
+//! let after = ctx.snapshot();
+//! assert_eq!((before.version(), after.version()), (1, 3));
+//! // `before` still serves the pre-ingestion world:
+//! assert!(!before.graph().has_edge(0, 399));
+//! let cfg = TescConfig::new(2).with_sample_size(100);
+//! let r = after
+//!     .engine()
+//!     .test(after.events().nodes(a), after.events().nodes(b), &cfg,
+//!           &mut StdRng::seed_from_u64(7))
+//!     .unwrap();
+//! assert!(r.n_refs > 0);
+//! ```
+
+use crate::batch::{BatchReport, BatchRequest, EventPair};
+use crate::cache::DensityCache;
+use crate::engine::TescEngine;
+use std::sync::{Arc, Mutex, RwLock};
+use tesc_events::{EventId, EventStore, EventStoreError};
+use tesc_graph::{CsrGraph, EdgeError, NodeId, VicinityIndex};
+
+/// Failure modes of the ingestion API. All checks run before any
+/// state is built, so a failed ingest publishes nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// An edge of the delta is invalid for the current graph.
+    BadEdge(EdgeError),
+    /// An event mutation failed (unknown id, duplicate name).
+    BadEvent(EventStoreError),
+    /// An occurrence node is not a node of the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::BadEdge(e) => write!(f, "bad edge delta: {e}"),
+            IngestError::BadEvent(e) => write!(f, "bad event delta: {e}"),
+            IngestError::NodeOutOfRange { node, num_nodes } => write!(
+                f,
+                "occurrence node {node} out of range for {num_nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<EdgeError> for IngestError {
+    fn from(e: EdgeError) -> Self {
+        IngestError::BadEdge(e)
+    }
+}
+
+impl From<EventStoreError> for IngestError {
+    fn from(e: EventStoreError) -> Self {
+        IngestError::BadEvent(e)
+    }
+}
+
+/// One immutable, internally consistent version of the world:
+/// graph, vicinity index, event store and a version stamp, plus a
+/// snapshot-local cross-pair density cache.
+///
+/// Snapshots are handed out as `Arc<Snapshot>`; holding one pins the
+/// version for as long as needed regardless of writer activity.
+#[derive(Debug)]
+pub struct Snapshot {
+    graph: Arc<CsrGraph>,
+    vicinity: Arc<VicinityIndex>,
+    events: Arc<EventStore>,
+    cache: Arc<DensityCache>,
+    version: u64,
+}
+
+impl Snapshot {
+    /// `reuse_cache` carries the previous snapshot's cache forward
+    /// when the graph is unchanged (event-only deltas): entries are
+    /// content-addressed by occurrence set and depend only on the
+    /// graph, so they stay valid — and stay warm. Graph changes must
+    /// pass `None` to get a fresh cache.
+    fn assemble(
+        graph: Arc<CsrGraph>,
+        vicinity: Arc<VicinityIndex>,
+        events: Arc<EventStore>,
+        version: u64,
+        reuse_cache: Option<Arc<DensityCache>>,
+    ) -> Arc<Self> {
+        let cache = reuse_cache.unwrap_or_else(|| Arc::new(DensityCache::for_graph(&graph)));
+        Arc::new(Snapshot {
+            graph,
+            vicinity,
+            events,
+            cache,
+            version,
+        })
+    }
+
+    /// Monotone version stamp (the context's first snapshot is 1).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The snapshot's graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The snapshot's `|V^h_v|` index (levels `1..=max_level` of the
+    /// context).
+    #[inline]
+    pub fn vicinity(&self) -> &VicinityIndex {
+        &self.vicinity
+    }
+
+    /// The snapshot's event registry.
+    #[inline]
+    pub fn events(&self) -> &EventStore {
+        &self.events
+    }
+
+    /// The snapshot-local cross-pair density cache (shared by every
+    /// engine derived from this snapshot, so repeated batches against
+    /// one version keep amortizing).
+    #[inline]
+    pub fn density_cache(&self) -> &Arc<DensityCache> {
+        &self.cache
+    }
+
+    /// A fully wired engine over this snapshot: vicinity-index-backed
+    /// (all samplers available) with the snapshot's density cache
+    /// attached. The engine borrows the snapshot, so keep the
+    /// `Arc<Snapshot>` alive for the engine's lifetime.
+    pub fn engine(&self) -> TescEngine<'_> {
+        TescEngine::with_vicinity_arc(&self.graph, self.vicinity.clone())
+            .with_density_cache(self.cache.clone())
+    }
+
+    /// Resolve two registered events into a labeled
+    /// [`EventPair`] (`"a×b"`) for batch requests.
+    pub fn event_pair(&self, a: EventId, b: EventId) -> EventPair {
+        EventPair::new(
+            format!("{}×{}", self.events.name(a), self.events.name(b)),
+            self.events.nodes(a).to_vec(),
+            self.events.nodes(b).to_vec(),
+        )
+    }
+
+    /// Run a batch request against this snapshot with the snapshot's
+    /// cache-wired engine — the one-liner for "test these pairs at
+    /// this version".
+    pub fn run_batch(&self, req: &BatchRequest) -> BatchReport {
+        crate::batch::run_batch(&self.engine(), req)
+    }
+}
+
+/// Versioned, concurrently readable TESC state with incremental
+/// ingestion. See the module docs for the architecture.
+#[derive(Debug)]
+pub struct TescContext {
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes writers so each prepares its snapshot against the
+    /// latest published one; held across the (potentially long)
+    /// rebuild, while `current`'s lock is only held for the swap.
+    writer: Mutex<()>,
+    max_level: u32,
+}
+
+impl TescContext {
+    /// Context over an initial graph and event store; builds the
+    /// vicinity index for levels `1..=max_level` single-threaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event store references out-of-range nodes — use
+    /// [`TescContext::try_new`] to handle that as an error.
+    pub fn new(graph: CsrGraph, events: EventStore, max_level: u32) -> Self {
+        Self::with_threads(graph, events, max_level, 1)
+    }
+
+    /// Fallible [`TescContext::new`].
+    pub fn try_new(
+        graph: CsrGraph,
+        events: EventStore,
+        max_level: u32,
+    ) -> Result<Self, IngestError> {
+        Self::try_with_threads(graph, events, max_level, 1)
+    }
+
+    /// [`TescContext::new`] with the offline index sweep fanned out
+    /// over `threads` workers via [`VicinityIndex::build_parallel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event store references out-of-range nodes — use
+    /// [`TescContext::try_with_threads`] to handle that as an error.
+    pub fn with_threads(
+        graph: CsrGraph,
+        events: EventStore,
+        max_level: u32,
+        threads: usize,
+    ) -> Self {
+        Self::try_with_threads(graph, events, max_level, threads)
+            .unwrap_or_else(|e| panic!("invalid initial event store: {e}"))
+    }
+
+    /// Fallible [`TescContext::with_threads`]: the initial event store
+    /// is validated against the graph exactly like later ingests, so
+    /// out-of-range occurrences surface as
+    /// [`IngestError::NodeOutOfRange`] here instead of panicking
+    /// inside the first test.
+    pub fn try_with_threads(
+        graph: CsrGraph,
+        events: EventStore,
+        max_level: u32,
+        threads: usize,
+    ) -> Result<Self, IngestError> {
+        for (_, _, nodes) in events.iter() {
+            check_nodes(graph.num_nodes(), nodes)?;
+        }
+        let vicinity = VicinityIndex::build_parallel(&graph, max_level, threads);
+        Ok(TescContext {
+            current: RwLock::new(Snapshot::assemble(
+                Arc::new(graph),
+                Arc::new(vicinity),
+                Arc::new(events),
+                1,
+                None,
+            )),
+            writer: Mutex::new(()),
+            max_level,
+        })
+    }
+
+    /// The vicinity level every snapshot's index covers.
+    #[inline]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// The currently published version stamp.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version
+    }
+
+    /// Pin the currently published snapshot (an `Arc` clone — cheap,
+    /// non-blocking with respect to writers preparing the next one).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.read().expect("context lock poisoned").clone()
+    }
+
+    fn publish(&self, next: Arc<Snapshot>) -> Arc<Snapshot> {
+        *self.current.write().expect("context lock poisoned") = next.clone();
+        next
+    }
+
+    /// Ingest an edge delta: validate, rebuild the CSR, incrementally
+    /// refresh the vicinity index around the touched endpoints (the
+    /// per-node rebuild path of [`VicinityIndex::refresh`]) and
+    /// publish the result as the next version. Edges already present
+    /// are ignored; a delta with no genuinely new edge returns the
+    /// current snapshot unchanged (no version bump). Readers holding
+    /// older snapshots are unaffected.
+    pub fn add_edges(&self, edges: &[(NodeId, NodeId)]) -> Result<Arc<Snapshot>, IngestError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+        base.graph.check_edges(edges)?;
+        let new_edges: Vec<(NodeId, NodeId)> = {
+            let mut seen: Vec<(NodeId, NodeId)> = edges
+                .iter()
+                .map(|&(u, v)| (u.min(v), u.max(v)))
+                .filter(|&(u, v)| !base.graph.has_edge(u, v))
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen
+        };
+        if new_edges.is_empty() {
+            return Ok(base);
+        }
+        let touched: Vec<NodeId> = {
+            let mut t: Vec<NodeId> = new_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        let graph = Arc::new(base.graph.with_edges(&new_edges));
+        // Pure additions: the new graph is a supergraph of the old, so
+        // the dirty region discovered through the new adjacency covers
+        // every node whose vicinity changed (no `g_old` needed).
+        let vicinity = Arc::new(base.vicinity.refreshed(&graph, None, &touched));
+        Ok(self.publish(Snapshot::assemble(
+            graph,
+            vicinity,
+            base.events.clone(),
+            base.version + 1,
+            None, // the graph changed: memoized counts are stale
+        )))
+    }
+
+    /// Register a new event and publish the next version. The graph,
+    /// vicinity index *and density cache* are shared with the previous
+    /// snapshot (cached counts depend only on the unchanged graph).
+    pub fn add_event(
+        &self,
+        name: impl Into<String>,
+        nodes: Vec<NodeId>,
+    ) -> Result<(EventId, Arc<Snapshot>), IngestError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+        check_nodes(base.graph.num_nodes(), &nodes)?;
+        let mut events = (*base.events).clone();
+        let id = events.try_add_event(name, nodes)?;
+        let next = self.publish(Snapshot::assemble(
+            base.graph.clone(),
+            base.vicinity.clone(),
+            Arc::new(events),
+            base.version + 1,
+            Some(base.cache.clone()),
+        ));
+        Ok((id, next))
+    }
+
+    /// Append occurrences to a registered event and publish the next
+    /// version (graph, index and density cache shared — the grown
+    /// event has a new content-addressed cache key, so its old
+    /// entries are simply never looked up again). Appending nothing
+    /// new still publishes — occurrence deltas are usually part of a
+    /// stream whose consumers key re-tests off the version stamp.
+    pub fn add_event_occurrences(
+        &self,
+        id: EventId,
+        nodes: &[NodeId],
+    ) -> Result<Arc<Snapshot>, IngestError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+        check_nodes(base.graph.num_nodes(), nodes)?;
+        let mut events = (*base.events).clone();
+        events.add_occurrences(id, nodes)?;
+        Ok(self.publish(Snapshot::assemble(
+            base.graph.clone(),
+            base.vicinity.clone(),
+            Arc::new(events),
+            base.version + 1,
+            Some(base.cache.clone()),
+        )))
+    }
+}
+
+fn check_nodes(num_nodes: usize, nodes: &[NodeId]) -> Result<(), IngestError> {
+    match nodes.iter().find(|&&v| v as usize >= num_nodes) {
+        Some(&node) => Err(IngestError::NodeOutOfRange { node, num_nodes }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TescConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tesc_graph::generators::grid;
+
+    fn ctx() -> (TescContext, EventId, EventId) {
+        let mut events = EventStore::new();
+        let a = events.add_event("a", (0..15).collect());
+        let b = events.add_event("b", (8..25).collect());
+        (TescContext::new(grid(12, 12), events, 2), a, b)
+    }
+
+    #[test]
+    fn snapshots_are_pinned_and_versions_monotone() {
+        let (ctx, _, b) = ctx();
+        let s1 = ctx.snapshot();
+        assert_eq!(s1.version(), 1);
+        let s2 = ctx.add_edges(&[(0, 143)]).unwrap();
+        assert_eq!(s2.version(), 2);
+        assert!(!s1.graph().has_edge(0, 143), "old snapshot untouched");
+        assert!(s2.graph().has_edge(0, 143));
+        let s3 = ctx.add_event_occurrences(b, &[140]).unwrap();
+        assert_eq!(s3.version(), 3);
+        assert_eq!(s1.events().size(b), 17);
+        assert!(s3.events().nodes(b).contains(&140));
+        assert_eq!(ctx.version(), 3);
+        // Graph-only deltas share the event store; event-only deltas
+        // share graph and index.
+        assert!(Arc::ptr_eq(&s1.events, &s2.events));
+        assert!(Arc::ptr_eq(&s2.graph, &s3.graph));
+        assert!(Arc::ptr_eq(&s2.vicinity, &s3.vicinity));
+        // Graph changes invalidate the cache; event-only deltas keep
+        // riding the warm one (entries depend only on the graph).
+        assert!(!Arc::ptr_eq(s1.density_cache(), s2.density_cache()));
+        assert!(Arc::ptr_eq(s2.density_cache(), s3.density_cache()));
+    }
+
+    #[test]
+    fn constructor_validates_initial_events() {
+        let mut events = EventStore::new();
+        events.add_event("oob", vec![999]);
+        let err = TescContext::try_new(grid(4, 4), events, 1).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::NodeOutOfRange {
+                node: 999,
+                num_nodes: 16
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid initial event store")]
+    fn panicking_constructor_reports_bad_events() {
+        let mut events = EventStore::new();
+        events.add_event("oob", vec![999]);
+        let _ = TescContext::new(grid(4, 4), events, 1);
+    }
+
+    #[test]
+    fn incremental_index_matches_rebuild() {
+        let (ctx, _, _) = ctx();
+        let s = ctx.add_edges(&[(0, 143), (5, 100), (77, 3)]).unwrap();
+        assert_eq!(*s.vicinity(), VicinityIndex::build(s.graph(), 2));
+    }
+
+    #[test]
+    fn duplicate_only_delta_is_a_no_op() {
+        let (ctx, _, _) = ctx();
+        let s1 = ctx.snapshot();
+        let s2 = ctx.add_edges(&[(0, 1), (1, 0)]).unwrap(); // grid edge already present
+        assert_eq!(s2.version(), 1);
+        assert!(Arc::ptr_eq(&s1, &s2));
+    }
+
+    #[test]
+    fn ingest_validation_publishes_nothing() {
+        let (ctx, _, b) = ctx();
+        assert_eq!(
+            ctx.add_edges(&[(3, 3)]).unwrap_err(),
+            IngestError::BadEdge(EdgeError::SelfLoop { node: 3 })
+        );
+        assert!(matches!(
+            ctx.add_edges(&[(0, 999)]).unwrap_err(),
+            IngestError::BadEdge(EdgeError::OutOfRange { .. })
+        ));
+        assert_eq!(
+            ctx.add_event_occurrences(b, &[999]).unwrap_err(),
+            IngestError::NodeOutOfRange {
+                node: 999,
+                num_nodes: 144
+            }
+        );
+        assert_eq!(
+            ctx.add_event("a", vec![1]).unwrap_err(),
+            IngestError::BadEvent(EventStoreError::DuplicateName { name: "a".into() })
+        );
+        assert!(matches!(
+            ctx.add_event_occurrences(EventId(9), &[1]).unwrap_err(),
+            IngestError::BadEvent(EventStoreError::UnknownEvent { .. })
+        ));
+        assert_eq!(ctx.version(), 1, "failed ingests publish nothing");
+    }
+
+    #[test]
+    fn snapshot_engine_serves_old_and_new_versions() {
+        let (ctx, a, b) = ctx();
+        let old = ctx.snapshot();
+        ctx.add_edges(&[(0, 143)]).unwrap();
+        let new = ctx.snapshot();
+        let cfg = TescConfig::new(2).with_sample_size(80);
+        let r_old = old
+            .engine()
+            .test(
+                old.events().nodes(a),
+                old.events().nodes(b),
+                &cfg,
+                &mut StdRng::seed_from_u64(3),
+            )
+            .unwrap();
+        let r_new = new
+            .engine()
+            .test(
+                new.events().nodes(a),
+                new.events().nodes(b),
+                &cfg,
+                &mut StdRng::seed_from_u64(3),
+            )
+            .unwrap();
+        assert!(r_old.n_refs >= 3 && r_new.n_refs >= 3);
+        // The old snapshot must reproduce its pre-ingestion numbers
+        // even after the write: pin-stability.
+        let r_old_again = old
+            .engine()
+            .test(
+                old.events().nodes(a),
+                old.events().nodes(b),
+                &cfg,
+                &mut StdRng::seed_from_u64(3),
+            )
+            .unwrap();
+        assert_eq!(r_old, r_old_again);
+    }
+
+    #[test]
+    fn event_pair_and_run_batch_helpers() {
+        let (ctx, a, b) = ctx();
+        let snap = ctx.snapshot();
+        let pair = snap.event_pair(a, b);
+        assert_eq!(pair.label, "a×b");
+        let req = BatchRequest::new(TescConfig::new(1).with_sample_size(40))
+            .with_seed(11)
+            .with_pair(pair);
+        let report = snap.run_batch(&req);
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes[0].result.is_ok());
+        assert!(snap.density_cache().bfs_invocations() > 0, "cache engaged");
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        let (ctx, a, b) = ctx();
+        let cfg = TescConfig::new(1).with_sample_size(30);
+        std::thread::scope(|scope| {
+            let ctx = &ctx;
+            for t in 0..3u64 {
+                scope.spawn(move || {
+                    for i in 0..5u64 {
+                        let snap = ctx.snapshot();
+                        let r = snap.engine().test(
+                            snap.events().nodes(a),
+                            snap.events().nodes(b),
+                            &cfg,
+                            &mut StdRng::seed_from_u64(t * 100 + i),
+                        );
+                        assert!(r.is_ok());
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for i in 0..5u32 {
+                    ctx.add_edges(&[(i, 143 - i)]).unwrap();
+                    ctx.add_event_occurrences(b, &[100 + i]).unwrap();
+                }
+            });
+        });
+        assert_eq!(ctx.version(), 11);
+        let last = ctx.snapshot();
+        assert_eq!(*last.vicinity(), VicinityIndex::build(last.graph(), 2));
+    }
+}

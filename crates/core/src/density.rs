@@ -13,6 +13,7 @@
 //! bit-identical to the serial [`density_vectors`] (no RNG is involved
 //! and every output slot is written by exactly one worker).
 
+use crate::cache::{CachedCount, DensityCache, EventKey};
 use tesc_events::NodeMask;
 use tesc_graph::bfs::BfsScratch;
 use tesc_graph::csr::CsrGraph;
@@ -171,6 +172,74 @@ pub fn density_vectors_pooled(
         .unzip()
 }
 
+/// [`density_vectors_pooled`] through a cross-pair [`DensityCache`]:
+/// per reference node, the two `(event, node, h)` slots are looked up
+/// first and a single BFS runs only if either misses, filling both
+/// missing slots. Results are **bit-identical** to the uncached path —
+/// cached slots hold the exact integer counts the BFS would have
+/// produced, and densities are derived with the same
+/// `count as f64 / size as f64` arithmetic.
+///
+/// With `k` pairs sharing an event over overlapping reference sets,
+/// the shared event's counts are measured once per distinct reference
+/// node instead of once per pair (asserted via
+/// [`DensityCache::fresh_computes`] in `tests/pipeline.rs`).
+#[allow(clippy::too_many_arguments)] // mirrors density_vectors_pooled + cache keys
+pub fn density_vectors_cached(
+    g: &CsrGraph,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    h: u32,
+    key_a: &EventKey,
+    mask_a: &NodeMask,
+    key_b: &EventKey,
+    mask_b: &NodeMask,
+    threads: usize,
+    cache: &DensityCache,
+) -> (Vec<f64>, Vec<f64>) {
+    let densities = map_refs_pooled(pool, refs, threads, (0.0f64, 0.0f64), |scratch, r| {
+        let hit_a = cache.lookup(key_a, r, h);
+        let hit_b = cache.lookup(key_b, r, h);
+        if let (Some(a), Some(b)) = (hit_a, hit_b) {
+            debug_assert_eq!(a.vicinity_size, b.vicinity_size, "inconsistent cache");
+            return (a.density(), b.density());
+        }
+        let c = density_counts(g, scratch, r, h, mask_a, mask_b);
+        cache.record_bfs();
+        let size = c.vicinity_size as u32;
+        if hit_a.is_none() {
+            cache.insert(
+                key_a,
+                r,
+                h,
+                CachedCount {
+                    vicinity_size: size,
+                    count: c.count_a as u32,
+                },
+            );
+        }
+        if hit_b.is_none() {
+            cache.insert(
+                key_b,
+                r,
+                h,
+                CachedCount {
+                    vicinity_size: size,
+                    count: c.count_b as u32,
+                },
+            );
+        }
+        // Prefer the cached slot when one side hit: same integers,
+        // same arithmetic, so the choice is observationally moot — but
+        // using it exercises the consistency debug-assert above.
+        (
+            hit_a.map_or_else(|| c.density_a(), |a| a.density()),
+            hit_b.map_or_else(|| c.density_b(), |b| b.density()),
+        )
+    });
+    densities.into_iter().unzip()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +353,53 @@ mod tests {
             let pooled = density_vectors_pooled(&g, &pool, &refs, 2, &ma, &mb, threads);
             assert_eq!(serial, pooled, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn cached_density_vectors_bit_identical_and_save_bfs() {
+        let g = from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (0, 5),
+            ],
+        );
+        let a = [0u32, 4, 8];
+        let b1 = [2u32, 9];
+        let b2 = [3u32, 7];
+        let (ma, mb1) = masks(10, &a, &b1);
+        let mb2 = NodeMask::from_nodes(10, &b2);
+        let (ka, kb1, kb2) = (EventKey::new(&a), EventKey::new(&b1), EventKey::new(&b2));
+        let refs: Vec<NodeId> = (0..10).collect();
+        let pool = ScratchPool::for_graph(&g);
+        let cache = DensityCache::for_graph(&g);
+
+        let mut s = BfsScratch::new(10);
+        let serial1 = density_vectors(&g, &mut s, &refs, 2, &ma, &mb1);
+        let serial2 = density_vectors(&g, &mut s, &refs, 2, &ma, &mb2);
+        for threads in [1, 3] {
+            let c1 =
+                density_vectors_cached(&g, &pool, &refs, 2, &ka, &ma, &kb1, &mb1, threads, &cache);
+            let c2 =
+                density_vectors_cached(&g, &pool, &refs, 2, &ka, &ma, &kb2, &mb2, threads, &cache);
+            assert_eq!(serial1, c1, "threads = {threads}");
+            assert_eq!(serial2, c2, "threads = {threads}");
+        }
+        // Pair 1 measured every slot (10 BFS); pair 2 hit event a
+        // everywhere but had to re-BFS each node for b2; the repeat
+        // rounds were pure hits. Event a was never measured twice.
+        assert_eq!(cache.fresh_computes(&ka), 10);
+        assert_eq!(cache.fresh_computes(&kb1), 10);
+        assert_eq!(cache.fresh_computes(&kb2), 10);
+        assert_eq!(cache.bfs_invocations(), 20);
     }
 
     #[test]

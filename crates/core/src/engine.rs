@@ -13,12 +13,14 @@
 //! is bit-identical either way because density BFS consumes no
 //! randomness.
 
+use crate::cache::{DensityCache, EventKey};
 use crate::density::{density_counts, DensityCounts};
 use crate::sampler::{
     batch_bfs_sample, importance_sample, rejection_sample, whole_graph_sample, SamplerKind,
     UniformSample,
 };
 use rand::Rng;
+use std::sync::Arc;
 use tesc_events::{store::merge_union, NodeMask};
 use tesc_graph::bfs::BfsScratch;
 use tesc_graph::csr::CsrGraph;
@@ -188,6 +190,25 @@ impl TescResult {
     }
 }
 
+/// Borrowed or shared ownership of a [`VicinityIndex`] — lets one
+/// engine type serve both the classic "caller owns everything" flow
+/// and the snapshot flow, where the index lives in an `Arc` inside a
+/// [`crate::context::Snapshot`].
+enum VicinityRef<'a> {
+    Borrowed(&'a VicinityIndex),
+    Owned(Arc<VicinityIndex>),
+}
+
+impl VicinityRef<'_> {
+    #[inline]
+    fn get(&self) -> &VicinityIndex {
+        match self {
+            VicinityRef::Borrowed(v) => v,
+            VicinityRef::Owned(v) => v,
+        }
+    }
+}
+
 /// The TESC test engine for one graph.
 ///
 /// Holds a [`ScratchPool`] instead of a single scratch, so every test
@@ -196,12 +217,21 @@ impl TescResult {
 /// pool grows to the number of concurrent tests and is then reused.
 /// Rejection and importance sampling additionally need the offline
 /// vicinity-size index (Sec. 4.2) — supply it via
-/// [`TescEngine::with_vicinity_index`].
+/// [`TescEngine::with_vicinity_index`] (borrowed),
+/// [`TescEngine::with_vicinity_arc`] (shared, the snapshot flow) or
+/// build it in place with [`TescEngine::build_vicinity`].
+///
+/// Optionally the engine carries a cross-pair [`DensityCache`]
+/// ([`TescEngine::with_density_cache`]): uniform-sampler density
+/// phases then memoize per-`(event, node, h)` vicinity counts so batch
+/// runs over pair lists sharing an event do the shared BFS work once,
+/// with bit-identical results.
 pub struct TescEngine<'a> {
     graph: &'a CsrGraph,
-    vicinity: Option<&'a VicinityIndex>,
+    vicinity: Option<VicinityRef<'a>>,
     pool: ScratchPool,
     density_threads: usize,
+    cache: Option<Arc<DensityCache>>,
 }
 
 impl<'a> TescEngine<'a> {
@@ -213,6 +243,7 @@ impl<'a> TescEngine<'a> {
             vicinity: None,
             pool: ScratchPool::for_graph(graph),
             density_threads: 1,
+            cache: None,
         }
     }
 
@@ -220,11 +251,67 @@ impl<'a> TescEngine<'a> {
     /// and importance sampling.
     pub fn with_vicinity_index(graph: &'a CsrGraph, vicinity: &'a VicinityIndex) -> Self {
         TescEngine {
-            graph,
-            vicinity: Some(vicinity),
-            pool: ScratchPool::for_graph(graph),
-            density_threads: 1,
+            vicinity: Some(VicinityRef::Borrowed(vicinity)),
+            ..Self::new(graph)
         }
+    }
+
+    /// Engine sharing ownership of an `Arc`-held index — the snapshot
+    /// flow ([`crate::context::Snapshot::engine`]), where graph and
+    /// index live in reference-counted cells of a versioned context.
+    pub fn with_vicinity_arc(graph: &'a CsrGraph, vicinity: Arc<VicinityIndex>) -> Self {
+        TescEngine {
+            vicinity: Some(VicinityRef::Owned(vicinity)),
+            ..Self::new(graph)
+        }
+    }
+
+    /// Build the `|V^h_v|` index for levels `1..=max_level` in place,
+    /// honoring [`TescEngine::with_density_threads`] by routing
+    /// through [`VicinityIndex::build_parallel`] — call
+    /// `with_density_threads` first to parallelize the offline sweep:
+    ///
+    /// ```
+    /// use tesc::TescEngine;
+    /// use tesc_graph::generators::grid;
+    ///
+    /// let g = grid(40, 40);
+    /// let engine = TescEngine::new(&g).with_density_threads(4).build_vicinity(2);
+    /// ```
+    pub fn build_vicinity(mut self, max_level: u32) -> Self {
+        self.vicinity = Some(VicinityRef::Owned(Arc::new(VicinityIndex::build_parallel(
+            self.graph,
+            max_level,
+            self.density_threads,
+        ))));
+        self
+    }
+
+    /// Attach a cross-pair [`DensityCache`]. Uniform-sampler density
+    /// phases consult it; importance-sampling and intensity phases
+    /// bypass it (their per-node quantities are pair-specific).
+    /// Results are bit-identical with or without a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was created for a structurally different
+    /// graph (compared by [`CsrGraph::fingerprint`]) — memoized counts
+    /// are only valid for the graph they were measured on (the
+    /// versioned [`crate::context::TescContext`] makes a fresh cache
+    /// whenever the graph changes for exactly this reason).
+    pub fn with_density_cache(mut self, cache: Arc<DensityCache>) -> Self {
+        assert!(
+            cache.matches_graph(self.graph),
+            "density cache pinned to a different graph shape"
+        );
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cross-pair cache, if any.
+    #[inline]
+    pub fn density_cache(&self) -> Option<&Arc<DensityCache>> {
+        self.cache.as_ref()
     }
 
     /// Fan the per-reference-node density loop of each *single* test
@@ -250,6 +337,13 @@ impl<'a> TescEngine<'a> {
     #[inline]
     pub fn graph(&self) -> &CsrGraph {
         self.graph
+    }
+
+    /// The engine's vicinity index, however it was supplied
+    /// (borrowed, shared or built in place).
+    #[inline]
+    pub fn vicinity_index(&self) -> Option<&VicinityIndex> {
+        self.vicinity.as_ref().map(VicinityRef::get)
     }
 
     /// The engine's scratch pool (diagnostics: `pool().idle()` after a
@@ -283,7 +377,18 @@ impl<'a> TescEngine<'a> {
                 }
                 self.test_importance(&union, &mask_a, &mask_b, cfg, batch_size, rng)
             }
-            _ => self.test_uniform(&union, &mask_a, &mask_b, cfg, rng),
+            _ => {
+                // Content-addressed cache keys from the normalized
+                // occurrence sets — only worth hashing when a cache is
+                // attached.
+                let keys = self.cache.is_some().then(|| {
+                    (
+                        EventKey::from_normalized(a_sorted),
+                        EventKey::from_normalized(b_sorted),
+                    )
+                });
+                self.test_uniform(&union, &mask_a, &mask_b, keys.as_ref(), cfg, rng)
+            }
         }
     }
 
@@ -367,11 +472,15 @@ impl<'a> TescEngine<'a> {
     }
 
     /// Uniform-sampler path: sample → densities → `t` (Eq. 4) → z.
+    /// With an attached [`DensityCache`] (and `keys` present), the
+    /// density phase memoizes per-`(event, node, h)` counts; either
+    /// way the numbers are bit-identical.
     fn test_uniform(
         &self,
         union: &[NodeId],
         mask_a: &NodeMask,
         mask_b: &NodeMask,
+        keys: Option<&(EventKey, EventKey)>,
         cfg: &TescConfig,
         rng: &mut impl Rng,
     ) -> Result<TescResult, TescError> {
@@ -379,15 +488,29 @@ impl<'a> TescEngine<'a> {
             let mut scratch = self.pool.acquire();
             self.draw_uniform_sample(&mut scratch, union, cfg, rng)?
         };
-        let (sa, sb) = crate::density::density_vectors_pooled(
-            self.graph,
-            &self.pool,
-            &sample.nodes,
-            cfg.h,
-            mask_a,
-            mask_b,
-            self.density_threads,
-        );
+        let (sa, sb) = match (self.cache.as_deref(), keys) {
+            (Some(cache), Some((key_a, key_b))) => crate::density::density_vectors_cached(
+                self.graph,
+                &self.pool,
+                &sample.nodes,
+                cfg.h,
+                key_a,
+                mask_a,
+                key_b,
+                mask_b,
+                self.density_threads,
+                cache,
+            ),
+            _ => crate::density::density_vectors_pooled(
+                self.graph,
+                &self.pool,
+                &sample.nodes,
+                cfg.h,
+                mask_a,
+                mask_b,
+                self.density_threads,
+            ),
+        };
         Ok(Self::finish_uniform(&sa, &sb, &sample, cfg))
     }
 
@@ -610,8 +733,8 @@ impl<'a> TescEngine<'a> {
         Ok(kendall_tau(&sa, &sb, KendallMethod::MergeSort))
     }
 
-    fn require_vicinity(&self, h: u32) -> Result<&'a VicinityIndex, TescError> {
-        match self.vicinity {
+    fn require_vicinity(&self, h: u32) -> Result<&VicinityIndex, TescError> {
+        match self.vicinity.as_ref().map(VicinityRef::get) {
             Some(v) if v.max_level() >= h => Ok(v),
             _ => Err(TescError::MissingVicinityIndex { needed_h: h }),
         }
@@ -995,6 +1118,69 @@ mod tests {
                 .unwrap_err(),
             TescError::NoEventNodes
         );
+    }
+
+    #[test]
+    fn build_vicinity_honors_density_threads_via_build_parallel() {
+        // 1600 nodes exceeds build_parallel's serial-fallback
+        // threshold, so 4 threads genuinely exercises the parallel
+        // sweep; the built index must equal a manual build.
+        let g = grid(40, 40);
+        let manual = VicinityIndex::build(&g, 2);
+        let engine = TescEngine::new(&g)
+            .with_density_threads(4)
+            .build_vicinity(2);
+        assert_eq!(engine.density_threads(), 4);
+        assert_eq!(engine.vicinity_index(), Some(&manual));
+        // And the index actually enables the samplers that need it.
+        let cfg = TescConfig::new(2)
+            .with_sample_size(60)
+            .with_sampler(SamplerKind::Rejection);
+        assert!(engine
+            .test(&[0, 1, 2], &[41, 42], &cfg, &mut rng(50))
+            .is_ok());
+    }
+
+    #[test]
+    fn vicinity_arc_behaves_like_borrowed() {
+        let g = grid(10, 10);
+        let idx = VicinityIndex::build(&g, 1);
+        let borrowed = TescEngine::with_vicinity_index(&g, &idx);
+        let owned = TescEngine::with_vicinity_arc(&g, std::sync::Arc::new(idx.clone()));
+        let cfg = TescConfig::new(1)
+            .with_sample_size(40)
+            .with_sampler(SamplerKind::Rejection);
+        let rb = borrowed
+            .test(&[0, 1], &[11, 12], &cfg, &mut rng(51))
+            .unwrap();
+        let ro = owned.test(&[0, 1], &[11, 12], &cfg, &mut rng(51)).unwrap();
+        assert_eq!(rb, ro);
+    }
+
+    #[test]
+    fn cached_engine_results_bit_identical() {
+        let g = barabasi_albert(1200, 3, &mut rng(52));
+        let va: Vec<u32> = (0..60).collect();
+        let vb: Vec<u32> = (30..90).collect();
+        let plain = TescEngine::new(&g);
+        let cache = std::sync::Arc::new(crate::cache::DensityCache::for_graph(&g));
+        let cached = TescEngine::new(&g).with_density_cache(cache.clone());
+        let cfg = TescConfig::new(1).with_sample_size(150);
+        let r1 = plain.test(&va, &vb, &cfg, &mut rng(53)).unwrap();
+        let r2 = cached.test(&va, &vb, &cfg, &mut rng(53)).unwrap();
+        let r3 = cached.test(&va, &vb, &cfg, &mut rng(53)).unwrap();
+        assert_eq!(r1, r2, "cold cache");
+        assert_eq!(r1, r3, "warm cache");
+        assert!(cache.hits() > 0, "second run must hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph shape")]
+    fn cache_for_wrong_graph_rejected() {
+        let g1 = grid(5, 5);
+        let g2 = grid(6, 6);
+        let cache = std::sync::Arc::new(crate::cache::DensityCache::for_graph(&g1));
+        let _ = TescEngine::new(&g2).with_density_cache(cache);
     }
 
     #[test]

@@ -48,22 +48,33 @@
 //! * [`batch`] — the parallel batch engine: run many tests against one
 //!   shared graph/vicinity index with deterministic per-test RNG
 //!   streams (bit-identical to serial execution).
+//! * [`cache`] — the cross-pair density cache: memoized
+//!   `(event, node, h)` vicinity counts so batches over pair lists
+//!   sharing an event do the shared BFS work once.
+//! * [`context`] — the versioned [`context::TescContext`]: immutable
+//!   `Arc` snapshots of graph + vicinity index + event store with
+//!   incremental ingestion (`add_edges`, `add_event_occurrences`) —
+//!   readers pin a consistent version while writers publish the next.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod cache;
+pub mod context;
 pub mod density;
 pub mod engine;
 pub mod intensity;
 pub mod sampler;
 
 pub use batch::{BatchReport, BatchRequest, EventPair};
+pub use cache::{DensityCache, EventKey};
+pub use context::{IngestError, Snapshot, TescContext};
 pub use engine::{Statistic, TescConfig, TescEngine, TescError, TescResult};
 pub use sampler::SamplerKind;
 
 // Re-export the pieces of the public API that come from substrates so
 // downstream users need only depend on `tesc`.
-pub use tesc_events::{simulate, EventStore, NodeMask};
-pub use tesc_graph::{BfsScratch, CsrGraph, GraphBuilder, NodeId, VicinityIndex};
+pub use tesc_events::{simulate, EventId, EventStore, EventStoreError, NodeMask};
+pub use tesc_graph::{BfsScratch, CsrGraph, EdgeError, GraphBuilder, NodeId, VicinityIndex};
 pub use tesc_stats::{SignificanceLevel, Tail, TestOutcome};

@@ -1,8 +1,13 @@
 //! Plain-text serialization for event occurrence lists.
 //!
-//! Format: one node id per line; blank lines and `#` comments ignored.
-//! This is the interchange format of the `tesc-cli` tool.
+//! Two formats, both line-oriented with `#` comments:
+//!
+//! * **node list** — one node id per line; the single-event
+//!   interchange format of `tesc-cli test`.
+//! * **named events** — `name v1,v2,v3` per line; the multi-event
+//!   format consumed by `tesc-cli stream` to seed an [`EventStore`].
 
+use crate::store::{EventStore, EventStoreError};
 use std::io::{self, BufRead, Write};
 use tesc_graph::NodeId;
 
@@ -42,6 +47,72 @@ pub fn read_node_list(r: &mut impl BufRead) -> Result<Vec<NodeId>, String> {
     Ok(out)
 }
 
+/// Write a whole store in named-event format: `name v1,v2,v3` per
+/// line, in id order. Names must not contain whitespace (asserted).
+pub fn write_named_events(store: &EventStore, w: &mut impl Write) -> io::Result<()> {
+    for (_, name, nodes) in store.iter() {
+        assert!(
+            !name.chars().any(char::is_whitespace),
+            "event name {name:?} contains whitespace; not serializable"
+        );
+        let ids = nodes
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(w, "{name} {ids}")?;
+    }
+    Ok(())
+}
+
+/// Read a named-event file (`name v1,v2,v3` per line, `#` comments
+/// and blank lines skipped) into a fresh [`EventStore`]. Duplicate
+/// names surface as [`EventStoreError::DuplicateName`] wrapped in the
+/// error string with the offending line number.
+pub fn read_named_events(r: &mut impl BufRead) -> Result<EventStore, String> {
+    let mut store = EventStore::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        lineno += 1;
+        let read = r
+            .read_line(&mut line)
+            .map_err(|e| format!("I/O error: {e}"))?;
+        if read == 0 {
+            break;
+        }
+        let t = line.split('#').next().unwrap_or("").trim();
+        if t.is_empty() {
+            continue;
+        }
+        let mut fields = t.split_whitespace();
+        let (Some(name), Some(ids), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(format!(
+                "line {lineno}: expected `name v1,v2,...`, got {t:?}"
+            ));
+        };
+        let nodes = parse_id_list(ids).map_err(|e| format!("line {lineno}: {e}"))?;
+        store
+            .try_add_event(name, nodes)
+            .map_err(|e: EventStoreError| format!("line {lineno}: {e}"))?;
+    }
+    Ok(store)
+}
+
+/// Parse a comma-separated node-id list (`1,2,3`; empty tokens
+/// skipped, so a bare `,` or trailing comma is tolerated).
+pub fn parse_id_list(field: &str) -> Result<Vec<NodeId>, String> {
+    field
+        .split(',')
+        .filter(|tok| !tok.is_empty())
+        .map(|tok| {
+            tok.parse::<NodeId>()
+                .map_err(|_| format!("bad node id {tok:?}"))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +146,44 @@ mod tests {
     #[test]
     fn empty_input_is_empty_list() {
         assert!(read_node_list(&mut Cursor::new("")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn named_events_round_trip() {
+        let mut store = EventStore::new();
+        store.add_event("wireless", vec![5, 1, 3]);
+        store.add_event("sensor", vec![2]);
+        let mut buf = Vec::new();
+        write_named_events(&store, &mut buf).unwrap();
+        let back = read_named_events(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back.num_events(), 2);
+        assert_eq!(back.nodes(back.id_by_name("wireless").unwrap()), &[1, 3, 5]);
+        assert_eq!(back.nodes(back.id_by_name("sensor").unwrap()), &[2]);
+    }
+
+    #[test]
+    fn named_events_reports_duplicates_with_line() {
+        let text = "a 1,2\nb 3\na 4\n";
+        let err = read_named_events(&mut Cursor::new(text)).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("duplicate event name"), "{err}");
+    }
+
+    #[test]
+    fn named_events_bad_shape_and_ids() {
+        let err = read_named_events(&mut Cursor::new("justaname\n")).unwrap_err();
+        assert!(err.contains("expected `name v1,v2,...`"), "{err}");
+        let err = read_named_events(&mut Cursor::new("a 1,x\n")).unwrap_err();
+        assert!(err.contains("bad node id"), "{err}");
+        // Comments and blank lines are fine.
+        let s = read_named_events(&mut Cursor::new("# hi\n\na 1,2, # tail\n")).unwrap();
+        assert_eq!(s.nodes(s.id_by_name("a").unwrap()), &[1, 2]);
+    }
+
+    #[test]
+    fn parse_id_list_tolerates_empty_tokens() {
+        assert_eq!(parse_id_list("1,,2,").unwrap(), vec![1, 2]);
+        assert_eq!(parse_id_list("").unwrap(), Vec::<NodeId>::new());
+        assert!(parse_id_list("1,-2").is_err());
     }
 }

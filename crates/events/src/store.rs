@@ -6,6 +6,36 @@ use tesc_graph::NodeId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub u32);
 
+/// Failure modes of fallible [`EventStore`] mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventStoreError {
+    /// An event with this name is already registered.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// The given [`EventId`] does not name an event of this store.
+    UnknownEvent {
+        /// The offending id.
+        id: EventId,
+    },
+}
+
+impl std::fmt::Display for EventStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventStoreError::DuplicateName { name } => {
+                write!(f, "duplicate event name {name:?}")
+            }
+            EventStoreError::UnknownEvent { id } => {
+                write!(f, "unknown event id {}", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventStoreError {}
+
 /// Registry of named events and their occurrence node sets
 /// (`V_a` in the paper's notation).
 ///
@@ -25,24 +55,59 @@ impl EventStore {
     }
 
     /// Register an event with its occurrence nodes (deduplicated and
-    /// sorted internally). Returns its id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an event with the same name already exists.
-    pub fn add_event(&mut self, name: impl Into<String>, nodes: Vec<NodeId>) -> EventId {
+    /// sorted internally). Returns its id, or
+    /// [`EventStoreError::DuplicateName`] if the name is taken.
+    pub fn try_add_event(
+        &mut self,
+        name: impl Into<String>,
+        nodes: Vec<NodeId>,
+    ) -> Result<EventId, EventStoreError> {
         let name = name.into();
-        assert!(
-            self.id_by_name(&name).is_none(),
-            "duplicate event name {name:?}"
-        );
+        if self.id_by_name(&name).is_some() {
+            return Err(EventStoreError::DuplicateName { name });
+        }
         let mut nodes = nodes;
         nodes.sort_unstable();
         nodes.dedup();
         let id = EventId(self.names.len() as u32);
         self.names.push(name);
         self.occurrences.push(nodes);
-        id
+        Ok(id)
+    }
+
+    /// Panicking convenience wrapper over [`EventStore::try_add_event`]
+    /// for tests and static scenario builders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event with the same name already exists.
+    pub fn add_event(&mut self, name: impl Into<String>, nodes: Vec<NodeId>) -> EventId {
+        match self.try_add_event(name, nodes) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Append occurrence nodes to an existing event (the ingestion
+    /// path of a streaming workload). New nodes are merged into the
+    /// sorted occurrence set; duplicates are no-ops. Returns how many
+    /// nodes were actually new.
+    pub fn add_occurrences(
+        &mut self,
+        id: EventId,
+        nodes: &[NodeId],
+    ) -> Result<usize, EventStoreError> {
+        if id.0 as usize >= self.names.len() {
+            return Err(EventStoreError::UnknownEvent { id });
+        }
+        let mut extra = nodes.to_vec();
+        extra.sort_unstable();
+        extra.dedup();
+        let existing = &mut self.occurrences[id.0 as usize];
+        let before = existing.len();
+        let merged = merge_union(existing, &extra);
+        *existing = merged;
+        Ok(existing.len() - before)
     }
 
     /// Number of registered events.
@@ -267,6 +332,35 @@ mod tests {
         let mut s = EventStore::new();
         s.add_event("x", vec![]);
         s.add_event("x", vec![1]);
+    }
+
+    #[test]
+    fn try_add_event_reports_duplicates_as_err() {
+        let mut s = EventStore::new();
+        let id = s.try_add_event("x", vec![2, 1]).unwrap();
+        assert_eq!(s.nodes(id), &[1, 2]);
+        let err = s.try_add_event("x", vec![3]).unwrap_err();
+        assert_eq!(err, EventStoreError::DuplicateName { name: "x".into() });
+        assert_eq!(s.num_events(), 1, "failed insert must not register");
+        assert!(err.to_string().contains("duplicate event name"));
+    }
+
+    #[test]
+    fn add_occurrences_merges_sorted() {
+        let mut s = EventStore::new();
+        let id = s.add_event("a", vec![1, 5]);
+        assert_eq!(s.add_occurrences(id, &[3, 5, 3, 9]).unwrap(), 2);
+        assert_eq!(s.nodes(id), &[1, 3, 5, 9]);
+        assert_eq!(s.add_occurrences(id, &[1, 9]).unwrap(), 0);
+        assert_eq!(s.nodes(id), &[1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn add_occurrences_unknown_id_is_err() {
+        let mut s = EventStore::new();
+        let err = s.add_occurrences(EventId(3), &[1]).unwrap_err();
+        assert_eq!(err, EventStoreError::UnknownEvent { id: EventId(3) });
+        assert!(err.to_string().contains("unknown event id 3"));
     }
 
     #[test]

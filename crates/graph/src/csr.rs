@@ -84,6 +84,29 @@ impl CsrGraph {
         self.neighbors.len() as u64
     }
 
+    /// 64-bit structural fingerprint (FNV-1a over the CSR arrays),
+    /// `O(|V| + |E|)`. Two graphs with equal fingerprints are the same
+    /// graph for all practical purposes — used to pin density caches
+    /// to a topology, where node/edge *counts* alone would collide
+    /// (e.g. [`crate::perturb`] swaps edges count-neutrally).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(self.num_nodes() as u64);
+        for &o in self.offsets.iter() {
+            mix(o);
+        }
+        for &v in self.neighbors.iter() {
+            mix(v as u64);
+        }
+        h
+    }
+
     /// Average degree `2|E| / |V|`.
     pub fn average_degree(&self) -> f64 {
         if self.num_nodes() == 0 {
@@ -107,7 +130,76 @@ impl CsrGraph {
         }
         b
     }
+
+    /// New graph with `extra` edges added (duplicates of existing
+    /// edges are no-ops). This is the snapshot-ingestion primitive:
+    /// the receiver is untouched, so readers holding it keep a
+    /// consistent view while the returned graph becomes the next
+    /// version. Cost is a full `O(|V| + |E|)` CSR rebuild — cheap next
+    /// to the vicinity-index refresh that follows it in the ingestion
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints (validate with
+    /// [`CsrGraph::check_edges`] first on untrusted input).
+    pub fn with_edges(&self, extra: &[(NodeId, NodeId)]) -> CsrGraph {
+        let mut b = self.to_builder();
+        b.extend_edges(extra.iter().copied());
+        b.build()
+    }
+
+    /// Validate an edge delta without applying it: every endpoint in
+    /// range and no self-loops. Returns the first offending edge.
+    pub fn check_edges(&self, edges: &[(NodeId, NodeId)]) -> Result<(), EdgeError> {
+        let n = self.num_nodes();
+        for &(u, v) in edges {
+            if u == v {
+                return Err(EdgeError::SelfLoop { node: u });
+            }
+            if u as usize >= n || v as usize >= n {
+                return Err(EdgeError::OutOfRange {
+                    edge: (u, v),
+                    num_nodes: n,
+                });
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Why an edge delta is invalid for a given graph
+/// (see [`CsrGraph::check_edges`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeError {
+    /// Both endpoints are the same node.
+    SelfLoop {
+        /// The looping node.
+        node: NodeId,
+    },
+    /// An endpoint is not a node of the graph.
+    OutOfRange {
+        /// The offending edge.
+        edge: (NodeId, NodeId),
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            EdgeError::OutOfRange { edge, num_nodes } => write!(
+                f,
+                "edge ({},{}) out of range for {num_nodes} nodes",
+                edge.0, edge.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
 
 /// Mutable edge-list accumulator that [`GraphBuilder::build`]s into a
 /// [`CsrGraph`].
@@ -335,6 +427,52 @@ mod tests {
         let g = triangle_plus_tail();
         let g2 = g.to_builder().build();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn with_edges_adds_without_mutating_receiver() {
+        let g = triangle_plus_tail();
+        let g2 = g.with_edges(&[(0, 4), (0, 1)]); // one new, one duplicate
+        assert_eq!(g.num_edges(), 5, "receiver untouched");
+        assert_eq!(g2.num_edges(), 6);
+        assert!(g2.has_edge(0, 4));
+        assert_eq!(
+            g2,
+            from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (0, 4)])
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_count_equal_graphs() {
+        // Same node and edge counts, different topology.
+        let g1 = from_edges(4, &[(0, 1), (2, 3)]);
+        let g2 = from_edges(4, &[(0, 2), (1, 3)]);
+        assert_ne!(g1.fingerprint(), g2.fingerprint());
+        assert_eq!(g1.fingerprint(), g1.clone().fingerprint());
+        assert_eq!(
+            g1.fingerprint(),
+            g1.to_builder().build().fingerprint(),
+            "rebuild-stable"
+        );
+    }
+
+    #[test]
+    fn check_edges_catches_bad_deltas() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.check_edges(&[(0, 4), (1, 3)]), Ok(()));
+        assert_eq!(
+            g.check_edges(&[(2, 2)]),
+            Err(EdgeError::SelfLoop { node: 2 })
+        );
+        let err = g.check_edges(&[(0, 9)]).unwrap_err();
+        assert_eq!(
+            err,
+            EdgeError::OutOfRange {
+                edge: (0, 9),
+                num_nodes: 5
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod pool;
 pub mod vicinity;
 
 pub use bfs::BfsScratch;
-pub use csr::{CsrGraph, GraphBuilder, NodeId};
+pub use csr::{CsrGraph, EdgeError, GraphBuilder, NodeId};
 pub use pool::{PooledScratch, ScratchPool};
 pub use vicinity::VicinityIndex;

@@ -11,8 +11,8 @@
 //! The lock is held only for the check-out/check-in push/pop, never
 //! during a search, so contention is negligible next to BFS cost.
 //!
-//! Shareability contract: [`CsrGraph`](crate::CsrGraph) and
-//! [`VicinityIndex`](crate::VicinityIndex) are immutable after
+//! Shareability contract: [`CsrGraph`] and
+//! [`crate::VicinityIndex`] are immutable after
 //! construction and therefore `Sync` — one instance of each can back
 //! every thread of a batch run. `ScratchPool` is the mutable
 //! counterpart designed for the same sharing (asserted at compile time

@@ -199,6 +199,23 @@ impl VicinityIndex {
             );
         }
     }
+
+    /// Non-destructive [`VicinityIndex::refresh`]: clone the index and
+    /// refresh the clone, leaving the receiver as-is. This is the
+    /// snapshot-ingestion primitive — readers of the old index keep a
+    /// consistent view of the old graph while the returned index pairs
+    /// with `g_new` as the next version.
+    #[must_use]
+    pub fn refreshed(
+        &self,
+        g_new: &CsrGraph,
+        g_old: Option<&CsrGraph>,
+        touched: &[NodeId],
+    ) -> Self {
+        let mut next = self.clone();
+        next.refresh(g_new, g_old, touched);
+        next
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +305,16 @@ mod tests {
         let g_new = path5();
         idx.refresh(&g_new, Some(&g_old), &[0, 4]);
         assert_eq!(idx, VicinityIndex::build(&g_new, 3));
+    }
+
+    #[test]
+    fn refreshed_clone_leaves_receiver_untouched() {
+        let g_old = path5();
+        let idx = VicinityIndex::build(&g_old, 2);
+        let g_new = g_old.with_edges(&[(0, 4)]);
+        let next = idx.refreshed(&g_new, None, &[0, 4]);
+        assert_eq!(idx, VicinityIndex::build(&g_old, 2), "receiver unchanged");
+        assert_eq!(next, VicinityIndex::build(&g_new, 2));
     }
 
     #[test]

@@ -15,11 +15,20 @@
 //! tesc-cli batch --graph G.txt --pairs PAIRS.txt [--threads 0]
 //!                [--h 1] [--n 900] [--tail upper|lower|two]
 //!                [--alpha 0.05] [--sampler batch|reject|importance|whole]
-//!                [--statistic kendall|spearman] [--seed 42]
+//!                [--statistic kendall|spearman] [--seed 42] [--cache on]
 //!     Run every pair of PAIRS.txt through the parallel batch engine
 //!     (tesc::batch) and print one row per pair plus a summary.
 //!     --threads 0 uses every core; results are bit-identical at any
-//!     thread count.
+//!     thread count. --cache on (default) shares per-(event, node, h)
+//!     density counts across pairs; off disables (results identical).
+//!
+//! tesc-cli stream --graph G.txt --events EVENTS.txt --pairs NPAIRS.txt
+//!                 --updates U.txt [--threads 0] [--h 1] [--n 900]
+//!                 [--tail ...] [--alpha ...] [--sampler ...]
+//!                 [--statistic ...] [--seed 42]
+//!     Load the graph and named events into a versioned TescContext,
+//!     test every pair at version 1, then ingest the update script and
+//!     re-test the affected pairs after every commit.
 //! ```
 //!
 //! Graph format: `tesc_graph::io` edge list (`num_nodes num_edges`
@@ -27,6 +36,24 @@
 //! line (`tesc_events::io`). Pair-list format: one pair per line,
 //! `label a1,a2,a3 b1,b2,b3` (comma-separated node ids; `#` starts a
 //! comment).
+//!
+//! `stream` formats: EVENTS.txt holds `name v1,v2,v3` per line
+//! (`tesc_events::io::read_named_events`); NPAIRS.txt holds
+//! `label eventA eventB` per line referencing event *names*; U.txt is
+//! an update script of
+//!
+//! ```text
+//! edge U V              # stage one edge addition
+//! event NAME v1,v2,...  # stage occurrence additions (creates NAME if new)
+//! commit                # publish the staged deltas as the next version
+//! ```
+//!
+//! with an implicit trailing `commit`. After each commit the tool
+//! re-tests only the *affected* pairs: those whose events changed,
+//! plus those with an event occurrence within `2h` hops (in the new
+//! graph) of an added edge's endpoint — any reference node whose
+//! density could have moved lies within `h` of both an event node and
+//! a touched endpoint, so the `2h` ball is a sound over-approximation.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,10 +62,13 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use tesc::batch::{run_batch, BatchRequest, EventPair};
-use tesc::{SamplerKind, SignificanceLevel, Statistic, Tail, TescConfig, TescEngine};
+use tesc::context::TescContext;
+use tesc::{DensityCache, SamplerKind, SignificanceLevel, Statistic, Tail, TescConfig, TescEngine};
 use tesc_baselines::{lift, transaction_correlation};
-use tesc_graph::{NodeId, VicinityIndex};
+use tesc_events::NodeMask;
+use tesc_graph::{BfsScratch, NodeId, VicinityIndex};
 
 const USAGE: &str = "usage:
   tesc-cli demo --dir DIR
@@ -47,6 +77,11 @@ const USAGE: &str = "usage:
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42]
   tesc-cli batch --graph G.txt --pairs PAIRS.txt [--threads 0]
+                [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
+                [--sampler batch|reject|importance|whole]
+                [--statistic kendall|spearman] [--seed 42] [--cache on|off]
+  tesc-cli stream --graph G.txt --events EVENTS.txt --pairs NPAIRS.txt
+                --updates U.txt [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42]";
@@ -68,6 +103,7 @@ fn main() -> ExitCode {
         "demo" => run_demo(&flags),
         "test" => run_test(&flags),
         "batch" => run_batch_cmd(&flags),
+        "stream" => run_stream_cmd(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -377,7 +413,7 @@ fn run_batch_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         SamplerKind::Rejection | SamplerKind::Importance { .. }
     );
     let index;
-    let engine = if needs_index {
+    let mut engine = if needs_index {
         let mut union: Vec<NodeId> = pairs
             .iter()
             .flat_map(|p| p.a.iter().chain(&p.b).copied())
@@ -390,13 +426,37 @@ fn run_batch_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         TescEngine::new(&graph)
     };
+    let cache = match flags.get("cache").map(String::as_str) {
+        None | Some("on") => {
+            let cache = Arc::new(DensityCache::for_graph(&graph));
+            engine = engine.with_density_cache(cache.clone());
+            Some(cache)
+        }
+        Some("off") => None,
+        Some(other) => return Err(format!("--cache must be on|off, got {other:?}")),
+    };
 
     let req = BatchRequest::new(cfg)
         .with_seed(seed)
         .with_threads(threads)
         .with_pairs(pairs);
     let report = run_batch(&engine, &req);
+    if let Some(cache) = cache {
+        eprintln!(
+            "density cache: {} BFS run, {} reused from {} memoized counts",
+            cache.bfs_invocations(),
+            cache.hits(),
+            cache.len()
+        );
+    }
 
+    print_outcome_rows(&report);
+    println!("summary: {}", report.summary());
+    Ok(())
+}
+
+/// Print the per-pair result table shared by `batch` and `stream`.
+fn print_outcome_rows(report: &tesc::BatchReport) {
     println!(
         "{:<24} {:>9} {:>8} {:>10} {:>9}  verdict",
         "pair", "statistic", "z", "p", "n_refs"
@@ -415,6 +475,313 @@ fn run_batch_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
             Err(e) => println!("{:<24} failed: {e}", o.label),
         }
     }
+}
+
+/// Parse the `stream` pair list: `label eventA eventB` per line,
+/// referencing event *names*; blank lines and `#` comments skipped.
+fn parse_named_pairs(text: &str, path: &str) -> Result<Vec<(String, String, String)>, String> {
+    let mut pairs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(label), Some(a), Some(b), None) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            return Err(format!(
+                "{path}:{}: expected `label eventA eventB`, got {line:?}",
+                i + 1
+            ));
+        };
+        pairs.push((label.to_string(), a.to_string(), b.to_string()));
+    }
+    if pairs.is_empty() {
+        return Err(format!("{path}: no pairs found"));
+    }
+    Ok(pairs)
+}
+
+/// One staged operation of a `stream` update script.
+enum UpdateOp {
+    Edge(NodeId, NodeId),
+    Event(String, Vec<NodeId>),
+    Commit,
+}
+
+/// Parse an update script (`edge U V` / `event NAME ids` / `commit`).
+fn parse_updates(text: &str, path: &str) -> Result<Vec<UpdateOp>, String> {
+    let mut ops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("{path}:{}: {msg}", i + 1);
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let op = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some("edge"), Some(u), Some(v), None) => {
+                let parse_id = |t: &str| {
+                    t.parse::<NodeId>()
+                        .map_err(|_| at(format!("bad node id {t:?}")))
+                };
+                UpdateOp::Edge(parse_id(u)?, parse_id(v)?)
+            }
+            (Some("event"), Some(name), Some(ids), None) => UpdateOp::Event(
+                name.to_string(),
+                tesc_events::io::parse_id_list(ids).map_err(at)?,
+            ),
+            (Some("commit"), None, None, None) => UpdateOp::Commit,
+            _ => {
+                return Err(at(format!(
+                    "expected `edge U V`, `event NAME v1,v2,...` or `commit`, got {line:?}"
+                )))
+            }
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Resolve the named pairs against a snapshot's event store and run
+/// the selected subset through the snapshot's cache-wired batch
+/// engine. Pairs naming a not-yet-registered event are skipped with a
+/// note (a stream may define events late).
+fn stream_round(
+    snap: &tesc::Snapshot,
+    named_pairs: &[(String, String, String)],
+    select: impl Fn(&str, &str) -> bool,
+    cfg: TescConfig,
+    seed: u64,
+    threads: usize,
+) -> usize {
+    let mut pairs = Vec::new();
+    for (label, a_name, b_name) in named_pairs {
+        if !select(a_name, b_name) {
+            continue;
+        }
+        match (
+            snap.events().id_by_name(a_name),
+            snap.events().id_by_name(b_name),
+        ) {
+            (Some(a), Some(b)) => {
+                let mut pair = snap.event_pair(a, b);
+                pair.label = label.clone();
+                pairs.push(pair);
+            }
+            _ => eprintln!("  (skipping {label}: event not registered yet)"),
+        }
+    }
+    if pairs.is_empty() {
+        println!("  no testable pairs affected");
+        return 0;
+    }
+    let count = pairs.len();
+    let req = BatchRequest::new(cfg)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_pairs(pairs);
+    let report = snap.run_batch(&req);
+    print_outcome_rows(&report);
     println!("summary: {}", report.summary());
+    count
+}
+
+/// Ingest an update script into a versioned [`TescContext`],
+/// re-testing affected pairs after every commit.
+fn run_stream_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let graph_path = get(flags, "graph")?;
+    let events_path = get(flags, "events")?;
+    let pairs_path = get(flags, "pairs")?;
+    let updates_path = get(flags, "updates")?;
+    let seed: u64 = parse(flags, "seed", 42u64)?;
+    let threads: usize = parse(flags, "threads", 0usize)?;
+    let cfg = config_from_flags(flags)?;
+
+    let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let events = tesc_events::io::read_named_events(&mut open(events_path)?)
+        .map_err(|e| format!("reading {events_path}: {e}"))?;
+    for (_, name, nodes) in events.iter() {
+        if let Some(&v) = nodes.iter().find(|&&v| v as usize >= graph.num_nodes()) {
+            return Err(format!(
+                "{events_path}: event {name:?} names node {v}, but the graph has only {} nodes",
+                graph.num_nodes()
+            ));
+        }
+    }
+    let named_pairs = parse_named_pairs(
+        &std::fs::read_to_string(pairs_path).map_err(|e| format!("reading {pairs_path}: {e}"))?,
+        pairs_path,
+    )?;
+    let updates = parse_updates(
+        &std::fs::read_to_string(updates_path)
+            .map_err(|e| format!("reading {updates_path}: {e}"))?,
+        updates_path,
+    )?;
+
+    let build_threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    eprintln!(
+        "graph: {} nodes, {} edges; {} events, {} pairs; building |V^h_v| index (h = {}, {} threads)...",
+        graph.num_nodes(),
+        graph.num_edges(),
+        events.num_events(),
+        named_pairs.len(),
+        cfg.h,
+        build_threads
+    );
+    let ctx = TescContext::with_threads(graph, events, cfg.h.max(1), build_threads);
+
+    println!("== v{}: initial snapshot, testing all pairs", ctx.version());
+    stream_round(
+        &ctx.snapshot(),
+        &named_pairs,
+        |_, _| true,
+        cfg,
+        seed,
+        threads,
+    );
+
+    let mut pending_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut pending_events: Vec<(String, Vec<NodeId>)> = Vec::new();
+    for op in updates {
+        match op {
+            UpdateOp::Edge(u, v) => pending_edges.push((u, v)),
+            UpdateOp::Event(name, nodes) => pending_events.push((name, nodes)),
+            UpdateOp::Commit => stream_commit(
+                &ctx,
+                &mut pending_edges,
+                &mut pending_events,
+                &named_pairs,
+                cfg,
+                seed,
+                threads,
+            )?,
+        }
+    }
+    if !pending_edges.is_empty() || !pending_events.is_empty() {
+        // Implicit trailing commit.
+        stream_commit(
+            &ctx,
+            &mut pending_edges,
+            &mut pending_events,
+            &named_pairs,
+            cfg,
+            seed,
+            threads,
+        )?;
+    }
+    Ok(())
+}
+
+/// Publish staged deltas as the next snapshot(s) and re-test the
+/// affected pairs: those whose events changed, plus those with an
+/// event occurrence within `2h` hops of an added edge endpoint.
+fn stream_commit(
+    ctx: &TescContext,
+    pending_edges: &mut Vec<(NodeId, NodeId)>,
+    pending_events: &mut Vec<(String, Vec<NodeId>)>,
+    named_pairs: &[(String, String, String)],
+    cfg: TescConfig,
+    seed: u64,
+    threads: usize,
+) -> Result<(), String> {
+    if pending_edges.is_empty() && pending_events.is_empty() {
+        eprintln!("  (empty commit: nothing staged)");
+        return Ok(());
+    }
+    // Remember the genuinely new edges before the graph moves on;
+    // their endpoints seed the affected-region BFS afterwards.
+    // Validate the delta first — `has_edge` on an out-of-range
+    // endpoint would panic.
+    let before = ctx.snapshot();
+    before
+        .graph()
+        .check_edges(pending_edges)
+        .map_err(|e| format!("ingesting edge delta: bad edge delta: {e}"))?;
+    let mut new_edges: Vec<(NodeId, NodeId)> = pending_edges
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .filter(|&(u, v)| !before.graph().has_edge(u, v))
+        .collect();
+    new_edges.sort_unstable();
+    new_edges.dedup();
+    let mut touched: Vec<NodeId> = new_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    touched.sort_unstable();
+    touched.dedup();
+
+    if !pending_edges.is_empty() {
+        ctx.add_edges(pending_edges)
+            .map_err(|e| format!("ingesting edge delta: {e}"))?;
+    }
+    let mut changed_events: Vec<String> = Vec::new();
+    for (name, nodes) in pending_events.drain(..) {
+        match ctx.snapshot().events().id_by_name(&name) {
+            Some(id) => {
+                ctx.add_event_occurrences(id, &nodes)
+                    .map_err(|e| format!("ingesting occurrences for {name:?}: {e}"))?;
+            }
+            None => {
+                ctx.add_event(name.clone(), nodes)
+                    .map_err(|e| format!("registering event {name:?}: {e}"))?;
+            }
+        }
+        changed_events.push(name);
+    }
+    // Only genuinely new edges publish a version; a commit whose edge
+    // delta was entirely already-present (and carried no event delta)
+    // published nothing and must not print a `== v{N}` block.
+    let n_dup_edges = pending_edges.len() - new_edges.len();
+    pending_edges.clear();
+    if new_edges.is_empty() && changed_events.is_empty() {
+        eprintln!(
+            "  (no-op commit: all {n_dup_edges} staged edge(s) already present; still at v{})",
+            ctx.version()
+        );
+        return Ok(());
+    }
+
+    let snap = ctx.snapshot();
+    // Affected region of the edge delta: any reference node whose
+    // density could move lies within h of a touched endpoint AND
+    // within h of an event node, so an event with an occurrence inside
+    // the 2h-ball around the touched endpoints may test differently.
+    let dirty = (!touched.is_empty()).then(|| {
+        let mut mask = NodeMask::new(snap.graph().num_nodes());
+        let mut scratch = BfsScratch::new(snap.graph().num_nodes());
+        scratch.visit_h_vicinity(snap.graph(), &touched, 2 * cfg.h, |v, _| {
+            mask.insert(v);
+        });
+        mask
+    });
+    let event_in_dirty = |name: &str| -> bool {
+        let (Some(dirty), Some(id)) = (dirty.as_ref(), snap.events().id_by_name(name)) else {
+            return false;
+        };
+        snap.events().nodes(id).iter().any(|&v| dirty.contains(v))
+    };
+    println!(
+        "== v{}: committed {} new edge(s), {} event delta(s); re-testing affected pairs",
+        snap.version(),
+        new_edges.len(),
+        changed_events.len()
+    );
+    stream_round(
+        &snap,
+        named_pairs,
+        |a, b| {
+            changed_events.iter().any(|e| e == a || e == b)
+                || event_in_dirty(a)
+                || event_in_dirty(b)
+        },
+        cfg,
+        seed,
+        threads,
+    );
     Ok(())
 }

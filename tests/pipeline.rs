@@ -298,3 +298,186 @@ fn whole_pipeline_is_deterministic_given_seeds() {
     let b = engine.test(&va, &vb, &cfg, &mut rng(15)).unwrap();
     assert_eq!(a, b);
 }
+
+#[test]
+fn density_cache_bit_identical_to_uncached_serial_for_every_sampler() {
+    // The cache acceptance contract: batch outcomes with the
+    // cross-pair density cache attached are bit-identical to the
+    // uncached serial reference, for every sampler, at 1 and many
+    // worker threads. The pair list shares events (one base keyword
+    // against several partners plus a repeat) — the cache's target
+    // shape.
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(60));
+    let idx = VicinityIndex::build(&s.graph, 2);
+    let (base_a, base_b) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(61));
+    let mut pairs = vec![EventPair::new("base", base_a.clone(), base_b.clone())];
+    for i in 0..4 {
+        let (_, partner) = s.plant_positive_keyword_pair(12, 10, 0.4, &mut rng(62 + i));
+        pairs.push(EventPair::new(
+            format!("base×p{i}"),
+            base_a.clone(),
+            partner,
+        ));
+    }
+    pairs.push(EventPair::new("base_again", base_a.clone(), base_b.clone()));
+    for sampler in [
+        SamplerKind::BatchBfs,
+        SamplerKind::Rejection,
+        SamplerKind::Importance { batch_size: 1 },
+        SamplerKind::Importance { batch_size: 3 },
+        SamplerKind::WholeGraph,
+    ] {
+        let cfg = TescConfig::new(2)
+            .with_sample_size(200)
+            .with_tail(Tail::Upper)
+            .with_sampler(sampler);
+        let req = BatchRequest::new(cfg)
+            .with_seed(77)
+            .with_pairs(pairs.clone());
+        let plain = TescEngine::with_vicinity_index(&s.graph, &idx);
+        let reference = run_batch_serial(&plain, &req);
+        let cache = std::sync::Arc::new(tesc::DensityCache::for_graph(&s.graph));
+        let cached_engine =
+            TescEngine::with_vicinity_index(&s.graph, &idx).with_density_cache(cache.clone());
+        for threads in [1usize, 4] {
+            let got = run_batch(&cached_engine, &req.clone().with_threads(threads));
+            for (r, g) in reference.outcomes.iter().zip(&got.outcomes) {
+                assert_eq!(r, g, "{sampler} at {threads} threads");
+                if let (Ok(a), Ok(b)) = (&r.result, &g.result) {
+                    assert_eq!(
+                        a.z().to_bits(),
+                        b.z().to_bits(),
+                        "{sampler} at {threads} threads: z bits differ with cache"
+                    );
+                }
+            }
+        }
+        if sampler == SamplerKind::BatchBfs {
+            assert!(
+                cache.hits() > 0,
+                "shared events and a repeated pair must produce cache hits"
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_event_density_bfs_runs_once_per_reference_node() {
+    // The headline accounting guarantee: in a batch where k pairs
+    // share one event, that event's per-reference-node vicinity counts
+    // are measured by exactly one BFS per distinct reference node —
+    // not once per pair. Exhaustive Batch BFS sampling (n ≥ N) makes
+    // the per-pair reference sets reproducible, so the expected count
+    // is the size of the union of the pairs' reference populations.
+    let g = tesc_graph::generators::grid(14, 14);
+    let h = 1u32;
+    let shared: Vec<u32> = vec![0, 1, 14, 15];
+    let partners: Vec<Vec<u32>> = vec![
+        vec![2, 3, 16],
+        vec![30, 31, 44],
+        vec![100, 101, 114],
+        vec![2, 3, 16], // repeat of partner 0: fully redundant pair
+    ];
+    let mut pairs = Vec::new();
+    for (i, b) in partners.iter().enumerate() {
+        pairs.push(EventPair::new(
+            format!("shared×{i}"),
+            shared.clone(),
+            b.clone(),
+        ));
+    }
+    let cfg = TescConfig::new(h).with_sample_size(100_000); // ≫ N: exhaustive
+    let req = BatchRequest::new(cfg)
+        .with_seed(5)
+        .with_threads(1)
+        .with_pairs(pairs);
+
+    let cache = std::sync::Arc::new(tesc::DensityCache::for_graph(&g));
+    let engine = TescEngine::new(&g).with_density_cache(cache.clone());
+    let report = run_batch(&engine, &req);
+    let per_pair_refs: Vec<usize> = report
+        .outcomes
+        .iter()
+        .map(|o| o.result.as_ref().unwrap().n_refs)
+        .collect();
+
+    // Expected distinct reference nodes for the shared event: the
+    // union of every pair's reference population V^h_{a∪b_i}.
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut union_refs: Vec<u32> = Vec::new();
+    for b in &partners {
+        let mut sources = shared.clone();
+        sources.extend(b);
+        let mut pop = Vec::new();
+        scratch.h_vicinity_into(&g, &sources, h, &mut pop);
+        union_refs.extend(pop);
+    }
+    union_refs.sort_unstable();
+    union_refs.dedup();
+
+    let key_shared = tesc::EventKey::new(&shared);
+    assert_eq!(
+        cache.fresh_computes(&key_shared),
+        union_refs.len() as u64,
+        "shared event must be measured exactly once per distinct reference node"
+    );
+    // Total BFS accounting: pairs 0–2 each pay one BFS per reference
+    // node (their partner event is new even where the shared event is
+    // cached), while the repeated pair 3 finds both events fully
+    // memoized and pays zero — so the spend is exactly the uncached
+    // cost minus the whole redundant pair.
+    let uncached_cost: usize = per_pair_refs.iter().sum();
+    assert_eq!(
+        cache.bfs_invocations() as usize,
+        uncached_cost - per_pair_refs[3],
+        "the fully redundant repeat pair must cost zero BFS"
+    );
+    assert!((cache.bfs_invocations() as usize) < uncached_cost);
+}
+
+#[test]
+fn versioned_context_serves_batches_across_ingestion() {
+    // End-to-end tentpole check on a real scenario: pin a snapshot,
+    // ingest edges + occurrences, and verify (a) the old snapshot
+    // reproduces its numbers bit-for-bit, (b) the new snapshot's
+    // index matches a rebuild, (c) batches run on both.
+    use tesc::context::TescContext;
+    use tesc::EventStore;
+
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(70));
+    let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(71));
+    let mut events = EventStore::new();
+    let a = events.add_event("kw_a", va);
+    let b = events.add_event("kw_b", vb);
+    let ctx = TescContext::new(s.graph.clone(), events, 2);
+
+    let old = ctx.snapshot();
+    let cfg = TescConfig::new(2)
+        .with_sample_size(150)
+        .with_tail(Tail::Upper);
+    let req_old = BatchRequest::new(cfg)
+        .with_seed(9)
+        .with_pair(old.event_pair(a, b));
+    let before = old.run_batch(&req_old);
+
+    let n = old.graph().num_nodes() as u32;
+    ctx.add_edges(&[(0, n - 1), (1, n - 2), (2, n - 3)])
+        .unwrap();
+    ctx.add_event_occurrences(b, &[n - 1, n - 2]).unwrap();
+    let new = ctx.snapshot();
+    assert_eq!(new.version(), 3);
+    assert_eq!(*new.vicinity(), VicinityIndex::build(new.graph(), 2));
+
+    // (a) old snapshot is pinned: same request, same bits.
+    let again = old.run_batch(&req_old);
+    assert_eq!(before.outcomes, again.outcomes);
+    // (b) the new snapshot sees the grown event.
+    assert_eq!(new.events().size(b), old.events().size(b) + 2);
+    // (c) and serves its own batches.
+    let after = new.run_batch(
+        &BatchRequest::new(cfg)
+            .with_seed(9)
+            .with_pair(new.event_pair(a, b)),
+    );
+    assert!(after.outcomes[0].result.is_ok());
+}

@@ -231,6 +231,69 @@ fn vicinity_index_matches_direct_bfs() {
 }
 
 #[test]
+fn incremental_vicinity_update_equals_rebuild_at_every_step() {
+    // The ingestion invariant of the versioned TescContext: random
+    // edge-insertion sequences, refreshed incrementally around the new
+    // endpoints, must match a from-scratch rebuild after *every*
+    // insertion (not just at the end — intermediate divergence would
+    // compound silently).
+    for case in 0..CASES / 8 {
+        let mut rng = StdRng::seed_from_u64(12_000 + case);
+        let (n, g0) = random_graph(&mut rng);
+        let max_level = rng.gen_range(1u32..=3);
+        let mut g = g0;
+        let mut idx = VicinityIndex::build(&g, max_level);
+        for step in 0..12 {
+            let (u, v) = (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+            if u == v || g.has_edge(u, v) {
+                continue;
+            }
+            let g_next = g.with_edges(&[(u, v)]);
+            idx.refresh(&g_next, None, &[u, v]);
+            assert_eq!(
+                idx,
+                VicinityIndex::build(&g_next, max_level),
+                "case {case}, step {step}: insertion ({u},{v}) at h ≤ {max_level}"
+            );
+            g = g_next;
+        }
+    }
+}
+
+#[test]
+fn snapshot_ingestion_matches_rebuild_and_preserves_old_versions() {
+    // Same invariant one layer up: TescContext::add_edges must land on
+    // the rebuilt index, while snapshots pinned earlier keep the index
+    // of *their* graph.
+    use tesc::context::TescContext;
+    use tesc::EventStore;
+    for case in 0..CASES / 16 {
+        let mut rng = StdRng::seed_from_u64(13_000 + case);
+        let (n, g) = random_graph(&mut rng);
+        let ctx = TescContext::new(g, EventStore::new(), 2);
+        let mut pinned = vec![ctx.snapshot()];
+        for _ in 0..4 {
+            let delta: Vec<(u32, u32)> = (0..rng.gen_range(1usize..4))
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .filter(|(u, v)| u != v)
+                .collect();
+            if delta.is_empty() {
+                continue;
+            }
+            pinned.push(ctx.add_edges(&delta).unwrap());
+        }
+        for (i, snap) in pinned.iter().enumerate() {
+            assert_eq!(
+                *snap.vicinity(),
+                VicinityIndex::build(snap.graph(), 2),
+                "case {case}: pinned snapshot {i} (v{})",
+                snap.version()
+            );
+        }
+    }
+}
+
+#[test]
 fn node_mask_round_trips() {
     for case in 0..CASES {
         let mut rng = StdRng::seed_from_u64(12_000 + case);
