@@ -1,0 +1,163 @@
+//! Density-kernel shoot-out: **scalar** vs **bitset** vs
+//! **bitset + locality relabeling**, the three execution plans of the
+//! per-reference-node density hot path (`tesc::density::KernelPlan`).
+//!
+//! For the DBLP-like and intrusion-like scenarios, at `h ∈ {1, 2, 3}`,
+//! the bench draws a fixed 300-node Batch-BFS reference sample and
+//! times `density_vectors_plan` over it:
+//!
+//! * `<scenario>/h<h>/scalar` — epoch-stamped queue BFS, three mask
+//!   probes per visited node (the pre-kernel baseline).
+//! * `<scenario>/h<h>/bitset` — hybrid top-down/bottom-up bitmap BFS
+//!   with the branch-free final level, counts by word-wise
+//!   AND + popcount.
+//! * `<scenario>/h<h>/bitset+relabel` — the bitset kernel on the
+//!   degree-descending BFS-order substrate (`tesc_graph::relabel`),
+//!   reference nodes translated at the boundary.
+//!
+//! **Per-row identity verification** (like `fig12_ingest_vs_rebuild`):
+//! before timing, each row's density vectors are asserted bit-identical
+//! to the scalar baseline — a divergence aborts the bench, so the CI
+//! smoke run doubles as a correctness gate. After the rows, a summary
+//! table prints the speedups.
+//!
+//! Run: `cargo bench --bench density_kernel`. Set
+//! `TESC_BENCH_JSON=<path>` to append machine-readable records (the
+//! committed `BENCH_density_kernel.json` is this bench's output on the
+//! reference container; see `docs/PERFORMANCE.md`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::density::{density_vectors_plan, translate_mask, KernelPlan};
+use tesc::sampler::batch_bfs_sample;
+use tesc::NodeMask;
+use tesc_bench::timing::Harness;
+use tesc_bench::{dblp_scenario, Scale};
+use tesc_datasets::{IntrusionConfig, IntrusionScenario};
+use tesc_events::store::merge_union;
+use tesc_graph::relabel::RelabeledGraph;
+use tesc_graph::{BfsScratch, CsrGraph, NodeId, ScratchPool};
+
+/// One benchmark scenario: a graph plus a planted event pair.
+struct Scenario {
+    name: &'static str,
+    graph: CsrGraph,
+    va: Vec<NodeId>,
+    vb: Vec<NodeId>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let dblp = dblp_scenario(Scale::Small, 42);
+    let (va, vb) = dblp.plant_positive_keyword_pair(12, 10, 0.25, &mut StdRng::seed_from_u64(7));
+    let intr = IntrusionScenario::build(IntrusionConfig::small(), &mut StdRng::seed_from_u64(42));
+    let (ia, ib) = intr.plant_alternating_alert_pair(14, 10, &mut StdRng::seed_from_u64(7));
+    vec![
+        Scenario {
+            name: "dblp",
+            graph: dblp.graph,
+            va,
+            vb,
+        },
+        Scenario {
+            name: "intrusion",
+            graph: intr.graph,
+            va: ia,
+            vb: ib,
+        },
+    ]
+}
+
+fn main() {
+    let harness = Harness::new().with_samples(10);
+    let mut summary: Vec<(String, f64, f64)> = Vec::new();
+
+    for s in scenarios() {
+        let g = &s.graph;
+        let n = g.num_nodes();
+        eprintln!(
+            "{}: {} nodes, {} edges, avg degree {:.1}",
+            s.name,
+            n,
+            g.num_edges(),
+            g.average_degree()
+        );
+        let pool = ScratchPool::for_graph(g);
+        let ma = NodeMask::from_nodes(n, &s.va);
+        let mb = NodeMask::from_nodes(n, &s.vb);
+        let union = merge_union(&normalize(&s.va), &normalize(&s.vb));
+        let rel = RelabeledGraph::build(g);
+        let (ta, tb) = (
+            translate_mask(rel.map(), &ma),
+            translate_mask(rel.map(), &mb),
+        );
+
+        for h in [1u32, 2, 3] {
+            let refs = {
+                let mut scratch = BfsScratch::new(n);
+                batch_bfs_sample(
+                    g,
+                    &mut scratch,
+                    &union,
+                    h,
+                    300,
+                    &mut StdRng::seed_from_u64(9),
+                )
+                .nodes
+            };
+            let scalar = KernelPlan::scalar(g, &ma, &mb, h);
+            let bitset = KernelPlan {
+                use_bitset: true,
+                ..scalar
+            };
+            let relabel = KernelPlan {
+                graph: rel.graph(),
+                mask_a: &ta,
+                mask_b: &tb,
+                translate: Some(rel.map()),
+                use_bitset: true,
+                h,
+            };
+            // Per-row identity verification: every plan must reproduce
+            // the scalar baseline bit-for-bit before it gets timed.
+            let baseline = density_vectors_plan(&scalar, &pool, &refs, 1);
+            for (label, plan) in [("bitset", &bitset), ("bitset+relabel", &relabel)] {
+                let got = density_vectors_plan(plan, &pool, &refs, 1);
+                assert!(
+                    baseline == got,
+                    "{}/h{h}/{label}: density vectors diverged from scalar",
+                    s.name
+                );
+            }
+            let t_scalar = harness.bench(&format!("{}/h{h}/scalar", s.name), || {
+                density_vectors_plan(&scalar, &pool, &refs, 1)
+            });
+            let t_bitset = harness.bench(&format!("{}/h{h}/bitset", s.name), || {
+                density_vectors_plan(&bitset, &pool, &refs, 1)
+            });
+            let t_relabel = harness.bench(&format!("{}/h{h}/bitset+relabel", s.name), || {
+                density_vectors_plan(&relabel, &pool, &refs, 1)
+            });
+            if t_scalar.is_finite() && t_bitset.is_finite() {
+                summary.push((
+                    format!("{}/h{h}", s.name),
+                    t_scalar / t_bitset,
+                    t_scalar / t_relabel,
+                ));
+            }
+        }
+    }
+
+    if !summary.is_empty() {
+        println!("\nrow            bitset_speedup  bitset+relabel_speedup  (vs scalar, identical results)");
+        for (row, sb, sr) in &summary {
+            println!("{row:<14} {sb:<15.2} {sr:.2}");
+        }
+    }
+}
+
+fn normalize(nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut v = nodes.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}

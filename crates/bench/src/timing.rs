@@ -12,7 +12,22 @@
 //! ```text
 //! group/name                    median   12.345 µs   (min 11.9 µs, max 13.1 µs, 20 samples)
 //! ```
+//!
+//! With `TESC_BENCH_JSON=<path>` set (or [`Harness::with_json_path`]),
+//! every benchmark additionally **appends** one machine-readable
+//! JSON-lines record to that file:
+//!
+//! ```text
+//! {"bench":"density_kernel","row":"dblp/h2/bitset","ns_per_iter":12345.0,"samples":20}
+//! ```
+//!
+//! `bench` is the bench binary's name, `row` the benchmark name,
+//! `ns_per_iter` the median. Appending (rather than truncating) lets
+//! one CI job accumulate every bench's records into a single artifact;
+//! see `docs/PERFORMANCE.md` for how to read them.
 
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Benchmark runner for one bench binary.
@@ -20,6 +35,8 @@ pub struct Harness {
     samples: usize,
     min_sample_time: Duration,
     filter: Option<String>,
+    json: Option<PathBuf>,
+    bench_name: String,
 }
 
 impl Default for Harness {
@@ -33,13 +50,15 @@ impl Harness {
     /// `cargo bench --bench NAME -- <substring>`) filters benchmarks
     /// by name.
     ///
-    /// Two environment variables override the defaults — and win over
+    /// Three environment variables override the defaults — and win over
     /// later [`Harness::with_samples`] calls — so CI can smoke-run
     /// every bench binary in seconds without patching them:
     ///
     /// * `TESC_BENCH_SAMPLES` — timed samples per benchmark (≥ 1).
     /// * `TESC_BENCH_MIN_SAMPLE_MS` — calibration floor per sample in
     ///   milliseconds (0 = a single iteration per sample).
+    /// * `TESC_BENCH_JSON` — append a machine-readable record per
+    ///   benchmark to this path (see the module docs).
     pub fn new() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
         Harness {
@@ -47,6 +66,8 @@ impl Harness {
             min_sample_time: env_override("TESC_BENCH_MIN_SAMPLE_MS")
                 .map_or(Duration::from_millis(10), Duration::from_millis),
             filter,
+            json: std::env::var_os("TESC_BENCH_JSON").map(PathBuf::from),
+            bench_name: bench_name_from_argv0(std::env::args().next().as_deref()),
         }
     }
 
@@ -59,13 +80,23 @@ impl Harness {
         self
     }
 
-    /// Time `f`, printing one report line. The closure's return value
-    /// is passed through [`std::hint::black_box`] so the optimizer
-    /// cannot elide the work.
-    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+    /// Append JSON-lines records to `path` (the `TESC_BENCH_JSON`
+    /// environment override, if set, wins).
+    pub fn with_json_path(mut self, path: impl Into<PathBuf>) -> Self {
+        if std::env::var_os("TESC_BENCH_JSON").is_none() {
+            self.json = Some(path.into());
+        }
+        self
+    }
+
+    /// Time `f`, printing one report line and returning the median
+    /// seconds per iteration (`NAN` when filtered out). The closure's
+    /// return value is passed through [`std::hint::black_box`] so the
+    /// optimizer cannot elide the work.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> f64 {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
-                return;
+                return f64::NAN;
             }
         }
         // Warm-up + calibration: how many iterations fill one sample?
@@ -100,6 +131,19 @@ impl Harness {
             fmt_time(max),
             self.samples,
         );
+        if let Some(path) = &self.json {
+            let record = format!(
+                "{{\"bench\":\"{}\",\"row\":\"{}\",\"ns_per_iter\":{:.1},\"samples\":{}}}\n",
+                json_escape(&self.bench_name),
+                json_escape(name),
+                median * 1e9,
+                self.samples,
+            );
+            if let Err(e) = append_record(path, &record) {
+                eprintln!("TESC_BENCH_JSON: cannot append to {}: {e}", path.display());
+            }
+        }
+        median
     }
 }
 
@@ -107,6 +151,39 @@ impl Harness {
 /// malformed values.
 fn env_override<T: std::str::FromStr>(name: &str) -> Option<T> {
     std::env::var(name).ok()?.parse().ok()
+}
+
+/// Bench-binary name from `argv[0]`: the file stem with cargo's
+/// `-<16 hex digits>` disambiguation hash stripped.
+fn bench_name_from_argv0(argv0: Option<&str>) -> String {
+    let stem = argv0
+        .and_then(|p| Path::new(p).file_stem())
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal (bench/row
+/// names are ASCII identifiers; quotes and backslashes for safety).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn append_record(path: &Path, record: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(record.as_bytes())
 }
 
 /// Render seconds in the unit a human would pick.
@@ -138,10 +215,56 @@ mod tests {
     fn bench_runs_the_closure() {
         let harness = Harness::new().with_samples(2);
         let mut calls = 0u64;
-        harness.bench("smoke/increment", || {
+        let median = harness.bench("smoke/increment", || {
             calls += 1;
             calls
         });
         assert!(calls > 0, "closure executed at least once");
+        assert!(median >= 0.0, "median is a time");
+    }
+
+    #[test]
+    fn bench_name_strips_cargo_hash() {
+        assert_eq!(
+            bench_name_from_argv0(Some("/t/release/deps/density_kernel-0123456789abcdef")),
+            "density_kernel"
+        );
+        assert_eq!(bench_name_from_argv0(Some("micro")), "micro");
+        assert_eq!(
+            bench_name_from_argv0(Some("my-bench")),
+            "my-bench",
+            "non-hash suffix kept"
+        );
+        assert_eq!(bench_name_from_argv0(None), "bench");
+    }
+
+    #[test]
+    fn json_records_append() {
+        let path = std::env::temp_dir().join(format!(
+            "tesc_bench_json_test_{}_{}.jsonl",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Set the fields directly so an ambient TESC_BENCH_* env
+        // cannot redirect this test.
+        let mut harness = Harness::new();
+        harness.samples = 1;
+        harness.json = Some(path.clone());
+        harness.min_sample_time = Duration::ZERO;
+        harness.bench("grp/row1", || 1);
+        harness.bench("grp/row2", || 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one record per bench: {text:?}");
+        assert!(lines[0].contains("\"row\":\"grp/row1\""), "{text}");
+        assert!(lines[0].contains("\"samples\":1"));
+        assert!(lines[0].contains("\"ns_per_iter\":"));
+        assert!(lines[1].contains("\"row\":\"grp/row2\""));
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }

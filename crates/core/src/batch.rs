@@ -60,8 +60,15 @@ use rand::rngs::StdRng;
 use rand::{SeedableRng, SplitMix64};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use tesc_graph::NodeId;
+use tesc_graph::{NodeId, PARALLEL_MIN_NODES};
 use tesc_stats::significance::Verdict;
+
+/// Batch-side companion to [`PARALLEL_MIN_NODES`]: even on a graph
+/// below that node threshold, a request with at least this many pairs
+/// fans out — total batch work scales with the pair count, not the
+/// graph size, so only the (tiny graph, short list) corner stays
+/// serial.
+pub const PARALLEL_MIN_PAIRS: usize = 64;
 
 /// One event pair to test: a label plus the two occurrence node sets.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -252,10 +259,19 @@ pub fn run_batch_serial(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchRep
 /// vicinities cost more, so static chunking would straggle).
 ///
 /// Results are bit-identical to [`run_batch_serial`] for every thread
-/// count; see the module docs for why.
+/// count; see the module docs for why. *Small* requests — a graph
+/// below [`PARALLEL_MIN_NODES`] **and** fewer than
+/// [`PARALLEL_MIN_PAIRS`] pairs — run serially regardless of the
+/// requested thread count: per-test BFS work on tiny graphs is
+/// cheaper than spawning workers, but batch work scales with the pair
+/// count, so a long pair list parallelizes even on a tiny graph. The
+/// node threshold is shared with `VicinityIndex::build_parallel` so
+/// the two fan-out decisions cannot drift apart.
 pub fn run_batch(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
     let threads = req.effective_threads();
-    if threads <= 1 {
+    let tiny =
+        engine.graph().num_nodes() < PARALLEL_MIN_NODES && req.pairs.len() < PARALLEL_MIN_PAIRS;
+    if threads <= 1 || tiny {
         return run_batch_serial(engine, req);
     }
     let start = Instant::now();
@@ -434,6 +450,30 @@ mod tests {
         let s = report.summary();
         assert!(s.contains("2 pairs"), "{s}");
         assert!(s.contains("1 failed"), "{s}");
+    }
+
+    #[test]
+    fn tiny_graph_short_list_runs_serial_but_long_lists_fan_out() {
+        let g = grid(10, 10); // 100 nodes < PARALLEL_MIN_NODES
+        let engine = TescEngine::new(&g);
+        let cfg = TescConfig::new(1).with_sample_size(20);
+        let short = BatchRequest::new(cfg)
+            .with_threads(4)
+            .with_pairs(pairs_on(4, 9, 100));
+        assert_eq!(
+            run_batch(&engine, &short).threads,
+            1,
+            "tiny graph + short list stays serial"
+        );
+        let long =
+            BatchRequest::new(cfg)
+                .with_threads(4)
+                .with_pairs(pairs_on(PARALLEL_MIN_PAIRS, 9, 100));
+        let report = run_batch(&engine, &long);
+        assert_eq!(report.threads, 4, "pair count overrides the graph gate");
+        // And the fan-out is still bit-identical to serial.
+        let serial = run_batch_serial(&engine, &long);
+        assert_eq!(serial.outcomes, report.outcomes);
     }
 
     #[test]

@@ -61,6 +61,7 @@ use crate::cache::DensityCache;
 use crate::engine::TescEngine;
 use std::sync::{Arc, Mutex, RwLock};
 use tesc_events::{EventId, EventStore, EventStoreError};
+use tesc_graph::relabel::RelabeledGraph;
 use tesc_graph::{CsrGraph, EdgeError, NodeId, VicinityIndex};
 
 /// Failure modes of the ingestion API. All checks run before any
@@ -119,6 +120,10 @@ pub struct Snapshot {
     vicinity: Arc<VicinityIndex>,
     events: Arc<EventStore>,
     cache: Arc<DensityCache>,
+    /// Locality-relabeled density substrate (present when the context
+    /// runs with relabeling on); like the cache it is rebuilt on graph
+    /// changes and shared across event-only versions.
+    relabel: Option<Arc<RelabeledGraph>>,
     version: u64,
 }
 
@@ -127,13 +132,17 @@ impl Snapshot {
     /// when the graph is unchanged (event-only deltas): entries are
     /// content-addressed by occurrence set and depend only on the
     /// graph, so they stay valid — and stay warm. Graph changes must
-    /// pass `None` to get a fresh cache.
+    /// pass `None` to get a fresh cache. `relabel` follows the same
+    /// rule: graph changes pass a freshly built substrate (or `None`
+    /// when relabeling is off), event-only deltas clone the previous
+    /// snapshot's.
     fn assemble(
         graph: Arc<CsrGraph>,
         vicinity: Arc<VicinityIndex>,
         events: Arc<EventStore>,
         version: u64,
         reuse_cache: Option<Arc<DensityCache>>,
+        relabel: Option<Arc<RelabeledGraph>>,
     ) -> Arc<Self> {
         let cache = reuse_cache.unwrap_or_else(|| Arc::new(DensityCache::for_graph(&graph)));
         Arc::new(Snapshot {
@@ -141,6 +150,7 @@ impl Snapshot {
             vicinity,
             events,
             cache,
+            relabel,
             version,
         })
     }
@@ -178,13 +188,26 @@ impl Snapshot {
         &self.cache
     }
 
+    /// The snapshot's locality-relabeled density substrate, when the
+    /// context was configured with
+    /// [`TescContext::with_relabeling`]`(true)`.
+    #[inline]
+    pub fn relabeled(&self) -> Option<&Arc<RelabeledGraph>> {
+        self.relabel.as_ref()
+    }
+
     /// A fully wired engine over this snapshot: vicinity-index-backed
-    /// (all samplers available) with the snapshot's density cache
+    /// (all samplers available) with the snapshot's density cache —
+    /// and, when the context relabels, the shared relabeled substrate —
     /// attached. The engine borrows the snapshot, so keep the
     /// `Arc<Snapshot>` alive for the engine's lifetime.
     pub fn engine(&self) -> TescEngine<'_> {
-        TescEngine::with_vicinity_arc(&self.graph, self.vicinity.clone())
-            .with_density_cache(self.cache.clone())
+        let mut engine = TescEngine::with_vicinity_arc(&self.graph, self.vicinity.clone())
+            .with_density_cache(self.cache.clone());
+        if let Some(r) = &self.relabel {
+            engine = engine.with_relabeled_arc(r.clone());
+        }
+        engine
     }
 
     /// Resolve two registered events into a labeled
@@ -215,6 +238,9 @@ pub struct TescContext {
     /// rebuild, while `current`'s lock is only held for the swap.
     writer: Mutex<()>,
     max_level: u32,
+    /// Build (and maintain across graph versions) a locality-relabeled
+    /// density substrate for every snapshot.
+    relabeling: bool,
 }
 
 impl TescContext {
@@ -277,10 +303,42 @@ impl TescContext {
                 Arc::new(events),
                 1,
                 None,
+                None,
             )),
             writer: Mutex::new(()),
             max_level,
+            relabeling: false,
         })
+    }
+
+    /// Maintain a locality-relabeled density substrate in every
+    /// snapshot (see [`TescEngine::with_relabeling`]): built once per
+    /// graph version, shared across event-only versions, and wired
+    /// into every [`Snapshot::engine`] automatically. Builder-style —
+    /// call right after construction; the current snapshot is
+    /// re-published (same version) with the substrate attached.
+    /// Results of every test remain bit-identical in original id
+    /// space.
+    pub fn with_relabeling(mut self, on: bool) -> Self {
+        self.relabeling = on;
+        let base = self.snapshot();
+        let relabel = on.then(|| Arc::new(RelabeledGraph::build(&base.graph)));
+        let next = Snapshot::assemble(
+            base.graph.clone(),
+            base.vicinity.clone(),
+            base.events.clone(),
+            base.version,
+            Some(base.cache.clone()),
+            relabel,
+        );
+        *self.current.write().expect("context lock poisoned") = next;
+        self
+    }
+
+    /// Is the locality-relabeled substrate maintained?
+    #[inline]
+    pub fn relabeling(&self) -> bool {
+        self.relabeling
     }
 
     /// The vicinity level every snapshot's index covers.
@@ -340,12 +398,19 @@ impl TescContext {
         // the dirty region discovered through the new adjacency covers
         // every node whose vicinity changed (no `g_old` needed).
         let vicinity = Arc::new(base.vicinity.refreshed(&graph, None, &touched));
+        // The relabeled substrate is graph-derived: rebuild from
+        // scratch (a fresh permutation also re-packs the changed
+        // region — an incremental patch would erode locality).
+        let relabel = self
+            .relabeling
+            .then(|| Arc::new(RelabeledGraph::build(&graph)));
         Ok(self.publish(Snapshot::assemble(
             graph,
             vicinity,
             base.events.clone(),
             base.version + 1,
             None, // the graph changed: memoized counts are stale
+            relabel,
         )))
     }
 
@@ -368,6 +433,7 @@ impl TescContext {
             Arc::new(events),
             base.version + 1,
             Some(base.cache.clone()),
+            base.relabel.clone(),
         ));
         Ok((id, next))
     }
@@ -394,6 +460,7 @@ impl TescContext {
             Arc::new(events),
             base.version + 1,
             Some(base.cache.clone()),
+            base.relabel.clone(),
         )))
     }
 }
@@ -565,6 +632,42 @@ mod tests {
         assert_eq!(report.outcomes.len(), 1);
         assert!(report.outcomes[0].result.is_ok());
         assert!(snap.density_cache().bfs_invocations() > 0, "cache engaged");
+    }
+
+    #[test]
+    fn relabeling_context_rebuilds_on_graph_change_and_shares_otherwise() {
+        let (base_ctx, a, b) = ctx();
+        let rctx = base_ctx.with_relabeling(true);
+        assert!(rctx.relabeling());
+        let s1 = rctx.snapshot();
+        assert_eq!(s1.version(), 1, "re-publish keeps the version");
+        let r1 = s1.relabeled().expect("substrate attached").clone();
+        assert!(r1.matches_original(s1.graph()));
+        // Graph change: fresh substrate for the new graph.
+        let s2 = rctx.add_edges(&[(0, 143)]).unwrap();
+        let r2 = s2.relabeled().expect("substrate maintained").clone();
+        assert!(!Arc::ptr_eq(&r1, &r2));
+        assert!(r2.matches_original(s2.graph()));
+        // Event-only change: shared.
+        let s3 = rctx.add_event_occurrences(b, &[140]).unwrap();
+        assert!(Arc::ptr_eq(&r2, s3.relabeled().unwrap()));
+        // And the snapshot engine's results equal a plain context's,
+        // bit for bit, after the same ingestion history.
+        let (plain, _, pb) = ctx();
+        plain.add_edges(&[(0, 143)]).unwrap();
+        plain.add_event_occurrences(pb, &[140]).unwrap();
+        let cfg = TescConfig::new(2).with_sample_size(80);
+        let run = |snap: &Snapshot| {
+            snap.engine()
+                .test(
+                    snap.events().nodes(a),
+                    snap.events().nodes(b),
+                    &cfg,
+                    &mut StdRng::seed_from_u64(5),
+                )
+                .unwrap()
+        };
+        assert_eq!(run(&rctx.snapshot()), run(&plain.snapshot()));
     }
 
     #[test]

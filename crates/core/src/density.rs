@@ -17,6 +17,7 @@ use crate::cache::{CachedCount, DensityCache, EventKey};
 use tesc_events::NodeMask;
 use tesc_graph::bfs::BfsScratch;
 use tesc_graph::csr::CsrGraph;
+use tesc_graph::relabel::Relabeling;
 use tesc_graph::{NodeId, ScratchPool};
 
 /// All per-reference-node counts gathered in a single BFS.
@@ -78,6 +79,106 @@ pub fn density_counts(
         count_b,
         count_union,
     }
+}
+
+/// Gather [`DensityCounts`] with the **bitset kernel**: one hybrid
+/// top-down/bottom-up bitmap BFS
+/// ([`BfsScratch::visit_h_vicinity_bitset`]), then all three counts in
+/// a single word-wise sweep — `visited & a`, `visited & b` and the
+/// `a | b` union fast path, AND + popcount 64 nodes at a time instead
+/// of three probes per visited node.
+///
+/// Both kernels visit the identical node set, so the returned integers
+/// (and every density derived from them) are bit-identical to
+/// [`density_counts`].
+pub fn density_counts_bitset(
+    g: &CsrGraph,
+    scratch: &mut BfsScratch,
+    r: NodeId,
+    h: u32,
+    mask_a: &NodeMask,
+    mask_b: &NodeMask,
+) -> DensityCounts {
+    let vicinity_size = scratch.visit_h_vicinity_bitset(g, &[r], h);
+    let (aw, bw) = (mask_a.words(), mask_b.words());
+    let mut count_a = 0usize;
+    let mut count_b = 0usize;
+    let mut count_union = 0usize;
+    for (i, &vw) in scratch.visited_words().iter().enumerate() {
+        if vw == 0 {
+            continue;
+        }
+        let (a, b) = (aw[i], bw[i]);
+        count_a += (vw & a).count_ones() as usize;
+        count_b += (vw & b).count_ones() as usize;
+        count_union += (vw & (a | b)).count_ones() as usize;
+    }
+    DensityCounts {
+        vicinity_size,
+        count_a,
+        count_b,
+        count_union,
+    }
+}
+
+/// One test's resolved density execution plan: which substrate graph
+/// the per-reference-node BFS runs on, the event masks in that
+/// substrate's id space, the original→substrate translation (present
+/// when the substrate is a locality-relabeled graph) and whether the
+/// bitset kernel is engaged.
+///
+/// Reference nodes are always given in **original** id space —
+/// [`KernelPlan::counts`] translates at the boundary — so samplers,
+/// caches and reported ids never see substrate ids, and every count is
+/// bit-identical across all plan configurations (permutations preserve
+/// set cardinalities; kernels visit identical sets).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelPlan<'a> {
+    /// The BFS substrate (the original graph, or its relabeled twin).
+    pub graph: &'a CsrGraph,
+    /// `V_a` membership in substrate id space.
+    pub mask_a: &'a NodeMask,
+    /// `V_b` membership in substrate id space.
+    pub mask_b: &'a NodeMask,
+    /// Original→substrate permutation; `None` when the substrate *is*
+    /// the original graph.
+    pub translate: Option<&'a Relabeling>,
+    /// Engage [`density_counts_bitset`] instead of the scalar kernel.
+    pub use_bitset: bool,
+    /// Vicinity level `h`.
+    pub h: u32,
+}
+
+impl<'a> KernelPlan<'a> {
+    /// The scalar plan on the original graph — the reference
+    /// configuration every other plan must match bit-for-bit.
+    pub fn scalar(g: &'a CsrGraph, mask_a: &'a NodeMask, mask_b: &'a NodeMask, h: u32) -> Self {
+        KernelPlan {
+            graph: g,
+            mask_a,
+            mask_b,
+            translate: None,
+            use_bitset: false,
+            h,
+        }
+    }
+
+    /// [`DensityCounts`] for the original-space reference node `r`.
+    pub fn counts(&self, scratch: &mut BfsScratch, r: NodeId) -> DensityCounts {
+        let rr = self.translate.map_or(r, |m| m.to_new(r));
+        if self.use_bitset {
+            density_counts_bitset(self.graph, scratch, rr, self.h, self.mask_a, self.mask_b)
+        } else {
+            density_counts(self.graph, scratch, rr, self.h, self.mask_a, self.mask_b)
+        }
+    }
+}
+
+/// Rebuild an event mask in a relabeled substrate's id space: every
+/// member is permuted through `map`, cardinality (and therefore every
+/// intersection count) is preserved.
+pub fn translate_mask(map: &Relabeling, m: &NodeMask) -> NodeMask {
+    NodeMask::from_nodes(m.num_nodes(), &map.map_to_new(&m.to_nodes()))
 }
 
 /// Densities of both events at every reference node, as the two paired
@@ -146,15 +247,13 @@ where
     out
 }
 
-/// Parallel [`density_vectors`] via [`map_refs_pooled`]. Output is
-/// positionally identical to the serial function at any thread count.
-pub fn density_vectors_pooled(
-    g: &CsrGraph,
+/// Parallel density vectors for an arbitrary [`KernelPlan`] via
+/// [`map_refs_pooled`]. Output is positionally identical to the serial
+/// scalar path at any thread count, for every plan configuration.
+pub fn density_vectors_plan(
+    plan: &KernelPlan<'_>,
     pool: &ScratchPool,
     refs: &[NodeId],
-    h: u32,
-    mask_a: &NodeMask,
-    mask_b: &NodeMask,
     threads: usize,
 ) -> (Vec<f64>, Vec<f64>) {
     let zero = DensityCounts {
@@ -164,12 +263,32 @@ pub fn density_vectors_pooled(
         count_union: 0,
     };
     let counts = map_refs_pooled(pool, refs, threads, zero, |scratch, r| {
-        density_counts(g, scratch, r, h, mask_a, mask_b)
+        plan.counts(scratch, r)
     });
     counts
         .iter()
         .map(|c| (c.density_a(), c.density_b()))
         .unzip()
+}
+
+/// Parallel [`density_vectors`] via [`map_refs_pooled`] (the scalar
+/// plan). Output is positionally identical to the serial function at
+/// any thread count.
+pub fn density_vectors_pooled(
+    g: &CsrGraph,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    h: u32,
+    mask_a: &NodeMask,
+    mask_b: &NodeMask,
+    threads: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    density_vectors_plan(
+        &KernelPlan::scalar(g, mask_a, mask_b, h),
+        pool,
+        refs,
+        threads,
+    )
 }
 
 /// [`density_vectors_pooled`] through a cross-pair [`DensityCache`]:
@@ -197,6 +316,26 @@ pub fn density_vectors_cached(
     threads: usize,
     cache: &DensityCache,
 ) -> (Vec<f64>, Vec<f64>) {
+    let plan = KernelPlan::scalar(g, mask_a, mask_b, h);
+    density_vectors_cached_plan(&plan, pool, refs, key_a, key_b, threads, cache)
+}
+
+/// [`density_vectors_cached`] for an arbitrary [`KernelPlan`]: cache
+/// keys and reference nodes stay in **original** id space (memoized
+/// counts are substrate-independent integers, so a cache can be shared
+/// between relabeled and plain engines over the same graph version),
+/// while the miss-path BFS runs on the plan's substrate with the
+/// plan's kernel.
+pub fn density_vectors_cached_plan(
+    plan: &KernelPlan<'_>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    key_a: &EventKey,
+    key_b: &EventKey,
+    threads: usize,
+    cache: &DensityCache,
+) -> (Vec<f64>, Vec<f64>) {
+    let h = plan.h;
     let densities = map_refs_pooled(pool, refs, threads, (0.0f64, 0.0f64), |scratch, r| {
         let hit_a = cache.lookup(key_a, r, h);
         let hit_b = cache.lookup(key_b, r, h);
@@ -204,7 +343,7 @@ pub fn density_vectors_cached(
             debug_assert_eq!(a.vicinity_size, b.vicinity_size, "inconsistent cache");
             return (a.density(), b.density());
         }
-        let c = density_counts(g, scratch, r, h, mask_a, mask_b);
+        let c = plan.counts(scratch, r);
         cache.record_bfs();
         let size = c.vicinity_size as u32;
         if hit_a.is_none() {
@@ -411,5 +550,144 @@ mod tests {
         assert_eq!(c.vicinity_size, 1);
         assert_eq!(c.density_a(), 1.0);
         assert_eq!(c.density_b(), 0.0);
+    }
+
+    #[test]
+    fn bitset_counts_equal_scalar_counts() {
+        let g = from_edges(
+            140,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 64),
+                (64, 65),
+                (65, 129),
+                (129, 139),
+                (0, 70),
+            ],
+        );
+        let (ma, mb) = masks(140, &[0, 64, 129, 139], &[2, 65, 70]);
+        let mut s = BfsScratch::new(140);
+        for r in [0u32, 3, 65, 100, 139] {
+            for h in 0..5 {
+                let scalar = density_counts(&g, &mut s, r, h, &ma, &mb);
+                let bitset = density_counts_bitset(&g, &mut s, r, h, &ma, &mb);
+                assert_eq!(scalar, bitset, "r = {r}, h = {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_vectors_identical_across_kernel_and_relabeling() {
+        use tesc_graph::relabel::RelabeledGraph;
+        let g = from_edges(
+            12,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (0, 6),
+                (3, 9),
+            ],
+        );
+        let (ma, mb) = masks(12, &[0, 4, 8], &[2, 9]);
+        let refs: Vec<NodeId> = (0..12).collect();
+        let pool = ScratchPool::for_graph(&g);
+        let reference = density_vectors_plan(&KernelPlan::scalar(&g, &ma, &mb, 2), &pool, &refs, 1);
+        let bitset_plan = KernelPlan {
+            use_bitset: true,
+            ..KernelPlan::scalar(&g, &ma, &mb, 2)
+        };
+        let rel = RelabeledGraph::build(&g);
+        let (ta, tb) = (
+            translate_mask(rel.map(), &ma),
+            translate_mask(rel.map(), &mb),
+        );
+        let rel_plan = KernelPlan {
+            graph: rel.graph(),
+            mask_a: &ta,
+            mask_b: &tb,
+            translate: Some(rel.map()),
+            use_bitset: true,
+            h: 2,
+        };
+        for threads in [1usize, 3] {
+            for (label, plan) in [("bitset", &bitset_plan), ("bitset+relabel", &rel_plan)] {
+                let got = density_vectors_plan(plan, &pool, &refs, threads);
+                assert_eq!(reference, got, "{label} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_plan_bit_identical_and_shares_entries_with_scalar() {
+        use tesc_graph::relabel::RelabeledGraph;
+        let g = from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (0, 5),
+            ],
+        );
+        let a = [0u32, 4, 8];
+        let b = [2u32, 9];
+        let (ma, mb) = masks(10, &a, &b);
+        let (ka, kb) = (EventKey::new(&a), EventKey::new(&b));
+        let refs: Vec<NodeId> = (0..10).collect();
+        let pool = ScratchPool::for_graph(&g);
+        let cache = DensityCache::for_graph(&g);
+        let rel = RelabeledGraph::build(&g);
+        let (ta, tb) = (
+            translate_mask(rel.map(), &ma),
+            translate_mask(rel.map(), &mb),
+        );
+        let rel_plan = KernelPlan {
+            graph: rel.graph(),
+            mask_a: &ta,
+            mask_b: &tb,
+            translate: Some(rel.map()),
+            use_bitset: true,
+            h: 2,
+        };
+        let mut s = BfsScratch::new(10);
+        let serial = density_vectors(&g, &mut s, &refs, 2, &ma, &mb);
+        // Cold pass through the relabeled bitset plan fills the cache…
+        let cold = density_vectors_cached_plan(&rel_plan, &pool, &refs, &ka, &kb, 1, &cache);
+        assert_eq!(serial, cold);
+        assert_eq!(cache.bfs_invocations(), 10);
+        // …and a scalar-plan pass over the same cache is pure hits:
+        // entries are substrate-independent integers in original ids.
+        let scalar_plan = KernelPlan::scalar(&g, &ma, &mb, 2);
+        let warm = density_vectors_cached_plan(&scalar_plan, &pool, &refs, &ka, &kb, 1, &cache);
+        assert_eq!(serial, warm);
+        assert_eq!(cache.bfs_invocations(), 10, "warm pass ran no BFS");
+    }
+
+    #[test]
+    fn translate_mask_permutes_members() {
+        use tesc_graph::relabel::Relabeling;
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let map = Relabeling::locality_order(&g);
+        let m = NodeMask::from_nodes(5, &[0, 3]);
+        let t = translate_mask(&map, &m);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(map.to_new(0)) && t.contains(map.to_new(3)));
     }
 }

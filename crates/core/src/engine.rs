@@ -14,7 +14,7 @@
 //! randomness.
 
 use crate::cache::{DensityCache, EventKey};
-use crate::density::{density_counts, DensityCounts};
+use crate::density::{translate_mask, DensityCounts, KernelPlan};
 use crate::sampler::{
     batch_bfs_sample, importance_sample, rejection_sample, whole_graph_sample, SamplerKind,
     UniformSample,
@@ -22,8 +22,9 @@ use crate::sampler::{
 use rand::Rng;
 use std::sync::Arc;
 use tesc_events::{store::merge_union, NodeMask};
-use tesc_graph::bfs::BfsScratch;
+use tesc_graph::bfs::{BfsKernel, BfsScratch};
 use tesc_graph::csr::CsrGraph;
+use tesc_graph::relabel::RelabeledGraph;
 use tesc_graph::{NodeId, ScratchPool, VicinityIndex};
 use tesc_stats::kendall::{
     kendall_tau, var_s_tie_corrected, weighted_tau, KendallMethod, KendallSummary,
@@ -232,6 +233,8 @@ pub struct TescEngine<'a> {
     pool: ScratchPool,
     density_threads: usize,
     cache: Option<Arc<DensityCache>>,
+    kernel: BfsKernel,
+    relabel: Option<Arc<RelabeledGraph>>,
 }
 
 impl<'a> TescEngine<'a> {
@@ -244,6 +247,8 @@ impl<'a> TescEngine<'a> {
             pool: ScratchPool::for_graph(graph),
             density_threads: 1,
             cache: None,
+            kernel: BfsKernel::Auto,
+            relabel: None,
         }
     }
 
@@ -312,6 +317,63 @@ impl<'a> TescEngine<'a> {
     #[inline]
     pub fn density_cache(&self) -> Option<&Arc<DensityCache>> {
         self.cache.as_ref()
+    }
+
+    /// Choose the density BFS kernel: [`BfsKernel::Auto`] (default)
+    /// picks per graph/level with the expected vicinity-density
+    /// heuristic; `Scalar`/`Bitset` force one (for tests and benches).
+    /// Every configuration produces bit-identical results — see
+    /// `docs/PERFORMANCE.md` for when each wins.
+    pub fn with_density_kernel(mut self, kernel: BfsKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The configured density BFS kernel policy.
+    #[inline]
+    pub fn density_kernel(&self) -> BfsKernel {
+        self.kernel
+    }
+
+    /// Run density BFS on a locality-relabeled twin of the graph
+    /// (degree-descending + BFS-order ids, built here): vicinities
+    /// occupy near-contiguous id ranges, so the bitset kernel's bitmap
+    /// words and adjacency reads stay hot. Sampling, event sets,
+    /// caches and every reported node id remain in **original** id
+    /// space — the permutation is applied (and inverted) only at the
+    /// density-BFS boundary, so all outputs are bit-identical to the
+    /// unrelabeled engine (asserted in `tests/kernels.rs`).
+    ///
+    /// Intensity-weighted tests ([`TescEngine::test_intensity`])
+    /// deliberately bypass the relabeled substrate: their densities
+    /// sum `f64` masses in BFS visit order, which a permutation would
+    /// reorder — integer presence counts are order-free, float sums
+    /// are not.
+    pub fn with_relabeling(mut self, on: bool) -> Self {
+        self.relabel = on.then(|| Arc::new(RelabeledGraph::build(self.graph)));
+        self
+    }
+
+    /// Share a prebuilt relabeled substrate (the snapshot flow — one
+    /// build per graph version, shared by every engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substrate was built from a structurally different
+    /// graph (compared by [`CsrGraph::fingerprint`]).
+    pub fn with_relabeled_arc(mut self, relabel: Arc<RelabeledGraph>) -> Self {
+        assert!(
+            relabel.matches_original(self.graph),
+            "relabeled substrate built from a different graph shape"
+        );
+        self.relabel = Some(relabel);
+        self
+    }
+
+    /// The engine's relabeled density substrate, if any.
+    #[inline]
+    pub fn relabeled(&self) -> Option<&RelabeledGraph> {
+        self.relabel.as_deref()
     }
 
     /// Fan the per-reference-node density loop of each *single* test
@@ -389,6 +451,50 @@ impl<'a> TescEngine<'a> {
                 });
                 self.test_uniform(&union, &mask_a, &mask_b, keys.as_ref(), cfg, rng)
             }
+        }
+    }
+
+    /// Translated event masks when a relabeled substrate is active —
+    /// the owned storage a [`KernelPlan`] borrows.
+    fn substrate_masks(
+        &self,
+        mask_a: &NodeMask,
+        mask_b: &NodeMask,
+    ) -> Option<(NodeMask, NodeMask)> {
+        self.relabel.as_deref().map(|r| {
+            (
+                translate_mask(r.map(), mask_a),
+                translate_mask(r.map(), mask_b),
+            )
+        })
+    }
+
+    /// Resolve this engine's density execution plan for one test:
+    /// substrate graph, substrate-space masks, translation and kernel.
+    fn density_plan<'p>(
+        &'p self,
+        mask_a: &'p NodeMask,
+        mask_b: &'p NodeMask,
+        translated: &'p Option<(NodeMask, NodeMask)>,
+        h: u32,
+    ) -> KernelPlan<'p> {
+        match (self.relabel.as_deref(), translated) {
+            (Some(r), Some((ta, tb))) => KernelPlan {
+                graph: r.graph(),
+                mask_a: ta,
+                mask_b: tb,
+                translate: Some(r.map()),
+                use_bitset: self.kernel.use_bitset(r.graph(), h),
+                h,
+            },
+            _ => KernelPlan {
+                graph: self.graph,
+                mask_a,
+                mask_b,
+                translate: None,
+                use_bitset: self.kernel.use_bitset(self.graph, h),
+                h,
+            },
         }
     }
 
@@ -488,26 +594,22 @@ impl<'a> TescEngine<'a> {
             let mut scratch = self.pool.acquire();
             self.draw_uniform_sample(&mut scratch, union, cfg, rng)?
         };
+        let translated = self.substrate_masks(mask_a, mask_b);
+        let plan = self.density_plan(mask_a, mask_b, &translated, cfg.h);
         let (sa, sb) = match (self.cache.as_deref(), keys) {
-            (Some(cache), Some((key_a, key_b))) => crate::density::density_vectors_cached(
-                self.graph,
+            (Some(cache), Some((key_a, key_b))) => crate::density::density_vectors_cached_plan(
+                &plan,
                 &self.pool,
                 &sample.nodes,
-                cfg.h,
                 key_a,
-                mask_a,
                 key_b,
-                mask_b,
                 self.density_threads,
                 cache,
             ),
-            _ => crate::density::density_vectors_pooled(
-                self.graph,
+            _ => crate::density::density_vectors_plan(
+                &plan,
                 &self.pool,
                 &sample.nodes,
-                cfg.h,
-                mask_a,
-                mask_b,
                 self.density_threads,
             ),
         };
@@ -666,7 +768,10 @@ impl<'a> TescEngine<'a> {
         drop(scratch);
         // One BFS per distinct node gathers densities AND the inclusion
         // weight ingredient |V^h_r ∩ V_{a∪b}| (RejectSamp's `c`); the
-        // loop honors `density_threads` like every other density phase.
+        // loop honors `density_threads` like every other density phase
+        // and runs through the same kernel/relabeling plan.
+        let translated = self.substrate_masks(mask_a, mask_b);
+        let plan = self.density_plan(mask_a, mask_b, &translated, cfg.h);
         let counts: Vec<DensityCounts> = crate::density::map_refs_pooled(
             &self.pool,
             &sample.nodes,
@@ -677,7 +782,7 @@ impl<'a> TescEngine<'a> {
                 count_b: 0,
                 count_union: 0,
             },
-            |scratch, r| density_counts(self.graph, scratch, r, cfg.h, mask_a, mask_b),
+            |scratch, r| plan.counts(scratch, r),
         );
         let mut sa = Vec::with_capacity(n);
         let mut sb = Vec::with_capacity(n);
@@ -721,13 +826,12 @@ impl<'a> TescEngine<'a> {
         }
         let mask_a = NodeMask::from_nodes(self.graph.num_nodes(), &a_sorted);
         let mask_b = NodeMask::from_nodes(self.graph.num_nodes(), &b_sorted);
-        let (sa, sb) = crate::density::density_vectors_pooled(
-            self.graph,
+        let translated = self.substrate_masks(&mask_a, &mask_b);
+        let plan = self.density_plan(&mask_a, &mask_b, &translated, h);
+        let (sa, sb) = crate::density::density_vectors_plan(
+            &plan,
             &self.pool,
             &population,
-            h,
-            &mask_a,
-            &mask_b,
             self.density_threads,
         );
         Ok(kendall_tau(&sa, &sb, KendallMethod::MergeSort))
@@ -1181,6 +1285,63 @@ mod tests {
         let g2 = grid(6, 6);
         let cache = std::sync::Arc::new(crate::cache::DensityCache::for_graph(&g1));
         let _ = TescEngine::new(&g2).with_density_cache(cache);
+    }
+
+    #[test]
+    fn kernel_override_engines_bit_identical() {
+        let g = barabasi_albert(1200, 3, &mut rng(60));
+        let va: Vec<u32> = (0..60).collect();
+        let vb: Vec<u32> = (30..90).collect();
+        let cfg = TescConfig::new(2).with_sample_size(150);
+        let reference = TescEngine::new(&g)
+            .with_density_kernel(BfsKernel::Scalar)
+            .test(&va, &vb, &cfg, &mut rng(61))
+            .unwrap();
+        for kernel in [BfsKernel::Auto, BfsKernel::Bitset] {
+            let got = TescEngine::new(&g)
+                .with_density_kernel(kernel)
+                .test(&va, &vb, &cfg, &mut rng(61))
+                .unwrap();
+            assert_eq!(reference, got, "kernel {kernel}");
+            assert_eq!(reference.z().to_bits(), got.z().to_bits());
+        }
+    }
+
+    #[test]
+    fn relabeled_engine_bit_identical_in_original_ids() {
+        let (g, _) = planted_partition(400, 10, 0.8, 0.001, &mut rng(62));
+        let va: Vec<u32> = (0..40).collect();
+        let vb: Vec<u32> = (20..60).collect();
+        let cfg = TescConfig::new(2)
+            .with_sample_size(200)
+            .with_tail(Tail::Upper);
+        let plain = TescEngine::new(&g);
+        let reference = plain.test(&va, &vb, &cfg, &mut rng(63)).unwrap();
+        let relabeled = TescEngine::new(&g)
+            .with_relabeling(true)
+            .with_density_kernel(BfsKernel::Bitset);
+        assert!(relabeled.relabeled().is_some());
+        let got = relabeled.test(&va, &vb, &cfg, &mut rng(63)).unwrap();
+        assert_eq!(reference, got);
+        // exact_summary routes through the same plan.
+        let e1 = plain.exact_summary(&va, &vb, 1).unwrap();
+        let e2 = relabeled.exact_summary(&va, &vb, 1).unwrap();
+        assert_eq!(e1, e2);
+        // Turning it back off drops the substrate.
+        assert!(TescEngine::new(&g)
+            .with_relabeling(true)
+            .with_relabeling(false)
+            .relabeled()
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph shape")]
+    fn relabeled_substrate_for_wrong_graph_rejected() {
+        let g1 = grid(5, 5);
+        let g2 = grid(6, 6);
+        let sub = std::sync::Arc::new(tesc_graph::relabel::RelabeledGraph::build(&g1));
+        let _ = TescEngine::new(&g2).with_relabeled_arc(sub);
     }
 
     #[test]

@@ -76,5 +76,8 @@ pub use sampler::SamplerKind;
 // Re-export the pieces of the public API that come from substrates so
 // downstream users need only depend on `tesc`.
 pub use tesc_events::{simulate, EventId, EventStore, EventStoreError, NodeMask};
-pub use tesc_graph::{BfsScratch, CsrGraph, EdgeError, GraphBuilder, NodeId, VicinityIndex};
+pub use tesc_graph::{
+    BfsKernel, BfsScratch, CsrGraph, EdgeError, GraphBuilder, NodeId, RelabeledGraph, Relabeling,
+    VicinityIndex,
+};
 pub use tesc_stats::{SignificanceLevel, Tail, TestOutcome};

@@ -287,6 +287,31 @@ impl NodeMask {
         }
     }
 
+    /// The mask's raw `u64` words, bit `v % 64` of word `v / 64` set ⇔
+    /// `v` is a member (`num_nodes().div_ceil(64)` words; bits beyond
+    /// `num_nodes()` are always clear). This is the bitset density
+    /// kernel's interface: intersecting a BFS visited bitmap against an
+    /// event mask is one AND + popcount per 64 nodes instead of one
+    /// probe per visited node.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// `|self ∩ W|` where `W` is a visited bitmap over the same id
+    /// space (shorter slices are treated as zero-padded). One word-wise
+    /// AND + popcount sweep — the single-mask form of the word-level
+    /// intersection; the density hot path fuses three of these (both
+    /// event masks plus their `a | b` union) into one sweep over
+    /// [`NodeMask::words`] instead (`tesc::density::density_counts_bitset`).
+    pub fn intersection_count_words(&self, words: &[u64]) -> usize {
+        self.bits
+            .iter()
+            .zip(words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// Collect the members in ascending order.
     pub fn to_nodes(&self) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.count);
@@ -431,5 +456,31 @@ mod tests {
     fn mask_out_of_range_insert_panics() {
         let mut m = NodeMask::new(10);
         m.insert(10);
+    }
+
+    #[test]
+    fn mask_words_expose_members() {
+        let m = NodeMask::from_nodes(130, &[0, 63, 64, 129]);
+        let w = m.words();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1 | (1u64 << 63));
+        assert_eq!(w[1], 1);
+        assert_eq!(w[2], 1 << 1);
+        let total: usize = w.iter().map(|x| x.count_ones() as usize).sum();
+        assert_eq!(total, m.len());
+    }
+
+    #[test]
+    fn intersection_count_words_matches_per_node_probes() {
+        let members = [3u32, 17, 63, 64, 65, 99, 127];
+        let visited = [0u32, 3, 64, 99, 100, 127];
+        let m = NodeMask::from_nodes(128, &members);
+        let v = NodeMask::from_nodes(128, &visited);
+        let expect = visited.iter().filter(|&&x| m.contains(x)).count();
+        assert_eq!(m.intersection_count_words(v.words()), expect);
+        // Shorter visited slices are zero-padded (word 0 holds the
+        // members below id 64; the only shared one there is 3).
+        assert_eq!(m.intersection_count_words(&v.words()[..1]), 1);
+        assert_eq!(m.intersection_count_words(&[]), 0);
     }
 }

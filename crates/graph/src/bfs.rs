@@ -7,8 +7,93 @@
 //! marks + frontier buffers) lives in a reusable [`BfsScratch`] with
 //! **epoch-stamped** visited marks: instead of clearing an `O(|V|)`
 //! bitmap per search, a search is "new" simply because its epoch is.
+//!
+//! Two kernels share the scratch:
+//!
+//! * [`BfsScratch::visit_h_vicinity`] — the **scalar** kernel: a flat
+//!   queue plus epoch stamps, invoking a per-node closure. Best when
+//!   vicinities are a tiny fraction of the graph.
+//! * [`BfsScratch::visit_h_vicinity_bitset`] — the **bitset** kernel:
+//!   the visited set is a `u64` bitmap, levels run top-down while the
+//!   frontier is thin and switch to a bottom-up parent probe when it
+//!   is fat (the classic direction-optimizing hybrid), and the *final*
+//!   level — the bulk of every `h`-hop search — is expanded with
+//!   branch-free idempotent OR stores, recovering counts by popcount.
+//!   Downstream consumers intersect the visited bitmap against event
+//!   masks word-by-word instead of probing per node. Both kernels
+//!   produce the **identical visited set**, so every count derived
+//!   from them is bit-identical; [`BfsKernel`] picks between them.
 
 use crate::csr::{CsrGraph, NodeId};
+
+/// Direction-optimizing switch threshold (Beamer et al.): a level runs
+/// bottom-up when the frontier's degree sum exceeds the unexplored
+/// degree sum divided by this factor.
+const BU_ALPHA: u64 = 14;
+
+/// Which BFS kernel a density sweep should use.
+///
+/// Both kernels visit the identical node set, so every integer count
+/// derived from a search is the same either way — the choice is purely
+/// a performance trade-off (see `docs/PERFORMANCE.md`):
+///
+/// * the scalar kernel pays `O(1)` per *visited node* and nothing for
+///   unvisited ones — unbeatable when vicinities are tiny;
+/// * the bitset kernel pays `O(|V|/64)` per search for bitmap clears
+///   and the word-level count sweep, but its branch-free final-level
+///   expansion and word-wise mask intersection win as soon as
+///   vicinities are a non-trivial fraction of the graph (the common
+///   case at `h ≥ 2` on clustered graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BfsKernel {
+    /// Pick per graph/level with [`BfsKernel::use_bitset`]'s expected
+    /// vicinity-density heuristic.
+    #[default]
+    Auto,
+    /// Always the epoch-stamped scalar kernel.
+    Scalar,
+    /// Always the frontier-bitmap hybrid kernel.
+    Bitset,
+}
+
+impl BfsKernel {
+    /// Resolve the choice for `h`-hop searches on `g`.
+    ///
+    /// `Auto` estimates the vicinity reach as `(d̄ + 1)^h` (average
+    /// degree `d̄`, capped at `|V|`) and engages the bitset kernel when
+    /// that estimate is at least `|V|/32` — the point where the scalar
+    /// kernel's per-visited-node probes outweigh the bitset kernel's
+    /// per-word fixed costs. Explicit variants override (for tests and
+    /// benches).
+    pub fn use_bitset(self, g: &CsrGraph, h: u32) -> bool {
+        match self {
+            BfsKernel::Scalar => false,
+            BfsKernel::Bitset => true,
+            BfsKernel::Auto => {
+                let n = g.num_nodes();
+                if n == 0 {
+                    return false;
+                }
+                let branch = g.average_degree() + 1.0;
+                let mut est = 1.0f64;
+                for _ in 0..h {
+                    est = (est * branch).min(n as f64);
+                }
+                est * 32.0 >= n as f64
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BfsKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BfsKernel::Auto => write!(f, "auto"),
+            BfsKernel::Scalar => write!(f, "scalar"),
+            BfsKernel::Bitset => write!(f, "bitset"),
+        }
+    }
+}
 
 /// Reusable BFS scratch space for one graph size.
 ///
@@ -21,6 +106,19 @@ pub struct BfsScratch {
     epoch: u32,
     /// Flat BFS queue (level boundaries tracked by the driver loop).
     queue: Vec<NodeId>,
+    /// Bitset-kernel state (allocated lazily on first bitset search):
+    /// the visited bitmap of the most recent bitset search…
+    visited: Vec<u64>,
+    /// …the current/next frontier bitmaps for bottom-up levels…
+    front_bits: Vec<u64>,
+    next_bits: Vec<u64>,
+    /// …the current/next frontier node lists for top-down levels…
+    front_nodes: Vec<NodeId>,
+    next_nodes: Vec<NodeId>,
+    /// …nodes first reached at each depth of the last bitset search…
+    levels: Vec<u32>,
+    /// …and how many `visited` words the last bitset search covered.
+    bitset_words: usize,
 }
 
 impl BfsScratch {
@@ -30,6 +128,13 @@ impl BfsScratch {
             stamp: vec![0; num_nodes],
             epoch: 0,
             queue: Vec::new(),
+            visited: Vec::new(),
+            front_bits: Vec::new(),
+            next_bits: Vec::new(),
+            front_nodes: Vec::new(),
+            next_nodes: Vec::new(),
+            levels: Vec::new(),
+            bitset_words: 0,
         }
     }
 
@@ -112,6 +217,195 @@ impl BfsScratch {
             level_start = level_end;
         }
         visited
+    }
+
+    /// Level-synchronous **bitset** BFS from `sources` out to `h` hops:
+    /// the hybrid top-down/bottom-up kernel. Returns the number of
+    /// nodes reached; the visited *set* is left in
+    /// [`BfsScratch::visited_words`] and the per-depth first-reach
+    /// counts in [`BfsScratch::level_counts`].
+    ///
+    /// Three mechanisms make this faster than the scalar kernel on
+    /// dense vicinities, none of which changes the visited set:
+    ///
+    /// 1. **Bitmap visited set** — membership is one AND, and
+    ///    downstream mask intersections run 64 nodes per instruction.
+    /// 2. **Direction optimization** — a level whose frontier degree
+    ///    sum exceeds `unexplored / α` (α = 14) runs bottom-up: scan
+    ///    unvisited nodes and probe their neighbors against the
+    ///    frontier bitmap, breaking at the first parent.
+    /// 3. **Branch-free final level** — the deepest level (the bulk of
+    ///    every search) needs no frontier bookkeeping, so it is pure
+    ///    idempotent `visited[w] |= bit` stores; its size is recovered
+    ///    with one popcount sweep.
+    ///
+    /// Duplicate sources are visited once, like the scalar kernel.
+    pub fn visit_h_vicinity_bitset(&mut self, g: &CsrGraph, sources: &[NodeId], h: u32) -> usize {
+        let n = g.num_nodes();
+        assert!(
+            self.stamp.len() >= n,
+            "BfsScratch sized for {} nodes, graph has {}",
+            self.stamp.len(),
+            n
+        );
+        let words = n.div_ceil(64);
+        if self.visited.len() < words {
+            self.visited.resize(words, 0);
+            self.front_bits.resize(words, 0);
+            self.next_bits.resize(words, 0);
+        }
+        self.bitset_words = words;
+        self.visited[..words].fill(0);
+        self.levels.clear();
+        self.front_nodes.clear();
+
+        let mut front_deg = 0u64;
+        for &s in sources {
+            debug_assert!((s as usize) < n, "source {s} out of range");
+            let (w, b) = (s as usize / 64, s % 64);
+            if self.visited[w] & (1u64 << b) == 0 {
+                self.visited[w] |= 1u64 << b;
+                self.front_nodes.push(s);
+                front_deg += g.degree(s) as u64;
+            }
+        }
+        let mut visited_count = self.front_nodes.len();
+        self.levels.push(self.front_nodes.len() as u32);
+
+        let total_deg = g.degree_sum();
+        let mut visited_deg = front_deg;
+        let mut front_len = self.front_nodes.len();
+        let mut front_is_bits = false;
+        let mut depth = 0u32;
+        while depth < h && front_len > 0 {
+            depth += 1;
+            if depth == h {
+                // Final level: no further expansion, so membership
+                // writes need no test and no frontier bookkeeping.
+                if front_is_bits {
+                    for w in 0..words {
+                        let mut bits = self.front_bits[w];
+                        while bits != 0 {
+                            let u = (w * 64) as NodeId + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            for &v in g.neighbors(u) {
+                                self.visited[v as usize / 64] |= 1u64 << (v % 64);
+                            }
+                        }
+                    }
+                } else {
+                    let front = std::mem::take(&mut self.front_nodes);
+                    for &u in &front {
+                        for &v in g.neighbors(u) {
+                            self.visited[v as usize / 64] |= 1u64 << (v % 64);
+                        }
+                    }
+                    self.front_nodes = front;
+                }
+                let total: usize = self.visited[..words]
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum();
+                if total > visited_count {
+                    self.levels.push((total - visited_count) as u32);
+                }
+                visited_count = total;
+                break;
+            }
+
+            let unexplored_deg = total_deg - visited_deg;
+            let bottom_up = front_deg.saturating_mul(BU_ALPHA) > unexplored_deg;
+            let mut new_count = 0usize;
+            let mut new_deg = 0u64;
+            if bottom_up {
+                if !front_is_bits {
+                    self.front_bits[..words].fill(0);
+                    for &u in &self.front_nodes {
+                        self.front_bits[u as usize / 64] |= 1u64 << (u % 64);
+                    }
+                }
+                self.next_bits[..words].fill(0);
+                for w in 0..words {
+                    // Snapshot the unvisited lanes of this word; nodes
+                    // claimed below join the *next* frontier, never the
+                    // current one, so the snapshot stays level-correct.
+                    let mut unv = !self.visited[w];
+                    if w == words - 1 && !n.is_multiple_of(64) {
+                        unv &= (1u64 << (n % 64)) - 1;
+                    }
+                    while unv != 0 {
+                        let b = unv.trailing_zeros();
+                        unv &= unv - 1;
+                        let v = (w * 64) as NodeId + b;
+                        for &p in g.neighbors(v) {
+                            if self.front_bits[p as usize / 64] & (1u64 << (p % 64)) != 0 {
+                                self.visited[w] |= 1u64 << b;
+                                self.next_bits[w] |= 1u64 << b;
+                                new_count += 1;
+                                new_deg += g.degree(v) as u64;
+                                break;
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut self.front_bits, &mut self.next_bits);
+                front_is_bits = true;
+            } else {
+                if front_is_bits {
+                    self.front_nodes.clear();
+                    for w in 0..words {
+                        let mut bits = self.front_bits[w];
+                        while bits != 0 {
+                            self.front_nodes
+                                .push((w * 64) as NodeId + bits.trailing_zeros());
+                            bits &= bits - 1;
+                        }
+                    }
+                    front_is_bits = false;
+                }
+                let front = std::mem::take(&mut self.front_nodes);
+                self.next_nodes.clear();
+                for &u in &front {
+                    for &v in g.neighbors(u) {
+                        let (w, b) = (v as usize / 64, v % 64);
+                        if self.visited[w] & (1u64 << b) == 0 {
+                            self.visited[w] |= 1u64 << b;
+                            self.next_nodes.push(v);
+                            new_count += 1;
+                            new_deg += g.degree(v) as u64;
+                        }
+                    }
+                }
+                self.front_nodes = front;
+                std::mem::swap(&mut self.front_nodes, &mut self.next_nodes);
+            }
+            if new_count == 0 {
+                break;
+            }
+            visited_count += new_count;
+            visited_deg += new_deg;
+            front_deg = new_deg;
+            front_len = new_count;
+            self.levels.push(new_count as u32);
+        }
+        visited_count
+    }
+
+    /// The visited bitmap of the most recent
+    /// [`BfsScratch::visit_h_vicinity_bitset`] search: bit `v` set ⇔
+    /// node `v` reached. Length covers exactly that search's graph.
+    #[inline]
+    pub fn visited_words(&self) -> &[u64] {
+        &self.visited[..self.bitset_words]
+    }
+
+    /// `level_counts()[d]` = nodes first reached at depth `d` by the
+    /// most recent bitset search (index 0 counts the distinct
+    /// sources). The slice is truncated once the search exhausts — a
+    /// missing depth means 0 new nodes.
+    #[inline]
+    pub fn level_counts(&self) -> &[u32] {
+        &self.levels
     }
 
     /// Collect the node set of the `h`-vicinity of `sources` into `out`
@@ -344,5 +638,143 @@ mod tests {
         let mut collected = Vec::new();
         let n = s.visit_h_vicinity(&g, &[0], 2, |v, _| collected.push(v));
         assert_eq!(n, collected.len());
+    }
+
+    /// Nodes set in the scratch's visited bitmap, ascending.
+    fn bitmap_nodes(s: &BfsScratch) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for (w, &word) in s.visited_words().iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                out.push((w * 64) as NodeId + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Scalar/bitset agreement on one search: same set, same count,
+    /// same per-depth tallies.
+    fn assert_kernels_agree(g: &CsrGraph, s: &mut BfsScratch, sources: &[NodeId], h: u32) {
+        let mut scalar_nodes = Vec::new();
+        let mut scalar_levels = vec![0u32; h as usize + 1];
+        let scalar_n = s.visit_h_vicinity(g, sources, h, |v, d| {
+            scalar_nodes.push(v);
+            scalar_levels[d as usize] += 1;
+        });
+        scalar_nodes.sort_unstable();
+        let bitset_n = s.visit_h_vicinity_bitset(g, sources, h);
+        assert_eq!(scalar_n, bitset_n, "visited counts differ");
+        assert_eq!(scalar_nodes, bitmap_nodes(s), "visited sets differ");
+        for (d, &c) in s.level_counts().iter().enumerate() {
+            assert_eq!(scalar_levels[d], c, "depth {d} count differs");
+        }
+        for (d, &c) in scalar_levels
+            .iter()
+            .enumerate()
+            .skip(s.level_counts().len())
+        {
+            assert_eq!(c, 0, "scalar reached depth {d}");
+        }
+    }
+
+    #[test]
+    fn bitset_matches_scalar_on_paths_and_diamonds() {
+        let g = path6();
+        let mut s = BfsScratch::new(6);
+        for h in 0..6 {
+            assert_kernels_agree(&g, &mut s, &[0], h);
+            assert_kernels_agree(&g, &mut s, &[2], h);
+            assert_kernels_agree(&g, &mut s, &[0, 5], h);
+        }
+        let d = from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut s = BfsScratch::new(4);
+        assert_kernels_agree(&d, &mut s, &[0], 2);
+    }
+
+    #[test]
+    fn bitset_duplicate_sources_and_isolated_nodes() {
+        let g = from_edges(130, &[(0, 1), (2, 3)]); // mostly isolated, >64 nodes
+        let mut s = BfsScratch::new(130);
+        assert_kernels_agree(&g, &mut s, &[3, 3, 3], 2);
+        assert_kernels_agree(&g, &mut s, &[129], 4); // isolated source
+        assert_eq!(s.visit_h_vicinity_bitset(&g, &[129], 4), 1);
+        assert_eq!(s.level_counts(), &[1]);
+    }
+
+    #[test]
+    fn bitset_star_whole_graph_in_one_hop() {
+        // Frontier = everything at h = 1: exercises the final-level
+        // blind-OR path on a word-boundary-straddling graph.
+        let n = 100usize;
+        let edges: Vec<(NodeId, NodeId)> = (1..n as NodeId).map(|v| (0, v)).collect();
+        let g = from_edges(n, &edges);
+        let mut s = BfsScratch::new(n);
+        assert_kernels_agree(&g, &mut s, &[0], 1);
+        assert_eq!(s.visit_h_vicinity_bitset(&g, &[0], 1), n);
+        // From a leaf, h = 2 covers everything via the hub.
+        assert_kernels_agree(&g, &mut s, &[17], 2);
+    }
+
+    #[test]
+    fn bitset_bottom_up_levels_match_scalar() {
+        // A dense blob where mid-levels trip the α-threshold: complete
+        // bipartite-ish core plus a tail, searched to h = 3 so the fat
+        // frontier is *not* the final level.
+        let mut edges = Vec::new();
+        for u in 0..40u32 {
+            for v in 40..80u32 {
+                edges.push((u, v));
+            }
+        }
+        edges.extend([(0, 80), (80, 81), (81, 82)]);
+        let g = from_edges(83, &edges);
+        let mut s = BfsScratch::new(83);
+        for h in 0..5 {
+            assert_kernels_agree(&g, &mut s, &[82], h);
+            assert_kernels_agree(&g, &mut s, &[0], h);
+        }
+    }
+
+    #[test]
+    fn bitset_scratch_reuse_and_mixed_kernels() {
+        // Interleave scalar and bitset searches on one scratch; also
+        // shrink to a smaller graph so stale high words are ignored.
+        let big = from_edges(200, &[(0, 1), (1, 2), (198, 199)]);
+        let small = path6();
+        let mut s = BfsScratch::new(200);
+        assert_eq!(s.visit_h_vicinity_bitset(&big, &[198], 1), 2);
+        assert_eq!(s.vicinity_size(&big, 0, 1), 2);
+        assert_eq!(s.visit_h_vicinity_bitset(&small, &[0], 2), 3);
+        assert_eq!(s.visited_words().len(), 1, "covers the small graph only");
+        assert_eq!(bitmap_nodes(&s), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "BfsScratch sized for")]
+    fn undersized_scratch_panics_bitset() {
+        let g = path6();
+        let mut s = BfsScratch::new(3);
+        let _ = s.visit_h_vicinity_bitset(&g, &[0], 1);
+    }
+
+    #[test]
+    fn kernel_selection_resolves() {
+        let sparse = from_edges(4096, &[(0, 1), (2, 3)]);
+        assert!(
+            !BfsKernel::Auto.use_bitset(&sparse, 1),
+            "sparse stays scalar"
+        );
+        let dense = from_edges(
+            64,
+            &(0..64u32)
+                .flat_map(|u| (u + 1..64).map(move |v| (u, v)))
+                .collect::<Vec<_>>(),
+        );
+        assert!(BfsKernel::Auto.use_bitset(&dense, 2), "dense goes bitset");
+        assert!(!BfsKernel::Scalar.use_bitset(&dense, 2));
+        assert!(BfsKernel::Bitset.use_bitset(&sparse, 1));
+        assert!(!BfsKernel::Auto.use_bitset(&from_edges(0, &[]), 2));
+        assert_eq!(BfsKernel::Auto.to_string(), "auto");
     }
 }

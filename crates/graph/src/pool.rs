@@ -23,6 +23,15 @@ use crate::csr::CsrGraph;
 use std::ops::{Deref, DerefMut};
 use std::sync::Mutex;
 
+/// Below this node count, parallel fan-outs cost more in thread
+/// spawn/synchronization than they recover in BFS work:
+/// [`crate::VicinityIndex::build_parallel`] falls back to its serial
+/// sweep, and `tesc::batch::run_batch` runs its request on the calling
+/// thread. One named constant so the two layers' decisions cannot
+/// drift apart (results are bit-identical either way — this is purely
+/// a scheduling choice).
+pub const PARALLEL_MIN_NODES: usize = 1024;
+
 /// A thread-safe free list of [`BfsScratch`] instances for one graph
 /// size.
 #[derive(Debug)]

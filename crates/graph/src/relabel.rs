@@ -1,0 +1,264 @@
+//! Locality-aware graph relabeling for BFS-bound workloads.
+//!
+//! The density hot path touches memory in whatever node order the
+//! graph generator (or dataset loader) happened to emit: a BFS from a
+//! reference node jumps across the whole id range, so the visited
+//! bitmap, the adjacency reads and the event-mask words are all
+//! scattered. A [`Relabeling`] assigns new ids in **degree-descending
+//! seed + BFS discovery order** (the RCM family of bandwidth-reducing
+//! permutations): every node lands next to the nodes it is reached
+//! with, so an `h`-vicinity occupies a near-contiguous id range and
+//! the bitset kernel's words stay hot.
+//!
+//! The permutation is a pure id bijection — [`CsrGraph::relabeled`]
+//! produces an isomorphic graph, vicinities map elementwise, and every
+//! set *cardinality* (vicinity sizes, mask intersections, density
+//! numerators/denominators) is unchanged. The engine therefore runs
+//! density BFS on the relabeled substrate while sampling, event sets
+//! and reported node ids stay in original id space; results are
+//! bit-identical either way (asserted in `tests/kernels.rs`).
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// A bijection between a graph's original node ids and a
+/// locality-optimized id space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relabeling {
+    /// `to_new[old] = new`.
+    to_new: Vec<NodeId>,
+    /// `to_old[new] = old`.
+    to_old: Vec<NodeId>,
+}
+
+impl Relabeling {
+    /// Degree-descending + BFS-order permutation of `g`.
+    ///
+    /// Seeds are taken in degree-descending order (ties by ascending
+    /// id); each unvisited seed starts a BFS whose discovery order —
+    /// neighbors expanded in ascending original id, as stored in the
+    /// CSR — assigns the next block of new ids. High-degree hubs and
+    /// their vicinities end up front-packed and contiguous;
+    /// disconnected low-degree debris trails at the end.
+    pub fn locality_order(g: &CsrGraph) -> Self {
+        let n = g.num_nodes();
+        let mut seeds: Vec<NodeId> = (0..n as NodeId).collect();
+        seeds.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        let mut seen = vec![false; n];
+        let mut to_old: Vec<NodeId> = Vec::with_capacity(n);
+        for &s in &seeds {
+            if seen[s as usize] {
+                continue;
+            }
+            seen[s as usize] = true;
+            let mut qi = to_old.len();
+            to_old.push(s);
+            while qi < to_old.len() {
+                let u = to_old[qi];
+                qi += 1;
+                for &v in g.neighbors(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        to_old.push(v);
+                    }
+                }
+            }
+        }
+        let mut to_new = vec![0 as NodeId; n];
+        for (new, &old) in to_old.iter().enumerate() {
+            to_new[old as usize] = new as NodeId;
+        }
+        Relabeling { to_new, to_old }
+    }
+
+    /// The identity permutation over `n` ids (useful as a no-op
+    /// baseline in benches and tests).
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<NodeId> = (0..n as NodeId).collect();
+        Relabeling {
+            to_new: ids.clone(),
+            to_old: ids,
+        }
+    }
+
+    /// Number of ids the permutation covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.to_new.len()
+    }
+
+    /// Is the permutation over zero ids?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.to_new.is_empty()
+    }
+
+    /// Original id → relabeled id.
+    #[inline]
+    pub fn to_new(&self, v: NodeId) -> NodeId {
+        self.to_new[v as usize]
+    }
+
+    /// Relabeled id → original id.
+    #[inline]
+    pub fn to_old(&self, v: NodeId) -> NodeId {
+        self.to_old[v as usize]
+    }
+
+    /// Map a slice of original ids into relabeled id space.
+    pub fn map_to_new(&self, nodes: &[NodeId]) -> Vec<NodeId> {
+        nodes.iter().map(|&v| self.to_new(v)).collect()
+    }
+
+    /// Map a slice of relabeled ids back to original id space.
+    pub fn map_to_old(&self, nodes: &[NodeId]) -> Vec<NodeId> {
+        nodes.iter().map(|&v| self.to_old(v)).collect()
+    }
+}
+
+/// A graph bundled with the permutation that produced it: the
+/// relabeled density substrate plus both direction maps, built once
+/// and shared (`Arc`) by every engine over the same graph version.
+#[derive(Debug, Clone)]
+pub struct RelabeledGraph {
+    graph: CsrGraph,
+    map: Relabeling,
+    /// Fingerprint of the *original* graph, so engines can assert the
+    /// substrate matches the graph they sample on.
+    original_fingerprint: u64,
+}
+
+impl RelabeledGraph {
+    /// Build the locality-ordered substrate for `g`.
+    pub fn build(g: &CsrGraph) -> Self {
+        let map = Relabeling::locality_order(g);
+        RelabeledGraph {
+            graph: g.relabeled(&map),
+            map,
+            original_fingerprint: g.fingerprint(),
+        }
+    }
+
+    /// The relabeled graph (isomorphic to the original).
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The id bijection.
+    #[inline]
+    pub fn map(&self) -> &Relabeling {
+        &self.map
+    }
+
+    /// Was this substrate built from (a graph structurally identical
+    /// to) `g`? Compares [`CsrGraph::fingerprint`]s.
+    pub fn matches_original(&self, g: &CsrGraph) -> bool {
+        self.original_fingerprint == g.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsScratch;
+    use crate::csr::from_edges;
+
+    fn tail_star() -> CsrGraph {
+        // Hub 3 with leaves {0, 1, 2, 4}; tail 4-5-6; isolated 7.
+        from_edges(8, &[(3, 0), (3, 1), (3, 2), (3, 4), (4, 5), (5, 6)])
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let g = tail_star();
+        let m = Relabeling::locality_order(&g);
+        assert_eq!(m.len(), 8);
+        for v in 0..8u32 {
+            assert_eq!(m.to_old(m.to_new(v)), v);
+            assert_eq!(m.to_new(m.to_old(v)), v);
+        }
+        let mut news: Vec<NodeId> = (0..8).map(|v| m.to_new(v)).collect();
+        news.sort_unstable();
+        assert_eq!(news, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn highest_degree_node_becomes_zero_and_isolated_trails() {
+        let g = tail_star();
+        let m = Relabeling::locality_order(&g);
+        assert_eq!(m.to_new(3), 0, "hub seeds the order");
+        assert_eq!(m.to_new(7), 7, "isolated node trails");
+        // Hub's neighbors are discovered next: new ids 1..=4.
+        for v in [0u32, 1, 2, 4] {
+            assert!(m.to_new(v) <= 4, "leaf {v} packed next to the hub");
+        }
+    }
+
+    #[test]
+    fn relabeled_graph_is_isomorphic() {
+        let g = tail_star();
+        let r = RelabeledGraph::build(&g);
+        assert!(r.matches_original(&g));
+        assert_eq!(r.graph().num_nodes(), g.num_nodes());
+        assert_eq!(r.graph().num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(
+                r.graph().has_edge(r.map().to_new(u), r.map().to_new(v)),
+                "edge ({u},{v}) lost"
+            );
+        }
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), r.graph().degree(r.map().to_new(v)));
+        }
+    }
+
+    #[test]
+    fn vicinity_sizes_preserved() {
+        let g = tail_star();
+        let r = RelabeledGraph::build(&g);
+        let mut s = BfsScratch::new(8);
+        for v in 0..8u32 {
+            for h in 0..4 {
+                assert_eq!(
+                    s.vicinity_size(&g, v, h),
+                    s.vicinity_size(r.graph(), r.map().to_new(v), h),
+                    "v = {v}, h = {h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_slices_round_trip() {
+        let g = tail_star();
+        let m = Relabeling::locality_order(&g);
+        let orig = vec![1u32, 5, 7];
+        assert_eq!(m.map_to_old(&m.map_to_new(&orig)), orig);
+        let id = Relabeling::identity(4);
+        assert_eq!(id.map_to_new(&[0, 3]), vec![0, 3]);
+        assert!(!id.is_empty());
+        assert!(Relabeling::identity(0).is_empty());
+    }
+
+    #[test]
+    fn bfs_locality_packs_vicinities() {
+        // On a two-community graph the relabeled ids of a community
+        // form a contiguous block: max(new ids) - min(new ids) spans
+        // exactly the community.
+        let mut edges = Vec::new();
+        for c in [0u32, 10] {
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    edges.push((c + i, c + j));
+                }
+            }
+        }
+        let g = from_edges(20, &edges);
+        let m = Relabeling::locality_order(&g);
+        for c in [0u32, 10] {
+            let news: Vec<NodeId> = (c..c + 10).map(|v| m.to_new(v)).collect();
+            let (lo, hi) = (*news.iter().min().unwrap(), *news.iter().max().unwrap());
+            assert_eq!(hi - lo, 9, "community at {c} not contiguous: {news:?}");
+        }
+    }
+}

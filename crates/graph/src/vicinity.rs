@@ -7,8 +7,9 @@
 //! "can be efficiently updated as the graph changes". [`VicinityIndex`]
 //! implements exactly that, including the incremental update.
 
-use crate::bfs::BfsScratch;
+use crate::bfs::{BfsKernel, BfsScratch};
 use crate::csr::{CsrGraph, NodeId};
+use crate::pool::PARALLEL_MIN_NODES;
 
 /// Per-level vicinity node-set sizes for every node of a graph:
 /// `sizes(h)[v] = |V^h_v|` (which always includes `v` itself).
@@ -21,28 +22,48 @@ pub struct VicinityIndex {
 
 impl VicinityIndex {
     /// Build the index for levels `1..=max_level` with a single-threaded
-    /// sweep (one `max_level`-hop BFS per node).
+    /// sweep (one `max_level`-hop BFS per node), picking the BFS kernel
+    /// automatically.
     pub fn build(g: &CsrGraph, max_level: u32) -> Self {
+        Self::build_with_kernel(g, max_level, BfsKernel::Auto)
+    }
+
+    /// [`VicinityIndex::build`] with an explicit scalar/bitset BFS
+    /// kernel choice. Both kernels produce the identical index — the
+    /// override exists for tests and benches.
+    pub fn build_with_kernel(g: &CsrGraph, max_level: u32, kernel: BfsKernel) -> Self {
         assert!(max_level >= 1, "max_level must be at least 1");
         let n = g.num_nodes();
+        let use_bitset = kernel.use_bitset(g, max_level);
         let mut levels = vec![vec![0u32; n]; max_level as usize];
         let mut scratch = BfsScratch::new(n);
         let mut counts = vec![0u32; max_level as usize + 1];
         for v in 0..n as NodeId {
-            Self::fill_node(g, &mut scratch, v, max_level, &mut counts, &mut levels);
+            Self::fill_node(
+                g,
+                &mut scratch,
+                v,
+                max_level,
+                &mut counts,
+                &mut levels,
+                use_bitset,
+            );
         }
         VicinityIndex { max_level, levels }
     }
 
     /// Build the index with `threads` worker threads (scoped std
-    /// threads; node ranges are partitioned statically).
+    /// threads; node ranges are partitioned statically). Graphs below
+    /// [`PARALLEL_MIN_NODES`] fall back to the serial sweep — the
+    /// threshold `tesc::batch` shares for its own fan-out decision.
     pub fn build_parallel(g: &CsrGraph, max_level: u32, threads: usize) -> Self {
         assert!(max_level >= 1, "max_level must be at least 1");
         let threads = threads.max(1);
         let n = g.num_nodes();
-        if threads == 1 || n < 1024 {
+        if threads == 1 || n < PARALLEL_MIN_NODES {
             return Self::build(g, max_level);
         }
+        let use_bitset = BfsKernel::Auto.use_bitset(g, max_level);
         let mut levels = vec![vec![0u32; n]; max_level as usize];
         {
             // Split each level vector into per-thread chunks. To keep the
@@ -76,10 +97,7 @@ impl VicinityIndex {
                         // indexes several parallel level slices
                         for i in 0..len {
                             let v = start + i as NodeId;
-                            counts.fill(0);
-                            scratch.visit_h_vicinity(g, &[v], max_level, |_, d| {
-                                counts[d as usize] += 1;
-                            });
+                            depth_counts(g, &mut scratch, v, max_level, &mut counts, use_bitset);
                             let mut cum = counts[0];
                             for h in 1..=max_level as usize {
                                 cum += counts[h];
@@ -104,15 +122,25 @@ impl VicinityIndex {
     pub fn build_for_nodes(g: &CsrGraph, nodes: &[NodeId], max_level: u32) -> Self {
         assert!(max_level >= 1, "max_level must be at least 1");
         let n = g.num_nodes();
+        let use_bitset = BfsKernel::Auto.use_bitset(g, max_level);
         let mut levels = vec![vec![0u32; n]; max_level as usize];
         let mut scratch = BfsScratch::new(n);
         let mut counts = vec![0u32; max_level as usize + 1];
         for &v in nodes {
-            Self::fill_node(g, &mut scratch, v, max_level, &mut counts, &mut levels);
+            Self::fill_node(
+                g,
+                &mut scratch,
+                v,
+                max_level,
+                &mut counts,
+                &mut levels,
+                use_bitset,
+            );
         }
         VicinityIndex { max_level, levels }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal fill helper
     fn fill_node(
         g: &CsrGraph,
         scratch: &mut BfsScratch,
@@ -120,11 +148,9 @@ impl VicinityIndex {
         max_level: u32,
         counts: &mut [u32],
         levels: &mut [Vec<u32>],
+        use_bitset: bool,
     ) {
-        counts.fill(0);
-        scratch.visit_h_vicinity(g, &[v], max_level, |_, d| {
-            counts[d as usize] += 1;
-        });
+        depth_counts(g, scratch, v, max_level, counts, use_bitset);
         let mut cum = counts[0];
         for h in 1..=max_level as usize {
             cum += counts[h];
@@ -187,6 +213,7 @@ impl VicinityIndex {
             dirty.sort_unstable();
             dirty.dedup();
         }
+        let use_bitset = BfsKernel::Auto.use_bitset(g_new, self.max_level);
         let mut counts = vec![0u32; self.max_level as usize + 1];
         for &v in &dirty {
             Self::fill_node(
@@ -196,6 +223,7 @@ impl VicinityIndex {
                 self.max_level,
                 &mut counts,
                 &mut self.levels,
+                use_bitset,
             );
         }
     }
@@ -215,6 +243,30 @@ impl VicinityIndex {
         let mut next = self.clone();
         next.refresh(g_new, g_old, touched);
         next
+    }
+}
+
+/// Per-depth first-reach counts of a `max_level`-hop BFS from `v`,
+/// written into `counts[0..=max_level]` (cleared first), via whichever
+/// kernel was resolved — both kernels tally identical depths.
+fn depth_counts(
+    g: &CsrGraph,
+    scratch: &mut BfsScratch,
+    v: NodeId,
+    max_level: u32,
+    counts: &mut [u32],
+    use_bitset: bool,
+) {
+    counts.fill(0);
+    if use_bitset {
+        scratch.visit_h_vicinity_bitset(g, &[v], max_level);
+        for (d, &c) in scratch.level_counts().iter().enumerate() {
+            counts[d] = c;
+        }
+    } else {
+        scratch.visit_h_vicinity(g, &[v], max_level, |_, d| {
+            counts[d as usize] += 1;
+        });
     }
 }
 
@@ -338,6 +390,26 @@ mod tests {
         }
         // Unqueried nodes read 0 (documented sentinel).
         assert_eq!(sparse.size(0, 1), 0);
+    }
+
+    #[test]
+    fn scalar_and_bitset_builds_agree() {
+        // A clustered graph (dense cliques + bridges) where Auto would
+        // genuinely pick bitset; force both and compare.
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            for i in 0..12 {
+                for j in (i + 1)..12 {
+                    edges.push((c * 12 + i, c * 12 + j));
+                }
+            }
+        }
+        edges.extend([(0, 12), (12, 24), (24, 36)]);
+        let g = from_edges(48, &edges);
+        let scalar = VicinityIndex::build_with_kernel(&g, 3, crate::bfs::BfsKernel::Scalar);
+        let bitset = VicinityIndex::build_with_kernel(&g, 3, crate::bfs::BfsKernel::Bitset);
+        assert_eq!(scalar, bitset);
+        assert_eq!(scalar, VicinityIndex::build(&g, 3));
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //!               [--h 1] [--n 900] [--tail upper|lower|two]
 //!               [--alpha 0.05] [--sampler batch|reject|importance|whole]
 //!               [--statistic kendall|spearman] [--seed 42]
+//!               [--kernel auto|scalar|bitset] [--relabel on|off]
 //!     Run the TESC significance test and the transaction-correlation
-//!     baseline, print both.
+//!     baseline, print both. --kernel picks the density BFS kernel
+//!     (default auto: expected-density heuristic); --relabel on runs
+//!     density BFS on a locality-relabeled substrate. Both knobs are
+//!     pure performance switches — results are bit-identical.
 //!
 //! tesc-cli batch --graph G.txt --pairs PAIRS.txt [--threads 0]
 //!                [--h 1] [--n 900] [--tail upper|lower|two]
@@ -65,7 +69,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use tesc::batch::{run_batch, BatchRequest, EventPair};
 use tesc::context::TescContext;
-use tesc::{DensityCache, SamplerKind, SignificanceLevel, Statistic, Tail, TescConfig, TescEngine};
+use tesc::{
+    BfsKernel, DensityCache, SamplerKind, SignificanceLevel, Statistic, Tail, TescConfig,
+    TescEngine,
+};
 use tesc_baselines::{lift, transaction_correlation};
 use tesc_events::NodeMask;
 use tesc_graph::{BfsScratch, NodeId, VicinityIndex};
@@ -76,15 +83,18 @@ const USAGE: &str = "usage:
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42]
+                [--kernel auto|scalar|bitset] [--relabel on|off]
   tesc-cli batch --graph G.txt --pairs PAIRS.txt [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42] [--cache on|off]
+                [--kernel auto|scalar|bitset] [--relabel on|off]
   tesc-cli stream --graph G.txt --events EVENTS.txt --pairs NPAIRS.txt
                 --updates U.txt [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
-                [--statistic kendall|spearman] [--seed 42]";
+                [--statistic kendall|spearman] [--seed 42]
+                [--kernel auto|scalar|bitset] [--relabel on|off]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -252,6 +262,27 @@ fn config_from_flags(flags: &HashMap<String, String>) -> Result<TescConfig, Stri
         .with_statistic(statistic))
 }
 
+/// Parse the density-kernel performance knobs shared by `test`,
+/// `batch` and `stream` (results are bit-identical for every choice).
+fn kernel_flags(flags: &HashMap<String, String>) -> Result<(BfsKernel, bool), String> {
+    let kernel = match flags.get("kernel").map(String::as_str) {
+        None | Some("auto") => BfsKernel::Auto,
+        Some("scalar") => BfsKernel::Scalar,
+        Some("bitset") => BfsKernel::Bitset,
+        Some(other) => {
+            return Err(format!(
+                "--kernel must be auto|scalar|bitset, got {other:?}"
+            ))
+        }
+    };
+    let relabel = match flags.get("relabel").map(String::as_str) {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(other) => return Err(format!("--relabel must be on|off, got {other:?}")),
+    };
+    Ok((kernel, relabel))
+}
+
 fn open(p: &str) -> Result<BufReader<File>, String> {
     File::open(p)
         .map(BufReader::new)
@@ -296,6 +327,7 @@ fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
         sampler,
         SamplerKind::Rejection | SamplerKind::Importance { .. }
     );
+    let (kernel, relabel) = kernel_flags(flags)?;
     let index;
     let engine = if needs_index {
         let mut union = va.clone();
@@ -307,7 +339,9 @@ fn run_test(flags: &HashMap<String, String>) -> Result<(), String> {
         TescEngine::with_vicinity_index(&graph, &index)
     } else {
         TescEngine::new(&graph)
-    };
+    }
+    .with_density_kernel(kernel)
+    .with_relabeling(relabel);
 
     let result = engine
         .test(&va, &vb, &cfg, &mut rng)
@@ -412,6 +446,7 @@ fn run_batch_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg.sampler,
         SamplerKind::Rejection | SamplerKind::Importance { .. }
     );
+    let (kernel, relabel) = kernel_flags(flags)?;
     let index;
     let mut engine = if needs_index {
         let mut union: Vec<NodeId> = pairs
@@ -425,7 +460,9 @@ fn run_batch_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         TescEngine::with_vicinity_index(&graph, &index)
     } else {
         TescEngine::new(&graph)
-    };
+    }
+    .with_density_kernel(kernel)
+    .with_relabeling(relabel);
     let cache = match flags.get("cache").map(String::as_str) {
         None | Some("on") => {
             let cache = Arc::new(DensityCache::for_graph(&graph));
@@ -548,6 +585,7 @@ fn parse_updates(text: &str, path: &str) -> Result<Vec<UpdateOp>, String> {
 /// the selected subset through the snapshot's cache-wired batch
 /// engine. Pairs naming a not-yet-registered event are skipped with a
 /// note (a stream may define events late).
+#[allow(clippy::too_many_arguments)] // mirrors the stream command's knobs
 fn stream_round(
     snap: &tesc::Snapshot,
     named_pairs: &[(String, String, String)],
@@ -555,6 +593,7 @@ fn stream_round(
     cfg: TescConfig,
     seed: u64,
     threads: usize,
+    kernel: BfsKernel,
 ) -> usize {
     let mut pairs = Vec::new();
     for (label, a_name, b_name) in named_pairs {
@@ -582,7 +621,9 @@ fn stream_round(
         .with_seed(seed)
         .with_threads(threads)
         .with_pairs(pairs);
-    let report = snap.run_batch(&req);
+    // The snapshot's engine comes cache- (and, with --relabel on,
+    // substrate-) wired; the kernel knob rides on top.
+    let report = run_batch(&snap.engine().with_density_kernel(kernel), &req);
     print_outcome_rows(&report);
     println!("summary: {}", report.summary());
     count
@@ -635,7 +676,9 @@ fn run_stream_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg.h,
         build_threads
     );
-    let ctx = TescContext::with_threads(graph, events, cfg.h.max(1), build_threads);
+    let (kernel, relabel) = kernel_flags(flags)?;
+    let ctx = TescContext::with_threads(graph, events, cfg.h.max(1), build_threads)
+        .with_relabeling(relabel);
 
     println!("== v{}: initial snapshot, testing all pairs", ctx.version());
     stream_round(
@@ -645,6 +688,7 @@ fn run_stream_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg,
         seed,
         threads,
+        kernel,
     );
 
     let mut pending_edges: Vec<(NodeId, NodeId)> = Vec::new();
@@ -661,6 +705,7 @@ fn run_stream_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
                 cfg,
                 seed,
                 threads,
+                kernel,
             )?,
         }
     }
@@ -674,6 +719,7 @@ fn run_stream_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
             cfg,
             seed,
             threads,
+            kernel,
         )?;
     }
     Ok(())
@@ -682,6 +728,7 @@ fn run_stream_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
 /// Publish staged deltas as the next snapshot(s) and re-test the
 /// affected pairs: those whose events changed, plus those with an
 /// event occurrence within `2h` hops of an added edge endpoint.
+#[allow(clippy::too_many_arguments)] // mirrors the stream command's knobs
 fn stream_commit(
     ctx: &TescContext,
     pending_edges: &mut Vec<(NodeId, NodeId)>,
@@ -690,6 +737,7 @@ fn stream_commit(
     cfg: TescConfig,
     seed: u64,
     threads: usize,
+    kernel: BfsKernel,
 ) -> Result<(), String> {
     if pending_edges.is_empty() && pending_events.is_empty() {
         eprintln!("  (empty commit: nothing staged)");
@@ -782,6 +830,7 @@ fn stream_commit(
         cfg,
         seed,
         threads,
+        kernel,
     );
     Ok(())
 }
