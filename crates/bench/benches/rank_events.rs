@@ -1,0 +1,168 @@
+//! All-pairs event ranking shoot-out: the **fused pair-set planner**
+//! (`tesc::rank` over `tesc::planner`) vs the **per-pair engine path**
+//! (one `TescEngine::test` per pair, with and without the cross-pair
+//! density cache) on a shared-event workload — 8 planted DBLP-like
+//! keyword events, all 28 pairs, so every event appears in 7 pairs
+//! and the pairs' reference populations overlap heavily.
+//!
+//! Rows (same content-addressed seeds everywhere, so all paths compute
+//! the *same* statistics):
+//!
+//! * `allpairs/perpair` — per-pair path, no cache: one density BFS per
+//!   (pair, reference node).
+//! * `allpairs/perpair+cache` — per-pair path behind a fresh
+//!   `DensityCache`: a BFS is skipped only when *both* of a pair's
+//!   slots are already memoized.
+//! * `allpairs/fused` — `tesc::rank::rank_pairs`: ONE BFS per distinct
+//!   reference node of the whole set, scored against every event
+//!   touching it in a single word sweep.
+//! * `allpairs/fused+top5` — same, with the top-K significance-budget
+//!   early exit keeping the best 5.
+//!
+//! **Per-row identity verification** (like `density_kernel`): before
+//! timing, every ranked pair's z-score is asserted bit-identical to an
+//! independent `TescEngine::test` seeded with the pair's content seed —
+//! a divergence aborts the bench, so the CI smoke run doubles as a
+//! correctness gate. The bench also reports TESC-vs-proximity-baseline
+//! ranking agreement (recall@k via `tesc_bench::recall`) and the fused
+//! pass's work-sharing factor.
+//!
+//! Run: `cargo bench --bench rank_events`. Set `TESC_BENCH_JSON=<path>`
+//! to append machine-readable records (the committed
+//! `BENCH_rank_events.json` is this bench's output on the reference
+//! container).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::batch::EventPair;
+use tesc::rank::{content_seed, rank_pairs, RankRequest};
+use tesc::{DensityCache, Tail, TescConfig, TescEngine};
+use tesc_bench::recall::{proximity_order, recall_at_k};
+use tesc_bench::timing::Harness;
+use tesc_bench::{dblp_scenario, Scale};
+use tesc_graph::NodeId;
+
+fn main() {
+    let harness = Harness::new().with_samples(10);
+    let dblp = dblp_scenario(Scale::Small, 42);
+    let g = &dblp.graph;
+
+    // 8 events from 4 planted keyword pairs; all 28 unordered pairs.
+    let mut events: Vec<(String, Vec<NodeId>)> = Vec::new();
+    for i in 0..4u64 {
+        let (va, vb) =
+            dblp.plant_positive_keyword_pair(12, 10, 0.25, &mut StdRng::seed_from_u64(100 + i));
+        events.push((format!("kw{i}a"), va));
+        events.push((format!("kw{i}b"), vb));
+    }
+    let mut pairs: Vec<EventPair> = Vec::new();
+    for i in 0..events.len() {
+        for j in i + 1..events.len() {
+            pairs.push(EventPair::new(
+                format!("{}×{}", events[i].0, events[j].0),
+                events[i].1.clone(),
+                events[j].1.clone(),
+            ));
+        }
+    }
+    let cfg = TescConfig::new(2)
+        .with_sample_size(300)
+        .with_tail(Tail::Upper);
+    let seed = 7u64;
+    let engine = TescEngine::new(g);
+    eprintln!(
+        "{} nodes, {} edges; {} events, {} candidate pairs, n = {}, h = {}",
+        g.num_nodes(),
+        g.num_edges(),
+        events.len(),
+        pairs.len(),
+        cfg.sample_size,
+        cfg.h
+    );
+
+    // Per-row identity gate: every fused score must reproduce the
+    // per-pair engine path bit for bit before anything is timed.
+    let req = RankRequest::new(cfg)
+        .with_seed(seed)
+        .with_threads(1)
+        .with_pairs(pairs.clone());
+    let report = rank_pairs(&engine, &req);
+    assert_eq!(report.ranked.len(), pairs.len(), "all pairs rankable");
+    for e in &report.ranked {
+        let p = &pairs[e.index];
+        let direct = engine
+            .test(
+                &p.a,
+                &p.b,
+                &cfg,
+                &mut StdRng::seed_from_u64(content_seed(seed, &p.a, &p.b)),
+            )
+            .expect("per-pair reference run");
+        assert_eq!(
+            direct.z().to_bits(),
+            e.result.z().to_bits(),
+            "{}: fused z diverged from the per-pair engine path",
+            e.label
+        );
+    }
+    eprintln!(
+        "identity: {} ranked pairs bit-identical to the per-pair engine path",
+        report.ranked.len()
+    );
+    eprintln!(
+        "fused plan: {} BFS for {} sampled refs over {} distinct nodes ({:.1}x shared)",
+        report.fused_bfs,
+        report.sampled_refs,
+        report.distinct_refs,
+        report.sampled_refs as f64 / report.distinct_refs.max(1) as f64
+    );
+
+    // TESC-vs-baseline ranking agreement (recall@k) on this scenario.
+    let raw: Vec<(Vec<u32>, Vec<u32>)> = pairs.iter().map(|p| (p.a.clone(), p.b.clone())).collect();
+    let prox = proximity_order(g, &raw, cfg.h);
+    let tesc_order: Vec<usize> = report.ranked.iter().map(|e| e.index).collect();
+    for k in [5usize, 10] {
+        println!(
+            "recall@{k} (TESC top-{k} vs proximity-baseline top-{k}): {:.2}",
+            recall_at_k(&tesc_order, &prox, k)
+        );
+    }
+
+    // Timed rows. All paths run the same tests with the same seeds.
+    let run_per_pair = |engine: &TescEngine<'_>| {
+        let mut acc = 0.0f64;
+        for p in &pairs {
+            let r = engine
+                .test(
+                    &p.a,
+                    &p.b,
+                    &cfg,
+                    &mut StdRng::seed_from_u64(content_seed(seed, &p.a, &p.b)),
+                )
+                .expect("pair testable");
+            acc += r.z();
+        }
+        acc
+    };
+    let t_perpair = harness.bench("allpairs/perpair", || run_per_pair(&engine));
+    let t_cached = harness.bench("allpairs/perpair+cache", || {
+        let cached =
+            TescEngine::new(g).with_density_cache(std::sync::Arc::new(DensityCache::for_graph(g)));
+        run_per_pair(&cached)
+    });
+    let t_fused = harness.bench("allpairs/fused", || rank_pairs(&engine, &req));
+    let req_top5 = req.clone().with_top_k(5);
+    let t_top5 = harness.bench("allpairs/fused+top5", || rank_pairs(&engine, &req_top5));
+
+    if t_fused.is_finite() && t_cached.is_finite() {
+        println!(
+            "\nrow                    speedup vs perpair+cache   (identical statistics)\n\
+             fused                  {:<10.2}\n\
+             fused+top5             {:<10.2}\n\
+             perpair (uncached)     {:<10.2}",
+            t_cached / t_fused,
+            t_cached / t_top5,
+            t_cached / t_perpair,
+        );
+    }
+}

@@ -9,12 +9,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tesc::{SamplerKind, Tail, TescConfig, TescEngine};
+use tesc_baselines::proximity::ProximityMiner;
 use tesc_events::simulate::{
     apply_negative_noise, apply_positive_noise, negative_pair, positive_pair, EventPair,
 };
 use tesc_graph::bfs::BfsScratch;
 use tesc_graph::csr::CsrGraph;
 use tesc_graph::VicinityIndex;
+use tesc_stats::rank::rank_indices_desc;
 
 /// Outcome of a sweep cell: one (h, noise, sampler) combination.
 #[derive(Debug, Clone, Copy)]
@@ -113,6 +115,36 @@ pub fn run_cell(
         .collect()
 }
 
+/// Rank a candidate pair list by the **proximity-pattern baseline**
+/// (Khan et al., the paper's \[16\]; `tesc_baselines::proximity`):
+/// each pair's score is its neighborhood-transaction support — the
+/// fraction of nodes seeing both events within `h` hops — and the
+/// returned indices are best-first with the shared deterministic
+/// tie-break ([`rank_indices_desc`]). This is the reference ordering
+/// the ranking bench compares TESC's top-K against.
+pub fn proximity_order(g: &CsrGraph, pairs: &[(Vec<u32>, Vec<u32>)], h: u32) -> Vec<usize> {
+    let miner = ProximityMiner::new(h, 0.0);
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let supports: Vec<f64> = pairs
+        .iter()
+        .map(|(a, b)| miner.pair_support(g, &mut scratch, a, b))
+        .collect();
+    rank_indices_desc(&supports)
+}
+
+/// recall@k between two best-first index orderings: the fraction of
+/// `reference`'s top k that `candidate`'s top k recovers. `k` is
+/// clamped to the shorter ordering; empty orderings score 0.
+pub fn recall_at_k(reference: &[usize], candidate: &[usize], k: usize) -> f64 {
+    let k = k.min(reference.len()).min(candidate.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let top: Vec<usize> = reference[..k].to_vec();
+    let hits = candidate[..k].iter().filter(|i| top.contains(i)).count();
+    hits as f64 / k as f64
+}
+
 /// Plant one noised pair.
 fn plant(
     g: &CsrGraph,
@@ -165,6 +197,33 @@ mod tests {
         assert_eq!(cells.len(), 1);
         assert!(cells[0].recall >= 0.8, "recall = {}", cells[0].recall);
         assert!(cells[0].mean_z > 0.0);
+    }
+
+    #[test]
+    fn recall_at_k_counts_top_set_overlap() {
+        let a = [0usize, 1, 2, 3, 4];
+        let b = [1usize, 0, 4, 2, 3];
+        assert_eq!(recall_at_k(&a, &b, 2), 1.0, "same top-2 set, any order");
+        assert_eq!(recall_at_k(&a, &b, 3), 2.0 / 3.0, "{{0,1}} of {{0,1,2}}");
+        assert_eq!(recall_at_k(&a, &b, 5), 1.0);
+        assert_eq!(recall_at_k(&a, &b, 99), 1.0, "k clamps to length");
+        assert_eq!(recall_at_k(&[], &[], 3), 0.0);
+        assert_eq!(recall_at_k(&[0, 1], &[2, 3], 2), 0.0, "disjoint tops");
+    }
+
+    #[test]
+    fn proximity_order_ranks_co_located_pairs_first() {
+        // Grid with one tightly co-located pair, one mid, one disjoint:
+        // baseline support must order them co-located > mid > disjoint.
+        let g = tesc_graph::generators::grid(10, 10);
+        let pairs: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![0, 1], vec![90, 91]),              // far corners: no co-seeing nodes
+            ((0..30).collect(), (10..40).collect()), // overlapping stripes
+            (vec![44, 45], vec![54, 55]),            // adjacent block
+        ];
+        let order = proximity_order(&g, &pairs, 1);
+        assert_eq!(order[0], 1, "widest co-location first");
+        assert_eq!(order[2], 0, "disjoint pair last");
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! [`VicinityIndex`](tesc_graph::VicinityIndex), and each one spends
 //! its time in `n` BFS searches — an embarrassingly parallel shape.
 //!
-//! [`run_batch`] fans a [`BatchRequest`] out over scoped worker
-//! threads pulling test indices from an atomic queue. Three invariants
-//! make the result independent of thread count and schedule:
+//! [`run_batch`] executes a [`BatchRequest`] through the pair-set
+//! query planner ([`crate::planner`]): pairs are sampled in parallel
+//! with indexed output slots, the density work is **fused** into one
+//! BFS per distinct reference node of the whole set, and the counts
+//! are scattered back into per-pair statistics. (The pre-planner
+//! per-pair executor survives as [`run_batch_per_pair`].) Three
+//! invariants make every executor's result independent of thread
+//! count and schedule:
 //!
 //! 1. **Shared state is read-only.** Graph and vicinity index are
 //!    `Sync` and never written; the only mutable shared state is the
@@ -19,8 +24,9 @@
 //!    `StdRng::seed_from_u64(pair_seed(seed, i))` — derived from the
 //!    master seed and the test's index only, never from execution
 //!    order. See [`pair_seed`].
-//! 3. **Indexed output slots.** Each worker writes outcome `i` into
-//!    slot `i`; no reordering can occur.
+//! 3. **Indexed output slots.** Sampling, fused densities and
+//!    outcomes are all written to per-index slots; no reordering can
+//!    occur.
 //!
 //! Consequently `run_batch` is **bit-identical** to [`run_batch_serial`]
 //! (and to calling [`TescEngine::test`] yourself with the same derived
@@ -254,9 +260,15 @@ pub fn run_batch_serial(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchRep
     }
 }
 
-/// Run `req` with scoped worker threads pulling test indices from an
-/// atomic work queue (dynamic load balancing: event pairs with bigger
-/// vicinities cost more, so static chunking would straggle).
+/// Run `req` through the pair-set query planner
+/// ([`crate::planner::PairSetPlan`]): sample every pair in parallel,
+/// then execute ONE fused density pass over the *deduplicated*
+/// reference workset (one BFS per distinct reference node, scored
+/// against every event touching it) and scatter the counts back into
+/// per-pair results. Pair lists sharing events — the common batch
+/// shape — thus share their density BFS work up front, instead of
+/// re-walking vicinities once per pair and hoping the cache catches
+/// the repeats.
 ///
 /// Results are bit-identical to [`run_batch_serial`] for every thread
 /// count; see the module docs for why. *Small* requests — a graph
@@ -268,6 +280,36 @@ pub fn run_batch_serial(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchRep
 /// node threshold is shared with `VicinityIndex::build_parallel` so
 /// the two fan-out decisions cannot drift apart.
 pub fn run_batch(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
+    let threads = req.effective_threads();
+    let tiny =
+        engine.graph().num_nodes() < PARALLEL_MIN_NODES && req.pairs.len() < PARALLEL_MIN_PAIRS;
+    if threads <= 1 || tiny {
+        return run_batch_serial(engine, req);
+    }
+    let start = Instant::now();
+    let seeds: Vec<u64> = (0..req.pairs.len())
+        .map(|i| pair_seed(req.seed, i))
+        .collect();
+    let plan = crate::planner::PairSetPlan::build(engine, &req.pairs, &req.cfg, &seeds, threads);
+    let fused = plan.run_density(threads);
+    BatchReport {
+        outcomes: plan.finish(&fused),
+        threads,
+        wall: start.elapsed(),
+    }
+}
+
+/// The pre-planner parallel executor: scoped worker threads pulling
+/// test indices from an atomic work queue, each running the full
+/// per-pair engine path ([`TescEngine::test`]) independently (dynamic
+/// load balancing: event pairs with bigger vicinities cost more, so
+/// static chunking would straggle).
+///
+/// Bit-identical to [`run_batch`] and [`run_batch_serial`]; kept as
+/// the reference executor the planner is benchmarked against (the
+/// `rank_events` bench's `perpair` rows) and for workloads whose pairs
+/// share no events, where fusing has nothing to share.
+pub fn run_batch_per_pair(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
     let threads = req.effective_threads();
     let tiny =
         engine.graph().num_nodes() < PARALLEL_MIN_NODES && req.pairs.len() < PARALLEL_MIN_PAIRS;
@@ -350,10 +392,20 @@ mod tests {
             .with_pairs(pairs_on(12, 2, 2000));
         let serial = run_batch_serial(&engine, &req);
         for threads in [2, 4, 8] {
-            let par = run_batch(&engine, &req.clone().with_threads(threads));
-            assert_eq!(par.threads, threads.min(12));
-            for (s, p) in serial.outcomes.iter().zip(&par.outcomes) {
-                assert_eq!(s, p, "thread count {threads} changed an outcome");
+            // Both executors — the fused planner path and the legacy
+            // per-pair queue — must reproduce the serial bits.
+            for (name, executor) in [
+                (
+                    "planner",
+                    run_batch as fn(&TescEngine<'_>, &BatchRequest) -> BatchReport,
+                ),
+                ("per-pair", run_batch_per_pair),
+            ] {
+                let par = executor(&engine, &req.clone().with_threads(threads));
+                assert_eq!(par.threads, threads.min(12));
+                for (s, p) in serial.outcomes.iter().zip(&par.outcomes) {
+                    assert_eq!(s, p, "{name} at {threads} threads changed an outcome");
+                }
             }
         }
     }

@@ -181,6 +181,41 @@ impl DensityCache {
         got
     }
 
+    /// Multi-event probe — the fused-pass counterpart of
+    /// [`DensityCache::lookup`]: resolve `(event, r, h)` for *every*
+    /// key of `events` under **one** shard-lock acquisition (all slots
+    /// of one reference node live in the same shard, so the fused
+    /// density executor pays one lock per node instead of one per
+    /// event). `out` is cleared and receives one slot per key in
+    /// order; the return value says whether every slot hit (= the BFS
+    /// for `r` can be skipped entirely). Hit/miss counters advance per
+    /// key, exactly like repeated `lookup` calls.
+    pub fn lookup_many<'k>(
+        &self,
+        events: impl IntoIterator<Item = &'k EventKey>,
+        r: NodeId,
+        h: u32,
+        out: &mut Vec<Option<CachedCount>>,
+    ) -> bool {
+        out.clear();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        {
+            let shard = self.shard(r).lock().expect("density cache poisoned");
+            for key in events {
+                let got = shard.get(&(key.clone(), r, h)).copied();
+                match got {
+                    Some(_) => hits += 1,
+                    None => misses += 1,
+                }
+                out.push(got);
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        misses == 0
+    }
+
     /// Insert a freshly measured count. Counts the insertion against
     /// the event's fresh-compute tally only if the slot was empty
     /// (under races two workers may measure the same slot; the value
@@ -289,6 +324,41 @@ mod tests {
         // Re-inserting the same slot does not double-count freshness.
         cache.insert(&e, 1, 1, v);
         assert_eq!(cache.fresh_computes(&e), 1);
+    }
+
+    #[test]
+    fn lookup_many_resolves_all_slots_in_order() {
+        let cache = DensityCache::for_graph(&g());
+        let (e1, e2, e3) = (
+            EventKey::new(&[0]),
+            EventKey::new(&[1, 2]),
+            EventKey::new(&[3]),
+        );
+        let v1 = CachedCount {
+            vicinity_size: 3,
+            count: 1,
+        };
+        let v3 = CachedCount {
+            vicinity_size: 3,
+            count: 2,
+        };
+        cache.insert(&e1, 2, 1, v1);
+        cache.insert(&e3, 2, 1, v3);
+        let mut out = Vec::new();
+        // Partial hit: slot order preserved, missing slot is None.
+        let all = cache.lookup_many([&e1, &e2, &e3], 2, 1, &mut out);
+        assert!(!all);
+        assert_eq!(out, vec![Some(v1), None, Some(v3)]);
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        // Full hit after the gap is filled.
+        cache.insert(&e2, 2, 1, v1);
+        let all = cache.lookup_many([&e1, &e2, &e3], 2, 1, &mut out);
+        assert!(all, "every slot memoized ⇒ BFS skippable");
+        assert_eq!(out.len(), 3);
+        assert_eq!((cache.hits(), cache.misses()), (5, 1));
+        // Different node: clean misses, `out` re-cleared.
+        assert!(!cache.lookup_many([&e1], 0, 1, &mut out));
+        assert_eq!(out, vec![None]);
     }
 
     #[test]

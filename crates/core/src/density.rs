@@ -174,6 +174,72 @@ impl<'a> KernelPlan<'a> {
     }
 }
 
+/// The fused multi-event generalization of [`KernelPlan`]: one density
+/// execution plan over **M** event masks instead of two, so a single
+/// `h`-hop BFS per reference node can be scored against every event
+/// that touches that node (the pair-set planner's stage-(b) kernel —
+/// see `tesc::planner`).
+///
+/// Composition mirrors [`KernelPlan`] exactly: the substrate may be
+/// the original graph or its locality-relabeled twin (masks then live
+/// in substrate id space, reference nodes are translated at the
+/// boundary), and the kernel may be scalar (per-node membership
+/// probes) or bitset (one hybrid bitmap BFS + one word-major
+/// multi-mask sweep via [`tesc_graph::multi_mask_counts`]). Every
+/// configuration produces the identical integers as M separate
+/// [`density_counts`] calls — permutations preserve cardinalities,
+/// kernels visit identical sets — so fused densities are bit-identical
+/// to the per-pair engine path.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiKernelPlan<'a> {
+    /// The BFS substrate (the original graph, or its relabeled twin).
+    pub graph: &'a CsrGraph,
+    /// Every registered event mask, in substrate id space; a
+    /// per-reference-node *slot list* selects which of these one BFS
+    /// scores.
+    pub masks: &'a [NodeMask],
+    /// Original→substrate permutation; `None` when the substrate *is*
+    /// the original graph.
+    pub translate: Option<&'a Relabeling>,
+    /// Engage the bitset kernel + word-level multi-mask sweep.
+    pub use_bitset: bool,
+    /// Vicinity level `h`.
+    pub h: u32,
+}
+
+impl MultiKernelPlan<'_> {
+    /// Count `|V_e ∩ V^h_r|` for every event slot in `slots` with one
+    /// BFS from the original-space reference node `r`. `counts` is
+    /// cleared and receives one count per slot, in slot order; the
+    /// return value is `|V^h_r|`.
+    pub fn counts_for(
+        &self,
+        scratch: &mut BfsScratch,
+        r: NodeId,
+        slots: &[u32],
+        counts: &mut Vec<u32>,
+    ) -> usize {
+        counts.clear();
+        counts.resize(slots.len(), 0);
+        let rr = self.translate.map_or(r, |m| m.to_new(r));
+        if self.use_bitset {
+            let size = scratch.visit_h_vicinity_bitset(self.graph, &[rr], self.h);
+            let mask_words: Vec<&[u64]> = slots
+                .iter()
+                .map(|&s| self.masks[s as usize].words())
+                .collect();
+            scratch.visited_multi_mask_counts(&mask_words, counts);
+            size
+        } else {
+            scratch.visit_h_vicinity(self.graph, &[rr], self.h, |v, _| {
+                for (i, &s) in slots.iter().enumerate() {
+                    counts[i] += self.masks[s as usize].contains(v) as u32;
+                }
+            })
+        }
+    }
+}
+
 /// Rebuild an event mask in a relabeled substrate's id space: every
 /// member is permuted through `map`, cardinality (and therefore every
 /// intersection count) is preserved.
@@ -678,6 +744,81 @@ mod tests {
         let warm = density_vectors_cached_plan(&scalar_plan, &pool, &refs, &ka, &kb, 1, &cache);
         assert_eq!(serial, warm);
         assert_eq!(cache.bfs_invocations(), 10, "warm pass ran no BFS");
+    }
+
+    #[test]
+    fn multi_kernel_plan_matches_pairwise_counts_across_configs() {
+        use tesc_graph::relabel::RelabeledGraph;
+        let g = from_edges(
+            140,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 64),
+                (64, 65),
+                (65, 129),
+                (129, 139),
+                (0, 70),
+                (70, 100),
+            ],
+        );
+        let event_sets: Vec<Vec<NodeId>> = vec![
+            vec![0, 64, 129, 139],
+            vec![2, 65, 70],
+            vec![1, 3, 100],
+            vec![],
+        ];
+        let masks: Vec<NodeMask> = event_sets
+            .iter()
+            .map(|e| NodeMask::from_nodes(140, e))
+            .collect();
+        let rel = RelabeledGraph::build(&g);
+        let translated: Vec<NodeMask> =
+            masks.iter().map(|m| translate_mask(rel.map(), m)).collect();
+        let scalar = MultiKernelPlan {
+            graph: &g,
+            masks: &masks,
+            translate: None,
+            use_bitset: false,
+            h: 2,
+        };
+        let bitset = MultiKernelPlan {
+            use_bitset: true,
+            ..scalar
+        };
+        let relabeled = MultiKernelPlan {
+            graph: rel.graph(),
+            masks: &translated,
+            translate: Some(rel.map()),
+            use_bitset: true,
+            h: 2,
+        };
+        let mut s = BfsScratch::new(140);
+        let mut counts = Vec::new();
+        for r in [0u32, 3, 65, 100, 139] {
+            for slots in [&[0u32, 1, 2, 3][..], &[2, 0], &[3]] {
+                // Reference: one pairwise BFS per slot pair.
+                let expect: Vec<u32> = slots
+                    .iter()
+                    .map(|&sl| {
+                        density_counts(&g, &mut s, r, 2, &masks[sl as usize], &masks[0]).count_a
+                            as u32
+                    })
+                    .collect();
+                let mut sizes = Vec::new();
+                for (label, plan) in [
+                    ("scalar", &scalar),
+                    ("bitset", &bitset),
+                    ("bitset+relabel", &relabeled),
+                ] {
+                    let size = plan.counts_for(&mut s, r, slots, &mut counts);
+                    assert_eq!(counts, expect, "r={r} slots={slots:?} {label}");
+                    sizes.push(size);
+                }
+                assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes agree");
+            }
+        }
     }
 
     #[test]

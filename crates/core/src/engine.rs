@@ -499,8 +499,10 @@ impl<'a> TescEngine<'a> {
     }
 
     /// Draw a uniform reference-node sample with the configured
-    /// (non-importance) strategy.
-    fn draw_uniform_sample(
+    /// (non-importance) strategy. Shared with the pair-set planner
+    /// (`crate::planner`), which must replicate the engine's sampling
+    /// bit-for-bit.
+    pub(crate) fn draw_uniform_sample(
         &self,
         scratch: &mut BfsScratch,
         union: &[NodeId],
@@ -549,7 +551,8 @@ impl<'a> TescEngine<'a> {
     }
 
     /// Turn paired density vectors + a uniform sample into a result.
-    fn finish_uniform(
+    /// Shared with the planner's scatter/correlate stage.
+    pub(crate) fn finish_uniform(
         sa: &[f64],
         sb: &[f64],
         sample: &UniformSample,
@@ -706,8 +709,9 @@ impl<'a> TescEngine<'a> {
         })
     }
 
-    /// Assemble the importance-sampled (weighted `t̃`) result.
-    fn finish_weighted(
+    /// Assemble the importance-sampled (weighted `t̃`) result. Shared
+    /// with the planner's scatter/correlate stage.
+    pub(crate) fn finish_weighted(
         sa: &[f64],
         sb: &[f64],
         omega: &[f64],
@@ -837,7 +841,7 @@ impl<'a> TescEngine<'a> {
         Ok(kendall_tau(&sa, &sb, KendallMethod::MergeSort))
     }
 
-    fn require_vicinity(&self, h: u32) -> Result<&VicinityIndex, TescError> {
+    pub(crate) fn require_vicinity(&self, h: u32) -> Result<&VicinityIndex, TescError> {
         match self.vicinity.as_ref().map(VicinityRef::get) {
             Some(v) if v.max_level() >= h => Ok(v),
             _ => Err(TescError::MissingVicinityIndex { needed_h: h }),
@@ -845,7 +849,7 @@ impl<'a> TescEngine<'a> {
     }
 }
 
-fn normalize(nodes: &[NodeId]) -> Vec<NodeId> {
+pub(crate) fn normalize(nodes: &[NodeId]) -> Vec<NodeId> {
     let mut v = nodes.to_vec();
     v.sort_unstable();
     v.dedup();

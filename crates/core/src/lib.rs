@@ -48,6 +48,13 @@
 //! * [`batch`] — the parallel batch engine: run many tests against one
 //!   shared graph/vicinity index with deterministic per-test RNG
 //!   streams (bit-identical to serial execution).
+//! * [`planner`] — the pair-set query planner: stage many tests as
+//!   plan → sample → **fused multi-event density** → scatter →
+//!   correlate, so a pair set sharing events runs ONE density BFS per
+//!   distinct reference node instead of one per (pair, node).
+//! * [`rank`] — top-K event-pair ranking over the planner:
+//!   content-seeded (permutation-invariant) scoring with a sound
+//!   significance-budget early exit for `--top-k` runs.
 //! * [`cache`] — the cross-pair density cache: memoized
 //!   `(event, node, h)` vicinity counts so batches over pair lists
 //!   sharing an event do the shared BFS work once.
@@ -65,12 +72,16 @@ pub mod context;
 pub mod density;
 pub mod engine;
 pub mod intensity;
+pub mod planner;
+pub mod rank;
 pub mod sampler;
 
 pub use batch::{BatchReport, BatchRequest, EventPair};
 pub use cache::{DensityCache, EventKey};
 pub use context::{IngestError, Snapshot, TescContext};
 pub use engine::{Statistic, TescConfig, TescEngine, TescError, TescResult};
+pub use planner::{FusedDensities, PairSetPlan};
+pub use rank::{content_seed, direction_score, rank_pairs, RankEntry, RankReport, RankRequest};
 pub use sampler::SamplerKind;
 
 // Re-export the pieces of the public API that come from substrates so

@@ -1,0 +1,779 @@
+//! The pair-set query planner — staged execution for many TESC tests
+//! over one graph, with a **fused multi-event density pass**.
+//!
+//! [`crate::batch`] made many tests *parallel*; this module makes them
+//! *shared*. A realistic request ("rank every keyword pair of this
+//! scenario") names far fewer distinct events than pairs, and the
+//! per-pair engine path re-walks the same reference vicinities once
+//! per pair — the cross-pair [`DensityCache`] recovers some of that
+//! after the fact, but a cache can only skip a BFS when *every* slot
+//! of a pair already hit. A planner can do better by looking at the
+//! whole pair set before executing anything, the way a database
+//! planner shares scans across queries:
+//!
+//! ```text
+//!  pairs ──► plan ──► sample ──► fused density ──► scatter ──► correlate
+//!            (a)        (a)          (b)             (c)          (c)
+//! ```
+//!
+//! * **plan + sample (stage a).** Normalize every pair's occurrence
+//!   sets, draw each pair's reference sample with its own seeded RNG
+//!   stream (bit-identical to [`TescEngine::test`] — the planner calls
+//!   the *same* sampler code with the *same* stream), deduplicate the
+//!   distinct events into a content-addressed registry
+//!   ([`EventKey`]-keyed, so two pairs naming the same node set share
+//!   one slot), and derive the deduplicated reference-node **workset**:
+//!   each distinct node, tagged with the event slots that touch it.
+//! * **fused density (stage b).** ONE `h`-hop BFS per distinct
+//!   reference node, scored against *all* its events in a single
+//!   word sweep over the visited bitmap
+//!   ([`crate::density::MultiKernelPlan`], the M-event generalization
+//!   of `density_counts_bitset`). Kernel × relabeling × cache all
+//!   compose exactly as in the per-pair path: the BFS runs on the
+//!   engine's substrate with the engine's kernel, and an attached
+//!   [`DensityCache`] is consulted first via its multi-event probe
+//!   ([`DensityCache::lookup_many`]) — a node whose every slot is
+//!   memoized skips its BFS entirely.
+//! * **scatter + correlate (stage c).** The per-(event, node) counts
+//!   are scattered back into each pair's density vectors (in that
+//!   pair's own sample order) and the existing correlate/significance
+//!   stages run unchanged ([`TescEngine`]'s `finish_uniform` /
+//!   `finish_weighted` — literally the same functions).
+//!
+//! **Bit-identity.** Every number the planner produces is bit-identical
+//! to independent [`TescEngine::test`] calls with the same per-pair
+//! seeds: sampling shares the engine's code and RNG streams, fused
+//! counts are the same integers a per-pair BFS measures (set
+//! cardinalities are kernel- and permutation-independent), and
+//! densities/statistics are derived with the identical arithmetic.
+//! Asserted in `tests/ranking.rs` for all five samplers, at 1 and 4
+//! threads, across kernel/relabel/cache configurations.
+//!
+//! **Why it is faster.** With `P` pairs sharing events, the per-pair
+//! path (even fully cached) runs one BFS per *(pair, reference node)*
+//! whose slots are not both memoized; the planner runs one BFS per
+//! *distinct* reference node of the whole set. The
+//! `fused/allpairs` rows of the `rank_events` bench measure the ratio
+//! (`Σ_i n_i` sampled vs [`PairSetPlan::distinct_refs`] distinct).
+//!
+//! The planner backs [`crate::batch::run_batch`]'s parallel path and
+//! the [`crate::rank`] top-K subsystem.
+
+use crate::batch::{EventPair, PairOutcome};
+use crate::cache::{CachedCount, DensityCache, EventKey};
+use crate::density::{map_refs_pooled, translate_mask, MultiKernelPlan};
+use crate::engine::{normalize, Statistic, TescConfig, TescEngine, TescError, TescResult};
+use crate::sampler::{importance_sample, SamplerKind, UniformSample, WeightedSample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use tesc_events::{store::merge_union, NodeMask};
+use tesc_graph::NodeId;
+
+/// Sampling outcome of one pair, before event registration.
+struct Sampled {
+    a: Vec<NodeId>,
+    b: Vec<NodeId>,
+    union: Vec<NodeId>,
+    kind: Result<SampledKind, TescError>,
+}
+
+enum SampledKind {
+    Uniform(UniformSample),
+    Weighted(WeightedSample),
+}
+
+/// One pair after the plan/sample stages: its reference sample plus
+/// the registry slots of the events its densities need.
+#[derive(Debug, Clone)]
+enum PlannedState {
+    /// Uniform-sampler pair: densities of `a` and `b` only.
+    Uniform {
+        sample: UniformSample,
+        slot_a: u32,
+        slot_b: u32,
+    },
+    /// Importance-sampler pair: additionally needs
+    /// `|V_{a∪b} ∩ V^h_r|` for the ω weights, carried as a third
+    /// content-addressed "event" (the union set) so it fuses like any
+    /// other slot.
+    Weighted {
+        sample: WeightedSample,
+        slot_a: u32,
+        slot_b: u32,
+        slot_union: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PlannedPair {
+    label: String,
+    state: Result<PlannedState, TescError>,
+}
+
+/// Per-distinct-node result of the fused density pass.
+#[derive(Debug, Clone)]
+struct NodeDensity {
+    size: u32,
+    counts: Vec<u32>,
+    did_bfs: bool,
+}
+
+/// The materialized output of [`PairSetPlan::run_density`]: per
+/// distinct reference node, `|V^h_r|` and one intersection count per
+/// event slot touching that node (aligned with the plan's slot lists).
+#[derive(Debug, Clone)]
+pub struct FusedDensities {
+    sizes: Vec<u32>,
+    counts: Vec<Vec<u32>>,
+    bfs_run: u64,
+}
+
+impl FusedDensities {
+    /// How many density BFS searches the fused pass actually executed
+    /// (nodes whose every slot hit an attached cache are skipped).
+    #[inline]
+    pub fn bfs_run(&self) -> u64 {
+        self.bfs_run
+    }
+}
+
+/// A planned pair set: stage (a) complete, ready for the fused density
+/// pass and per-pair finish. See the module docs for the stage
+/// diagram and the bit-identity contract.
+pub struct PairSetPlan<'e, 'g> {
+    engine: &'e TescEngine<'g>,
+    cfg: TescConfig,
+    pairs: Vec<PlannedPair>,
+    /// Content-addressed registry of distinct events (+ importance
+    /// unions); `keys[s]` and `masks[s]` describe slot `s`.
+    keys: Vec<EventKey>,
+    masks: Vec<NodeMask>,
+    /// Registry masks translated into the relabeled substrate's id
+    /// space, present iff the engine carries a relabeled substrate —
+    /// translated once per distinct event, not once per pair.
+    substrate_masks: Option<Vec<NodeMask>>,
+    /// Distinct reference-node workset, ascending.
+    nodes: Vec<NodeId>,
+    /// `slot_lists[i]` = sorted distinct event slots node `nodes[i]`
+    /// must be scored against.
+    slot_lists: Vec<Vec<u32>>,
+    sampled_refs: usize,
+}
+
+impl<'e, 'g> PairSetPlan<'e, 'g> {
+    /// Stage (a): sample every pair (pair `i` draws from
+    /// `StdRng::seed_from_u64(seeds[i])`, exactly like
+    /// [`TescEngine::test`] would with that RNG), register the
+    /// distinct events, and derive the deduplicated reference
+    /// workset. Sampling fans out over `threads` scoped workers with
+    /// indexed output slots, so the plan is independent of thread
+    /// count and schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `seeds.len() == pairs.len()`.
+    pub fn build(
+        engine: &'e TescEngine<'g>,
+        pairs: &[EventPair],
+        cfg: &TescConfig,
+        seeds: &[u64],
+        threads: usize,
+    ) -> Self {
+        assert_eq!(pairs.len(), seeds.len(), "one seed per pair");
+        let sampled = sample_stage(engine, cfg, pairs, seeds, threads);
+
+        // Content-addressed event registration (serial: deterministic
+        // slot numbering in first-appearance order).
+        let num_nodes = engine.graph().num_nodes();
+        let mut keys: Vec<EventKey> = Vec::new();
+        let mut masks: Vec<NodeMask> = Vec::new();
+        let mut slot_of: HashMap<EventKey, u32> = HashMap::new();
+        let mut register = |nodes: Vec<NodeId>| -> u32 {
+            let key = EventKey::from_normalized(nodes);
+            *slot_of.entry(key.clone()).or_insert_with(|| {
+                let slot = keys.len() as u32;
+                masks.push(NodeMask::from_nodes(num_nodes, key.nodes()));
+                keys.push(key);
+                slot
+            })
+        };
+        let mut planned = Vec::with_capacity(pairs.len());
+        for (pair, s) in pairs.iter().zip(sampled) {
+            let state = match s.kind {
+                Err(e) => Err(e),
+                Ok(SampledKind::Uniform(sample)) => Ok(PlannedState::Uniform {
+                    sample,
+                    slot_a: register(s.a),
+                    slot_b: register(s.b),
+                }),
+                Ok(SampledKind::Weighted(sample)) => Ok(PlannedState::Weighted {
+                    sample,
+                    slot_a: register(s.a),
+                    slot_b: register(s.b),
+                    slot_union: register(s.union),
+                }),
+            };
+            planned.push(PlannedPair {
+                label: pair.label.clone(),
+                state,
+            });
+        }
+
+        // Deduplicated reference workset: distinct node → slots.
+        let mut node_slots: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        let mut sampled_refs = 0usize;
+        for p in &planned {
+            let (nodes, slots): (&[NodeId], Vec<u32>) = match &p.state {
+                Err(_) => continue,
+                Ok(PlannedState::Uniform {
+                    sample,
+                    slot_a,
+                    slot_b,
+                }) => (&sample.nodes, vec![*slot_a, *slot_b]),
+                Ok(PlannedState::Weighted {
+                    sample,
+                    slot_a,
+                    slot_b,
+                    slot_union,
+                }) => (&sample.nodes, vec![*slot_a, *slot_b, *slot_union]),
+            };
+            sampled_refs += nodes.len();
+            for &r in nodes {
+                node_slots.entry(r).or_default().extend_from_slice(&slots);
+            }
+        }
+        let mut nodes: Vec<NodeId> = node_slots.keys().copied().collect();
+        nodes.sort_unstable();
+        let slot_lists: Vec<Vec<u32>> = nodes
+            .iter()
+            .map(|r| {
+                let mut v = node_slots.remove(r).expect("workset node");
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+
+        let substrate_masks = engine
+            .relabeled()
+            .map(|rel| masks.iter().map(|m| translate_mask(rel.map(), m)).collect());
+
+        PairSetPlan {
+            engine,
+            cfg: *cfg,
+            pairs: planned,
+            keys,
+            masks,
+            substrate_masks,
+            nodes,
+            slot_lists,
+            sampled_refs,
+        }
+    }
+
+    /// Number of pairs in the plan (request order is preserved
+    /// throughout).
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of distinct events (+ importance union sets) registered
+    /// across the pair set.
+    #[inline]
+    pub fn num_events(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Size of the deduplicated reference workset — the number of
+    /// density BFS searches stage (b) runs at most (an attached cache
+    /// can skip some).
+    #[inline]
+    pub fn distinct_refs(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total sampled reference nodes across all pairs (`Σ_i n_i`) —
+    /// what the per-pair path would BFS. `sampled_refs() /
+    /// distinct_refs()` is the fused pass's work-sharing factor.
+    #[inline]
+    pub fn sampled_refs(&self) -> usize {
+        self.sampled_refs
+    }
+
+    /// Resolve the fused density execution plan on the engine's
+    /// substrate/kernel, mirroring the per-pair `density_plan`.
+    fn multi_plan(&self) -> MultiKernelPlan<'_> {
+        let h = self.cfg.h;
+        match (self.engine.relabeled(), &self.substrate_masks) {
+            (Some(rel), Some(tm)) => MultiKernelPlan {
+                graph: rel.graph(),
+                masks: tm,
+                translate: Some(rel.map()),
+                use_bitset: self.engine.density_kernel().use_bitset(rel.graph(), h),
+                h,
+            },
+            _ => MultiKernelPlan {
+                graph: self.engine.graph(),
+                masks: &self.masks,
+                translate: None,
+                use_bitset: self
+                    .engine
+                    .density_kernel()
+                    .use_bitset(self.engine.graph(), h),
+                h,
+            },
+        }
+    }
+
+    /// Stage (b): the fused density pass. One BFS per distinct
+    /// reference node (fanned out over `threads` pooled workers),
+    /// scored against all of that node's event slots in a single
+    /// visited-bitmap sweep. With an attached [`DensityCache`], every
+    /// slot is probed first ([`DensityCache::lookup_many`]) and the
+    /// BFS is skipped when all hit; fresh counts fill the missing
+    /// slots. Output is positionally deterministic at any thread
+    /// count.
+    pub fn run_density(&self, threads: usize) -> FusedDensities {
+        let mplan = self.multi_plan();
+        let cache: Option<&DensityCache> = self.engine.density_cache().map(|c| c.as_ref());
+        let h = self.cfg.h;
+        let default = NodeDensity {
+            size: 0,
+            counts: Vec::new(),
+            did_bfs: false,
+        };
+        let per_node = map_refs_pooled(
+            self.engine.pool(),
+            &self.nodes,
+            threads,
+            default,
+            |scratch, r| {
+                let i = self.nodes.binary_search(&r).expect("workset node");
+                let slots = &self.slot_lists[i];
+                let Some(cache) = cache else {
+                    let mut counts = Vec::new();
+                    let size = mplan.counts_for(scratch, r, slots, &mut counts) as u32;
+                    return NodeDensity {
+                        size,
+                        counts,
+                        did_bfs: true,
+                    };
+                };
+                let mut hits: Vec<Option<CachedCount>> = Vec::with_capacity(slots.len());
+                let all = cache.lookup_many(
+                    slots.iter().map(|&s| &self.keys[s as usize]),
+                    r,
+                    h,
+                    &mut hits,
+                );
+                if all {
+                    let size = hits[0].expect("all slots hit").vicinity_size;
+                    debug_assert!(
+                        hits.iter().all(|c| c.expect("hit").vicinity_size == size),
+                        "inconsistent cache"
+                    );
+                    return NodeDensity {
+                        size,
+                        counts: hits.iter().map(|c| c.expect("hit").count).collect(),
+                        did_bfs: false,
+                    };
+                }
+                let mut fresh = Vec::new();
+                let size = mplan.counts_for(scratch, r, slots, &mut fresh) as u32;
+                cache.record_bfs();
+                // Prefer the memoized integer where a slot hit (same
+                // value, same policy as the per-pair cached path);
+                // insert the fresh ones.
+                let counts: Vec<u32> = slots
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &s)| match hits[j] {
+                        Some(c) => {
+                            debug_assert_eq!(c.vicinity_size, size, "inconsistent cache");
+                            c.count
+                        }
+                        None => {
+                            cache.insert(
+                                &self.keys[s as usize],
+                                r,
+                                h,
+                                CachedCount {
+                                    vicinity_size: size,
+                                    count: fresh[j],
+                                },
+                            );
+                            fresh[j]
+                        }
+                    })
+                    .collect();
+                NodeDensity {
+                    size,
+                    counts,
+                    did_bfs: true,
+                }
+            },
+        );
+        let bfs_run = per_node.iter().filter(|d| d.did_bfs).count() as u64;
+        let (sizes, counts) = per_node.into_iter().map(|d| (d.size, d.counts)).unzip();
+        FusedDensities {
+            sizes,
+            counts,
+            bfs_run,
+        }
+    }
+
+    /// Stage (c) for the whole set: scatter + correlate every pair, in
+    /// request order. Per-pair failures (empty events, too few
+    /// reference nodes, …) are reported in place, exactly like
+    /// [`crate::batch::run_batch`].
+    pub fn finish(&self, fused: &FusedDensities) -> Vec<PairOutcome> {
+        (0..self.pairs.len())
+            .map(|i| self.finish_pair(i, fused))
+            .collect()
+    }
+
+    /// Stage (c) for one pair: scatter its density vectors out of the
+    /// fused counts and run the unchanged correlate/significance
+    /// stage.
+    pub fn finish_pair(&self, index: usize, fused: &FusedDensities) -> PairOutcome {
+        PairOutcome {
+            index,
+            label: self.pairs[index].label.clone(),
+            result: self.pair_result(index, fused),
+        }
+    }
+
+    fn pair_result(&self, index: usize, fused: &FusedDensities) -> Result<TescResult, TescError> {
+        let vectors = self.vectors(index, fused)?;
+        Ok(self.result_from_vectors(index, &vectors))
+    }
+
+    /// Correlate stage for one pair whose vectors were already
+    /// scattered (the rank subsystem computes its significance-budget
+    /// bound on the vectors first, then finishes only the survivors).
+    pub(crate) fn result_from_vectors(&self, index: usize, vectors: &PairVectors) -> TescResult {
+        match (vectors, &self.pairs[index].state) {
+            (PairVectors::Uniform { sa, sb }, Ok(PlannedState::Uniform { sample, .. })) => {
+                TescEngine::finish_uniform(sa, sb, sample, &self.cfg)
+            }
+            (
+                PairVectors::Weighted { sa, sb, omega },
+                Ok(PlannedState::Weighted { sample, .. }),
+            ) => TescEngine::finish_weighted(sa, sb, omega, sample, &self.cfg),
+            _ => unreachable!("vectors() and state agree by construction"),
+        }
+    }
+
+    /// Fused count for `(slot, r)`: `(|V^h_r|, |V_slot ∩ V^h_r|)`.
+    fn count_at(&self, fused: &FusedDensities, r: NodeId, slot: u32) -> (u32, u32) {
+        let i = self
+            .nodes
+            .binary_search(&r)
+            .expect("sampled node in workset");
+        let j = self.slot_lists[i]
+            .binary_search(&slot)
+            .expect("pair slot registered for node");
+        (fused.sizes[i], fused.counts[i][j])
+    }
+
+    /// Scatter one pair's density vectors (and ω weights for
+    /// importance pairs) out of the fused counts, in the pair's own
+    /// sample order — the input of the correlate stage and of the
+    /// top-K significance-budget bound in [`crate::rank`].
+    pub(crate) fn vectors(
+        &self,
+        index: usize,
+        fused: &FusedDensities,
+    ) -> Result<PairVectors, TescError> {
+        match &self.pairs[index].state {
+            Err(e) => Err(e.clone()),
+            Ok(PlannedState::Uniform {
+                sample,
+                slot_a,
+                slot_b,
+            }) => {
+                let n = sample.nodes.len();
+                let (mut sa, mut sb) = (Vec::with_capacity(n), Vec::with_capacity(n));
+                for &r in &sample.nodes {
+                    let (size, ca) = self.count_at(fused, r, *slot_a);
+                    let (_, cb) = self.count_at(fused, r, *slot_b);
+                    sa.push(ca as f64 / size as f64);
+                    sb.push(cb as f64 / size as f64);
+                }
+                Ok(PairVectors::Uniform { sa, sb })
+            }
+            Ok(PlannedState::Weighted {
+                sample,
+                slot_a,
+                slot_b,
+                slot_union,
+            }) => {
+                let n = sample.nodes.len();
+                let (mut sa, mut sb) = (Vec::with_capacity(n), Vec::with_capacity(n));
+                let mut omega = Vec::with_capacity(n);
+                for (i, &r) in sample.nodes.iter().enumerate() {
+                    let (size, ca) = self.count_at(fused, r, *slot_a);
+                    let (_, cb) = self.count_at(fused, r, *slot_b);
+                    let (_, cu) = self.count_at(fused, r, *slot_union);
+                    debug_assert!(cu > 0, "sampled node must see an event");
+                    sa.push(ca as f64 / size as f64);
+                    sb.push(cb as f64 / size as f64);
+                    omega.push(sample.multiplicities[i] as f64 / cu as f64);
+                }
+                Ok(PairVectors::Weighted { sa, sb, omega })
+            }
+        }
+    }
+}
+
+/// One pair's scattered density vectors.
+pub(crate) enum PairVectors {
+    Uniform {
+        sa: Vec<f64>,
+        sb: Vec<f64>,
+    },
+    Weighted {
+        sa: Vec<f64>,
+        sb: Vec<f64>,
+        omega: Vec<f64>,
+    },
+}
+
+/// Stage (a) fan-out: sample every pair into indexed slots.
+fn sample_stage(
+    engine: &TescEngine<'_>,
+    cfg: &TescConfig,
+    pairs: &[EventPair],
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<Sampled> {
+    let threads = threads.max(1).min(pairs.len().max(1));
+    let mut out: Vec<Option<Sampled>> = (0..pairs.len()).map(|_| None).collect();
+    if threads == 1 || pairs.len() < 2 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Some(sample_one(engine, cfg, &pairs[i], seeds[i]));
+        }
+    } else {
+        let chunk = pairs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for ((pair_c, seed_c), out_c) in pairs
+                .chunks(chunk)
+                .zip(seeds.chunks(chunk))
+                .zip(out.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for ((pair, &seed), slot) in pair_c.iter().zip(seed_c).zip(out_c.iter_mut()) {
+                        *slot = Some(sample_one(engine, cfg, pair, seed));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|s| s.expect("every pair sampled exactly once"))
+        .collect()
+}
+
+/// Sample one pair, replicating [`TescEngine::test`]'s normalization,
+/// validation and RNG consumption exactly (same sampler code, same
+/// stream ⇒ same sample, bit for bit).
+fn sample_one(engine: &TescEngine<'_>, cfg: &TescConfig, pair: &EventPair, seed: u64) -> Sampled {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = normalize(&pair.a);
+    let b = normalize(&pair.b);
+    let union = merge_union(&a, &b);
+    if union.is_empty() {
+        return Sampled {
+            a,
+            b,
+            union,
+            kind: Err(TescError::NoEventNodes),
+        };
+    }
+    let kind = match cfg.sampler {
+        SamplerKind::Importance { batch_size } => {
+            if cfg.statistic != Statistic::KendallTau {
+                Err(TescError::StatisticUnsupportedBySampler)
+            } else {
+                match engine.require_vicinity(cfg.h) {
+                    Err(e) => Err(e),
+                    Ok(vic) => {
+                        let max_draws = cfg.max_draw_factor.saturating_mul(cfg.sample_size).max(1);
+                        let mut scratch = engine.pool().acquire();
+                        let sample = importance_sample(
+                            engine.graph(),
+                            &mut scratch,
+                            &union,
+                            vic,
+                            cfg.h,
+                            cfg.sample_size,
+                            batch_size,
+                            max_draws,
+                            &mut rng,
+                        );
+                        if sample.nodes.len() < 3 {
+                            Err(TescError::TooFewReferenceNodes {
+                                found: sample.nodes.len(),
+                            })
+                        } else {
+                            Ok(SampledKind::Weighted(sample))
+                        }
+                    }
+                }
+            }
+        }
+        _ => {
+            let mut scratch = engine.pool().acquire();
+            engine
+                .draw_uniform_sample(&mut scratch, &union, cfg, &mut rng)
+                .map(SampledKind::Uniform)
+        }
+    };
+    Sampled { a, b, union, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::pair_seed;
+    use rand::Rng;
+    use tesc_graph::bfs::BfsKernel;
+    use tesc_graph::generators::{barabasi_albert, grid};
+    use tesc_graph::VicinityIndex;
+
+    fn pairs_sharing_events(num_nodes: usize, seed: u64) -> Vec<EventPair> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shared: Vec<NodeId> = (0..40).collect();
+        let mut pairs = Vec::new();
+        for i in 0..5 {
+            let base = rng.gen_range(0..num_nodes as NodeId - 40);
+            let partner: Vec<NodeId> = (base..base + 40).collect();
+            pairs.push(EventPair::new(
+                format!("shared×{i}"),
+                shared.clone(),
+                partner,
+            ));
+        }
+        pairs.push(EventPair::new("empty", vec![], vec![])); // fails in place
+        pairs.push(EventPair::new("repeat", shared.clone(), pairs[0].b.clone()));
+        pairs
+    }
+
+    fn assert_plan_matches_engine(
+        engine: &TescEngine<'_>,
+        reference: &TescEngine<'_>,
+        pairs: &[EventPair],
+        cfg: &TescConfig,
+        threads: usize,
+        context: &str,
+    ) {
+        let seeds: Vec<u64> = (0..pairs.len()).map(|i| pair_seed(99, i)).collect();
+        let plan = PairSetPlan::build(engine, pairs, cfg, &seeds, threads);
+        let fused = plan.run_density(threads);
+        let outcomes = plan.finish(&fused);
+        assert_eq!(outcomes.len(), pairs.len());
+        for (i, pair) in pairs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seeds[i]);
+            let direct = reference.test(&pair.a, &pair.b, cfg, &mut rng);
+            assert_eq!(outcomes[i].result, direct, "{context}: pair {i}");
+            if let (Ok(a), Ok(b)) = (&outcomes[i].result, &direct) {
+                assert_eq!(a.z().to_bits(), b.z().to_bits(), "{context}: pair {i} z");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_bit_identical_to_engine_for_every_sampler() {
+        let g = barabasi_albert(1500, 3, &mut StdRng::seed_from_u64(1));
+        let idx = VicinityIndex::build(&g, 2);
+        let engine = TescEngine::with_vicinity_index(&g, &idx);
+        let pairs = pairs_sharing_events(1500, 2);
+        for sampler in [
+            SamplerKind::BatchBfs,
+            SamplerKind::Rejection,
+            SamplerKind::Importance { batch_size: 1 },
+            SamplerKind::Importance { batch_size: 3 },
+            SamplerKind::WholeGraph,
+        ] {
+            let cfg = TescConfig::new(2)
+                .with_sample_size(120)
+                .with_sampler(sampler);
+            for threads in [1usize, 4] {
+                assert_plan_matches_engine(
+                    &engine,
+                    &engine,
+                    &pairs,
+                    &cfg,
+                    threads,
+                    &format!("{sampler} @ {threads}t"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_composes_with_kernel_relabel_and_cache() {
+        let g = barabasi_albert(1500, 3, &mut StdRng::seed_from_u64(3));
+        let pairs = pairs_sharing_events(1500, 4);
+        let cfg = TescConfig::new(2).with_sample_size(120);
+        let reference = TescEngine::new(&g);
+        let cache = std::sync::Arc::new(DensityCache::for_graph(&g));
+        let configured = TescEngine::new(&g)
+            .with_density_kernel(BfsKernel::Bitset)
+            .with_relabeling(true)
+            .with_density_cache(cache.clone());
+        assert_plan_matches_engine(
+            &configured,
+            &reference,
+            &pairs,
+            &cfg,
+            4,
+            "bitset+relabel+cache (cold)",
+        );
+        // Note: a *single* fused pass probes each distinct node once,
+        // so a cold run has no hits — cross-pair sharing shows up as
+        // fewer BFS, and hits appear on warm re-runs.
+        let cold_bfs = cache.bfs_invocations();
+        assert!(cold_bfs > 0);
+        // Warm re-run: the whole workset is memoized, so the fused
+        // pass skips every BFS.
+        let seeds: Vec<u64> = (0..pairs.len()).map(|i| pair_seed(99, i)).collect();
+        let plan = PairSetPlan::build(&configured, &pairs, &cfg, &seeds, 1);
+        let fused = plan.run_density(1);
+        assert_eq!(fused.bfs_run(), 0, "warm cache skips all fused BFS");
+        assert_eq!(cache.bfs_invocations(), cold_bfs);
+        assert!(cache.hits() > 0, "warm pass is answered from memory");
+        assert_plan_matches_engine(&configured, &reference, &pairs, &cfg, 1, "warm cache");
+    }
+
+    #[test]
+    fn fused_pass_shares_work_across_pairs() {
+        // k pairs sharing an event over overlapping reference
+        // populations: the fused pass runs one BFS per *distinct*
+        // node; the per-pair path would run Σ n_i.
+        let g = grid(30, 30);
+        let pairs = pairs_sharing_events(900, 5);
+        let cfg = TescConfig::new(1).with_sample_size(100_000); // exhaustive
+        let engine = TescEngine::new(&g);
+        let seeds: Vec<u64> = (0..pairs.len()).map(|i| pair_seed(7, i)).collect();
+        let plan = PairSetPlan::build(&engine, &pairs, &cfg, &seeds, 1);
+        assert!(plan.distinct_refs() < plan.sampled_refs());
+        let fused = plan.run_density(1);
+        assert_eq!(fused.bfs_run(), plan.distinct_refs() as u64);
+        // The repeat pair registered no new event: content addressing
+        // deduplicates the registry.
+        assert_eq!(plan.num_events(), 6, "shared + 5 partners, repeat deduped");
+        assert_eq!(plan.num_pairs(), pairs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per pair")]
+    fn mismatched_seed_list_rejected() {
+        let g = grid(4, 4);
+        let engine = TescEngine::new(&g);
+        let pairs = vec![EventPair::new("p", vec![0], vec![1])];
+        let _ = PairSetPlan::build(&engine, &pairs, &TescConfig::new(1), &[], 1);
+    }
+}

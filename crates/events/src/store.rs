@@ -151,6 +151,46 @@ impl EventStore {
             .map(|(i, (n, o))| (EventId(i as u32), n.as_str(), o.as_slice()))
     }
 
+    /// All unordered event pairs `(a, b)` with `a < b`, in ascending
+    /// id order — the candidate set of an all-pairs ranking run
+    /// (`E·(E−1)/2` pairs for `E` registered events).
+    pub fn event_pairs(&self) -> Vec<(EventId, EventId)> {
+        let n = self.names.len() as u32;
+        let mut out = Vec::with_capacity((n as usize * n.saturating_sub(1) as usize) / 2);
+        for a in 0..n {
+            for b in a + 1..n {
+                out.push((EventId(a), EventId(b)));
+            }
+        }
+        out
+    }
+
+    /// All pairs that include `event`, in ascending partner-id order —
+    /// the candidate set for ranking one event against every other
+    /// (`E−1` pairs). Each pair is returned in the same canonical
+    /// `(a, b)` with `a < b` orientation as [`EventStore::event_pairs`],
+    /// so a pair carries identical labels, content-addressed seeds and
+    /// scores whether it came from a one-vs-all or an all-pairs
+    /// enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` does not name an event of this store.
+    pub fn pairs_with(&self, event: EventId) -> Vec<(EventId, EventId)> {
+        assert!(
+            (event.0 as usize) < self.names.len(),
+            "unknown event id {}",
+            event.0
+        );
+        (0..self.names.len() as u32)
+            .filter(|&other| other != event.0)
+            .map(|other| {
+                let partner = EventId(other);
+                (event.min(partner), event.max(partner))
+            })
+            .collect()
+    }
+
     /// Sorted union `V_a ∪ V_b` — the paper's `V_{a∪b}` (all event nodes).
     pub fn union(&self, a: EventId, b: EventId) -> Vec<NodeId> {
         merge_union(self.nodes(a), self.nodes(b))
@@ -386,6 +426,61 @@ mod tests {
         let err = s.add_occurrences(EventId(3), &[1]).unwrap_err();
         assert_eq!(err, EventStoreError::UnknownEvent { id: EventId(3) });
         assert!(err.to_string().contains("unknown event id 3"));
+    }
+
+    #[test]
+    fn event_pairs_enumerates_all_unordered_pairs() {
+        let mut s = EventStore::new();
+        for name in ["a", "b", "c", "d"] {
+            s.add_event(name, vec![]);
+        }
+        let pairs = s.event_pairs();
+        assert_eq!(pairs.len(), 6, "C(4,2) pairs");
+        for (a, b) in &pairs {
+            assert!(a < b, "pairs are ordered (a < b)");
+        }
+        let mut dedup = pairs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), pairs.len(), "no duplicate pairs");
+        assert_eq!(pairs[0], (EventId(0), EventId(1)));
+        assert_eq!(pairs[5], (EventId(2), EventId(3)));
+        assert!(EventStore::new().event_pairs().is_empty());
+        let mut one = EventStore::new();
+        one.add_event("solo", vec![1]);
+        assert!(one.event_pairs().is_empty(), "one event has no pairs");
+    }
+
+    #[test]
+    fn pairs_with_covers_every_partner_once_in_canonical_orientation() {
+        let mut s = EventStore::new();
+        for name in ["a", "b", "c", "d"] {
+            s.add_event(name, vec![]);
+        }
+        let focus = EventId(2);
+        let pairs = s.pairs_with(focus);
+        // Same (a < b) orientation as event_pairs, so one-vs-all and
+        // all-pairs enumerations agree on each pair's identity.
+        assert_eq!(
+            pairs,
+            vec![
+                (EventId(0), focus),
+                (EventId(1), focus),
+                (focus, EventId(3)),
+            ]
+        );
+        for p in &pairs {
+            assert!(
+                s.event_pairs().contains(p),
+                "orientation matches event_pairs"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown event id 7")]
+    fn pairs_with_unknown_event_panics() {
+        let _ = EventStore::new().pairs_with(EventId(7));
     }
 
     #[test]

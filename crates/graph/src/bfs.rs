@@ -408,6 +408,17 @@ impl BfsScratch {
         &self.levels
     }
 
+    /// Multi-mask word sweep over the visited bitmap of the most
+    /// recent [`BfsScratch::visit_h_vicinity_bitset`] search: one
+    /// AND + popcount pass that intersects the bitmap against **M**
+    /// membership masks at once — the fused generalization of the
+    /// two-event sweep in `tesc::density::density_counts_bitset`. See
+    /// [`multi_mask_counts`] for the word-level contract.
+    #[inline]
+    pub fn visited_multi_mask_counts(&self, masks: &[&[u64]], counts: &mut [u32]) {
+        multi_mask_counts(self.visited_words(), masks, counts);
+    }
+
     /// Collect the node set of the `h`-vicinity of `sources` into `out`
     /// (cleared first). This is Algorithm 1's output `V_out` when
     /// `sources = V_{a∪b}`.
@@ -470,6 +481,34 @@ impl BfsScratch {
             }
         });
         found
+    }
+}
+
+/// Word-level multi-mask intersection counting — the fused-density
+/// primitive: `counts[m] += popcount(visited[w] & masks[m][w])` for
+/// every word `w` and mask `m`, sweeping the visited bitmap **once**
+/// (word-major, all masks per word) so a single `h`-hop BFS can be
+/// scored against M event masks without re-walking the bitmap M times.
+///
+/// `visited` and every mask must be word slices over the same id space
+/// (equal length, as produced by `BfsScratch::visited_words` and
+/// `NodeMask::words` in `tesc_events`); `counts` must have one slot
+/// per mask and is accumulated into, not cleared — zero it first for
+/// absolute counts. Zero visited words are skipped, so sparse
+/// vicinities cost proportionally less.
+pub fn multi_mask_counts(visited: &[u64], masks: &[&[u64]], counts: &mut [u32]) {
+    debug_assert_eq!(masks.len(), counts.len(), "one count slot per mask");
+    debug_assert!(
+        masks.iter().all(|m| m.len() == visited.len()),
+        "masks and visited bitmap must cover the same id space"
+    );
+    for (w, &vw) in visited.iter().enumerate() {
+        if vw == 0 {
+            continue;
+        }
+        for (m, words) in masks.iter().enumerate() {
+            counts[m] += (vw & words[w]).count_ones();
+        }
     }
 }
 
@@ -776,5 +815,59 @@ mod tests {
         assert!(BfsKernel::Bitset.use_bitset(&sparse, 1));
         assert!(!BfsKernel::Auto.use_bitset(&from_edges(0, &[]), 2));
         assert_eq!(BfsKernel::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn multi_mask_counts_matches_per_node_probes() {
+        // 140 nodes spans 3 words; masks straddle word boundaries.
+        let g = from_edges(
+            140,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 63),
+                (63, 64),
+                (64, 65),
+                (65, 128),
+                (128, 139),
+            ],
+        );
+        let mut s = BfsScratch::new(140);
+        let mask_sets: Vec<Vec<NodeId>> = vec![
+            vec![0, 63, 64, 139],
+            vec![1, 2, 65, 128],
+            vec![],
+            (0..140).collect(),
+        ];
+        let to_words = |nodes: &[NodeId]| {
+            let mut w = vec![0u64; 140usize.div_ceil(64)];
+            for &v in nodes {
+                w[v as usize / 64] |= 1 << (v % 64);
+            }
+            w
+        };
+        let word_sets: Vec<Vec<u64>> = mask_sets.iter().map(|m| to_words(m)).collect();
+        for r in [0u32, 64, 139] {
+            for h in 0..5u32 {
+                let size = s.visit_h_vicinity_bitset(&g, &[r], h);
+                let masks: Vec<&[u64]> = word_sets.iter().map(Vec::as_slice).collect();
+                let mut counts = vec![0u32; masks.len()];
+                s.visited_multi_mask_counts(&masks, &mut counts);
+                // Reference: one membership probe per (visited node, mask).
+                let mut visited = Vec::new();
+                s.h_vicinity_into(&g, &[r], h, &mut visited);
+                assert_eq!(visited.len(), size);
+                for (m, nodes) in mask_sets.iter().enumerate() {
+                    let expect = visited.iter().filter(|v| nodes.contains(v)).count();
+                    assert_eq!(counts[m] as usize, expect, "r={r} h={h} mask {m}");
+                }
+            }
+        }
+        // Accumulation contract: counts are += , not overwritten.
+        let _ = s.visit_h_vicinity_bitset(&g, &[0], 1);
+        let masks: Vec<&[u64]> = word_sets[..1].iter().map(Vec::as_slice).collect();
+        let mut counts = vec![100u32];
+        multi_mask_counts(s.visited_words(), &masks, &mut counts);
+        assert!(counts[0] >= 100);
     }
 }

@@ -41,7 +41,7 @@ pub mod pool;
 pub mod relabel;
 pub mod vicinity;
 
-pub use bfs::{BfsKernel, BfsScratch};
+pub use bfs::{multi_mask_counts, BfsKernel, BfsScratch};
 pub use csr::{CsrGraph, EdgeError, GraphBuilder, NodeId};
 pub use pool::{PooledScratch, ScratchPool, PARALLEL_MIN_NODES};
 pub use relabel::{RelabeledGraph, Relabeling};

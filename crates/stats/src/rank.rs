@@ -69,6 +69,26 @@ pub fn average_ranks(values: &[f64]) -> Vec<f64> {
     ranks
 }
 
+/// Descending total order on ranking scores — the shared comparator of
+/// every ranking surface (`tesc::rank`, the CLI's `rank` table, the
+/// bench's recall@k agreement): best score first, NaN rejected like
+/// [`cmp_f64`]. Compose with an index/label tie-break for a
+/// deterministic full order, e.g.
+/// `cmp_score_desc(a, b).then(i.cmp(&j))`.
+#[inline]
+pub fn cmp_score_desc(a: f64, b: f64) -> core::cmp::Ordering {
+    cmp_f64(b, a)
+}
+
+/// Indices of `scores` sorted best-first: descending score with the
+/// ascending-index tie-break, so equal scores keep their original
+/// relative order deterministically.
+pub fn rank_indices_desc(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&i, &j| cmp_score_desc(scores[i], scores[j]).then(i.cmp(&j)));
+    idx
+}
+
 /// Number of pairs `(i, j)`, `i < j`, tied within `values`
 /// (i.e. `Σ s(s−1)/2` over tie groups). This is the `n1`/`n2` of the
 /// standard τ_b notation.
@@ -152,5 +172,28 @@ mod tests {
     #[should_panic(expected = "must not be NaN")]
     fn nan_is_rejected() {
         let _ = average_ranks(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn score_comparator_is_descending() {
+        use core::cmp::Ordering;
+        assert_eq!(cmp_score_desc(2.0, 1.0), Ordering::Less, "bigger first");
+        assert_eq!(cmp_score_desc(1.0, 2.0), Ordering::Greater);
+        assert_eq!(cmp_score_desc(1.0, 1.0), Ordering::Equal);
+        assert_eq!(cmp_score_desc(-1.0, -2.0), Ordering::Less);
+    }
+
+    #[test]
+    fn rank_indices_desc_orders_and_breaks_ties_by_index() {
+        assert_eq!(rank_indices_desc(&[0.5, 2.0, 1.0]), vec![1, 2, 0]);
+        // Equal scores keep ascending index order.
+        assert_eq!(rank_indices_desc(&[1.0, 3.0, 1.0, 3.0]), vec![1, 3, 0, 2]);
+        assert!(rank_indices_desc(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn score_comparator_rejects_nan() {
+        let _ = rank_indices_desc(&[1.0, f64::NAN]);
     }
 }

@@ -26,6 +26,20 @@
 //!     thread count. --cache on (default) shares per-(event, node, h)
 //!     density counts across pairs; off disables (results identical).
 //!
+//! tesc-cli rank --graph G.txt --events EVENTS.txt
+//!               [--pairs NPAIRS.txt | --focus EVENT] [--top-k K]
+//!               [--threads 0] [--h 1] [--n 900] [--tail upper|lower|two]
+//!               [--alpha 0.05] [--sampler batch|reject|importance|whole]
+//!               [--statistic kendall|spearman] [--seed 42] [--cache on]
+//!               [--kernel auto|scalar|bitset] [--relabel on|off]
+//!     Rank event pairs by TESC evidence through the fused pair-set
+//!     planner (tesc::rank): all pairs of EVENTS.txt by default,
+//!     `--focus EVENT` for one event against every partner, or an
+//!     explicit candidate list via --pairs. --top-k keeps the best K
+//!     and prunes candidates whose significance budget cannot reach
+//!     the cutoff. Scores are content-seeded: a pair ranks the same
+//!     wherever it appears in the candidate list.
+//!
 //! tesc-cli stream --graph G.txt --events EVENTS.txt --pairs NPAIRS.txt
 //!                 --updates U.txt [--threads 0] [--h 1] [--n 900]
 //!                 [--tail ...] [--alpha ...] [--sampler ...]
@@ -89,6 +103,12 @@ const USAGE: &str = "usage:
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42] [--cache on|off]
                 [--kernel auto|scalar|bitset] [--relabel on|off]
+  tesc-cli rank --graph G.txt --events EVENTS.txt
+                [--pairs NPAIRS.txt | --focus EVENT] [--top-k K] [--threads 0]
+                [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
+                [--sampler batch|reject|importance|whole]
+                [--statistic kendall|spearman] [--seed 42] [--cache on|off]
+                [--kernel auto|scalar|bitset] [--relabel on|off]
   tesc-cli stream --graph G.txt --events EVENTS.txt --pairs NPAIRS.txt
                 --updates U.txt [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
@@ -113,6 +133,7 @@ fn main() -> ExitCode {
         "demo" => run_demo(&flags),
         "test" => run_test(&flags),
         "batch" => run_batch_cmd(&flags),
+        "rank" => run_rank_cmd(&flags),
         "stream" => run_stream_cmd(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -512,6 +533,157 @@ fn print_outcome_rows(report: &tesc::BatchReport) {
             Err(e) => println!("{:<24} failed: {e}", o.label),
         }
     }
+}
+
+/// Rank event pairs by TESC evidence through the fused pair-set
+/// planner (`tesc::rank`).
+fn run_rank_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let graph_path = get(flags, "graph")?;
+    let events_path = get(flags, "events")?;
+    let seed: u64 = parse(flags, "seed", 42u64)?;
+    let threads: usize = parse(flags, "threads", 0usize)?;
+    let cfg = config_from_flags(flags)?;
+
+    let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let store = tesc_events::io::read_named_events(&mut open(events_path)?)
+        .map_err(|e| format!("reading {events_path}: {e}"))?;
+    for (_, name, nodes) in store.iter() {
+        if let Some(&v) = nodes.iter().find(|&&v| v as usize >= graph.num_nodes()) {
+            return Err(format!(
+                "{events_path}: event {name:?} names node {v}, but the graph has only {} nodes",
+                graph.num_nodes()
+            ));
+        }
+    }
+
+    // Candidate set: explicit list > one-vs-all focus > all pairs —
+    // the latter two via the store's enumeration helpers.
+    let candidates: Vec<EventPair> = if let Some(pairs_path) = flags.get("pairs") {
+        if flags.contains_key("focus") {
+            return Err("--pairs and --focus are mutually exclusive".into());
+        }
+        let text = std::fs::read_to_string(pairs_path)
+            .map_err(|e| format!("reading {pairs_path}: {e}"))?;
+        parse_named_pairs(&text, pairs_path)?
+            .into_iter()
+            .map(|(label, a_name, b_name)| {
+                let resolve = |name: &str| {
+                    store
+                        .id_by_name(name)
+                        .ok_or_else(|| format!("{pairs_path}: unknown event {name:?}"))
+                };
+                let (a, b) = (resolve(&a_name)?, resolve(&b_name)?);
+                Ok(EventPair::new(
+                    label,
+                    store.nodes(a).to_vec(),
+                    store.nodes(b).to_vec(),
+                ))
+            })
+            .collect::<Result<_, String>>()?
+    } else {
+        let id_pairs = match flags.get("focus") {
+            Some(name) => {
+                let id = store
+                    .id_by_name(name)
+                    .ok_or_else(|| format!("--focus: unknown event {name:?}"))?;
+                store.pairs_with(id)
+            }
+            None => store.event_pairs(),
+        };
+        id_pairs
+            .into_iter()
+            .map(|(a, b)| {
+                EventPair::new(
+                    format!("{}×{}", store.name(a), store.name(b)),
+                    store.nodes(a).to_vec(),
+                    store.nodes(b).to_vec(),
+                )
+            })
+            .collect()
+    };
+    if candidates.is_empty() {
+        return Err(format!(
+            "{events_path}: {} event(s) yield no candidate pairs",
+            store.num_events()
+        ));
+    }
+
+    eprintln!(
+        "graph: {} nodes, {} edges; {} events, {} candidate pairs",
+        graph.num_nodes(),
+        graph.num_edges(),
+        store.num_events(),
+        candidates.len()
+    );
+
+    let needs_index = matches!(
+        cfg.sampler,
+        SamplerKind::Rejection | SamplerKind::Importance { .. }
+    );
+    let (kernel, relabel) = kernel_flags(flags)?;
+    let index;
+    let mut engine = if needs_index {
+        let mut union: Vec<NodeId> = candidates
+            .iter()
+            .flat_map(|p| p.a.iter().chain(&p.b).copied())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        eprintln!("building |V^h_v| index for {} event nodes...", union.len());
+        index = VicinityIndex::build_for_nodes(&graph, &union, cfg.h);
+        TescEngine::with_vicinity_index(&graph, &index)
+    } else {
+        TescEngine::new(&graph)
+    }
+    .with_density_kernel(kernel)
+    .with_relabeling(relabel);
+    match flags.get("cache").map(String::as_str) {
+        None | Some("on") => {
+            engine = engine.with_density_cache(Arc::new(DensityCache::for_graph(&graph)));
+        }
+        Some("off") => {}
+        Some(other) => return Err(format!("--cache must be on|off, got {other:?}")),
+    }
+
+    let mut req = tesc::RankRequest::new(cfg)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_pairs(candidates);
+    if let Some(k) = flags.get("top-k") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| format!("could not parse --top-k {k:?}"))?;
+        if k == 0 {
+            return Err("--top-k must be at least 1".into());
+        }
+        req = req.with_top_k(k);
+    }
+    let report = tesc::rank_pairs(&engine, &req);
+
+    println!(
+        "{:>4}  {:<24} {:>8} {:>8} {:>10} {:>9}  verdict",
+        "rank", "pair", "score", "z", "p", "n_refs"
+    );
+    for e in &report.ranked {
+        println!(
+            "{:>4}  {:<24} {:>+8.3} {:>+8.3} {:>10.3e} {:>9}  {:?}",
+            e.rank,
+            e.label,
+            e.score,
+            e.result.z(),
+            e.result.outcome.p_value,
+            e.result.n_refs,
+            e.result.outcome.verdict
+        );
+    }
+    for f in &report.failed {
+        if let Err(e) = &f.result {
+            println!("   -  {:<24} failed: {e}", f.label);
+        }
+    }
+    println!("summary: {}", report.summary());
+    Ok(())
 }
 
 /// Parse the `stream` pair list: `label eventA eventB` per line,

@@ -1,0 +1,293 @@
+//! Ranking determinism and bit-identity: seeded property tests for the
+//! pair-set planner and the top-K ranking subsystem.
+//!
+//! The contracts under test:
+//!
+//! * **Bit-identity.** Ranking a pair set through the fused planner
+//!   produces per-pair scores bit-identical to independent
+//!   `TescEngine::test` runs seeded with each pair's content seed —
+//!   for all five samplers — and `run_batch` (planner-backed at > 1
+//!   thread) stays bit-identical to the per-pair executors.
+//! * **Permutation invariance.** Seeds are content-addressed, so
+//!   shuffling the candidate list must not change a single ranked bit.
+//! * **Schedule invariance.** Thread count (1 vs 4) and the
+//!   kernel × relabel × cache engine configuration are pure
+//!   performance knobs: identical rankings everywhere.
+//! * **Top-K soundness.** `with_top_k(k)` returns exactly the first k
+//!   entries of the full ranking — the significance-budget early exit
+//!   never prunes a true top-K member.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tesc::batch::{run_batch, run_batch_per_pair, run_batch_serial, BatchRequest, EventPair};
+use tesc::rank::{content_seed, rank_pairs, RankRequest};
+use tesc::{BfsKernel, DensityCache, SamplerKind, Tail, TescConfig, TescEngine, VicinityIndex};
+use tesc_datasets::{DblpConfig, DblpScenario};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn all_samplers() -> Vec<SamplerKind> {
+    vec![
+        SamplerKind::BatchBfs,
+        SamplerKind::Rejection,
+        SamplerKind::Importance { batch_size: 1 },
+        SamplerKind::Importance { batch_size: 3 },
+        SamplerKind::WholeGraph,
+    ]
+}
+
+/// A shared-event candidate list: one base keyword against several
+/// partners plus an extra cross pair, the planner's target shape.
+fn candidate_pairs(s: &DblpScenario, seed: u64) -> Vec<EventPair> {
+    let (base_a, base_b) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(seed));
+    let mut pairs = vec![EventPair::new("base", base_a.clone(), base_b.clone())];
+    for i in 0..3 {
+        let (_, partner) = s.plant_positive_keyword_pair(12, 10, 0.4, &mut rng(seed + 1 + i));
+        pairs.push(EventPair::new(
+            format!("base×p{i}"),
+            base_a.clone(),
+            partner,
+        ));
+    }
+    pairs.push(EventPair::new("cross", base_b, pairs[1].b.clone()));
+    pairs
+}
+
+/// (label, score bits, z bits) fingerprint of a ranking.
+fn fingerprint(report: &tesc::RankReport) -> Vec<(String, u64, u64)> {
+    report
+        .ranked
+        .iter()
+        .map(|e| (e.label.clone(), e.score.to_bits(), e.result.z().to_bits()))
+        .collect()
+}
+
+#[test]
+fn rank_scores_bit_identical_to_per_pair_engine_for_every_sampler() {
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(1));
+    let idx = VicinityIndex::build(&s.graph, 2);
+    let engine = TescEngine::with_vicinity_index(&s.graph, &idx);
+    let pairs = candidate_pairs(&s, 2);
+    let master = 99u64;
+    for sampler in all_samplers() {
+        let cfg = TescConfig::new(2)
+            .with_sample_size(150)
+            .with_tail(Tail::Upper)
+            .with_sampler(sampler);
+        let req = RankRequest::new(cfg)
+            .with_seed(master)
+            .with_pairs(pairs.clone());
+        for threads in [1usize, 4] {
+            let report = rank_pairs(&engine, &req.clone().with_threads(threads));
+            assert_eq!(report.ranked.len(), pairs.len(), "{sampler}");
+            for e in &report.ranked {
+                let p = &pairs[e.index];
+                let direct = engine
+                    .test(
+                        &p.a,
+                        &p.b,
+                        &cfg,
+                        &mut StdRng::seed_from_u64(content_seed(master, &p.a, &p.b)),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    direct.z().to_bits(),
+                    e.result.z().to_bits(),
+                    "{sampler} @ {threads}t: {} diverged from the engine path",
+                    e.label
+                );
+                assert_eq!(&direct, &e.result, "{sampler} @ {threads}t: {}", e.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn ranking_invariant_under_pair_list_permutation() {
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(10));
+    let engine = TescEngine::new(&s.graph);
+    let pairs = candidate_pairs(&s, 11);
+    let cfg = TescConfig::new(2)
+        .with_sample_size(150)
+        .with_tail(Tail::Upper);
+    let reference = fingerprint(&rank_pairs(
+        &engine,
+        &RankRequest::new(cfg).with_seed(3).with_pairs(pairs.clone()),
+    ));
+    for shuffle_seed in 0..4u64 {
+        let mut shuffled = pairs.clone();
+        shuffled.shuffle(&mut rng(100 + shuffle_seed));
+        let got = fingerprint(&rank_pairs(
+            &engine,
+            &RankRequest::new(cfg)
+                .with_seed(3)
+                .with_pairs(shuffled.clone()),
+        ));
+        assert_eq!(
+            reference, got,
+            "permutation {shuffle_seed} changed the ranking"
+        );
+        // Top-K through the early exit must also be order-free.
+        let top = rank_pairs(
+            &engine,
+            &RankRequest::new(cfg)
+                .with_seed(3)
+                .with_top_k(2)
+                .with_pairs(shuffled),
+        );
+        assert_eq!(
+            fingerprint(&top),
+            reference[..2].to_vec(),
+            "permutation {shuffle_seed} changed the top-2"
+        );
+    }
+}
+
+#[test]
+fn ranking_invariant_under_threads_kernel_relabel_and_cache() {
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(20));
+    let pairs = candidate_pairs(&s, 21);
+    let cfg = TescConfig::new(2)
+        .with_sample_size(150)
+        .with_tail(Tail::Upper);
+    let req = RankRequest::new(cfg).with_seed(5).with_pairs(pairs);
+    let plain = TescEngine::new(&s.graph);
+    let reference = fingerprint(&rank_pairs(&plain, &req.clone().with_threads(1)));
+    let cache = std::sync::Arc::new(DensityCache::for_graph(&s.graph));
+    let configurations: Vec<(&str, TescEngine<'_>)> = vec![
+        (
+            "scalar kernel",
+            TescEngine::new(&s.graph).with_density_kernel(BfsKernel::Scalar),
+        ),
+        (
+            "bitset kernel",
+            TescEngine::new(&s.graph).with_density_kernel(BfsKernel::Bitset),
+        ),
+        (
+            "bitset+relabel",
+            TescEngine::new(&s.graph)
+                .with_density_kernel(BfsKernel::Bitset)
+                .with_relabeling(true),
+        ),
+        (
+            "cache cold",
+            TescEngine::new(&s.graph).with_density_cache(cache.clone()),
+        ),
+        (
+            "cache warm",
+            TescEngine::new(&s.graph).with_density_cache(cache),
+        ),
+    ];
+    for (name, engine) in &configurations {
+        for threads in [1usize, 4] {
+            let got = fingerprint(&rank_pairs(engine, &req.clone().with_threads(threads)));
+            assert_eq!(
+                &reference, &got,
+                "{name} @ {threads} threads changed the ranking"
+            );
+        }
+    }
+}
+
+#[test]
+fn top_k_prefix_property_holds_across_seeds() {
+    // Seeded mini-property test: for a spread of master seeds, the
+    // top-K ranking equals the truncated full ranking, scores are
+    // descending, and ranks are 1..=len.
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(30));
+    let engine = TescEngine::new(&s.graph);
+    let pairs = candidate_pairs(&s, 31);
+    let cfg = TescConfig::new(1)
+        .with_sample_size(120)
+        .with_tail(Tail::Upper);
+    for master in 0..8u64 {
+        let req = RankRequest::new(cfg)
+            .with_seed(master)
+            .with_pairs(pairs.clone());
+        let full = rank_pairs(&engine, &req);
+        assert_eq!(full.pruned, 0);
+        for (i, e) in full.ranked.iter().enumerate() {
+            assert_eq!(e.rank, i + 1, "ranks are 1-based and dense");
+        }
+        for w in full.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score, "seed {master}: descending scores");
+        }
+        for k in [1usize, 2, full.ranked.len()] {
+            let top = rank_pairs(&engine, &req.clone().with_top_k(k));
+            assert_eq!(
+                fingerprint(&top),
+                fingerprint(&full)[..k].to_vec(),
+                "seed {master}: top-{k} is not the full prefix"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_executors_agree_on_shared_event_lists() {
+    // The planner-backed run_batch, the legacy per-pair queue and the
+    // serial reference must agree bit-for-bit on the ranking bench's
+    // workload shape (index-derived seeds here — the batch contract).
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(40));
+    let engine = TescEngine::new(&s.graph);
+    let req = BatchRequest::new(TescConfig::new(2).with_sample_size(150))
+        .with_seed(77)
+        .with_pairs(candidate_pairs(&s, 41));
+    let serial = run_batch_serial(&engine, &req);
+    for threads in [2usize, 4] {
+        let fused = run_batch(&engine, &req.clone().with_threads(threads));
+        let queued = run_batch_per_pair(&engine, &req.clone().with_threads(threads));
+        assert_eq!(serial.outcomes, fused.outcomes, "planner path @ {threads}t");
+        assert_eq!(
+            serial.outcomes, queued.outcomes,
+            "per-pair path @ {threads}t"
+        );
+    }
+}
+
+#[test]
+fn content_seeds_are_stable_across_label_and_representation() {
+    // The ranking seed depends on occurrence *content* only: labels,
+    // duplicates and ordering are irrelevant, so equal-content pairs
+    // rank identically even under different names.
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(50));
+    let engine = TescEngine::new(&s.graph);
+    let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(51));
+    let mut shuffled_a = va.clone();
+    shuffled_a.shuffle(&mut rng(52));
+    shuffled_a.extend(va.iter().copied().take(5)); // duplicates
+    let cfg = TescConfig::new(2)
+        .with_sample_size(150)
+        .with_tail(Tail::Upper);
+    let report = rank_pairs(
+        &engine,
+        &RankRequest::new(cfg)
+            .with_seed(9)
+            .with_pair(EventPair::new("canonical", va, vb.clone()))
+            .with_pair(EventPair::new("aliased", shuffled_a, vb)),
+    );
+    assert_eq!(report.ranked.len(), 2);
+    assert_eq!(
+        report.ranked[0].result, report.ranked[1].result,
+        "equal content ⇒ equal sample ⇒ equal result"
+    );
+    // And randomized pair sets never produce NaN/absurd scores.
+    let mut r = rng(53);
+    for _ in 0..8 {
+        let n = s.graph.num_nodes() as u32;
+        let a: Vec<u32> = (0..30).map(|_| r.gen_range(0..n)).collect();
+        let b: Vec<u32> = (0..30).map(|_| r.gen_range(0..n)).collect();
+        let rep = rank_pairs(
+            &engine,
+            &RankRequest::new(cfg)
+                .with_seed(9)
+                .with_pair(EventPair::new("rand", a, b)),
+        );
+        for e in &rep.ranked {
+            assert!(e.score.is_finite());
+        }
+    }
+}
