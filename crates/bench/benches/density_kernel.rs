@@ -1,10 +1,11 @@
 //! Density-kernel shoot-out: **scalar** vs **bitset** vs
-//! **bitset + locality relabeling**, the three execution plans of the
-//! per-reference-node density hot path (`tesc::density::KernelPlan`).
+//! **bitset + locality relabeling** vs **multi** (64-way source
+//! batching), the execution plans of the per-reference-node density
+//! hot path (`tesc::density::KernelPlan` / `GroupKernelPlan`).
 //!
 //! For the DBLP-like and intrusion-like scenarios, at `h ∈ {1, 2, 3}`,
 //! the bench draws a fixed 300-node Batch-BFS reference sample and
-//! times `density_vectors_plan` over it:
+//! times the density vectors over it:
 //!
 //! * `<scenario>/h<h>/scalar` — epoch-stamped queue BFS, three mask
 //!   probes per visited node (the pre-kernel baseline).
@@ -14,6 +15,11 @@
 //! * `<scenario>/h<h>/bitset+relabel` — the bitset kernel on the
 //!   degree-descending BFS-order substrate (`tesc_graph::relabel`),
 //!   reference nodes translated at the boundary.
+//! * `<scenario>/h<h>/multi` — the 300 reference nodes batched into
+//!   64-way multi-source traversals (`MsBfsScratch`), one bit-lane
+//!   each, per-lane counts by popcount.
+//! * `<scenario>/h<h>/multi+relabel` — the multi-source kernel on the
+//!   relabeled substrate.
 //!
 //! **Per-row identity verification** (like `fig12_ingest_vs_rebuild`):
 //! before timing, each row's density vectors are asserted bit-identical
@@ -28,7 +34,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tesc::density::{density_vectors_plan, translate_mask, KernelPlan};
+use tesc::density::{
+    density_vectors_group_plan, density_vectors_plan, translate_mask, GroupKernelPlan, KernelPlan,
+};
 use tesc::sampler::batch_bfs_sample;
 use tesc::NodeMask;
 use tesc_bench::timing::Harness;
@@ -37,6 +45,9 @@ use tesc_datasets::{IntrusionConfig, IntrusionScenario};
 use tesc_events::store::merge_union;
 use tesc_graph::relabel::RelabeledGraph;
 use tesc_graph::{BfsScratch, CsrGraph, NodeId, ScratchPool};
+
+/// Group size of the `multi` rows — the full lane word.
+const GROUP: usize = tesc_graph::SOURCE_GROUP_SIZE;
 
 /// One benchmark scenario: a graph plus a planted event pair.
 struct Scenario {
@@ -69,7 +80,7 @@ fn scenarios() -> Vec<Scenario> {
 
 fn main() {
     let harness = Harness::new().with_samples(10);
-    let mut summary: Vec<(String, f64, f64)> = Vec::new();
+    let mut summary: Vec<(String, f64, f64, f64, f64, f64)> = Vec::new();
 
     for s in scenarios() {
         let g = &s.graph;
@@ -84,12 +95,16 @@ fn main() {
         let pool = ScratchPool::for_graph(g);
         let ma = NodeMask::from_nodes(n, &s.va);
         let mb = NodeMask::from_nodes(n, &s.vb);
-        let union = merge_union(&normalize(&s.va), &normalize(&s.vb));
+        let (a_norm, b_norm) = (normalize(&s.va), normalize(&s.vb));
+        let union = merge_union(&a_norm, &b_norm);
         let rel = RelabeledGraph::build(g);
         let (ta, tb) = (
             translate_mask(rel.map(), &ma),
             translate_mask(rel.map(), &mb),
         );
+        // Occurrence-list slots for the grouped (multi-source) plans.
+        let slot_nodes = vec![a_norm.clone(), b_norm.clone()];
+        let slot_nodes_rel = vec![rel.map().map_to_new(&a_norm), rel.map().map_to_new(&b_norm)];
 
         for h in [1u32, 2, 3] {
             let refs = {
@@ -117,11 +132,31 @@ fn main() {
                 use_bitset: true,
                 h,
             };
+            let group = GroupKernelPlan {
+                graph: g,
+                slot_nodes: &slot_nodes,
+                translate: None,
+                h,
+            };
+            let group_relabel = GroupKernelPlan {
+                graph: rel.graph(),
+                slot_nodes: &slot_nodes_rel,
+                translate: Some(rel.map()),
+                h,
+            };
             // Per-row identity verification: every plan must reproduce
             // the scalar baseline bit-for-bit before it gets timed.
             let baseline = density_vectors_plan(&scalar, &pool, &refs, 1);
             for (label, plan) in [("bitset", &bitset), ("bitset+relabel", &relabel)] {
                 let got = density_vectors_plan(plan, &pool, &refs, 1);
+                assert!(
+                    baseline == got,
+                    "{}/h{h}/{label}: density vectors diverged from scalar",
+                    s.name
+                );
+            }
+            for (label, plan) in [("multi", &group), ("multi+relabel", &group_relabel)] {
+                let got = density_vectors_group_plan(plan, &pool, &refs, 1, GROUP);
                 assert!(
                     baseline == got,
                     "{}/h{h}/{label}: density vectors diverged from scalar",
@@ -137,20 +172,31 @@ fn main() {
             let t_relabel = harness.bench(&format!("{}/h{h}/bitset+relabel", s.name), || {
                 density_vectors_plan(&relabel, &pool, &refs, 1)
             });
+            let t_multi = harness.bench(&format!("{}/h{h}/multi", s.name), || {
+                density_vectors_group_plan(&group, &pool, &refs, 1, GROUP)
+            });
+            let t_multi_rel = harness.bench(&format!("{}/h{h}/multi+relabel", s.name), || {
+                density_vectors_group_plan(&group_relabel, &pool, &refs, 1, GROUP)
+            });
             if t_scalar.is_finite() && t_bitset.is_finite() {
                 summary.push((
                     format!("{}/h{h}", s.name),
                     t_scalar / t_bitset,
                     t_scalar / t_relabel,
+                    t_scalar / t_multi,
+                    t_bitset / t_multi,
+                    t_scalar / t_multi_rel,
                 ));
             }
         }
     }
 
     if !summary.is_empty() {
-        println!("\nrow            bitset_speedup  bitset+relabel_speedup  (vs scalar, identical results)");
-        for (row, sb, sr) in &summary {
-            println!("{row:<14} {sb:<15.2} {sr:.2}");
+        println!(
+            "\nrow            bitset  bitset+rel  multi   multi_vs_bitset  multi+rel  (speedups; identical results)"
+        );
+        for (row, sb, sr, sm, smb, smr) in &summary {
+            println!("{row:<14} {sb:<7.2} {sr:<11.2} {sm:<7.2} {smb:<16.2} {smr:.2}");
         }
     }
 }

@@ -9,13 +9,21 @@
 //! the *same* statistics):
 //!
 //! * `allpairs/perpair` — per-pair path, no cache: one density BFS per
-//!   (pair, reference node).
-//! * `allpairs/perpair+cache` — per-pair path behind a fresh
-//!   `DensityCache`: a BFS is skipped only when *both* of a pair's
-//!   slots are already memoized.
+//!   (pair, reference node) (source-grouped into 64-way multi-source
+//!   traversals by the Auto kernel on this workload).
+//! * `allpairs/perpair+cache` — per-pair path behind a **persistent**
+//!   `DensityCache`, the serving shape (`TescContext` keeps one cache
+//!   across batches of a graph version): the first sample pays the
+//!   cold fill, the median measures the steady state where a BFS is
+//!   skipped whenever both of a pair's slots are memoized.
+//! * `allpairs/perpair+coldcache` — the same path against a cache that
+//!   is **rebuilt every iteration**: the pure cold-fill worst case.
+//!   The probe governor (`tesc::cache::ProbeGovernor`) bounds what the
+//!   lookups may cost here, but the fill inserts are a real investment
+//!   (~paid back from the second batch on — see the `+cache` row).
 //! * `allpairs/fused` — `tesc::rank::rank_pairs`: ONE BFS per distinct
 //!   reference node of the whole set, scored against every event
-//!   touching it in a single word sweep.
+//!   touching it in a single word sweep (also source-grouped).
 //! * `allpairs/fused+top5` — same, with the top-K significance-budget
 //!   early exit keeping the best 5.
 //!
@@ -145,7 +153,18 @@ fn main() {
         acc
     };
     let t_perpair = harness.bench("allpairs/perpair", || run_per_pair(&engine));
+    // Serving shape: one cache outlives every batch of this graph
+    // version (how a TescContext snapshot deploys it) — sample 1 pays
+    // the cold fill, the median is the steady state.
+    let persistent = std::sync::Arc::new(DensityCache::for_graph(g));
     let t_cached = harness.bench("allpairs/perpair+cache", || {
+        let cached = TescEngine::new(g).with_density_cache(persistent.clone());
+        run_per_pair(&cached)
+    });
+    // Worst case: the cache is rebuilt every iteration, so every run
+    // is a pure cold fill (the probe governor bounds the lookup cost;
+    // the fill inserts remain a real, once-per-version investment).
+    let t_cold = harness.bench("allpairs/perpair+coldcache", || {
         let cached =
             TescEngine::new(g).with_density_cache(std::sync::Arc::new(DensityCache::for_graph(g)));
         run_per_pair(&cached)
@@ -156,13 +175,15 @@ fn main() {
 
     if t_fused.is_finite() && t_cached.is_finite() {
         println!(
-            "\nrow                    speedup vs perpair+cache   (identical statistics)\n\
+            "\nrow                    speedup vs perpair   (identical statistics)\n\
+             perpair+cache (warm)   {:<10.2}\n\
+             perpair+cache (cold)   {:<10.2}\n\
              fused                  {:<10.2}\n\
-             fused+top5             {:<10.2}\n\
-             perpair (uncached)     {:<10.2}",
-            t_cached / t_fused,
-            t_cached / t_top5,
-            t_cached / t_perpair,
+             fused+top5             {:<10.2}",
+            t_perpair / t_cached,
+            t_perpair / t_cold,
+            t_perpair / t_fused,
+            t_perpair / t_top5,
         );
     }
 }

@@ -25,7 +25,22 @@
 //! `ns_per_iter` the median. Appending (rather than truncating) lets
 //! one CI job accumulate every bench's records into a single artifact;
 //! see `docs/PERFORMANCE.md` for how to read them.
+//!
+//! Before its first data record, each bench run appends **one header
+//! record** identifying the environment, so committed `BENCH_*.json`
+//! files are comparable across containers:
+//!
+//! ```text
+//! {"bench":"density_kernel","header":true,"commit":"826e296","cpus":1,"samples":10,"min_sample_ms":10}
+//! ```
+//!
+//! Headers carry `"header":true` and no `"row"` key; consumers joining
+//! on `(bench, row)` skip them naturally. `commit` is `git rev-parse
+//! --short HEAD` (`"unknown"` outside a git checkout), `cpus` the
+//! machine's available parallelism, and `samples`/`min_sample_ms` the
+//! harness configuration the run used.
 
+use std::cell::Cell;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -37,6 +52,9 @@ pub struct Harness {
     filter: Option<String>,
     json: Option<PathBuf>,
     bench_name: String,
+    /// One header record per run, written lazily before the first data
+    /// record (so a fully filtered-out run appends nothing).
+    header_written: Cell<bool>,
 }
 
 impl Default for Harness {
@@ -68,6 +86,7 @@ impl Harness {
             filter,
             json: std::env::var_os("TESC_BENCH_JSON").map(PathBuf::from),
             bench_name: bench_name_from_argv0(std::env::args().next().as_deref()),
+            header_written: Cell::new(false),
         }
     }
 
@@ -132,6 +151,19 @@ impl Harness {
             self.samples,
         );
         if let Some(path) = &self.json {
+            if !self.header_written.replace(true) {
+                let header = format!(
+                    "{{\"bench\":\"{}\",\"header\":true,\"commit\":\"{}\",\"cpus\":{},\"samples\":{},\"min_sample_ms\":{}}}\n",
+                    json_escape(&self.bench_name),
+                    json_escape(&git_short_commit()),
+                    std::thread::available_parallelism().map_or(1, |n| n.get()),
+                    self.samples,
+                    self.min_sample_time.as_millis(),
+                );
+                if let Err(e) = append_record(path, &header) {
+                    eprintln!("TESC_BENCH_JSON: cannot append to {}: {e}", path.display());
+                }
+            }
             let record = format!(
                 "{{\"bench\":\"{}\",\"row\":\"{}\",\"ns_per_iter\":{:.1},\"samples\":{}}}\n",
                 json_escape(&self.bench_name),
@@ -145,6 +177,21 @@ impl Harness {
         }
         median
     }
+}
+
+/// `git rev-parse --short HEAD` of the working directory, or
+/// `"unknown"` when git or the checkout is unavailable (the records
+/// must still be writable from an exported tarball).
+fn git_short_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Parse an environment-variable override, ignoring unset or
@@ -260,11 +307,19 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2, "one record per bench: {text:?}");
-        assert!(lines[0].contains("\"row\":\"grp/row1\""), "{text}");
-        assert!(lines[0].contains("\"samples\":1"));
-        assert!(lines[0].contains("\"ns_per_iter\":"));
-        assert!(lines[1].contains("\"row\":\"grp/row2\""));
+        assert_eq!(
+            lines.len(),
+            3,
+            "one header + one record per bench: {text:?}"
+        );
+        assert!(lines[0].contains("\"header\":true"), "{text}");
+        assert!(lines[0].contains("\"commit\":\""), "{text}");
+        assert!(lines[0].contains("\"cpus\":"), "{text}");
+        assert!(!lines[0].contains("\"row\""), "headers carry no row key");
+        assert!(lines[1].contains("\"row\":\"grp/row1\""), "{text}");
+        assert!(lines[1].contains("\"samples\":1"));
+        assert!(lines[1].contains("\"ns_per_iter\":"));
+        assert!(lines[2].contains("\"row\":\"grp/row2\""));
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }

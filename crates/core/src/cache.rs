@@ -36,10 +36,133 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tesc_graph::{CsrGraph, NodeId};
+
+/// A [`ProbeGovernor`] probes unconditionally for this many
+/// skip-or-BFS decisions (a *decision* = one reference node resolved
+/// through a batched probe: either every needed slot hit and the BFS
+/// was skipped, or the node went to BFS). After the window, the
+/// measured sharing decides.
+pub const PROBE_WINDOW: u64 = 64;
+
+/// The measured-sharing bypass threshold: after [`PROBE_WINDOW`]
+/// decisions of one executor pass, further *probes* stop if fewer than
+/// one decision in this many skipped a BFS — below that rate the
+/// lookups cost more than the skipped searches saved (the batch-bench
+/// regression this mechanism fixes). Inserts continue regardless, so a
+/// cold cache warms at full speed and the next pass re-evaluates from
+/// scratch; results are identical either way — the bypass is purely a
+/// cost switch.
+const BYPASS_SKIP_DENOM: u64 = 4;
+
+/// Call-scoped measured-sharing governor for one cached density pass.
+///
+/// Every cached executor creates one per pass and consults
+/// [`ProbeGovernor::engaged`] before probing each reference node: the
+/// first [`PROBE_WINDOW`] nodes always probe, and beyond the window
+/// probing continues only while at least a quarter of the observed
+/// decisions actually skipped their BFS. A bypassed pass still
+/// *inserts* every fresh count — warming is an investment with its own
+/// payoff — and the next pass starts a fresh window, so a cache warmed
+/// by earlier (even bypassed) passes re-engages the moment its hits
+/// prove it. Thread-safe: the window is positional evidence, not a
+/// temporal prefix, so racy interleaving only perturbs timing.
+#[derive(Debug, Default)]
+pub struct ProbeGovernor {
+    decisions: AtomicU64,
+    skips: AtomicU64,
+    bypassed: AtomicBool,
+}
+
+impl ProbeGovernor {
+    /// Fresh governor for one executor pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Should the next reference node be probed?
+    pub fn engaged(&self) -> bool {
+        if self.bypassed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let decisions = self.decisions.load(Ordering::Relaxed);
+        if decisions < PROBE_WINDOW {
+            return true;
+        }
+        if self
+            .skips
+            .load(Ordering::Relaxed)
+            .saturating_mul(BYPASS_SKIP_DENOM)
+            < decisions
+        {
+            self.bypassed.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Record one skip-or-BFS decision (`skipped` = every slot hit).
+    #[inline]
+    pub fn record(&self, skipped: bool) {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        if skipped {
+            self.skips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// SplitMix64-finalizing hasher for the memo tables.
+///
+/// Every key hashed here already carries high-quality entropy — an
+/// [`EventKey`] feeds its precomputed content hash, the inner slot key
+/// packs `(node, h)` into one word — so the table needs a *finalizer*,
+/// not a cryptographic stream: one multiply-xor cascade per written
+/// word instead of SipHash's per-byte rounds. On the density hot path
+/// a cache probe is two hashes; with the default hasher those probes
+/// cost more than they saved whenever cross-pair sharing was low (the
+/// batch-bench regression this replaces). HashDoS resistance is
+/// irrelevant for an internal memo table keyed by measured data.
+#[derive(Default)]
+struct MixHasher(u64);
+
+impl Hasher for MixHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by our keys): FNV-style fold.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        // SplitMix64 finalizer over the running state.
+        let mut z = (self.0 ^ x).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type MixBuild = BuildHasherDefault<MixHasher>;
 
 /// Content-addressed identity of an event's occurrence set.
 ///
@@ -117,8 +240,54 @@ impl CachedCount {
 
 const SHARDS: usize = 16;
 
-/// One shard of the memo table: `(event, node, h) → count`.
-type Shard = HashMap<(EventKey, NodeId, u32), CachedCount>;
+/// Inner slot key: `(reference node, h)` packed into one word, so a
+/// probe hashes a single `u64` through [`MixHasher`].
+#[inline]
+fn slot_key(r: NodeId, h: u32) -> u64 {
+    (r as u64) << 32 | h as u64
+}
+
+/// One shard of the memo table, nested `event → (node, h) → count`.
+///
+/// The nesting is load-bearing for probe cost: the outer lookup takes
+/// the [`EventKey`] **by reference** (no `Arc` clone per probe, unlike
+/// a flat `(EventKey, node, h)` tuple key, which must be constructed
+/// owned), and the inner key is one packed word. An event's entries
+/// for one reference node also share the outer bucket, so the batched
+/// probes ([`DensityCache::lookup_pair`] / [`DensityCache::lookup_many`])
+/// touch each event's inner map once. The fresh-compute tally lives in
+/// the shard too, so an insert updates it under the lock it already
+/// holds instead of taking a second, global one.
+#[derive(Debug, Default)]
+struct Shard {
+    slots: HashMap<EventKey, HashMap<u64, CachedCount, MixBuild>, MixBuild>,
+    fresh: HashMap<EventKey, u64, MixBuild>,
+}
+
+impl Shard {
+    /// Insert one measured count, tallying freshness on first fill.
+    fn insert(&mut self, event: &EventKey, slot: u64, value: CachedCount) {
+        // Clone the key only on the event's first entry in this shard;
+        // steady-state inserts take the single-hash fast path.
+        let fresh_slot = match self.slots.get_mut(event) {
+            Some(slots) => slots.insert(slot, value).is_none(),
+            None => {
+                let mut slots = HashMap::<u64, CachedCount, MixBuild>::default();
+                slots.insert(slot, value);
+                self.slots.insert(event.clone(), slots);
+                true
+            }
+        };
+        if fresh_slot {
+            match self.fresh.get_mut(event) {
+                Some(tally) => *tally += 1,
+                None => {
+                    self.fresh.insert(event.clone(), 1);
+                }
+            }
+        }
+    }
+}
 
 /// Thread-safe `(event, node, h) → (|V^h_r|, count)` memo table.
 ///
@@ -135,21 +304,17 @@ pub struct DensityCache {
     bfs_invocations: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
-    /// Fresh computations per event — the "density BFS once per
-    /// reference node" accounting the tests assert on.
-    fresh: Mutex<HashMap<EventKey, u64>>,
 }
 
 impl DensityCache {
     /// Empty cache pinned to `g`'s structure.
     pub fn for_graph(g: &CsrGraph) -> Self {
         DensityCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             graph_fingerprint: g.fingerprint(),
             bfs_invocations: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            fresh: Mutex::new(HashMap::new()),
         }
     }
 
@@ -172,7 +337,9 @@ impl DensityCache {
             .shard(r)
             .lock()
             .expect("density cache poisoned")
-            .get(&(event.clone(), r, h))
+            .slots
+            .get(event)
+            .and_then(|slots| slots.get(&slot_key(r, h)))
             .copied();
         match got {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -198,12 +365,13 @@ impl DensityCache {
         out: &mut Vec<Option<CachedCount>>,
     ) -> bool {
         out.clear();
+        let slot = slot_key(r, h);
         let mut hits = 0u64;
         let mut misses = 0u64;
         {
             let shard = self.shard(r).lock().expect("density cache poisoned");
             for key in events {
-                let got = shard.get(&(key.clone(), r, h)).copied();
+                let got = shard.slots.get(key).and_then(|s| s.get(&slot)).copied();
                 match got {
                     Some(_) => hits += 1,
                     None => misses += 1,
@@ -216,30 +384,104 @@ impl DensityCache {
         misses == 0
     }
 
+    /// Two-event probe under **one** shard-lock acquisition — the
+    /// batched form of two [`DensityCache::lookup`] calls for the
+    /// per-pair density path, whose every reference node needs exactly
+    /// the `(a, r, h)` and `(b, r, h)` slots. Both slots live in `r`'s
+    /// shard, so resolving them together halves the lock traffic of
+    /// the dominant probe pattern (the batch-bench regression fix —
+    /// per-node locking cost more than the cache saved when cross-pair
+    /// sharing was low). Hit/miss counters advance per slot, exactly
+    /// like two `lookup` calls.
+    pub fn lookup_pair(
+        &self,
+        a: &EventKey,
+        b: &EventKey,
+        r: NodeId,
+        h: u32,
+    ) -> (Option<CachedCount>, Option<CachedCount>) {
+        let key = slot_key(r, h);
+        let (got_a, got_b) = {
+            let shard = self.shard(r).lock().expect("density cache poisoned");
+            (
+                shard.slots.get(a).and_then(|s| s.get(&key)).copied(),
+                shard.slots.get(b).and_then(|s| s.get(&key)).copied(),
+            )
+        };
+        let hits = got_a.is_some() as u64 + got_b.is_some() as u64;
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if hits < 2 {
+            self.misses.fetch_add(2 - hits, Ordering::Relaxed);
+        }
+        (got_a, got_b)
+    }
+
     /// Insert a freshly measured count. Counts the insertion against
     /// the event's fresh-compute tally only if the slot was empty
     /// (under races two workers may measure the same slot; the value
     /// is deterministic either way).
     pub fn insert(&self, event: &EventKey, r: NodeId, h: u32, value: CachedCount) {
-        let prev = self
-            .shard(r)
-            .lock()
-            .expect("density cache poisoned")
-            .insert((event.clone(), r, h), value);
-        if prev.is_none() {
-            *self
-                .fresh
-                .lock()
-                .expect("density cache poisoned")
-                .entry(event.clone())
-                .or_insert(0) += 1;
+        self.insert_many([(event, value)], r, h);
+    }
+
+    /// Insert several freshly measured counts for one reference node
+    /// under **one** shard-lock acquisition — the batched form of
+    /// repeated [`DensityCache::insert`] calls, used by the fused and
+    /// grouped density passes that measure every missing slot of a
+    /// node with a single BFS. Semantics per entry are identical to
+    /// `insert`.
+    pub fn insert_many<'k>(
+        &self,
+        entries: impl IntoIterator<Item = (&'k EventKey, CachedCount)>,
+        r: NodeId,
+        h: u32,
+    ) {
+        let slot = slot_key(r, h);
+        let mut shard = self.shard(r).lock().expect("density cache poisoned");
+        for (event, value) in entries {
+            shard.insert(event, slot, value);
+        }
+    }
+
+    /// Bulk insertion across many reference nodes, bucketed by shard
+    /// so a whole grouped density pass pays one lock acquisition per
+    /// *shard* (16) instead of one per node (thousands). Used by the
+    /// scatter stages of the grouped executors; semantics per entry
+    /// are identical to [`DensityCache::insert`].
+    pub fn insert_bulk<'k>(
+        &self,
+        h: u32,
+        entries: impl IntoIterator<Item = (NodeId, &'k EventKey, CachedCount)>,
+    ) {
+        let mut buckets: Vec<Vec<(u64, &EventKey, CachedCount)>> =
+            (0..SHARDS).map(|_| Vec::new()).collect();
+        for (r, event, value) in entries {
+            buckets[r as usize % SHARDS].push((slot_key(r, h), event, value));
+        }
+        for (shard, bucket) in self.shards.iter().zip(buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = shard.lock().expect("density cache poisoned");
+            for (slot, event, value) in bucket {
+                shard.insert(event, slot, value);
+            }
         }
     }
 
     /// Record one density BFS executed through the cache.
     #[inline]
     pub fn record_bfs(&self) {
-        self.bfs_invocations.fetch_add(1, Ordering::Relaxed);
+        self.record_bfs_n(1);
+    }
+
+    /// Record `n` density BFS lanes executed through the cache in one
+    /// counter update (the grouped executors' bulk form).
+    #[inline]
+    pub fn record_bfs_n(&self, n: u64) {
+        self.bfs_invocations.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Total density BFS invocations executed through the cache — the
@@ -263,19 +505,31 @@ impl DensityCache {
     /// equals the number of distinct reference nodes the batch touched
     /// for the event.
     pub fn fresh_computes(&self, event: &EventKey) -> u64 {
-        self.fresh
-            .lock()
-            .expect("density cache poisoned")
-            .get(event)
-            .copied()
-            .unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("density cache poisoned")
+                    .fresh
+                    .get(event)
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
     /// Number of memoized `(event, node, h)` entries.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("density cache poisoned").len())
+            .map(|s| {
+                s.lock()
+                    .expect("density cache poisoned")
+                    .slots
+                    .values()
+                    .map(HashMap::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -359,6 +613,42 @@ mod tests {
         // Different node: clean misses, `out` re-cleared.
         assert!(!cache.lookup_many([&e1], 0, 1, &mut out));
         assert_eq!(out, vec![None]);
+    }
+
+    #[test]
+    fn lookup_pair_matches_two_lookups() {
+        let cache = DensityCache::for_graph(&g());
+        let (ea, eb) = (EventKey::new(&[0, 1]), EventKey::new(&[2, 3]));
+        let v = CachedCount {
+            vicinity_size: 4,
+            count: 2,
+        };
+        assert_eq!(cache.lookup_pair(&ea, &eb, 1, 1), (None, None));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        cache.insert(&ea, 1, 1, v);
+        assert_eq!(cache.lookup_pair(&ea, &eb, 1, 1), (Some(v), None));
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+        cache.insert(&eb, 1, 1, v);
+        assert_eq!(cache.lookup_pair(&ea, &eb, 1, 1), (Some(v), Some(v)));
+        assert_eq!((cache.hits(), cache.misses()), (3, 3));
+    }
+
+    #[test]
+    fn insert_many_batches_under_one_lock_with_fresh_tallies() {
+        let cache = DensityCache::for_graph(&g());
+        let (ea, eb) = (EventKey::new(&[0]), EventKey::new(&[1]));
+        let v = CachedCount {
+            vicinity_size: 3,
+            count: 1,
+        };
+        cache.insert_many([(&ea, v), (&eb, v)], 2, 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.fresh_computes(&ea), 1);
+        assert_eq!(cache.fresh_computes(&eb), 1);
+        // Re-inserting occupied slots does not double-count freshness.
+        cache.insert_many([(&ea, v), (&eb, v)], 2, 1);
+        assert_eq!(cache.fresh_computes(&ea), 1);
+        assert_eq!(cache.lookup(&ea, 2, 1), Some(v));
     }
 
     #[test]

@@ -13,9 +13,9 @@
 //! bit-identical to the serial [`density_vectors`] (no RNG is involved
 //! and every output slot is written by exactly one worker).
 
-use crate::cache::{CachedCount, DensityCache, EventKey};
+use crate::cache::{CachedCount, DensityCache, EventKey, ProbeGovernor};
 use tesc_events::NodeMask;
-use tesc_graph::bfs::BfsScratch;
+use tesc_graph::bfs::{BfsScratch, MsBfsScratch};
 use tesc_graph::csr::CsrGraph;
 use tesc_graph::relabel::Relabeling;
 use tesc_graph::{NodeId, ScratchPool};
@@ -240,6 +240,393 @@ impl MultiKernelPlan<'_> {
     }
 }
 
+/// The **source-grouped** generalization of [`MultiKernelPlan`]: one
+/// density execution plan that batches up to
+/// [`tesc_graph::MAX_GROUP_SOURCES`] reference nodes into a single
+/// multi-source traversal ([`MsBfsScratch::visit_h_vicinity_multi`]),
+/// one bit-lane per node, so one edge scan serves every grouped
+/// source — the data-movement lever the per-source kernels cannot
+/// reach (see `docs/PERFORMANCE.md`).
+///
+/// Composition mirrors the other plans exactly: the substrate may be
+/// the original graph or its locality-relabeled twin (slot node lists
+/// then live in substrate id space; reference nodes are translated at
+/// the group boundary). Events are carried as **occurrence node
+/// lists** rather than masks, because per-lane scoring reads only the
+/// event's members ([`MsBfsScratch::lane_member_counts`]) — `O(|V_e|)`
+/// per (event, group), independent of vicinity size. Every recovered
+/// integer equals what independent single-source searches produce, so
+/// grouped densities are bit-identical to every other configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupKernelPlan<'a> {
+    /// The BFS substrate (the original graph, or its relabeled twin).
+    pub graph: &'a CsrGraph,
+    /// Substrate-space occurrence node lists, one per event slot
+    /// (duplicate-free; any order).
+    pub slot_nodes: &'a [Vec<NodeId>],
+    /// Original→substrate permutation; `None` when the substrate *is*
+    /// the original graph.
+    pub translate: Option<&'a Relabeling>,
+    /// Vicinity level `h`.
+    pub h: u32,
+}
+
+impl GroupKernelPlan<'_> {
+    /// Score one group of up to 64 original-space reference nodes with
+    /// a single multi-source traversal. `slot_lists[i]` names the
+    /// event slots node `nodes[i]` must be scored against (**sorted
+    /// ascending**); on return `sizes[i]` holds `|V^h_{nodes[i]}|` and
+    /// `counts[i][j]` holds `|V_{slot_lists[i][j]} ∩ V^h_{nodes[i]}|`.
+    ///
+    /// Each distinct slot of the group is scored **once** against all
+    /// lanes and scattered to the members that asked for it.
+    pub fn counts_for_group(
+        &self,
+        scratch: &mut MsBfsScratch,
+        nodes: &[NodeId],
+        slot_lists: &[&[u32]],
+        sizes: &mut [u32],
+        counts: &mut [Vec<u32>],
+    ) {
+        debug_assert_eq!(nodes.len(), slot_lists.len());
+        debug_assert_eq!(nodes.len(), sizes.len());
+        debug_assert_eq!(nodes.len(), counts.len());
+        let substrate: Vec<NodeId> = match self.translate {
+            Some(m) => nodes.iter().map(|&r| m.to_new(r)).collect(),
+            None => nodes.to_vec(),
+        };
+        scratch.visit_h_vicinity_multi(self.graph, &substrate, self.h);
+        scratch.lane_sizes(sizes);
+        for (slots, c) in slot_lists.iter().zip(counts.iter_mut()) {
+            c.clear();
+            c.resize(slots.len(), 0);
+        }
+        // Distinct slots of the whole group, each scored once.
+        let mut group_slots: Vec<u32> = slot_lists.iter().flat_map(|s| s.iter().copied()).collect();
+        group_slots.sort_unstable();
+        group_slots.dedup();
+        let mut lane_counts = vec![0u32; nodes.len()];
+        for &slot in &group_slots {
+            scratch.lane_member_counts(&self.slot_nodes[slot as usize], &mut lane_counts);
+            for (lane, slots) in slot_lists.iter().enumerate() {
+                if let Ok(j) = slots.binary_search(&slot) {
+                    counts[lane][j] = lane_counts[lane];
+                }
+            }
+        }
+    }
+}
+
+/// Per-node slot assignments for a grouped density run: every node
+/// scored against the same slots (the per-pair engine path) or each
+/// node carrying its own sorted list (the planner's fused workset).
+pub(crate) enum GroupSlots<'a> {
+    /// Every node uses this one sorted slot list.
+    Same(&'a [u32]),
+    /// `lists[i]` is node `i`'s sorted slot list.
+    PerNode(&'a [&'a [u32]]),
+}
+
+impl GroupSlots<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> &[u32] {
+        match self {
+            GroupSlots::Same(s) => s,
+            GroupSlots::PerNode(lists) => lists[i],
+        }
+    }
+}
+
+/// Apply `f(scratch, group_index)` to every source group, fanned out
+/// over `threads` scoped workers with indexed output slots — the
+/// multi-source sibling of [`map_refs_pooled`] (same determinism
+/// contract, [`MsBfsScratch`] instead of [`BfsScratch`]).
+fn map_groups_pooled<T, F>(
+    pool: &ScratchPool,
+    num_groups: usize,
+    threads: usize,
+    default: T,
+    f: F,
+) -> Vec<T>
+where
+    T: Clone + Send,
+    F: Fn(&mut MsBfsScratch, usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(num_groups.max(1));
+    let mut out = vec![default; num_groups];
+    // Note the guard is `< 2` groups, not `< 2 × threads` items like
+    // [`map_refs_pooled`]: one group already holds up to 64 sources'
+    // worth of BFS work, so even two groups are worth a second worker.
+    if threads == 1 || num_groups < 2 {
+        let mut scratch = pool.acquire_multi();
+        for (gi, slot) in out.iter_mut().enumerate() {
+            *slot = f(&mut scratch, gi);
+        }
+        return out;
+    }
+    let chunk = num_groups.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, out_c) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let mut scratch = pool.acquire_multi();
+                for (off, slot) in out_c.iter_mut().enumerate() {
+                    *slot = f(&mut scratch, ci * chunk + off);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Apply `f(i)` for every index in `0..count`, fanned out over
+/// `threads` scoped workers with indexed output slots — the
+/// scratch-free sibling of [`map_refs_pooled`] used by the cache-probe
+/// stages of the grouped executors (a probe takes locks, not a BFS
+/// scratch, and a warm pass is *nothing but* probes, so it must not
+/// serialize).
+pub(crate) fn map_indexed<T, F>(count: usize, threads: usize, default: T, f: F) -> Vec<T>
+where
+    T: Clone + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(count.max(1));
+    let mut out = vec![default; count];
+    if threads == 1 || count < 2 * threads {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return out;
+    }
+    let chunk = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, out_c) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, slot) in out_c.iter_mut().enumerate() {
+                    *slot = f(ci * chunk + off);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Grouped density executor: partition `nodes` into source groups of
+/// at most `group_size`, run one multi-source traversal per group
+/// (parallel over groups), and return the per-node
+/// `(|V^h_r|, per-slot counts)` — positionally aligned with `nodes`
+/// and deterministic at any thread count.
+///
+/// Nodes are grouped in **substrate-id order** (a stable argsort; the
+/// output order is unchanged): nearby ids share vicinities — by
+/// construction under locality relabeling, and strongly in practice on
+/// generated and real graphs — so sorting maximizes the per-group lane
+/// overlap the shared edge scan amortizes over. Grouping order cannot
+/// affect any count (each lane is an independent traversal), so this
+/// is purely a locality optimization.
+pub(crate) fn run_grouped(
+    plan: &GroupKernelPlan<'_>,
+    pool: &ScratchPool,
+    nodes: &[NodeId],
+    slots: &GroupSlots<'_>,
+    threads: usize,
+    group_size: usize,
+) -> (Vec<u32>, Vec<Vec<u32>>) {
+    if nodes.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let group_size = group_size.clamp(1, tesc_graph::MAX_GROUP_SOURCES);
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    match plan.translate {
+        Some(m) => order.sort_by_key(|&i| m.to_new(nodes[i])),
+        None => order.sort_by_key(|&i| nodes[i]),
+    }
+    let num_groups = nodes.len().div_ceil(group_size);
+    let per_group = map_groups_pooled(
+        pool,
+        num_groups,
+        threads,
+        (Vec::new(), Vec::new()),
+        |scratch, gi| {
+            let start = gi * group_size;
+            let end = (start + group_size).min(nodes.len());
+            let idx = &order[start..end];
+            let group: Vec<NodeId> = idx.iter().map(|&i| nodes[i]).collect();
+            let slot_lists: Vec<&[u32]> = idx.iter().map(|&i| slots.get(i)).collect();
+            let mut sizes = vec![0u32; group.len()];
+            let mut counts: Vec<Vec<u32>> = vec![Vec::new(); group.len()];
+            plan.counts_for_group(scratch, &group, &slot_lists, &mut sizes, &mut counts);
+            (sizes, counts)
+        },
+    );
+    let mut sizes = vec![0u32; nodes.len()];
+    let mut counts: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+    for (gi, (group_sizes, group_counts)) in per_group.into_iter().enumerate() {
+        for (off, (s, c)) in group_sizes.into_iter().zip(group_counts).enumerate() {
+            let i = order[gi * group_size + off];
+            sizes[i] = s;
+            counts[i] = c;
+        }
+    }
+    (sizes, counts)
+}
+
+/// Parallel density vectors through the **source-grouped multi-source
+/// kernel**: `plan.slot_nodes` must hold exactly `[V_a, V_b]`, and the
+/// returned vectors are bit-identical to [`density_vectors_plan`] on
+/// the corresponding two-mask plan (same integers, same `count as f64
+/// / size as f64` arithmetic) — asserted in `tests/kernels.rs` and per
+/// `density_kernel` bench row.
+pub fn density_vectors_group_plan(
+    plan: &GroupKernelPlan<'_>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    threads: usize,
+    group_size: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(plan.slot_nodes.len(), 2, "expects the [a, b] slot pair");
+    let (sizes, counts) = run_grouped(
+        plan,
+        pool,
+        refs,
+        &GroupSlots::Same(&[0, 1]),
+        threads,
+        group_size,
+    );
+    sizes
+        .iter()
+        .zip(&counts)
+        .map(|(&size, c)| (c[0] as f64 / size as f64, c[1] as f64 / size as f64))
+        .unzip()
+}
+
+/// Grouped [`DensityCounts`] (including the `a∪b` union count) for the
+/// importance-sampling path: `plan.slot_nodes` must hold exactly
+/// `[V_a, V_b, V_{a∪b}]`.
+pub fn density_counts_group_plan(
+    plan: &GroupKernelPlan<'_>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    threads: usize,
+    group_size: usize,
+) -> Vec<DensityCounts> {
+    assert_eq!(plan.slot_nodes.len(), 3, "expects [a, b, union] slots");
+    let (sizes, counts) = run_grouped(
+        plan,
+        pool,
+        refs,
+        &GroupSlots::Same(&[0, 1, 2]),
+        threads,
+        group_size,
+    );
+    sizes
+        .iter()
+        .zip(&counts)
+        .map(|(&size, c)| DensityCounts {
+            vicinity_size: size as usize,
+            count_a: c[0] as usize,
+            count_b: c[1] as usize,
+            count_union: c[2] as usize,
+        })
+        .collect()
+}
+
+/// [`density_vectors_group_plan`] through a cross-pair
+/// [`DensityCache`]: every reference node's two slots are probed first
+/// under one shard lock ([`DensityCache::lookup_pair`]); only nodes
+/// with at least one miss join the grouped traversals, and their fresh
+/// integers fill the missing slots ([`DensityCache::insert_many`]).
+/// Bit-identical to every other cached/uncached configuration; the
+/// BFS counter advances once per *lane* measured, so cache accounting
+/// is executor-independent.
+#[allow(clippy::too_many_arguments)] // mirrors density_vectors_cached_plan + group knob
+pub fn density_vectors_cached_group_plan(
+    plan: &GroupKernelPlan<'_>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    key_a: &EventKey,
+    key_b: &EventKey,
+    threads: usize,
+    group_size: usize,
+    cache: &DensityCache,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(plan.slot_nodes.len(), 2, "expects the [a, b] slot pair");
+    let h = plan.h;
+    let governor = ProbeGovernor::new();
+    // Probe stage, parallel: a warm pass is nothing but probes, so it
+    // must fan out like the BFS stage does. Probe outcomes are
+    // (None, None) when the pass's governor dropped the probe — the
+    // node is then simply treated as a full miss; its fresh counts
+    // still warm the cache.
+    let probes = map_indexed(refs.len(), threads, (None, None), |i| {
+        if !governor.engaged() {
+            return (None, None);
+        }
+        let probe = cache.lookup_pair(key_a, key_b, refs[i], h);
+        governor.record(probe.0.is_some() && probe.1.is_some());
+        probe
+    });
+    let mut sa = vec![0.0f64; refs.len()];
+    let mut sb = vec![0.0f64; refs.len()];
+    let mut pending: Vec<usize> = Vec::new();
+    let mut hits: Vec<(Option<CachedCount>, Option<CachedCount>)> = Vec::new();
+    for (i, &(hit_a, hit_b)) in probes.iter().enumerate() {
+        if let (Some(a), Some(b)) = (hit_a, hit_b) {
+            debug_assert_eq!(a.vicinity_size, b.vicinity_size, "inconsistent cache");
+            sa[i] = a.density();
+            sb[i] = b.density();
+        } else {
+            pending.push(i);
+            hits.push((hit_a, hit_b));
+        }
+    }
+    let nodes: Vec<NodeId> = pending.iter().map(|&i| refs[i]).collect();
+    let (sizes, counts) = run_grouped(
+        plan,
+        pool,
+        &nodes,
+        &GroupSlots::Same(&[0, 1]),
+        threads,
+        group_size,
+    );
+    // Scatter, collecting the missing slots for one bulk insertion
+    // (one lock per shard for the whole pass, not one per node).
+    let mut bulk: Vec<(NodeId, &EventKey, CachedCount)> = Vec::new();
+    for (((&i, &r), (&size, c)), &(hit_a, hit_b)) in pending
+        .iter()
+        .zip(&nodes)
+        .zip(sizes.iter().zip(&counts))
+        .zip(&hits)
+    {
+        let fresh_a = CachedCount {
+            vicinity_size: size,
+            count: c[0],
+        };
+        let fresh_b = CachedCount {
+            vicinity_size: size,
+            count: c[1],
+        };
+        if hit_a.is_none() {
+            bulk.push((r, key_a, fresh_a));
+        }
+        if hit_b.is_none() {
+            bulk.push((r, key_b, fresh_b));
+        }
+        // Same policy as the per-node cached path: prefer the memoized
+        // integer where a slot hit (identical value either way).
+        let a = hit_a.unwrap_or(fresh_a);
+        let b = hit_b.unwrap_or(fresh_b);
+        debug_assert_eq!(a.vicinity_size, size, "inconsistent cache");
+        debug_assert_eq!(b.vicinity_size, size, "inconsistent cache");
+        sa[i] = a.density();
+        sb[i] = b.density();
+    }
+    cache.record_bfs_n(pending.len() as u64);
+    cache.insert_bulk(h, bulk);
+    (sa, sb)
+}
+
 /// Rebuild an event mask in a relabeled substrate's id space: every
 /// member is permuted through `map`, cardinality (and therefore every
 /// intersection count) is preserved.
@@ -402,9 +789,21 @@ pub fn density_vectors_cached_plan(
     cache: &DensityCache,
 ) -> (Vec<f64>, Vec<f64>) {
     let h = plan.h;
+    let governor = ProbeGovernor::new();
     let densities = map_refs_pooled(pool, refs, threads, (0.0f64, 0.0f64), |scratch, r| {
-        let hit_a = cache.lookup(key_a, r, h);
-        let hit_b = cache.lookup(key_b, r, h);
+        // Both of a pair's slots live in r's shard — resolve them
+        // under one lock acquisition (lookup_pair), and fill the
+        // missing ones the same way (insert_many): per-node lock
+        // traffic, not per-slot. The pass's governor drops the probe
+        // (treating the node as all-miss; inserts still warm the
+        // cache) once measured sharing stops paying for the lookups.
+        let (hit_a, hit_b) = if governor.engaged() {
+            let hits = cache.lookup_pair(key_a, key_b, r, h);
+            governor.record(hits.0.is_some() && hits.1.is_some());
+            hits
+        } else {
+            (None, None)
+        };
         if let (Some(a), Some(b)) = (hit_a, hit_b) {
             debug_assert_eq!(a.vicinity_size, b.vicinity_size, "inconsistent cache");
             return (a.density(), b.density());
@@ -412,28 +811,26 @@ pub fn density_vectors_cached_plan(
         let c = plan.counts(scratch, r);
         cache.record_bfs();
         let size = c.vicinity_size as u32;
+        let mut fresh: [Option<(&EventKey, CachedCount)>; 2] = [None, None];
         if hit_a.is_none() {
-            cache.insert(
+            fresh[0] = Some((
                 key_a,
-                r,
-                h,
                 CachedCount {
                     vicinity_size: size,
                     count: c.count_a as u32,
                 },
-            );
+            ));
         }
         if hit_b.is_none() {
-            cache.insert(
+            fresh[1] = Some((
                 key_b,
-                r,
-                h,
                 CachedCount {
                     vicinity_size: size,
                     count: c.count_b as u32,
                 },
-            );
+            ));
         }
+        cache.insert_many(fresh.into_iter().flatten(), r, h);
         // Prefer the cached slot when one side hit: same integers,
         // same arithmetic, so the choice is observationally moot — but
         // using it exercises the consistency debug-assert above.
@@ -819,6 +1216,141 @@ mod tests {
                 assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes agree");
             }
         }
+    }
+
+    #[test]
+    fn grouped_vectors_bit_identical_to_scalar_for_every_group_size() {
+        use tesc_graph::relabel::RelabeledGraph;
+        let g = from_edges(
+            140,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 64),
+                (64, 65),
+                (65, 129),
+                (129, 139),
+                (0, 70),
+                (70, 100),
+            ],
+        );
+        let a = vec![0u32, 64, 129, 139];
+        let b = vec![2u32, 65, 70];
+        let (ma, mb) = masks(140, &a, &b);
+        let refs: Vec<NodeId> = (0..140).collect();
+        let pool = ScratchPool::for_graph(&g);
+        let mut s = BfsScratch::new(140);
+        let reference = density_vectors(&g, &mut s, &refs, 2, &ma, &mb);
+        let slot_nodes = vec![a.clone(), b.clone()];
+        let plain = GroupKernelPlan {
+            graph: &g,
+            slot_nodes: &slot_nodes,
+            translate: None,
+            h: 2,
+        };
+        let rel = RelabeledGraph::build(&g);
+        let translated = vec![rel.map().map_to_new(&a), rel.map().map_to_new(&b)];
+        let relabeled = GroupKernelPlan {
+            graph: rel.graph(),
+            slot_nodes: &translated,
+            translate: Some(rel.map()),
+            h: 2,
+        };
+        for group_size in [1usize, 7, 63, 64, 200] {
+            for threads in [1usize, 3] {
+                for (label, plan) in [("plain", &plain), ("relabeled", &relabeled)] {
+                    let got = density_vectors_group_plan(plan, &pool, &refs, threads, group_size);
+                    assert_eq!(
+                        reference, got,
+                        "{label}: group_size={group_size} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_counts_include_union_for_importance() {
+        let g = from_edges(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let a = vec![0u32, 4];
+        let b = vec![2u32, 4];
+        let union = vec![0u32, 2, 4];
+        let (ma, mb) = masks(10, &a, &b);
+        let refs: Vec<NodeId> = (0..10).collect();
+        let pool = ScratchPool::for_graph(&g);
+        let mut s = BfsScratch::new(10);
+        let slot_nodes = vec![a, b, union];
+        let plan = GroupKernelPlan {
+            graph: &g,
+            slot_nodes: &slot_nodes,
+            translate: None,
+            h: 2,
+        };
+        let grouped = density_counts_group_plan(&plan, &pool, &refs, 1, 4);
+        for (&r, got) in refs.iter().zip(&grouped) {
+            let want = density_counts(&g, &mut s, r, 2, &ma, &mb);
+            assert_eq!(&want, got, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn cached_grouped_vectors_bit_identical_with_partial_memoization() {
+        let g = from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (0, 5),
+            ],
+        );
+        let a = vec![0u32, 4, 8];
+        let b = vec![2u32, 9];
+        let (ma, mb) = masks(10, &a, &b);
+        let (ka, kb) = (EventKey::new(&a), EventKey::new(&b));
+        let refs: Vec<NodeId> = (0..10).collect();
+        let pool = ScratchPool::for_graph(&g);
+        let cache = DensityCache::for_graph(&g);
+        let mut s = BfsScratch::new(10);
+        let serial = density_vectors(&g, &mut s, &refs, 2, &ma, &mb);
+        let slot_nodes = vec![a.clone(), b.clone()];
+        let plan = GroupKernelPlan {
+            graph: &g,
+            slot_nodes: &slot_nodes,
+            translate: None,
+            h: 2,
+        };
+        // Pre-memoize event a at a few nodes (partially-memoized
+        // group: some lanes hit one slot, none hit both).
+        let kplan = KernelPlan::scalar(&g, &ma, &mb, 2);
+        let mut scratch = pool.acquire();
+        for &r in &refs[0..4] {
+            let c = kplan.counts(&mut scratch, r);
+            cache.insert(
+                &ka,
+                r,
+                2,
+                CachedCount {
+                    vicinity_size: c.vicinity_size as u32,
+                    count: c.count_a as u32,
+                },
+            );
+        }
+        drop(scratch);
+        let cold = density_vectors_cached_group_plan(&plan, &pool, &refs, &ka, &kb, 1, 4, &cache);
+        assert_eq!(serial, cold, "partially-memoized grouped pass");
+        assert_eq!(cache.bfs_invocations(), 10, "every node still BFSed once");
+        // Warm pass: every slot memoized, zero BFS, identical bits.
+        let warm = density_vectors_cached_group_plan(&plan, &pool, &refs, &ka, &kb, 2, 4, &cache);
+        assert_eq!(serial, warm);
+        assert_eq!(cache.bfs_invocations(), 10, "warm grouped pass ran no BFS");
     }
 
     #[test]

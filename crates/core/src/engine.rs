@@ -14,7 +14,7 @@
 //! randomness.
 
 use crate::cache::{DensityCache, EventKey};
-use crate::density::{translate_mask, DensityCounts, KernelPlan};
+use crate::density::{translate_mask, DensityCounts, GroupKernelPlan, KernelPlan};
 use crate::sampler::{
     batch_bfs_sample, importance_sample, rejection_sample, whole_graph_sample, SamplerKind,
     UniformSample,
@@ -235,6 +235,7 @@ pub struct TescEngine<'a> {
     cache: Option<Arc<DensityCache>>,
     kernel: BfsKernel,
     relabel: Option<Arc<RelabeledGraph>>,
+    group_size: usize,
 }
 
 impl<'a> TescEngine<'a> {
@@ -249,6 +250,7 @@ impl<'a> TescEngine<'a> {
             cache: None,
             kernel: BfsKernel::Auto,
             relabel: None,
+            group_size: tesc_graph::SOURCE_GROUP_SIZE,
         }
     }
 
@@ -333,6 +335,33 @@ impl<'a> TescEngine<'a> {
     #[inline]
     pub fn density_kernel(&self) -> BfsKernel {
         self.kernel
+    }
+
+    /// Cap the sources fused into one multi-source density traversal
+    /// (default [`tesc_graph::SOURCE_GROUP_SIZE`] = 64, the full lane
+    /// word). Only meaningful when grouping is engaged
+    /// ([`BfsKernel::Multi`], or `Auto` on big-enough worksets);
+    /// intended for bench ablations — a deliberately half-occupied
+    /// word isolates the amortization effect but never wins (see the
+    /// constant's docs). Results are bit-identical at every size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ size ≤ 64`.
+    pub fn with_source_group_size(mut self, size: usize) -> Self {
+        assert!(
+            (1..=tesc_graph::MAX_GROUP_SOURCES).contains(&size),
+            "source group size must be in 1..={}, got {size}",
+            tesc_graph::MAX_GROUP_SOURCES
+        );
+        self.group_size = size;
+        self
+    }
+
+    /// The configured multi-source group size.
+    #[inline]
+    pub fn source_group_size(&self) -> usize {
+        self.group_size
     }
 
     /// Run density BFS on a locality-relabeled twin of the graph
@@ -437,7 +466,9 @@ impl<'a> TescEngine<'a> {
                 if cfg.statistic != Statistic::KendallTau {
                     return Err(TescError::StatisticUnsupportedBySampler);
                 }
-                self.test_importance(&union, &mask_a, &mask_b, cfg, batch_size, rng)
+                self.test_importance(
+                    &union, &a_sorted, &b_sorted, &mask_a, &mask_b, cfg, batch_size, rng,
+                )
             }
             _ => {
                 // Content-addressed cache keys from the normalized
@@ -445,12 +476,56 @@ impl<'a> TescEngine<'a> {
                 // attached.
                 let keys = self.cache.is_some().then(|| {
                     (
-                        EventKey::from_normalized(a_sorted),
-                        EventKey::from_normalized(b_sorted),
+                        EventKey::from_normalized(a_sorted.clone()),
+                        EventKey::from_normalized(b_sorted.clone()),
                     )
                 });
-                self.test_uniform(&union, &mask_a, &mask_b, keys.as_ref(), cfg, rng)
+                self.test_uniform(
+                    &union,
+                    &a_sorted,
+                    &b_sorted,
+                    &mask_a,
+                    &mask_b,
+                    keys.as_ref(),
+                    cfg,
+                    rng,
+                )
             }
+        }
+    }
+
+    /// Substrate-space occurrence lists for a grouped density run —
+    /// the owned storage a [`GroupKernelPlan`] borrows (mirrors
+    /// [`TescEngine::substrate_masks`] for the mask-based plans).
+    /// Shared with the planner's fused stage (b), so the "which
+    /// substrate does a grouped plan use" decision lives in one place.
+    pub(crate) fn group_slot_nodes(&self, sets: &[&[NodeId]]) -> Vec<Vec<NodeId>> {
+        match self.relabel.as_deref() {
+            Some(r) => sets.iter().map(|s| r.map().map_to_new(s)).collect(),
+            None => sets.iter().map(|s| s.to_vec()).collect(),
+        }
+    }
+
+    /// Resolve this engine's grouped density execution plan. Shared
+    /// with the planner's fused stage (b).
+    pub(crate) fn group_plan<'p>(
+        &'p self,
+        slot_nodes: &'p [Vec<NodeId>],
+        h: u32,
+    ) -> GroupKernelPlan<'p> {
+        match self.relabel.as_deref() {
+            Some(r) => GroupKernelPlan {
+                graph: r.graph(),
+                slot_nodes,
+                translate: Some(r.map()),
+                h,
+            },
+            None => GroupKernelPlan {
+                graph: self.graph,
+                slot_nodes,
+                translate: None,
+                h,
+            },
         }
     }
 
@@ -582,11 +657,17 @@ impl<'a> TescEngine<'a> {
 
     /// Uniform-sampler path: sample → densities → `t` (Eq. 4) → z.
     /// With an attached [`DensityCache`] (and `keys` present), the
-    /// density phase memoizes per-`(event, node, h)` counts; either
-    /// way the numbers are bit-identical.
+    /// density phase memoizes per-`(event, node, h)` counts. When the
+    /// kernel policy engages source grouping
+    /// ([`BfsKernel::use_multi_source`]), the sampled reference nodes
+    /// are batched into 64-way multi-source traversals instead of one
+    /// BFS each; every configuration is bit-identical.
+    #[allow(clippy::too_many_arguments)] // internal fan-in of one test's resolved pieces
     fn test_uniform(
         &self,
         union: &[NodeId],
+        a_nodes: &[NodeId],
+        b_nodes: &[NodeId],
         mask_a: &NodeMask,
         mask_b: &NodeMask,
         keys: Option<&(EventKey, EventKey)>,
@@ -597,6 +678,35 @@ impl<'a> TescEngine<'a> {
             let mut scratch = self.pool.acquire();
             self.draw_uniform_sample(&mut scratch, union, cfg, rng)?
         };
+        if self
+            .kernel
+            .use_multi_source(self.graph, cfg.h, sample.nodes.len())
+        {
+            let slot_nodes = self.group_slot_nodes(&[a_nodes, b_nodes]);
+            let gplan = self.group_plan(&slot_nodes, cfg.h);
+            let (sa, sb) = match (self.cache.as_deref(), keys) {
+                (Some(cache), Some((key_a, key_b))) => {
+                    crate::density::density_vectors_cached_group_plan(
+                        &gplan,
+                        &self.pool,
+                        &sample.nodes,
+                        key_a,
+                        key_b,
+                        self.density_threads,
+                        self.group_size,
+                        cache,
+                    )
+                }
+                _ => crate::density::density_vectors_group_plan(
+                    &gplan,
+                    &self.pool,
+                    &sample.nodes,
+                    self.density_threads,
+                    self.group_size,
+                ),
+            };
+            return Ok(Self::finish_uniform(&sa, &sb, &sample, cfg));
+        }
         let translated = self.substrate_masks(mask_a, mask_b);
         let plan = self.density_plan(mask_a, mask_b, &translated, cfg.h);
         let (sa, sb) = match (self.cache.as_deref(), keys) {
@@ -742,9 +852,12 @@ impl<'a> TescEngine<'a> {
 
     /// Importance-sampler path: weighted draws → densities → `t̃`
     /// (Eq. 8) → z against the tie-corrected null variance.
+    #[allow(clippy::too_many_arguments)] // internal fan-in of one test's resolved pieces
     fn test_importance(
         &self,
         union: &[NodeId],
+        a_nodes: &[NodeId],
+        b_nodes: &[NodeId],
         mask_a: &NodeMask,
         mask_b: &NodeMask,
         cfg: &TescConfig,
@@ -773,21 +886,35 @@ impl<'a> TescEngine<'a> {
         // One BFS per distinct node gathers densities AND the inclusion
         // weight ingredient |V^h_r ∩ V_{a∪b}| (RejectSamp's `c`); the
         // loop honors `density_threads` like every other density phase
-        // and runs through the same kernel/relabeling plan.
-        let translated = self.substrate_masks(mask_a, mask_b);
-        let plan = self.density_plan(mask_a, mask_b, &translated, cfg.h);
-        let counts: Vec<DensityCounts> = crate::density::map_refs_pooled(
-            &self.pool,
-            &sample.nodes,
-            self.density_threads,
-            DensityCounts {
-                vicinity_size: 0,
-                count_a: 0,
-                count_b: 0,
-                count_union: 0,
-            },
-            |scratch, r| plan.counts(scratch, r),
-        );
+        // and runs through the same kernel/relabeling plan. Source
+        // grouping fuses the union set as a third slot, so one
+        // multi-source traversal still yields all four integers.
+        let counts: Vec<DensityCounts> = if self.kernel.use_multi_source(self.graph, cfg.h, n) {
+            let slot_nodes = self.group_slot_nodes(&[a_nodes, b_nodes, union]);
+            let gplan = self.group_plan(&slot_nodes, cfg.h);
+            crate::density::density_counts_group_plan(
+                &gplan,
+                &self.pool,
+                &sample.nodes,
+                self.density_threads,
+                self.group_size,
+            )
+        } else {
+            let translated = self.substrate_masks(mask_a, mask_b);
+            let plan = self.density_plan(mask_a, mask_b, &translated, cfg.h);
+            crate::density::map_refs_pooled(
+                &self.pool,
+                &sample.nodes,
+                self.density_threads,
+                DensityCounts {
+                    vicinity_size: 0,
+                    count_a: 0,
+                    count_b: 0,
+                    count_union: 0,
+                },
+                |scratch, r| plan.counts(scratch, r),
+            )
+        };
         let mut sa = Vec::with_capacity(n);
         let mut sb = Vec::with_capacity(n);
         let mut omega = Vec::with_capacity(n);
@@ -828,16 +955,31 @@ impl<'a> TescEngine<'a> {
                 found: population.len(),
             });
         }
-        let mask_a = NodeMask::from_nodes(self.graph.num_nodes(), &a_sorted);
-        let mask_b = NodeMask::from_nodes(self.graph.num_nodes(), &b_sorted);
-        let translated = self.substrate_masks(&mask_a, &mask_b);
-        let plan = self.density_plan(&mask_a, &mask_b, &translated, h);
-        let (sa, sb) = crate::density::density_vectors_plan(
-            &plan,
-            &self.pool,
-            &population,
-            self.density_threads,
-        );
+        let (sa, sb) = if self
+            .kernel
+            .use_multi_source(self.graph, h, population.len())
+        {
+            let slot_nodes = self.group_slot_nodes(&[&a_sorted, &b_sorted]);
+            let gplan = self.group_plan(&slot_nodes, h);
+            crate::density::density_vectors_group_plan(
+                &gplan,
+                &self.pool,
+                &population,
+                self.density_threads,
+                self.group_size,
+            )
+        } else {
+            let mask_a = NodeMask::from_nodes(self.graph.num_nodes(), &a_sorted);
+            let mask_b = NodeMask::from_nodes(self.graph.num_nodes(), &b_sorted);
+            let translated = self.substrate_masks(&mask_a, &mask_b);
+            let plan = self.density_plan(&mask_a, &mask_b, &translated, h);
+            crate::density::density_vectors_plan(
+                &plan,
+                &self.pool,
+                &population,
+                self.density_threads,
+            )
+        };
         Ok(kendall_tau(&sa, &sb, KendallMethod::MergeSort))
     }
 
@@ -1309,6 +1451,53 @@ mod tests {
             assert_eq!(reference, got, "kernel {kernel}");
             assert_eq!(reference.z().to_bits(), got.z().to_bits());
         }
+    }
+
+    #[test]
+    fn multi_kernel_engine_bit_identical_at_every_group_size() {
+        let g = barabasi_albert(1200, 3, &mut rng(70));
+        let va: Vec<u32> = (0..60).collect();
+        let vb: Vec<u32> = (30..90).collect();
+        let cfg = TescConfig::new(2).with_sample_size(150);
+        let reference = TescEngine::new(&g)
+            .with_density_kernel(BfsKernel::Scalar)
+            .test(&va, &vb, &cfg, &mut rng(71))
+            .unwrap();
+        for group_size in [1usize, 63, 64] {
+            let got = TescEngine::new(&g)
+                .with_density_kernel(BfsKernel::Multi)
+                .with_source_group_size(group_size)
+                .test(&va, &vb, &cfg, &mut rng(71))
+                .unwrap();
+            assert_eq!(reference, got, "group size {group_size}");
+            assert_eq!(reference.z().to_bits(), got.z().to_bits());
+        }
+        // The importance path fuses the union as a third slot.
+        let idx = VicinityIndex::build(&g, 2);
+        let icfg = cfg.with_sampler(SamplerKind::Importance { batch_size: 2 });
+        let iref = TescEngine::with_vicinity_index(&g, &idx)
+            .with_density_kernel(BfsKernel::Scalar)
+            .test(&va, &vb, &icfg, &mut rng(72))
+            .unwrap();
+        let igot = TescEngine::with_vicinity_index(&g, &idx)
+            .with_density_kernel(BfsKernel::Multi)
+            .test(&va, &vb, &icfg, &mut rng(72))
+            .unwrap();
+        assert_eq!(iref, igot, "importance path grouped");
+        // exact_summary routes through the grouped executor too.
+        let e1 = TescEngine::new(&g).exact_summary(&va, &vb, 1).unwrap();
+        let e2 = TescEngine::new(&g)
+            .with_density_kernel(BfsKernel::Multi)
+            .exact_summary(&va, &vb, 1)
+            .unwrap();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "source group size must be in 1..=64")]
+    fn zero_group_size_rejected() {
+        let g = grid(4, 4);
+        let _ = TescEngine::new(&g).with_source_group_size(0);
     }
 
     #[test]

@@ -60,8 +60,8 @@
 //! the [`crate::rank`] top-K subsystem.
 
 use crate::batch::{EventPair, PairOutcome};
-use crate::cache::{CachedCount, DensityCache, EventKey};
-use crate::density::{map_refs_pooled, translate_mask, MultiKernelPlan};
+use crate::cache::{CachedCount, DensityCache, EventKey, ProbeGovernor};
+use crate::density::{map_refs_pooled, run_grouped, translate_mask, GroupSlots, MultiKernelPlan};
 use crate::engine::{normalize, Statistic, TescConfig, TescEngine, TescError, TescResult};
 use crate::sampler::{importance_sample, SamplerKind, UniformSample, WeightedSample};
 use rand::rngs::StdRng;
@@ -127,14 +127,29 @@ pub struct FusedDensities {
     sizes: Vec<u32>,
     counts: Vec<Vec<u32>>,
     bfs_run: u64,
+    traversals: u64,
 }
 
 impl FusedDensities {
-    /// How many density BFS searches the fused pass actually executed
-    /// (nodes whose every slot hit an attached cache are skipped).
+    /// How many reference nodes the fused pass actually measured by
+    /// BFS (nodes whose every slot hit an attached cache are skipped).
+    /// Counted per **node**, not per traversal, so cache accounting is
+    /// identical whether those nodes ran one single-source search each
+    /// or were batched 64 to a multi-source traversal — see
+    /// [`FusedDensities::traversals`] for the physical count.
     #[inline]
     pub fn bfs_run(&self) -> u64 {
         self.bfs_run
+    }
+
+    /// How many graph traversals the fused pass physically executed:
+    /// equals [`FusedDensities::bfs_run`] on the per-node path, and the
+    /// number of source groups (`⌈bfs_run / group_size⌉`) when the
+    /// engine's kernel engaged multi-source batching —
+    /// `bfs_run / traversals` is the edge-scan amortization factor.
+    #[inline]
+    pub fn traversals(&self) -> u64 {
+        self.traversals
     }
 }
 
@@ -327,15 +342,172 @@ impl<'e, 'g> PairSetPlan<'e, 'g> {
         }
     }
 
-    /// Stage (b): the fused density pass. One BFS per distinct
-    /// reference node (fanned out over `threads` pooled workers),
-    /// scored against all of that node's event slots in a single
-    /// visited-bitmap sweep. With an attached [`DensityCache`], every
-    /// slot is probed first ([`DensityCache::lookup_many`]) and the
-    /// BFS is skipped when all hit; fresh counts fill the missing
-    /// slots. Output is positionally deterministic at any thread
-    /// count.
+    /// Stage (b): the fused density pass, scored against all of each
+    /// node's event slots. With an attached [`DensityCache`], every
+    /// slot is probed first ([`DensityCache::lookup_many`] — all slots
+    /// of one node under one shard lock) and cache-pending nodes only
+    /// proceed to BFS; fresh counts fill the missing slots per lane.
+    /// Output is positionally deterministic at any thread count.
+    ///
+    /// Two executors, chosen by the engine's kernel policy
+    /// ([`BfsKernel::use_multi_source`](tesc_graph::BfsKernel::use_multi_source)),
+    /// both bit-identical:
+    ///
+    /// * **per-node** — one `h`-hop BFS per pending node
+    ///   ([`MultiKernelPlan`], a single visited-bitmap word sweep per
+    ///   node);
+    /// * **source-grouped** — pending nodes batched up to 64 per
+    ///   multi-source traversal ([`crate::density::GroupKernelPlan`]), one bit-lane
+    ///   each, so adjacent workset nodes stop re-streaming the same
+    ///   edge lists (the `fused` rows of the `rank_events` bench
+    ///   measure the effect).
     pub fn run_density(&self, threads: usize) -> FusedDensities {
+        match self.group_size() {
+            Some(group_size) => self.run_density_grouped(threads, group_size),
+            None => self.run_density_per_node(threads),
+        }
+    }
+
+    /// Group size for stage (b), when the engine's kernel policy
+    /// engages multi-source batching for this workset.
+    fn group_size(&self) -> Option<usize> {
+        self.engine
+            .density_kernel()
+            .use_multi_source(self.engine.graph(), self.cfg.h, self.nodes.len())
+            .then(|| self.engine.source_group_size())
+    }
+
+    /// Stage (b), grouped executor: cache probe per node, then the
+    /// pending workset partitioned into consecutive source groups.
+    fn run_density_grouped(&self, threads: usize, group_size: usize) -> FusedDensities {
+        let h = self.cfg.h;
+        // Substrate-space occurrence lists, translated once per
+        // distinct event — via the engine's own grouped-plan helpers,
+        // so substrate resolution cannot drift between the per-pair
+        // and fused paths.
+        let key_sets: Vec<&[NodeId]> = self.keys.iter().map(|k| k.nodes()).collect();
+        let slot_nodes = self.engine.group_slot_nodes(&key_sets);
+        let gplan = self.engine.group_plan(&slot_nodes, h);
+        let cache: Option<&DensityCache> = self.engine.density_cache().map(|c| c.as_ref());
+        let n = self.nodes.len();
+        let mut sizes = vec![0u32; n];
+        let mut counts: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        // Cache-probe stage: fully-memoized nodes resolve without a
+        // BFS; the rest join the grouped traversals with their hit
+        // vectors kept for the per-lane fill.
+        let mut pending: Vec<usize> = Vec::new();
+        // Per pending node: its probe outcome (all-`None` when the
+        // pass's governor dropped the probe — the node is treated as a
+        // full miss and its fresh counts still warm the cache).
+        let mut pending_hits: Vec<Vec<Option<CachedCount>>> = Vec::new();
+        if let Some(cache) = cache {
+            // Probe stage, parallel (crate::density::map_indexed): on a
+            // warm cache the whole pass is nothing but probes, so they
+            // fan out like the BFS stage does.
+            let governor = ProbeGovernor::new();
+            let probes = crate::density::map_indexed(n, threads, Vec::new(), |i| {
+                let mut hits: Vec<Option<CachedCount>> = Vec::new();
+                if governor.engaged() {
+                    let all = cache.lookup_many(
+                        self.slot_lists[i].iter().map(|&s| &self.keys[s as usize]),
+                        self.nodes[i],
+                        h,
+                        &mut hits,
+                    );
+                    governor.record(all);
+                } else {
+                    hits.resize(self.slot_lists[i].len(), None);
+                }
+                hits
+            });
+            for (i, hits) in probes.into_iter().enumerate() {
+                if hits.iter().all(Option::is_some) {
+                    let size = hits[0].expect("all slots hit").vicinity_size;
+                    debug_assert!(
+                        hits.iter().all(|c| c.expect("hit").vicinity_size == size),
+                        "inconsistent cache"
+                    );
+                    sizes[i] = size;
+                    counts[i] = hits.iter().map(|c| c.expect("hit").count).collect();
+                } else {
+                    pending.push(i);
+                    pending_hits.push(hits);
+                }
+            }
+        } else {
+            pending = (0..n).collect();
+        }
+
+        let nodes: Vec<NodeId> = pending.iter().map(|&i| self.nodes[i]).collect();
+        let slot_refs: Vec<&[u32]> = pending
+            .iter()
+            .map(|&i| self.slot_lists[i].as_slice())
+            .collect();
+        let group_size = group_size.clamp(1, tesc_graph::MAX_GROUP_SOURCES);
+        let (fresh_sizes, fresh_counts) = run_grouped(
+            &gplan,
+            self.engine.pool(),
+            &nodes,
+            &GroupSlots::PerNode(&slot_refs),
+            threads,
+            group_size,
+        );
+
+        // Scatter + cache fill, per lane: prefer the memoized integer
+        // where a slot hit (same value, same policy as the per-node
+        // path); the fresh ones accumulate into one bulk insertion —
+        // one lock per shard for the whole pass, not one per node.
+        let mut bulk: Vec<(NodeId, &EventKey, CachedCount)> = Vec::new();
+        for (k, (&i, fresh)) in pending.iter().zip(fresh_counts).enumerate() {
+            let r = self.nodes[i];
+            let size = fresh_sizes[k];
+            sizes[i] = size;
+            if cache.is_some() {
+                let slots = &self.slot_lists[i];
+                let hits = &pending_hits[k];
+                counts[i] = slots
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &s)| match hits[j] {
+                        Some(c) => {
+                            debug_assert_eq!(c.vicinity_size, size, "inconsistent cache");
+                            c.count
+                        }
+                        None => {
+                            bulk.push((
+                                r,
+                                &self.keys[s as usize],
+                                CachedCount {
+                                    vicinity_size: size,
+                                    count: fresh[j],
+                                },
+                            ));
+                            fresh[j]
+                        }
+                    })
+                    .collect();
+            } else {
+                counts[i] = fresh;
+            }
+        }
+        if let Some(cache) = cache {
+            cache.record_bfs_n(pending.len() as u64);
+            cache.insert_bulk(h, bulk);
+        }
+        FusedDensities {
+            sizes,
+            counts,
+            bfs_run: pending.len() as u64,
+            traversals: nodes.len().div_ceil(group_size) as u64,
+        }
+    }
+
+    /// Stage (b), per-node executor: one BFS per pending reference
+    /// node (fanned out over `threads` pooled workers), scored against
+    /// all of that node's event slots in a single visited-bitmap
+    /// sweep.
+    fn run_density_per_node(&self, threads: usize) -> FusedDensities {
         let mplan = self.multi_plan();
         let cache: Option<&DensityCache> = self.engine.density_cache().map(|c| c.as_ref());
         let h = self.cfg.h;
@@ -344,6 +516,7 @@ impl<'e, 'g> PairSetPlan<'e, 'g> {
             counts: Vec::new(),
             did_bfs: false,
         };
+        let governor = ProbeGovernor::new();
         let per_node = map_refs_pooled(
             self.engine.pool(),
             &self.nodes,
@@ -362,12 +535,22 @@ impl<'e, 'g> PairSetPlan<'e, 'g> {
                     };
                 };
                 let mut hits: Vec<Option<CachedCount>> = Vec::with_capacity(slots.len());
-                let all = cache.lookup_many(
-                    slots.iter().map(|&s| &self.keys[s as usize]),
-                    r,
-                    h,
-                    &mut hits,
-                );
+                // The pass's governor drops the probe — but never the
+                // insert — once measured sharing stops paying for it.
+                let all = if governor.engaged() {
+                    let all = cache.lookup_many(
+                        slots.iter().map(|&s| &self.keys[s as usize]),
+                        r,
+                        h,
+                        &mut hits,
+                    );
+                    governor.record(all);
+                    all
+                } else {
+                    hits.clear();
+                    hits.resize(slots.len(), None);
+                    false
+                };
                 if all {
                     let size = hits[0].expect("all slots hit").vicinity_size;
                     debug_assert!(
@@ -421,6 +604,7 @@ impl<'e, 'g> PairSetPlan<'e, 'g> {
             sizes,
             counts,
             bfs_run,
+            traversals: bfs_run,
         }
     }
 
@@ -766,6 +950,43 @@ mod tests {
         // deduplicates the registry.
         assert_eq!(plan.num_events(), 6, "shared + 5 partners, repeat deduped");
         assert_eq!(plan.num_pairs(), pairs.len());
+    }
+
+    #[test]
+    fn grouped_fused_pass_bit_identical_and_counts_traversals() {
+        let g = barabasi_albert(1500, 3, &mut StdRng::seed_from_u64(9));
+        let pairs = pairs_sharing_events(1500, 10);
+        let cfg = TescConfig::new(2).with_sample_size(120);
+        let seeds: Vec<u64> = (0..pairs.len()).map(|i| pair_seed(99, i)).collect();
+        let per_node_engine = TescEngine::new(&g).with_density_kernel(BfsKernel::Bitset);
+        let per_node_plan = PairSetPlan::build(&per_node_engine, &pairs, &cfg, &seeds, 1);
+        let reference = per_node_plan.run_density(1);
+        let ref_outcomes = per_node_plan.finish(&reference);
+        assert_eq!(reference.bfs_run(), reference.traversals());
+        for group_size in [1usize, 63, 64] {
+            let engine = TescEngine::new(&g)
+                .with_density_kernel(BfsKernel::Multi)
+                .with_source_group_size(group_size);
+            let plan = PairSetPlan::build(&engine, &pairs, &cfg, &seeds, 1);
+            for threads in [1usize, 4] {
+                let fused = plan.run_density(threads);
+                assert_eq!(
+                    fused.bfs_run(),
+                    plan.distinct_refs() as u64,
+                    "lane accounting is group-size independent"
+                );
+                assert_eq!(
+                    fused.traversals(),
+                    (plan.distinct_refs().div_ceil(group_size)) as u64,
+                    "group size {group_size}"
+                );
+                let outcomes = plan.finish(&fused);
+                assert_eq!(
+                    ref_outcomes, outcomes,
+                    "group size {group_size} at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! **epoch-stamped** visited marks: instead of clearing an `O(|V|)`
 //! bitmap per search, a search is "new" simply because its epoch is.
 //!
-//! Two kernels share the scratch:
+//! Two single-source kernels share the scratch (a third, the 64-way
+//! multi-source kernel, lives in its own [`MsBfsScratch`] because its
+//! state is a lane *word* per node rather than a mark or a bit):
 //!
 //! * [`BfsScratch::visit_h_vicinity`] — the **scalar** kernel: a flat
 //!   queue plus epoch stamps, invoking a per-node closure. Best when
@@ -23,6 +25,11 @@
 //!   masks word-by-word instead of probing per node. Both kernels
 //!   produce the **identical visited set**, so every count derived
 //!   from them is bit-identical; [`BfsKernel`] picks between them.
+//! * [`MsBfsScratch::visit_h_vicinity_multi`] — the **multi-source**
+//!   kernel: up to [`MAX_GROUP_SOURCES`] sources traverse together,
+//!   one bit-lane each, so one edge scan advances every lane standing
+//!   on a node. Per-lane counts are recovered by popcount and equal
+//!   the single-source results exactly.
 
 use crate::csr::{CsrGraph, NodeId};
 
@@ -30,6 +37,40 @@ use crate::csr::{CsrGraph, NodeId};
 /// bottom-up when the frontier's degree sum exceeds the unexplored
 /// degree sum divided by this factor.
 const BU_ALPHA: u64 = 14;
+
+/// Hard cap on the sources of one multi-source traversal: the lane
+/// state is a single `u64` word per graph node, so a traversal carries
+/// at most one bit-lane per word bit. Callers with more sources
+/// partition them into groups (see [`SOURCE_GROUP_SIZE`]).
+pub const MAX_GROUP_SOURCES: usize = 64;
+
+/// Default number of reference-node sources fused into one
+/// multi-source traversal ([`MsBfsScratch::visit_h_vicinity_multi`]).
+///
+/// The word width is the natural group size: a full group amortizes
+/// every edge scan over 64 concurrent traversals at no extra per-word
+/// cost, and the last, partially-occupied group of a workset is the
+/// only one that pays for idle lanes. Smaller groups only make sense
+/// for ablation studies (`TescEngine::with_source_group_size` in
+/// `tesc`), where halving the occupancy isolates the amortization
+/// effect; there is no graph shape where a deliberately half-empty
+/// word wins. Shared, like [`crate::PARALLEL_MIN_NODES`], so layers
+/// cannot drift apart.
+pub const SOURCE_GROUP_SIZE: usize = MAX_GROUP_SOURCES;
+
+/// [`BfsKernel::Auto`] considers multi-source batching only when a
+/// density sweep has at least this many reference-node sources.
+///
+/// Below it, a group cannot amortize much: the fixed per-traversal
+/// costs (three `O(|V|)` word-array resets plus the footprint scan)
+/// are split over too few lanes, and the per-source kernels' simpler
+/// inner loops win. From about a quarter-occupied word upward, one
+/// shared edge scan replaces `sources` separate scans of the same CSR
+/// rows, which dominates everything else. The source count is
+/// necessary but not sufficient — [`BfsKernel::use_multi_source`]
+/// additionally requires the sweep's expected union footprint to cover
+/// the graph (see `docs/PERFORMANCE.md`).
+pub const MULTI_MIN_SOURCES: usize = 16;
 
 /// Which BFS kernel a density sweep should use.
 ///
@@ -54,6 +95,10 @@ pub enum BfsKernel {
     Scalar,
     /// Always the frontier-bitmap hybrid kernel.
     Bitset,
+    /// Batch reference nodes into 64-way multi-source traversals
+    /// ([`MsBfsScratch`]); single-source contexts (vicinity-index
+    /// builds, sampling BFS) fall back to the bitset kernel.
+    Multi,
 }
 
 impl BfsKernel {
@@ -68,7 +113,7 @@ impl BfsKernel {
     pub fn use_bitset(self, g: &CsrGraph, h: u32) -> bool {
         match self {
             BfsKernel::Scalar => false,
-            BfsKernel::Bitset => true,
+            BfsKernel::Bitset | BfsKernel::Multi => true,
             BfsKernel::Auto => {
                 let n = g.num_nodes();
                 if n == 0 {
@@ -83,6 +128,49 @@ impl BfsKernel {
             }
         }
     }
+
+    /// Should a density sweep over `num_sources` reference nodes on
+    /// `g` batch its sources into multi-source traversals?
+    ///
+    /// `Multi` always batches; the explicit per-source kernels
+    /// (`Scalar`, `Bitset`) never do — they are the reference
+    /// configurations every batched result must match bit for bit.
+    /// `Auto` batches when two conditions hold:
+    ///
+    /// 1. at least [`MULTI_MIN_SOURCES`] sources, so the group's fixed
+    ///    `O(|V|)` word-array costs split over a reasonably occupied
+    ///    lane word, and
+    /// 2. the expected **lane incidence** of a full group averages at
+    ///    least 2 per node — `(d̄ + 1)^h · min(sources, 64) ≥ 2·|V|`
+    ///    (reach estimate capped at `|V|`, like
+    ///    [`BfsKernel::use_bitset`]). Sharing is what a multi-source
+    ///    traversal sells: below ~2 lanes per visited node the group's
+    ///    vicinities barely overlap, every edge scan serves mostly one
+    ///    lane, and the per-source kernels' zero fixed cost wins
+    ///    (measured on the `h = 1` rows of the `density_kernel`
+    ///    bench — see `docs/PERFORMANCE.md`).
+    ///
+    /// Like every kernel choice this is purely a performance switch —
+    /// the recovered counts are identical integers either way.
+    pub fn use_multi_source(self, g: &CsrGraph, h: u32, num_sources: usize) -> bool {
+        match self {
+            BfsKernel::Multi => true,
+            BfsKernel::Scalar | BfsKernel::Bitset => false,
+            BfsKernel::Auto => {
+                let n = g.num_nodes();
+                if num_sources < MULTI_MIN_SOURCES || n == 0 {
+                    return false;
+                }
+                let branch = g.average_degree() + 1.0;
+                let mut est = 1.0f64;
+                for _ in 0..h {
+                    est = (est * branch).min(n as f64);
+                }
+                let occupancy = num_sources.min(SOURCE_GROUP_SIZE) as f64;
+                est * occupancy >= 2.0 * n as f64
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for BfsKernel {
@@ -91,6 +179,7 @@ impl std::fmt::Display for BfsKernel {
             BfsKernel::Auto => write!(f, "auto"),
             BfsKernel::Scalar => write!(f, "scalar"),
             BfsKernel::Bitset => write!(f, "bitset"),
+            BfsKernel::Multi => write!(f, "multi"),
         }
     }
 }
@@ -484,6 +573,287 @@ impl BfsScratch {
     }
 }
 
+/// Reusable scratch state for **64-way multi-source BFS** — one `h`-hop
+/// traversal serving up to [`MAX_GROUP_SOURCES`] reference nodes at
+/// once.
+///
+/// The visited state is one `u64` word per graph node: bit `s` of
+/// `seen[v]` means "node `v` has been reached by source lane `s`".
+/// Levels advance synchronously for all lanes with word-wise OR
+/// propagation: expanding frontier node `u` ORs `front[u]`'s lanes
+/// into each neighbor, and the lanes that were genuinely new
+/// (`front[u] & !seen[v]`) join the next frontier. One scan of `u`'s
+/// edge list therefore advances **every** lane currently standing on
+/// `u` — the data-movement saving the single-source kernels cannot
+/// reach, because adjacent reference nodes re-stream the same CSR rows
+/// from memory once per source.
+///
+/// Two further mechanisms keep the fixed costs at bitset-kernel
+/// parity *per source* rather than per traversal:
+///
+/// * **Branch-free final level.** The deepest level needs no frontier
+///   bookkeeping or novelty test, so it degenerates to pure idempotent
+///   `seen[v] |= lanes` OR stores — the PR 3 trick, generalized from
+///   single bits to lane words.
+/// * **Amortized `O(|V|)` resets.** The three word arrays are cleared
+///   by straight `memset` per traversal — `O(|V|/64)` per *source* at
+///   full occupancy, exactly the per-search fixed cost the
+///   single-source bitset kernel already pays for its bitmap clear.
+///
+/// Counts are recovered per bit-lane afterwards:
+/// [`MsBfsScratch::lane_sizes`] sweeps the lane words once through a
+/// carry-save positional popcount (64 vertical binary counters held in
+/// eight level words, flushed every 255 inputs — `O(1)` amortized per
+/// word, however many lanes share it), and
+/// [`MsBfsScratch::lane_member_counts`] reads only an event's
+/// occurrence nodes to produce per-source `|V_e ∩ V^h_r|`. Every
+/// recovered integer is identical to what `sources.len()` independent
+/// single-source searches would produce (asserted in
+/// `tests/kernels.rs` across 128 seeded cases).
+#[derive(Debug, Clone)]
+pub struct MsBfsScratch {
+    /// `seen[v]` bit `s` ⇔ node `v` reached by source lane `s`.
+    seen: Vec<u64>,
+    /// Lanes that arrived at each node on the current level.
+    front: Vec<u64>,
+    /// Lanes arriving on the next level (swapped with `front`).
+    next: Vec<u64>,
+    /// Nodes with a non-zero `front` word, in discovery order.
+    front_nodes: Vec<NodeId>,
+    next_nodes: Vec<NodeId>,
+    /// Lane count of the most recent traversal.
+    num_lanes: usize,
+    /// Node count of the most recent traversal's graph.
+    num_nodes: usize,
+}
+
+impl MsBfsScratch {
+    /// Scratch for graphs of up to `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        MsBfsScratch {
+            seen: vec![0; num_nodes],
+            front: vec![0; num_nodes],
+            next: vec![0; num_nodes],
+            front_nodes: Vec::new(),
+            next_nodes: Vec::new(),
+            num_lanes: 0,
+            num_nodes: 0,
+        }
+    }
+
+    /// Level-synchronous multi-source BFS: reach the `h`-vicinity of
+    /// **every** source simultaneously, one bit-lane per source.
+    /// Per-lane counts are recovered afterwards via
+    /// [`MsBfsScratch::lane_sizes`] / [`MsBfsScratch::lane_member_counts`],
+    /// and the union footprint via [`MsBfsScratch::union_footprint`] —
+    /// all on demand, so the traversal itself pays for no recovery a
+    /// caller does not ask for.
+    ///
+    /// Duplicate sources are legal: their lanes evolve identically
+    /// (each lane is an independent traversal — sharing is an
+    /// implementation property, never a semantic one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() > MAX_GROUP_SOURCES` or the scratch was
+    /// created for fewer nodes than `g` has.
+    pub fn visit_h_vicinity_multi(&mut self, g: &CsrGraph, sources: &[NodeId], h: u32) {
+        let n = g.num_nodes();
+        assert!(
+            sources.len() <= MAX_GROUP_SOURCES,
+            "at most {MAX_GROUP_SOURCES} sources per group, got {}",
+            sources.len()
+        );
+        assert!(
+            self.seen.len() >= n,
+            "MsBfsScratch sized for {} nodes, graph has {}",
+            self.seen.len(),
+            n
+        );
+        // One straight memset: O(|V|/64) per source at full
+        // occupancy — the same fixed cost per search the bitset kernel
+        // pays for its bitmap clear. `front` and `next` are already
+        // all-zero here by invariant: every level clears the frontier
+        // words it consumed, and the tail frontier is cleared on exit.
+        self.seen.fill(0);
+        debug_assert!(self.front.iter().all(|&w| w == 0), "front left dirty");
+        debug_assert!(self.next.iter().all(|&w| w == 0), "next left dirty");
+        self.front_nodes.clear();
+        self.num_lanes = sources.len();
+        self.num_nodes = n;
+
+        for (lane, &s) in sources.iter().enumerate() {
+            debug_assert!((s as usize) < n, "source {s} out of range");
+            let bit = 1u64 << lane;
+            if self.seen[s as usize] == 0 {
+                self.front_nodes.push(s);
+            }
+            self.seen[s as usize] |= bit;
+            self.front[s as usize] |= bit;
+        }
+
+        let mut depth = 0u32;
+        while depth < h && !self.front_nodes.is_empty() {
+            depth += 1;
+            let front_nodes = std::mem::take(&mut self.front_nodes);
+            if depth == h {
+                // Final level: no lane travels further, so the OR
+                // stores need no novelty test and no frontier
+                // bookkeeping — branch-free, like the single-source
+                // bitset kernel's deepest level.
+                for &u in &front_nodes {
+                    let lanes = self.front[u as usize];
+                    for &v in g.neighbors(u) {
+                        self.seen[v as usize] |= lanes;
+                    }
+                }
+                self.front_nodes = front_nodes;
+                break;
+            }
+            self.next_nodes.clear();
+            for &u in &front_nodes {
+                let lanes = self.front[u as usize];
+                for &v in g.neighbors(u) {
+                    let new = lanes & !self.seen[v as usize];
+                    if new != 0 {
+                        if self.next[v as usize] == 0 {
+                            self.next_nodes.push(v);
+                        }
+                        self.next[v as usize] |= new;
+                        self.seen[v as usize] |= new;
+                    }
+                }
+            }
+            // Clear the consumed frontier words, then promote the next
+            // level: after the swap, the former `front` array (now all
+            // zero again) becomes the blank `next` of the new level.
+            for &u in &front_nodes {
+                self.front[u as usize] = 0;
+            }
+            self.front_nodes = front_nodes;
+            std::mem::swap(&mut self.front, &mut self.next);
+            std::mem::swap(&mut self.front_nodes, &mut self.next_nodes);
+        }
+        // Restore the all-zero invariant for the tail frontier (the
+        // final level's input, or the sources when `h = 0`) so the
+        // next traversal can skip two of its three memsets.
+        let front_nodes = std::mem::take(&mut self.front_nodes);
+        for &u in &front_nodes {
+            self.front[u as usize] = 0;
+        }
+        self.front_nodes = front_nodes;
+    }
+
+    /// The lanes that reached node `v` in the most recent traversal
+    /// (bit `s` set ⇔ source lane `s` reached `v`).
+    #[inline]
+    pub fn reached_lanes(&self, v: NodeId) -> u64 {
+        self.seen[v as usize]
+    }
+
+    /// The per-node lane words of the most recent traversal — word `v`
+    /// is [`MsBfsScratch::reached_lanes`]`(v)`. Covers exactly that
+    /// traversal's graph.
+    #[inline]
+    pub fn lane_words(&self) -> &[u64] {
+        &self.seen[..self.num_nodes]
+    }
+
+    /// Number of distinct nodes reached by any lane in the most recent
+    /// traversal (the union footprint) — one sequential scan of the
+    /// lane words, computed only when asked (the density executors
+    /// never need it; diagnostics and tests do).
+    pub fn union_footprint(&self) -> usize {
+        self.lane_words().iter().filter(|&&w| w != 0).count()
+    }
+
+    /// Per-lane vicinity sizes of the most recent traversal:
+    /// `sizes[s] = |V^h_{sources[s]}|`. `sizes` must hold one slot per
+    /// source; slots are overwritten.
+    ///
+    /// One sequential sweep over the lane words through
+    /// [`add_lane_popcounts`] — `O(1)` amortized per word via vertical
+    /// carry-save counters, however many lanes share the word, where a
+    /// naive bit loop would pay one increment per (node, lane)
+    /// incidence (`Σ_s |V^h_s|`, ruinous exactly when sharing is
+    /// high — the case this kernel exists for).
+    pub fn lane_sizes(&self, sizes: &mut [u32]) {
+        assert_eq!(sizes.len(), self.num_lanes, "one size slot per source");
+        sizes.fill(0);
+        add_lane_popcounts(self.lane_words(), sizes);
+    }
+
+    /// Per-lane membership counts against one node set:
+    /// `counts[s] = |members ∩ V^h_{sources[s]}|`. `members` must be
+    /// duplicate-free (an event's occurrence list); `counts` holds one
+    /// slot per source and is overwritten.
+    ///
+    /// Reading only the event's members makes scoring an event against
+    /// all 64 lanes `O(|V_e|)` word reads — independent of vicinity
+    /// size, unlike a sweep over the visited footprint.
+    pub fn lane_member_counts(&self, members: &[NodeId], counts: &mut [u32]) {
+        assert_eq!(counts.len(), self.num_lanes, "one count slot per source");
+        counts.fill(0);
+        for &m in members {
+            let mut lanes = self.seen[m as usize];
+            while lanes != 0 {
+                counts[lanes.trailing_zeros() as usize] += 1;
+                lanes &= lanes - 1;
+            }
+        }
+    }
+}
+
+/// Positional (per-bit-lane) popcount over a word slice:
+/// `counts[s] += |{w ∈ words : bit s of w set}|`, with `counts`
+/// covering at least the highest set lane.
+///
+/// Implementation: 64 vertical binary counters held in eight *level
+/// words* (bit `s` of level `l` is bit `l` of lane `s`'s running
+/// tally), advanced by carry-save addition — a word is "added" by
+/// rippling it through the levels with AND/XOR, which terminates after
+/// the first carry-free level (`O(1)` amortized, like incrementing a
+/// binary counter). Levels are flushed into `counts` every 255 inputs
+/// (the 8-bit capacity), so the per-bit extraction cost amortizes to
+/// nothing. Zero words are skipped.
+pub fn add_lane_popcounts(words: &[u64], counts: &mut [u32]) {
+    let mut levels = [0u64; 8];
+    let mut in_block = 0u32;
+    for &w in words {
+        if w == 0 {
+            continue;
+        }
+        let mut carry = w;
+        for level in levels.iter_mut() {
+            let c = *level & carry;
+            *level ^= carry;
+            carry = c;
+            if carry == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(carry, 0, "flush cadence bounds the counters");
+        in_block += 1;
+        if in_block == 255 {
+            flush_lane_counters(&mut levels, counts);
+            in_block = 0;
+        }
+    }
+    flush_lane_counters(&mut levels, counts);
+}
+
+/// Drain carry-save level words into per-lane counts.
+fn flush_lane_counters(levels: &mut [u64; 8], counts: &mut [u32]) {
+    for (l, word) in levels.iter_mut().enumerate() {
+        let mut bits = *word;
+        while bits != 0 {
+            counts[bits.trailing_zeros() as usize] += 1u32 << l;
+            bits &= bits - 1;
+        }
+        *word = 0;
+    }
+}
+
 /// Word-level multi-mask intersection counting — the fused-density
 /// primitive: `counts[m] += popcount(visited[w] & masks[m][w])` for
 /// every word `w` and mask `m`, sweeping the visited bitmap **once**
@@ -815,6 +1185,159 @@ mod tests {
         assert!(BfsKernel::Bitset.use_bitset(&sparse, 1));
         assert!(!BfsKernel::Auto.use_bitset(&from_edges(0, &[]), 2));
         assert_eq!(BfsKernel::Auto.to_string(), "auto");
+    }
+
+    /// Per-lane reached sets of the most recent multi-source search.
+    fn lane_sets(s: &MsBfsScratch, lanes: usize) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); lanes];
+        for (v, &word) in s.lane_words().iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out[w.trailing_zeros() as usize].push(v as NodeId);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    fn assert_multi_matches_scalar(g: &CsrGraph, sources: &[NodeId], h: u32) {
+        let mut ms = MsBfsScratch::new(g.num_nodes());
+        let mut s = BfsScratch::new(g.num_nodes());
+        ms.visit_h_vicinity_multi(g, sources, h);
+        let sets = lane_sets(&ms, sources.len());
+        let mut sizes = vec![0u32; sources.len()];
+        ms.lane_sizes(&mut sizes);
+        for (lane, &src) in sources.iter().enumerate() {
+            let mut want = s.h_vicinity(g, src, h);
+            want.sort_unstable();
+            assert_eq!(sets[lane], want, "lane {lane} (source {src}), h = {h}");
+            assert_eq!(sizes[lane] as usize, want.len(), "lane {lane} size");
+        }
+    }
+
+    #[test]
+    fn multi_source_lanes_equal_independent_single_source() {
+        let g = path6();
+        for h in 0..6 {
+            assert_multi_matches_scalar(&g, &[0], h);
+            assert_multi_matches_scalar(&g, &[0, 5], h);
+            assert_multi_matches_scalar(&g, &[0, 2, 2, 5], h); // duplicates
+        }
+        let d = from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_multi_matches_scalar(&d, &[0, 3], 2);
+        // Disconnected components + isolated sources straddling words.
+        let sparse = from_edges(130, &[(0, 1), (2, 3), (64, 65)]);
+        assert_multi_matches_scalar(&sparse, &[0, 2, 64, 129], 4);
+    }
+
+    #[test]
+    fn multi_source_full_word_group() {
+        // 64 sources (a full lane word) on a graph where vicinities
+        // overlap heavily — the sharing case the kernel exists for.
+        let n = 200usize;
+        let edges: Vec<(NodeId, NodeId)> = (0..n as NodeId - 1).map(|v| (v, v + 1)).collect();
+        let g = from_edges(n, &edges);
+        let sources: Vec<NodeId> = (30..94).collect();
+        assert_eq!(sources.len(), 64);
+        for h in [0u32, 1, 3] {
+            assert_multi_matches_scalar(&g, &sources, h);
+        }
+    }
+
+    #[test]
+    fn multi_source_scratch_reuse_resets_cleanly() {
+        let g = path6();
+        let mut ms = MsBfsScratch::new(6);
+        ms.visit_h_vicinity_multi(&g, &[0, 5], 1);
+        assert_eq!(ms.union_footprint(), 4);
+        // A second, disjoint traversal must not see stale lanes.
+        ms.visit_h_vicinity_multi(&g, &[2], 0);
+        assert_eq!(ms.union_footprint(), 1);
+        let mut sizes = [0u32];
+        ms.lane_sizes(&mut sizes);
+        assert_eq!(sizes, [1]);
+        assert_eq!(ms.lane_words(), &[0, 0, 1, 0, 0, 0]);
+        assert_eq!(ms.reached_lanes(0), 0, "previous footprint cleared");
+        // And an h = 0 group leaves each lane on its own source only.
+        ms.visit_h_vicinity_multi(&g, &[3, 3, 1], 0);
+        assert_eq!(ms.reached_lanes(3), 0b011);
+        assert_eq!(ms.reached_lanes(1), 0b100);
+    }
+
+    #[test]
+    fn lane_member_counts_match_per_lane_intersections() {
+        let g = from_edges(
+            140,
+            &[(0, 1), (1, 2), (2, 63), (63, 64), (64, 65), (65, 128)],
+        );
+        let mut ms = MsBfsScratch::new(140);
+        let sources = [0u32, 63, 139];
+        ms.visit_h_vicinity_multi(&g, &sources, 2);
+        let members = [1u32, 64, 128, 139];
+        let mut counts = vec![0u32; sources.len()];
+        ms.lane_member_counts(&members, &mut counts);
+        let mut s = BfsScratch::new(140);
+        for (lane, &src) in sources.iter().enumerate() {
+            let vic = s.h_vicinity(&g, src, 2);
+            let want = members.iter().filter(|m| vic.contains(m)).count();
+            assert_eq!(counts[lane] as usize, want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 sources")]
+    fn oversized_group_rejected() {
+        let g = path6();
+        let mut ms = MsBfsScratch::new(6);
+        let sources = vec![0u32; 65];
+        ms.visit_h_vicinity_multi(&g, &sources, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "MsBfsScratch sized for")]
+    fn undersized_multi_scratch_panics() {
+        let g = path6();
+        let mut ms = MsBfsScratch::new(3);
+        ms.visit_h_vicinity_multi(&g, &[0], 1);
+    }
+
+    #[test]
+    fn multi_source_kernel_selection() {
+        let g = path6();
+        assert!(BfsKernel::Multi.use_multi_source(&g, 1, 1));
+        assert!(!BfsKernel::Scalar.use_multi_source(&g, 3, 10_000));
+        assert!(!BfsKernel::Bitset.use_multi_source(&g, 3, 10_000));
+        // Auto: enough sources AND the union footprint covers the
+        // graph. On path6 any 16 sources at h ≥ 1 qualify…
+        assert!(BfsKernel::Auto.use_multi_source(&g, 1, MULTI_MIN_SOURCES));
+        assert!(!BfsKernel::Auto.use_multi_source(&g, 1, MULTI_MIN_SOURCES - 1));
+        // …but tiny vicinity islands in a big sparse graph never do.
+        let sparse = from_edges(100_000, &[(0, 1), (2, 3)]);
+        assert!(!BfsKernel::Auto.use_multi_source(&sparse, 1, 300));
+        assert!(!BfsKernel::Auto.use_multi_source(&from_edges(0, &[]), 1, 64));
+        // Multi in a single-source context degrades to the bitset path.
+        assert!(BfsKernel::Multi.use_bitset(&g, 1));
+        assert_eq!(BfsKernel::Multi.to_string(), "multi");
+    }
+
+    #[test]
+    fn add_lane_popcounts_matches_naive_bit_loop() {
+        // > 255 words forces at least one mid-stream counter flush.
+        let words: Vec<u64> = (0..700u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | ((i % 3 == 0) as u64))
+            .collect();
+        let mut naive = vec![0u32; 64];
+        for &w in &words {
+            for (s, slot) in naive.iter_mut().enumerate() {
+                *slot += ((w >> s) & 1) as u32;
+            }
+        }
+        let mut csa = vec![0u32; 64];
+        add_lane_popcounts(&words, &mut csa);
+        assert_eq!(naive, csa);
+        // Accumulation contract: += , not overwrite.
+        add_lane_popcounts(&words, &mut csa);
+        assert_eq!(csa[0], 2 * naive[0]);
     }
 
     #[test]

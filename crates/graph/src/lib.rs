@@ -41,8 +41,11 @@ pub mod pool;
 pub mod relabel;
 pub mod vicinity;
 
-pub use bfs::{multi_mask_counts, BfsKernel, BfsScratch};
+pub use bfs::{
+    multi_mask_counts, BfsKernel, BfsScratch, MsBfsScratch, MAX_GROUP_SOURCES, MULTI_MIN_SOURCES,
+    SOURCE_GROUP_SIZE,
+};
 pub use csr::{CsrGraph, EdgeError, GraphBuilder, NodeId};
-pub use pool::{PooledScratch, ScratchPool, PARALLEL_MIN_NODES};
+pub use pool::{PooledMultiScratch, PooledScratch, ScratchPool, PARALLEL_MIN_NODES};
 pub use relabel::{RelabeledGraph, Relabeling};
 pub use vicinity::VicinityIndex;

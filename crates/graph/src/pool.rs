@@ -18,7 +18,7 @@
 //! counterpart designed for the same sharing (asserted at compile time
 //! below).
 
-use crate::bfs::BfsScratch;
+use crate::bfs::{BfsScratch, MsBfsScratch};
 use crate::csr::CsrGraph;
 use std::ops::{Deref, DerefMut};
 use std::sync::Mutex;
@@ -38,6 +38,11 @@ pub const PARALLEL_MIN_NODES: usize = 1024;
 pub struct ScratchPool {
     num_nodes: usize,
     free: Mutex<Vec<BfsScratch>>,
+    /// Free list for the 64-way multi-source kernel's scratches
+    /// ([`MsBfsScratch`]) — separate, because a grouped density sweep
+    /// needs *both* kinds at different times and their footprints
+    /// differ (lane words vs epoch stamps).
+    multi_free: Mutex<Vec<MsBfsScratch>>,
 }
 
 impl ScratchPool {
@@ -46,6 +51,7 @@ impl ScratchPool {
         ScratchPool {
             num_nodes,
             free: Mutex::new(Vec::new()),
+            multi_free: Mutex::new(Vec::new()),
         }
     }
 
@@ -75,10 +81,31 @@ impl ScratchPool {
         }
     }
 
+    /// Check a multi-source scratch ([`MsBfsScratch`]) out of the
+    /// pool, creating one if the free list is empty. The scratch
+    /// returns to the pool when the guard drops.
+    pub fn acquire_multi(&self) -> PooledMultiScratch<'_> {
+        let scratch = self
+            .multi_free
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| MsBfsScratch::new(self.num_nodes));
+        PooledMultiScratch {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
     /// Number of scratches currently idle in the pool (diagnostics:
     /// after a batch run this is the high-water mark of concurrency).
     pub fn idle(&self) -> usize {
         self.free.lock().expect("scratch pool poisoned").len()
+    }
+
+    /// Number of idle multi-source scratches.
+    pub fn idle_multi(&self) -> usize {
+        self.multi_free.lock().expect("scratch pool poisoned").len()
     }
 }
 
@@ -118,6 +145,40 @@ impl Drop for PooledScratch<'_> {
     }
 }
 
+/// RAII guard dereferencing to a pooled [`MsBfsScratch`]; returns the
+/// scratch to its [`ScratchPool`] on drop.
+#[derive(Debug)]
+pub struct PooledMultiScratch<'p> {
+    pool: &'p ScratchPool,
+    scratch: Option<MsBfsScratch>,
+}
+
+impl Deref for PooledMultiScratch<'_> {
+    type Target = MsBfsScratch;
+
+    #[inline]
+    fn deref(&self) -> &MsBfsScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for PooledMultiScratch<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut MsBfsScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledMultiScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            if let Ok(mut free) = self.pool.multi_free.lock() {
+                free.push(s);
+            }
+        }
+    }
+}
+
 // Compile-time shareability contract for the batch engine: one graph,
 // one vicinity index and one pool serve all worker threads.
 const _: () = {
@@ -126,6 +187,7 @@ const _: () = {
     assert_sync::<crate::VicinityIndex>();
     assert_sync::<ScratchPool>();
     assert_sync::<PooledScratch<'_>>();
+    assert_sync::<PooledMultiScratch<'_>>();
 };
 
 #[cfg(test)]
@@ -157,6 +219,24 @@ mod tests {
         let mut s = pool.acquire();
         assert_eq!(s.vicinity_size(&g, 2, 1), 3);
         assert_eq!(s.vicinity_size(&g, 0, 2), 3);
+    }
+
+    #[test]
+    fn multi_scratch_acquire_creates_then_reuses() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let pool = ScratchPool::for_graph(&g);
+        assert_eq!(pool.idle_multi(), 0);
+        {
+            let mut a = pool.acquire_multi();
+            let _b = pool.acquire_multi();
+            a.visit_h_vicinity_multi(&g, &[0, 5], 1);
+            assert_eq!(a.union_footprint(), 4);
+            assert_eq!(pool.idle_multi(), 0, "both checked out");
+        }
+        assert_eq!(pool.idle_multi(), 2, "both returned on drop");
+        // The two free lists are independent.
+        let _s = pool.acquire();
+        assert_eq!(pool.idle_multi(), 2);
     }
 
     #[test]

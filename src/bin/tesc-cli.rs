@@ -9,12 +9,14 @@
 //!               [--h 1] [--n 900] [--tail upper|lower|two]
 //!               [--alpha 0.05] [--sampler batch|reject|importance|whole]
 //!               [--statistic kendall|spearman] [--seed 42]
-//!               [--kernel auto|scalar|bitset] [--relabel on|off]
+//!               [--kernel auto|scalar|bitset|multi] [--relabel on|off]
 //!     Run the TESC significance test and the transaction-correlation
 //!     baseline, print both. --kernel picks the density BFS kernel
-//!     (default auto: expected-density heuristic); --relabel on runs
-//!     density BFS on a locality-relabeled substrate. Both knobs are
-//!     pure performance switches — results are bit-identical.
+//!     (default auto: expected-density heuristic, batching reference
+//!     nodes into 64-way multi-source traversals on big samples;
+//!     multi forces the batching); --relabel on runs density BFS on a
+//!     locality-relabeled substrate. Both knobs are pure performance
+//!     switches — results are bit-identical.
 //!
 //! tesc-cli batch --graph G.txt --pairs PAIRS.txt [--threads 0]
 //!                [--h 1] [--n 900] [--tail upper|lower|two]
@@ -31,7 +33,7 @@
 //!               [--threads 0] [--h 1] [--n 900] [--tail upper|lower|two]
 //!               [--alpha 0.05] [--sampler batch|reject|importance|whole]
 //!               [--statistic kendall|spearman] [--seed 42] [--cache on]
-//!               [--kernel auto|scalar|bitset] [--relabel on|off]
+//!               [--kernel auto|scalar|bitset|multi] [--relabel on|off]
 //!     Rank event pairs by TESC evidence through the fused pair-set
 //!     planner (tesc::rank): all pairs of EVENTS.txt by default,
 //!     `--focus EVENT` for one event against every partner, or an
@@ -97,24 +99,24 @@ const USAGE: &str = "usage:
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42]
-                [--kernel auto|scalar|bitset] [--relabel on|off]
+                [--kernel auto|scalar|bitset|multi] [--relabel on|off]
   tesc-cli batch --graph G.txt --pairs PAIRS.txt [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42] [--cache on|off]
-                [--kernel auto|scalar|bitset] [--relabel on|off]
+                [--kernel auto|scalar|bitset|multi] [--relabel on|off]
   tesc-cli rank --graph G.txt --events EVENTS.txt
                 [--pairs NPAIRS.txt | --focus EVENT] [--top-k K] [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42] [--cache on|off]
-                [--kernel auto|scalar|bitset] [--relabel on|off]
+                [--kernel auto|scalar|bitset|multi] [--relabel on|off]
   tesc-cli stream --graph G.txt --events EVENTS.txt --pairs NPAIRS.txt
                 --updates U.txt [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42]
-                [--kernel auto|scalar|bitset] [--relabel on|off]";
+                [--kernel auto|scalar|bitset|multi] [--relabel on|off]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -290,9 +292,10 @@ fn kernel_flags(flags: &HashMap<String, String>) -> Result<(BfsKernel, bool), St
         None | Some("auto") => BfsKernel::Auto,
         Some("scalar") => BfsKernel::Scalar,
         Some("bitset") => BfsKernel::Bitset,
+        Some("multi") => BfsKernel::Multi,
         Some(other) => {
             return Err(format!(
-                "--kernel must be auto|scalar|bitset, got {other:?}"
+                "--kernel must be auto|scalar|bitset|multi, got {other:?}"
             ))
         }
     };

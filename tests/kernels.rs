@@ -11,7 +11,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tesc::density::{
-    density_counts, density_counts_bitset, density_vectors_plan, translate_mask, KernelPlan,
+    density_counts, density_counts_bitset, density_vectors, density_vectors_group_plan,
+    density_vectors_plan, translate_mask, GroupKernelPlan, KernelPlan,
 };
 use tesc::{
     BfsKernel, DensityCache, NodeMask, SamplerKind, Tail, TescConfig, TescEngine, TescResult,
@@ -19,7 +20,7 @@ use tesc::{
 use tesc_datasets::{DblpConfig, DblpScenario};
 use tesc_graph::perturb::{add_random_edges, remove_random_edges};
 use tesc_graph::relabel::{RelabeledGraph, Relabeling};
-use tesc_graph::{BfsScratch, CsrGraph, NodeId, ScratchPool, VicinityIndex};
+use tesc_graph::{BfsScratch, CsrGraph, MsBfsScratch, NodeId, ScratchPool, VicinityIndex};
 
 const CASES: u64 = 128;
 
@@ -166,37 +167,39 @@ fn engine_outcomes_bit_identical_across_kernel_relabel_cache_threads() {
                 .with_density_kernel(BfsKernel::Scalar);
             run(&engine, sampler, 82)
         };
-        for relabel in [false, true] {
-            for cached in [false, true] {
-                for threads in [1usize, 4] {
-                    let mut engine = TescEngine::with_vicinity_index(&s.graph, &idx)
-                        .with_density_kernel(BfsKernel::Bitset)
-                        .with_relabeling(relabel)
-                        .with_density_threads(threads);
-                    let cache = std::sync::Arc::new(DensityCache::for_graph(&s.graph));
-                    if cached {
-                        engine = engine.with_density_cache(cache.clone());
-                    }
-                    let got = run(&engine, sampler, 82);
-                    assert_eq!(
-                        reference, got,
-                        "{sampler}: relabel={relabel} cache={cached} threads={threads}"
-                    );
-                    assert_eq!(
-                        reference.z().to_bits(),
-                        got.z().to_bits(),
-                        "{sampler}: z bits differ (relabel={relabel} cache={cached} threads={threads})"
-                    );
-                    // Warm-cache re-run stays identical too. (The
-                    // importance sampler documentedly bypasses the
-                    // cache — its per-node quantities are
-                    // pair-specific — so only uniform samplers must
-                    // show hits.)
-                    if cached {
-                        let again = run(&engine, sampler, 82);
-                        assert_eq!(reference, again, "{sampler}: warm cache");
-                        if !matches!(sampler, SamplerKind::Importance { .. }) {
-                            assert!(cache.hits() > 0, "{sampler}: cache engaged");
+        for kernel in [BfsKernel::Bitset, BfsKernel::Multi] {
+            for relabel in [false, true] {
+                for cached in [false, true] {
+                    for threads in [1usize, 4] {
+                        let mut engine = TescEngine::with_vicinity_index(&s.graph, &idx)
+                            .with_density_kernel(kernel)
+                            .with_relabeling(relabel)
+                            .with_density_threads(threads);
+                        let cache = std::sync::Arc::new(DensityCache::for_graph(&s.graph));
+                        if cached {
+                            engine = engine.with_density_cache(cache.clone());
+                        }
+                        let got = run(&engine, sampler, 82);
+                        assert_eq!(
+                            reference, got,
+                            "{sampler}: kernel={kernel} relabel={relabel} cache={cached} threads={threads}"
+                        );
+                        assert_eq!(
+                            reference.z().to_bits(),
+                            got.z().to_bits(),
+                            "{sampler}: z bits differ (kernel={kernel} relabel={relabel} cache={cached} threads={threads})"
+                        );
+                        // Warm-cache re-run stays identical too. (The
+                        // importance sampler documentedly bypasses the
+                        // cache — its per-node quantities are
+                        // pair-specific — so only uniform samplers must
+                        // show hits.)
+                        if cached {
+                            let again = run(&engine, sampler, 82);
+                            assert_eq!(reference, again, "{sampler}: warm cache");
+                            if !matches!(sampler, SamplerKind::Importance { .. }) {
+                                assert!(cache.hits() > 0, "{sampler}: cache engaged");
+                            }
                         }
                     }
                 }
@@ -269,6 +272,204 @@ fn plan_density_vectors_equal_for_random_masks() {
             assert_eq!(reference, got, "case {case}: {label}");
         }
     }
+}
+
+/// The nodes each lane of the most recent multi-source traversal
+/// reached, ascending.
+fn lane_sets(ms: &MsBfsScratch, lanes: usize) -> Vec<Vec<NodeId>> {
+    let mut out = vec![Vec::new(); lanes];
+    for (v, &word) in ms.lane_words().iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            out[w.trailing_zeros() as usize].push(v as NodeId);
+            w &= w - 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn multi_source_level_sets_equal_independent_scalar_on_random_graphs() {
+    // 128 seeded cases on random graphs: every lane's *level sets*
+    // (nodes first reached at each depth) must equal an independent
+    // single-source scalar BFS — verified by diffing the lane's
+    // reached set between consecutive depths.
+    for case in 0..CASES {
+        let mut r = rng(25_000 + case);
+        let (n, g) = random_graph(&mut r);
+        let h = r.gen_range(0u32..4);
+        // Group sizes straddling interesting shapes: singleton, a few,
+        // word-boundary-1, full word — with occasional duplicates.
+        let k = [1usize, 3, 63, 64][r.gen_range(0usize..4)];
+        let mut sources: Vec<NodeId> = (0..k).map(|_| r.gen_range(0..n as u32)).collect();
+        if r.gen_range(0u32..3) == 0 && sources.len() > 1 {
+            sources[1] = sources[0]; // duplicate lanes evolve identically
+        }
+        let mut ms = MsBfsScratch::new(n);
+        let mut s = BfsScratch::new(n);
+        let mut prev: Vec<Vec<NodeId>> = vec![Vec::new(); sources.len()];
+        for depth in 0..=h {
+            ms.visit_h_vicinity_multi(&g, &sources, depth);
+            let sets = lane_sets(&ms, sources.len());
+            let mut sizes = vec![0u32; sources.len()];
+            ms.lane_sizes(&mut sizes);
+            for (lane, &src) in sources.iter().enumerate() {
+                let mut want = Vec::new();
+                let mut want_level = Vec::new();
+                s.visit_h_vicinity(&g, &[src], depth, |v, d| {
+                    want.push(v);
+                    if d == depth {
+                        want_level.push(v);
+                    }
+                });
+                want.sort_unstable();
+                want_level.sort_unstable();
+                assert_eq!(
+                    sets[lane], want,
+                    "case {case}: lane {lane} reached set at depth {depth}"
+                );
+                assert_eq!(sizes[lane] as usize, want.len(), "case {case}: lane size");
+                // Level set = reached(depth) \ reached(depth − 1).
+                let level: Vec<NodeId> = sets[lane]
+                    .iter()
+                    .copied()
+                    .filter(|v| prev[lane].binary_search(v).is_err())
+                    .collect();
+                assert_eq!(
+                    level, want_level,
+                    "case {case}: lane {lane} level set at depth {depth}"
+                );
+            }
+            prev = sets;
+        }
+    }
+}
+
+#[test]
+fn multi_source_lanes_equal_scalar_on_perturbed_generator_graphs() {
+    let base = tesc_graph::generators::barabasi_albert(400, 3, &mut rng(2));
+    for case in 0..CASES / 4 {
+        let mut r = rng(26_000 + case);
+        let (shrunk, _) = remove_random_edges(&base, 30, &mut r);
+        let (g, _) = add_random_edges(&shrunk, 30, &mut r);
+        let n = g.num_nodes();
+        let h = r.gen_range(0u32..4);
+        let sources: Vec<NodeId> = (0..r.gen_range(1usize..65))
+            .map(|_| r.gen_range(0..n as u32))
+            .collect();
+        let mut ms = MsBfsScratch::new(n);
+        let mut s = BfsScratch::new(n);
+        ms.visit_h_vicinity_multi(&g, &sources, h);
+        let sets = lane_sets(&ms, sources.len());
+        for (lane, &src) in sources.iter().enumerate() {
+            let mut want = s.h_vicinity(&g, src, h);
+            want.sort_unstable();
+            assert_eq!(sets[lane], want, "case {case}: lane {lane} h={h}");
+        }
+    }
+}
+
+#[test]
+fn grouped_density_vectors_for_worksets_straddling_the_word_boundary() {
+    // Workset sizes 1, 63, 64, 65, 127 — partitioned into groups by
+    // the executor — must all reproduce the scalar reference,
+    // including sources sharing a vicinity (dense community) and
+    // duplicate-adjacent sources after relabeling.
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(90));
+    let g = &s.graph;
+    let n = g.num_nodes();
+    let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(91));
+    let norm = |v: &[NodeId]| {
+        let mut v = v.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let (a, b) = (norm(&va), norm(&vb));
+    let (ma, mb) = (NodeMask::from_nodes(n, &a), NodeMask::from_nodes(n, &b));
+    let pool = ScratchPool::for_graph(g);
+    let mut scratch = BfsScratch::new(n);
+    let slot_nodes = vec![a.clone(), b.clone()];
+    let plain = GroupKernelPlan {
+        graph: g,
+        slot_nodes: &slot_nodes,
+        translate: None,
+        h: 2,
+    };
+    let rel = RelabeledGraph::build(g);
+    let translated = vec![rel.map().map_to_new(&a), rel.map().map_to_new(&b)];
+    let relabeled = GroupKernelPlan {
+        graph: rel.graph(),
+        slot_nodes: &translated,
+        translate: Some(rel.map()),
+        h: 2,
+    };
+    let mut r = rng(92);
+    for workset in [1usize, 63, 64, 65, 127] {
+        // Half clustered (shared vicinities), half uniform; a repeated
+        // node makes two lanes duplicate-adjacent after relabeling.
+        let base = r.gen_range(0..(n as u32) / 2);
+        let mut refs: Vec<NodeId> = (0..workset as u32 / 2).map(|i| base + i % 40).collect();
+        refs.extend((refs.len()..workset).map(|_| r.gen_range(0..n as u32)));
+        if workset > 1 {
+            let dup = refs[0];
+            refs[workset / 2] = dup;
+        }
+        let reference = density_vectors(g, &mut scratch, &refs, 2, &ma, &mb);
+        for group_size in [1usize, 63, 64] {
+            for (label, plan) in [("plain", &plain), ("relabeled", &relabeled)] {
+                let got = density_vectors_group_plan(plan, &pool, &refs, 2, group_size);
+                assert_eq!(
+                    reference, got,
+                    "workset={workset} group_size={group_size} {label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partially_memoized_groups_mix_cache_hits_and_bfs_lanes() {
+    // Some lanes of a fused workset are fully memoized (they skip the
+    // traversal), some hit one slot of two, some miss everything — the
+    // grouped pass must blend all three bit-identically and only BFS
+    // the pending lanes.
+    use tesc::batch::{run_batch_serial, BatchRequest, EventPair};
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(95));
+    let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(96));
+    let (vc, vd) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(97));
+    let cfg = TescConfig::new(2).with_sample_size(150);
+    let cache = std::sync::Arc::new(DensityCache::for_graph(&s.graph));
+    let engine = TescEngine::new(&s.graph)
+        .with_density_kernel(BfsKernel::Multi)
+        .with_density_cache(cache.clone());
+    // Warm the cache with the (a, b) pair only: a later batch naming
+    // (a, c), (b, d) and (a, b) then sees full hits, half hits and
+    // misses across its deduplicated workset.
+    let warm = BatchRequest::new(cfg)
+        .with_seed(5)
+        .with_pair(EventPair::new("ab", va.clone(), vb.clone()));
+    let _ = run_batch_serial(&engine, &warm);
+    let bfs_after_warm = cache.bfs_invocations();
+    let req = BatchRequest::new(cfg)
+        .with_seed(5)
+        .with_threads(1)
+        .with_pair(EventPair::new("ab", va.clone(), vb.clone()))
+        .with_pair(EventPair::new("ac", va.clone(), vc.clone()))
+        .with_pair(EventPair::new("bd", vb.clone(), vd.clone()));
+    let reference = {
+        let plain = TescEngine::new(&s.graph).with_density_kernel(BfsKernel::Scalar);
+        run_batch_serial(&plain, &req)
+    };
+    let got = run_batch_serial(&engine, &req);
+    for (a, b) in reference.outcomes.iter().zip(&got.outcomes) {
+        assert_eq!(a, b, "partially memoized grouped batch");
+    }
+    assert!(
+        cache.bfs_invocations() > bfs_after_warm,
+        "new events force fresh lanes"
+    );
+    assert!(cache.hits() > 0, "warmed slots are reused");
 }
 
 #[test]
