@@ -108,6 +108,61 @@ impl Harness {
         self
     }
 
+    /// Configured timed samples per benchmark. Load-generator benches
+    /// that measure whole request streams (rather than one closure)
+    /// scale their request counts off this, so `TESC_BENCH_SAMPLES=1`
+    /// keeps CI smoke runs fast without a dedicated knob.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Append one custom data record —
+    /// `{"bench":NAME,"row":row,"k1":v1,...}` — to the JSON-lines
+    /// path, writing the run's header record first when needed.
+    ///
+    /// This is the escape hatch for benches whose unit of measurement
+    /// is not "median seconds of one closure": a closed-loop load
+    /// generator reports `p50_us`/`p99_us`/`rps` per row instead of
+    /// `ns_per_iter`, but should still share the header/append
+    /// protocol so one artifact file holds every bench's records.
+    /// No-op when no JSON path is configured.
+    pub fn record_row(&self, row: &str, fields: &[(&str, f64)]) {
+        let Some(path) = &self.json else { return };
+        self.write_header_once(path);
+        let mut record = format!(
+            "{{\"bench\":\"{}\",\"row\":\"{}\"",
+            json_escape(&self.bench_name),
+            json_escape(row),
+        );
+        for (key, value) in fields {
+            use std::fmt::Write as _;
+            let _ = write!(record, ",\"{}\":{:.1}", json_escape(key), value);
+        }
+        record.push_str("}\n");
+        if let Err(e) = append_record(path, &record) {
+            eprintln!("TESC_BENCH_JSON: cannot append to {}: {e}", path.display());
+        }
+    }
+
+    /// Append the run's header record if this run has not written one
+    /// yet (one header per bench-binary invocation).
+    fn write_header_once(&self, path: &Path) {
+        if self.header_written.replace(true) {
+            return;
+        }
+        let header = format!(
+            "{{\"bench\":\"{}\",\"header\":true,\"commit\":\"{}\",\"cpus\":{},\"samples\":{},\"min_sample_ms\":{}}}\n",
+            json_escape(&self.bench_name),
+            json_escape(&git_short_commit()),
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+            self.samples,
+            self.min_sample_time.as_millis(),
+        );
+        if let Err(e) = append_record(path, &header) {
+            eprintln!("TESC_BENCH_JSON: cannot append to {}: {e}", path.display());
+        }
+    }
+
     /// Time `f`, printing one report line and returning the median
     /// seconds per iteration (`NAN` when filtered out). The closure's
     /// return value is passed through [`std::hint::black_box`] so the
@@ -151,19 +206,7 @@ impl Harness {
             self.samples,
         );
         if let Some(path) = &self.json {
-            if !self.header_written.replace(true) {
-                let header = format!(
-                    "{{\"bench\":\"{}\",\"header\":true,\"commit\":\"{}\",\"cpus\":{},\"samples\":{},\"min_sample_ms\":{}}}\n",
-                    json_escape(&self.bench_name),
-                    json_escape(&git_short_commit()),
-                    std::thread::available_parallelism().map_or(1, |n| n.get()),
-                    self.samples,
-                    self.min_sample_time.as_millis(),
-                );
-                if let Err(e) = append_record(path, &header) {
-                    eprintln!("TESC_BENCH_JSON: cannot append to {}: {e}", path.display());
-                }
-            }
+            self.write_header_once(path);
             let record = format!(
                 "{{\"bench\":\"{}\",\"row\":\"{}\",\"ns_per_iter\":{:.1},\"samples\":{}}}\n",
                 json_escape(&self.bench_name),
@@ -321,5 +364,39 @@ mod tests {
         assert!(lines[1].contains("\"ns_per_iter\":"));
         assert!(lines[2].contains("\"row\":\"grp/row2\""));
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn custom_records_share_the_header_protocol() {
+        let path = std::env::temp_dir().join(format!(
+            "tesc_bench_custom_record_test_{}_{}.jsonl",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut harness = Harness::new();
+        harness.samples = 1;
+        harness.json = Some(path.clone());
+        harness.min_sample_time = Duration::ZERO;
+        harness.record_row("test/c4/budget=inf", &[("p50_us", 123.45), ("rps", 9000.0)]);
+        harness.bench("grp/row", || 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + custom + bench record: {text:?}");
+        assert!(lines[0].contains("\"header\":true"), "{text}");
+        assert!(
+            lines[1].contains("\"row\":\"test/c4/budget=inf\""),
+            "{text}"
+        );
+        assert!(lines[1].contains("\"p50_us\":123.5"), "{text}");
+        assert!(lines[1].contains("\"rps\":9000.0"), "{text}");
+        assert!(
+            lines[2].contains("\"ns_per_iter\":"),
+            "bench() must not repeat the header: {text}"
+        );
     }
 }

@@ -33,9 +33,23 @@
 //! whenever the graph changes (stale counts can never leak across
 //! graph versions) and shares the warm cache across event-only
 //! versions, where every entry remains valid.
+//!
+//! **Bounded memory.** By default the cache is append-only — correct
+//! for batch runs that die with the process, a leak for a long-lived
+//! server whose event stream never ends. [`DensityCache::for_graph_bounded`]
+//! caps resident memory with a sharded **second-chance (CLOCK)**
+//! policy: each shard keeps a FIFO ring over its entry slabs plus a
+//! per-entry referenced bit set on every hit; when an insert pushes
+//! the shard past its slice of the byte budget, the ring is swept —
+//! recently referenced entries get a second chance (bit cleared,
+//! re-queued), unreferenced ones are evicted. Eviction only ever
+//! forgets *memoized work*: a later probe misses and the count is
+//! re-measured by the same deterministic BFS, so results stay
+//! bit-identical to the unbounded (and the uncached) path — asserted
+//! in `tests/cache_eviction.rs` across kernel × relabel configs.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -240,11 +254,34 @@ impl CachedCount {
 
 const SHARDS: usize = 16;
 
+/// Approximate heap bytes charged per memoized `(event, node, h)`
+/// slot: the inner-map entry (key word + count + hash-table slack)
+/// plus its second-chance ring slot. The budget arithmetic only needs
+/// to be *proportional* to real usage — the policy evicts in entry
+/// units either way — so a fixed per-slot estimate keeps accounting
+/// off the probe hot path.
+pub const SLOT_BYTES: usize = 64;
+
+/// Approximate heap bytes charged once per event per shard: the outer
+/// map entry, the shared `Arc<[NodeId]>` occurrence set (4 bytes per
+/// node) and the fresh-compute tally slot.
+fn event_bytes(key: &EventKey) -> usize {
+    96 + 4 * key.nodes().len()
+}
+
 /// Inner slot key: `(reference node, h)` packed into one word, so a
 /// probe hashes a single `u64` through [`MixHasher`].
 #[inline]
 fn slot_key(r: NodeId, h: u32) -> u64 {
     (r as u64) << 32 | h as u64
+}
+
+/// One memoized slot: the count plus the second-chance referenced bit
+/// (set on every hit, cleared by the eviction sweep).
+#[derive(Debug, Clone, Copy)]
+struct SlotEntry {
+    value: CachedCount,
+    referenced: bool,
 }
 
 /// One shard of the memo table, nested `event → (node, h) → count`.
@@ -258,34 +295,103 @@ fn slot_key(r: NodeId, h: u32) -> u64 {
 /// touch each event's inner map once. The fresh-compute tally lives in
 /// the shard too, so an insert updates it under the lock it already
 /// holds instead of taking a second, global one.
+///
+/// Under a byte budget the shard additionally maintains `ring`, the
+/// second-chance FIFO over its resident `(event, slot)` identities
+/// (each exactly once — pushed on fresh insert, removed on eviction);
+/// `resident_bytes` tracks the estimated footprint either way, so an
+/// unbounded cache can still report its size.
 #[derive(Debug, Default)]
 struct Shard {
-    slots: HashMap<EventKey, HashMap<u64, CachedCount, MixBuild>, MixBuild>,
+    slots: HashMap<EventKey, HashMap<u64, SlotEntry, MixBuild>, MixBuild>,
     fresh: HashMap<EventKey, u64, MixBuild>,
+    ring: VecDeque<(EventKey, u64)>,
+    resident_bytes: usize,
+    evictions: u64,
 }
 
 impl Shard {
     /// Insert one measured count, tallying freshness on first fill.
-    fn insert(&mut self, event: &EventKey, slot: u64, value: CachedCount) {
+    /// `shard_budget` is this shard's slice of the byte budget (`None`
+    /// = unbounded, today's append-only behavior: no ring, no sweep).
+    fn insert(
+        &mut self,
+        event: &EventKey,
+        slot: u64,
+        value: CachedCount,
+        shard_budget: Option<usize>,
+    ) {
+        let entry = SlotEntry {
+            value,
+            referenced: false,
+        };
         // Clone the key only on the event's first entry in this shard;
         // steady-state inserts take the single-hash fast path.
         let fresh_slot = match self.slots.get_mut(event) {
-            Some(slots) => slots.insert(slot, value).is_none(),
+            Some(slots) => slots.insert(slot, entry).is_none(),
             None => {
-                let mut slots = HashMap::<u64, CachedCount, MixBuild>::default();
-                slots.insert(slot, value);
+                let mut slots = HashMap::<u64, SlotEntry, MixBuild>::default();
+                slots.insert(slot, entry);
                 self.slots.insert(event.clone(), slots);
+                self.resident_bytes += event_bytes(event);
                 true
             }
         };
         if fresh_slot {
+            self.resident_bytes += SLOT_BYTES;
             match self.fresh.get_mut(event) {
                 Some(tally) => *tally += 1,
                 None => {
                     self.fresh.insert(event.clone(), 1);
                 }
             }
+            if let Some(budget) = shard_budget {
+                self.ring.push_back((event.clone(), slot));
+                self.evict_to_budget(budget);
+            }
         }
+    }
+
+    /// Second-chance sweep: pop the ring front; a referenced entry has
+    /// its bit cleared and re-queues, an unreferenced one is evicted.
+    /// Terminates because every iteration either evicts (shrinking the
+    /// ring) or clears one referenced bit (bits are only re-set by
+    /// lookups, which cannot run while this shard's lock is held). The
+    /// newest entry is always retained, so a budget smaller than one
+    /// entry degrades to a one-entry cache instead of thrashing the
+    /// insert that is currently being paid for.
+    fn evict_to_budget(&mut self, budget: usize) {
+        while self.resident_bytes > budget && self.ring.len() > 1 {
+            let (event, slot) = self.ring.pop_front().expect("ring non-empty");
+            let Some(slots) = self.slots.get_mut(&event) else {
+                debug_assert!(false, "ring names an evicted event");
+                continue;
+            };
+            match slots.get_mut(&slot) {
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    self.ring.push_back((event, slot));
+                }
+                Some(_) => {
+                    slots.remove(&slot);
+                    self.resident_bytes -= SLOT_BYTES;
+                    self.evictions += 1;
+                    if slots.is_empty() {
+                        self.slots.remove(&event);
+                        self.resident_bytes -= event_bytes(&event);
+                    }
+                }
+                None => debug_assert!(false, "ring names an evicted slot"),
+            }
+        }
+    }
+
+    /// Probe one slot, marking it referenced on a hit.
+    #[inline]
+    fn probe(&mut self, event: &EventKey, slot: u64) -> Option<CachedCount> {
+        let e = self.slots.get_mut(event)?.get_mut(&slot)?;
+        e.referenced = true;
+        Some(e.value)
     }
 }
 
@@ -301,6 +407,9 @@ pub struct DensityCache {
     /// measured on — counts alone would collide under count-neutral
     /// rewirings like `tesc_graph::perturb`.
     graph_fingerprint: u64,
+    /// Total byte budget (`None` = unbounded append-only cache); each
+    /// shard enforces `budget / SHARDS`.
+    byte_budget: Option<usize>,
     bfs_invocations: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -309,13 +418,40 @@ pub struct DensityCache {
 impl DensityCache {
     /// Empty cache pinned to `g`'s structure.
     pub fn for_graph(g: &CsrGraph) -> Self {
+        Self::new(g, None)
+    }
+
+    /// Empty cache pinned to `g`'s structure with a resident-memory
+    /// cap of (approximately) `byte_budget` bytes, enforced by the
+    /// sharded second-chance policy described in the module docs.
+    /// Results remain bit-identical to the unbounded cache; only the
+    /// hit rate (and therefore the BFS count) can differ.
+    pub fn for_graph_bounded(g: &CsrGraph, byte_budget: usize) -> Self {
+        Self::new(g, Some(byte_budget))
+    }
+
+    /// Shared constructor: `None` = unbounded.
+    pub(crate) fn new(g: &CsrGraph, byte_budget: Option<usize>) -> Self {
         DensityCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             graph_fingerprint: g.fingerprint(),
+            byte_budget,
             bfs_invocations: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    #[inline]
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
+    /// Per-shard slice of the byte budget.
+    #[inline]
+    fn shard_budget(&self) -> Option<usize> {
+        self.byte_budget.map(|b| b / SHARDS)
     }
 
     /// Was this cache created for (a graph structurally identical to)
@@ -331,16 +467,14 @@ impl DensityCache {
     }
 
     /// Look up the memoized count for `(event, r, h)`, recording a
-    /// hit/miss.
+    /// hit/miss (and, under a byte budget, marking the entry
+    /// recently-referenced for the second-chance sweep).
     pub fn lookup(&self, event: &EventKey, r: NodeId, h: u32) -> Option<CachedCount> {
         let got = self
             .shard(r)
             .lock()
             .expect("density cache poisoned")
-            .slots
-            .get(event)
-            .and_then(|slots| slots.get(&slot_key(r, h)))
-            .copied();
+            .probe(event, slot_key(r, h));
         match got {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -369,9 +503,9 @@ impl DensityCache {
         let mut hits = 0u64;
         let mut misses = 0u64;
         {
-            let shard = self.shard(r).lock().expect("density cache poisoned");
+            let mut shard = self.shard(r).lock().expect("density cache poisoned");
             for key in events {
-                let got = shard.slots.get(key).and_then(|s| s.get(&slot)).copied();
+                let got = shard.probe(key, slot);
                 match got {
                     Some(_) => hits += 1,
                     None => misses += 1,
@@ -402,11 +536,8 @@ impl DensityCache {
     ) -> (Option<CachedCount>, Option<CachedCount>) {
         let key = slot_key(r, h);
         let (got_a, got_b) = {
-            let shard = self.shard(r).lock().expect("density cache poisoned");
-            (
-                shard.slots.get(a).and_then(|s| s.get(&key)).copied(),
-                shard.slots.get(b).and_then(|s| s.get(&key)).copied(),
-            )
+            let mut shard = self.shard(r).lock().expect("density cache poisoned");
+            (shard.probe(a, key), shard.probe(b, key))
         };
         let hits = got_a.is_some() as u64 + got_b.is_some() as u64;
         if hits > 0 {
@@ -439,9 +570,10 @@ impl DensityCache {
         h: u32,
     ) {
         let slot = slot_key(r, h);
+        let budget = self.shard_budget();
         let mut shard = self.shard(r).lock().expect("density cache poisoned");
         for (event, value) in entries {
-            shard.insert(event, slot, value);
+            shard.insert(event, slot, value, budget);
         }
     }
 
@@ -460,13 +592,14 @@ impl DensityCache {
         for (r, event, value) in entries {
             buckets[r as usize % SHARDS].push((slot_key(r, h), event, value));
         }
+        let budget = self.shard_budget();
         for (shard, bucket) in self.shards.iter().zip(buckets) {
             if bucket.is_empty() {
                 continue;
             }
             let mut shard = shard.lock().expect("density cache poisoned");
             for (slot, event, value) in bucket {
-                shard.insert(event, slot, value);
+                shard.insert(event, slot, value, budget);
             }
         }
     }
@@ -498,6 +631,44 @@ impl DensityCache {
     /// Lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the second-chance policy (always 0 for an
+    /// unbounded cache).
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("density cache poisoned").evictions)
+            .sum()
+    }
+
+    /// Estimated resident heap footprint of the memo tables, in bytes
+    /// (the quantity the byte budget bounds; see [`SLOT_BYTES`]).
+    /// Maintained for unbounded caches too, so `/stats` can report the
+    /// append-only growth a budget would have capped.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("density cache poisoned").resident_bytes)
+            .sum()
+    }
+
+    /// Total fresh slot computations across all events. For a bounded
+    /// cache the books must balance:
+    /// `fresh_inserts() == len() + evictions()` — every slot ever
+    /// freshly measured is either still resident or was evicted
+    /// (asserted in `tests/cache_eviction.rs`).
+    pub fn fresh_inserts(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("density cache poisoned")
+                    .fresh
+                    .values()
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     /// How many distinct `(node, h)` slots were freshly computed for
@@ -676,5 +847,108 @@ mod tests {
         const fn assert_sync<T: Sync + Send>() {}
         assert_sync::<DensityCache>();
         assert_sync::<EventKey>();
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_and_tracks_bytes() {
+        let cache = DensityCache::for_graph(&g());
+        assert_eq!(cache.byte_budget(), None);
+        let e = EventKey::new(&[0, 1]);
+        let v = CachedCount {
+            vicinity_size: 3,
+            count: 1,
+        };
+        for r in 0..4u32 {
+            cache.insert(&e, r, 1, v);
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.fresh_inserts(), 4);
+        // 4 slots + the event registered in however many shards it
+        // landed in (4 distinct nodes → up to 4 shards).
+        assert!(cache.resident_bytes() >= 4 * SLOT_BYTES);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_to_budget_and_books_balance() {
+        // Route everything through one shard (same node, varying h) so
+        // the tiny budget is exercised deterministically.
+        let budget = SHARDS * (SLOT_BYTES * 3 + 200);
+        let cache = DensityCache::for_graph_bounded(&g(), budget);
+        assert_eq!(cache.byte_budget(), Some(budget));
+        let e = EventKey::new(&[0, 1]);
+        let v = CachedCount {
+            vicinity_size: 3,
+            count: 1,
+        };
+        for h in 1..=20u32 {
+            cache.insert(&e, 1, h, v);
+        }
+        assert!(cache.evictions() > 0, "budget forced evictions");
+        assert!(
+            cache.resident_bytes() <= budget / SHARDS + event_bytes(&e) + SLOT_BYTES,
+            "resident {} far over shard budget",
+            cache.resident_bytes()
+        );
+        // Every fresh insert is either resident or evicted.
+        assert_eq!(
+            cache.fresh_inserts(),
+            cache.len() as u64 + cache.evictions()
+        );
+        // Evicted slots simply miss again; re-inserting works.
+        assert_eq!(cache.lookup(&e, 1, 1), None);
+        cache.insert(&e, 1, 1, v);
+        assert_eq!(cache.lookup(&e, 1, 1), Some(v));
+    }
+
+    #[test]
+    fn second_chance_prefers_unreferenced_victims() {
+        // Budget fits ~3 slots per shard; everything lands in node 1's
+        // shard. Keep slot h=1 hot via lookups and verify the sweep
+        // spares it while colder slots churn.
+        let budget = SHARDS * (SLOT_BYTES * 3 + 200);
+        let cache = DensityCache::for_graph_bounded(&g(), budget);
+        let e = EventKey::new(&[0, 2]);
+        let v = CachedCount {
+            vicinity_size: 3,
+            count: 2,
+        };
+        cache.insert(&e, 1, 1, v);
+        for h in 2..=12u32 {
+            // Touch the hot slot before each insert so its referenced
+            // bit is set whenever the sweep reaches it.
+            assert_eq!(cache.lookup(&e, 1, 1), Some(v), "hot slot at h={h}");
+            cache.insert(&e, 1, h, v);
+        }
+        assert!(cache.evictions() > 0);
+        assert_eq!(
+            cache.lookup(&e, 1, 1),
+            Some(v),
+            "recently referenced entry survived the sweeps"
+        );
+    }
+
+    #[test]
+    fn eviction_drops_empty_event_slabs() {
+        // One-slot budget: each insert evicts the previous slot; when
+        // an event's last slot goes, its slab bytes are released.
+        let budget = 1; // 0 per shard → retain-one-entry floor
+        let cache = DensityCache::for_graph_bounded(&g(), budget);
+        let (ea, eb) = (EventKey::new(&[0]), EventKey::new(&[1, 2, 3]));
+        let v = CachedCount {
+            vicinity_size: 2,
+            count: 1,
+        };
+        cache.insert(&ea, 1, 1, v);
+        let with_a = cache.resident_bytes();
+        cache.insert(&eb, 1, 1, v);
+        // `ea`'s only slot was evicted, so its slab went with it.
+        assert_eq!(cache.lookup(&ea, 1, 1), None);
+        assert_eq!(cache.lookup(&eb, 1, 1), Some(v));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.resident_bytes(),
+            with_a - event_bytes(&ea) + event_bytes(&eb)
+        );
     }
 }

@@ -132,7 +132,9 @@ impl Snapshot {
     /// when the graph is unchanged (event-only deltas): entries are
     /// content-addressed by occurrence set and depend only on the
     /// graph, so they stay valid — and stay warm. Graph changes must
-    /// pass `None` to get a fresh cache. `relabel` follows the same
+    /// pass `None` to get a fresh cache, built with `cache_budget`
+    /// (the context's bounded-memory knob — see
+    /// [`TescContext::with_cache_budget`]). `relabel` follows the same
     /// rule: graph changes pass a freshly built substrate (or `None`
     /// when relabeling is off), event-only deltas clone the previous
     /// snapshot's.
@@ -142,9 +144,11 @@ impl Snapshot {
         events: Arc<EventStore>,
         version: u64,
         reuse_cache: Option<Arc<DensityCache>>,
+        cache_budget: Option<usize>,
         relabel: Option<Arc<RelabeledGraph>>,
     ) -> Arc<Self> {
-        let cache = reuse_cache.unwrap_or_else(|| Arc::new(DensityCache::for_graph(&graph)));
+        let cache =
+            reuse_cache.unwrap_or_else(|| Arc::new(DensityCache::new(&graph, cache_budget)));
         Arc::new(Snapshot {
             graph,
             vicinity,
@@ -241,6 +245,9 @@ pub struct TescContext {
     /// Build (and maintain across graph versions) a locality-relabeled
     /// density substrate for every snapshot.
     relabeling: bool,
+    /// Byte budget handed to every freshly created snapshot cache
+    /// (`None` = unbounded append-only caches, the batch default).
+    cache_budget: Option<usize>,
 }
 
 impl TescContext {
@@ -304,11 +311,47 @@ impl TescContext {
                 1,
                 None,
                 None,
+                None,
             )),
             writer: Mutex::new(()),
             max_level,
             relabeling: false,
+            cache_budget: None,
         })
+    }
+
+    /// Cap every snapshot cache's resident memory at (approximately)
+    /// `bytes` via the second-chance eviction policy of
+    /// [`DensityCache::for_graph_bounded`] (`None` restores the
+    /// unbounded default). Long-lived contexts — a serving daemon, a
+    /// `tesc-cli stream` replay — should run bounded: the append-only
+    /// cache is a leak when the event stream never ends. Results are
+    /// bit-identical either way; only hit rates differ. Builder-style —
+    /// call right after construction; the current snapshot is
+    /// re-published (same version) with a fresh budgeted cache, and
+    /// every later graph-version cache inherits the budget.
+    pub fn with_cache_budget(self, bytes: Option<usize>) -> Self {
+        let mut ctx = self;
+        ctx.cache_budget = bytes;
+        let base = ctx.snapshot();
+        let next = Snapshot::assemble(
+            base.graph.clone(),
+            base.vicinity.clone(),
+            base.events.clone(),
+            base.version,
+            None, // fresh cache under the new budget
+            bytes,
+            base.relabel.clone(),
+        );
+        *ctx.current.write().expect("context lock poisoned") = next;
+        ctx
+    }
+
+    /// The byte budget freshly created snapshot caches run under
+    /// (`None` = unbounded).
+    #[inline]
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache_budget
     }
 
     /// Maintain a locality-relabeled density substrate in every
@@ -329,6 +372,7 @@ impl TescContext {
             base.events.clone(),
             base.version,
             Some(base.cache.clone()),
+            self.cache_budget,
             relabel,
         );
         *self.current.write().expect("context lock poisoned") = next;
@@ -410,6 +454,7 @@ impl TescContext {
             base.events.clone(),
             base.version + 1,
             None, // the graph changed: memoized counts are stale
+            self.cache_budget,
             relabel,
         )))
     }
@@ -433,6 +478,7 @@ impl TescContext {
             Arc::new(events),
             base.version + 1,
             Some(base.cache.clone()),
+            self.cache_budget,
             base.relabel.clone(),
         ));
         Ok((id, next))
@@ -460,6 +506,7 @@ impl TescContext {
             Arc::new(events),
             base.version + 1,
             Some(base.cache.clone()),
+            self.cache_budget,
             base.relabel.clone(),
         )))
     }
@@ -510,6 +557,28 @@ mod tests {
         // riding the warm one (entries depend only on the graph).
         assert!(!Arc::ptr_eq(s1.density_cache(), s2.density_cache()));
         assert!(Arc::ptr_eq(s2.density_cache(), s3.density_cache()));
+    }
+
+    #[test]
+    fn cache_budget_survives_graph_changing_ingests() {
+        let (ctx, _, b) = ctx();
+        assert_eq!(ctx.cache_budget(), None);
+        let budget = 1 << 20;
+        let ctx = ctx.with_cache_budget(Some(budget));
+        assert_eq!(ctx.cache_budget(), Some(budget));
+        // Re-publish keeps the version but swaps in a budgeted cache.
+        let s1 = ctx.snapshot();
+        assert_eq!(s1.version(), 1);
+        assert_eq!(s1.density_cache().byte_budget(), Some(budget));
+        // Graph-changing ingests rebuild the cache — still budgeted.
+        let s2 = ctx.add_edges(&[(0, 143)]).unwrap();
+        assert_eq!(s2.density_cache().byte_budget(), Some(budget));
+        // Event-only ingests reuse the (budgeted) cache.
+        let s3 = ctx.add_event_occurrences(b, &[140]).unwrap();
+        assert!(Arc::ptr_eq(s2.density_cache(), s3.density_cache()));
+        // And the budget can be lifted again.
+        let ctx = ctx.with_cache_budget(None);
+        assert_eq!(ctx.snapshot().density_cache().byte_budget(), None);
     }
 
     #[test]

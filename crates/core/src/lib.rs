@@ -62,6 +62,10 @@
 //!   `Arc` snapshots of graph + vicinity index + event store with
 //!   incremental ingestion (`add_edges`, `add_event_occurrences`) —
 //!   readers pin a consistent version while writers publish the next.
+//! * [`serve`] — the `tesc-serve` daemon: a std-only HTTP/1.1 server
+//!   over a [`context::TescContext`] (bounded worker pool, admission
+//!   control, concurrent snapshot-pinned queries, serialized
+//!   ingestion, per-endpoint metrics).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -75,6 +79,7 @@ pub mod intensity;
 pub mod planner;
 pub mod rank;
 pub mod sampler;
+pub mod serve;
 
 pub use batch::{BatchReport, BatchRequest, EventPair};
 pub use cache::{DensityCache, EventKey};

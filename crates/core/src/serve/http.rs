@@ -1,0 +1,263 @@
+//! A strict, std-only HTTP/1.1 subset for the serving daemon.
+//!
+//! The daemon speaks exactly as much HTTP as its endpoints need:
+//! `GET`/`POST` with `Content-Length` bodies, keep-alive, and a fixed
+//! set of response headers. Everything else — chunked bodies, upgrade
+//! requests, header lines past the size cap — is rejected with a 4xx
+//! before any handler runs. The parser never panics on malformed
+//! input; every failure maps to a [`HttpError`] and from there to a
+//! status code, which is what the malformed-input integration tests
+//! lock down.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers, before the body.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET` / `POST` (anything else is rejected at parse time).
+    pub method: Method,
+    /// The path component, e.g. `/test` (query strings are not used).
+    pub path: String,
+    /// Raw body bytes (empty for bodyless requests).
+    pub body: Vec<u8>,
+    /// Did the client ask to keep the connection open afterwards?
+    pub keep_alive: bool,
+}
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read-only endpoints (`/stats`).
+    Get,
+    /// Everything else.
+    Post,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line
+    /// (normal keep-alive termination — not an error to report).
+    ConnectionClosed,
+    /// The read timeout fired while the connection was idle (no byte
+    /// of a next request seen yet). The worker uses these ticks to
+    /// poll the shutdown flag between keep-alive requests.
+    IdleTimeout,
+    /// Reading from the socket failed (timeout mid-request, reset).
+    Io(io::Error),
+    /// The request is malformed; respond 400 and close.
+    BadRequest(String),
+    /// The method is not `GET`/`POST`; respond 405.
+    MethodNotAllowed(String),
+    /// The declared body exceeds the configured cap; respond 413.
+    PayloadTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl HttpError {
+    /// The status line this error maps to (`None` for connection-level
+    /// conditions that get no response at all).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::ConnectionClosed | HttpError::IdleTimeout | HttpError::Io(_) => None,
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::MethodNotAllowed(_) => Some((405, "Method Not Allowed")),
+            HttpError::PayloadTooLarge { .. } => Some((413, "Payload Too Large")),
+        }
+    }
+
+    /// Human-readable description for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::ConnectionClosed => "connection closed".into(),
+            HttpError::IdleTimeout => "idle timeout".into(),
+            HttpError::Io(e) => format!("i/o error: {e}"),
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::MethodNotAllowed(m) => format!("method {m} not allowed"),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                format!("payload of {declared} bytes exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+/// Read one request off the connection.
+///
+/// `max_body` caps the accepted `Content-Length`; oversized payloads
+/// are rejected *before* reading the body, so a hostile client cannot
+/// make the server buffer arbitrary data.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    // Distinguish "idle between requests" from "stalled mid-request":
+    // a timeout before the first byte of the next request is an idle
+    // tick (the worker re-polls), afterwards it is a dead connection.
+    match reader.fill_buf() {
+        Ok([]) => return Err(HttpError::ConnectionClosed),
+        Ok(_) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Err(HttpError::IdleTimeout)
+        }
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+    let request_line = read_line_capped(reader, MAX_HEAD_BYTES)?;
+    if request_line.is_empty() {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = match parts.next() {
+        Some("GET") => Method::Get,
+        Some("POST") => Method::Post,
+        Some(other) => return Err(HttpError::MethodNotAllowed(other.to_string())),
+        None => return Err(HttpError::BadRequest("empty request line".into())),
+    };
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request path".into()))?
+        .to_string();
+    match parts.next() {
+        Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+        _ => {
+            return Err(HttpError::BadRequest(
+                "expected HTTP/1.0 or HTTP/1.1".into(),
+            ))
+        }
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line".into()));
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(request_line.len());
+    loop {
+        let line = read_line_capped(reader, head_budget)?;
+        head_budget = head_budget.saturating_sub(line.len() + 2);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line `{line}`")))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length `{value}`")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::BadRequest(
+                "chunked transfer encoding is not supported".into(),
+            ));
+        }
+    }
+
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// Read one CRLF-terminated line, capped at `cap` bytes. An empty
+/// return with no bytes read means the peer closed the connection.
+fn read_line_capped(reader: &mut BufReader<TcpStream>, cap: usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        if line.len() > cap {
+            return Err(HttpError::BadRequest("request head too large".into()));
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(String::new());
+                }
+                return Err(HttpError::BadRequest("truncated request head".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 request head".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (200, 400, …).
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with the given JSON body.
+    pub fn ok(body: String) -> Self {
+        Response {
+            status: 200,
+            reason: "OK",
+            body,
+        }
+    }
+
+    /// An error response with a `{"error": ...}` JSON body.
+    pub fn error(status: u16, reason: &'static str, message: &str) -> Self {
+        Response {
+            status,
+            reason,
+            body: super::json::obj([("error", super::json::Json::Str(message.to_string()))])
+                .encode(),
+        }
+    }
+
+    /// Serialize (status line + headers + body) onto the stream.
+    /// `close` adds `Connection: close` (keep-alive otherwise).
+    pub fn send(&self, stream: &mut impl Write, close: bool) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            self.reason,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}

@@ -1,0 +1,149 @@
+//! Lock-free per-endpoint request counters for `GET /stats`.
+//!
+//! Every handled request records its endpoint, status class and
+//! latency with a handful of relaxed atomic adds — no locks on the
+//! serving hot path. `/stats` reads are monotone snapshots: each
+//! counter is exact, though counters read at slightly different
+//! instants (a request may be counted in `requests` before its
+//! latency lands in `total_us`). The integration suite reconciles
+//! totals only at quiescent points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use super::json::{obj, Json};
+
+/// The endpoints the router serves, in `/stats` output order.
+pub const ENDPOINTS: [&str; 10] = [
+    "test", "batch", "rank", "top_k", "edges", "events", "commit", "stats", "shutdown", "other",
+];
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl EndpointStats {
+    /// Record one handled request.
+    pub fn record(&self, status: u16, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.ok,
+            400..=499 => &self.client_errors,
+            _ => &self.server_errors,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Requests counted so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// 5xx responses counted so far.
+    pub fn server_errors(&self) -> u64 {
+        self.server_errors.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Json {
+        obj([
+            ("requests", Json::Int(self.requests() as i64)),
+            ("ok", Json::Int(self.ok.load(Ordering::Relaxed) as i64)),
+            (
+                "client_errors",
+                Json::Int(self.client_errors.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "server_errors",
+                Json::Int(self.server_errors.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "total_us",
+                Json::Int(self.total_us.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "max_us",
+                Json::Int(self.max_us.load(Ordering::Relaxed) as i64),
+            ),
+        ])
+    }
+}
+
+/// The server-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: [EndpointStats; ENDPOINTS.len()],
+    /// Connections turned away at the door (queue full → 503).
+    rejected_connections: AtomicU64,
+}
+
+impl Metrics {
+    /// The stats slot for an endpoint key (unknown keys fold into
+    /// `other`).
+    pub fn endpoint(&self, key: &str) -> &EndpointStats {
+        let idx = ENDPOINTS
+            .iter()
+            .position(|&e| e == key)
+            .unwrap_or(ENDPOINTS.len() - 1);
+        &self.endpoints[idx]
+    }
+
+    /// Count a connection rejected by admission control.
+    pub fn record_rejected_connection(&self) {
+        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections rejected so far.
+    pub fn rejected_connections(&self) -> u64 {
+        self.rejected_connections.load(Ordering::Relaxed)
+    }
+
+    /// Total 5xx responses across all endpoints.
+    pub fn total_server_errors(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.server_errors()).sum()
+    }
+
+    /// The `endpoints` member of the `/stats` body.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            ENDPOINTS
+                .iter()
+                .zip(&self.endpoints)
+                .map(|(name, stats)| (name.to_string(), stats.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_classify_by_status() {
+        let m = Metrics::default();
+        m.endpoint("test").record(200, Duration::from_micros(5));
+        m.endpoint("test").record(400, Duration::from_micros(7));
+        m.endpoint("test").record(500, Duration::from_micros(9));
+        m.endpoint("nope").record(404, Duration::from_micros(1));
+        assert_eq!(m.endpoint("test").requests(), 3);
+        assert_eq!(m.endpoint("test").server_errors(), 1);
+        assert_eq!(m.endpoint("other").requests(), 1);
+        assert_eq!(m.total_server_errors(), 1);
+        let json = m.to_json();
+        let test = json.get("test").unwrap();
+        assert_eq!(test.get("ok").unwrap().as_i64(), Some(1));
+        assert_eq!(test.get("client_errors").unwrap().as_i64(), Some(1));
+        assert_eq!(test.get("total_us").unwrap().as_i64(), Some(21));
+        assert_eq!(test.get("max_us").unwrap().as_i64(), Some(9));
+    }
+}

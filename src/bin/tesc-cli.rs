@@ -116,7 +116,9 @@ const USAGE: &str = "usage:
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42]
-                [--kernel auto|scalar|bitset|multi] [--relabel on|off]";
+                [--kernel auto|scalar|bitset|multi] [--relabel on|off]
+                [--cache-budget 64M|1G|inf]   (default 64M: long replays
+                 run under the bounded, second-chance-evicting cache)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -852,8 +854,19 @@ fn run_stream_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         build_threads
     );
     let (kernel, relabel) = kernel_flags(flags)?;
+    // Long replays leak without a cap: every graph version starts a
+    // fresh append-only cache, and event streams never stop growing
+    // it. Default to the bounded second-chance cache (bit-identical
+    // results; pass `--cache-budget inf` to restore unbounded).
+    let cache_budget = tesc_repro::parse_byte_size(
+        flags
+            .get("cache-budget")
+            .map(String::as_str)
+            .unwrap_or("64M"),
+    )?;
     let ctx = TescContext::with_threads(graph, events, cfg.h.max(1), build_threads)
-        .with_relabeling(relabel);
+        .with_relabeling(relabel)
+        .with_cache_budget(cache_budget);
 
     println!("== v{}: initial snapshot, testing all pairs", ctx.version());
     stream_round(

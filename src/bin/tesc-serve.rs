@@ -1,0 +1,200 @@
+//! `tesc-serve` — serve TESC queries and ingestion over HTTP.
+//!
+//! A thin launcher around [`tesc::serve::Server`]: build a
+//! [`TescContext`] (from edge-list/event files or the built-in demo
+//! scenario), wrap it in the daemon, print the bound address, and
+//! block until `POST /shutdown`.
+//!
+//! ```text
+//! tesc-serve --demo
+//! tesc-serve --graph G.txt --events EVENTS.txt --h 2 --cache-budget 64M
+//! ```
+//!
+//! See `docs/SERVING.md` for the endpoint reference.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::context::TescContext;
+use tesc::serve::{Server, ServerConfig};
+use tesc_datasets::dblp_like::{DblpConfig, DblpScenario};
+use tesc_events::EventStore;
+use tesc_repro::parse_byte_size;
+
+const USAGE: &str = "\
+tesc-serve — HTTP daemon for two-event structural correlation queries
+
+USAGE:
+  tesc-serve --demo [OPTIONS]
+  tesc-serve --graph G.txt --events EVENTS.txt [OPTIONS]
+
+DATA:
+  --demo                 serve a built-in DBLP-like scenario (~2k nodes)
+                         with planted `wireless`/`sensor` (attracting),
+                         `texture`/`java` (repulsing) and `random` events
+  --graph FILE           edge-list file (one `u v` pair per line)
+  --events FILE          named events file (`name: v1 v2 ...` per line)
+
+OPTIONS:
+  --listen ADDR          bind address          [default: 127.0.0.1:7878]
+  --workers N            worker threads        [default: available cores]
+  --queue N              connection backlog before 503   [default: 64]
+  --max-body BYTES       request body cap      [default: 1M]
+  --cache-budget SIZE    density-cache byte budget per snapshot
+                         (e.g. 64M, 1G, inf)   [default: 64M]
+  --h LEVEL              vicinity index depth  [default: 2]
+  --relabel on|off       locality-relabeled substrate    [default: off]
+  --seed N               demo-scenario RNG seed          [default: 42]
+  --debug-endpoints      enable the test-only POST /sleep endpoint
+
+The server prints `listening on ADDR` once ready. Stop it with
+POST /shutdown (in-flight and queued requests drain first).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse `--flag value` pairs (plus bare `--demo`/`--debug-endpoints`).
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let name = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+        if name == "demo" || name == "debug-endpoints" {
+            map.insert(name.to_string(), "on".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        map.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn get<'m>(flags: &'m HashMap<String, String>, key: &str, default: &'m str) -> &'m str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let h: u32 = get(&flags, "h", "2")
+        .parse()
+        .map_err(|_| "--h must be an integer ≥ 1".to_string())?;
+    if h == 0 {
+        return Err("--h must be ≥ 1".into());
+    }
+    let seed: u64 = get(&flags, "seed", "42")
+        .parse()
+        .map_err(|_| "--seed must be an integer".to_string())?;
+    let relabel = match get(&flags, "relabel", "off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--relabel must be on|off, got {other:?}")),
+    };
+    let cache_budget = parse_byte_size(get(&flags, "cache-budget", "64M"))?;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers: usize = match flags.get("workers") {
+        None => cores,
+        Some(w) => w
+            .parse()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or("--workers must be an integer ≥ 1")?,
+    };
+    let queue_depth: usize = match flags.get("queue") {
+        None => 64,
+        Some(q) => q
+            .parse()
+            .ok()
+            .filter(|&q| q >= 1)
+            .ok_or("--queue must be an integer ≥ 1")?,
+    };
+    let max_body_bytes = parse_byte_size(get(&flags, "max-body", "1M"))?
+        .ok_or("--max-body must be a finite size")?;
+
+    let (graph, events) = if flags.contains_key("demo") {
+        demo_scenario(seed)
+    } else {
+        let graph_path = flags
+            .get("graph")
+            .ok_or("pass --demo, or --graph and --events")?;
+        let events_path = flags
+            .get("events")
+            .ok_or("pass --demo, or --graph and --events")?;
+        let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
+            .map_err(|e| format!("reading {graph_path}: {e}"))?;
+        let events = tesc_events::io::read_named_events(&mut open(events_path)?)
+            .map_err(|e| format!("reading {events_path}: {e}"))?;
+        (graph, events)
+    };
+
+    eprintln!(
+        "graph: {} nodes, {} edges; {} events; building |V^h_v| index (h = {h}, {cores} threads)...",
+        graph.num_nodes(),
+        graph.num_edges(),
+        events.num_events(),
+    );
+    let ctx = TescContext::try_with_threads(graph, events, h, cores)
+        .map_err(|e| format!("invalid initial state: {e}"))?
+        .with_relabeling(relabel)
+        .with_cache_budget(cache_budget);
+
+    let cfg = ServerConfig {
+        addr: get(&flags, "listen", "127.0.0.1:7878").to_string(),
+        workers,
+        queue_depth,
+        max_body_bytes,
+        debug_endpoints: flags.contains_key("debug-endpoints"),
+    };
+    let server = Server::spawn(ctx, cfg).map_err(|e| format!("binding listener: {e}"))?;
+    // Scripts (and the integration suite) key on this exact line to
+    // discover the ephemeral port — keep it stable.
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    eprintln!("shut down cleanly");
+    Ok(())
+}
+
+fn open(path: &str) -> Result<std::io::BufReader<std::fs::File>, String> {
+    std::fs::File::open(path)
+        .map(std::io::BufReader::new)
+        .map_err(|e| format!("opening {path}: {e}"))
+}
+
+/// The built-in scenario: a small DBLP-like co-author graph with one
+/// attracting pair, one repulsing pair and one independent keyword —
+/// enough to exercise every endpoint out of the box.
+fn demo_scenario(seed: u64) -> (tesc_graph::CsrGraph, EventStore) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scenario = DblpScenario::build(DblpConfig::small(), &mut rng);
+    let (wireless, sensor) = scenario.plant_positive_keyword_pair(6, 10, 0.3, &mut rng);
+    let (texture, java) = scenario.plant_negative_keyword_pair(5, 10, 2, &mut rng);
+    let random = scenario.plant_uniform_keyword(60, &mut rng);
+    let mut events = EventStore::new();
+    events.add_event("wireless", wireless);
+    events.add_event("sensor", sensor);
+    events.add_event("texture", texture);
+    events.add_event("java", java);
+    events.add_event("random", random);
+    (scenario.graph, events)
+}

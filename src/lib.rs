@@ -26,3 +26,63 @@ pub use tesc_datasets;
 pub use tesc_events;
 pub use tesc_graph;
 pub use tesc_stats;
+
+/// Parse a human-readable byte size as used by the `--cache-budget`
+/// flags of `tesc-cli` and `tesc-serve`.
+///
+/// Accepts plain byte counts (`1048576`), binary-suffixed sizes
+/// (`64K`, `64M`, `2G`, case-insensitive, 1024-based), and the
+/// unbounded spellings `inf` / `none` / `unbounded` (returning
+/// `None`).
+///
+/// ```
+/// use tesc_repro::parse_byte_size;
+/// assert_eq!(parse_byte_size("64M"), Ok(Some(64 << 20)));
+/// assert_eq!(parse_byte_size("1024"), Ok(Some(1024)));
+/// assert_eq!(parse_byte_size("inf"), Ok(None));
+/// assert!(parse_byte_size("64Q").is_err());
+/// ```
+pub fn parse_byte_size(text: &str) -> Result<Option<usize>, String> {
+    let text = text.trim();
+    if text.eq_ignore_ascii_case("inf")
+        || text.eq_ignore_ascii_case("none")
+        || text.eq_ignore_ascii_case("unbounded")
+    {
+        return Ok(None);
+    }
+    let (digits, shift) = match text.chars().last() {
+        Some('k') | Some('K') => (&text[..text.len() - 1], 10),
+        Some('m') | Some('M') => (&text[..text.len() - 1], 20),
+        Some('g') | Some('G') => (&text[..text.len() - 1], 30),
+        Some(c) if c.is_ascii_digit() => (text, 0),
+        _ => return Err(format!("bad byte size {text:?} (use e.g. 64M, 1G, inf)")),
+    };
+    let base: usize = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad byte size {text:?} (use e.g. 64M, 1G, inf)"))?;
+    base.checked_shl(shift)
+        .filter(|_| base.leading_zeros() >= shift)
+        .map(Some)
+        .ok_or_else(|| format!("byte size {text:?} overflows"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_byte_size;
+
+    #[test]
+    fn parses_suffixes_and_unbounded() {
+        assert_eq!(parse_byte_size("0"), Ok(Some(0)));
+        assert_eq!(parse_byte_size("512"), Ok(Some(512)));
+        assert_eq!(parse_byte_size("4k"), Ok(Some(4096)));
+        assert_eq!(parse_byte_size("64M"), Ok(Some(64 << 20)));
+        assert_eq!(parse_byte_size("2G"), Ok(Some(2 << 30)));
+        assert_eq!(parse_byte_size(" inf "), Ok(None));
+        assert_eq!(parse_byte_size("NONE"), Ok(None));
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("12T").is_err());
+        assert!(parse_byte_size("-5").is_err());
+        assert!(parse_byte_size(&format!("{}G", usize::MAX)).is_err());
+    }
+}

@@ -1,0 +1,656 @@
+//! Black-box integration suite for the `tesc-serve` daemon.
+//!
+//! Every test drives a real server over real `std::net::TcpStream`
+//! sockets — no handler is called directly. The suite locks down the
+//! serving contract that later PRs (persistence, anytime queries,
+//! windowed monitoring) will regression-test against:
+//!
+//! * happy path for every endpoint, with snapshot versions echoed;
+//! * malformed requests are 4xx, never a panic, never a wedged server;
+//! * oversized payloads are rejected before being buffered;
+//! * admission control answers 503 at the door when saturated;
+//! * graceful shutdown drains in-flight requests;
+//! * concurrent mixed read/write load stays snapshot-consistent and
+//!   bit-identical to offline engine runs on the echoed versions.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::context::TescContext;
+use tesc::serve::json::Json;
+use tesc::serve::{Server, ServerConfig};
+use tesc::{EventStore, TescConfig};
+use tesc_graph::generators::grid;
+use tesc_graph::NodeId;
+
+/// A minimal HTTP/1.1 client over one keep-alive connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { reader, stream }
+    }
+
+    /// Send a request and parse the response: `(status, body)`.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes()).expect("write head");
+        self.stream.write_all(body.as_bytes()).expect("write body");
+        self.read_response()
+    }
+
+    /// Write raw bytes (for malformed-request tests) and read whatever
+    /// status comes back.
+    fn raw(addr: SocketAddr, bytes: &[u8]) -> u16 {
+        let mut client = Client::connect(addr);
+        client.stream.write_all(bytes).expect("write raw");
+        client.read_response().0
+    }
+
+    fn read_response(&mut self) -> (u16, Json) {
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .expect("read status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"))
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("read body");
+        let body = String::from_utf8(body).expect("utf8 body");
+        (status, Json::parse(&body).expect("json body"))
+    }
+}
+
+/// A small deterministic context: 16×16 grid, two overlapping events.
+fn test_context() -> TescContext {
+    let mut events = EventStore::new();
+    events.add_event("alpha", (0..40).collect());
+    events.add_event("beta", (20..60).collect());
+    events.add_event("gamma", (100..140).collect());
+    TescContext::new(grid(16, 16), events, 2)
+}
+
+fn spawn(cfg: ServerConfig) -> Server {
+    Server::spawn(test_context(), cfg).expect("spawn server")
+}
+
+fn default_cfg() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 16,
+        max_body_bytes: 1 << 20,
+        debug_endpoints: true,
+    }
+}
+
+fn get_i64(json: &Json, key: &str) -> i64 {
+    json.get(key)
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("missing integer `{key}` in {json:?}"))
+}
+
+fn get_str<'j>(json: &'j Json, key: &str) -> &'j str {
+    json.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing string `{key}` in {json:?}"))
+}
+
+#[test]
+fn happy_path_covers_every_endpoint() {
+    let server = spawn(default_cfg());
+    let mut client = Client::connect(server.addr());
+
+    // /test against registered events, server-side bit-identity check
+    // against an offline engine run on the same (echoed) version.
+    let (status, body) = client.request(
+        "POST",
+        "/test",
+        r#"{"events":["alpha","beta"],"h":2,"n":80,"seed":11}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(get_i64(&body, "version"), 1);
+    let result = body.get("result").expect("result");
+    let server_z_bits = get_str(result, "z_bits").to_string();
+    assert!(get_i64(result, "n_refs") > 0);
+    let offline_ctx = test_context();
+    let snap = offline_ctx.snapshot();
+    let events = snap.events();
+    let cfg = TescConfig::new(2).with_sample_size(80);
+    let offline = snap
+        .engine()
+        .test(
+            events.nodes(events.id_by_name("alpha").unwrap()),
+            events.nodes(events.id_by_name("beta").unwrap()),
+            &cfg,
+            &mut StdRng::seed_from_u64(11),
+        )
+        .expect("offline test");
+    assert_eq!(
+        server_z_bits,
+        format!("{:016x}", offline.z().to_bits()),
+        "server z must be bit-identical to the offline engine"
+    );
+
+    // /test with explicit occurrence lists.
+    let (status, body) = client.request(
+        "POST",
+        "/test",
+        r#"{"a":[0,1,2,3,4,5,6,7],"b":[4,5,6,7,8,9,10,11],"n":50}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+
+    // /batch over name pairs and an explicit pair.
+    let (status, body) = client.request(
+        "POST",
+        "/batch",
+        r#"{"pairs":[["alpha","beta"],{"label":"adhoc","a":[0,1,2,3],"b":[10,11,12,13]}],"n":60,"seed":5}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    let outcomes = body.get("outcomes").and_then(Json::as_array).unwrap();
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(get_str(&outcomes[0], "label"), "alpha×beta");
+    assert_eq!(outcomes[1].get("ok"), Some(&Json::Bool(true)));
+
+    // /rank over all registered pairs.
+    let (status, body) = client.request("POST", "/rank", r#"{"n":60,"seed":3}"#);
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(get_i64(&body, "candidates"), 3);
+    let ranked = body.get("ranked").and_then(Json::as_array).unwrap();
+    assert!(!ranked.is_empty());
+
+    // /top-k with a focus event.
+    let (status, body) = client.request(
+        "POST",
+        "/top-k",
+        r#"{"focus":"alpha","k":1,"n":60,"seed":3}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(get_i64(&body, "candidates"), 2);
+    assert_eq!(
+        body.get("ranked").and_then(Json::as_array).unwrap().len(),
+        1
+    );
+
+    // Ingestion: stage edges + a new event, then commit.
+    let (status, body) = client.request("POST", "/edges", r#"{"edges":[[0,17],[1,18]]}"#);
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(get_i64(&body, "staged_edges"), 2);
+    let (status, body) = client.request(
+        "POST",
+        "/events",
+        r#"{"name":"delta","nodes":[7,8,9,200,201]}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(get_i64(&body, "staged_events"), 1);
+    let (status, body) = client.request("POST", "/commit", "");
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(body.get("committed"), Some(&Json::Bool(true)));
+    // One edge batch (v2) + one event registration (v3).
+    assert_eq!(get_i64(&body, "version"), 3);
+
+    // The committed event is immediately queryable.
+    let (status, body) = client.request(
+        "POST",
+        "/test",
+        r#"{"events":["alpha","delta"],"n":50,"seed":2}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(get_i64(&body, "version"), 3);
+
+    // An empty commit is a no-op.
+    let (status, body) = client.request("POST", "/commit", "");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("committed"), Some(&Json::Bool(false)));
+
+    // /stats reconciles with what we just did.
+    let (status, stats) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(get_i64(&stats, "version"), 3);
+    let endpoints = stats.get("endpoints").expect("endpoints");
+    assert_eq!(get_i64(endpoints.get("test").unwrap(), "requests"), 3);
+    assert_eq!(get_i64(endpoints.get("commit").unwrap(), "requests"), 2);
+    let cache = stats.get("cache").expect("cache");
+    assert_eq!(
+        get_i64(cache, "fresh_inserts"),
+        get_i64(cache, "entries") + get_i64(cache, "evictions"),
+        "cache books must balance"
+    );
+    for (name, ep) in match endpoints {
+        Json::Obj(members) => members.iter(),
+        _ => panic!("endpoints must be an object"),
+    } {
+        assert_eq!(
+            get_i64(ep, "server_errors"),
+            0,
+            "endpoint {name} reported a 5xx"
+        );
+    }
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn malformed_requests_get_4xx_and_never_wedge_the_server() {
+    let server = spawn(default_cfg());
+    let addr = server.addr();
+
+    // Raw protocol garbage (each on a fresh connection).
+    for (raw, expect) in [
+        (&b"GARBAGE\r\n\r\n"[..], 405u16),
+        (&b"DELETE /stats HTTP/1.1\r\n\r\n"[..], 405),
+        (&b"GET /stats HTTP/9.9\r\n\r\n"[..], 400),
+        (&b"GET /stats HTTP/1.1 extra\r\n\r\n"[..], 400),
+        (
+            &b"GET /stats HTTP/1.1\r\nbroken header line\r\n\r\n"[..],
+            400,
+        ),
+        (
+            &b"POST /test HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            400,
+        ),
+        (
+            &b"POST /test HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+            400,
+        ),
+    ] {
+        assert_eq!(
+            Client::raw(addr, raw),
+            expect,
+            "{:?}",
+            String::from_utf8_lossy(raw)
+        );
+    }
+
+    // Well-formed HTTP, malformed or invalid bodies.
+    let mut client = Client::connect(addr);
+    for (path, body, expect) in [
+        ("/test", "this is not json", 400),
+        ("/test", "[1,2,3]", 400),
+        ("/test", "{}", 400),
+        ("/test", r#"{"a":[0],"b":[1],"h":99}"#, 400),
+        ("/test", r#"{"a":[0],"b":[99999]}"#, 400),
+        ("/test", r#"{"a":[0],"b":[1],"n":1}"#, 400),
+        ("/test", r#"{"events":["alpha"]}"#, 400),
+        ("/test", r#"{"events":["alpha","nope"]}"#, 400),
+        ("/test", r#"{"a":[0],"b":[1],"sampler":"psychic"}"#, 400),
+        ("/test", r#"{"a":[0],"b":[1],"alpha":7.0}"#, 400),
+        ("/test", r#"{"a":[0],"b":[1],"seed":-4}"#, 400),
+        ("/batch", r#"{"pairs":[]}"#, 400),
+        ("/batch", r#"{"pairs":[["alpha"]]}"#, 400),
+        ("/rank", r#"{"focus":"nope"}"#, 400),
+        ("/top-k", r#"{"k":0}"#, 400),
+        ("/edges", r#"{"edges":[[0]]}"#, 400),
+        ("/edges", r#"{"edges":[[0,"x"]]}"#, 400),
+        ("/events", r#"{"name":"","nodes":[1]}"#, 400),
+        ("/events", r#"{"name":"x"}"#, 400),
+        ("/nope", "", 404),
+    ] {
+        let (status, _) = client.request("POST", path, body);
+        assert_eq!(status, expect, "POST {path} {body}");
+    }
+
+    // Tests that *run* but cannot produce a statistic are 422.
+    let (status, _) = client.request("POST", "/test", r#"{"a":[],"b":[]}"#);
+    assert_eq!(status, 422);
+
+    // A commit whose staged edges are invalid is rejected and
+    // publishes nothing.
+    let (status, _) = client.request("POST", "/edges", r#"{"edges":[[5,5]]}"#);
+    assert_eq!(status, 200, "staging does not validate self-loops yet");
+    let (status, _) = client.request("POST", "/commit", "");
+    assert_eq!(status, 400);
+    let (status, stats) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(get_i64(&stats, "version"), 1, "rejected commit published");
+
+    // After all of that the server still serves correct queries, and
+    // has recorded zero 5xx.
+    let (status, body) = client.request("POST", "/test", r#"{"events":["alpha","beta"],"n":50}"#);
+    assert_eq!(status, 200, "{body:?}");
+    let (_, stats) = client.request("GET", "/stats", "");
+    let endpoints = stats.get("endpoints").unwrap();
+    let total_5xx: i64 = match endpoints {
+        Json::Obj(members) => members
+            .iter()
+            .map(|(_, ep)| get_i64(ep, "server_errors"))
+            .sum(),
+        _ => panic!(),
+    };
+    assert_eq!(total_5xx, 0, "malformed input must never 5xx");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn oversized_payloads_are_rejected_up_front() {
+    let mut cfg = default_cfg();
+    cfg.max_body_bytes = 256;
+    let server = spawn(cfg);
+
+    let big = format!(r#"{{"a":[{}],"b":[1]}}"#, "0,".repeat(400) + "0");
+    assert!(big.len() > 256);
+    let mut client = Client::connect(server.addr());
+    let (status, body) = client.request("POST", "/test", &big);
+    assert_eq!(status, 413, "{body:?}");
+
+    // The connection is closed after a 413, but the server keeps
+    // serving fresh connections.
+    let mut client = Client::connect(server.addr());
+    let (status, _) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn saturated_server_answers_503_at_the_door() {
+    let mut cfg = default_cfg();
+    cfg.workers = 1;
+    cfg.queue_depth = 1;
+    let server = spawn(cfg);
+    let addr = server.addr();
+
+    // Occupy the only worker deterministically.
+    let blocker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        client.request("POST", "/sleep", r#"{"ms":700}"#)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The worker is busy; the queue holds one connection; the next
+    // connections must be turned away with 503.
+    let parked = TcpStream::connect(addr).expect("parked connection");
+    std::thread::sleep(Duration::from_millis(100));
+    let mut saw_503 = false;
+    for _ in 0..5 {
+        let mut client = Client::connect(addr);
+        let (status, _) = client.request("GET", "/stats", "");
+        if status == 503 {
+            saw_503 = true;
+            break;
+        }
+    }
+    assert!(saw_503, "admission control never answered 503");
+
+    // The blocked request still completes fine.
+    let (status, body) = blocker.join().expect("blocker thread");
+    assert_eq!(status, 200, "{body:?}");
+    drop(parked);
+
+    // Once drained, the same server accepts again and reports the
+    // rejections (503s at the door are connection-level, not 5xx).
+    std::thread::sleep(Duration::from_millis(200));
+    let mut client = Client::connect(addr);
+    let (status, stats) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    let queue = stats.get("queue").unwrap();
+    assert!(get_i64(queue, "rejected_connections") >= 1);
+    let endpoints = stats.get("endpoints").unwrap();
+    let total_5xx: i64 = match endpoints {
+        Json::Obj(members) => members
+            .iter()
+            .map(|(_, ep)| get_i64(ep, "server_errors"))
+            .sum(),
+        _ => panic!(),
+    };
+    assert_eq!(total_5xx, 0);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let mut cfg = default_cfg();
+    cfg.workers = 2;
+    let server = spawn(cfg);
+    let addr = server.addr();
+
+    // A slow request in flight on worker 1...
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        client.request("POST", "/sleep", r#"{"ms":400}"#)
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // ... while /shutdown arrives on worker 2.
+    let mut client = Client::connect(addr);
+    let (status, body) = client.request("POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("shutting_down"), Some(&Json::Bool(true)));
+
+    // The in-flight request must complete with a full response.
+    let (status, body) = in_flight.join().expect("in-flight thread");
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(get_i64(&body, "slept_ms"), 400);
+
+    // And the server winds down completely.
+    server.join();
+}
+
+#[test]
+fn real_binary_serves_over_a_real_socket() {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_tesc-serve"))
+        .args([
+            "--demo",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--h",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn tesc-serve");
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("stdout"))
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .parse()
+        .expect("socket addr");
+
+    let mut client = Client::connect(addr);
+    let (status, body) = client.request(
+        "POST",
+        "/test",
+        r#"{"events":["wireless","sensor"],"h":1,"n":120,"seed":9}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(
+        get_str(body.get("result").unwrap(), "verdict"),
+        "positive",
+        "the demo scenario plants an attracting pair"
+    );
+    let (status, _) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    let (status, _) = client.request("POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    let status = child.wait().expect("wait for child");
+    assert!(status.success(), "server exited with {status:?}");
+}
+
+/// Satellite 2: N reader threads fire `/test` queries while a writer
+/// streams edge commits. Every response must be internally consistent
+/// with exactly one snapshot version (the echoed one), and replaying
+/// each logged query offline against a reconstruction of that version
+/// must reproduce the z-score bit for bit.
+#[test]
+fn concurrent_reads_and_writes_stay_snapshot_consistent_and_bit_identical() {
+    const READERS: usize = 4;
+    const QUERIES: usize = 6;
+    const COMMITS: usize = 5;
+    /// Batch `i` adds these (diagonal, not-in-grid, distinct) edges.
+    fn edge_batch(i: usize) -> Vec<(NodeId, NodeId)> {
+        let base = (4 * i) as NodeId;
+        vec![(base, base + 17), (base + 1, base + 18)]
+    }
+
+    let server = spawn(default_cfg());
+    let addr = server.addr();
+
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        for i in 0..COMMITS {
+            let edges: Vec<String> = edge_batch(i)
+                .iter()
+                .map(|(u, v)| format!("[{u},{v}]"))
+                .collect();
+            let (status, _) = client.request(
+                "POST",
+                "/edges",
+                &format!(r#"{{"edges":[{}]}}"#, edges.join(",")),
+            );
+            assert_eq!(status, 200);
+            let (status, body) = client.request("POST", "/commit", "");
+            assert_eq!(status, 200, "{body:?}");
+            assert_eq!(get_i64(&body, "version"), (i + 2) as i64);
+            std::thread::sleep(Duration::from_millis(40));
+        }
+    });
+
+    // Each reader logs (version, request params, z_bits, statistic).
+    struct Logged {
+        version: u64,
+        reader: usize,
+        query: usize,
+        z_bits: String,
+        statistic_bits: u64,
+    }
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut log = Vec::with_capacity(QUERIES);
+                for q in 0..QUERIES {
+                    let (a0, b0) = ((r * 7) as u64, (r * 7 + 12) as u64);
+                    let body = format!(
+                        r#"{{"a":[{}],"b":[{}],"h":2,"n":60,"seed":{}}}"#,
+                        (a0..a0 + 24)
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        (b0..b0 + 24)
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        r * 1000 + q
+                    );
+                    let (status, resp) = client.request("POST", "/test", &body);
+                    assert_eq!(status, 200, "{resp:?}");
+                    let result = resp.get("result").expect("result");
+                    log.push(Logged {
+                        version: get_i64(&resp, "version") as u64,
+                        reader: r,
+                        query: q,
+                        z_bits: get_str(result, "z_bits").to_string(),
+                        statistic_bits: result
+                            .get("statistic")
+                            .and_then(Json::as_f64)
+                            .expect("statistic")
+                            .to_bits(),
+                    });
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                log
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer");
+    let logs: Vec<Logged> = readers
+        .into_iter()
+        .flat_map(|h| h.join().expect("reader"))
+        .collect();
+    server.shutdown_and_join();
+
+    // Offline replay: rebuild every version the server can have
+    // published, then re-run each logged query against its version.
+    let ctx = test_context();
+    let mut snapshots = HashMap::new();
+    snapshots.insert(1u64, ctx.snapshot());
+    for i in 0..COMMITS {
+        let snap = ctx.add_edges(&edge_batch(i)).expect("offline ingest");
+        snapshots.insert(snap.version(), snap);
+    }
+    assert_eq!(snapshots.len(), COMMITS + 1);
+
+    for entry in &logs {
+        assert!(
+            (1..=(COMMITS as u64 + 1)).contains(&entry.version),
+            "response echoed impossible version {}",
+            entry.version
+        );
+        let snap = &snapshots[&entry.version];
+        let (a0, b0) = (
+            (entry.reader * 7) as NodeId,
+            (entry.reader * 7 + 12) as NodeId,
+        );
+        let a: Vec<NodeId> = (a0..a0 + 24).collect();
+        let b: Vec<NodeId> = (b0..b0 + 24).collect();
+        let cfg = TescConfig::new(2).with_sample_size(60);
+        let offline = snap
+            .engine()
+            .test(
+                &a,
+                &b,
+                &cfg,
+                &mut StdRng::seed_from_u64((entry.reader * 1000 + entry.query) as u64),
+            )
+            .expect("offline replay");
+        assert_eq!(
+            entry.z_bits,
+            format!("{:016x}", offline.z().to_bits()),
+            "reader {} query {} on v{}: z not bit-identical",
+            entry.reader,
+            entry.query,
+            entry.version
+        );
+        assert_eq!(
+            entry.statistic_bits,
+            offline.statistic().to_bits(),
+            "reader {} query {} on v{}: statistic not bit-identical",
+            entry.reader,
+            entry.query,
+            entry.version
+        );
+    }
+}
