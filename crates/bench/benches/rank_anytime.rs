@@ -1,0 +1,201 @@
+//! Anytime vs exact top-K ranking: what does confidence-interval
+//! pruning buy, and what does it cost in ranking quality?
+//!
+//! Two all-pairs workloads, chosen to bracket the anytime executor's
+//! economics (see `docs/PERFORMANCE.md`):
+//!
+//! * `dblp` — the `rank_events` shoot-out workload: 8 planted DBLP-like
+//!   keyword events, all 28 pairs, heavily shared reference
+//!   populations, **clustered** scores. The adversarial case: when
+//!   many pairs straddle the K-th score, intervals keep overlapping,
+//!   most pairs escalate to full n, and the progressive tiers are pure
+//!   overhead.
+//! * `twitter` — the scenario the tier is built for: a few strongly
+//!   correlated pairs planted in a sea of independent background pairs
+//!   on a heavy-tailed Barabási–Albert graph. **Skewed** scores: the
+//!   background is separable from the planted top-K at a fraction of
+//!   the full sample size, so most pairs are pruned at the first tier.
+//!
+//! Rows: `<workload>/exact` and `<workload>/anytime:EPS` for three eps
+//! values (timed, `ns_per_iter`), plus one
+//! `<workload>/anytime:EPS/quality` record per eps reporting
+//! `recall_at_10` against the exact top-10, `mean_samples_per_pair`,
+//! `rounds` and `speedup_vs_exact`.
+//!
+//! **Identity gate**: before anything is timed, `anytime:0` is
+//! asserted bit-identical (label, score bits, z bits) to the exact
+//! ranking on both workloads — a divergence aborts the bench, so the
+//! CI smoke run doubles as a correctness gate for the eps = 0
+//! contract.
+//!
+//! Run: `cargo bench --bench rank_anytime`. Set `TESC_BENCH_JSON=<path>`
+//! to append machine-readable records (the committed
+//! `BENCH_rank_anytime.json` is this bench's output on the reference
+//! container).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc::batch::EventPair;
+use tesc::rank::{rank_pairs, RankMode, RankRequest};
+use tesc::{RankReport, Tail, TescConfig, TescEngine};
+use tesc_bench::timing::Harness;
+use tesc_bench::{dblp_scenario, Scale};
+use tesc_datasets::{TwitterConfig, TwitterScenario};
+use tesc_graph::{CsrGraph, NodeId};
+
+const K: usize = 10;
+const EPS_GRID: [f64; 3] = [0.05, 0.2, 0.4];
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// (label, score bits, z bits) fingerprint of a ranking.
+fn fingerprint(report: &RankReport) -> Vec<(String, u64, u64)> {
+    report
+        .ranked
+        .iter()
+        .map(|e| (e.label.clone(), e.score.to_bits(), e.result.z().to_bits()))
+        .collect()
+}
+
+/// Recall@K of `candidate`'s top-K labels against `exact`'s.
+fn recall_at_k(exact: &RankReport, candidate: &RankReport, k: usize) -> f64 {
+    let top: Vec<&str> = exact
+        .ranked
+        .iter()
+        .take(k)
+        .map(|e| e.label.as_str())
+        .collect();
+    let hit = candidate
+        .ranked
+        .iter()
+        .take(k)
+        .filter(|e| top.contains(&e.label.as_str()))
+        .count();
+    hit as f64 / top.len().max(1) as f64
+}
+
+/// The `rank_events` workload: 8 planted keyword events, all 28 pairs.
+fn dblp_workload() -> (tesc_datasets::DblpScenario, Vec<EventPair>, TescConfig) {
+    let dblp = dblp_scenario(Scale::Small, 42);
+    let mut events: Vec<(String, Vec<NodeId>)> = Vec::new();
+    for i in 0..4u64 {
+        let (va, vb) = dblp.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(100 + i));
+        events.push((format!("kw{i}a"), va));
+        events.push((format!("kw{i}b"), vb));
+    }
+    let mut pairs: Vec<EventPair> = Vec::new();
+    for i in 0..events.len() {
+        for j in i + 1..events.len() {
+            pairs.push(EventPair::new(
+                format!("{}×{}", events[i].0, events[j].0),
+                events[i].1.clone(),
+                events[j].1.clone(),
+            ));
+        }
+    }
+    let cfg = TescConfig::new(2)
+        .with_sample_size(300)
+        .with_tail(Tail::Upper);
+    (dblp, pairs, cfg)
+}
+
+/// The skewed workload: 10 planted correlated pairs + 90 background
+/// pairs on a Twitter-like graph.
+fn twitter_workload() -> (TwitterScenario, Vec<EventPair>, TescConfig) {
+    let s = TwitterScenario::build(
+        TwitterConfig {
+            num_nodes: 8_000,
+            ..Default::default()
+        },
+        &mut rng(42),
+    );
+    let mut pairs = Vec::new();
+    for i in 0..10u64 {
+        let (a, b) = s.plant_correlated_pair(40, 1, &mut rng(200 + i));
+        pairs.push(EventPair::new(format!("hot{i}"), a, b));
+    }
+    for i in 0..90u64 {
+        let (a, b) = s.plant_background_pair(40, &mut rng(300 + i));
+        pairs.push(EventPair::new(format!("bg{i:02}"), a, b));
+    }
+    let cfg = TescConfig::new(1)
+        .with_sample_size(400)
+        .with_tail(Tail::Upper);
+    (s, pairs, cfg)
+}
+
+fn run_workload(
+    harness: &Harness,
+    name: &str,
+    g: &CsrGraph,
+    pairs: Vec<EventPair>,
+    cfg: TescConfig,
+) {
+    let engine = TescEngine::new(g);
+    let req = RankRequest::new(cfg)
+        .with_seed(7)
+        .with_threads(1)
+        .with_top_k(K)
+        .with_pairs(pairs);
+    eprintln!(
+        "{name}: {} nodes, {} edges; {} candidate pairs, n = {}, h = {}, k = {K}",
+        g.num_nodes(),
+        g.num_edges(),
+        req.pairs.len(),
+        cfg.sample_size,
+        cfg.h
+    );
+
+    // Identity gate: anytime at eps = 0 must reproduce the exact
+    // ranking bit for bit before anything is timed.
+    let exact = rank_pairs(&engine, &req);
+    assert_eq!(exact.ranked.len(), K.min(req.pairs.len()));
+    let zero = rank_pairs(&engine, &req.clone().with_mode(RankMode::anytime(0.0)));
+    assert_eq!(
+        fingerprint(&exact),
+        fingerprint(&zero),
+        "{name}: anytime(0) diverged from the exact ranking"
+    );
+    eprintln!(
+        "{name}: identity gate passed — anytime(0) bit-identical over {} tiers",
+        zero.rounds
+    );
+
+    let t_exact = harness.bench(&format!("{name}/exact"), || rank_pairs(&engine, &req));
+    let exact_spp = exact.mean_samples_per_pair();
+    for eps in EPS_GRID {
+        let areq = req.clone().with_mode(RankMode::anytime(eps));
+        let report = rank_pairs(&engine, &areq);
+        let recall = recall_at_k(&exact, &report, K);
+        let spp = report.mean_samples_per_pair();
+        let t = harness.bench(&format!("{name}/anytime:{eps}"), || {
+            rank_pairs(&engine, &areq)
+        });
+        let speedup = t_exact / t;
+        println!(
+            "{name}/anytime:{eps:<5} recall@{K} {recall:.2}   {spp:>6.0} samples/pair \
+             (exact {exact_spp:.0})   speedup {speedup:.2}x   {} rounds",
+            report.rounds
+        );
+        harness.record_row(
+            &format!("{name}/anytime:{eps}/quality"),
+            &[
+                ("recall_at_10", recall),
+                ("mean_samples_per_pair", spp),
+                ("exact_samples_per_pair", exact_spp),
+                ("rounds", report.rounds as f64),
+                ("speedup_vs_exact", speedup),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let harness = Harness::new().with_samples(10);
+    let (dblp, pairs, cfg) = dblp_workload();
+    run_workload(&harness, "dblp", &dblp.graph, pairs, cfg);
+    let (twitter, pairs, cfg) = twitter_workload();
+    run_workload(&harness, "twitter", &twitter.graph, pairs, cfg);
+}

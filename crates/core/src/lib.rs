@@ -55,6 +55,12 @@
 //! * [`rank`] — top-K event-pair ranking over the planner:
 //!   content-seeded (permutation-invariant) scoring with a sound
 //!   significance-budget early exit for `--top-k` runs.
+//! * [`anytime`] — the progressive ranking executor behind
+//!   `RankMode::Anytime`: score pairs on a small sample prefix,
+//!   confidence-interval the projected full-sample score, and only
+//!   escalate (geometric doubling, re-entering the planner per round)
+//!   while the interval straddles the top-K cutoff; `eps = 0` is
+//!   bit-identical to exact.
 //! * [`cache`] — the cross-pair density cache: memoized
 //!   `(event, node, h)` vicinity counts so batches over pair lists
 //!   sharing an event do the shared BFS work once.
@@ -70,6 +76,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod anytime;
 pub mod batch;
 pub mod cache;
 pub mod context;
@@ -81,12 +88,15 @@ pub mod rank;
 pub mod sampler;
 pub mod serve;
 
+pub use anytime::{escalation_schedule, ANYTIME_FLOOR};
 pub use batch::{BatchReport, BatchRequest, EventPair};
 pub use cache::{DensityCache, EventKey};
 pub use context::{IngestError, Snapshot, TescContext};
 pub use engine::{Statistic, TescConfig, TescEngine, TescError, TescResult};
 pub use planner::{FusedDensities, PairSetPlan};
-pub use rank::{content_seed, direction_score, rank_pairs, RankEntry, RankReport, RankRequest};
+pub use rank::{
+    content_seed, direction_score, rank_pairs, RankEntry, RankMode, RankReport, RankRequest,
+};
 pub use sampler::SamplerKind;
 
 // Re-export the pieces of the public API that come from substrates so

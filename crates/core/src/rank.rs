@@ -52,6 +52,52 @@ use tesc_stats::kendall::var_s_tie_corrected;
 use tesc_stats::rank::{cmp_score_desc, nontrivial_tie_group_sizes};
 use tesc_stats::{Tail, TestOutcome};
 
+/// Execution mode of a ranking run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RankMode {
+    /// Every pair is scored at the full configured sample size.
+    #[default]
+    Exact,
+    /// Progressive sampling ([`crate::anytime`]): pairs start at a
+    /// small sample, get a `1 − eps` confidence interval on their
+    /// projected full-sample score, and only escalate (by geometric
+    /// doubling) while that interval straddles the running top-K
+    /// cutoff. `eps = 0` makes every interval infinite, so nothing is
+    /// decided early and the output is bit-identical to
+    /// [`RankMode::Exact`]
+    /// (property-tested in `tests/anytime.rs`). Requires a top-K
+    /// cutoff: without [`RankRequest::with_top_k`] the request runs
+    /// exact.
+    Anytime {
+        /// Per-decision error budget, in `[0, 1)`.
+        eps: f64,
+    },
+}
+
+impl RankMode {
+    /// Anytime mode with error budget `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ eps < 1`.
+    pub fn anytime(eps: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&eps),
+            "anytime eps must be in [0, 1), got {eps}"
+        );
+        RankMode::Anytime { eps }
+    }
+}
+
+impl std::fmt::Display for RankMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankMode::Exact => write!(f, "exact"),
+            RankMode::Anytime { eps } => write!(f, "anytime:{eps}"),
+        }
+    }
+}
+
 /// A ranking request: the candidate pairs, one shared test
 /// configuration, a master seed and the optional top-K cutoff.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +115,8 @@ pub struct RankRequest {
     /// Report only the best K pairs, enabling the significance-budget
     /// early exit. `None` ranks everything.
     pub top_k: Option<usize>,
+    /// Exact or progressive execution ([`RankMode::Exact`] default).
+    pub mode: RankMode,
 }
 
 impl RankRequest {
@@ -81,7 +129,14 @@ impl RankRequest {
             seed: 0,
             threads: 0,
             top_k: None,
+            mode: RankMode::Exact,
         }
+    }
+
+    /// Set the execution mode (see [`RankMode`]).
+    pub fn with_mode(mut self, mode: RankMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Set the master seed.
@@ -145,6 +200,13 @@ pub struct RankEntry {
     /// The full test result (bit-identical to an independent
     /// [`TescEngine::test`] with this pair's content seed).
     pub result: TescResult,
+    /// The escalation tier (requested sample size) at which this
+    /// pair's score was frozen. Equals `cfg.sample_size` for exact
+    /// runs and for anytime pairs that went the distance; smaller for
+    /// pairs the progressive executor decided early (whose `result`
+    /// then reflects that smaller sample and whose `score` is the
+    /// projected full-sample estimate).
+    pub decided_at_n: usize,
 }
 
 /// Everything a ranking run produced, plus fused-pass diagnostics.
@@ -173,6 +235,9 @@ pub struct RankReport {
     pub fused_bfs: u64,
     /// Worker threads used.
     pub threads: usize,
+    /// Planner rounds executed: 1 for exact runs, the number of
+    /// escalation tiers actually visited for anytime runs.
+    pub rounds: usize,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
 }
@@ -188,7 +253,7 @@ impl RankReport {
         } else {
             1.0
         };
-        format!(
+        let mut s = format!(
             "ranked {} of {} pairs ({} pruned, {} failed); fused {} BFS for {} sampled refs ({share:.1}× shared)",
             self.ranked.len(),
             total,
@@ -196,7 +261,23 @@ impl RankReport {
             self.failed.len(),
             self.fused_bfs,
             self.sampled_refs,
-        )
+        );
+        if self.rounds > 1 {
+            s.push_str(&format!("; {} progressive rounds", self.rounds));
+        }
+        s
+    }
+
+    /// Mean reference samples drawn per candidate pair across all
+    /// rounds — the anytime tier's work measure (an exact run spends
+    /// `≈ sample_size` per pair; a progressive run less, when pairs
+    /// are decided early).
+    pub fn mean_samples_per_pair(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.sampled_refs as f64 / self.candidates as f64
+        }
     }
 }
 
@@ -244,7 +325,7 @@ pub fn direction_score(outcome: &TestOutcome) -> f64 {
 /// [`direction_score`]) of a pair, from its scattered density vectors
 /// alone — the "remaining significance budget" of the top-K early
 /// exit. `None` means no usable bound (importance-sampled pairs).
-fn score_bound(vectors: &PairVectors, statistic: Statistic) -> Option<f64> {
+pub(crate) fn score_bound(vectors: &PairVectors, statistic: Statistic) -> Option<f64> {
     let PairVectors::Uniform { sa, sb } = vectors else {
         return None;
     };
@@ -276,8 +357,20 @@ fn score_bound(vectors: &PairVectors, statistic: Statistic) -> Option<f64> {
 /// docs for scoring, determinism and the top-K early exit; per-pair
 /// scores are bit-identical to independent [`TescEngine::test`] calls
 /// seeded with [`content_seed`] (asserted in `tests/ranking.rs` for
-/// all five samplers).
+/// all five samplers). Under [`RankMode::Anytime`] with a top-K
+/// cutoff, execution is delegated to the progressive executor in
+/// [`crate::anytime`].
 pub fn rank_pairs(engine: &TescEngine<'_>, req: &RankRequest) -> RankReport {
+    if let RankMode::Anytime { eps } = req.mode {
+        if req.top_k.is_some() {
+            return crate::anytime::rank_pairs_anytime(engine, req, eps);
+        }
+    }
+    rank_pairs_exact(engine, req)
+}
+
+/// The exact executor: one planner pass at the full sample size.
+fn rank_pairs_exact(engine: &TescEngine<'_>, req: &RankRequest) -> RankReport {
     let start = Instant::now();
     let threads = req.effective_threads();
     let seeds: Vec<u64> = req
@@ -351,6 +444,7 @@ pub fn rank_pairs(engine: &TescEngine<'_>, req: &RankRequest) -> RankReport {
             label: req.pairs[index].label.clone(),
             score,
             result: results[index].take().expect("computed result"),
+            decided_at_n: req.cfg.sample_size,
         })
         .collect();
     RankReport {
@@ -362,6 +456,7 @@ pub fn rank_pairs(engine: &TescEngine<'_>, req: &RankRequest) -> RankReport {
         sampled_refs: plan.sampled_refs(),
         fused_bfs: fused.bfs_run(),
         threads,
+        rounds: 1,
         wall: start.elapsed(),
     }
 }

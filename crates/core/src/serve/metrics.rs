@@ -18,6 +18,19 @@ pub const ENDPOINTS: [&str; 10] = [
     "test", "batch", "rank", "top_k", "edges", "events", "commit", "stats", "shutdown", "other",
 ];
 
+/// Number of log₂-microsecond latency buckets per endpoint. Bucket `i`
+/// counts requests with `⌊log₂(max(us, 1))⌋ = i`, i.e. latencies in
+/// `[2^i, 2^{i+1})` µs (bucket 0 also absorbs sub-µs requests); the
+/// last bucket absorbs everything `≥ 2^23` µs (≈ 8.4 s).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// The bucket a latency falls into (see [`LATENCY_BUCKETS`]).
+#[inline]
+fn latency_bucket(us: u64) -> usize {
+    let idx = 63 - us.max(1).leading_zeros() as usize;
+    idx.min(LATENCY_BUCKETS - 1)
+}
+
 /// Counters for one endpoint.
 #[derive(Debug, Default)]
 pub struct EndpointStats {
@@ -27,6 +40,7 @@ pub struct EndpointStats {
     server_errors: AtomicU64,
     total_us: AtomicU64,
     max_us: AtomicU64,
+    latency_log2_us: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl EndpointStats {
@@ -42,6 +56,16 @@ impl EndpointStats {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         self.total_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
+        self.latency_log2_us[latency_bucket(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the log₂-µs latency histogram.
+    pub fn latency_histogram(&self) -> [u64; LATENCY_BUCKETS] {
+        let mut out = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.latency_log2_us) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Requests counted so far.
@@ -73,6 +97,15 @@ impl EndpointStats {
             (
                 "max_us",
                 Json::Int(self.max_us.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "latency_us_log2",
+                Json::Arr(
+                    self.latency_histogram()
+                        .iter()
+                        .map(|&c| Json::Int(c as i64))
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -145,5 +178,55 @@ mod tests {
         assert_eq!(test.get("client_errors").unwrap().as_i64(), Some(1));
         assert_eq!(test.get("total_us").unwrap().as_i64(), Some(21));
         assert_eq!(test.get("max_us").unwrap().as_i64(), Some(9));
+    }
+
+    #[test]
+    fn latency_buckets_are_log2_microseconds() {
+        assert_eq!(latency_bucket(0), 0, "sub-µs folds into bucket 0");
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(4), 2);
+        assert_eq!(latency_bucket(1023), 9);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(
+            latency_bucket(u64::MAX),
+            LATENCY_BUCKETS - 1,
+            "overflow clamps"
+        );
+        // Boundary law: every bucket i covers exactly [2^i, 2^{i+1}).
+        for i in 0..LATENCY_BUCKETS - 1 {
+            assert_eq!(latency_bucket(1u64 << i), i);
+            assert_eq!(latency_bucket((1u64 << (i + 1)) - 1), i);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_every_request_once() {
+        let m = Metrics::default();
+        let stats = m.endpoint("rank");
+        for us in [0u64, 1, 5, 130, 130, 5000, 1 << 30] {
+            stats.record(200, Duration::from_micros(us));
+        }
+        let h = stats.latency_histogram();
+        assert_eq!(h.iter().sum::<u64>(), stats.requests());
+        assert_eq!(h[0], 2, "0 and 1 µs share bucket 0");
+        assert_eq!(h[2], 1, "5 µs → [4, 8)");
+        assert_eq!(h[7], 2, "130 µs → [128, 256), twice");
+        assert_eq!(h[12], 1, "5 ms → [4096, 8192) µs");
+        assert_eq!(h[LATENCY_BUCKETS - 1], 1, "2^30 µs clamps to the top");
+        // And the JSON snapshot carries the same counts.
+        let json = m.to_json();
+        let arr = json
+            .get("rank")
+            .unwrap()
+            .get("latency_us_log2")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|j| j.as_i64().unwrap() as u64)
+            .collect::<Vec<_>>();
+        assert_eq!(arr, h.to_vec());
     }
 }

@@ -26,7 +26,7 @@ use super::json::{obj, Json};
 use super::ServerState;
 use crate::batch::{BatchRequest, EventPair};
 use crate::engine::{Statistic, TescConfig, TescResult};
-use crate::rank::{rank_pairs, RankRequest};
+use crate::rank::{rank_pairs, RankMode, RankRequest};
 use crate::sampler::SamplerKind;
 use tesc_graph::NodeId;
 use tesc_stats::significance::Verdict;
@@ -452,6 +452,24 @@ fn handle_rank(state: &ServerState, req: &Request, top_k: bool) -> Response {
         };
         rreq = rreq.with_top_k(k);
     }
+    // `mode`: "exact" (default) or "anytime:EPS" — the progressive
+    // executor; only meaningful with a top-K cutoff (exact otherwise).
+    let mode = match body.get("mode") {
+        None => RankMode::Exact,
+        Some(v) => match v.as_str() {
+            Some("exact") => RankMode::Exact,
+            Some(s) => match s.strip_prefix("anytime:").and_then(|e| e.parse().ok()) {
+                Some(eps) if (0.0..1.0).contains(&eps) => RankMode::Anytime { eps },
+                _ => {
+                    return bad_request(
+                        "`mode` must be \"exact\" or \"anytime:EPS\" with 0 ≤ EPS < 1",
+                    )
+                }
+            },
+            None => return bad_request("`mode` must be a string"),
+        },
+    };
+    rreq = rreq.with_mode(mode);
     let report = rank_pairs(&snap.engine(), &rreq);
     let ranked: Vec<Json> = report
         .ranked
@@ -462,6 +480,7 @@ fn handle_rank(state: &ServerState, req: &Request, top_k: bool) -> Response {
                 ("index", Json::Int(e.index as i64)),
                 ("label", Json::Str(e.label.clone())),
                 ("score", Json::Num(e.score)),
+                ("decided_at_n", Json::Int(e.decided_at_n as i64)),
             ];
             members.push(("result", result_json(&e.result)));
             obj(members)
@@ -487,6 +506,8 @@ fn handle_rank(state: &ServerState, req: &Request, top_k: bool) -> Response {
         obj([
             ("version", Json::Int(snap.version() as i64)),
             ("seed", Json::Int(seed as i64)),
+            ("mode", Json::Str(mode.to_string())),
+            ("rounds", Json::Int(report.rounds as i64)),
             ("candidates", Json::Int(report.candidates as i64)),
             ("pruned", Json::Int(report.pruned as i64)),
             ("distinct_refs", Json::Int(report.distinct_refs as i64)),

@@ -18,7 +18,9 @@
 //!   hub nodes, with alert events planted per subnet.
 //! * [`twitter_like`](mod@twitter_like) — Twitter follower graph (20M nodes / 160M
 //!   edges), used only for scalability. Substitute: Barabási–Albert at
-//!   a configurable scale (heavy-tailed degrees, `O(log n)` diameter).
+//!   a configurable scale (heavy-tailed degrees, `O(log n)` diameter),
+//!   with planted correlated / anti-correlated / background event
+//!   pairs for large all-pairs ranking workloads.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,4 +31,4 @@ pub mod twitter_like;
 
 pub use dblp_like::{DblpConfig, DblpScenario};
 pub use intrusion_like::{IntrusionConfig, IntrusionScenario};
-pub use twitter_like::twitter_like;
+pub use twitter_like::{twitter_like, TwitterConfig, TwitterScenario, TWITTER_ATTACHMENT};

@@ -1,4 +1,4 @@
-//! Twitter-like scalability graph.
+//! Twitter-like scalability scenario.
 //!
 //! The paper's Twitter snapshot (20M nodes, 0.16B edges) carries no
 //! events; it exists purely to stress the samplers (Fig. 9) and the
@@ -6,18 +6,174 @@
 //! reproduces the properties those experiments exercise — heavy-tailed
 //! degree distribution and `O(log n)` effective diameter — at whatever
 //! scale the machine affords.
+//!
+//! Beyond the bare graph, [`TwitterScenario`] plants event pairs with
+//! known ground truth so large all-pairs ranking workloads (the
+//! anytime tier's bench) have a scenario where escalation skew
+//! matters: a few strongly correlated / anti-correlated pairs buried
+//! in a sea of independent background pairs.
 
 use rand::Rng;
 use tesc_graph::csr::CsrGraph;
 use tesc_graph::generators::barabasi_albert;
+use tesc_graph::{BfsScratch, NodeId};
 
 /// Average out-degree of the paper's Twitter subgraph (160M/20M = 8
 /// edges per node); we attach with `m = 8` accordingly.
 pub const TWITTER_ATTACHMENT: usize = 8;
 
-/// Build a Twitter-like graph with `n` nodes.
+/// Build a Twitter-like graph with `n` nodes (the bare-graph
+/// convenience wrapper around [`TwitterScenario`]).
 pub fn twitter_like(n: usize, rng: &mut impl Rng) -> CsrGraph {
     barabasi_albert(n, TWITTER_ATTACHMENT, rng)
+}
+
+/// Configuration of the Twitter-like generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwitterConfig {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Preferential-attachment edges per new node
+    /// ([`TWITTER_ATTACHMENT`] by default).
+    pub attachment: usize,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig {
+            num_nodes: 20_000,
+            attachment: TWITTER_ATTACHMENT,
+        }
+    }
+}
+
+impl TwitterConfig {
+    /// A small configuration for unit tests (≈ 4k nodes).
+    pub fn small() -> Self {
+        TwitterConfig {
+            num_nodes: 4_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// A built Twitter-like scenario: the graph plus planting helpers for
+/// event pairs with known correlation ground truth.
+#[derive(Debug, Clone)]
+pub struct TwitterScenario {
+    /// The follower graph.
+    pub graph: CsrGraph,
+    config: TwitterConfig,
+}
+
+impl TwitterScenario {
+    /// Build the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_nodes > attachment ≥ 1`.
+    pub fn build(config: TwitterConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.attachment >= 1, "attachment must be at least 1");
+        assert!(
+            config.num_nodes > config.attachment,
+            "need more nodes than attachment edges"
+        );
+        TwitterScenario {
+            graph: barabasi_albert(config.num_nodes, config.attachment, rng),
+            config,
+        }
+    }
+
+    /// The configuration the scenario was built with.
+    pub fn config(&self) -> &TwitterConfig {
+        &self.config
+    }
+
+    /// Plant a **correlated** pair: both events sampled from the same
+    /// `radius`-hop ball around a peripheral anchor, so wherever one
+    /// event is dense the other is too (strong positive TESC). `size`
+    /// nodes per event, drawn independently (occasional shared nodes
+    /// are realistic and only strengthen the signal).
+    pub fn plant_correlated_pair(
+        &self,
+        size: usize,
+        radius: u32,
+        rng: &mut impl Rng,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        let ball = self.ball(self.peripheral_anchor(rng), radius);
+        (sample_from(&ball, size, rng), sample_from(&ball, size, rng))
+    }
+
+    /// Plant an **anti-correlated** pair: the events live in disjoint
+    /// `radius`-hop balls around two far-apart peripheral anchors, so
+    /// reference nodes that see one event densely see the other
+    /// sparsely (strong negative TESC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no disjoint anchor pair is found in 64 attempts
+    /// (radius too large for the graph).
+    pub fn plant_anticorrelated_pair(
+        &self,
+        size: usize,
+        radius: u32,
+        rng: &mut impl Rng,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        for _ in 0..64 {
+            let ball_a = self.ball(self.peripheral_anchor(rng), radius);
+            let ball_b = self.ball(self.peripheral_anchor(rng), radius);
+            if ball_a.iter().any(|v| ball_b.binary_search(v).is_ok()) {
+                continue;
+            }
+            return (
+                sample_from(&ball_a, size, rng),
+                sample_from(&ball_b, size, rng),
+            );
+        }
+        panic!("no disjoint {radius}-hop balls found in 64 attempts");
+    }
+
+    /// Plant an **independent** background pair: two uniform random
+    /// node sets with no structural relationship.
+    pub fn plant_background_pair(
+        &self,
+        size: usize,
+        rng: &mut impl Rng,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        (
+            tesc_graph::perturb::sample_nodes(&self.graph, size, rng),
+            tesc_graph::perturb::sample_nodes(&self.graph, size, rng),
+        )
+    }
+
+    /// A low-degree anchor: preferential attachment makes early nodes
+    /// hubs whose balls swallow the graph, so anchors come from the
+    /// later (peripheral) half of the id space.
+    fn peripheral_anchor(&self, rng: &mut impl Rng) -> NodeId {
+        let n = self.config.num_nodes;
+        rng.gen_range(n as NodeId / 2..n as NodeId)
+    }
+
+    /// The sorted `radius`-hop ball around `anchor`.
+    fn ball(&self, anchor: NodeId, radius: u32) -> Vec<NodeId> {
+        let mut scratch = BfsScratch::new(self.graph.num_nodes());
+        let mut out = Vec::new();
+        scratch.h_vicinity_into(&self.graph, &[anchor], radius, &mut out);
+        out.sort_unstable();
+        out
+    }
+}
+
+/// `k` distinct nodes from `pool` (the whole pool when it is smaller).
+fn sample_from(pool: &[NodeId], k: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut pool = pool.to_vec();
+    let k = k.min(pool.len());
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
 }
 
 #[cfg(test)]
@@ -25,10 +181,15 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use tesc::{Tail, TescConfig, TescEngine};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
 
     #[test]
     fn degree_scale_matches_twitter() {
-        let g = twitter_like(20_000, &mut StdRng::seed_from_u64(1));
+        let g = twitter_like(20_000, &mut rng(1));
         let avg = g.average_degree();
         // 2m = 16 asymptotically.
         assert!((10.0..20.0).contains(&avg), "avg degree {avg}");
@@ -37,7 +198,7 @@ mod tests {
 
     #[test]
     fn small_world_distances() {
-        let g = twitter_like(20_000, &mut StdRng::seed_from_u64(2));
+        let g = twitter_like(20_000, &mut rng(2));
         let mut scratch = tesc_graph::BfsScratch::new(g.num_nodes());
         let d = tesc_graph::dist::distances_from_set(&g, &mut scratch, &[0], 6);
         let reached = d.iter().filter(|&&x| x != u32::MAX).count();
@@ -45,5 +206,71 @@ mod tests {
             reached as f64 > 0.99 * g.num_nodes() as f64,
             "{reached} nodes within 6 hops"
         );
+    }
+
+    #[test]
+    fn build_is_seed_reproducible_and_configurable() {
+        let a = TwitterScenario::build(TwitterConfig::small(), &mut rng(3));
+        let b = TwitterScenario::build(TwitterConfig::small(), &mut rng(3));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.graph.num_nodes(), 4_000);
+        let tiny = TwitterScenario::build(
+            TwitterConfig {
+                num_nodes: 500,
+                attachment: 3,
+            },
+            &mut rng(4),
+        );
+        assert_eq!(tiny.graph.num_nodes(), 500);
+        assert_eq!(tiny.config().attachment, 3);
+    }
+
+    #[test]
+    fn correlated_pair_attracts() {
+        let s = TwitterScenario::build(TwitterConfig::small(), &mut rng(5));
+        let (va, vb) = s.plant_correlated_pair(40, 1, &mut rng(6));
+        let engine = TescEngine::new(&s.graph);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(300)
+            .with_tail(Tail::Upper);
+        let res = engine.test(&va, &vb, &cfg, &mut rng(7)).unwrap();
+        assert!(res.z() > 2.33, "correlated pair z = {}", res.z());
+    }
+
+    #[test]
+    fn anticorrelated_pair_repulses() {
+        let s = TwitterScenario::build(TwitterConfig::small(), &mut rng(8));
+        let (va, vb) = s.plant_anticorrelated_pair(40, 1, &mut rng(9));
+        assert!(va.iter().all(|v| !vb.contains(v)), "events are disjoint");
+        let engine = TescEngine::new(&s.graph);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(300)
+            .with_tail(Tail::Lower);
+        let res = engine.test(&va, &vb, &cfg, &mut rng(10)).unwrap();
+        assert!(res.z() < -2.33, "anticorrelated pair z = {}", res.z());
+    }
+
+    #[test]
+    fn background_pair_is_unstructured() {
+        let s = TwitterScenario::build(TwitterConfig::small(), &mut rng(11));
+        let (va, vb) = s.plant_background_pair(40, &mut rng(12));
+        assert_eq!(va.len(), 40);
+        assert_eq!(vb.len(), 40);
+        let engine = TescEngine::new(&s.graph);
+        let cfg = TescConfig::new(1)
+            .with_sample_size(300)
+            .with_tail(Tail::TwoSided);
+        let res = engine.test(&va, &vb, &cfg, &mut rng(13)).unwrap();
+        assert!(res.z().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than attachment")]
+    fn degenerate_config_rejected() {
+        let cfg = TwitterConfig {
+            num_nodes: 4,
+            attachment: 8,
+        };
+        let _ = TwitterScenario::build(cfg, &mut rng(0));
     }
 }

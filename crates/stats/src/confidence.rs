@@ -1,0 +1,182 @@
+//! Confidence intervals for progressively sampled correlation scores.
+//!
+//! The anytime ranking tier scores a pair on a small reference sample
+//! `m < n`, then must decide whether the pair's *full-sample* score
+//! could still land inside (or outside) the top-K cutoff. The pieces:
+//!
+//! * **Scale functions.** A z-score grows with the sample size even
+//!   when the underlying correlation is fixed: for Kendall's S the
+//!   tie-free null scale is `c(m) = S_max/√Var(S) = √(9m(m−1)/(2(2m+5)))`
+//!   (since `S_max = m(m−1)/2` and `Var(S) = m(m−1)(2m+5)/18`), for
+//!   Spearman it is `√(m−1)`. Dividing an observed score by its scale
+//!   gives a size-free estimate `ê ∈ [−1, 1]` of the correlation; the
+//!   projected full-sample score is `ê·c(n)`.
+//! * **Tie penalty.** Ties shrink both `S_max` and `Var(S)`. The
+//!   *observed* scale at `m` (the significance budget the ranker
+//!   already computes) captures the pair's actual tie structure, so
+//!   the projection carries the observed-to-untied ratio
+//!   `ρ = c_obs(m)/c_untied(m)` forward to `n` rather than assuming a
+//!   tie-free future.
+//! * **Interval width.** `Var(τ̂) ≤ 2/m` for every exchangeable null /
+//!   alternative (the Hoeffding projection bound: `τ̂` is a U-statistic
+//!   of degree 2 with kernel in `[−1, 1]`), so a normal-approximation
+//!   interval of coverage `1 − eps` on `ê` has half-width
+//!   `z_{1−eps/2}·√(2/m)`; scaling by the projected scale moves it to
+//!   the score axis. `eps = 0` yields the infinite interval — the
+//!   anytime executor then never decides early, which is exactly what
+//!   makes its output bit-identical to the exact ranking.
+
+use crate::normal::StdNormal;
+
+/// Tie-free Kendall z-scale at sample size `m`:
+/// `√(9m(m−1)/(2(2m+5)))` — the largest |z| an untied sample of `m`
+/// reference nodes can produce. Zero for `m < 2`.
+pub fn untied_kendall_scale(m: usize) -> f64 {
+    if m < 2 {
+        return 0.0;
+    }
+    let m = m as f64;
+    (9.0 * m * (m - 1.0) / (2.0 * (2.0 * m + 5.0))).sqrt()
+}
+
+/// Spearman z-scale at sample size `m`: `√(m−1)` (|ρ| ≤ 1 and
+/// `z = ρ·√(m−1)`). Zero for `m < 1`.
+pub fn spearman_scale(m: usize) -> f64 {
+    if m < 1 {
+        return 0.0;
+    }
+    ((m - 1) as f64).sqrt()
+}
+
+/// A confidence interval on a pair's projected full-sample score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreInterval {
+    /// Point estimate of the full-sample score.
+    pub point: f64,
+    /// Lower confidence bound (`−∞` when `eps = 0`).
+    pub lo: f64,
+    /// Upper confidence bound (`+∞` when `eps = 0`).
+    pub hi: f64,
+}
+
+impl ScoreInterval {
+    /// Degenerate point interval (used once a score is exact).
+    pub fn exact(score: f64) -> Self {
+        ScoreInterval {
+            point: score,
+            lo: score,
+            hi: score,
+        }
+    }
+
+    /// Interval width (`∞` when `eps = 0`).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Project a score observed at sample size `m` to the full sample size
+/// and wrap it in a `1 − eps` confidence interval.
+///
+/// `score_m` is the observed score (a z-score read in the tested
+/// direction), `scale_m > 0` the observed score scale at `m` (the
+/// significance budget `S_max/√Var(S)`), and `scale_n` the projected
+/// scale at the full sample size. The estimate `ê = score_m/scale_m`
+/// is clamped to `[−1, 1]`; the half-width is
+/// `z_{1−eps/2}·√(2/m)·scale_n`. With `eps = 0` the interval is
+/// `(−∞, +∞)`: no early decision is ever possible.
+///
+/// # Panics
+///
+/// Panics unless `scale_m > 0`, `m ≥ 2` and `0 ≤ eps < 1`.
+pub fn projected_score_interval(
+    score_m: f64,
+    scale_m: f64,
+    scale_n: f64,
+    m: usize,
+    eps: f64,
+) -> ScoreInterval {
+    assert!(scale_m > 0.0, "observed scale must be positive");
+    assert!(m >= 2, "need at least two reference nodes");
+    assert!((0.0..1.0).contains(&eps), "eps must be in [0, 1)");
+    let estimate = (score_m / scale_m).clamp(-1.0, 1.0);
+    let point = estimate * scale_n;
+    if eps == 0.0 {
+        return ScoreInterval {
+            point,
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        };
+    }
+    let half = StdNormal::quantile(1.0 - eps / 2.0) * (2.0 / m as f64).sqrt() * scale_n;
+    ScoreInterval {
+        point,
+        lo: point - half,
+        hi: point + half,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untied_scales_match_closed_forms() {
+        // m = 10: Var(S) = 10·9·25/18 = 125, S_max = 45 → 45/√125.
+        let expect = 45.0 / 125.0f64.sqrt();
+        assert!((untied_kendall_scale(10) - expect).abs() < 1e-12);
+        assert_eq!(untied_kendall_scale(1), 0.0);
+        assert_eq!(spearman_scale(10), 3.0);
+        assert_eq!(spearman_scale(0), 0.0);
+        // Scales grow ~√m: a full-sample scale always dominates a
+        // prefix scale.
+        for m in 3..200 {
+            assert!(untied_kendall_scale(m + 1) > untied_kendall_scale(m));
+            assert!(spearman_scale(m + 1) > spearman_scale(m));
+        }
+    }
+
+    #[test]
+    fn eps_zero_interval_is_infinite() {
+        let ci = projected_score_interval(3.0, 4.0, 8.0, 50, 0.0);
+        assert_eq!(ci.lo, f64::NEG_INFINITY);
+        assert_eq!(ci.hi, f64::INFINITY);
+        assert!((ci.point - 6.0).abs() < 1e-12, "ê = 0.75 → 0.75·8");
+        assert_eq!(ci.width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn width_shrinks_with_m_and_grows_as_eps_drops() {
+        let w = |m: usize, eps: f64| projected_score_interval(1.0, 4.0, 8.0, m, eps).width();
+        assert!(w(100, 0.1) < w(25, 0.1), "more samples → tighter");
+        assert!(
+            (w(25, 0.1) - 2.0 * w(100, 0.1)).abs() < 1e-9,
+            "√(2/m): quadrupling m halves the width"
+        );
+        assert!(w(100, 0.01) > w(100, 0.1), "smaller eps → wider");
+        assert!(w(100, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn estimate_is_clamped_to_unit_correlation() {
+        // An observed score at the budget ceiling projects to the full
+        // ceiling, never beyond.
+        let ci = projected_score_interval(9.0, 4.0, 8.0, 50, 0.2);
+        assert_eq!(ci.point, 8.0);
+        let ci = projected_score_interval(-9.0, 4.0, 8.0, 50, 0.2);
+        assert_eq!(ci.point, -8.0);
+    }
+
+    #[test]
+    fn exact_interval_is_a_point() {
+        let ci = ScoreInterval::exact(2.5);
+        assert_eq!((ci.lo, ci.point, ci.hi), (2.5, 2.5, 2.5));
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in [0, 1)")]
+    fn eps_one_rejected() {
+        let _ = projected_score_interval(1.0, 2.0, 3.0, 10, 1.0);
+    }
+}

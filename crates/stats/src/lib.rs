@@ -17,6 +17,9 @@
 //!   levels, and the [`significance::TestOutcome`] produced by a test.
 //! * [`descriptive`] — small online descriptive-statistics helpers
 //!   (Welford mean/variance) used by the experiment harness.
+//! * [`confidence`] — progressive-sampling confidence intervals: scale
+//!   functions, tie-penalty projection and `1 − eps` score intervals
+//!   powering the anytime ranking tier.
 //!
 //! The crate is dependency-free (std only) so that the statistical core
 //! can be audited in isolation.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod confidence;
 pub mod descriptive;
 pub mod kendall;
 pub mod normal;
@@ -31,6 +35,9 @@ pub mod rank;
 pub mod significance;
 pub mod spearman;
 
+pub use confidence::{
+    projected_score_interval, spearman_scale, untied_kendall_scale, ScoreInterval,
+};
 pub use kendall::{kendall_tau, KendallMethod, KendallSummary};
 pub use normal::StdNormal;
 pub use significance::{SignificanceLevel, Tail, TestOutcome};

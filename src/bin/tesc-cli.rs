@@ -30,6 +30,7 @@
 //!
 //! tesc-cli rank --graph G.txt --events EVENTS.txt
 //!               [--pairs NPAIRS.txt | --focus EVENT] [--top-k K]
+//!               [--mode exact|anytime:EPS]
 //!               [--threads 0] [--h 1] [--n 900] [--tail upper|lower|two]
 //!               [--alpha 0.05] [--sampler batch|reject|importance|whole]
 //!               [--statistic kendall|spearman] [--seed 42] [--cache on]
@@ -40,7 +41,12 @@
 //!     explicit candidate list via --pairs. --top-k keeps the best K
 //!     and prunes candidates whose significance budget cannot reach
 //!     the cutoff. Scores are content-seeded: a pair ranks the same
-//!     wherever it appears in the candidate list.
+//!     wherever it appears in the candidate list. With
+//!     `--mode anytime:EPS` (and a --top-k cutoff) pairs start at a
+//!     small sample and only escalate while their `1−EPS` confidence
+//!     interval straddles the K-th score; the table then shows the
+//!     sample tier each pair was decided at (`anytime:0` is
+//!     bit-identical to exact).
 //!
 //! tesc-cli stream --graph G.txt --events EVENTS.txt --pairs NPAIRS.txt
 //!                 --updates U.txt [--threads 0] [--h 1] [--n 900]
@@ -106,7 +112,8 @@ const USAGE: &str = "usage:
                 [--statistic kendall|spearman] [--seed 42] [--cache on|off]
                 [--kernel auto|scalar|bitset|multi] [--relabel on|off]
   tesc-cli rank --graph G.txt --events EVENTS.txt
-                [--pairs NPAIRS.txt | --focus EVENT] [--top-k K] [--threads 0]
+                [--pairs NPAIRS.txt | --focus EVENT] [--top-k K]
+                [--mode exact|anytime:EPS] [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42] [--cache on|off]
@@ -664,23 +671,50 @@ fn run_rank_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         req = req.with_top_k(k);
     }
+    let mode = parse_mode_flag(flags)?;
+    let anytime = matches!(mode, tesc::RankMode::Anytime { .. });
+    if anytime && req.top_k.is_none() {
+        eprintln!("note: --mode anytime needs --top-k; running exact");
+    }
+    req = req.with_mode(mode);
     let report = tesc::rank_pairs(&engine, &req);
 
-    println!(
-        "{:>4}  {:<24} {:>8} {:>8} {:>10} {:>9}  verdict",
-        "rank", "pair", "score", "z", "p", "n_refs"
-    );
-    for e in &report.ranked {
+    if anytime {
         println!(
-            "{:>4}  {:<24} {:>+8.3} {:>+8.3} {:>10.3e} {:>9}  {:?}",
-            e.rank,
-            e.label,
-            e.score,
-            e.result.z(),
-            e.result.outcome.p_value,
-            e.result.n_refs,
-            e.result.outcome.verdict
+            "{:>4}  {:<24} {:>8} {:>8} {:>10} {:>9} {:>9}  verdict",
+            "rank", "pair", "score", "z", "p", "n_refs", "decided@n"
         );
+    } else {
+        println!(
+            "{:>4}  {:<24} {:>8} {:>8} {:>10} {:>9}  verdict",
+            "rank", "pair", "score", "z", "p", "n_refs"
+        );
+    }
+    for e in &report.ranked {
+        if anytime {
+            println!(
+                "{:>4}  {:<24} {:>+8.3} {:>+8.3} {:>10.3e} {:>9} {:>9}  {:?}",
+                e.rank,
+                e.label,
+                e.score,
+                e.result.z(),
+                e.result.outcome.p_value,
+                e.result.n_refs,
+                e.decided_at_n,
+                e.result.outcome.verdict
+            );
+        } else {
+            println!(
+                "{:>4}  {:<24} {:>+8.3} {:>+8.3} {:>10.3e} {:>9}  {:?}",
+                e.rank,
+                e.label,
+                e.score,
+                e.result.z(),
+                e.result.outcome.p_value,
+                e.result.n_refs,
+                e.result.outcome.verdict
+            );
+        }
     }
     for f in &report.failed {
         if let Err(e) = &f.result {
@@ -689,6 +723,26 @@ fn run_rank_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     println!("summary: {}", report.summary());
     Ok(())
+}
+
+/// Parse `--mode exact|anytime:EPS` (default exact).
+fn parse_mode_flag(flags: &HashMap<String, String>) -> Result<tesc::RankMode, String> {
+    match flags.get("mode").map(String::as_str) {
+        None | Some("exact") => Ok(tesc::RankMode::Exact),
+        Some("anytime") => Err("--mode anytime needs an EPS, e.g. --mode anytime:0.05".into()),
+        Some(s) => {
+            let Some(eps) = s.strip_prefix("anytime:") else {
+                return Err(format!("--mode must be exact|anytime:EPS, got {s:?}"));
+            };
+            let eps: f64 = eps
+                .parse()
+                .map_err(|_| format!("could not parse --mode eps {eps:?}"))?;
+            if !(0.0..1.0).contains(&eps) {
+                return Err(format!("--mode anytime EPS must be in [0, 1), got {eps}"));
+            }
+            Ok(tesc::RankMode::Anytime { eps })
+        }
+    }
 }
 
 /// Parse the `stream` pair list: `label eventA eventB` per line,

@@ -205,6 +205,39 @@ fn happy_path_covers_every_endpoint() {
         1
     );
 
+    // /top-k in anytime mode: mode and tier count are echoed, every
+    // entry carries decided_at_n, and eps = 0 reproduces the exact
+    // ranking bit for bit (z_bits).
+    let (status, exact) = client.request("POST", "/top-k", r#"{"k":2,"n":200,"seed":3}"#);
+    assert_eq!(status, 200, "{exact:?}");
+    assert_eq!(get_str(&exact, "mode"), "exact");
+    assert_eq!(get_i64(&exact, "rounds"), 1);
+    let (status, zero) = client.request(
+        "POST",
+        "/top-k",
+        r#"{"k":2,"n":200,"seed":3,"mode":"anytime:0"}"#,
+    );
+    assert_eq!(status, 200, "{zero:?}");
+    assert_eq!(get_str(&zero, "mode"), "anytime:0");
+    assert!(get_i64(&zero, "rounds") > 1, "n = 200 has several tiers");
+    let exact_ranked = exact.get("ranked").and_then(Json::as_array).unwrap();
+    let zero_ranked = zero.get("ranked").and_then(Json::as_array).unwrap();
+    assert_eq!(exact_ranked.len(), zero_ranked.len());
+    for (e, z) in exact_ranked.iter().zip(zero_ranked) {
+        assert_eq!(get_str(e, "label"), get_str(z, "label"));
+        assert_eq!(
+            e.get("result").and_then(|r| r.get("z_bits")),
+            z.get("result").and_then(|r| r.get("z_bits")),
+            "anytime:0 must be bit-identical to exact"
+        );
+        assert_eq!(get_i64(e, "decided_at_n"), 200);
+        assert_eq!(
+            get_i64(z, "decided_at_n"),
+            200,
+            "eps = 0 never decides early"
+        );
+    }
+
     // Ingestion: stage edges + a new event, then commit.
     let (status, body) = client.request("POST", "/edges", r#"{"edges":[[0,17],[1,18]]}"#);
     assert_eq!(status, 200, "{body:?}");
@@ -257,6 +290,24 @@ fn happy_path_covers_every_endpoint() {
             get_i64(ep, "server_errors"),
             0,
             "endpoint {name} reported a 5xx"
+        );
+        // Every request lands in exactly one log₂-µs latency bucket.
+        let hist = ep
+            .get("latency_us_log2")
+            .and_then(Json::as_array)
+            .expect("latency histogram");
+        assert_eq!(hist.len(), tesc::serve::metrics::LATENCY_BUCKETS);
+        let mass: i64 = hist
+            .iter()
+            .map(|b| match b {
+                Json::Int(v) => *v,
+                other => panic!("histogram bucket {other:?}"),
+            })
+            .sum();
+        assert_eq!(
+            mass,
+            get_i64(ep, "requests"),
+            "endpoint {name}: histogram mass must equal its request count"
         );
     }
 
@@ -312,7 +363,11 @@ fn malformed_requests_get_4xx_and_never_wedge_the_server() {
         ("/batch", r#"{"pairs":[]}"#, 400),
         ("/batch", r#"{"pairs":[["alpha"]]}"#, 400),
         ("/rank", r#"{"focus":"nope"}"#, 400),
+        ("/rank", r#"{"mode":7}"#, 400),
+        ("/rank", r#"{"mode":"psychic"}"#, 400),
         ("/top-k", r#"{"k":0}"#, 400),
+        ("/top-k", r#"{"k":1,"mode":"anytime:1.5"}"#, 400),
+        ("/top-k", r#"{"k":1,"mode":"anytime:"}"#, 400),
         ("/edges", r#"{"edges":[[0]]}"#, 400),
         ("/edges", r#"{"edges":[[0,"x"]]}"#, 400),
         ("/events", r#"{"name":"","nodes":[1]}"#, 400),
