@@ -1,0 +1,201 @@
+//! **Figure 13** (beyond the paper) — crash-recovery restart vs.
+//! from-scratch rebuild, time to first query.
+//!
+//! The persistence tier (`tesc::persist`) exists so a serving daemon
+//! can come back from a crash without replaying its life story. This
+//! binary quantifies the payoff. Starting from a DBLP-like scenario
+//! with planted keyword events, it applies `--commits` random
+//! ingestion deltas durably (snapshots + WAL in a scratch directory),
+//! then times two ways of getting back to an answering state:
+//!
+//! * `restart` — [`TescContext::open_dir`]: newest valid snapshot +
+//!   WAL tail replay + vicinity rebuild, then one fixed-seed query;
+//! * `rebuild` — reconstruct the initial state, re-apply all deltas
+//!   through the writer API (each one re-publishing a version, exactly
+//!   what a log-less daemon would redo), then the same query.
+//!
+//! Both paths are identity-gated before timing: they must land on the
+//! never-crashed context's snapshot fingerprint *and* return the
+//! bit-identical z-score for the fixed-seed query, otherwise the run
+//! fails. With `TESC_BENCH_JSON` set, rows land in the shared
+//! JSON-lines artifact (`restart_ms`, `rebuild_ms`, `speedup`).
+//!
+//! Run: `cargo run --release -p tesc_bench --bin fig13_recovery`
+//! Flags: `--scale small|medium|large`, `--h H`, `--commits N`,
+//! `--snapshot-every N`, `--seed N`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tesc::context::TescContext;
+use tesc::persist::StoreOptions;
+use tesc::TescConfig;
+use tesc_bench::timing::Harness;
+use tesc_bench::{dblp_scenario, flag, parse_flags, scale_flag};
+use tesc_events::{EventId, EventStore};
+use tesc_graph::NodeId;
+
+const USAGE: &str = "fig13_recovery — restart-from-disk vs rebuild-from-deltas, to first query
+  --scale small|medium|large   graph scale (default small)
+  --h H                        vicinity level (default 2)
+  --commits N                  durable ingestion deltas to apply (default 64)
+  --snapshot-every N           checkpoint period in WAL records (default 32)
+  --seed N                     base seed (default 42)";
+
+/// One pre-generated ingestion delta (shared verbatim by the durable
+/// run and the rebuild path, so both replay the same history).
+enum Delta {
+    Edges(Vec<(NodeId, NodeId)>),
+    Occurrences(EventId, Vec<NodeId>),
+}
+
+fn main() {
+    let flags = parse_flags(USAGE);
+    let scale = match flags.get("scale") {
+        Some(_) => scale_flag(&flags),
+        None => tesc_bench::Scale::Small,
+    };
+    let h = flag(&flags, "h", 2u32);
+    let commits = flag(&flags, "commits", 64usize).max(1);
+    let snapshot_every = flag(&flags, "snapshot-every", 32u64).max(1);
+    let seed = flag(&flags, "seed", 42u64);
+
+    eprintln!("building DBLP-like scenario ({scale:?}, h = {h})...");
+    let s = dblp_scenario(scale, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (wireless, sensor) = s.plant_positive_keyword_pair(6, 10, 0.3, &mut rng);
+    let base_graph = s.graph.clone();
+    let mut base_events = EventStore::new();
+    let wireless_id = base_events.add_event("wireless", wireless);
+    base_events.add_event("sensor", sensor);
+    let n = base_graph.num_nodes() as NodeId;
+
+    // Pre-generate the delta history both paths share.
+    let deltas: Vec<Delta> = (0..commits)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                let edges = (0..4)
+                    .map(|_| {
+                        let u = rng.gen_range(0..n - 1);
+                        (u, rng.gen_range(u + 1..n))
+                    })
+                    .filter(|&(u, v)| u != v)
+                    .collect();
+                Delta::Edges(edges)
+            } else {
+                let nodes = (0..3).map(|_| rng.gen_range(0..n)).collect();
+                Delta::Occurrences(wireless_id, nodes)
+            }
+        })
+        .collect();
+
+    let apply = |ctx: &TescContext, delta: &Delta| match delta {
+        Delta::Edges(edges) => {
+            ctx.add_edges(edges).expect("edge delta");
+        }
+        Delta::Occurrences(event, nodes) => {
+            ctx.add_event_occurrences(*event, nodes)
+                .expect("occurrence delta");
+        }
+    };
+
+    // The fixed-seed first query both paths must answer identically.
+    let query = |ctx: &TescContext| {
+        let snap = ctx.snapshot();
+        let events = snap.events();
+        let cfg = TescConfig::new(h).with_sample_size(200);
+        let result = snap
+            .engine()
+            .test(
+                events.nodes(events.id_by_name("wireless").expect("planted")),
+                events.nodes(events.id_by_name("sensor").expect("planted")),
+                &cfg,
+                &mut StdRng::seed_from_u64(seed ^ 0x51),
+            )
+            .expect("first query");
+        (snap.fingerprint(), result.z().to_bits())
+    };
+
+    // Durable history: commit every delta into a scratch data dir.
+    let dir = std::env::temp_dir().join(format!(
+        "tesc-fig13-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let options = StoreOptions {
+        snapshot_every,
+        ..StoreOptions::default()
+    };
+    eprintln!("committing {commits} durable deltas (snapshot every {snapshot_every} records)...");
+    let ctx = TescContext::try_with_threads(base_graph.clone(), base_events.clone(), h, 1)
+        .expect("initial context")
+        .with_durability(&dir, options)
+        .expect("attach durability");
+    for delta in &deltas {
+        apply(&ctx, delta);
+    }
+    let golden = query(&ctx);
+    drop(ctx);
+
+    // Identity gates before any timing: both recovery paths must land
+    // on the never-crashed state and answer bit-identically.
+    let restarted = TescContext::open_dir(&dir, h, 1, options)
+        .expect("recovery")
+        .expect("directory holds data");
+    let restart_answer = query(&restarted);
+    drop(restarted);
+    let rebuild = || {
+        let ctx = TescContext::try_with_threads(base_graph.clone(), base_events.clone(), h, 1)
+            .expect("initial context");
+        for delta in &deltas {
+            apply(&ctx, delta);
+        }
+        ctx
+    };
+    let rebuild_answer = query(&rebuild());
+    let identical = restart_answer == golden && rebuild_answer == golden;
+    println!(
+        "identity gate: restart {} rebuild {} (fingerprint + fixed-seed z bits)",
+        if restart_answer == golden {
+            "ok"
+        } else {
+            "FAIL"
+        },
+        if rebuild_answer == golden {
+            "ok"
+        } else {
+            "FAIL"
+        },
+    );
+
+    let harness = Harness::new().without_cli_filter().with_samples(5);
+    let restart_s = harness.bench("recovery/restart_to_first_query", || {
+        let ctx = TescContext::open_dir(&dir, h, 1, options)
+            .expect("recovery")
+            .expect("directory holds data");
+        query(&ctx)
+    });
+    let rebuild_s = harness.bench("recovery/rebuild_to_first_query", || query(&rebuild()));
+    let speedup = rebuild_s / restart_s.max(1e-12);
+    println!(
+        "commits  restart_ms  rebuild_ms  speedup\n{commits}  {:<10.1}  {:<10.1}  {speedup:.1}",
+        restart_s * 1e3,
+        rebuild_s * 1e3,
+    );
+    harness.record_row(
+        &format!("recovery/commits={commits}"),
+        &[
+            ("restart_ms", restart_s * 1e3),
+            ("rebuild_ms", rebuild_s * 1e3),
+            ("speedup", speedup),
+        ],
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    if !identical {
+        eprintln!("FAIL: a recovery path diverged from the never-crashed context");
+        std::process::exit(1);
+    }
+}

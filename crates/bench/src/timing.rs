@@ -99,6 +99,17 @@ impl Harness {
         self
     }
 
+    /// Drop the CLI-argument name filter picked up by [`Harness::new`].
+    ///
+    /// The filter heuristic treats any bare (non-`--`) argument as a
+    /// benchmark-name substring, which is right for `cargo bench -- foo`
+    /// but wrong for binaries taking `--flag value` pairs: the *value*
+    /// would silently filter out every row. Flag-style bins call this.
+    pub fn without_cli_filter(mut self) -> Self {
+        self.filter = None;
+        self
+    }
+
     /// Append JSON-lines records to `path` (the `TESC_BENCH_JSON`
     /// environment override, if set, wins).
     pub fn with_json_path(mut self, path: impl Into<PathBuf>) -> Self {

@@ -59,6 +59,8 @@
 use crate::batch::{BatchReport, BatchRequest, EventPair};
 use crate::cache::DensityCache;
 use crate::engine::TescEngine;
+use crate::persist::{Durability, PersistError, Store, StoreOptions, WalRecord};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use tesc_events::{EventId, EventStore, EventStoreError};
 use tesc_graph::relabel::RelabeledGraph;
@@ -79,6 +81,13 @@ pub enum IngestError {
         /// The graph's node count.
         num_nodes: usize,
     },
+    /// The durability layer could not log the mutation to the WAL.
+    /// Nothing was published: the context still serves the previous
+    /// version, consistent with what recovery would reconstruct.
+    Persist {
+        /// The underlying persistence error, stringified.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for IngestError {
@@ -90,6 +99,9 @@ impl std::fmt::Display for IngestError {
                 f,
                 "occurrence node {node} out of range for {num_nodes} nodes"
             ),
+            IngestError::Persist { message } => {
+                write!(f, "durable log append failed: {message}")
+            }
         }
     }
 }
@@ -163,6 +175,19 @@ impl Snapshot {
     #[inline]
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// 64-bit fingerprint of the snapshot's durable state: graph
+    /// fingerprint × event-store fingerprint × version, FNV-mixed.
+    /// Recovery equivalence is asserted against this — two snapshots
+    /// with equal fingerprints serve bit-identical answers to every
+    /// seeded query.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.graph.fingerprint();
+        h = (h ^ self.events.fingerprint()).wrapping_mul(PRIME);
+        h = (h ^ self.version).wrapping_mul(PRIME);
+        h
     }
 
     /// The snapshot's graph.
@@ -248,6 +273,11 @@ pub struct TescContext {
     /// Byte budget handed to every freshly created snapshot cache
     /// (`None` = unbounded append-only caches, the batch default).
     cache_budget: Option<usize>,
+    /// Durable sink (ingestion WAL + periodic snapshots) when the
+    /// context is attached to a data directory. Mutated only under
+    /// `writer` — the `Mutex` exists because the writer methods take
+    /// `&self`; the lock ordering is always `writer` → `durability`.
+    durability: Mutex<Option<Durability>>,
 }
 
 impl TescContext {
@@ -299,6 +329,19 @@ impl TescContext {
         max_level: u32,
         threads: usize,
     ) -> Result<Self, IngestError> {
+        Self::try_with_threads_at(graph, events, max_level, threads, 1)
+    }
+
+    /// [`TescContext::try_with_threads`] starting at an arbitrary
+    /// version stamp — the recovery path re-creating a context "as of"
+    /// the version its data directory reached.
+    fn try_with_threads_at(
+        graph: CsrGraph,
+        events: EventStore,
+        max_level: u32,
+        threads: usize,
+        version: u64,
+    ) -> Result<Self, IngestError> {
         for (_, _, nodes) in events.iter() {
             check_nodes(graph.num_nodes(), nodes)?;
         }
@@ -308,7 +351,7 @@ impl TescContext {
                 Arc::new(graph),
                 Arc::new(vicinity),
                 Arc::new(events),
-                1,
+                version,
                 None,
                 None,
                 None,
@@ -317,6 +360,7 @@ impl TescContext {
             max_level,
             relabeling: false,
             cache_budget: None,
+            durability: Mutex::new(None),
         })
     }
 
@@ -407,6 +451,30 @@ impl TescContext {
         next
     }
 
+    /// Log the record producing version `seq` — called by the writer
+    /// methods (under the writer lock) strictly *before* publishing.
+    /// A no-op without an attached data directory; a failed append
+    /// aborts the ingest with nothing published, keeping the served
+    /// state equal to what recovery would reconstruct.
+    fn log_wal(&self, seq: u64, record: &WalRecord) -> Result<(), IngestError> {
+        let mut durability = self.durability.lock().expect("durability lock poisoned");
+        if let Some(d) = durability.as_mut() {
+            d.log(seq, record).map_err(|e| IngestError::Persist {
+                message: e.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint (snapshot + WAL rotation) if enough records have
+    /// accumulated — called by the writer methods after publishing.
+    fn maybe_checkpoint(&self, snap: &Snapshot) {
+        let mut durability = self.durability.lock().expect("durability lock poisoned");
+        if let Some(d) = durability.as_mut() {
+            d.maybe_checkpoint(snap.version, &snap.graph, &snap.events);
+        }
+    }
+
     /// Ingest an edge delta: validate, rebuild the CSR, incrementally
     /// refresh the vicinity index around the touched endpoints (the
     /// per-node rebuild path of [`VicinityIndex::refresh`]) and
@@ -448,7 +516,13 @@ impl TescContext {
         let relabel = self
             .relabeling
             .then(|| Arc::new(RelabeledGraph::build(&graph)));
-        Ok(self.publish(Snapshot::assemble(
+        self.log_wal(
+            base.version + 1,
+            &WalRecord::AddEdges {
+                edges: new_edges.clone(),
+            },
+        )?;
+        let next = self.publish(Snapshot::assemble(
             graph,
             vicinity,
             base.events.clone(),
@@ -456,7 +530,9 @@ impl TescContext {
             None, // the graph changed: memoized counts are stale
             self.cache_budget,
             relabel,
-        )))
+        ));
+        self.maybe_checkpoint(&next);
+        Ok(next)
     }
 
     /// Register a new event and publish the next version. The graph,
@@ -469,9 +545,11 @@ impl TescContext {
     ) -> Result<(EventId, Arc<Snapshot>), IngestError> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let base = self.snapshot();
+        let name: String = name.into();
         check_nodes(base.graph.num_nodes(), &nodes)?;
         let mut events = (*base.events).clone();
-        let id = events.try_add_event(name, nodes)?;
+        let id = events.try_add_event(name.clone(), nodes.clone())?;
+        self.log_wal(base.version + 1, &WalRecord::AddEvent { name, nodes })?;
         let next = self.publish(Snapshot::assemble(
             base.graph.clone(),
             base.vicinity.clone(),
@@ -481,6 +559,7 @@ impl TescContext {
             self.cache_budget,
             base.relabel.clone(),
         ));
+        self.maybe_checkpoint(&next);
         Ok((id, next))
     }
 
@@ -500,7 +579,14 @@ impl TescContext {
         check_nodes(base.graph.num_nodes(), nodes)?;
         let mut events = (*base.events).clone();
         events.add_occurrences(id, nodes)?;
-        Ok(self.publish(Snapshot::assemble(
+        self.log_wal(
+            base.version + 1,
+            &WalRecord::AddOccurrences {
+                event: id.0,
+                nodes: nodes.to_vec(),
+            },
+        )?;
+        let next = self.publish(Snapshot::assemble(
             base.graph.clone(),
             base.vicinity.clone(),
             Arc::new(events),
@@ -508,7 +594,123 @@ impl TescContext {
             Some(base.cache.clone()),
             self.cache_budget,
             base.relabel.clone(),
-        )))
+        ));
+        self.maybe_checkpoint(&next);
+        Ok(next)
+    }
+
+    /// Attach this context to a data directory, making every later
+    /// ingest crash-safe: the mutation is appended and fsync'd to the
+    /// WAL *before* the new version is published, and a checkpoint
+    /// (snapshot + WAL rotation) runs on the writer path every
+    /// [`StoreOptions::snapshot_every`] records.
+    ///
+    /// An empty directory is initialized with a snapshot of the
+    /// current state. A non-empty directory must hold exactly this
+    /// context's state (version and fingerprints) — recover it with
+    /// [`TescContext::open_dir`] first — otherwise
+    /// [`PersistError::StateMismatch`] is returned. Attaching also
+    /// applies the recovery cleanup plan: torn WAL tails are truncated
+    /// away and unusable files deleted.
+    pub fn with_durability(self, dir: &Path, options: StoreOptions) -> Result<Self, PersistError> {
+        let store = Store::open(dir, options)?;
+        let recovery = store.recover()?;
+        let snap = self.snapshot();
+        if let Some(rec) = &recovery {
+            if rec.version != snap.version
+                || rec.graph.fingerprint() != snap.graph.fingerprint()
+                || rec.events.fingerprint() != snap.events.fingerprint()
+            {
+                return Err(PersistError::StateMismatch {
+                    disk_version: rec.version,
+                    ctx_version: snap.version,
+                });
+            }
+        }
+        let durability = Durability::attach(
+            store,
+            recovery.as_ref(),
+            snap.version,
+            &snap.graph,
+            &snap.events,
+        )?;
+        *self.durability.lock().expect("durability lock poisoned") = Some(durability);
+        Ok(self)
+    }
+
+    /// Recover the context persisted in `dir` — newest valid snapshot
+    /// plus clean WAL tail — rebuild its derived state (vicinity index
+    /// over `max_level` with `threads` workers), and re-attach
+    /// durability for further ingestion. Recovery runs exactly once.
+    /// `Ok(None)` means the directory holds no data yet: construct the
+    /// initial context yourself and call
+    /// [`TescContext::with_durability`].
+    pub fn open_dir(
+        dir: &Path,
+        max_level: u32,
+        threads: usize,
+        options: StoreOptions,
+    ) -> Result<Option<Self>, PersistError> {
+        let store = Store::open(dir, options)?;
+        let Some(recovery) = store.recover()? else {
+            return Ok(None);
+        };
+        let ctx = Self::try_with_threads_at(
+            recovery.graph.clone(),
+            recovery.events.clone(),
+            max_level,
+            threads,
+            recovery.version,
+        )
+        .map_err(|e| PersistError::Io {
+            path: dir.to_path_buf(),
+            message: format!("recovered state failed validation: {e}"),
+        })?;
+        let snap = ctx.snapshot();
+        let durability = Durability::attach(
+            store,
+            Some(&recovery),
+            snap.version,
+            &snap.graph,
+            &snap.events,
+        )?;
+        *ctx.durability.lock().expect("durability lock poisoned") = Some(durability);
+        Ok(Some(ctx))
+    }
+
+    /// Force a checkpoint now (snapshot of the current version, WAL
+    /// rotation, pruning). `Ok(false)` if no data directory is
+    /// attached.
+    pub fn checkpoint(&self) -> Result<bool, PersistError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let snap = self.snapshot();
+        let mut durability = self.durability.lock().expect("durability lock poisoned");
+        match durability.as_mut() {
+            Some(d) => {
+                d.checkpoint(snap.version, &snap.graph, &snap.events)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// The attached data directory, if any.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.durability
+            .lock()
+            .expect("durability lock poisoned")
+            .as_ref()
+            .map(|d| d.dir().to_path_buf())
+    }
+
+    /// WAL records appended since the last checkpoint (`None` without
+    /// an attached data directory).
+    pub fn wal_records_since_checkpoint(&self) -> Option<u64> {
+        self.durability
+            .lock()
+            .expect("durability lock poisoned")
+            .as_ref()
+            .map(|d| d.records_since_checkpoint())
     }
 }
 

@@ -72,6 +72,10 @@
 //!   over a [`context::TescContext`] (bounded worker pool, admission
 //!   control, concurrent snapshot-pinned queries, serialized
 //!   ingestion, per-endpoint metrics).
+//! * [`persist`] — crash-safe persistence for the context: versioned
+//!   checksummed snapshots + a CRC-framed ingestion WAL, fsync'd
+//!   before publish, with snapshot-fallback recovery and fault
+//!   injection for testing it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -83,6 +87,7 @@ pub mod context;
 pub mod density;
 pub mod engine;
 pub mod intensity;
+pub mod persist;
 pub mod planner;
 pub mod rank;
 pub mod sampler;
@@ -93,6 +98,7 @@ pub use batch::{BatchReport, BatchRequest, EventPair};
 pub use cache::{DensityCache, EventKey};
 pub use context::{IngestError, Snapshot, TescContext};
 pub use engine::{Statistic, TescConfig, TescEngine, TescError, TescResult};
+pub use persist::{PersistError, StoreOptions};
 pub use planner::{FusedDensities, PairSetPlan};
 pub use rank::{
     content_seed, direction_score, rank_pairs, RankEntry, RankMode, RankReport, RankRequest,

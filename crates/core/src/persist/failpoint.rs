@@ -1,0 +1,194 @@
+//! Fault injection for crash-safety tests.
+//!
+//! [`FailpointWriter`] wraps any [`Write`] sink and simulates the
+//! storage failure modes the recovery path must survive:
+//!
+//! - **CrashAt(k)** — the process dies after byte `k`: every byte from
+//!   offset `k` on is silently dropped (a truncated tail).
+//! - **BitFlip(k)** — byte `k` reaches the medium with one bit
+//!   flipped (latent corruption a CRC must catch).
+//! - **TearAt(k)** — the sector write at offset `k` tears: bytes from
+//!   `k` up to the next 512-byte boundary are replaced with zeroes,
+//!   bytes after that boundary are dropped.
+//!
+//! [`corrupt_file`] applies the same faults to a file already on disk,
+//! which is how the tests crash a copied data directory "at byte k"
+//! without threading the writer through the real persistence stack.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A storage fault to inject, addressed by byte offset in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop every byte at offset ≥ `k` (crash / truncation).
+    CrashAt(u64),
+    /// XOR byte `k` with `mask` (latent bit corruption).
+    BitFlip(u64, u8),
+    /// Zero bytes from `k` to the next 512-byte boundary, drop the
+    /// rest (torn sector write).
+    TearAt(u64),
+}
+
+impl Fault {
+    /// Apply this fault to an in-memory image, returning the bytes
+    /// that "reached the disk".
+    pub fn apply(self, bytes: &[u8]) -> Vec<u8> {
+        match self {
+            Fault::CrashAt(k) => {
+                let k = (k as usize).min(bytes.len());
+                bytes[..k].to_vec()
+            }
+            Fault::BitFlip(k, mask) => {
+                let mut out = bytes.to_vec();
+                if let Some(b) = out.get_mut(k as usize) {
+                    *b ^= mask;
+                }
+                out
+            }
+            Fault::TearAt(k) => {
+                let k = (k as usize).min(bytes.len());
+                let sector_end = ((k / 512) + 1) * 512;
+                let end = sector_end.min(bytes.len());
+                let mut out = bytes[..end].to_vec();
+                for b in &mut out[k..end] {
+                    *b = 0;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A [`Write`] adapter that injects one [`Fault`] into the byte stream
+/// passing through it. Writes after a `CrashAt`/`TearAt` point are
+/// accepted and discarded — from the caller's view the process keeps
+/// "running" until the test kills it, exactly like a real crash where
+/// buffered writes never hit the platter.
+#[derive(Debug)]
+pub struct FailpointWriter<W: Write> {
+    inner: W,
+    fault: Fault,
+    written: u64,
+}
+
+impl<W: Write> FailpointWriter<W> {
+    /// Wrap `inner`, injecting `fault` at its byte offset.
+    pub fn new(inner: W, fault: Fault) -> Self {
+        FailpointWriter {
+            inner,
+            fault,
+            written: 0,
+        }
+    }
+
+    /// Total bytes the caller has attempted to write.
+    pub fn offered(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailpointWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let start = self.written;
+        let end = start + buf.len() as u64;
+        // Compute what this chunk looks like after the fault.
+        let surviving: Vec<u8> = match self.fault {
+            Fault::CrashAt(k) => {
+                let keep = k.saturating_sub(start).min(buf.len() as u64) as usize;
+                buf[..keep].to_vec()
+            }
+            Fault::BitFlip(k, mask) => {
+                let mut out = buf.to_vec();
+                if k >= start && k < end {
+                    out[(k - start) as usize] ^= mask;
+                }
+                out
+            }
+            Fault::TearAt(k) => {
+                let sector_end = ((k / 512) + 1) * 512;
+                let mut out = Vec::with_capacity(buf.len());
+                for (i, &b) in buf.iter().enumerate() {
+                    let off = start + i as u64;
+                    if off < k {
+                        out.push(b);
+                    } else if off < sector_end {
+                        out.push(0);
+                    }
+                }
+                out
+            }
+        };
+        self.inner.write_all(&surviving)?;
+        self.written = end;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Apply `fault` to the file at `path` in place.
+pub fn corrupt_file(path: &Path, fault: Fault) -> std::io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    std::fs::write(path, fault.apply(&bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_through(fault: Fault, chunks: &[&[u8]]) -> Vec<u8> {
+        let mut w = FailpointWriter::new(Vec::new(), fault);
+        for c in chunks {
+            w.write_all(c).unwrap();
+        }
+        w.flush().unwrap();
+        w.into_inner()
+    }
+
+    #[test]
+    fn streaming_matches_whole_image_semantics() {
+        let image: Vec<u8> = (0u8..=255).cycle().take(1500).collect();
+        let chunkings: &[&[usize]] = &[&[1500], &[700, 800], &[1, 499, 1000]];
+        for fault in [
+            Fault::CrashAt(0),
+            Fault::CrashAt(700),
+            Fault::CrashAt(10_000),
+            Fault::BitFlip(0, 0x80),
+            Fault::BitFlip(733, 0x01),
+            Fault::TearAt(5),
+            Fault::TearAt(600),
+            Fault::TearAt(1499),
+        ] {
+            for sizes in chunkings {
+                let mut chunks: Vec<&[u8]> = Vec::new();
+                let mut pos = 0;
+                for &s in *sizes {
+                    chunks.push(&image[pos..pos + s]);
+                    pos += s;
+                }
+                assert_eq!(
+                    stream_through(fault, &chunks),
+                    fault.apply(&image),
+                    "{fault:?} with chunk sizes {sizes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tear_zeroes_to_sector_boundary() {
+        let image = vec![0xAAu8; 1024];
+        let out = Fault::TearAt(100).apply(&image);
+        assert_eq!(out.len(), 512);
+        assert!(out[..100].iter().all(|&b| b == 0xAA));
+        assert!(out[100..].iter().all(|&b| b == 0));
+    }
+}

@@ -10,7 +10,6 @@
 //! lock down.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
 
 /// Cap on the request line + headers, before the body.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -26,6 +25,39 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Did the client ask to keep the connection open afterwards?
     pub keep_alive: bool,
+    /// The `Content-Type` header, lowercased, parameters stripped
+    /// (`application/json; charset=utf-8` → `application/json`).
+    /// `None` when the header was absent.
+    pub content_type: Option<String>,
+    /// The raw `Accept` header (`None` when absent).
+    pub accept: Option<String>,
+}
+
+impl Request {
+    /// Does the declared `Content-Type` allow a JSON body? Absent
+    /// headers are allowed (curl-without-headers compatibility);
+    /// anything explicitly non-JSON is not.
+    pub fn content_type_is_json(&self) -> bool {
+        match &self.content_type {
+            None => true,
+            Some(ct) => ct == "application/json",
+        }
+    }
+
+    /// Can the client accept an `application/json` response? Absent
+    /// headers and the wildcard forms (`*/*`, `application/*`) are
+    /// fine; an `Accept` listing only other media types is not.
+    pub fn accepts_json(&self) -> bool {
+        match &self.accept {
+            None => true,
+            Some(raw) => raw.split(',').any(|entry| {
+                let media = entry.split(';').next().unwrap_or("").trim();
+                media.eq_ignore_ascii_case("application/json")
+                    || media.eq_ignore_ascii_case("application/*")
+                    || media == "*/*"
+            }),
+        }
+    }
 }
 
 /// Supported request methods.
@@ -94,8 +126,8 @@ impl HttpError {
 /// `max_body` caps the accepted `Content-Length`; oversized payloads
 /// are rejected *before* reading the body, so a hostile client cannot
 /// make the server buffer arbitrary data.
-pub fn read_request(
-    reader: &mut BufReader<TcpStream>,
+pub fn read_request<R: Read>(
+    reader: &mut BufReader<R>,
     max_body: usize,
 ) -> Result<Request, HttpError> {
     // Distinguish "idle between requests" from "stalled mid-request":
@@ -143,6 +175,8 @@ pub fn read_request(
 
     let mut content_length = 0usize;
     let mut keep_alive = true; // HTTP/1.1 default
+    let mut content_type = None;
+    let mut accept = None;
     let mut head_budget = MAX_HEAD_BYTES.saturating_sub(request_line.len());
     loop {
         let line = read_line_capped(reader, head_budget)?;
@@ -164,6 +198,11 @@ pub fn read_request(
             return Err(HttpError::BadRequest(
                 "chunked transfer encoding is not supported".into(),
             ));
+        } else if name.eq_ignore_ascii_case("content-type") {
+            let media = value.split(';').next().unwrap_or("").trim();
+            content_type = Some(media.to_ascii_lowercase());
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept = Some(value.to_string());
         }
     }
 
@@ -181,12 +220,14 @@ pub fn read_request(
         path,
         body,
         keep_alive,
+        content_type,
+        accept,
     })
 }
 
 /// Read one CRLF-terminated line, capped at `cap` bytes. An empty
 /// return with no bytes read means the peer closed the connection.
-fn read_line_capped(reader: &mut BufReader<TcpStream>, cap: usize) -> Result<String, HttpError> {
+fn read_line_capped<R: Read>(reader: &mut BufReader<R>, cap: usize) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
         if line.len() > cap {

@@ -41,13 +41,15 @@ pub mod metrics;
 mod router;
 
 use std::collections::VecDeque;
-use std::io::{BufReader, Write};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::context::TescContext;
 use http::{HttpError, Response};
@@ -70,6 +72,10 @@ pub struct ServerConfig {
     /// suites use them to make timing-sensitive behavior
     /// deterministic; production configs leave this off.
     pub debug_endpoints: bool,
+    /// Append one JSON line per handled request (`ts_us`, `endpoint`,
+    /// `status`, `bytes`, `us`, `version`) to this file. `None`
+    /// disables access logging.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +86,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_body_bytes: 1 << 20,
             debug_endpoints: false,
+            access_log: None,
         }
     }
 }
@@ -173,6 +180,31 @@ pub(crate) struct ServerState {
     pub(crate) workers: usize,
     pub(crate) max_body_bytes: usize,
     pub(crate) started: Instant,
+    /// Structured access log sink (append mode, flushed per record so
+    /// lines survive a crash of the daemon).
+    access_log: Option<Mutex<BufWriter<File>>>,
+}
+
+impl ServerState {
+    /// Append one JSON line to the access log (no-op when disabled).
+    /// `bytes` is the response body length; `version` the context
+    /// version at response time.
+    fn log_access(&self, endpoint: &str, status: u16, bytes: usize, elapsed: Duration) {
+        let Some(log) = &self.access_log else { return };
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let line = format!(
+            "{{\"ts_us\":{ts_us},\"endpoint\":\"{endpoint}\",\"status\":{status},\
+             \"bytes\":{bytes},\"us\":{},\"version\":{}}}\n",
+            elapsed.as_micros() as u64,
+            self.ctx.version(),
+        );
+        let mut w = log.lock().expect("access log lock poisoned");
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
 }
 
 /// A running server: the listener thread, the worker pool, and the
@@ -193,6 +225,15 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
+        let access_log = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(BufWriter::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ))),
+            None => None,
+        };
         let state = Arc::new(ServerState {
             ctx,
             staged: Mutex::new(Staged::default()),
@@ -204,6 +245,7 @@ impl Server {
             workers,
             max_body_bytes: cfg.max_body_bytes,
             started: Instant::now(),
+            access_log,
         });
 
         let worker_handles = (0..workers)
@@ -331,6 +373,7 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
                         .metrics
                         .endpoint("other")
                         .record(status, Duration::ZERO);
+                    state.log_access("other", status, resp.body.len(), Duration::ZERO);
                     let _ = resp.send(&mut stream, true);
                 }
                 return;
@@ -353,6 +396,12 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
             .metrics
             .endpoint(endpoint)
             .record(response.status, start.elapsed());
+        state.log_access(
+            endpoint,
+            response.status,
+            response.body.len(),
+            start.elapsed(),
+        );
         let closing = !request.keep_alive || state.shutdown.load(Ordering::SeqCst);
         if response.send(&mut stream, closing).is_err() || closing {
             let _ = stream.flush();

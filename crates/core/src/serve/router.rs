@@ -35,6 +35,33 @@ use tesc_stats::{SignificanceLevel, Tail, TestOutcome};
 /// Route a parsed request to its handler. Returns the endpoint key
 /// (for metrics) and the response.
 pub(super) fn route(state: &ServerState, req: &Request) -> (&'static str, Response) {
+    // Content negotiation before any handler: a POST body explicitly
+    // declared as non-JSON is a 415, and a client that cannot accept
+    // JSON responses gets a 406 (every endpoint answers JSON only).
+    // Absent headers pass — plain `curl` stays usable.
+    if req.method == Method::Post && !req.body.is_empty() && !req.content_type_is_json() {
+        return (
+            "other",
+            Response::error(
+                415,
+                "Unsupported Media Type",
+                &format!(
+                    "request bodies must be application/json, not {}",
+                    req.content_type.as_deref().unwrap_or("unknown")
+                ),
+            ),
+        );
+    }
+    if !req.accepts_json() {
+        return (
+            "other",
+            Response::error(
+                406,
+                "Not Acceptable",
+                "this server only produces application/json responses",
+            ),
+        );
+    }
     match (req.method, req.path.as_str()) {
         (Method::Post, "/test") => ("test", handle_test(state, req)),
         (Method::Post, "/batch") => ("batch", handle_batch(state, req)),

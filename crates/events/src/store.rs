@@ -142,6 +142,34 @@ impl EventStore {
             .map(|i| EventId(i as u32))
     }
 
+    /// 64-bit content fingerprint (FNV-1a over event count, names and
+    /// sorted occurrence lists), same constants as
+    /// `CsrGraph::fingerprint`. Two stores with equal fingerprints hold
+    /// the same events in the same registration order — used by the
+    /// persistence layer to prove a recovered store bit-identical to
+    /// the never-crashed one.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(self.names.len() as u64);
+        for (name, nodes) in self.names.iter().zip(&self.occurrences) {
+            mix(name.len() as u64);
+            for &b in name.as_bytes() {
+                mix(b as u64);
+            }
+            mix(nodes.len() as u64);
+            for &n in nodes {
+                mix(n as u64);
+            }
+        }
+        h
+    }
+
     /// Iterate `(id, name, nodes)` over all events.
     pub fn iter(&self) -> impl Iterator<Item = (EventId, &str, &[NodeId])> {
         self.names
@@ -370,6 +398,26 @@ impl NodeMask {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_tracks_content_and_order() {
+        let mut a = EventStore::new();
+        a.add_event("x", vec![1, 2]);
+        a.add_event("y", vec![3]);
+        let mut b = EventStore::new();
+        b.add_event("x", vec![2, 1, 2]); // sorts/dedups to the same set
+        b.add_event("y", vec![3]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut c = EventStore::new();
+        c.add_event("y", vec![3]); // same content, different order
+        c.add_event("x", vec![1, 2]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        let before = a.fingerprint();
+        a.add_occurrences(EventId(0), &[9]).unwrap();
+        assert_ne!(a.fingerprint(), before);
+    }
 
     #[test]
     fn store_sorts_and_dedups() {

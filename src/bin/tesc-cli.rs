@@ -921,6 +921,27 @@ fn run_stream_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     let ctx = TescContext::with_threads(graph, events, cfg.h.max(1), build_threads)
         .with_relabeling(relabel)
         .with_cache_budget(cache_budget);
+    // Optional crash-safety: with --data-dir every committed delta is
+    // WAL-logged (fsync before publish) and periodically snapshotted,
+    // so an interrupted replay resumes via `tesc-serve --data-dir` or
+    // `TescContext::open_dir` instead of starting over.
+    let ctx = match flags.get("data-dir") {
+        Some(dir) => {
+            let snapshot_every: u64 = parse(flags, "snapshot-every", 1024u64)?;
+            let opts = tesc::persist::StoreOptions {
+                snapshot_every: snapshot_every.max(1),
+                ..tesc::persist::StoreOptions::default()
+            };
+            let ctx = ctx
+                .with_durability(std::path::Path::new(dir), opts)
+                .map_err(|e| format!("attaching data dir {dir}: {e}"))?;
+            eprintln!(
+                "durable: logging commits to {dir} (snapshot every {snapshot_every} records)"
+            );
+            ctx
+        }
+        None => ctx,
+    };
 
     println!("== v{}: initial snapshot, testing all pairs", ctx.version());
     stream_round(

@@ -8,16 +8,20 @@
 //! ```text
 //! tesc-serve --demo
 //! tesc-serve --graph G.txt --events EVENTS.txt --h 2 --cache-budget 64M
+//! tesc-serve --demo --data-dir ./data      # crash-safe: WAL + snapshots
 //! ```
 //!
-//! See `docs/SERVING.md` for the endpoint reference.
+//! See `docs/SERVING.md` for the endpoint reference and
+//! `docs/PERSISTENCE.md` for the `--data-dir` durability contract.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tesc::context::TescContext;
+use tesc::persist::StoreOptions;
 use tesc::serve::{Server, ServerConfig};
 use tesc_datasets::dblp_like::{DblpConfig, DblpScenario};
 use tesc_events::EventStore;
@@ -34,8 +38,9 @@ DATA:
   --demo                 serve a built-in DBLP-like scenario (~2k nodes)
                          with planted `wireless`/`sensor` (attracting),
                          `texture`/`java` (repulsing) and `random` events
-  --graph FILE           edge-list file (one `u v` pair per line)
-  --events FILE          named events file (`name: v1 v2 ...` per line)
+  --graph FILE           edge-list file (`num_nodes num_edges` header,
+                         then one `u v` pair per line)
+  --events FILE          named events file (`name v1,v2,...` per line)
 
 OPTIONS:
   --listen ADDR          bind address          [default: 127.0.0.1:7878]
@@ -48,6 +53,17 @@ OPTIONS:
   --relabel on|off       locality-relabeled substrate    [default: off]
   --seed N               demo-scenario RNG seed          [default: 42]
   --debug-endpoints      enable the test-only POST /sleep endpoint
+
+DURABILITY:
+  --data-dir DIR         persist ingestion to DIR (snapshots + WAL).
+                         A non-empty DIR is recovered on boot and
+                         --graph/--events/--demo are ignored; an empty
+                         DIR is initialized from them. Every ingest is
+                         fsync'd to the WAL before it is acknowledged.
+  --snapshot-every N     checkpoint (snapshot + WAL rotation) after N
+                         WAL records              [default: 1024]
+  --access-log FILE      append one JSON line per request (ts_us,
+                         endpoint, status, bytes, us, version)
 
 The server prints `listening on ADDR` once ready. Stop it with
 POST /shutdown (in-flight and queued requests drain first).";
@@ -129,33 +145,72 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let max_body_bytes = parse_byte_size(get(&flags, "max-body", "1M"))?
         .ok_or("--max-body must be a finite size")?;
-
-    let (graph, events) = if flags.contains_key("demo") {
-        demo_scenario(seed)
-    } else {
-        let graph_path = flags
-            .get("graph")
-            .ok_or("pass --demo, or --graph and --events")?;
-        let events_path = flags
-            .get("events")
-            .ok_or("pass --demo, or --graph and --events")?;
-        let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
-            .map_err(|e| format!("reading {graph_path}: {e}"))?;
-        let events = tesc_events::io::read_named_events(&mut open(events_path)?)
-            .map_err(|e| format!("reading {events_path}: {e}"))?;
-        (graph, events)
+    let snapshot_every: u64 = get(&flags, "snapshot-every", "1024")
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or("--snapshot-every must be an integer ≥ 1")?;
+    let store_opts = StoreOptions {
+        snapshot_every,
+        ..StoreOptions::default()
     };
+    let data_dir = flags.get("data-dir").map(PathBuf::from);
 
-    eprintln!(
-        "graph: {} nodes, {} edges; {} events; building |V^h_v| index (h = {h}, {cores} threads)...",
-        graph.num_nodes(),
-        graph.num_edges(),
-        events.num_events(),
-    );
-    let ctx = TescContext::try_with_threads(graph, events, h, cores)
-        .map_err(|e| format!("invalid initial state: {e}"))?
-        .with_relabeling(relabel)
-        .with_cache_budget(cache_budget);
+    // With a non-empty --data-dir, the persisted state wins and the
+    // initial-state flags are ignored; an empty (or absent) directory
+    // boots from --demo / --graph + --events as before.
+    let recovered = match &data_dir {
+        Some(dir) => TescContext::open_dir(dir, h, cores, store_opts)
+            .map_err(|e| format!("recovering {}: {e}", dir.display()))?,
+        None => None,
+    };
+    let ctx = match recovered {
+        Some(ctx) => {
+            let snap = ctx.snapshot();
+            eprintln!(
+                "recovered version {} from {}: {} nodes, {} edges, {} events",
+                snap.version(),
+                data_dir.as_deref().unwrap_or(Path::new("?")).display(),
+                snap.graph().num_nodes(),
+                snap.graph().num_edges(),
+                snap.events().num_events(),
+            );
+            ctx.with_relabeling(relabel).with_cache_budget(cache_budget)
+        }
+        None => {
+            let (graph, events) = if flags.contains_key("demo") {
+                demo_scenario(seed)
+            } else {
+                let graph_path = flags
+                    .get("graph")
+                    .ok_or("pass --demo, or --graph and --events")?;
+                let events_path = flags
+                    .get("events")
+                    .ok_or("pass --demo, or --graph and --events")?;
+                let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
+                    .map_err(|e| format!("reading {graph_path}: {e}"))?;
+                let events = tesc_events::io::read_named_events(&mut open(events_path)?)
+                    .map_err(|e| format!("reading {events_path}: {e}"))?;
+                (graph, events)
+            };
+            eprintln!(
+                "graph: {} nodes, {} edges; {} events; building |V^h_v| index (h = {h}, {cores} threads)...",
+                graph.num_nodes(),
+                graph.num_edges(),
+                events.num_events(),
+            );
+            let ctx = TescContext::try_with_threads(graph, events, h, cores)
+                .map_err(|e| format!("invalid initial state: {e}"))?
+                .with_relabeling(relabel)
+                .with_cache_budget(cache_budget);
+            match &data_dir {
+                Some(dir) => ctx
+                    .with_durability(dir, store_opts)
+                    .map_err(|e| format!("initializing {}: {e}", dir.display()))?,
+                None => ctx,
+            }
+        }
+    };
 
     let cfg = ServerConfig {
         addr: get(&flags, "listen", "127.0.0.1:7878").to_string(),
@@ -163,6 +218,7 @@ fn run(args: &[String]) -> Result<(), String> {
         queue_depth,
         max_body_bytes,
         debug_endpoints: flags.contains_key("debug-endpoints"),
+        access_log: flags.get("access-log").map(PathBuf::from),
     };
     let server = Server::spawn(ctx, cfg).map_err(|e| format!("binding listener: {e}"))?;
     // Scripts (and the integration suite) key on this exact line to

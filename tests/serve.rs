@@ -114,6 +114,7 @@ fn default_cfg() -> ServerConfig {
         queue_depth: 16,
         max_body_bytes: 1 << 20,
         debug_endpoints: true,
+        access_log: None,
     }
 }
 
@@ -708,4 +709,268 @@ fn concurrent_reads_and_writes_stay_snapshot_consistent_and_bit_identical() {
             entry.version
         );
     }
+}
+
+/// Send a request with explicit extra headers (for content
+/// negotiation tests) and parse the response.
+fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Json) {
+    let mut client = Client::connect(addr);
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    client
+        .stream
+        .write_all(head.as_bytes())
+        .expect("write head");
+    client
+        .stream
+        .write_all(body.as_bytes())
+        .expect("write body");
+    client.read_response()
+}
+
+#[test]
+fn content_negotiation_enforces_json_in_and_json_out() {
+    let server = spawn(default_cfg());
+    let addr = server.addr();
+    let body = r#"{"edges":[[0,17]]}"#;
+
+    // A POST body explicitly declared as something other than JSON is
+    // refused up front with 415 — before any handler touches it.
+    let (status, resp) = request_with_headers(
+        addr,
+        "POST",
+        "/edges",
+        &[("Content-Type", "text/plain")],
+        body,
+    );
+    assert_eq!(status, 415, "non-JSON body must be 415, got {resp:?}");
+    assert!(
+        get_str(&resp, "error").contains("text/plain"),
+        "the 415 should name the offending media type: {resp:?}"
+    );
+
+    // Declared JSON — with or without parameters — is accepted.
+    for declared in ["application/json", "application/JSON; charset=utf-8"] {
+        let (status, _) =
+            request_with_headers(addr, "POST", "/edges", &[("Content-Type", declared)], body);
+        assert_eq!(status, 200, "`{declared}` must be accepted");
+    }
+
+    // A bodyless POST may declare whatever it likes (a curl quirk):
+    // there is nothing to misinterpret.
+    let (status, _) = request_with_headers(
+        addr,
+        "POST",
+        "/commit",
+        &[("Content-Type", "text/plain")],
+        "",
+    );
+    assert_eq!(status, 200, "empty body: Content-Type is irrelevant");
+
+    // Every endpoint answers JSON only: an Accept that cannot take
+    // JSON is refused with 406.
+    let (status, resp) =
+        request_with_headers(addr, "GET", "/stats", &[("Accept", "text/html")], "");
+    assert_eq!(status, 406, "Accept: text/html must be 406, got {resp:?}");
+
+    // ... while JSON-compatible Accept headers all pass.
+    for accept in [
+        "application/json",
+        "*/*",
+        "application/*",
+        "text/html, application/json;q=0.8",
+    ] {
+        let (status, _) = request_with_headers(addr, "GET", "/stats", &[("Accept", accept)], "");
+        assert_eq!(status, 200, "Accept `{accept}` must be acceptable");
+    }
+
+    // The 4xx responses left the connection healthy for real work.
+    let mut client = Client::connect(addr);
+    let (status, _) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn access_log_appends_one_json_line_per_request() {
+    let log_path = std::env::temp_dir().join(format!(
+        "tesc-access-{}-{}.jsonl",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    let cfg = ServerConfig {
+        access_log: Some(log_path.clone()),
+        ..default_cfg()
+    };
+    let server = spawn(cfg);
+    let mut client = Client::connect(server.addr());
+    let (status, _) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    let (status, _) = client.request("POST", "/edges", r#"{"edges":[[0,17]]}"#);
+    assert_eq!(status, 200);
+    let (status, _) = client.request("POST", "/nope", "");
+    assert_eq!(status, 404);
+    server.shutdown_and_join();
+
+    let log = std::fs::read_to_string(&log_path).expect("access log file");
+    std::fs::remove_file(&log_path).ok();
+    // stats + edges + the 404 (shutdown_and_join bypasses HTTP).
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 3, "one line per request, got:\n{log}");
+    let mut statuses = Vec::new();
+    for line in &lines {
+        let entry = Json::parse(line).unwrap_or_else(|e| panic!("bad log line {line}: {e:?}"));
+        assert!(get_i64(&entry, "ts_us") > 0, "{line}");
+        assert!(get_i64(&entry, "us") >= 0, "{line}");
+        assert!(get_i64(&entry, "bytes") > 0, "{line}");
+        assert!(get_i64(&entry, "version") >= 1, "{line}");
+        get_str(&entry, "endpoint");
+        statuses.push(get_i64(&entry, "status"));
+    }
+    assert!(statuses.contains(&200) && statuses.contains(&404), "{log}");
+}
+
+/// Spawn the real `tesc-serve` binary and scrape the bound address
+/// from its `listening on ADDR` stdout line.
+fn spawn_serve_binary(args: &[&str]) -> (std::process::Child, SocketAddr) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_tesc-serve"))
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn tesc-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    (child, addr)
+}
+
+#[test]
+fn data_dir_round_trip_survives_kill_nine() {
+    let scratch = std::env::temp_dir().join(format!(
+        "tesc-serve-roundtrip-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let data_dir = scratch.join("data");
+
+    // Initial state files: a 10×10 grid and two events.
+    let graph_path = scratch.join("graph.txt");
+    let events_path = scratch.join("events.txt");
+    let graph = grid(10, 10);
+    let mut edges = format!("{} {}\n", graph.num_nodes(), graph.num_edges());
+    for (u, v) in graph.edges() {
+        edges.push_str(&format!("{u} {v}\n"));
+    }
+    std::fs::write(&graph_path, edges).expect("write graph");
+    std::fs::write(
+        &events_path,
+        "alpha 0,1,2,3,4,11,12,13\nbeta 2,3,4,5,6,14,15,16\n",
+    )
+    .expect("write events");
+    let graph_arg = graph_path.to_str().unwrap().to_string();
+    let events_arg = events_path.to_str().unwrap().to_string();
+    let data_arg = data_dir.to_str().unwrap().to_string();
+
+    // Boot with an empty data dir, ingest a batch, query.
+    let (mut child, addr) = spawn_serve_binary(&[
+        "--graph",
+        &graph_arg,
+        "--events",
+        &events_arg,
+        "--data-dir",
+        &data_arg,
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--h",
+        "1",
+    ]);
+    let mut client = Client::connect(addr);
+    let (status, _) = client.request("POST", "/edges", r#"{"edges":[[0,11],[1,12]]}"#);
+    assert_eq!(status, 200);
+    let (status, _) = client.request(
+        "POST",
+        "/events",
+        r#"{"name":"gamma","nodes":[50,51,52,60,61,62]}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, commit) = client.request("POST", "/commit", "");
+    assert_eq!(status, 200);
+    let committed_version = get_i64(&commit, "version");
+    assert!(committed_version > 1);
+
+    let rank_body = r#"{"seed":7,"n":80,"h":1}"#;
+    let (status, before) = client.request("POST", "/rank", rank_body);
+    assert_eq!(status, 200, "pre-crash rank failed: {before:?}");
+    assert_eq!(get_i64(&before, "version"), committed_version);
+
+    // SIGKILL — no shutdown hook runs, exactly like a power cut. The
+    // WAL was fsync'd before each commit was acknowledged, so nothing
+    // acknowledged may be lost.
+    child.kill().expect("kill -9 the server");
+    child.wait().expect("reap");
+
+    // Reboot from the data dir alone (initial-state flags ignored).
+    let (mut child, addr) = spawn_serve_binary(&[
+        "--data-dir",
+        &data_arg,
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--h",
+        "1",
+    ]);
+    let mut client = Client::connect(addr);
+    let (status, stats) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        get_i64(&stats, "version"),
+        committed_version,
+        "rebooted server must resume at the acknowledged version"
+    );
+    let (status, after) = client.request("POST", "/rank", rank_body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        before.encode(),
+        after.encode(),
+        "post-recovery /rank must be bit-identical to the pre-crash response"
+    );
+
+    // The recovered server keeps accepting durable commits.
+    let (status, _) = client.request("POST", "/edges", r#"{"edges":[[5,16]]}"#);
+    assert_eq!(status, 200);
+    let (status, commit2) = client.request("POST", "/commit", "");
+    assert_eq!(status, 200);
+    assert_eq!(get_i64(&commit2, "version"), committed_version + 1);
+
+    let (status, _) = client.request("POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    child.wait().expect("clean shutdown");
+    std::fs::remove_dir_all(&scratch).ok();
 }
