@@ -65,6 +65,7 @@ use crate::planner::PairSetPlan;
 use crate::rank::{content_seed, direction_score, score_bound, RankEntry, RankReport, RankRequest};
 use crate::sampler::SamplerKind;
 use std::time::Instant;
+use tesc_graph::Adjacency;
 use tesc_stats::confidence::{
     projected_score_interval, spearman_scale, untied_kendall_scale, ScoreInterval,
 };
@@ -106,8 +107,8 @@ struct FrozenIn {
 /// The progressive executor behind [`crate::rank::RankMode::Anytime`].
 /// Called from [`crate::rank::rank_pairs`]; requires `req.top_k` to be
 /// set.
-pub(crate) fn rank_pairs_anytime(
-    engine: &TescEngine<'_>,
+pub(crate) fn rank_pairs_anytime<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
     req: &RankRequest,
     eps: f64,
 ) -> RankReport {

@@ -66,7 +66,7 @@ use rand::rngs::StdRng;
 use rand::{SeedableRng, SplitMix64};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use tesc_graph::{NodeId, PARALLEL_MIN_NODES};
+use tesc_graph::{Adjacency, NodeId, PARALLEL_MIN_NODES};
 use tesc_stats::significance::Verdict;
 
 /// Batch-side companion to [`PARALLEL_MIN_NODES`]: even on a graph
@@ -245,7 +245,10 @@ pub fn pair_seed(master_seed: u64, index: usize) -> u64 {
 /// Run every test of `req` serially on the calling thread — the
 /// reference implementation the parallel fan-out must match
 /// bit-for-bit.
-pub fn run_batch_serial(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
+pub fn run_batch_serial<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
+    req: &BatchRequest,
+) -> BatchReport {
     let start = Instant::now();
     let outcomes = req
         .pairs
@@ -279,7 +282,7 @@ pub fn run_batch_serial(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchRep
 /// count, so a long pair list parallelizes even on a tiny graph. The
 /// node threshold is shared with `VicinityIndex::build_parallel` so
 /// the two fan-out decisions cannot drift apart.
-pub fn run_batch(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
+pub fn run_batch<G: Adjacency>(engine: &TescEngine<'_, G>, req: &BatchRequest) -> BatchReport {
     let threads = req.effective_threads();
     let tiny =
         engine.graph().num_nodes() < PARALLEL_MIN_NODES && req.pairs.len() < PARALLEL_MIN_PAIRS;
@@ -309,7 +312,10 @@ pub fn run_batch(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
 /// the reference executor the planner is benchmarked against (the
 /// `rank_events` bench's `perpair` rows) and for workloads whose pairs
 /// share no events, where fusing has nothing to share.
-pub fn run_batch_per_pair(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchReport {
+pub fn run_batch_per_pair<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
+    req: &BatchRequest,
+) -> BatchReport {
     let threads = req.effective_threads();
     let tiny =
         engine.graph().num_nodes() < PARALLEL_MIN_NODES && req.pairs.len() < PARALLEL_MIN_PAIRS;
@@ -354,7 +360,12 @@ pub fn run_batch_per_pair(engine: &TescEngine<'_>, req: &BatchRequest) -> BatchR
     }
 }
 
-fn run_one(engine: &TescEngine<'_>, req: &BatchRequest, i: usize, pair: &EventPair) -> PairOutcome {
+fn run_one<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
+    req: &BatchRequest,
+    i: usize,
+    pair: &EventPair,
+) -> PairOutcome {
     let mut rng = StdRng::seed_from_u64(pair_seed(req.seed, i));
     PairOutcome {
         index: i,

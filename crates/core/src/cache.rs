@@ -53,7 +53,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use tesc_graph::{CsrGraph, NodeId};
+use tesc_graph::{Adjacency, NodeId};
 
 /// A [`ProbeGovernor`] probes unconditionally for this many
 /// skip-or-BFS decisions (a *decision* = one reference node resolved
@@ -417,7 +417,7 @@ pub struct DensityCache {
 
 impl DensityCache {
     /// Empty cache pinned to `g`'s structure.
-    pub fn for_graph(g: &CsrGraph) -> Self {
+    pub fn for_graph<G: Adjacency>(g: &G) -> Self {
         Self::new(g, None)
     }
 
@@ -426,12 +426,12 @@ impl DensityCache {
     /// sharded second-chance policy described in the module docs.
     /// Results remain bit-identical to the unbounded cache; only the
     /// hit rate (and therefore the BFS count) can differ.
-    pub fn for_graph_bounded(g: &CsrGraph, byte_budget: usize) -> Self {
+    pub fn for_graph_bounded<G: Adjacency>(g: &G, byte_budget: usize) -> Self {
         Self::new(g, Some(byte_budget))
     }
 
     /// Shared constructor: `None` = unbounded.
-    pub(crate) fn new(g: &CsrGraph, byte_budget: Option<usize>) -> Self {
+    pub(crate) fn new<G: Adjacency>(g: &G, byte_budget: Option<usize>) -> Self {
         DensityCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             graph_fingerprint: g.fingerprint(),
@@ -455,9 +455,9 @@ impl DensityCache {
     }
 
     /// Was this cache created for (a graph structurally identical to)
-    /// `g`? Compares [`CsrGraph::fingerprint`]s, so count-neutral
+    /// `g`? Compares [`Adjacency::fingerprint`]s, so count-neutral
     /// rewirings are caught too.
-    pub fn matches_graph(&self, g: &CsrGraph) -> bool {
+    pub fn matches_graph<G: Adjacency>(&self, g: &G) -> bool {
         self.graph_fingerprint == g.fingerprint()
     }
 
@@ -713,7 +713,7 @@ impl DensityCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tesc_graph::csr::from_edges;
+    use tesc_graph::csr::{from_edges, CsrGraph};
 
     fn g() -> CsrGraph {
         from_edges(4, &[(0, 1), (1, 2), (2, 3)])

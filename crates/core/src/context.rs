@@ -64,7 +64,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use tesc_events::{EventId, EventStore, EventStoreError};
 use tesc_graph::relabel::RelabeledGraph;
-use tesc_graph::{CsrGraph, EdgeError, NodeId, VicinityIndex};
+use tesc_graph::{Adjacency, CsrGraph, EdgeError, NodeId, VicinityIndex};
 
 /// Failure modes of the ingestion API. All checks run before any
 /// state is built, so a failed ingest publishes nothing.
@@ -120,6 +120,25 @@ impl From<EventStoreError> for IngestError {
     }
 }
 
+/// Resident-memory accounting of one snapshot's durable state —
+/// what `GET /stats` serves under `"memory"`. Derived quantities the
+/// snapshot also carries (vicinity index, density cache) report
+/// their own sizes; the cache's live byte count in particular keeps
+/// moving, so it is read from [`DensityCache::resident_bytes`] at
+/// query time rather than frozen here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Adjacency bytes of the snapshot's plain-CSR graph (offsets +
+    /// neighbor array).
+    pub graph_plain_bytes: usize,
+    /// What the same topology costs in the delta/varint compressed
+    /// encoding ([`tesc_graph::CompressedCsr`]) — the footprint a
+    /// `.tgraph`-loaded serving process would hold resident.
+    pub graph_compressed_bytes: usize,
+    /// Event-registry bytes (names + occurrence lists).
+    pub event_bytes: usize,
+}
+
 /// One immutable, internally consistent version of the world:
 /// graph, vicinity index, event store and a version stamp, plus a
 /// snapshot-local cross-pair density cache.
@@ -137,6 +156,10 @@ pub struct Snapshot {
     /// changes and shared across event-only versions.
     relabel: Option<Arc<RelabeledGraph>>,
     version: u64,
+    /// Memory accounting, computed on first request (the compressed
+    /// figure costs an `O(E)` encoding pass, which ingestion publishes
+    /// should not pay) and then pinned for the snapshot's lifetime.
+    memory: std::sync::OnceLock<MemoryStats>,
 }
 
 impl Snapshot {
@@ -160,7 +183,7 @@ impl Snapshot {
         relabel: Option<Arc<RelabeledGraph>>,
     ) -> Arc<Self> {
         let cache =
-            reuse_cache.unwrap_or_else(|| Arc::new(DensityCache::new(&graph, cache_budget)));
+            reuse_cache.unwrap_or_else(|| Arc::new(DensityCache::new(&*graph, cache_budget)));
         Arc::new(Snapshot {
             graph,
             vicinity,
@@ -168,6 +191,19 @@ impl Snapshot {
             cache,
             relabel,
             version,
+            memory: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Resident-memory accounting of this snapshot (see
+    /// [`MemoryStats`]); the compressed-graph figure is measured on
+    /// first call and memoized.
+    pub fn memory(&self) -> MemoryStats {
+        *self.memory.get_or_init(|| MemoryStats {
+            graph_plain_bytes: self.graph.resident_bytes(),
+            graph_compressed_bytes: tesc_graph::CompressedCsr::from_graph(&self.graph)
+                .resident_bytes(),
+            event_bytes: self.events.resident_bytes(),
         })
     }
 
@@ -231,7 +267,7 @@ impl Snapshot {
     /// attached. The engine borrows the snapshot, so keep the
     /// `Arc<Snapshot>` alive for the engine's lifetime.
     pub fn engine(&self) -> TescEngine<'_> {
-        let mut engine = TescEngine::with_vicinity_arc(&self.graph, self.vicinity.clone())
+        let mut engine = TescEngine::with_vicinity_arc(&*self.graph, self.vicinity.clone())
             .with_density_cache(self.cache.clone());
         if let Some(r) = &self.relabel {
             engine = engine.with_relabeled_arc(r.clone());
@@ -409,7 +445,7 @@ impl TescContext {
     pub fn with_relabeling(mut self, on: bool) -> Self {
         self.relabeling = on;
         let base = self.snapshot();
-        let relabel = on.then(|| Arc::new(RelabeledGraph::build(&base.graph)));
+        let relabel = on.then(|| Arc::new(RelabeledGraph::build(&*base.graph)));
         let next = Snapshot::assemble(
             base.graph.clone(),
             base.vicinity.clone(),
@@ -509,13 +545,13 @@ impl TescContext {
         // Pure additions: the new graph is a supergraph of the old, so
         // the dirty region discovered through the new adjacency covers
         // every node whose vicinity changed (no `g_old` needed).
-        let vicinity = Arc::new(base.vicinity.refreshed(&graph, None, &touched));
+        let vicinity = Arc::new(base.vicinity.refreshed(&*graph, None, &touched));
         // The relabeled substrate is graph-derived: rebuild from
         // scratch (a fresh permutation also re-packs the changed
         // region — an incremental patch would erode locality).
         let relabel = self
             .relabeling
-            .then(|| Arc::new(RelabeledGraph::build(&graph)));
+            .then(|| Arc::new(RelabeledGraph::build(&*graph)));
         self.log_wal(
             base.version + 1,
             &WalRecord::AddEdges {

@@ -18,7 +18,7 @@ use tesc_events::NodeMask;
 use tesc_graph::bfs::{BfsScratch, MsBfsScratch};
 use tesc_graph::csr::CsrGraph;
 use tesc_graph::relabel::Relabeling;
-use tesc_graph::{NodeId, ScratchPool};
+use tesc_graph::{Adjacency, NodeId, ScratchPool};
 
 /// All per-reference-node counts gathered in a single BFS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +55,8 @@ impl DensityCounts {
 }
 
 /// Gather [`DensityCounts`] for reference node `r` with one `h`-hop BFS.
-pub fn density_counts(
-    g: &CsrGraph,
+pub fn density_counts<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     r: NodeId,
     h: u32,
@@ -91,8 +91,8 @@ pub fn density_counts(
 /// Both kernels visit the identical node set, so the returned integers
 /// (and every density derived from them) are bit-identical to
 /// [`density_counts`].
-pub fn density_counts_bitset(
-    g: &CsrGraph,
+pub fn density_counts_bitset<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     r: NodeId,
     h: u32,
@@ -133,9 +133,9 @@ pub fn density_counts_bitset(
 /// bit-identical across all plan configurations (permutations preserve
 /// set cardinalities; kernels visit identical sets).
 #[derive(Debug, Clone, Copy)]
-pub struct KernelPlan<'a> {
+pub struct KernelPlan<'a, G = CsrGraph> {
     /// The BFS substrate (the original graph, or its relabeled twin).
-    pub graph: &'a CsrGraph,
+    pub graph: &'a G,
     /// `V_a` membership in substrate id space.
     pub mask_a: &'a NodeMask,
     /// `V_b` membership in substrate id space.
@@ -149,10 +149,10 @@ pub struct KernelPlan<'a> {
     pub h: u32,
 }
 
-impl<'a> KernelPlan<'a> {
+impl<'a, G: Adjacency> KernelPlan<'a, G> {
     /// The scalar plan on the original graph — the reference
     /// configuration every other plan must match bit-for-bit.
-    pub fn scalar(g: &'a CsrGraph, mask_a: &'a NodeMask, mask_b: &'a NodeMask, h: u32) -> Self {
+    pub fn scalar(g: &'a G, mask_a: &'a NodeMask, mask_b: &'a NodeMask, h: u32) -> Self {
         KernelPlan {
             graph: g,
             mask_a,
@@ -191,9 +191,9 @@ impl<'a> KernelPlan<'a> {
 /// kernels visit identical sets — so fused densities are bit-identical
 /// to the per-pair engine path.
 #[derive(Debug, Clone, Copy)]
-pub struct MultiKernelPlan<'a> {
+pub struct MultiKernelPlan<'a, G = CsrGraph> {
     /// The BFS substrate (the original graph, or its relabeled twin).
-    pub graph: &'a CsrGraph,
+    pub graph: &'a G,
     /// Every registered event mask, in substrate id space; a
     /// per-reference-node *slot list* selects which of these one BFS
     /// scores.
@@ -207,7 +207,7 @@ pub struct MultiKernelPlan<'a> {
     pub h: u32,
 }
 
-impl MultiKernelPlan<'_> {
+impl<G: Adjacency> MultiKernelPlan<'_, G> {
     /// Count `|V_e ∩ V^h_r|` for every event slot in `slots` with one
     /// BFS from the original-space reference node `r`. `counts` is
     /// cleared and receives one count per slot, in slot order; the
@@ -258,9 +258,9 @@ impl MultiKernelPlan<'_> {
 /// integer equals what independent single-source searches produce, so
 /// grouped densities are bit-identical to every other configuration.
 #[derive(Debug, Clone, Copy)]
-pub struct GroupKernelPlan<'a> {
+pub struct GroupKernelPlan<'a, G = CsrGraph> {
     /// The BFS substrate (the original graph, or its relabeled twin).
-    pub graph: &'a CsrGraph,
+    pub graph: &'a G,
     /// Substrate-space occurrence node lists, one per event slot
     /// (duplicate-free; any order).
     pub slot_nodes: &'a [Vec<NodeId>],
@@ -271,7 +271,7 @@ pub struct GroupKernelPlan<'a> {
     pub h: u32,
 }
 
-impl GroupKernelPlan<'_> {
+impl<G: Adjacency> GroupKernelPlan<'_, G> {
     /// Score one group of up to 64 original-space reference nodes with
     /// a single multi-source traversal. `slot_lists[i]` names the
     /// event slots node `nodes[i]` must be scored against (**sorted
@@ -425,8 +425,8 @@ where
 /// overlap the shared edge scan amortizes over. Grouping order cannot
 /// affect any count (each lane is an independent traversal), so this
 /// is purely a locality optimization.
-pub(crate) fn run_grouped(
-    plan: &GroupKernelPlan<'_>,
+pub(crate) fn run_grouped<G: Adjacency>(
+    plan: &GroupKernelPlan<'_, G>,
     pool: &ScratchPool,
     nodes: &[NodeId],
     slots: &GroupSlots<'_>,
@@ -478,8 +478,8 @@ pub(crate) fn run_grouped(
 /// the corresponding two-mask plan (same integers, same `count as f64
 /// / size as f64` arithmetic) — asserted in `tests/kernels.rs` and per
 /// `density_kernel` bench row.
-pub fn density_vectors_group_plan(
-    plan: &GroupKernelPlan<'_>,
+pub fn density_vectors_group_plan<G: Adjacency>(
+    plan: &GroupKernelPlan<'_, G>,
     pool: &ScratchPool,
     refs: &[NodeId],
     threads: usize,
@@ -504,8 +504,8 @@ pub fn density_vectors_group_plan(
 /// Grouped [`DensityCounts`] (including the `a∪b` union count) for the
 /// importance-sampling path: `plan.slot_nodes` must hold exactly
 /// `[V_a, V_b, V_{a∪b}]`.
-pub fn density_counts_group_plan(
-    plan: &GroupKernelPlan<'_>,
+pub fn density_counts_group_plan<G: Adjacency>(
+    plan: &GroupKernelPlan<'_, G>,
     pool: &ScratchPool,
     refs: &[NodeId],
     threads: usize,
@@ -541,8 +541,8 @@ pub fn density_counts_group_plan(
 /// BFS counter advances once per *lane* measured, so cache accounting
 /// is executor-independent.
 #[allow(clippy::too_many_arguments)] // mirrors density_vectors_cached_plan + group knob
-pub fn density_vectors_cached_group_plan(
-    plan: &GroupKernelPlan<'_>,
+pub fn density_vectors_cached_group_plan<G: Adjacency>(
+    plan: &GroupKernelPlan<'_, G>,
     pool: &ScratchPool,
     refs: &[NodeId],
     key_a: &EventKey,
@@ -636,8 +636,8 @@ pub fn translate_mask(map: &Relabeling, m: &NodeMask) -> NodeMask {
 
 /// Densities of both events at every reference node, as the two paired
 /// vectors (`s^h_a`, `s^h_b`) the Kendall machinery consumes.
-pub fn density_vectors(
-    g: &CsrGraph,
+pub fn density_vectors<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     refs: &[NodeId],
     h: u32,
@@ -703,8 +703,8 @@ where
 /// Parallel density vectors for an arbitrary [`KernelPlan`] via
 /// [`map_refs_pooled`]. Output is positionally identical to the serial
 /// scalar path at any thread count, for every plan configuration.
-pub fn density_vectors_plan(
-    plan: &KernelPlan<'_>,
+pub fn density_vectors_plan<G: Adjacency>(
+    plan: &KernelPlan<'_, G>,
     pool: &ScratchPool,
     refs: &[NodeId],
     threads: usize,
@@ -727,8 +727,8 @@ pub fn density_vectors_plan(
 /// Parallel [`density_vectors`] via [`map_refs_pooled`] (the scalar
 /// plan). Output is positionally identical to the serial function at
 /// any thread count.
-pub fn density_vectors_pooled(
-    g: &CsrGraph,
+pub fn density_vectors_pooled<G: Adjacency>(
+    g: &G,
     pool: &ScratchPool,
     refs: &[NodeId],
     h: u32,
@@ -757,8 +757,8 @@ pub fn density_vectors_pooled(
 /// node instead of once per pair (asserted via
 /// [`DensityCache::fresh_computes`] in `tests/pipeline.rs`).
 #[allow(clippy::too_many_arguments)] // mirrors density_vectors_pooled + cache keys
-pub fn density_vectors_cached(
-    g: &CsrGraph,
+pub fn density_vectors_cached<G: Adjacency>(
+    g: &G,
     pool: &ScratchPool,
     refs: &[NodeId],
     h: u32,
@@ -779,8 +779,8 @@ pub fn density_vectors_cached(
 /// between relabeled and plain engines over the same graph version),
 /// while the miss-path BFS runs on the plan's substrate with the
 /// plan's kernel.
-pub fn density_vectors_cached_plan(
-    plan: &KernelPlan<'_>,
+pub fn density_vectors_cached_plan<G: Adjacency>(
+    plan: &KernelPlan<'_, G>,
     pool: &ScratchPool,
     refs: &[NodeId],
     key_a: &EventKey,

@@ -25,6 +25,7 @@ use tesc_events::{store::merge_union, NodeMask};
 use tesc_graph::bfs::{BfsKernel, BfsScratch};
 use tesc_graph::csr::CsrGraph;
 use tesc_graph::relabel::RelabeledGraph;
+use tesc_graph::Adjacency;
 use tesc_graph::{NodeId, ScratchPool, VicinityIndex};
 use tesc_stats::kendall::{
     kendall_tau, var_s_tie_corrected, weighted_tau, KendallMethod, KendallSummary,
@@ -227,21 +228,21 @@ impl VicinityRef<'_> {
 /// phases then memoize per-`(event, node, h)` vicinity counts so batch
 /// runs over pair lists sharing an event do the shared BFS work once,
 /// with bit-identical results.
-pub struct TescEngine<'a> {
-    graph: &'a CsrGraph,
+pub struct TescEngine<'a, G = CsrGraph> {
+    graph: &'a G,
     vicinity: Option<VicinityRef<'a>>,
     pool: ScratchPool,
     density_threads: usize,
     cache: Option<Arc<DensityCache>>,
     kernel: BfsKernel,
-    relabel: Option<Arc<RelabeledGraph>>,
+    relabel: Option<Arc<RelabeledGraph<G>>>,
     group_size: usize,
 }
 
-impl<'a> TescEngine<'a> {
+impl<'a, G: Adjacency> TescEngine<'a, G> {
     /// Engine without a vicinity index (Batch BFS and whole-graph
     /// sampling only).
-    pub fn new(graph: &'a CsrGraph) -> Self {
+    pub fn new(graph: &'a G) -> Self {
         TescEngine {
             graph,
             vicinity: None,
@@ -256,7 +257,7 @@ impl<'a> TescEngine<'a> {
 
     /// Engine with the precomputed `|V^h_v|` index, enabling rejection
     /// and importance sampling.
-    pub fn with_vicinity_index(graph: &'a CsrGraph, vicinity: &'a VicinityIndex) -> Self {
+    pub fn with_vicinity_index(graph: &'a G, vicinity: &'a VicinityIndex) -> Self {
         TescEngine {
             vicinity: Some(VicinityRef::Borrowed(vicinity)),
             ..Self::new(graph)
@@ -266,7 +267,7 @@ impl<'a> TescEngine<'a> {
     /// Engine sharing ownership of an `Arc`-held index — the snapshot
     /// flow ([`crate::context::Snapshot::engine`]), where graph and
     /// index live in reference-counted cells of a versioned context.
-    pub fn with_vicinity_arc(graph: &'a CsrGraph, vicinity: Arc<VicinityIndex>) -> Self {
+    pub fn with_vicinity_arc(graph: &'a G, vicinity: Arc<VicinityIndex>) -> Self {
         TescEngine {
             vicinity: Some(VicinityRef::Owned(vicinity)),
             ..Self::new(graph)
@@ -302,7 +303,7 @@ impl<'a> TescEngine<'a> {
     /// # Panics
     ///
     /// Panics if the cache was created for a structurally different
-    /// graph (compared by [`CsrGraph::fingerprint`]) — memoized counts
+    /// graph (compared by [`Adjacency::fingerprint`]) — memoized counts
     /// are only valid for the graph they were measured on (the
     /// versioned [`crate::context::TescContext`] makes a fresh cache
     /// whenever the graph changes for exactly this reason).
@@ -389,8 +390,8 @@ impl<'a> TescEngine<'a> {
     /// # Panics
     ///
     /// Panics if the substrate was built from a structurally different
-    /// graph (compared by [`CsrGraph::fingerprint`]).
-    pub fn with_relabeled_arc(mut self, relabel: Arc<RelabeledGraph>) -> Self {
+    /// graph (compared by [`Adjacency::fingerprint`]).
+    pub fn with_relabeled_arc(mut self, relabel: Arc<RelabeledGraph<G>>) -> Self {
         assert!(
             relabel.matches_original(self.graph),
             "relabeled substrate built from a different graph shape"
@@ -401,7 +402,7 @@ impl<'a> TescEngine<'a> {
 
     /// The engine's relabeled density substrate, if any.
     #[inline]
-    pub fn relabeled(&self) -> Option<&RelabeledGraph> {
+    pub fn relabeled(&self) -> Option<&RelabeledGraph<G>> {
         self.relabel.as_deref()
     }
 
@@ -426,7 +427,7 @@ impl<'a> TescEngine<'a> {
 
     /// The graph under test.
     #[inline]
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &G {
         self.graph
     }
 
@@ -512,7 +513,7 @@ impl<'a> TescEngine<'a> {
         &'p self,
         slot_nodes: &'p [Vec<NodeId>],
         h: u32,
-    ) -> GroupKernelPlan<'p> {
+    ) -> GroupKernelPlan<'p, G> {
         match self.relabel.as_deref() {
             Some(r) => GroupKernelPlan {
                 graph: r.graph(),
@@ -552,7 +553,7 @@ impl<'a> TescEngine<'a> {
         mask_b: &'p NodeMask,
         translated: &'p Option<(NodeMask, NodeMask)>,
         h: u32,
-    ) -> KernelPlan<'p> {
+    ) -> KernelPlan<'p, G> {
         match (self.relabel.as_deref(), translated) {
             (Some(r), Some((ta, tb))) => KernelPlan {
                 graph: r.graph(),

@@ -18,7 +18,7 @@
 //! still compares density ranks.
 
 use tesc_graph::bfs::BfsScratch;
-use tesc_graph::csr::CsrGraph;
+use tesc_graph::Adjacency;
 use tesc_graph::NodeId;
 
 /// Per-node event intensities: a sparse non-negative weight vector
@@ -123,8 +123,8 @@ impl IntensityCounts {
 }
 
 /// Gather [`IntensityCounts`] for reference node `r` with one BFS.
-pub fn intensity_counts(
-    g: &CsrGraph,
+pub fn intensity_counts<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     r: NodeId,
     h: u32,
@@ -150,8 +150,8 @@ pub fn intensity_counts(
 }
 
 /// Weighted density vectors for a reference-node sample.
-pub fn intensity_density_vectors(
-    g: &CsrGraph,
+pub fn intensity_density_vectors<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     refs: &[NodeId],
     h: u32,

@@ -96,7 +96,7 @@ pub mod serve;
 pub use anytime::{escalation_schedule, ANYTIME_FLOOR};
 pub use batch::{BatchReport, BatchRequest, EventPair};
 pub use cache::{DensityCache, EventKey};
-pub use context::{IngestError, Snapshot, TescContext};
+pub use context::{IngestError, MemoryStats, Snapshot, TescContext};
 pub use engine::{Statistic, TescConfig, TescEngine, TescError, TescResult};
 pub use persist::{PersistError, StoreOptions};
 pub use planner::{FusedDensities, PairSetPlan};

@@ -68,7 +68,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use tesc_events::{store::merge_union, NodeMask};
-use tesc_graph::NodeId;
+use tesc_graph::{Adjacency, CsrGraph, NodeId};
 
 /// Sampling outcome of one pair, before event registration.
 struct Sampled {
@@ -156,8 +156,8 @@ impl FusedDensities {
 /// A planned pair set: stage (a) complete, ready for the fused density
 /// pass and per-pair finish. See the module docs for the stage
 /// diagram and the bit-identity contract.
-pub struct PairSetPlan<'e, 'g> {
-    engine: &'e TescEngine<'g>,
+pub struct PairSetPlan<'e, 'g, G = CsrGraph> {
+    engine: &'e TescEngine<'g, G>,
     cfg: TescConfig,
     pairs: Vec<PlannedPair>,
     /// Content-addressed registry of distinct events (+ importance
@@ -176,7 +176,7 @@ pub struct PairSetPlan<'e, 'g> {
     sampled_refs: usize,
 }
 
-impl<'e, 'g> PairSetPlan<'e, 'g> {
+impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
     /// Stage (a): sample every pair (pair `i` draws from
     /// `StdRng::seed_from_u64(seeds[i])`, exactly like
     /// [`TescEngine::test`] would with that RNG), register the
@@ -189,7 +189,7 @@ impl<'e, 'g> PairSetPlan<'e, 'g> {
     ///
     /// Panics unless `seeds.len() == pairs.len()`.
     pub fn build(
-        engine: &'e TescEngine<'g>,
+        engine: &'e TescEngine<'g, G>,
         pairs: &[EventPair],
         cfg: &TescConfig,
         seeds: &[u64],
@@ -319,7 +319,7 @@ impl<'e, 'g> PairSetPlan<'e, 'g> {
 
     /// Resolve the fused density execution plan on the engine's
     /// substrate/kernel, mirroring the per-pair `density_plan`.
-    fn multi_plan(&self) -> MultiKernelPlan<'_> {
+    fn multi_plan(&self) -> MultiKernelPlan<'_, G> {
         let h = self.cfg.h;
         match (self.engine.relabeled(), &self.substrate_masks) {
             (Some(rel), Some(tm)) => MultiKernelPlan {
@@ -640,12 +640,12 @@ impl<'e, 'g> PairSetPlan<'e, 'g> {
     pub(crate) fn result_from_vectors(&self, index: usize, vectors: &PairVectors) -> TescResult {
         match (vectors, &self.pairs[index].state) {
             (PairVectors::Uniform { sa, sb }, Ok(PlannedState::Uniform { sample, .. })) => {
-                TescEngine::finish_uniform(sa, sb, sample, &self.cfg)
+                TescEngine::<CsrGraph>::finish_uniform(sa, sb, sample, &self.cfg)
             }
             (
                 PairVectors::Weighted { sa, sb, omega },
                 Ok(PlannedState::Weighted { sample, .. }),
-            ) => TescEngine::finish_weighted(sa, sb, omega, sample, &self.cfg),
+            ) => TescEngine::<CsrGraph>::finish_weighted(sa, sb, omega, sample, &self.cfg),
             _ => unreachable!("vectors() and state agree by construction"),
         }
     }
@@ -726,8 +726,8 @@ pub(crate) enum PairVectors {
 }
 
 /// Stage (a) fan-out: sample every pair into indexed slots.
-fn sample_stage(
-    engine: &TescEngine<'_>,
+fn sample_stage<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
     cfg: &TescConfig,
     pairs: &[EventPair],
     seeds: &[u64],
@@ -763,7 +763,12 @@ fn sample_stage(
 /// Sample one pair, replicating [`TescEngine::test`]'s normalization,
 /// validation and RNG consumption exactly (same sampler code, same
 /// stream ⇒ same sample, bit for bit).
-fn sample_one(engine: &TescEngine<'_>, cfg: &TescConfig, pair: &EventPair, seed: u64) -> Sampled {
+fn sample_one<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
+    cfg: &TescConfig,
+    pair: &EventPair,
+    seed: u64,
+) -> Sampled {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = normalize(&pair.a);
     let b = normalize(&pair.b);

@@ -47,7 +47,7 @@ use crate::engine::{normalize, Statistic, TescConfig, TescEngine, TescResult};
 use crate::planner::{PairSetPlan, PairVectors};
 use rand::SplitMix64;
 use std::time::{Duration, Instant};
-use tesc_graph::NodeId;
+use tesc_graph::{Adjacency, NodeId};
 use tesc_stats::kendall::var_s_tie_corrected;
 use tesc_stats::rank::{cmp_score_desc, nontrivial_tie_group_sizes};
 use tesc_stats::{Tail, TestOutcome};
@@ -360,7 +360,7 @@ pub(crate) fn score_bound(vectors: &PairVectors, statistic: Statistic) -> Option
 /// all five samplers). Under [`RankMode::Anytime`] with a top-K
 /// cutoff, execution is delegated to the progressive executor in
 /// [`crate::anytime`].
-pub fn rank_pairs(engine: &TescEngine<'_>, req: &RankRequest) -> RankReport {
+pub fn rank_pairs<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest) -> RankReport {
     if let RankMode::Anytime { eps } = req.mode {
         if req.top_k.is_some() {
             return crate::anytime::rank_pairs_anytime(engine, req, eps);
@@ -370,7 +370,7 @@ pub fn rank_pairs(engine: &TescEngine<'_>, req: &RankRequest) -> RankReport {
 }
 
 /// The exact executor: one planner pass at the full sample size.
-fn rank_pairs_exact(engine: &TescEngine<'_>, req: &RankRequest) -> RankReport {
+fn rank_pairs_exact<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest) -> RankReport {
     let start = Instant::now();
     let threads = req.effective_threads();
     let seeds: Vec<u64> = req

@@ -22,8 +22,7 @@ use rand::Rng;
 use std::collections::HashMap;
 use tesc_events::NodeMask;
 use tesc_graph::bfs::BfsScratch;
-use tesc_graph::csr::CsrGraph;
-use tesc_graph::{NodeId, VicinityIndex};
+use tesc_graph::{Adjacency, NodeId, VicinityIndex};
 
 /// Which sampling strategy the engine should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,8 +91,8 @@ fn choose_distinct(pool: &mut [NodeId], k: usize, rng: &mut impl Rng) -> Vec<Nod
 
 /// Batch BFS sampling: enumerate `V^h_{a∪b}` (Algorithm 1) and draw a
 /// uniform subsample of size `min(n, N)`.
-pub fn batch_bfs_sample(
-    g: &CsrGraph,
+pub fn batch_bfs_sample<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     event_nodes: &[NodeId],
     h: u32,
@@ -154,8 +153,8 @@ impl WeightTable {
 /// accepts are discarded, which turns the with-replacement stream into
 /// a uniform distinct sample.
 #[allow(clippy::too_many_arguments)]
-pub fn rejection_sample(
-    g: &CsrGraph,
+pub fn rejection_sample<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     event_nodes: &[NodeId],
     union_mask: &NodeMask,
@@ -207,8 +206,8 @@ pub fn rejection_sample(
 /// Stops when `n` distinct nodes are collected or after `max_draws`
 /// total draws (whichever first), so small populations terminate.
 #[allow(clippy::too_many_arguments)]
-pub fn importance_sample(
-    g: &CsrGraph,
+pub fn importance_sample<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     event_nodes: &[NodeId],
     vicinity: &VicinityIndex,
@@ -265,8 +264,8 @@ pub fn importance_sample(
 /// Whole-graph sampling (Algorithm 3): draw nodes uniformly from `V`
 /// without replacement; keep those whose `h`-vicinity contains an
 /// event node. Stops after `n` hits or when every node has been tried.
-pub fn whole_graph_sample(
-    g: &CsrGraph,
+pub fn whole_graph_sample<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     union_mask: &NodeMask,
     h: u32,
@@ -299,7 +298,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use tesc_graph::csr::from_edges;
+    use tesc_graph::csr::{from_edges, CsrGraph};
     use tesc_graph::generators::{grid, path};
 
     fn rng(seed: u64) -> StdRng {

@@ -726,6 +726,21 @@ fn handle_stats(state: &ServerState) -> Response {
                     ),
                 ]),
             ),
+            ("memory", {
+                let mem = snap.memory();
+                obj([
+                    ("graph_plain_bytes", Json::Int(mem.graph_plain_bytes as i64)),
+                    (
+                        "graph_compressed_bytes",
+                        Json::Int(mem.graph_compressed_bytes as i64),
+                    ),
+                    ("event_bytes", Json::Int(mem.event_bytes as i64)),
+                    (
+                        "cache_resident_bytes",
+                        Json::Int(cache.resident_bytes() as i64),
+                    ),
+                ])
+            }),
             (
                 "staged",
                 obj([

@@ -55,6 +55,45 @@ impl TwitterConfig {
             ..Default::default()
         }
     }
+
+    /// The million-node scale configuration (the `fig14_scale` bench's
+    /// large rows): 10⁶ nodes at the Twitter attachment rate ≈ 8M
+    /// edges. Generation streams — see [`peak_build_bytes`] for the
+    /// documented heap bound.
+    ///
+    /// [`peak_build_bytes`]: TwitterConfig::peak_build_bytes
+    pub fn million() -> Self {
+        TwitterConfig {
+            num_nodes: 1_000_000,
+            ..Default::default()
+        }
+    }
+
+    /// Number of edges the preferential-attachment build will emit:
+    /// the seed clique on `attachment + 1` nodes plus `attachment`
+    /// edges per remaining node (exact — BA never duplicates an edge).
+    pub fn num_edges(&self) -> usize {
+        let m = self.attachment;
+        m * (m + 1) / 2 + (self.num_nodes - m - 1) * m
+    }
+
+    /// The documented peak-heap bound of [`TwitterScenario::build`].
+    ///
+    /// The generator keeps exactly two O(E) arrays alive at once — the
+    /// endpoint pool it samples from (which doubles as the edge list)
+    /// and the final CSR neighbor array — plus O(n) degree/offset
+    /// counters: ~16 B/edge + ~16 B/node, with 1 MiB of slack for
+    /// everything else. A million nodes fits in ~145 MiB instead of
+    /// the ~24 B/edge a sort + dedup edge-list builder would take.
+    /// `tests/memory_budget.rs` holds the build to this bound with a
+    /// counting allocator, so a regression to buffered generation
+    /// fails in CI rather than at scale.
+    pub fn peak_build_bytes(&self) -> usize {
+        let endpoint_pool = 2 * self.num_nodes * self.attachment * 4;
+        let csr = self.num_edges() * 2 * 4 + (self.num_nodes + 1) * 8;
+        let counters = self.num_nodes * 8;
+        endpoint_pool + csr + counters + (1 << 20)
+    }
 }
 
 /// A built Twitter-like scenario: the graph plus planting helpers for
@@ -223,6 +262,30 @@ mod tests {
         );
         assert_eq!(tiny.graph.num_nodes(), 500);
         assert_eq!(tiny.config().attachment, 3);
+    }
+
+    #[test]
+    fn hundred_k_build_is_seed_deterministic() {
+        let cfg = TwitterConfig {
+            num_nodes: 100_000,
+            ..Default::default()
+        };
+        let a = TwitterScenario::build(cfg, &mut rng(20));
+        let b = TwitterScenario::build(cfg, &mut rng(20));
+        assert_eq!(a.graph.fingerprint(), b.graph.fingerprint());
+        assert_eq!(a.graph, b.graph);
+        let c = TwitterScenario::build(cfg, &mut rng(21));
+        assert_ne!(a.graph.fingerprint(), c.graph.fingerprint());
+    }
+
+    #[test]
+    fn million_config_documents_linear_memory() {
+        let cfg = TwitterConfig::million();
+        assert_eq!(cfg.num_nodes, 1_000_000);
+        assert_eq!(cfg.num_edges(), 36 + 8 * (1_000_000 - 9));
+        // The documented bound stays linear in E with the streaming
+        // constant (~16 B/edge), well under a buffered builder's ~24.
+        assert!(cfg.peak_build_bytes() < 24 * cfg.num_edges() + 24 * cfg.num_nodes);
     }
 
     #[test]

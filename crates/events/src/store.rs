@@ -142,6 +142,18 @@ impl EventStore {
             .map(|i| EventId(i as u32))
     }
 
+    /// Estimated resident heap bytes of the registry (names plus
+    /// occurrence lists), for memory reporting.
+    pub fn resident_bytes(&self) -> usize {
+        let names: usize = self.names.iter().map(|n| n.capacity()).sum();
+        let occ: usize = self
+            .occurrences
+            .iter()
+            .map(|o| o.capacity() * std::mem::size_of::<NodeId>())
+            .sum();
+        names + occ
+    }
+
     /// 64-bit content fingerprint (FNV-1a over event count, names and
     /// sorted occurrence lists), same constants as
     /// `CsrGraph::fingerprint`. Two stores with equal fingerprints hold

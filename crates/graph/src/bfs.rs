@@ -31,7 +31,14 @@
 //!   on a node. Per-lane counts are recovered by popcount and equal
 //!   the single-source results exactly.
 
-use crate::csr::{CsrGraph, NodeId};
+//!
+//! All kernels are generic over [`Adjacency`], so they run unchanged
+//! on the plain [`crate::CsrGraph`] (slice-iterating, identical
+//! codegen to the pre-trait versions) and on the streaming
+//! [`crate::compressed::CompressedCsr`] decoder.
+
+use crate::adjacency::Adjacency;
+use crate::csr::NodeId;
 
 /// Direction-optimizing switch threshold (Beamer et al.): a level runs
 /// bottom-up when the frontier's degree sum exceeds the unexplored
@@ -110,7 +117,7 @@ impl BfsKernel {
     /// kernel's per-visited-node probes outweigh the bitset kernel's
     /// per-word fixed costs. Explicit variants override (for tests and
     /// benches).
-    pub fn use_bitset(self, g: &CsrGraph, h: u32) -> bool {
+    pub fn use_bitset<G: Adjacency>(self, g: &G, h: u32) -> bool {
         match self {
             BfsKernel::Scalar => false,
             BfsKernel::Bitset | BfsKernel::Multi => true,
@@ -152,7 +159,7 @@ impl BfsKernel {
     ///
     /// Like every kernel choice this is purely a performance switch —
     /// the recovered counts are identical integers either way.
-    pub fn use_multi_source(self, g: &CsrGraph, h: u32, num_sources: usize) -> bool {
+    pub fn use_multi_source<G: Adjacency>(self, g: &G, h: u32, num_sources: usize) -> bool {
         match self {
             BfsKernel::Multi => true,
             BfsKernel::Scalar | BfsKernel::Bitset => false,
@@ -258,9 +265,9 @@ impl BfsScratch {
     /// sources: worst case `O(|V| + |E|)` regardless of `|sources|`.
     ///
     /// Returns the number of nodes visited.
-    pub fn visit_h_vicinity(
+    pub fn visit_h_vicinity<G: Adjacency>(
         &mut self,
-        g: &CsrGraph,
+        g: &G,
         sources: &[NodeId],
         h: u32,
         mut visit: impl FnMut(NodeId, u32),
@@ -290,18 +297,15 @@ impl BfsScratch {
             depth += 1;
             for qi in level_start..level_end {
                 let u = self.queue[qi];
-                let (lo, hi) = {
-                    // Split borrows: neighbors() borrows g, not self.
-                    (0, g.neighbors(u).len())
-                };
-                for ni in lo..hi {
-                    let v = g.neighbors(u)[ni];
+                // The row stream borrows `g`, not `self`, so marking
+                // and queue pushes interleave freely with the decode.
+                g.for_each_neighbor(u, |v| {
                     if self.mark(v) {
                         self.queue.push(v);
                         visit(v, depth);
                         visited += 1;
                     }
-                }
+                });
             }
             level_start = level_end;
         }
@@ -329,7 +333,12 @@ impl BfsScratch {
     ///    with one popcount sweep.
     ///
     /// Duplicate sources are visited once, like the scalar kernel.
-    pub fn visit_h_vicinity_bitset(&mut self, g: &CsrGraph, sources: &[NodeId], h: u32) -> usize {
+    pub fn visit_h_vicinity_bitset<G: Adjacency>(
+        &mut self,
+        g: &G,
+        sources: &[NodeId],
+        h: u32,
+    ) -> usize {
         let n = g.num_nodes();
         assert!(
             self.stamp.len() >= n,
@@ -377,17 +386,17 @@ impl BfsScratch {
                         while bits != 0 {
                             let u = (w * 64) as NodeId + bits.trailing_zeros();
                             bits &= bits - 1;
-                            for &v in g.neighbors(u) {
+                            g.for_each_neighbor(u, |v| {
                                 self.visited[v as usize / 64] |= 1u64 << (v % 64);
-                            }
+                            });
                         }
                     }
                 } else {
                     let front = std::mem::take(&mut self.front_nodes);
                     for &u in &front {
-                        for &v in g.neighbors(u) {
+                        g.for_each_neighbor(u, |v| {
                             self.visited[v as usize / 64] |= 1u64 << (v % 64);
-                        }
+                        });
                     }
                     self.front_nodes = front;
                 }
@@ -426,7 +435,7 @@ impl BfsScratch {
                         let b = unv.trailing_zeros();
                         unv &= unv - 1;
                         let v = (w * 64) as NodeId + b;
-                        for &p in g.neighbors(v) {
+                        for p in g.neighbors_iter(v) {
                             if self.front_bits[p as usize / 64] & (1u64 << (p % 64)) != 0 {
                                 self.visited[w] |= 1u64 << b;
                                 self.next_bits[w] |= 1u64 << b;
@@ -455,7 +464,7 @@ impl BfsScratch {
                 let front = std::mem::take(&mut self.front_nodes);
                 self.next_nodes.clear();
                 for &u in &front {
-                    for &v in g.neighbors(u) {
+                    g.for_each_neighbor(u, |v| {
                         let (w, b) = (v as usize / 64, v % 64);
                         if self.visited[w] & (1u64 << b) == 0 {
                             self.visited[w] |= 1u64 << b;
@@ -463,7 +472,7 @@ impl BfsScratch {
                             new_count += 1;
                             new_deg += g.degree(v) as u64;
                         }
-                    }
+                    });
                 }
                 self.front_nodes = front;
                 std::mem::swap(&mut self.front_nodes, &mut self.next_nodes);
@@ -511,9 +520,9 @@ impl BfsScratch {
     /// Collect the node set of the `h`-vicinity of `sources` into `out`
     /// (cleared first). This is Algorithm 1's output `V_out` when
     /// `sources = V_{a∪b}`.
-    pub fn h_vicinity_into(
+    pub fn h_vicinity_into<G: Adjacency>(
         &mut self,
-        g: &CsrGraph,
+        g: &G,
         sources: &[NodeId],
         h: u32,
         out: &mut Vec<NodeId>,
@@ -523,22 +532,22 @@ impl BfsScratch {
     }
 
     /// Allocating convenience wrapper over [`Self::h_vicinity_into`].
-    pub fn h_vicinity(&mut self, g: &CsrGraph, source: NodeId, h: u32) -> Vec<NodeId> {
+    pub fn h_vicinity<G: Adjacency>(&mut self, g: &G, source: NodeId, h: u32) -> Vec<NodeId> {
         let mut out = Vec::new();
         self.h_vicinity_into(g, &[source], h, &mut out);
         out
     }
 
     /// `|V^h_v|` — the node count of `v`'s `h`-vicinity (including `v`).
-    pub fn vicinity_size(&mut self, g: &CsrGraph, v: NodeId, h: u32) -> usize {
+    pub fn vicinity_size<G: Adjacency>(&mut self, g: &G, v: NodeId, h: u32) -> usize {
         self.visit_h_vicinity(g, &[v], h, |_, _| {})
     }
 
     /// One-pass density numerator/denominator for Eq. 2: returns
     /// `(|pred-matching nodes in V^h_r|, |V^h_r|)`.
-    pub fn count_matching(
+    pub fn count_matching<G: Adjacency>(
         &mut self,
-        g: &CsrGraph,
+        g: &G,
         r: NodeId,
         h: u32,
         mut pred: impl FnMut(NodeId) -> bool,
@@ -556,9 +565,9 @@ impl BfsScratch {
     /// Used by Whole-graph sampling (Alg. 3) to test reference-node
     /// eligibility; short-circuits are not possible with a level-
     /// synchronous sweep, so this simply scans (worst case = one BFS).
-    pub fn vicinity_contains(
+    pub fn vicinity_contains<G: Adjacency>(
         &mut self,
-        g: &CsrGraph,
+        g: &G,
         v: NodeId,
         h: u32,
         mut pred: impl FnMut(NodeId) -> bool,
@@ -657,7 +666,7 @@ impl MsBfsScratch {
     ///
     /// Panics if `sources.len() > MAX_GROUP_SOURCES` or the scratch was
     /// created for fewer nodes than `g` has.
-    pub fn visit_h_vicinity_multi(&mut self, g: &CsrGraph, sources: &[NodeId], h: u32) {
+    pub fn visit_h_vicinity_multi<G: Adjacency>(&mut self, g: &G, sources: &[NodeId], h: u32) {
         let n = g.num_nodes();
         assert!(
             sources.len() <= MAX_GROUP_SOURCES,
@@ -703,9 +712,9 @@ impl MsBfsScratch {
                 // bitset kernel's deepest level.
                 for &u in &front_nodes {
                     let lanes = self.front[u as usize];
-                    for &v in g.neighbors(u) {
+                    g.for_each_neighbor(u, |v| {
                         self.seen[v as usize] |= lanes;
-                    }
+                    });
                 }
                 self.front_nodes = front_nodes;
                 break;
@@ -713,7 +722,7 @@ impl MsBfsScratch {
             self.next_nodes.clear();
             for &u in &front_nodes {
                 let lanes = self.front[u as usize];
-                for &v in g.neighbors(u) {
+                g.for_each_neighbor(u, |v| {
                     let new = lanes & !self.seen[v as usize];
                     if new != 0 {
                         if self.next[v as usize] == 0 {
@@ -722,7 +731,7 @@ impl MsBfsScratch {
                         self.next[v as usize] |= new;
                         self.seen[v as usize] |= new;
                     }
-                }
+                });
             }
             // Clear the consumed frontier words, then promote the next
             // level: after the swap, the former `front` array (now all
@@ -885,7 +894,7 @@ pub fn multi_mask_counts(visited: &[u64], masks: &[&[u64]], counts: &mut [u32]) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::csr::from_edges;
+    use crate::csr::{from_edges, CsrGraph};
 
     /// Path 0-1-2-3-4-5.
     fn path6() -> CsrGraph {

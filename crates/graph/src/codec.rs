@@ -1,0 +1,153 @@
+//! Little-endian byte-frame primitives shared by every binary format
+//! in the workspace: the `.tgraph` graph container in this crate and
+//! the snapshot/WAL codecs in `tesc::persist` (which re-exports this
+//! module, so the two layers share one `DecodeError` type).
+//!
+//! Every multi-byte integer in the formats is little-endian. Reads go
+//! through [`Cursor`], which bounds-checks every access and reports a
+//! structured [`DecodeError`] instead of panicking — the decoders sit
+//! behind CRC checks, but the fuzz suite feeds them arbitrary bytes
+//! directly, so "never panic on garbage" is part of their contract.
+
+/// Why a frame could not be decoded. `offset` is the byte position
+/// (within the decoded region) at which the problem was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Cursor over `bytes`, starting at offset 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Has every byte been consumed?
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn err(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(self.err(format!("need {n} bytes, {} left", self.remaining())));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `u64` length prefix that must be coverable by the bytes
+    /// still in the frame (`bytes_per_item` each) — the guard that
+    /// keeps a corrupt length field from provoking a huge allocation.
+    pub fn len_prefix(&mut self, bytes_per_item: usize) -> Result<usize, DecodeError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw).map_err(|_| self.err(format!("length {raw} overflows")))?;
+        match n.checked_mul(bytes_per_item) {
+            Some(total) if total <= self.remaining() => Ok(n),
+            _ => Err(self.err(format!(
+                "length {n} × {bytes_per_item} B exceeds the {} bytes left",
+                self.remaining()
+            ))),
+        }
+    }
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_bounds() {
+        let mut buf = Vec::new();
+        buf.push(7u8);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 42);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u8().unwrap(), 7);
+        assert_eq!(c.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64().unwrap(), 42);
+        assert!(c.is_empty());
+        assert!(c.u8().is_err(), "reads past the end are errors");
+    }
+
+    #[test]
+    fn len_prefix_rejects_oversized_counts() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // absurd count
+        let mut c = Cursor::new(&buf);
+        let err = c.len_prefix(4).unwrap_err();
+        assert!(err.message.contains("exceeds") || err.message.contains("overflows"));
+        // A plausible count with enough backing bytes is accepted.
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 2);
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, 2);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.len_prefix(4).unwrap(), 2);
+    }
+}

@@ -1,0 +1,429 @@
+//! The `.tgraph` binary graph container.
+//!
+//! The on-disk form of [`CompressedCsr`]: little-endian throughout,
+//! magic + version up front, and every section independently
+//! CRC-32-checksummed — the same codec/CRC discipline as
+//! `tesc::persist` (the snapshot and WAL formats re-export this
+//! crate's [`crate::codec`] and [`crate::crc`] modules, so all binary
+//! frames in the workspace share one dialect).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic     8 B   b"TGRAPH01" (version is the trailing two digits)
+//! num_nodes 8 B
+//! num_edges 8 B   undirected count
+//! fingerprint 8 B plain-CSR fingerprint of the content
+//! flags     8 B   bit 0: permutation section present
+//! header_crc 4 B  CRC-32 of the 40 bytes above
+//! section: directory   u64 len | LEB128 *up*-degree per node | u32 crc
+//! section: adjacency   u64 len | packed half-adjacency gaps  | u32 crc
+//! section: permutation u64 len | u32 `to_old` per node       | u32 crc  (optional)
+//! ```
+//!
+//! On disk, each undirected edge is stored **once**: node `v`'s row
+//! holds only its *up-neighbors* (`w > v`), delta-encoded against
+//! `v + 1` (first gap `w₀ − v − 1`, then successive deltas minus one)
+//! and packed with the same fixed-width chunk codec the in-memory
+//! stream uses. That halves the entry count relative to the resident
+//! form — and because upper-triangle gaps are measured from `v`, they
+//! are *smaller* than full-row gaps, so the per-entry byte cost drops
+//! too. The directory stores the varint up-degree per node (most fit
+//! one byte); full degrees and row offsets are recomputed at load.
+//!
+//! Loading is a single linear decode of the half stream plus one
+//! cursor pass that scatters each edge `(v, w)` into both endpoint
+//! rows. Rows come out sorted *without a sort*: within row `r`, the
+//! down-entries (mirrored from rows `v < r`) arrive in ascending `v`
+//! order because the stream is walked in row order, the up-entries
+//! are ascending by the gap encoding, and every down-entry `< r <`
+//! every up-entry. The rebuilt graph is then re-packed and its
+//! fingerprint checked against the header — a flipped bit has to beat
+//! a section CRC *and* a 64-bit FNV fingerprint to be accepted, and
+//! the fuzz suite (`tests/fuzz_parsers.rs`) holds the decoder to
+//! "typed error, never a panic" on arbitrary garbage.
+//!
+//! The optional permutation section carries a precomputed
+//! locality-relabel order ([`Relabeling`]) so engines can build their
+//! relabeled substrate without re-running the BFS ordering pass at
+//! load; the adjacency itself always stays in original id order, so
+//! fingerprints are encoding-independent.
+
+use crate::codec::{put_u32, put_u64, Cursor, DecodeError};
+use crate::compressed::{
+    checked_read_varint, checked_walk_chunks, encode_gaps_chunked, write_varint, CompressedCsr,
+};
+use crate::crc::crc32;
+use crate::csr::{CsrGraph, NodeId};
+use crate::relabel::Relabeling;
+
+/// Magic + version prefix of every `.tgraph` file.
+pub const TGRAPH_MAGIC: &[u8; 8] = b"TGRAPH01";
+
+/// Flag bit: the optional permutation section is present.
+const FLAG_PERMUTATION: u64 = 1;
+
+/// A decoded `.tgraph` container: the graph plus the optional
+/// precomputed locality permutation.
+#[derive(Debug, Clone)]
+pub struct TgraphFile {
+    /// The (validated) compressed graph.
+    pub graph: CompressedCsr,
+    /// Precomputed locality-relabel permutation, if the writer stored
+    /// one (`tesc-cli convert --relabel`).
+    pub relabeling: Option<Relabeling>,
+}
+
+/// Does `bytes` start with the `.tgraph` magic? The sniff used by
+/// loaders that accept both text edge lists and binary containers.
+pub fn is_tgraph(bytes: &[u8]) -> bool {
+    bytes.len() >= TGRAPH_MAGIC.len() && &bytes[..TGRAPH_MAGIC.len()] == TGRAPH_MAGIC
+}
+
+fn put_section(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    put_u32(out, crc32(payload));
+}
+
+/// Serialize `graph` (and optionally a locality permutation over its
+/// nodes) into `.tgraph` bytes.
+///
+/// # Panics
+///
+/// Panics if `perm` covers a different node count than the graph.
+pub fn encode_tgraph(graph: &CompressedCsr, perm: Option<&Relabeling>) -> Vec<u8> {
+    if let Some(p) = perm {
+        assert_eq!(
+            p.len(),
+            graph.num_nodes(),
+            "permutation covers {} ids, graph has {} nodes",
+            p.len(),
+            graph.num_nodes()
+        );
+    }
+    let n = graph.num_nodes();
+    let mut directory = Vec::with_capacity(n);
+    let mut half = Vec::with_capacity(graph.adjacency_bytes() / 2 + 1);
+    let mut gaps: Vec<u32> = Vec::new();
+    for v in 0..n as NodeId {
+        gaps.clear();
+        let mut base = v + 1;
+        graph.for_each_neighbor(v, |w| {
+            if w > v {
+                gaps.push(w - base);
+                base = w + 1;
+            }
+        });
+        write_varint(&mut directory, gaps.len() as u32);
+        encode_gaps_chunked(&mut half, &gaps);
+    }
+    let mut out = Vec::with_capacity(
+        48 + directory.len() + half.len() + perm.map_or(0, |p| 4 * p.len() + 12),
+    );
+    out.extend_from_slice(TGRAPH_MAGIC);
+    put_u64(&mut out, graph.num_nodes() as u64);
+    put_u64(&mut out, graph.num_edges() as u64);
+    put_u64(&mut out, graph.fingerprint());
+    put_u64(&mut out, if perm.is_some() { FLAG_PERMUTATION } else { 0 });
+    let header_crc = crc32(&out);
+    put_u32(&mut out, header_crc);
+    put_section(&mut out, &directory);
+    put_section(&mut out, &half);
+    if let Some(p) = perm {
+        let mut payload = Vec::with_capacity(4 * p.len());
+        for v in 0..p.len() as NodeId {
+            put_u32(&mut payload, p.to_old(v));
+        }
+        put_section(&mut out, &payload);
+    }
+    out
+}
+
+fn take_section<'a>(c: &mut Cursor<'a>, what: &str) -> Result<&'a [u8], DecodeError> {
+    let len = c.len_prefix(1)?;
+    let start = c.pos();
+    let payload = c.take(len)?;
+    let stored = c.u32()?;
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(DecodeError {
+            offset: start,
+            message: format!(
+                "{what} section CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            ),
+        });
+    }
+    Ok(payload)
+}
+
+/// Decode and fully validate `.tgraph` bytes, reconstructing the
+/// symmetric [`CompressedCsr`] from the half-adjacency stream. Every
+/// acceptance path goes through the section CRCs plus a full
+/// structural walk and fingerprint recomputation; any failure is a
+/// typed [`DecodeError`], never a panic.
+pub fn decode_tgraph(bytes: &[u8]) -> Result<TgraphFile, DecodeError> {
+    let mut c = Cursor::new(bytes);
+    let magic = c.take(8)?;
+    if magic != TGRAPH_MAGIC {
+        return Err(DecodeError {
+            offset: 0,
+            message: format!("bad magic {magic:02x?}, expected {TGRAPH_MAGIC:02x?}"),
+        });
+    }
+    let num_nodes = c.u64()?;
+    let num_edges = c.u64()?;
+    let fingerprint = c.u64()?;
+    let flags = c.u64()?;
+    let header_end = c.pos();
+    let stored = c.u32()?;
+    let actual = crc32(&bytes[..header_end]);
+    if stored != actual {
+        return Err(DecodeError {
+            offset: header_end,
+            message: format!("header CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"),
+        });
+    }
+    if flags & !FLAG_PERMUTATION != 0 {
+        return Err(DecodeError {
+            offset: 32,
+            message: format!("unknown flags {flags:#x}"),
+        });
+    }
+    let n = usize::try_from(num_nodes).map_err(|_| DecodeError {
+        offset: 8,
+        message: format!("node count {num_nodes} overflows"),
+    })?;
+    // A degree varint is ≥ 1 byte, so the directory section itself
+    // bounds n; reject counts the remaining bytes cannot cover before
+    // allocating anything.
+    if n > c.remaining() {
+        return Err(DecodeError {
+            offset: 8,
+            message: format!("{n} nodes cannot fit in {} remaining bytes", c.remaining()),
+        });
+    }
+    if n > u32::MAX as usize {
+        return Err(DecodeError {
+            offset: 8,
+            message: format!("{n} nodes do not fit u32 ids"),
+        });
+    }
+
+    let directory = take_section(&mut c, "directory")?;
+    let mut ups = Vec::with_capacity(n);
+    let mut pos = 0usize;
+    for v in 0..n {
+        ups.push(
+            checked_read_varint(directory, &mut pos).map_err(|e| DecodeError {
+                offset: e.offset,
+                message: format!("directory entry {v}: {}", e.message),
+            })?,
+        );
+    }
+    if pos != directory.len() {
+        return Err(DecodeError {
+            offset: pos,
+            message: format!("{} trailing directory bytes", directory.len() - pos),
+        });
+    }
+    let up_sum: u64 = ups.iter().map(|&d| d as u64).sum();
+    if up_sum != num_edges {
+        return Err(DecodeError {
+            offset: 16,
+            message: format!("header claims {num_edges} edges, directory sums to {up_sum}"),
+        });
+    }
+
+    // Pass A over the half-adjacency stream: full structural
+    // validation (chunk walk, id ranges, exact consumption) plus the
+    // down-degree counts — before the edge arrays are allocated, so a
+    // lying header cannot provoke a huge allocation.
+    let half = take_section(&mut c, "adjacency")?;
+    let mut full_deg = vec![0u32; n];
+    let mut pos = 0usize;
+    for (v, &up) in ups.iter().enumerate() {
+        let mut base = v as u64 + 1;
+        checked_walk_chunks(half, &mut pos, up, |gap| {
+            let w = base + gap as u64;
+            if w >= n as u64 {
+                return Err(DecodeError {
+                    offset: 0,
+                    message: format!("node {v} up-neighbor {w} out of range for {n} nodes"),
+                });
+            }
+            full_deg[w as usize] += 1;
+            base = w + 1;
+            Ok(())
+        })?;
+    }
+    if pos != half.len() {
+        return Err(DecodeError {
+            offset: pos,
+            message: format!("{} trailing adjacency bytes", half.len() - pos),
+        });
+    }
+    for (d, &up) in full_deg.iter_mut().zip(ups.iter()) {
+        *d += up;
+    }
+
+    // Offsets from the full degrees, then pass B scatters each stored
+    // edge (v, w) into both endpoint rows. The cursor fill emits every
+    // row already sorted (see the module docs), so the plain CSR can
+    // be assembled directly and re-packed.
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut prefix = 0u64;
+    offsets.push(0u64);
+    for &d in &full_deg {
+        prefix += d as u64;
+        offsets.push(prefix);
+    }
+    let mut cursor: Vec<u64> = offsets[..n].to_vec();
+    let mut neighbors = vec![0 as NodeId; prefix as usize];
+    let mut pos = 0usize;
+    for (v, &up) in ups.iter().enumerate() {
+        let mut base = v as NodeId + 1;
+        // The stream was validated in pass A; this walk cannot fail.
+        checked_walk_chunks(half, &mut pos, up, |gap| {
+            let w = base + gap;
+            neighbors[cursor[v] as usize] = w;
+            cursor[v] += 1;
+            neighbors[cursor[w as usize] as usize] = v as NodeId;
+            cursor[w as usize] += 1;
+            base = w + 1;
+            Ok(())
+        })?;
+    }
+    let plain = CsrGraph::from_parts(offsets.into_boxed_slice(), neighbors.into_boxed_slice());
+    let graph = CompressedCsr::from_graph(&plain);
+    if graph.fingerprint() != fingerprint {
+        return Err(DecodeError {
+            offset: 24,
+            message: format!(
+                "content fingerprint {:#018x} != header {fingerprint:#018x}",
+                graph.fingerprint()
+            ),
+        });
+    }
+
+    let relabeling = if flags & FLAG_PERMUTATION != 0 {
+        let payload = take_section(&mut c, "permutation")?;
+        if payload.len() != 4 * n {
+            return Err(DecodeError {
+                offset: 0,
+                message: format!(
+                    "permutation section is {} bytes, expected {}",
+                    payload.len(),
+                    4 * n
+                ),
+            });
+        }
+        let to_old: Vec<NodeId> = payload
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        Some(Relabeling::from_to_old(to_old).ok_or_else(|| DecodeError {
+            offset: 0,
+            message: "permutation section is not a bijection over the node ids".into(),
+        })?)
+    } else {
+        None
+    };
+
+    if !c.is_empty() {
+        return Err(DecodeError {
+            offset: c.pos(),
+            message: format!("{} trailing bytes after the last section", c.remaining()),
+        });
+    }
+    Ok(TgraphFile { graph, relabeling })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> CompressedCsr {
+        let mut rng = StdRng::seed_from_u64(3);
+        CompressedCsr::from_graph(&generators::barabasi_albert(200, 3, &mut rng))
+    }
+
+    #[test]
+    fn round_trips_without_permutation() {
+        let c = sample();
+        let bytes = encode_tgraph(&c, None);
+        assert!(is_tgraph(&bytes));
+        let file = decode_tgraph(&bytes).expect("round trip");
+        assert_eq!(file.graph, c);
+        assert!(file.relabeling.is_none());
+    }
+
+    #[test]
+    fn round_trips_with_permutation() {
+        let c = sample();
+        let map = Relabeling::locality_order(&c.to_csr());
+        let bytes = encode_tgraph(&c, Some(&map));
+        let file = decode_tgraph(&bytes).expect("round trip");
+        assert_eq!(file.graph, c);
+        assert_eq!(file.relabeling.as_ref(), Some(&map));
+    }
+
+    #[test]
+    fn smaller_than_plain_pairs_on_disk() {
+        let c = sample();
+        let bytes = encode_tgraph(&c, None);
+        // Raw (u32, u32) pairs would cost 8 B/edge; the container must
+        // beat that handily even with headers and CRCs.
+        assert!(
+            bytes.len() < 8 * c.num_edges(),
+            "{} B container vs {} B raw pairs",
+            bytes.len(),
+            8 * c.num_edges()
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let c = CompressedCsr::from_graph(&from_edges(9, &[(0, 3), (1, 3), (3, 8), (2, 7)]));
+        let map = Relabeling::locality_order(&c.to_csr());
+        let bytes = encode_tgraph(&c, Some(&map));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_tgraph(&bad).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let bytes = encode_tgraph(&sample(), None);
+        for k in 0..bytes.len() {
+            assert!(decode_tgraph(&bytes[..k]).is_err(), "truncation at {k}");
+        }
+    }
+
+    #[test]
+    fn header_lies_are_rejected() {
+        let c = sample();
+        // Tamper with the edge count but fix up the header CRC, so
+        // only the content cross-check can catch it.
+        let mut bytes = encode_tgraph(&c, None);
+        let lied = (c.num_edges() as u64 + 1).to_le_bytes();
+        bytes[16..24].copy_from_slice(&lied);
+        let fixed = crc32(&bytes[..40]).to_le_bytes();
+        bytes[40..44].copy_from_slice(&fixed);
+        let err = decode_tgraph(&bytes).unwrap_err();
+        assert!(err.message.contains("edges"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let c = CompressedCsr::from_graph(&from_edges(0, &[]));
+        let file = decode_tgraph(&encode_tgraph(&c, None)).expect("empty");
+        assert_eq!(file.graph.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! The workspace carries zero registry dependencies, so the checksum
+//! every binary frame relies on is hand-rolled here: a classic
+//! 256-entry table built at first use, byte-at-a-time update. This is
+//! the same polynomial as zlib/`crc32fast`, so frames written by this
+//! module can be checked with any standard CRC-32 tool.
+//!
+//! This is the single implementation for the whole workspace: the
+//! `.tgraph` container ([`crate::container`]) uses it directly and
+//! `tesc::persist` re-exports it, so the snapshot/WAL formats and the
+//! graph container cannot drift onto different polynomials.
+
+use std::sync::OnceLock;
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE, reflected, init/final-xor `0xFFFFFFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let base = b"write-ahead log record payload".to_vec();
+        let crc = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), crc, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -121,6 +121,30 @@ impl CsrGraph {
         self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
+    /// Resident heap bytes of the CSR arrays (offset directory +
+    /// adjacency), for memory reporting. Excludes the `size_of::<Self>`
+    /// header — this is the part that scales with the graph.
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbors.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Assemble a graph directly from finished CSR arrays.
+    ///
+    /// Crate-internal: callers ([`crate::compressed`] decode,
+    /// [`crate::generators`] streaming builds) must uphold the CSR
+    /// invariants — `offsets` is a non-decreasing prefix-sum array with
+    /// `offsets[0] == 0` and `offsets[n] == neighbors.len()`, each
+    /// per-node range is strictly sorted, in-range, self-loop-free and
+    /// symmetric. Debug builds spot-check the cheap ones.
+    pub(crate) fn from_parts(offsets: Box<[u64]>, neighbors: Box<[NodeId]>) -> CsrGraph {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        CsrGraph { offsets, neighbors }
+    }
+
     /// Rebuild a [`GraphBuilder`] seeded with this graph's edges — the
     /// escape hatch for mutation (used by [`crate::perturb`]).
     pub fn to_builder(&self) -> GraphBuilder {
@@ -358,6 +382,53 @@ impl GraphBuilder {
             offsets: offsets.into_boxed_slice(),
             neighbors: neighbors.into_boxed_slice(),
         }
+    }
+}
+
+/// Build a CSR graph from a flat `[u0, v0, u1, v1, ...]` endpoint
+/// array of **distinct, loop-free, in-range** edges.
+///
+/// This is the streaming path used by the large-scale generators: a
+/// generator that can guarantee its edges are already unique skips
+/// [`GraphBuilder`]'s sort + dedup pass *and* its second copy of the
+/// edge list, so peak heap stays at the endpoint array plus the final
+/// CSR arrays (~16 B/edge) instead of ~24 B/edge. The invariants are
+/// the caller's contract; they are `debug_assert`ed here.
+pub(crate) fn from_endpoint_pairs(num_nodes: usize, endpoints: &[NodeId]) -> CsrGraph {
+    debug_assert!(endpoints.len().is_multiple_of(2), "endpoints come in pairs");
+    let mut degrees = vec![0u32; num_nodes];
+    for &v in endpoints {
+        degrees[v as usize] += 1;
+    }
+    let mut offsets = vec![0u64; num_nodes + 1];
+    for v in 0..num_nodes {
+        offsets[v + 1] = offsets[v] + u64::from(degrees[v]);
+    }
+    let mut neighbors = vec![0 as NodeId; endpoints.len()];
+    // Reuse `degrees` as the per-node write cursor (now counting up
+    // from each node's offset) rather than allocating another array.
+    degrees.iter_mut().for_each(|d| *d = 0);
+    let mut cursor = degrees;
+    for pair in endpoints.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        debug_assert_ne!(u, v, "self-loop at node {u}");
+        neighbors[(offsets[u as usize] + u64::from(cursor[u as usize])) as usize] = v;
+        cursor[u as usize] += 1;
+        neighbors[(offsets[v as usize] + u64::from(cursor[v as usize])) as usize] = u;
+        cursor[v as usize] += 1;
+    }
+    drop(cursor);
+    for v in 0..num_nodes {
+        let range = &mut neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+        range.sort_unstable();
+        debug_assert!(
+            range.windows(2).all(|w| w[0] < w[1]),
+            "duplicate edge incident to node {v}"
+        );
+    }
+    CsrGraph {
+        offsets: offsets.into_boxed_slice(),
+        neighbors: neighbors.into_boxed_slice(),
     }
 }
 

@@ -92,16 +92,21 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
 pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
     assert!(m >= 1, "attachment count m must be ≥ 1");
     assert!(n > m, "need more nodes ({n}) than attachment count ({m})");
-    let mut b = GraphBuilder::with_capacity(n, n * m);
     // Endpoint multiset: each edge contributes both endpoints, so
-    // sampling uniformly from it is degree-proportional sampling.
+    // sampling uniformly from it is degree-proportional sampling. It
+    // doubles as the edge list (entries 2i, 2i+1 are edge i), and BA
+    // never emits a duplicate edge — per-node targets are sampled
+    // without replacement and the seed clique enumerates each pair
+    // once — so the CSR is filled straight from this array. Skipping
+    // the sort + dedup builder (and its second edge-list copy) keeps
+    // peak heap at ~16 B/edge + O(n), which is what lets the
+    // million-node Twitter configuration generate in streaming memory.
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
 
     // Seed: a clique on m+1 nodes (guarantees every early node has
     // degree ≥ m and the endpoint pool is nonempty).
     for u in 0..=(m as NodeId) {
         for v in (u + 1)..=(m as NodeId) {
-            b.add_edge(u, v);
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -121,12 +126,11 @@ pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
             }
         }
         for &t in &targets {
-            b.add_edge(new, t);
             endpoints.push(new);
             endpoints.push(t);
         }
     }
-    b.build()
+    crate::csr::from_endpoint_pairs(n, &endpoints)
 }
 
 /// Watts–Strogatz small-world graph: ring lattice with `k` neighbors per

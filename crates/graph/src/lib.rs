@@ -8,6 +8,13 @@
 //!
 //! * [`csr`] — a compact immutable CSR (compressed sparse row) graph
 //!   plus a mutable [`csr::GraphBuilder`].
+//! * [`adjacency`] — the [`Adjacency`] trait the BFS kernels are
+//!   generic over, implemented by plain and compressed CSR.
+//! * [`compressed`] — delta-encoded, varint-packed adjacency
+//!   ([`compressed::CompressedCsr`]) with a streaming block-wise
+//!   decoder, for the bandwidth-bound million-node tier.
+//! * [`container`] — the `.tgraph` binary graph container
+//!   (magic/version/LE header, CRC-32-checksummed sections).
 //! * [`bfs`] — the BFS toolkit: single-source `h`-hop BFS and the
 //!   multi-source **Batch BFS** of Algorithm 1, with reusable,
 //!   epoch-stamped scratch space so repeated searches allocate nothing.
@@ -31,7 +38,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adjacency;
 pub mod bfs;
+pub mod codec;
+pub mod compressed;
+pub mod container;
+pub mod crc;
 pub mod csr;
 pub mod dist;
 pub mod generators;
@@ -41,10 +53,13 @@ pub mod pool;
 pub mod relabel;
 pub mod vicinity;
 
+pub use adjacency::Adjacency;
 pub use bfs::{
     multi_mask_counts, BfsKernel, BfsScratch, MsBfsScratch, MAX_GROUP_SOURCES, MULTI_MIN_SOURCES,
     SOURCE_GROUP_SIZE,
 };
+pub use compressed::CompressedCsr;
+pub use container::{decode_tgraph, encode_tgraph, is_tgraph, TgraphFile, TGRAPH_MAGIC};
 pub use csr::{CsrGraph, EdgeError, GraphBuilder, NodeId};
 pub use pool::{PooledMultiScratch, PooledScratch, ScratchPool, PARALLEL_MIN_NODES};
 pub use relabel::{RelabeledGraph, Relabeling};

@@ -18,6 +18,7 @@
 //! counterpart designed for the same sharing (asserted at compile time
 //! below).
 
+use crate::adjacency::Adjacency;
 use crate::bfs::{BfsScratch, MsBfsScratch};
 use crate::csr::CsrGraph;
 use std::ops::{Deref, DerefMut};
@@ -55,8 +56,8 @@ impl ScratchPool {
         }
     }
 
-    /// Pool sized for `g`.
-    pub fn for_graph(g: &CsrGraph) -> Self {
+    /// Pool sized for `g` (any adjacency encoding).
+    pub fn for_graph<G: Adjacency>(g: &G) -> Self {
         Self::new(g.num_nodes())
     }
 
@@ -184,6 +185,7 @@ impl Drop for PooledMultiScratch<'_> {
 const _: () = {
     const fn assert_sync<T: Sync>() {}
     assert_sync::<CsrGraph>();
+    assert_sync::<crate::compressed::CompressedCsr>();
     assert_sync::<crate::VicinityIndex>();
     assert_sync::<ScratchPool>();
     assert_sync::<PooledScratch<'_>>();

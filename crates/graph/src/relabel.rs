@@ -18,6 +18,7 @@
 //! and reported node ids stay in original id space; results are
 //! bit-identical either way (asserted in `tests/kernels.rs`).
 
+use crate::adjacency::Adjacency;
 use crate::csr::{CsrGraph, NodeId};
 
 /// A bijection between a graph's original node ids and a
@@ -39,7 +40,7 @@ impl Relabeling {
     /// CSR — assigns the next block of new ids. High-degree hubs and
     /// their vicinities end up front-packed and contiguous;
     /// disconnected low-degree debris trails at the end.
-    pub fn locality_order(g: &CsrGraph) -> Self {
+    pub fn locality_order<G: Adjacency>(g: &G) -> Self {
         let n = g.num_nodes();
         let mut seeds: Vec<NodeId> = (0..n as NodeId).collect();
         seeds.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
@@ -55,7 +56,7 @@ impl Relabeling {
             while qi < to_old.len() {
                 let u = to_old[qi];
                 qi += 1;
-                for &v in g.neighbors(u) {
+                for v in g.neighbors_iter(u) {
                     if !seen[v as usize] {
                         seen[v as usize] = true;
                         to_old.push(v);
@@ -68,6 +69,26 @@ impl Relabeling {
             to_new[old as usize] = new as NodeId;
         }
         Relabeling { to_new, to_old }
+    }
+
+    /// Reconstruct a permutation from its `to_old` direction (the form
+    /// the `.tgraph` container stores). Returns `None` unless the
+    /// slice is a bijection over `0..len` — the validation gate for
+    /// untrusted permutation sections.
+    pub fn from_to_old(to_old: Vec<NodeId>) -> Option<Self> {
+        let n = to_old.len();
+        if n > u32::MAX as usize {
+            return None;
+        }
+        let mut to_new = vec![NodeId::MAX; n];
+        for (new, &old) in to_old.iter().enumerate() {
+            let slot = to_new.get_mut(old as usize)?;
+            if *slot != NodeId::MAX {
+                return None; // duplicate image
+            }
+            *slot = new as NodeId;
+        }
+        Some(Relabeling { to_new, to_old })
     }
 
     /// The identity permutation over `n` ids (useful as a no-op
@@ -118,21 +139,41 @@ impl Relabeling {
 /// A graph bundled with the permutation that produced it: the
 /// relabeled density substrate plus both direction maps, built once
 /// and shared (`Arc`) by every engine over the same graph version.
+///
+/// Generic over the adjacency encoding: the substrate of a plain
+/// [`CsrGraph`] is a plain CSR, the substrate of a
+/// [`crate::compressed::CompressedCsr`] stays compressed.
 #[derive(Debug, Clone)]
-pub struct RelabeledGraph {
-    graph: CsrGraph,
+pub struct RelabeledGraph<G = CsrGraph> {
+    graph: G,
     map: Relabeling,
     /// Fingerprint of the *original* graph, so engines can assert the
     /// substrate matches the graph they sample on.
     original_fingerprint: u64,
 }
 
-impl RelabeledGraph {
+impl<G: Adjacency> RelabeledGraph<G> {
     /// Build the locality-ordered substrate for `g`.
-    pub fn build(g: &CsrGraph) -> Self {
-        let map = Relabeling::locality_order(g);
+    pub fn build(g: &G) -> Self {
+        Self::with_map(g, Relabeling::locality_order(g))
+    }
+
+    /// Build the substrate for `g` under a caller-supplied permutation
+    /// (e.g. one precomputed and shipped in a `.tgraph` container).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` covers a different node count than `g`.
+    pub fn with_map(g: &G, map: Relabeling) -> Self {
+        assert_eq!(
+            map.len(),
+            g.num_nodes(),
+            "relabeling covers {} ids, graph has {} nodes",
+            map.len(),
+            g.num_nodes()
+        );
         RelabeledGraph {
-            graph: g.relabeled(&map),
+            graph: g.relabeled_twin(&map),
             map,
             original_fingerprint: g.fingerprint(),
         }
@@ -140,7 +181,7 @@ impl RelabeledGraph {
 
     /// The relabeled graph (isomorphic to the original).
     #[inline]
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &G {
         &self.graph
     }
 
@@ -151,8 +192,8 @@ impl RelabeledGraph {
     }
 
     /// Was this substrate built from (a graph structurally identical
-    /// to) `g`? Compares [`CsrGraph::fingerprint`]s.
-    pub fn matches_original(&self, g: &CsrGraph) -> bool {
+    /// to) `g`? Compares fingerprints, which are encoding-independent.
+    pub fn matches_original<H: Adjacency>(&self, g: &H) -> bool {
         self.original_fingerprint == g.fingerprint()
     }
 }

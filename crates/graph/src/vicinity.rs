@@ -7,8 +7,9 @@
 //! "can be efficiently updated as the graph changes". [`VicinityIndex`]
 //! implements exactly that, including the incremental update.
 
+use crate::adjacency::Adjacency;
 use crate::bfs::{BfsKernel, BfsScratch};
-use crate::csr::{CsrGraph, NodeId};
+use crate::csr::NodeId;
 use crate::pool::PARALLEL_MIN_NODES;
 
 /// Per-level vicinity node-set sizes for every node of a graph:
@@ -24,14 +25,14 @@ impl VicinityIndex {
     /// Build the index for levels `1..=max_level` with a single-threaded
     /// sweep (one `max_level`-hop BFS per node), picking the BFS kernel
     /// automatically.
-    pub fn build(g: &CsrGraph, max_level: u32) -> Self {
+    pub fn build<G: Adjacency>(g: &G, max_level: u32) -> Self {
         Self::build_with_kernel(g, max_level, BfsKernel::Auto)
     }
 
     /// [`VicinityIndex::build`] with an explicit scalar/bitset BFS
     /// kernel choice. Both kernels produce the identical index — the
     /// override exists for tests and benches.
-    pub fn build_with_kernel(g: &CsrGraph, max_level: u32, kernel: BfsKernel) -> Self {
+    pub fn build_with_kernel<G: Adjacency>(g: &G, max_level: u32, kernel: BfsKernel) -> Self {
         assert!(max_level >= 1, "max_level must be at least 1");
         let n = g.num_nodes();
         let use_bitset = kernel.use_bitset(g, max_level);
@@ -56,7 +57,7 @@ impl VicinityIndex {
     /// threads; node ranges are partitioned statically). Graphs below
     /// [`PARALLEL_MIN_NODES`] fall back to the serial sweep — the
     /// threshold `tesc::batch` shares for its own fan-out decision.
-    pub fn build_parallel(g: &CsrGraph, max_level: u32, threads: usize) -> Self {
+    pub fn build_parallel<G: Adjacency>(g: &G, max_level: u32, threads: usize) -> Self {
         assert!(max_level >= 1, "max_level must be at least 1");
         let threads = threads.max(1);
         let n = g.num_nodes();
@@ -119,7 +120,7 @@ impl VicinityIndex {
     /// a single-pair workload can skip the full offline sweep. The
     /// full [`VicinityIndex::build`] is the right choice when many
     /// event pairs share one graph.
-    pub fn build_for_nodes(g: &CsrGraph, nodes: &[NodeId], max_level: u32) -> Self {
+    pub fn build_for_nodes<G: Adjacency>(g: &G, nodes: &[NodeId], max_level: u32) -> Self {
         assert!(max_level >= 1, "max_level must be at least 1");
         let n = g.num_nodes();
         let use_bitset = BfsKernel::Auto.use_bitset(g, max_level);
@@ -141,8 +142,8 @@ impl VicinityIndex {
     }
 
     #[allow(clippy::too_many_arguments)] // internal fill helper
-    fn fill_node(
-        g: &CsrGraph,
+    fn fill_node<G: Adjacency>(
+        g: &G,
         scratch: &mut BfsScratch,
         v: NodeId,
         max_level: u32,
@@ -196,7 +197,7 @@ impl VicinityIndex {
     /// we recompute exactly that dirty set against `g_new`. Pass the
     /// pre-change graph as `g_old` when edges were removed (the dirty
     /// region must be discovered through the now-deleted edges too).
-    pub fn refresh(&mut self, g_new: &CsrGraph, g_old: Option<&CsrGraph>, touched: &[NodeId]) {
+    pub fn refresh<G: Adjacency>(&mut self, g_new: &G, g_old: Option<&G>, touched: &[NodeId]) {
         assert_eq!(
             self.levels[0].len(),
             g_new.num_nodes(),
@@ -234,10 +235,10 @@ impl VicinityIndex {
     /// consistent view of the old graph while the returned index pairs
     /// with `g_new` as the next version.
     #[must_use]
-    pub fn refreshed(
+    pub fn refreshed<G: Adjacency>(
         &self,
-        g_new: &CsrGraph,
-        g_old: Option<&CsrGraph>,
+        g_new: &G,
+        g_old: Option<&G>,
         touched: &[NodeId],
     ) -> Self {
         let mut next = self.clone();
@@ -249,8 +250,8 @@ impl VicinityIndex {
 /// Per-depth first-reach counts of a `max_level`-hop BFS from `v`,
 /// written into `counts[0..=max_level]` (cleared first), via whichever
 /// kernel was resolved — both kernels tally identical depths.
-fn depth_counts(
-    g: &CsrGraph,
+fn depth_counts<G: Adjacency>(
+    g: &G,
     scratch: &mut BfsScratch,
     v: NodeId,
     max_level: u32,
@@ -273,7 +274,7 @@ fn depth_counts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::csr::from_edges;
+    use crate::csr::{from_edges, CsrGraph};
 
     fn path5() -> CsrGraph {
         from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])

@@ -39,7 +39,8 @@ DATA:
                          with planted `wireless`/`sensor` (attracting),
                          `texture`/`java` (repulsing) and `random` events
   --graph FILE           edge-list file (`num_nodes num_edges` header,
-                         then one `u v` pair per line)
+                         then one `u v` pair per line) or a `.tgraph`
+                         container from `tesc-cli convert`
   --events FILE          named events file (`name v1,v2,...` per line)
 
 OPTIONS:
@@ -187,8 +188,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let events_path = flags
                     .get("events")
                     .ok_or("pass --demo, or --graph and --events")?;
-                let graph = tesc_graph::io::read_edge_list(&mut open(graph_path)?)
-                    .map_err(|e| format!("reading {graph_path}: {e}"))?;
+                let graph = tesc_repro::load_graph(graph_path)?.into_csr();
                 let events = tesc_events::io::read_named_events(&mut open(events_path)?)
                     .map_err(|e| format!("reading {events_path}: {e}"))?;
                 (graph, events)

@@ -1,6 +1,7 @@
 //! Seeded mutation fuzzing of every parser that faces untrusted
-//! bytes: the HTTP request reader, the JSON codec, and the two
-//! persistence decoders (WAL segment scan, snapshot decode).
+//! bytes: the HTTP request reader, the JSON codec, and the
+//! persistence decoders (WAL segment scan, snapshot decode, and the
+//! `.tgraph` compressed-graph container).
 //!
 //! Each corpus starts from valid seeds and applies 128 deterministic
 //! mutations per seed — truncations, byte flips, random splices,
@@ -220,6 +221,41 @@ fn wal_scan_survives_mutation_fuzzing() {
         // Must return — Ok with a clean record prefix, or a typed
         // header error — never panic or over-allocate.
         let _ = scan_segment(&mutated);
+    }
+}
+
+#[test]
+fn tgraph_decode_survives_mutation_fuzzing() {
+    use tesc_graph::{decode_tgraph, encode_tgraph, CompressedCsr, Relabeling};
+    let graph = grid(7, 5);
+    let compressed = CompressedCsr::from_graph(&graph);
+    let perm = Relabeling::locality_order(&graph);
+    // Fuzz both container shapes: bare, and with the optional
+    // embedded locality permutation section.
+    for (s, seed) in [
+        encode_tgraph(&compressed, None),
+        encode_tgraph(&compressed, Some(&perm)),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut rng = StdRng::seed_from_u64(0x7064 ^ s as u64);
+        for _case in 0..4 * CASES_PER_SEED {
+            let mutated = mutate(seed, &mut rng);
+            // Typed error or a faithful decode — never a panic. The
+            // section CRCs plus the structural fingerprint make an
+            // accepted mutant decode to the seed graph.
+            if let Ok(t) = decode_tgraph(&mutated) {
+                assert_eq!(t.graph, compressed);
+            }
+        }
+        // Every truncation point, exhaustively.
+        for k in 0..seed.len() {
+            assert!(
+                decode_tgraph(&seed[..k]).is_err(),
+                "tgraph shape {s} truncated at {k} must not decode"
+            );
+        }
     }
 }
 

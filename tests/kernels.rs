@@ -208,6 +208,62 @@ fn engine_outcomes_bit_identical_across_kernel_relabel_cache_threads() {
     }
 }
 
+/// The same matrix on the compressed-CSR substrate: an engine whose
+/// adjacency streams from the delta/varint rows must be bit-identical
+/// to the plain-CSR scalar reference for every sampler × kernel ×
+/// relabel × cache × thread-count combination.
+#[test]
+fn compressed_csr_outcomes_bit_identical_to_plain_across_matrix() {
+    use tesc_graph::CompressedCsr;
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(80));
+    let compressed = CompressedCsr::from_graph(&s.graph);
+    assert_eq!(compressed.fingerprint(), s.graph.fingerprint());
+    let idx = VicinityIndex::build(&s.graph, 2);
+    let cidx = VicinityIndex::build(&compressed, 2);
+    let (va, vb) = s.plant_positive_keyword_pair(12, 10, 0.25, &mut rng(81));
+    let cfg_for = |sampler| {
+        TescConfig::new(2)
+            .with_sample_size(200)
+            .with_tail(Tail::Upper)
+            .with_sampler(sampler)
+    };
+    for sampler in all_samplers() {
+        let reference = TescEngine::with_vicinity_index(&s.graph, &idx)
+            .with_density_kernel(BfsKernel::Scalar)
+            .test(&va, &vb, &cfg_for(sampler), &mut rng(82))
+            .unwrap();
+        for kernel in [BfsKernel::Scalar, BfsKernel::Bitset, BfsKernel::Multi] {
+            for relabel in [false, true] {
+                for cached in [false, true] {
+                    for threads in [1usize, 4] {
+                        let mut engine = TescEngine::with_vicinity_index(&compressed, &cidx)
+                            .with_density_kernel(kernel)
+                            .with_relabeling(relabel)
+                            .with_density_threads(threads);
+                        if cached {
+                            engine = engine.with_density_cache(std::sync::Arc::new(
+                                DensityCache::for_graph(&compressed),
+                            ));
+                        }
+                        let got = engine
+                            .test(&va, &vb, &cfg_for(sampler), &mut rng(82))
+                            .unwrap();
+                        assert_eq!(
+                            reference, got,
+                            "{sampler}: compressed kernel={kernel} relabel={relabel} cache={cached} threads={threads}"
+                        );
+                        assert_eq!(
+                            reference.z().to_bits(),
+                            got.z().to_bits(),
+                            "{sampler}: compressed z bits differ (kernel={kernel} relabel={relabel} cache={cached} threads={threads})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn relabel_round_trip_identity_on_random_graphs() {
     for case in 0..CASES {

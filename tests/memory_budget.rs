@@ -1,0 +1,94 @@
+//! Peak-heap guardrail for the large-scale generator.
+//!
+//! `TwitterConfig::peak_build_bytes` documents the streaming-build
+//! bound (~16 B/edge + ~16 B/node + 1 MiB slack); this test holds
+//! `TwitterScenario::build` to it with a counting global allocator,
+//! so a regression to buffered generation (e.g. routing the generator
+//! back through the sort + dedup `GraphBuilder`, ~24 B/edge) fails
+//! here instead of OOMing at the million-node configuration.
+//!
+//! This file intentionally contains a single test: integration tests
+//! in one binary run on concurrent threads, and any neighbor's
+//! allocations would pollute the peak measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tesc_datasets::twitter_like::{TwitterConfig, TwitterScenario};
+
+/// System allocator wrapper tracking live bytes and their high-water
+/// mark. Relaxed ordering is fine: the test is single-threaded and
+/// only reads the counters after the build returns.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(p, layout);
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let q = System.realloc(p, layout, new_size);
+        if !q.is_null() {
+            if new_size >= layout.size() {
+                note_alloc(new_size - layout.size());
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        q
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn twitter_build_respects_documented_peak_heap_bound() {
+    // 200k nodes × m = 8 ≈ 1.6M edges: large enough that the O(E)
+    // arrays dominate the 1 MiB slack, small enough for CI.
+    let cfg = TwitterConfig {
+        num_nodes: 200_000,
+        ..TwitterConfig::default()
+    };
+    let bound = cfg.peak_build_bytes();
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let scenario = TwitterScenario::build(cfg, &mut rng);
+    let peak = PEAK.load(Ordering::Relaxed) - baseline;
+
+    assert_eq!(scenario.graph.num_edges(), cfg.num_edges());
+    assert!(
+        peak <= bound,
+        "build peaked at {peak} B over baseline, documented bound is {bound} B \
+         ({} edges)",
+        cfg.num_edges()
+    );
+    // And the bound is tight enough to mean something: a buffered
+    // edge-list build (+8 B/edge for the pair copy) would exceed it.
+    assert!(
+        bound < peak + 8 * cfg.num_edges(),
+        "bound {bound} B is slack enough to hide an extra edge-list copy \
+         (peak {peak} B)"
+    );
+}

@@ -283,6 +283,19 @@ fn happy_path_covers_every_endpoint() {
         get_i64(cache, "entries") + get_i64(cache, "evictions"),
         "cache books must balance"
     );
+    let memory = stats.get("memory").expect("memory");
+    assert!(get_i64(memory, "graph_plain_bytes") > 0);
+    assert!(get_i64(memory, "graph_compressed_bytes") > 0);
+    assert!(
+        get_i64(memory, "graph_compressed_bytes") < get_i64(memory, "graph_plain_bytes"),
+        "delta/varint encoding must undercut plain CSR"
+    );
+    assert!(get_i64(memory, "event_bytes") > 0);
+    assert_eq!(
+        get_i64(memory, "cache_resident_bytes"),
+        get_i64(cache, "resident_bytes"),
+        "memory section mirrors the cache's live figure"
+    );
     for (name, ep) in match endpoints {
         Json::Obj(members) => members.iter(),
         _ => panic!("endpoints must be an object"),
