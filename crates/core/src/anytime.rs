@@ -64,8 +64,9 @@ use crate::engine::{Statistic, TescEngine, TescResult};
 use crate::planner::PairSetPlan;
 use crate::rank::{content_seed, direction_score, score_bound, RankEntry, RankReport, RankRequest};
 use crate::sampler::SamplerKind;
-use std::time::Instant;
-use tesc_graph::Adjacency;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+use tesc_graph::{Adjacency, Interrupted};
 use tesc_stats::confidence::{
     projected_score_interval, spearman_scale, untied_kendall_scale, ScoreInterval,
 };
@@ -105,13 +106,27 @@ struct FrozenIn {
 }
 
 /// The progressive executor behind [`crate::rank::RankMode::Anytime`].
-/// Called from [`crate::rank::rank_pairs`]; requires `req.top_k` to be
-/// set.
+/// Called from [`crate::rank::rank_pairs_budgeted`]; requires
+/// `req.top_k` to be set.
+///
+/// # Budget semantics
+///
+/// The engine's [`tesc_graph::Budget`] is checked before every
+/// escalation tier (with a predictive skip: a tier is not even started
+/// when less time remains than the *previous, half-sized* tier took)
+/// and per pair inside every scoring loop. When the budget runs out
+/// after at least one tier completed, the executor *degrades*: it
+/// returns `Ok` with [`RankReport::degraded`] set, ranking the frozen
+/// IN pairs, any final-round survivors already scored at full `n`, and
+/// the projected point estimates of the last completed tier — each
+/// entry's [`RankEntry::decided_at_n`] records the tier its score came
+/// from. Only when *nothing* was decided yet does it return the typed
+/// [`Interrupted`] error.
 pub(crate) fn rank_pairs_anytime<G: Adjacency>(
     engine: &TescEngine<'_, G>,
     req: &RankRequest,
     eps: f64,
-) -> RankReport {
+) -> Result<RankReport, Interrupted> {
     assert!(
         (0.0..1.0).contains(&eps),
         "anytime eps must be in [0, 1), got {eps}"
@@ -136,18 +151,60 @@ pub(crate) fn rank_pairs_anytime<G: Adjacency>(
     // (score, original index, result, decided_at_n) of final-round
     // survivors, accumulated exactly like the exact executor does.
     let mut computed: Vec<(f64, usize, TescResult, usize)> = Vec::new();
+    // Projected point estimates of the last *completed* intermediate
+    // tier, for every pair that stayed undecided there — the raw
+    // material of a degraded report. Replaced wholesale each tier.
+    let mut last_estimates: Vec<(f64, usize, TescResult, usize)> = Vec::new();
+    let mut last_tier_wall = Duration::ZERO;
+    let mut degraded = false;
+    let budget = engine.budget();
+    // Something rankable exists once any tier decided or estimated a
+    // pair — the gate between degrading (Ok) and failing (Err).
+    macro_rules! has_decided {
+        () => {
+            !(frozen.is_empty() && computed.is_empty() && last_estimates.is_empty())
+        };
+    }
 
-    for (tier, &m) in schedule.iter().enumerate() {
+    'tiers: for (tier, &m) in schedule.iter().enumerate() {
         if undecided.is_empty() {
             break;
         }
+        // Budget gate: bail before the tier if already exhausted, or —
+        // predictively — if less time remains than the previous
+        // (half-sized, so ~2× cheaper) tier took, since starting a
+        // tier we cannot finish only burns the time a degraded answer
+        // could have been returned in.
+        let predicted_short =
+            tier > 0 && matches!(budget.remaining(), Some(rem) if rem < last_tier_wall);
+        if let Err(i) = budget.check() {
+            if !has_decided!() {
+                return Err(i);
+            }
+            degraded = true;
+            break 'tiers;
+        }
+        if predicted_short && has_decided!() {
+            degraded = true;
+            break 'tiers;
+        }
+        let tier_start = Instant::now();
         let is_final = tier + 1 == schedule.len();
         let cfg_m = req.cfg.with_sample_size(m);
         let sub_pairs: Vec<EventPair> = undecided.iter().map(|&i| req.pairs[i].clone()).collect();
         let sub_seeds: Vec<u64> = undecided.iter().map(|&i| seeds[i]).collect();
         let sub_threads = threads.clamp(1, sub_pairs.len());
         let plan = PairSetPlan::build(engine, &sub_pairs, &cfg_m, &sub_seeds, sub_threads);
-        let fused = plan.run_density(sub_threads);
+        let fused = match plan.run_density_budgeted(sub_threads, budget) {
+            Ok(fused) => fused,
+            Err(i) => {
+                if !has_decided!() {
+                    return Err(i);
+                }
+                degraded = true;
+                break 'tiers;
+            }
+        };
         rounds += 1;
         distinct_refs += plan.distinct_refs();
         sampled_refs += plan.sampled_refs();
@@ -163,6 +220,16 @@ pub(crate) fn rank_pairs_anytime<G: Adjacency>(
             top_scores.sort_by(|a, b| cmp_score_desc(*a, *b));
             top_scores.truncate(k);
             for (pos, &index) in undecided.iter().enumerate() {
+                if let Err(i) = budget.check() {
+                    // Mid-final-round exhaustion: survivors already
+                    // scored at full n stay; the rest fall back to
+                    // their last-tier estimates at assembly.
+                    if !has_decided!() {
+                        return Err(i);
+                    }
+                    degraded = true;
+                    break 'tiers;
+                }
                 let vectors = match plan.vectors(pos, &fused) {
                     Ok(v) => v,
                     Err(_) => {
@@ -202,6 +269,16 @@ pub(crate) fn rank_pairs_anytime<G: Adjacency>(
         let mut scored: Vec<Scored> = Vec::new();
         let mut next: Vec<usize> = Vec::new(); // escalate unconditionally
         for (pos, &index) in undecided.iter().enumerate() {
+            if let Err(i) = budget.check() {
+                // Mid-tier exhaustion: this tier's partial scores are
+                // discarded; earlier completed tiers carry the
+                // degraded answer.
+                if !has_decided!() {
+                    return Err(i);
+                }
+                degraded = true;
+                break 'tiers;
+            }
             let Ok(vectors) = plan.vectors(pos, &fused) else {
                 // A pair can fail at a small tier (e.g. the rejection
                 // sampler's draw budget scales with m) yet succeed at
@@ -239,6 +316,7 @@ pub(crate) fn rank_pairs_anytime<G: Adjacency>(
         // candidate: scored intervals, frozen IN points, and the
         // unconditional escalators as (−∞, +∞) unknowns.
         let alive = scored.len() + next.len() + frozen.len();
+        let mut survivors: Vec<Scored> = Vec::new();
         if alive > k {
             let mut lows: Vec<f64> = scored.iter().map(|s| s.ci.lo).collect();
             let mut highs: Vec<f64> = scored.iter().map(|s| s.ci.hi).collect();
@@ -264,20 +342,43 @@ pub(crate) fn rank_pairs_anytime<G: Adjacency>(
                         decided_at_n: m,
                     });
                 } else {
-                    next.push(s.index);
+                    survivors.push(s);
                 }
             }
         } else {
             // K or fewer candidates left: every survivor will be
             // reported, so keep refining them all.
-            next.extend(scored.into_iter().map(|s| s.index));
+            survivors = scored;
         }
+        next.extend(survivors.iter().map(|s| s.index));
+        // This tier completed: its survivors' projected point
+        // estimates become the degradation fallback should the budget
+        // die before the next tier finishes.
+        last_estimates = survivors
+            .into_iter()
+            .map(|s| (s.ci.point, s.index, s.result, m))
+            .collect();
+        last_tier_wall = tier_start.elapsed();
         next.sort_unstable();
         undecided = next;
     }
 
     // Merge frozen IN pairs with final-round survivors and rank with
-    // the exact executor's deterministic comparator.
+    // the exact executor's deterministic comparator. A degraded run
+    // additionally falls back to the last completed tier's projected
+    // estimates for every pair nothing later decided.
+    if degraded {
+        let decided: HashSet<usize> = frozen
+            .iter()
+            .map(|f| f.index)
+            .chain(computed.iter().map(|c| c.1))
+            .collect();
+        computed.extend(
+            last_estimates
+                .into_iter()
+                .filter(|e| !decided.contains(&e.1)),
+        );
+    }
     computed.extend(
         frozen
             .into_iter()
@@ -302,7 +403,7 @@ pub(crate) fn rank_pairs_anytime<G: Adjacency>(
             decided_at_n,
         })
         .collect();
-    RankReport {
+    Ok(RankReport {
         ranked,
         pruned,
         failed,
@@ -312,8 +413,9 @@ pub(crate) fn rank_pairs_anytime<G: Adjacency>(
         fused_bfs,
         threads,
         rounds,
+        degraded,
         wall: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]

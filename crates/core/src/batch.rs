@@ -66,7 +66,7 @@ use rand::rngs::StdRng;
 use rand::{SeedableRng, SplitMix64};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use tesc_graph::{Adjacency, NodeId, PARALLEL_MIN_NODES};
+use tesc_graph::{Adjacency, Interrupted, NodeId, PARALLEL_MIN_NODES};
 use tesc_stats::significance::Verdict;
 
 /// Batch-side companion to [`PARALLEL_MIN_NODES`]: even on a graph
@@ -283,23 +283,72 @@ pub fn run_batch_serial<G: Adjacency>(
 /// node threshold is shared with `VicinityIndex::build_parallel` so
 /// the two fan-out decisions cannot drift apart.
 pub fn run_batch<G: Adjacency>(engine: &TescEngine<'_, G>, req: &BatchRequest) -> BatchReport {
+    let start = Instant::now();
+    match run_batch_budgeted(engine, req) {
+        Ok(report) => report,
+        // Only reachable when the engine carries a real budget: report
+        // every pair as interrupted rather than hiding the exhaustion.
+        Err(i) => BatchReport {
+            outcomes: req
+                .pairs
+                .iter()
+                .enumerate()
+                .map(|(index, pair)| PairOutcome {
+                    index,
+                    label: pair.label.clone(),
+                    result: Err(TescError::Interrupted(i)),
+                })
+                .collect(),
+            threads: req.effective_threads(),
+            wall: start.elapsed(),
+        },
+    }
+}
+
+/// [`run_batch`] under the engine's [`Budget`](tesc_graph::Budget)
+/// (see [`TescEngine::with_budget`]): the budget is checked per pair
+/// on the serial path and per BFS frontier level / source group inside
+/// the fused density pass, and an exhausted budget fails the **whole**
+/// request with the typed error — no partial outcome list escapes, and
+/// caches hold only counts from completed traversals. With the default
+/// unlimited budget this is exactly [`run_batch`].
+pub fn run_batch_budgeted<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
+    req: &BatchRequest,
+) -> Result<BatchReport, Interrupted> {
     let threads = req.effective_threads();
     let tiny =
         engine.graph().num_nodes() < PARALLEL_MIN_NODES && req.pairs.len() < PARALLEL_MIN_PAIRS;
-    if threads <= 1 || tiny {
-        return run_batch_serial(engine, req);
-    }
     let start = Instant::now();
+    if threads <= 1 || tiny {
+        let mut outcomes = Vec::with_capacity(req.pairs.len());
+        for (i, pair) in req.pairs.iter().enumerate() {
+            engine.budget().check()?;
+            outcomes.push(run_one(engine, req, i, pair));
+        }
+        // Sticky re-check: a pair interrupted mid-test left an
+        // Err(Interrupted) outcome above; this check is then guaranteed
+        // to fail, discarding the partial outcome list.
+        engine.budget().check()?;
+        return Ok(BatchReport {
+            outcomes,
+            threads: 1,
+            wall: start.elapsed(),
+        });
+    }
     let seeds: Vec<u64> = (0..req.pairs.len())
         .map(|i| pair_seed(req.seed, i))
         .collect();
     let plan = crate::planner::PairSetPlan::build(engine, &req.pairs, &req.cfg, &seeds, threads);
-    let fused = plan.run_density(threads);
-    BatchReport {
-        outcomes: plan.finish(&fused),
+    engine.budget().check()?;
+    let fused = plan.run_density_budgeted(threads, engine.budget())?;
+    let outcomes = plan.finish(&fused);
+    engine.budget().check()?;
+    Ok(BatchReport {
+        outcomes,
         threads,
         wall: start.elapsed(),
-    }
+    })
 }
 
 /// The pre-planner parallel executor: scoped worker threads pulling

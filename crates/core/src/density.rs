@@ -16,6 +16,7 @@
 use crate::cache::{CachedCount, DensityCache, EventKey, ProbeGovernor};
 use tesc_events::NodeMask;
 use tesc_graph::bfs::{BfsScratch, MsBfsScratch};
+use tesc_graph::budget::{Budget, Interrupted};
 use tesc_graph::csr::CsrGraph;
 use tesc_graph::relabel::Relabeling;
 use tesc_graph::{Adjacency, NodeId, ScratchPool};
@@ -165,11 +166,60 @@ impl<'a, G: Adjacency> KernelPlan<'a, G> {
 
     /// [`DensityCounts`] for the original-space reference node `r`.
     pub fn counts(&self, scratch: &mut BfsScratch, r: NodeId) -> DensityCounts {
+        self.counts_budgeted(scratch, r, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`KernelPlan::counts`] under a [`Budget`]: the BFS checks the
+    /// budget per frontier level and an interrupted search returns the
+    /// typed error instead of partial counts.
+    pub fn counts_budgeted(
+        &self,
+        scratch: &mut BfsScratch,
+        r: NodeId,
+        budget: &Budget,
+    ) -> Result<DensityCounts, Interrupted> {
         let rr = self.translate.map_or(r, |m| m.to_new(r));
         if self.use_bitset {
-            density_counts_bitset(self.graph, scratch, rr, self.h, self.mask_a, self.mask_b)
+            let vicinity_size =
+                scratch.visit_h_vicinity_bitset_budgeted(self.graph, &[rr], self.h, budget)?;
+            let (aw, bw) = (self.mask_a.words(), self.mask_b.words());
+            let mut count_a = 0usize;
+            let mut count_b = 0usize;
+            let mut count_union = 0usize;
+            for (i, &vw) in scratch.visited_words().iter().enumerate() {
+                if vw == 0 {
+                    continue;
+                }
+                let (a, b) = (aw[i], bw[i]);
+                count_a += (vw & a).count_ones() as usize;
+                count_b += (vw & b).count_ones() as usize;
+                count_union += (vw & (a | b)).count_ones() as usize;
+            }
+            Ok(DensityCounts {
+                vicinity_size,
+                count_a,
+                count_b,
+                count_union,
+            })
         } else {
-            density_counts(self.graph, scratch, rr, self.h, self.mask_a, self.mask_b)
+            let mut count_a = 0usize;
+            let mut count_b = 0usize;
+            let mut count_union = 0usize;
+            let vicinity_size =
+                scratch.visit_h_vicinity_budgeted(self.graph, &[rr], self.h, budget, |v, _| {
+                    let in_a = self.mask_a.contains(v);
+                    let in_b = self.mask_b.contains(v);
+                    count_a += in_a as usize;
+                    count_b += in_b as usize;
+                    count_union += (in_a || in_b) as usize;
+                })?;
+            Ok(DensityCounts {
+                vicinity_size,
+                count_a,
+                count_b,
+                count_union,
+            })
         }
     }
 }
@@ -219,19 +269,35 @@ impl<G: Adjacency> MultiKernelPlan<'_, G> {
         slots: &[u32],
         counts: &mut Vec<u32>,
     ) -> usize {
+        self.counts_for_budgeted(scratch, r, slots, counts, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`MultiKernelPlan::counts_for`] under a [`Budget`]: the BFS
+    /// checks the budget per frontier level; an interrupted search
+    /// returns the typed error and `counts` must be discarded.
+    pub fn counts_for_budgeted(
+        &self,
+        scratch: &mut BfsScratch,
+        r: NodeId,
+        slots: &[u32],
+        counts: &mut Vec<u32>,
+        budget: &Budget,
+    ) -> Result<usize, Interrupted> {
         counts.clear();
         counts.resize(slots.len(), 0);
         let rr = self.translate.map_or(r, |m| m.to_new(r));
         if self.use_bitset {
-            let size = scratch.visit_h_vicinity_bitset(self.graph, &[rr], self.h);
+            let size =
+                scratch.visit_h_vicinity_bitset_budgeted(self.graph, &[rr], self.h, budget)?;
             let mask_words: Vec<&[u64]> = slots
                 .iter()
                 .map(|&s| self.masks[s as usize].words())
                 .collect();
             scratch.visited_multi_mask_counts(&mask_words, counts);
-            size
+            Ok(size)
         } else {
-            scratch.visit_h_vicinity(self.graph, &[rr], self.h, |v, _| {
+            scratch.visit_h_vicinity_budgeted(self.graph, &[rr], self.h, budget, |v, _| {
                 for (i, &s) in slots.iter().enumerate() {
                     counts[i] += self.masks[s as usize].contains(v) as u32;
                 }
@@ -288,6 +354,30 @@ impl<G: Adjacency> GroupKernelPlan<'_, G> {
         sizes: &mut [u32],
         counts: &mut [Vec<u32>],
     ) {
+        self.counts_for_group_budgeted(
+            scratch,
+            nodes,
+            slot_lists,
+            sizes,
+            counts,
+            &Budget::unlimited(),
+        )
+        .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`GroupKernelPlan::counts_for_group`] under a [`Budget`]: the
+    /// traversal checks the budget per frontier level; an interrupted
+    /// group returns the typed error and its outputs must be
+    /// discarded.
+    pub fn counts_for_group_budgeted(
+        &self,
+        scratch: &mut MsBfsScratch,
+        nodes: &[NodeId],
+        slot_lists: &[&[u32]],
+        sizes: &mut [u32],
+        counts: &mut [Vec<u32>],
+        budget: &Budget,
+    ) -> Result<(), Interrupted> {
         debug_assert_eq!(nodes.len(), slot_lists.len());
         debug_assert_eq!(nodes.len(), sizes.len());
         debug_assert_eq!(nodes.len(), counts.len());
@@ -295,7 +385,7 @@ impl<G: Adjacency> GroupKernelPlan<'_, G> {
             Some(m) => nodes.iter().map(|&r| m.to_new(r)).collect(),
             None => nodes.to_vec(),
         };
-        scratch.visit_h_vicinity_multi(self.graph, &substrate, self.h);
+        scratch.visit_h_vicinity_multi_budgeted(self.graph, &substrate, self.h, budget)?;
         scratch.lane_sizes(sizes);
         for (slots, c) in slot_lists.iter().zip(counts.iter_mut()) {
             c.clear();
@@ -314,6 +404,7 @@ impl<G: Adjacency> GroupKernelPlan<'_, G> {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -432,9 +523,10 @@ pub(crate) fn run_grouped<G: Adjacency>(
     slots: &GroupSlots<'_>,
     threads: usize,
     group_size: usize,
-) -> (Vec<u32>, Vec<Vec<u32>>) {
+    budget: &Budget,
+) -> Result<(Vec<u32>, Vec<Vec<u32>>), Interrupted> {
     if nodes.is_empty() {
-        return (Vec::new(), Vec::new());
+        return Ok((Vec::new(), Vec::new()));
     }
     let group_size = group_size.clamp(1, tesc_graph::MAX_GROUP_SOURCES);
     let mut order: Vec<usize> = (0..nodes.len()).collect();
@@ -449,6 +541,12 @@ pub(crate) fn run_grouped<G: Adjacency>(
         threads,
         (Vec::new(), Vec::new()),
         |scratch, gi| {
+            // Exhaustion is sticky: skipped groups leave empty sentinel
+            // results, and the post-map check below is then guaranteed
+            // to discard the whole pass.
+            if budget.is_exhausted() {
+                return (Vec::new(), Vec::new());
+            }
             let start = gi * group_size;
             let end = (start + group_size).min(nodes.len());
             let idx = &order[start..end];
@@ -456,10 +554,20 @@ pub(crate) fn run_grouped<G: Adjacency>(
             let slot_lists: Vec<&[u32]> = idx.iter().map(|&i| slots.get(i)).collect();
             let mut sizes = vec![0u32; group.len()];
             let mut counts: Vec<Vec<u32>> = vec![Vec::new(); group.len()];
-            plan.counts_for_group(scratch, &group, &slot_lists, &mut sizes, &mut counts);
-            (sizes, counts)
+            match plan.counts_for_group_budgeted(
+                scratch,
+                &group,
+                &slot_lists,
+                &mut sizes,
+                &mut counts,
+                budget,
+            ) {
+                Ok(()) => (sizes, counts),
+                Err(_) => (Vec::new(), Vec::new()),
+            }
         },
     );
+    budget.check()?;
     let mut sizes = vec![0u32; nodes.len()];
     let mut counts: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
     for (gi, (group_sizes, group_counts)) in per_group.into_iter().enumerate() {
@@ -469,7 +577,7 @@ pub(crate) fn run_grouped<G: Adjacency>(
             counts[i] = c;
         }
     }
-    (sizes, counts)
+    Ok((sizes, counts))
 }
 
 /// Parallel density vectors through the **source-grouped multi-source
@@ -485,6 +593,20 @@ pub fn density_vectors_group_plan<G: Adjacency>(
     threads: usize,
     group_size: usize,
 ) -> (Vec<f64>, Vec<f64>) {
+    density_vectors_group_plan_budgeted(plan, pool, refs, threads, group_size, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`density_vectors_group_plan`] under a [`Budget`]: interrupted
+/// passes return the typed error with no partial output.
+pub fn density_vectors_group_plan_budgeted<G: Adjacency>(
+    plan: &GroupKernelPlan<'_, G>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    threads: usize,
+    group_size: usize,
+    budget: &Budget,
+) -> Result<(Vec<f64>, Vec<f64>), Interrupted> {
     assert_eq!(plan.slot_nodes.len(), 2, "expects the [a, b] slot pair");
     let (sizes, counts) = run_grouped(
         plan,
@@ -493,12 +615,13 @@ pub fn density_vectors_group_plan<G: Adjacency>(
         &GroupSlots::Same(&[0, 1]),
         threads,
         group_size,
-    );
-    sizes
+        budget,
+    )?;
+    Ok(sizes
         .iter()
         .zip(&counts)
         .map(|(&size, c)| (c[0] as f64 / size as f64, c[1] as f64 / size as f64))
-        .unzip()
+        .unzip())
 }
 
 /// Grouped [`DensityCounts`] (including the `a∪b` union count) for the
@@ -511,6 +634,20 @@ pub fn density_counts_group_plan<G: Adjacency>(
     threads: usize,
     group_size: usize,
 ) -> Vec<DensityCounts> {
+    density_counts_group_plan_budgeted(plan, pool, refs, threads, group_size, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`density_counts_group_plan`] under a [`Budget`]: interrupted
+/// passes return the typed error with no partial output.
+pub fn density_counts_group_plan_budgeted<G: Adjacency>(
+    plan: &GroupKernelPlan<'_, G>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    threads: usize,
+    group_size: usize,
+    budget: &Budget,
+) -> Result<Vec<DensityCounts>, Interrupted> {
     assert_eq!(plan.slot_nodes.len(), 3, "expects [a, b, union] slots");
     let (sizes, counts) = run_grouped(
         plan,
@@ -519,8 +656,9 @@ pub fn density_counts_group_plan<G: Adjacency>(
         &GroupSlots::Same(&[0, 1, 2]),
         threads,
         group_size,
-    );
-    sizes
+        budget,
+    )?;
+    Ok(sizes
         .iter()
         .zip(&counts)
         .map(|(&size, c)| DensityCounts {
@@ -529,7 +667,7 @@ pub fn density_counts_group_plan<G: Adjacency>(
             count_b: c[1] as usize,
             count_union: c[2] as usize,
         })
-        .collect()
+        .collect())
 }
 
 /// [`density_vectors_group_plan`] through a cross-pair
@@ -551,6 +689,38 @@ pub fn density_vectors_cached_group_plan<G: Adjacency>(
     group_size: usize,
     cache: &DensityCache,
 ) -> (Vec<f64>, Vec<f64>) {
+    density_vectors_cached_group_plan_budgeted(
+        plan,
+        pool,
+        refs,
+        key_a,
+        key_b,
+        threads,
+        group_size,
+        cache,
+        &Budget::unlimited(),
+    )
+    .expect("unlimited budget cannot exhaust")
+}
+
+/// [`density_vectors_cached_group_plan`] under a [`Budget`]. The
+/// budget is re-checked *before* the scatter/insert stage, so the
+/// cache only ever absorbs counts from fully completed traversals —
+/// an interrupted pass leaves it untouched (completed counts are exact
+/// content-addressed integers, so successful warming stays
+/// semantically invisible either way).
+#[allow(clippy::too_many_arguments)] // mirrors the unbudgeted variant + budget
+pub fn density_vectors_cached_group_plan_budgeted<G: Adjacency>(
+    plan: &GroupKernelPlan<'_, G>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    key_a: &EventKey,
+    key_b: &EventKey,
+    threads: usize,
+    group_size: usize,
+    cache: &DensityCache,
+    budget: &Budget,
+) -> Result<(Vec<f64>, Vec<f64>), Interrupted> {
     assert_eq!(plan.slot_nodes.len(), 2, "expects the [a, b] slot pair");
     let h = plan.h;
     let governor = ProbeGovernor::new();
@@ -589,7 +759,8 @@ pub fn density_vectors_cached_group_plan<G: Adjacency>(
         &GroupSlots::Same(&[0, 1]),
         threads,
         group_size,
-    );
+        budget,
+    )?;
     // Scatter, collecting the missing slots for one bulk insertion
     // (one lock per shard for the whole pass, not one per node).
     let mut bulk: Vec<(NodeId, &EventKey, CachedCount)> = Vec::new();
@@ -624,7 +795,7 @@ pub fn density_vectors_cached_group_plan<G: Adjacency>(
     }
     cache.record_bfs_n(pending.len() as u64);
     cache.insert_bulk(h, bulk);
-    (sa, sb)
+    Ok((sa, sb))
 }
 
 /// Rebuild an event mask in a relabeled substrate's id space: every
@@ -709,6 +880,21 @@ pub fn density_vectors_plan<G: Adjacency>(
     refs: &[NodeId],
     threads: usize,
 ) -> (Vec<f64>, Vec<f64>) {
+    density_vectors_plan_budgeted(plan, pool, refs, threads, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`density_vectors_plan`] under a [`Budget`]: the per-node closure
+/// skips work once the budget exhausts (leaving zero sentinels), and
+/// the post-map check discards the whole pass — no partial vectors
+/// escape.
+pub fn density_vectors_plan_budgeted<G: Adjacency>(
+    plan: &KernelPlan<'_, G>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    threads: usize,
+    budget: &Budget,
+) -> Result<(Vec<f64>, Vec<f64>), Interrupted> {
     let zero = DensityCounts {
         vicinity_size: 0,
         count_a: 0,
@@ -716,12 +902,16 @@ pub fn density_vectors_plan<G: Adjacency>(
         count_union: 0,
     };
     let counts = map_refs_pooled(pool, refs, threads, zero, |scratch, r| {
-        plan.counts(scratch, r)
+        if budget.is_exhausted() {
+            return zero;
+        }
+        plan.counts_budgeted(scratch, r, budget).unwrap_or(zero)
     });
-    counts
+    budget.check()?;
+    Ok(counts
         .iter()
         .map(|c| (c.density_a(), c.density_b()))
-        .unzip()
+        .unzip())
 }
 
 /// Parallel [`density_vectors`] via [`map_refs_pooled`] (the scalar
@@ -788,9 +978,41 @@ pub fn density_vectors_cached_plan<G: Adjacency>(
     threads: usize,
     cache: &DensityCache,
 ) -> (Vec<f64>, Vec<f64>) {
+    density_vectors_cached_plan_budgeted(
+        plan,
+        pool,
+        refs,
+        key_a,
+        key_b,
+        threads,
+        cache,
+        &Budget::unlimited(),
+    )
+    .expect("unlimited budget cannot exhaust")
+}
+
+/// [`density_vectors_cached_plan`] under a [`Budget`]. Cache lookups
+/// stay budget-free (they are cheap and their hits are exact), but
+/// fresh counts are inserted only when their BFS ran to completion —
+/// an interrupted node contributes nothing, and the post-map check
+/// discards the pass.
+#[allow(clippy::too_many_arguments)] // mirrors the unbudgeted variant + budget
+pub fn density_vectors_cached_plan_budgeted<G: Adjacency>(
+    plan: &KernelPlan<'_, G>,
+    pool: &ScratchPool,
+    refs: &[NodeId],
+    key_a: &EventKey,
+    key_b: &EventKey,
+    threads: usize,
+    cache: &DensityCache,
+    budget: &Budget,
+) -> Result<(Vec<f64>, Vec<f64>), Interrupted> {
     let h = plan.h;
     let governor = ProbeGovernor::new();
     let densities = map_refs_pooled(pool, refs, threads, (0.0f64, 0.0f64), |scratch, r| {
+        if budget.is_exhausted() {
+            return (0.0, 0.0);
+        }
         // Both of a pair's slots live in r's shard — resolve them
         // under one lock acquisition (lookup_pair), and fill the
         // missing ones the same way (insert_many): per-node lock
@@ -808,7 +1030,11 @@ pub fn density_vectors_cached_plan<G: Adjacency>(
             debug_assert_eq!(a.vicinity_size, b.vicinity_size, "inconsistent cache");
             return (a.density(), b.density());
         }
-        let c = plan.counts(scratch, r);
+        // Only a completed BFS may warm the cache: an interrupted
+        // traversal's counts are partial and must never be memoized.
+        let Ok(c) = plan.counts_budgeted(scratch, r, budget) else {
+            return (0.0, 0.0);
+        };
         cache.record_bfs();
         let size = c.vicinity_size as u32;
         let mut fresh: [Option<(&EventKey, CachedCount)>; 2] = [None, None];
@@ -839,7 +1065,8 @@ pub fn density_vectors_cached_plan<G: Adjacency>(
             hit_b.map_or_else(|| c.density_b(), |b| b.density()),
         )
     });
-    densities.into_iter().unzip()
+    budget.check()?;
+    Ok(densities.into_iter().unzip())
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use tesc_graph::bfs::{BfsKernel, BfsScratch};
 use tesc_graph::csr::CsrGraph;
 use tesc_graph::relabel::RelabeledGraph;
 use tesc_graph::Adjacency;
-use tesc_graph::{NodeId, ScratchPool, VicinityIndex};
+use tesc_graph::{Budget, Interrupted, NodeId, ScratchPool, VicinityIndex};
 use tesc_stats::kendall::{
     kendall_tau, var_s_tie_corrected, weighted_tau, KendallMethod, KendallSummary,
 };
@@ -136,6 +136,19 @@ pub enum TescError {
     /// The importance sampler's weighted estimator (Eq. 8) is specific
     /// to Kendall's τ; it cannot be combined with Spearman's ρ.
     StatisticUnsupportedBySampler,
+    /// The engine's [`Budget`] exhausted (deadline passed or the
+    /// request was cancelled) before the test completed. No partial
+    /// state was published — caches and snapshots are exactly as they
+    /// would be had the interrupted work never started (completed BFS
+    /// counts may have warmed the cache, which is semantically
+    /// invisible).
+    Interrupted(Interrupted),
+}
+
+impl From<Interrupted> for TescError {
+    fn from(i: Interrupted) -> Self {
+        TescError::Interrupted(i)
+    }
 }
 
 impl std::fmt::Display for TescError {
@@ -155,6 +168,7 @@ impl std::fmt::Display for TescError {
                 "importance sampling's weighted estimator is Kendall-specific; \
                  use Statistic::KendallTau or a uniform sampler"
             ),
+            TescError::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
@@ -237,6 +251,7 @@ pub struct TescEngine<'a, G = CsrGraph> {
     kernel: BfsKernel,
     relabel: Option<Arc<RelabeledGraph<G>>>,
     group_size: usize,
+    budget: Budget,
 }
 
 impl<'a, G: Adjacency> TescEngine<'a, G> {
@@ -252,7 +267,26 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
             kernel: BfsKernel::Auto,
             relabel: None,
             group_size: tesc_graph::SOURCE_GROUP_SIZE,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Attach a cooperative [`Budget`] (deadline and/or cancel flag):
+    /// every test run by this engine checks it at bounded intervals —
+    /// per BFS frontier level, per source group, per reference node —
+    /// and fails with [`TescError::Interrupted`] once it exhausts,
+    /// publishing no partial state. The default is
+    /// [`Budget::unlimited`], whose checks are near-free.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The engine's budget (unlimited unless set via
+    /// [`TescEngine::with_budget`]).
+    #[inline]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Engine with the precomputed `|V^h_v|` index, enabling rejection
@@ -454,6 +488,7 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
         cfg: &TescConfig,
         rng: &mut impl Rng,
     ) -> Result<TescResult, TescError> {
+        self.budget.check()?;
         let (a_sorted, b_sorted) = (normalize(va), normalize(vb));
         let union = merge_union(&a_sorted, &b_sorted);
         if union.is_empty() {
@@ -585,6 +620,7 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
         cfg: &TescConfig,
         rng: &mut impl Rng,
     ) -> Result<UniformSample, TescError> {
+        self.budget.check()?;
         let max_draws = cfg.max_draw_factor.saturating_mul(cfg.sample_size).max(1);
         let sample = match cfg.sampler {
             SamplerKind::BatchBfs => {
@@ -687,7 +723,7 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
             let gplan = self.group_plan(&slot_nodes, cfg.h);
             let (sa, sb) = match (self.cache.as_deref(), keys) {
                 (Some(cache), Some((key_a, key_b))) => {
-                    crate::density::density_vectors_cached_group_plan(
+                    crate::density::density_vectors_cached_group_plan_budgeted(
                         &gplan,
                         &self.pool,
                         &sample.nodes,
@@ -696,36 +732,42 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
                         self.density_threads,
                         self.group_size,
                         cache,
-                    )
+                        &self.budget,
+                    )?
                 }
-                _ => crate::density::density_vectors_group_plan(
+                _ => crate::density::density_vectors_group_plan_budgeted(
                     &gplan,
                     &self.pool,
                     &sample.nodes,
                     self.density_threads,
                     self.group_size,
-                ),
+                    &self.budget,
+                )?,
             };
             return Ok(Self::finish_uniform(&sa, &sb, &sample, cfg));
         }
         let translated = self.substrate_masks(mask_a, mask_b);
         let plan = self.density_plan(mask_a, mask_b, &translated, cfg.h);
         let (sa, sb) = match (self.cache.as_deref(), keys) {
-            (Some(cache), Some((key_a, key_b))) => crate::density::density_vectors_cached_plan(
+            (Some(cache), Some((key_a, key_b))) => {
+                crate::density::density_vectors_cached_plan_budgeted(
+                    &plan,
+                    &self.pool,
+                    &sample.nodes,
+                    key_a,
+                    key_b,
+                    self.density_threads,
+                    cache,
+                    &self.budget,
+                )?
+            }
+            _ => crate::density::density_vectors_plan_budgeted(
                 &plan,
                 &self.pool,
                 &sample.nodes,
-                key_a,
-                key_b,
                 self.density_threads,
-                cache,
-            ),
-            _ => crate::density::density_vectors_plan(
-                &plan,
-                &self.pool,
-                &sample.nodes,
-                self.density_threads,
-            ),
+                &self.budget,
+            )?,
         };
         Ok(Self::finish_uniform(&sa, &sb, &sample, cfg))
     }
@@ -741,6 +783,7 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
         cfg: &TescConfig,
         rng: &mut impl Rng,
     ) -> Result<TescResult, TescError> {
+        self.budget.check()?;
         assert_eq!(
             a.num_nodes(),
             self.graph.num_nodes(),
@@ -775,7 +818,7 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
                     return Err(TescError::TooFewReferenceNodes { found: n });
                 }
                 drop(scratch);
-                let counts = self.intensity_counts_for(&sample.nodes, cfg.h, a, b);
+                let counts = self.intensity_counts_for(&sample.nodes, cfg.h, a, b)?;
                 let mut sa = Vec::with_capacity(n);
                 let mut sb = Vec::with_capacity(n);
                 let mut omega = Vec::with_capacity(n);
@@ -790,7 +833,7 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
             _ => {
                 let sample = self.draw_uniform_sample(&mut scratch, &union, cfg, rng)?;
                 drop(scratch);
-                let counts = self.intensity_counts_for(&sample.nodes, cfg.h, a, b);
+                let counts = self.intensity_counts_for(&sample.nodes, cfg.h, a, b)?;
                 let (sa, sb) = counts
                     .iter()
                     .map(|c| (c.density_a(), c.density_b()))
@@ -808,16 +851,27 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
         h: u32,
         a: &crate::intensity::Intensities,
         b: &crate::intensity::Intensities,
-    ) -> Vec<crate::intensity::IntensityCounts> {
+    ) -> Result<Vec<crate::intensity::IntensityCounts>, Interrupted> {
         let zero = crate::intensity::IntensityCounts {
             vicinity_size: 0,
             mass_a: 0.0,
             mass_b: 0.0,
             count_union: 0,
         };
-        crate::density::map_refs_pooled(&self.pool, refs, self.density_threads, zero, {
-            |scratch, r| crate::intensity::intensity_counts(self.graph, scratch, r, h, a, b)
-        })
+        let budget = &self.budget;
+        let counts =
+            crate::density::map_refs_pooled(&self.pool, refs, self.density_threads, zero, {
+                |scratch, r| {
+                    // Per-reference-node check (the intensity BFS itself is
+                    // bounded per node); sentinels are discarded below.
+                    if budget.is_exhausted() {
+                        return zero;
+                    }
+                    crate::intensity::intensity_counts(self.graph, scratch, r, h, a, b)
+                }
+            });
+        budget.check()?;
+        Ok(counts)
     }
 
     /// Assemble the importance-sampled (weighted `t̃`) result. Shared
@@ -893,28 +947,41 @@ impl<'a, G: Adjacency> TescEngine<'a, G> {
         let counts: Vec<DensityCounts> = if self.kernel.use_multi_source(self.graph, cfg.h, n) {
             let slot_nodes = self.group_slot_nodes(&[a_nodes, b_nodes, union]);
             let gplan = self.group_plan(&slot_nodes, cfg.h);
-            crate::density::density_counts_group_plan(
+            crate::density::density_counts_group_plan_budgeted(
                 &gplan,
                 &self.pool,
                 &sample.nodes,
                 self.density_threads,
                 self.group_size,
-            )
+                &self.budget,
+            )?
         } else {
             let translated = self.substrate_masks(mask_a, mask_b);
             let plan = self.density_plan(mask_a, mask_b, &translated, cfg.h);
-            crate::density::map_refs_pooled(
+            let zero = DensityCounts {
+                vicinity_size: 0,
+                count_a: 0,
+                count_b: 0,
+                count_union: 0,
+            };
+            let budget = &self.budget;
+            let counts = crate::density::map_refs_pooled(
                 &self.pool,
                 &sample.nodes,
                 self.density_threads,
-                DensityCounts {
-                    vicinity_size: 0,
-                    count_a: 0,
-                    count_b: 0,
-                    count_union: 0,
+                zero,
+                |scratch, r| {
+                    // Sticky exhaustion: sentinel slots from skipped or
+                    // interrupted nodes are discarded wholesale by the
+                    // post-map check below.
+                    if budget.is_exhausted() {
+                        return zero;
+                    }
+                    plan.counts_budgeted(scratch, r, budget).unwrap_or(zero)
                 },
-                |scratch, r| plan.counts(scratch, r),
-            )
+            );
+            budget.check()?;
+            counts
         };
         let mut sa = Vec::with_capacity(n);
         let mut sb = Vec::with_capacity(n);

@@ -68,7 +68,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use tesc_events::{store::merge_union, NodeMask};
-use tesc_graph::{Adjacency, CsrGraph, NodeId};
+use tesc_graph::{Adjacency, Budget, CsrGraph, Interrupted, NodeId};
 
 /// Sampling outcome of one pair, before event registration.
 struct Sampled {
@@ -362,9 +362,22 @@ impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
     ///   edge lists (the `fused` rows of the `rank_events` bench
     ///   measure the effect).
     pub fn run_density(&self, threads: usize) -> FusedDensities {
+        self.run_density_budgeted(threads, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`PairSetPlan::run_density`] under a [`Budget`] (checked per
+    /// BFS frontier level and per source group): an interrupted pass
+    /// returns the typed error, publishes nothing, and leaves any
+    /// attached cache holding only counts from completed traversals.
+    pub fn run_density_budgeted(
+        &self,
+        threads: usize,
+        budget: &Budget,
+    ) -> Result<FusedDensities, Interrupted> {
         match self.group_size() {
-            Some(group_size) => self.run_density_grouped(threads, group_size),
-            None => self.run_density_per_node(threads),
+            Some(group_size) => self.run_density_grouped(threads, group_size, budget),
+            None => self.run_density_per_node(threads, budget),
         }
     }
 
@@ -379,7 +392,12 @@ impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
 
     /// Stage (b), grouped executor: cache probe per node, then the
     /// pending workset partitioned into consecutive source groups.
-    fn run_density_grouped(&self, threads: usize, group_size: usize) -> FusedDensities {
+    fn run_density_grouped(
+        &self,
+        threads: usize,
+        group_size: usize,
+        budget: &Budget,
+    ) -> Result<FusedDensities, Interrupted> {
         let h = self.cfg.h;
         // Substrate-space occurrence lists, translated once per
         // distinct event — via the engine's own grouped-plan helpers,
@@ -445,6 +463,9 @@ impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
             .map(|&i| self.slot_lists[i].as_slice())
             .collect();
         let group_size = group_size.clamp(1, tesc_graph::MAX_GROUP_SOURCES);
+        // `run_grouped` re-checks the budget after the traversals, so
+        // reaching the scatter below means every fresh count is from a
+        // completed search — the bulk cache insertion stays safe.
         let (fresh_sizes, fresh_counts) = run_grouped(
             &gplan,
             self.engine.pool(),
@@ -452,7 +473,8 @@ impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
             &GroupSlots::PerNode(&slot_refs),
             threads,
             group_size,
-        );
+            budget,
+        )?;
 
         // Scatter + cache fill, per lane: prefer the memoized integer
         // where a slot hit (same value, same policy as the per-node
@@ -495,23 +517,32 @@ impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
             cache.record_bfs_n(pending.len() as u64);
             cache.insert_bulk(h, bulk);
         }
-        FusedDensities {
+        Ok(FusedDensities {
             sizes,
             counts,
             bfs_run: pending.len() as u64,
             traversals: nodes.len().div_ceil(group_size) as u64,
-        }
+        })
     }
 
     /// Stage (b), per-node executor: one BFS per pending reference
     /// node (fanned out over `threads` pooled workers), scored against
     /// all of that node's event slots in a single visited-bitmap
     /// sweep.
-    fn run_density_per_node(&self, threads: usize) -> FusedDensities {
+    fn run_density_per_node(
+        &self,
+        threads: usize,
+        budget: &Budget,
+    ) -> Result<FusedDensities, Interrupted> {
         let mplan = self.multi_plan();
         let cache: Option<&DensityCache> = self.engine.density_cache().map(|c| c.as_ref());
         let h = self.cfg.h;
         let default = NodeDensity {
+            size: 0,
+            counts: Vec::new(),
+            did_bfs: false,
+        };
+        let skipped = || NodeDensity {
             size: 0,
             counts: Vec::new(),
             did_bfs: false,
@@ -523,13 +554,23 @@ impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
             threads,
             default,
             |scratch, r| {
+                // Exhaustion is sticky, so skipped/interrupted nodes
+                // leave sentinel slots that the post-map check below is
+                // guaranteed to discard wholesale.
+                if budget.is_exhausted() {
+                    return skipped();
+                }
                 let i = self.nodes.binary_search(&r).expect("workset node");
                 let slots = &self.slot_lists[i];
                 let Some(cache) = cache else {
                     let mut counts = Vec::new();
-                    let size = mplan.counts_for(scratch, r, slots, &mut counts) as u32;
+                    let Ok(size) =
+                        mplan.counts_for_budgeted(scratch, r, slots, &mut counts, budget)
+                    else {
+                        return skipped();
+                    };
                     return NodeDensity {
-                        size,
+                        size: size as u32,
                         counts,
                         did_bfs: true,
                     };
@@ -564,7 +605,14 @@ impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
                     };
                 }
                 let mut fresh = Vec::new();
-                let size = mplan.counts_for(scratch, r, slots, &mut fresh) as u32;
+                // Only a completed BFS may warm the cache: partial
+                // counts from an interrupted traversal are never
+                // memoized.
+                let Ok(size) = mplan.counts_for_budgeted(scratch, r, slots, &mut fresh, budget)
+                else {
+                    return skipped();
+                };
+                let size = size as u32;
                 cache.record_bfs();
                 // Prefer the memoized integer where a slot hit (same
                 // value, same policy as the per-pair cached path);
@@ -598,14 +646,15 @@ impl<'e, 'g, G: Adjacency> PairSetPlan<'e, 'g, G> {
                 }
             },
         );
+        budget.check()?;
         let bfs_run = per_node.iter().filter(|d| d.did_bfs).count() as u64;
         let (sizes, counts) = per_node.into_iter().map(|d| (d.size, d.counts)).unzip();
-        FusedDensities {
+        Ok(FusedDensities {
             sizes,
             counts,
             bfs_run,
             traversals: bfs_run,
-        }
+        })
     }
 
     /// Stage (c) for the whole set: scatter + correlate every pair, in
@@ -769,6 +818,18 @@ fn sample_one<G: Adjacency>(
     pair: &EventPair,
     seed: u64,
 ) -> Sampled {
+    // Per-pair budget check: once the engine's budget exhausts, the
+    // remaining pairs sample nothing. The caller's own sticky check
+    // then fails the whole request, so these per-pair sentinels never
+    // surface as outcomes.
+    if let Err(e) = engine.budget().check() {
+        return Sampled {
+            a: Vec::new(),
+            b: Vec::new(),
+            union: Vec::new(),
+            kind: Err(e.into()),
+        };
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let a = normalize(&pair.a);
     let b = normalize(&pair.b);

@@ -43,11 +43,11 @@
 //! cover — they are always scored.)
 
 use crate::batch::{EventPair, PairOutcome};
-use crate::engine::{normalize, Statistic, TescConfig, TescEngine, TescResult};
+use crate::engine::{normalize, Statistic, TescConfig, TescEngine, TescError, TescResult};
 use crate::planner::{PairSetPlan, PairVectors};
 use rand::SplitMix64;
 use std::time::{Duration, Instant};
-use tesc_graph::{Adjacency, NodeId};
+use tesc_graph::{Adjacency, Interrupted, NodeId};
 use tesc_stats::kendall::var_s_tie_corrected;
 use tesc_stats::rank::{cmp_score_desc, nontrivial_tie_group_sizes};
 use tesc_stats::{Tail, TestOutcome};
@@ -238,6 +238,13 @@ pub struct RankReport {
     /// Planner rounds executed: 1 for exact runs, the number of
     /// escalation tiers actually visited for anytime runs.
     pub rounds: usize,
+    /// `true` when the engine's [`tesc_graph::Budget`] ran out
+    /// mid-escalation and the progressive executor returned the best
+    /// ranking decided so far instead of finishing: entries then carry
+    /// the tier they were decided at in [`RankEntry::decided_at_n`],
+    /// which may be below the requested sample size even under
+    /// `eps = 0`. Always `false` for runs with an unlimited budget.
+    pub degraded: bool,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
 }
@@ -361,6 +368,47 @@ pub(crate) fn score_bound(vectors: &PairVectors, statistic: Statistic) -> Option
 /// cutoff, execution is delegated to the progressive executor in
 /// [`crate::anytime`].
 pub fn rank_pairs<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest) -> RankReport {
+    let start = Instant::now();
+    match rank_pairs_budgeted(engine, req) {
+        Ok(report) => report,
+        // Only reachable when the engine carries a real budget: every
+        // candidate is reported as interrupted, nothing partial leaks.
+        Err(i) => RankReport {
+            ranked: Vec::new(),
+            pruned: 0,
+            failed: req
+                .pairs
+                .iter()
+                .enumerate()
+                .map(|(index, pair)| PairOutcome {
+                    index,
+                    label: pair.label.clone(),
+                    result: Err(TescError::Interrupted(i)),
+                })
+                .collect(),
+            candidates: req.pairs.len(),
+            distinct_refs: 0,
+            sampled_refs: 0,
+            fused_bfs: 0,
+            threads: req.effective_threads(),
+            rounds: 0,
+            degraded: false,
+            wall: start.elapsed(),
+        },
+    }
+}
+
+/// [`rank_pairs`] with the engine's [`tesc_graph::Budget`] surfaced as
+/// a typed error. With an unlimited budget this never fails. Under
+/// [`RankMode::Anytime`] with a top-K cutoff an exhausted budget
+/// *degrades* instead of failing whenever at least one escalation tier
+/// completed: the report comes back `Ok` with
+/// [`RankReport::degraded`] set and the best ranking decided so far.
+/// `Err` means no usable ranking existed when the budget ran out.
+pub fn rank_pairs_budgeted<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
+    req: &RankRequest,
+) -> Result<RankReport, Interrupted> {
     if let RankMode::Anytime { eps } = req.mode {
         if req.top_k.is_some() {
             return crate::anytime::rank_pairs_anytime(engine, req, eps);
@@ -370,7 +418,10 @@ pub fn rank_pairs<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest) -
 }
 
 /// The exact executor: one planner pass at the full sample size.
-fn rank_pairs_exact<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest) -> RankReport {
+fn rank_pairs_exact<G: Adjacency>(
+    engine: &TescEngine<'_, G>,
+    req: &RankRequest,
+) -> Result<RankReport, Interrupted> {
     let start = Instant::now();
     let threads = req.effective_threads();
     let seeds: Vec<u64> = req
@@ -379,7 +430,7 @@ fn rank_pairs_exact<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest)
         .map(|p| content_seed(req.seed, &p.a, &p.b))
         .collect();
     let plan = PairSetPlan::build(engine, &req.pairs, &req.cfg, &seeds, threads);
-    let fused = plan.run_density(threads);
+    let fused = plan.run_density_budgeted(threads, engine.budget())?;
 
     // Stage (c) + ranking: serial in index order so the evolving top-K
     // cutoff is schedule-independent. (Correlation is O(n log n) per
@@ -393,6 +444,7 @@ fn rank_pairs_exact<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest)
     // instead of growing the Vec toward O(P²) on all-pairs runs).
     let mut top_scores: Vec<f64> = Vec::new();
     for (index, slot) in results.iter_mut().enumerate() {
+        engine.budget().check()?;
         let vectors = match plan.vectors(index, &fused) {
             Ok(v) => v,
             Err(_) => {
@@ -447,7 +499,7 @@ fn rank_pairs_exact<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest)
             decided_at_n: req.cfg.sample_size,
         })
         .collect();
-    RankReport {
+    Ok(RankReport {
         ranked,
         pruned,
         failed,
@@ -457,8 +509,9 @@ fn rank_pairs_exact<G: Adjacency>(engine: &TescEngine<'_, G>, req: &RankRequest)
         fused_bfs: fused.bfs_run(),
         threads,
         rounds: 1,
+        degraded: false,
         wall: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! lock down.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Cap on the request line + headers, before the body.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -92,6 +93,15 @@ pub enum HttpError {
         /// The configured cap.
         limit: usize,
     },
+    /// The client took longer than the per-request read budget to
+    /// deliver its head + body (slowloris guard); respond 408 and
+    /// close. Unlike [`HttpError::IdleTimeout`] this fires on a
+    /// connection that *is* trickling bytes — total read time is
+    /// bounded from the first byte of a request, not per read.
+    RequestTimeout {
+        /// The configured total-read budget.
+        limit: Duration,
+    },
 }
 
 impl HttpError {
@@ -103,6 +113,7 @@ impl HttpError {
             HttpError::BadRequest(_) => Some((400, "Bad Request")),
             HttpError::MethodNotAllowed(_) => Some((405, "Method Not Allowed")),
             HttpError::PayloadTooLarge { .. } => Some((413, "Payload Too Large")),
+            HttpError::RequestTimeout { .. } => Some((408, "Request Timeout")),
         }
     }
 
@@ -117,6 +128,10 @@ impl HttpError {
             HttpError::PayloadTooLarge { declared, limit } => {
                 format!("payload of {declared} bytes exceeds the {limit}-byte limit")
             }
+            HttpError::RequestTimeout { limit } => format!(
+                "request not fully received within the {} ms read budget",
+                limit.as_millis()
+            ),
         }
     }
 }
@@ -126,9 +141,18 @@ impl HttpError {
 /// `max_body` caps the accepted `Content-Length`; oversized payloads
 /// are rejected *before* reading the body, so a hostile client cannot
 /// make the server buffer arbitrary data.
+///
+/// `max_read` bounds the *total* wall-clock time spent reading the
+/// request, head and body together, measured from the first byte — the
+/// slowloris guard. A client that trickles one byte per idle tick
+/// keeps every individual read alive but still runs out of this
+/// budget and gets a 408. The clock does not run while the connection
+/// idles *between* requests (that is [`HttpError::IdleTimeout`]'s
+/// job).
 pub fn read_request<R: Read>(
     reader: &mut BufReader<R>,
     max_body: usize,
+    max_read: Duration,
 ) -> Result<Request, HttpError> {
     // Distinguish "idle between requests" from "stalled mid-request":
     // a timeout before the first byte of the next request is an idle
@@ -146,7 +170,12 @@ pub fn read_request<R: Read>(
         }
         Err(e) => return Err(HttpError::Io(e)),
     }
-    let request_line = read_line_capped(reader, MAX_HEAD_BYTES)?;
+    // First byte of a request is buffered: the total-read clock starts.
+    let deadline = ReadDeadline {
+        at: Instant::now() + max_read,
+        limit: max_read,
+    };
+    let request_line = read_line_capped(reader, MAX_HEAD_BYTES, &deadline)?;
     if request_line.is_empty() {
         return Err(HttpError::ConnectionClosed);
     }
@@ -179,7 +208,7 @@ pub fn read_request<R: Read>(
     let mut accept = None;
     let mut head_budget = MAX_HEAD_BYTES.saturating_sub(request_line.len());
     loop {
-        let line = read_line_capped(reader, head_budget)?;
+        let line = read_line_capped(reader, head_budget, &deadline)?;
         head_budget = head_budget.saturating_sub(line.len() + 2);
         if line.is_empty() {
             break;
@@ -213,7 +242,25 @@ pub fn read_request<R: Read>(
         });
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    let mut filled = 0usize;
+    while filled < content_length {
+        deadline.check()?;
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::BadRequest("truncated request body".into())),
+            Ok(n) => filled += n,
+            // Socket read timeouts mid-body are retried until the
+            // total-read deadline, not treated as dead connections:
+            // the deadline is what bounds a trickling client.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
 
     Ok(Request {
         method,
@@ -225,14 +272,36 @@ pub fn read_request<R: Read>(
     })
 }
 
-/// Read one CRLF-terminated line, capped at `cap` bytes. An empty
-/// return with no bytes read means the peer closed the connection.
-fn read_line_capped<R: Read>(reader: &mut BufReader<R>, cap: usize) -> Result<String, HttpError> {
+/// The running total-read deadline of one request (slowloris guard).
+struct ReadDeadline {
+    at: Instant,
+    limit: Duration,
+}
+
+impl ReadDeadline {
+    fn check(&self) -> Result<(), HttpError> {
+        if Instant::now() >= self.at {
+            Err(HttpError::RequestTimeout { limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Read one CRLF-terminated line, capped at `cap` bytes and bounded by
+/// the request's total-read deadline. An empty return with no bytes
+/// read means the peer closed the connection.
+fn read_line_capped<R: Read>(
+    reader: &mut BufReader<R>,
+    cap: usize,
+    deadline: &ReadDeadline,
+) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
         if line.len() > cap {
             return Err(HttpError::BadRequest("request head too large".into()));
         }
+        deadline.check()?;
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
             Ok(0) => {
@@ -251,6 +320,15 @@ fn read_line_capped<R: Read>(reader: &mut BufReader<R>, cap: usize) -> Result<St
                 }
                 line.push(byte[0]);
             }
+            // Mid-head socket timeout: keep waiting until the total
+            // deadline says otherwise.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
             Err(e) => return Err(HttpError::Io(e)),
         }
     }
@@ -265,6 +343,10 @@ pub struct Response {
     pub reason: &'static str,
     /// JSON body.
     pub body: String,
+    /// Optional `Retry-After` header value in seconds (sent with 503
+    /// rejections so well-behaved clients back off instead of
+    /// hammering a saturated server).
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -274,6 +356,7 @@ impl Response {
             status: 200,
             reason: "OK",
             body,
+            retry_after: None,
         }
     }
 
@@ -284,17 +367,29 @@ impl Response {
             reason,
             body: super::json::obj([("error", super::json::Json::Str(message.to_string()))])
                 .encode(),
+            retry_after: None,
         }
+    }
+
+    /// Attach a `Retry-After: secs` header.
+    pub fn with_retry_after(mut self, secs: u32) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 
     /// Serialize (status line + headers + body) onto the stream.
     /// `close` adds `Connection: close` (keep-alive otherwise).
     pub fn send(&self, stream: &mut impl Write, close: bool) -> io::Result<()> {
+        let retry_after = match self.retry_after {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
             self.status,
             self.reason,
             self.body.len(),
+            retry_after,
             if close { "close" } else { "keep-alive" },
         );
         stream.write_all(head.as_bytes())?;

@@ -111,12 +111,37 @@ impl EndpointStats {
     }
 }
 
+/// Why admission control turned a connection away (per-cause 503
+/// accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// The bounded connection queue was at capacity.
+    QueueFull,
+    /// The server is shutting down and the queue is closed.
+    ShuttingDown,
+}
+
 /// The server-wide metrics registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
     endpoints: [EndpointStats; ENDPOINTS.len()],
-    /// Connections turned away at the door (queue full → 503).
-    rejected_connections: AtomicU64,
+    /// Connections turned away because the queue was full → 503.
+    rejected_queue_full: AtomicU64,
+    /// Connections turned away during shutdown drain → 503.
+    rejected_shutdown: AtomicU64,
+    /// Requests that exhausted their deadline budget → 504 (or a
+    /// degraded 200 — see `degraded`).
+    timeouts: AtomicU64,
+    /// Requests interrupted by explicit cancellation rather than a
+    /// deadline.
+    cancelled: AtomicU64,
+    /// Deadline-bound ranking requests answered with the best decided
+    /// ranking so far (`"degraded": true`) instead of a 504.
+    degraded: AtomicU64,
+    /// Time connections spent queued between accept and a worker
+    /// picking them up, as a log₂-µs histogram (same bucketing as the
+    /// per-endpoint latency histograms).
+    queue_wait_log2_us: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl Metrics {
@@ -131,13 +156,73 @@ impl Metrics {
     }
 
     /// Count a connection rejected by admission control.
-    pub fn record_rejected_connection(&self) {
-        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    pub fn record_rejected_connection(&self, cause: RejectCause) {
+        match cause {
+            RejectCause::QueueFull => &self.rejected_queue_full,
+            RejectCause::ShuttingDown => &self.rejected_shutdown,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Connections rejected so far.
+    /// Connections rejected so far (all causes).
     pub fn rejected_connections(&self) -> u64 {
-        self.rejected_connections.load(Ordering::Relaxed)
+        self.rejected_queue_full.load(Ordering::Relaxed)
+            + self.rejected_shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected because the queue was full.
+    pub fn rejected_queue_full(&self) -> u64 {
+        self.rejected_queue_full.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected during shutdown.
+    pub fn rejected_shutdown(&self) -> u64 {
+        self.rejected_shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Count one request whose deadline budget ran out.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request interrupted by cancellation.
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one degraded (best-effort) ranking response.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline-exhausted requests so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Cancelled requests so far.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Degraded ranking responses so far.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Record how long a connection waited in the accept queue.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        let us = wait.as_micros().min(u64::MAX as u128) as u64;
+        self.queue_wait_log2_us[latency_bucket(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the queue-wait histogram (log₂-µs buckets).
+    pub fn queue_wait_histogram(&self) -> [u64; LATENCY_BUCKETS] {
+        let mut out = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.queue_wait_log2_us) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Total 5xx responses across all endpoints.

@@ -76,6 +76,17 @@ pub struct ServerConfig {
     /// `status`, `bytes`, `us`, `version`) to this file. `None`
     /// disables access logging.
     pub access_log: Option<PathBuf>,
+    /// Deadline applied to query requests that do not carry their own
+    /// `deadline_ms`. `None` leaves such requests unbudgeted.
+    pub default_deadline: Option<Duration>,
+    /// Hard cap on per-request `deadline_ms` values; larger requests
+    /// are clamped down to this. `None` accepts any client deadline.
+    pub max_deadline: Option<Duration>,
+    /// Slowloris guard: total wall-clock budget for reading one
+    /// request (head + body) once its first byte arrives. Clients that
+    /// trickle bytes slower than this get a 408 and the connection
+    /// closed.
+    pub max_request_read: Duration,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +98,9 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             debug_endpoints: false,
             access_log: None,
+            default_deadline: None,
+            max_deadline: None,
+            max_request_read: Duration::from_secs(5),
         }
     }
 }
@@ -115,7 +129,9 @@ pub(crate) struct ConnQueue {
 
 #[derive(Debug)]
 struct QueueInner {
-    items: VecDeque<TcpStream>,
+    /// Accepted connections with their enqueue instants, so workers
+    /// can report queue-wait time to the metrics histogram.
+    items: VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
@@ -131,25 +147,29 @@ impl ConnQueue {
         }
     }
 
-    /// Enqueue a connection; gives it back if the queue is full or
-    /// closed (the caller answers 503 / closes).
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    /// Enqueue a connection; gives it back, tagged with the rejection
+    /// cause, if the queue is full or closed (the caller answers 503).
+    fn push(&self, stream: TcpStream) -> Result<(), (TcpStream, metrics::RejectCause)> {
         let mut inner = self.inner.lock().expect("queue lock poisoned");
-        if inner.closed || inner.items.len() >= self.capacity {
-            return Err(stream);
+        if inner.closed {
+            return Err((stream, metrics::RejectCause::ShuttingDown));
         }
-        inner.items.push_back(stream);
+        if inner.items.len() >= self.capacity {
+            return Err((stream, metrics::RejectCause::QueueFull));
+        }
+        inner.items.push_back((stream, Instant::now()));
         drop(inner);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Dequeue the next connection; `None` once closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Dequeue the next connection and its enqueue instant; `None`
+    /// once closed and drained.
+    fn pop(&self) -> Option<(TcpStream, Instant)> {
         let mut inner = self.inner.lock().expect("queue lock poisoned");
         loop {
-            if let Some(stream) = inner.items.pop_front() {
-                return Some(stream);
+            if let Some(entry) = inner.items.pop_front() {
+                return Some(entry);
             }
             if inner.closed {
                 return None;
@@ -179,6 +199,9 @@ pub(crate) struct ServerState {
     pub(crate) queue_depth: usize,
     pub(crate) workers: usize,
     pub(crate) max_body_bytes: usize,
+    pub(crate) default_deadline: Option<Duration>,
+    pub(crate) max_deadline: Option<Duration>,
+    pub(crate) max_request_read: Duration,
     pub(crate) started: Instant,
     /// Structured access log sink (append mode, flushed per record so
     /// lines survive a crash of the daemon).
@@ -244,6 +267,9 @@ impl Server {
             queue_depth: cfg.queue_depth.max(1),
             workers,
             max_body_bytes: cfg.max_body_bytes,
+            default_deadline: cfg.default_deadline,
+            max_deadline: cfg.max_deadline,
+            max_request_read: cfg.max_request_read,
             started: Instant::now(),
             access_log,
         });
@@ -323,12 +349,18 @@ fn accept_loop(listener: TcpListener, state: &ServerState) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
-                if let Err(mut rejected) = state.queue.push(stream) {
-                    // Admission control: the pool is saturated. Answer
-                    // at the door so the client sees backpressure
-                    // instead of an unbounded queue.
-                    state.metrics.record_rejected_connection();
-                    let resp = Response::error(503, "Service Unavailable", "server is at capacity");
+                if let Err((mut rejected, cause)) = state.queue.push(stream) {
+                    // Admission control: the pool is saturated (or
+                    // draining for shutdown). Answer at the door so
+                    // the client sees backpressure instead of an
+                    // unbounded queue, with a Retry-After hint.
+                    state.metrics.record_rejected_connection(cause);
+                    let message = match cause {
+                        metrics::RejectCause::QueueFull => "server is at capacity",
+                        metrics::RejectCause::ShuttingDown => "server is shutting down",
+                    };
+                    let resp =
+                        Response::error(503, "Service Unavailable", message).with_retry_after(1);
                     let _ = rejected.set_write_timeout(Some(Duration::from_millis(500)));
                     let _ = resp.send(&mut rejected, true);
                 }
@@ -342,7 +374,8 @@ fn accept_loop(listener: TcpListener, state: &ServerState) {
 }
 
 fn worker_loop(state: &ServerState) {
-    while let Some(stream) = state.queue.pop() {
+    while let Some((stream, enqueued)) = state.queue.pop() {
+        state.metrics.record_queue_wait(enqueued.elapsed());
         serve_connection(state, stream);
     }
 }
@@ -358,27 +391,28 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
     };
     let mut stream = stream;
     loop {
-        let request = match http::read_request(&mut reader, state.max_body_bytes) {
-            Ok(req) => req,
-            Err(HttpError::IdleTimeout) => {
-                if state.shutdown.load(Ordering::SeqCst) {
+        let request =
+            match http::read_request(&mut reader, state.max_body_bytes, state.max_request_read) {
+                Ok(req) => req,
+                Err(HttpError::IdleTimeout) => {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    if let Some((status, reason)) = e.status() {
+                        let resp = Response::error(status, reason, &e.message());
+                        state
+                            .metrics
+                            .endpoint("other")
+                            .record(status, Duration::ZERO);
+                        state.log_access("other", status, resp.body.len(), Duration::ZERO);
+                        let _ = resp.send(&mut stream, true);
+                    }
                     return;
                 }
-                continue;
-            }
-            Err(e) => {
-                if let Some((status, reason)) = e.status() {
-                    let resp = Response::error(status, reason, &e.message());
-                    state
-                        .metrics
-                        .endpoint("other")
-                        .record(status, Duration::ZERO);
-                    state.log_access("other", status, resp.body.len(), Duration::ZERO);
-                    let _ = resp.send(&mut stream, true);
-                }
-                return;
-            }
-        };
+            };
         let start = Instant::now();
         let (endpoint, response) =
             match std::panic::catch_unwind(AssertUnwindSafe(|| router::route(state, &request))) {
@@ -424,7 +458,10 @@ mod tests {
         let c3 = TcpStream::connect(addr).unwrap();
         assert!(queue.push(c1).is_ok());
         assert!(queue.push(c2).is_ok());
-        assert!(queue.push(c3).is_err(), "full queue returns the stream");
+        match queue.push(c3) {
+            Err((_, cause)) => assert_eq!(cause, metrics::RejectCause::QueueFull),
+            Ok(()) => panic!("full queue must return the stream"),
+        }
         assert!(queue.pop().is_some());
         let c4 = TcpStream::connect(addr).unwrap();
         assert!(queue.push(c4).is_ok(), "popping frees a slot");
@@ -439,9 +476,9 @@ mod tests {
         queue.close();
         assert!(queue.pop().is_some(), "backlog still drains after close");
         assert!(queue.pop().is_none(), "then pop reports closed");
-        assert!(
-            queue.push(TcpStream::connect(addr).unwrap()).is_err(),
-            "closed queue refuses new connections"
-        );
+        match queue.push(TcpStream::connect(addr).unwrap()) {
+            Err((_, cause)) => assert_eq!(cause, metrics::RejectCause::ShuttingDown),
+            Ok(()) => panic!("closed queue must refuse new connections"),
+        }
     }
 }

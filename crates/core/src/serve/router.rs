@@ -24,11 +24,11 @@ use rand::SeedableRng;
 use super::http::{Method, Request, Response};
 use super::json::{obj, Json};
 use super::ServerState;
-use crate::batch::{BatchRequest, EventPair};
-use crate::engine::{Statistic, TescConfig, TescResult};
-use crate::rank::{rank_pairs, RankMode, RankRequest};
+use crate::batch::{run_batch_budgeted, BatchRequest, EventPair};
+use crate::engine::{Statistic, TescConfig, TescError, TescResult};
+use crate::rank::{rank_pairs_budgeted, RankMode, RankRequest};
 use crate::sampler::SamplerKind;
-use tesc_graph::NodeId;
+use tesc_graph::{Budget, Interrupted, NodeId};
 use tesc_stats::significance::Verdict;
 use tesc_stats::{SignificanceLevel, Tail, TestOutcome};
 
@@ -83,6 +83,52 @@ pub(super) fn route(state: &ServerState, req: &Request) -> (&'static str, Respon
 /// Shorthand for a 400 with a message.
 fn bad_request(message: &str) -> Response {
     Response::error(400, "Bad Request", message)
+}
+
+/// Resolve the deadline budget of one query request: an explicit
+/// `deadline_ms` (clamped to the server's `--max-deadline`), else the
+/// server's `--default-deadline`, else no budget at all. Returns the
+/// budget plus the effective limit for echoing in 504 bodies.
+fn parse_deadline(
+    body: &Json,
+    state: &ServerState,
+) -> Result<Option<(Budget, Duration)>, Response> {
+    let requested = match body.get("deadline_ms") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(ms) if ms >= 1 => Some(Duration::from_millis(ms)),
+            _ => return Err(bad_request("`deadline_ms` must be an integer ≥ 1")),
+        },
+    };
+    let effective = match (requested, state.max_deadline) {
+        (Some(d), Some(max)) => Some(d.min(max)),
+        (Some(d), None) => Some(d),
+        (None, _) => state.default_deadline,
+    };
+    Ok(effective.map(|d| (Budget::with_deadline(d), d)))
+}
+
+/// The 504 a deadline-exhausted query maps to, with the elapsed time
+/// and the limit surfaced so clients can size their next deadline.
+/// Also bumps the timeout/cancel counters.
+fn interrupted_response(state: &ServerState, i: &Interrupted, limit: Duration) -> Response {
+    if i.cancelled {
+        state.metrics.record_cancelled();
+    } else {
+        state.metrics.record_timeout();
+    }
+    Response {
+        status: 504,
+        reason: "Gateway Timeout",
+        body: obj([
+            ("error", Json::Str(i.to_string())),
+            ("elapsed_ms", Json::Int(i.elapsed.as_millis() as i64)),
+            ("deadline_ms", Json::Int(limit.as_millis() as i64)),
+            ("cancelled", Json::Bool(i.cancelled)),
+        ])
+        .encode(),
+        retry_after: None,
+    }
 }
 
 /// Parse the body as a JSON object (an empty body reads as `{}`).
@@ -308,7 +354,14 @@ fn handle_test(state: &ServerState, req: &Request) -> Response {
                 )
             }
         };
-    let engine = snap.engine();
+    let deadline = match parse_deadline(&body, state) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let mut engine = snap.engine();
+    if let Some((budget, _)) = &deadline {
+        engine = engine.with_budget(budget.clone());
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     match engine.test(&a, &b, &cfg, &mut rng) {
         Ok(result) => {
@@ -318,6 +371,10 @@ fn handle_test(state: &ServerState, req: &Request) -> Response {
             ];
             members.push(("result", result_json(&result)));
             Response::ok(obj(members).encode())
+        }
+        Err(TescError::Interrupted(i)) => {
+            let limit = deadline.map(|(_, d)| d).unwrap_or_default();
+            interrupted_response(state, &i, limit)
         }
         Err(e) => Response::error(422, "Unprocessable Entity", &e.to_string()),
     }
@@ -386,11 +443,23 @@ fn handle_batch(state: &ServerState, req: &Request) -> Response {
     if pairs.is_empty() {
         return bad_request("`pairs` must not be empty");
     }
+    let deadline = match parse_deadline(&body, state) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
     let mut breq = BatchRequest::new(cfg);
     breq.pairs = pairs;
     breq.seed = seed;
     breq.threads = threads;
-    let report = snap.run_batch(&breq);
+    let report = match &deadline {
+        None => snap.run_batch(&breq),
+        Some((budget, limit)) => {
+            match run_batch_budgeted(&snap.engine().with_budget(budget.clone()), &breq) {
+                Ok(report) => report,
+                Err(i) => return interrupted_response(state, &i, *limit),
+            }
+        }
+    };
     let outcomes: Vec<Json> = report
         .outcomes
         .iter()
@@ -496,8 +565,37 @@ fn handle_rank(state: &ServerState, req: &Request, top_k: bool) -> Response {
             None => return bad_request("`mode` must be a string"),
         },
     };
+    let deadline = match parse_deadline(&body, state) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    // A deadline-bound ranking always runs the progressive executor so
+    // it can degrade to the best decided ranking instead of 504ing:
+    // the client's eps is kept if it asked for anytime, else eps = 0
+    // (bit-identical to exact when the run finishes in time), and a
+    // plain /rank gets an implicit K covering every candidate.
+    let mode = match (&deadline, mode) {
+        (Some(_), RankMode::Exact) => RankMode::Anytime { eps: 0.0 },
+        (_, m) => m,
+    };
+    if deadline.is_some() && rreq.top_k.is_none() {
+        let all = rreq.pairs.len();
+        rreq = rreq.with_top_k(all);
+    }
     rreq = rreq.with_mode(mode);
-    let report = rank_pairs(&snap.engine(), &rreq);
+    let report = match &deadline {
+        None => crate::rank::rank_pairs(&snap.engine(), &rreq),
+        Some((budget, limit)) => {
+            match rank_pairs_budgeted(&snap.engine().with_budget(budget.clone()), &rreq) {
+                Ok(report) => report,
+                Err(i) => return interrupted_response(state, &i, *limit),
+            }
+        }
+    };
+    if report.degraded {
+        state.metrics.record_degraded();
+        state.metrics.record_timeout();
+    }
     let ranked: Vec<Json> = report
         .ranked
         .iter()
@@ -529,20 +627,24 @@ fn handle_rank(state: &ServerState, req: &Request, top_k: bool) -> Response {
             ])
         })
         .collect();
-    Response::ok(
-        obj([
-            ("version", Json::Int(snap.version() as i64)),
-            ("seed", Json::Int(seed as i64)),
-            ("mode", Json::Str(mode.to_string())),
-            ("rounds", Json::Int(report.rounds as i64)),
-            ("candidates", Json::Int(report.candidates as i64)),
-            ("pruned", Json::Int(report.pruned as i64)),
-            ("distinct_refs", Json::Int(report.distinct_refs as i64)),
-            ("ranked", Json::Arr(ranked)),
-            ("failed", Json::Arr(failed)),
-        ])
-        .encode(),
-    )
+    let mut members = vec![
+        ("version", Json::Int(snap.version() as i64)),
+        ("seed", Json::Int(seed as i64)),
+        ("mode", Json::Str(mode.to_string())),
+        ("rounds", Json::Int(report.rounds as i64)),
+        ("candidates", Json::Int(report.candidates as i64)),
+        ("pruned", Json::Int(report.pruned as i64)),
+        ("distinct_refs", Json::Int(report.distinct_refs as i64)),
+    ];
+    // Only deadline-bound requests carry the degradation marker, so
+    // deadline-free responses stay byte-identical to earlier releases.
+    if let Some((_, limit)) = &deadline {
+        members.push(("deadline_ms", Json::Int(limit.as_millis() as i64)));
+        members.push(("degraded", Json::Bool(report.degraded)));
+    }
+    members.push(("ranked", Json::Arr(ranked)));
+    members.push(("failed", Json::Arr(failed)));
+    Response::ok(obj(members).encode())
 }
 
 fn handle_edges(state: &ServerState, req: &Request) -> Response {
@@ -703,6 +805,47 @@ fn handle_stats(state: &ServerState) -> Response {
                     (
                         "rejected_connections",
                         Json::Int(state.metrics.rejected_connections() as i64),
+                    ),
+                    (
+                        "rejected_queue_full",
+                        Json::Int(state.metrics.rejected_queue_full() as i64),
+                    ),
+                    (
+                        "rejected_shutdown",
+                        Json::Int(state.metrics.rejected_shutdown() as i64),
+                    ),
+                    (
+                        "wait_us_log2",
+                        Json::Arr(
+                            state
+                                .metrics
+                                .queue_wait_histogram()
+                                .iter()
+                                .map(|&c| Json::Int(c as i64))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "deadlines",
+                obj([
+                    ("timeouts", Json::Int(state.metrics.timeouts() as i64)),
+                    ("cancelled", Json::Int(state.metrics.cancelled() as i64)),
+                    ("degraded", Json::Int(state.metrics.degraded() as i64)),
+                    (
+                        "default_deadline_ms",
+                        match state.default_deadline {
+                            Some(d) => Json::Int(d.as_millis() as i64),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "max_deadline_ms",
+                        match state.max_deadline {
+                            Some(d) => Json::Int(d.as_millis() as i64),
+                            None => Json::Null,
+                        },
                     ),
                 ]),
             ),

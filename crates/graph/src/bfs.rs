@@ -38,6 +38,7 @@
 //! [`crate::compressed::CompressedCsr`] decoder.
 
 use crate::adjacency::Adjacency;
+use crate::budget::{Budget, Interrupted};
 use crate::csr::NodeId;
 
 /// Direction-optimizing switch threshold (Beamer et al.): a level runs
@@ -270,8 +271,25 @@ impl BfsScratch {
         g: &G,
         sources: &[NodeId],
         h: u32,
-        mut visit: impl FnMut(NodeId, u32),
+        visit: impl FnMut(NodeId, u32),
     ) -> usize {
+        self.visit_h_vicinity_budgeted(g, sources, h, &Budget::unlimited(), visit)
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`BfsScratch::visit_h_vicinity`] under a [`Budget`], checked
+    /// once per frontier level. On exhaustion the search stops where
+    /// it stands and returns the typed [`Interrupted`] error; the
+    /// scratch state is valid for reuse but the visited set is
+    /// partial, so callers must not derive counts from it.
+    pub fn visit_h_vicinity_budgeted<G: Adjacency>(
+        &mut self,
+        g: &G,
+        sources: &[NodeId],
+        h: u32,
+        budget: &Budget,
+        mut visit: impl FnMut(NodeId, u32),
+    ) -> Result<usize, Interrupted> {
         assert!(
             self.stamp.len() >= g.num_nodes(),
             "BfsScratch sized for {} nodes, graph has {}",
@@ -290,6 +308,7 @@ impl BfsScratch {
         let mut level_start = 0usize;
         let mut depth = 0u32;
         while depth < h {
+            budget.check()?;
             let level_end = self.queue.len();
             if level_start == level_end {
                 break;
@@ -309,7 +328,7 @@ impl BfsScratch {
             }
             level_start = level_end;
         }
-        visited
+        Ok(visited)
     }
 
     /// Level-synchronous **bitset** BFS from `sources` out to `h` hops:
@@ -339,6 +358,21 @@ impl BfsScratch {
         sources: &[NodeId],
         h: u32,
     ) -> usize {
+        self.visit_h_vicinity_bitset_budgeted(g, sources, h, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`BfsScratch::visit_h_vicinity_bitset`] under a [`Budget`],
+    /// checked once per frontier level. On exhaustion the partial
+    /// visited bitmap is abandoned (the scratch stays reusable) and
+    /// the typed [`Interrupted`] error is returned.
+    pub fn visit_h_vicinity_bitset_budgeted<G: Adjacency>(
+        &mut self,
+        g: &G,
+        sources: &[NodeId],
+        h: u32,
+        budget: &Budget,
+    ) -> Result<usize, Interrupted> {
         let n = g.num_nodes();
         assert!(
             self.stamp.len() >= n,
@@ -376,6 +410,7 @@ impl BfsScratch {
         let mut front_is_bits = false;
         let mut depth = 0u32;
         while depth < h && front_len > 0 {
+            budget.check()?;
             depth += 1;
             if depth == h {
                 // Final level: no further expansion, so membership
@@ -486,7 +521,7 @@ impl BfsScratch {
             front_len = new_count;
             self.levels.push(new_count as u32);
         }
-        visited_count
+        Ok(visited_count)
     }
 
     /// The visited bitmap of the most recent
@@ -667,6 +702,22 @@ impl MsBfsScratch {
     /// Panics if `sources.len() > MAX_GROUP_SOURCES` or the scratch was
     /// created for fewer nodes than `g` has.
     pub fn visit_h_vicinity_multi<G: Adjacency>(&mut self, g: &G, sources: &[NodeId], h: u32) {
+        self.visit_h_vicinity_multi_budgeted(g, sources, h, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`MsBfsScratch::visit_h_vicinity_multi`] under a [`Budget`],
+    /// checked once per frontier level. On exhaustion the traversal
+    /// stops early — the frontier invariants are restored so the
+    /// scratch stays reusable, but the lane words are partial and the
+    /// typed [`Interrupted`] error tells the caller to discard them.
+    pub fn visit_h_vicinity_multi_budgeted<G: Adjacency>(
+        &mut self,
+        g: &G,
+        sources: &[NodeId],
+        h: u32,
+        budget: &Budget,
+    ) -> Result<(), Interrupted> {
         let n = g.num_nodes();
         assert!(
             sources.len() <= MAX_GROUP_SOURCES,
@@ -703,6 +754,13 @@ impl MsBfsScratch {
 
         let mut depth = 0u32;
         while depth < h && !self.front_nodes.is_empty() {
+            // An exhausted budget breaks here, before the level is
+            // expanded: the tail-frontier cleanup below then restores
+            // the all-zero `front`/`next` invariant exactly as a
+            // completed traversal would.
+            if budget.is_exhausted() {
+                break;
+            }
             depth += 1;
             let front_nodes = std::mem::take(&mut self.front_nodes);
             if depth == h {
@@ -751,6 +809,7 @@ impl MsBfsScratch {
             self.front[u as usize] = 0;
         }
         self.front_nodes = front_nodes;
+        budget.check()
     }
 
     /// The lanes that reached node `v` in the most recent traversal
@@ -1327,6 +1386,45 @@ mod tests {
         // Multi in a single-source context degrades to the bitset path.
         assert!(BfsKernel::Multi.use_bitset(&g, 1));
         assert_eq!(BfsKernel::Multi.to_string(), "multi");
+    }
+
+    #[test]
+    fn exhausted_budget_interrupts_every_kernel_and_scratch_stays_reusable() {
+        use crate::budget::Budget;
+        let g = path6();
+        let dead = Budget::with_deadline(std::time::Duration::ZERO);
+        let live = Budget::with_deadline(std::time::Duration::from_secs(3600));
+
+        let mut s = BfsScratch::new(6);
+        assert!(s
+            .visit_h_vicinity_budgeted(&g, &[0], 3, &dead, |_, _| {})
+            .is_err());
+        assert_eq!(
+            s.visit_h_vicinity_budgeted(&g, &[0], 3, &live, |_, _| {}),
+            Ok(4),
+            "scalar scratch reusable after interruption, result exact"
+        );
+        assert!(s
+            .visit_h_vicinity_bitset_budgeted(&g, &[0], 3, &dead)
+            .is_err());
+        assert_eq!(
+            s.visit_h_vicinity_bitset_budgeted(&g, &[0], 3, &live),
+            Ok(4)
+        );
+
+        let mut ms = MsBfsScratch::new(6);
+        assert!(ms
+            .visit_h_vicinity_multi_budgeted(&g, &[0, 5], 3, &dead)
+            .is_err());
+        // The frontier invariant must survive the early exit: the next
+        // (unbudgeted) traversal debug-asserts front/next are all-zero
+        // and must produce exact lane sets.
+        assert_multi_matches_scalar(&g, &[0, 5], 3);
+        ms.visit_h_vicinity_multi_budgeted(&g, &[0, 5], 3, &live)
+            .expect("live budget");
+        let mut sizes = [0u32; 2];
+        ms.lane_sizes(&mut sizes);
+        assert_eq!(sizes, [4, 4]);
     }
 
     #[test]

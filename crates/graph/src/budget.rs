@@ -1,0 +1,237 @@
+//! Cooperative deadlines and cancellation for long-running searches.
+//!
+//! A [`Budget`] is a cheap, cloneable token carrying an optional
+//! deadline and an atomic cancel flag. Work loops check it at bounded
+//! intervals — the BFS kernels once per frontier level, the density
+//! executors once per reference node or source group, the batch/rank
+//! drivers once per pair — and unwind with a typed [`Interrupted`]
+//! error when it is exhausted.
+//!
+//! Two properties make the protocol sound without `Result`-threading
+//! every inner loop:
+//!
+//! * **Exhaustion is sticky.** A passed deadline stays passed and the
+//!   cancel flag is never cleared, so once [`Budget::is_exhausted`]
+//!   returns `true` it returns `true` forever. A kernel may therefore
+//!   bail out mid-search leaving *partial* state behind, as long as
+//!   every budget-aware caller re-checks the budget before publishing
+//!   anything derived from that state — the re-check is guaranteed to
+//!   observe the exhaustion and discard the partials.
+//! * **The unlimited budget is free.** [`Budget::unlimited`] carries
+//!   no allocation and its checks compile to a `None` test, so every
+//!   pre-existing caller pays nothing.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deadline + cancellation token shared by everything working on one
+/// request. Clones share the same deadline and cancel flag.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    inner: Option<Arc<BudgetInner>>,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    start: Instant,
+    deadline: Option<Instant>,
+    limit: Option<Duration>,
+    cancel: AtomicBool,
+}
+
+impl Budget {
+    /// A budget that is never exhausted. Checks are near-free.
+    pub fn unlimited() -> Self {
+        Budget { inner: None }
+    }
+
+    /// A budget that exhausts `limit` after its creation (it can also
+    /// be cancelled early via [`Budget::cancel`]).
+    pub fn with_deadline(limit: Duration) -> Self {
+        let start = Instant::now();
+        Budget {
+            inner: Some(Arc::new(BudgetInner {
+                start,
+                deadline: start.checked_add(limit),
+                limit: Some(limit),
+                cancel: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// A budget with no deadline that exhausts only when
+    /// [`Budget::cancel`] is called.
+    pub fn cancellable() -> Self {
+        Budget {
+            inner: Some(Arc::new(BudgetInner {
+                start: Instant::now(),
+                deadline: None,
+                limit: None,
+                cancel: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Does this budget never exhaust?
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Set the cancel flag (sticky; a no-op on unlimited budgets).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancel.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Has the deadline passed or the cancel flag been set? Once
+    /// `true`, stays `true`.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancel.load(Ordering::Relaxed)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// `Ok(())` while the budget holds, `Err` once exhausted.
+    #[inline]
+    pub fn check(&self) -> Result<(), Interrupted> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let cancelled = inner.cancel.load(Ordering::Relaxed);
+        if cancelled || inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            Err(Interrupted {
+                elapsed: inner.start.elapsed(),
+                limit: inner.limit,
+                cancelled,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Time since the budget was created (zero for unlimited budgets).
+    pub fn elapsed(&self) -> Duration {
+        self.inner
+            .as_ref()
+            .map_or(Duration::ZERO, |i| i.start.elapsed())
+    }
+
+    /// The configured deadline duration (`None` when there is none).
+    pub fn limit(&self) -> Option<Duration> {
+        self.inner.as_ref().and_then(|i| i.limit)
+    }
+
+    /// Time left before the deadline (`None` when there is no
+    /// deadline; zero once passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        let deadline = inner.deadline?;
+        Some(deadline.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Typed unwind carried by every layer when a [`Budget`] exhausts:
+/// how long the work ran, the configured limit, and whether the cause
+/// was an explicit cancel rather than a passed deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// Wall time between budget creation and the failed check.
+    pub elapsed: Duration,
+    /// The configured deadline (`None` for cancel-only budgets).
+    pub limit: Option<Duration>,
+    /// `true` when the cancel flag caused the interruption.
+    pub cancelled: bool,
+}
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cancelled {
+            write!(f, "cancelled after {} ms", self.elapsed.as_millis())
+        } else {
+            match self.limit {
+                Some(limit) => write!(
+                    f,
+                    "deadline exceeded: {} ms elapsed of a {} ms budget",
+                    self.elapsed.as_millis(),
+                    limit.as_millis()
+                ),
+                None => write!(f, "interrupted after {} ms", self.elapsed.as_millis()),
+            }
+        }
+    }
+}
+
+impl Error for Interrupted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.is_exhausted());
+        assert!(b.check().is_ok());
+        b.cancel(); // no-op
+        assert!(!b.is_exhausted());
+        assert_eq!(b.limit(), None);
+        assert_eq!(b.remaining(), None);
+        assert_eq!(b.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_deadline_exhausts_immediately_and_stays_exhausted() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert!(!b.is_unlimited());
+        assert!(b.is_exhausted());
+        let err = b.check().unwrap_err();
+        assert!(!err.cancelled);
+        assert_eq!(err.limit, Some(Duration::ZERO));
+        // Sticky: still exhausted on every later check.
+        assert!(b.is_exhausted());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        assert!(err.to_string().contains("deadline exceeded"));
+    }
+
+    #[test]
+    fn generous_deadline_holds() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(!b.is_exhausted());
+        assert!(b.check().is_ok());
+        assert!(b.remaining().unwrap() > Duration::from_secs(3000));
+        assert_eq!(b.limit(), Some(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn cancel_exhausts_and_clones_share_the_flag() {
+        let b = Budget::cancellable();
+        let clone = b.clone();
+        assert!(b.check().is_ok());
+        clone.cancel();
+        assert!(b.is_exhausted(), "cancel is visible through every clone");
+        let err = b.check().unwrap_err();
+        assert!(err.cancelled);
+        assert_eq!(err.limit, None);
+        assert!(err.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn interrupted_is_a_std_error() {
+        let err: Box<dyn Error> = Box::new(Interrupted {
+            elapsed: Duration::from_millis(7),
+            limit: None,
+            cancelled: false,
+        });
+        assert!(err.to_string().contains("interrupted after 7 ms"));
+    }
+}

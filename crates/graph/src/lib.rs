@@ -18,6 +18,9 @@
 //! * [`bfs`] — the BFS toolkit: single-source `h`-hop BFS and the
 //!   multi-source **Batch BFS** of Algorithm 1, with reusable,
 //!   epoch-stamped scratch space so repeated searches allocate nothing.
+//! * [`budget`] — cooperative deadline/cancellation tokens
+//!   ([`budget::Budget`]) the budgeted kernel variants check once per
+//!   frontier level, unwinding with a typed [`budget::Interrupted`].
 //! * [`vicinity`] — the offline `|V^h_v|` index of Sec. 4.2 used by
 //!   rejection/importance sampling, with incremental maintenance.
 //! * [`generators`] — random-graph generators (Erdős–Rényi,
@@ -40,6 +43,7 @@
 
 pub mod adjacency;
 pub mod bfs;
+pub mod budget;
 pub mod codec;
 pub mod compressed;
 pub mod container;
@@ -58,6 +62,7 @@ pub use bfs::{
     multi_mask_counts, BfsKernel, BfsScratch, MsBfsScratch, MAX_GROUP_SOURCES, MULTI_MIN_SOURCES,
     SOURCE_GROUP_SIZE,
 };
+pub use budget::{Budget, Interrupted};
 pub use compressed::CompressedCsr;
 pub use container::{decode_tgraph, encode_tgraph, is_tgraph, TgraphFile, TGRAPH_MAGIC};
 pub use csr::{CsrGraph, EdgeError, GraphBuilder, NodeId};

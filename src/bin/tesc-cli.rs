@@ -40,7 +40,7 @@
 //!
 //! tesc-cli rank --graph G.txt --events EVENTS.txt
 //!               [--pairs NPAIRS.txt | --focus EVENT] [--top-k K]
-//!               [--mode exact|anytime:EPS]
+//!               [--mode exact|anytime:EPS] [--deadline DUR]
 //!               [--threads 0] [--h 1] [--n 900] [--tail upper|lower|two]
 //!               [--alpha 0.05] [--sampler batch|reject|importance|whole]
 //!               [--statistic kendall|spearman] [--seed 42] [--cache on]
@@ -56,7 +56,10 @@
 //!     small sample and only escalate while their `1−EPS` confidence
 //!     interval straddles the K-th score; the table then shows the
 //!     sample tier each pair was decided at (`anytime:0` is
-//!     bit-identical to exact).
+//!     bit-identical to exact). `--deadline DUR` (e.g. 500ms, 2s)
+//!     bounds the whole run with a cooperative budget: anytime runs
+//!     degrade to the best ranking decided in time, exact runs stop
+//!     with the typed `Interrupted` error.
 //!
 //! tesc-cli stream --graph G.txt --events EVENTS.txt --pairs NPAIRS.txt
 //!                 --updates U.txt [--threads 0] [--h 1] [--n 900]
@@ -99,6 +102,7 @@ use std::io::{BufReader, BufWriter, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 use tesc::batch::{run_batch, BatchRequest, EventPair};
 use tesc::context::TescContext;
 use tesc::{
@@ -128,7 +132,7 @@ const USAGE: &str = "usage:
                 [--kernel auto|scalar|bitset|multi] [--relabel on|off]
   tesc-cli rank --graph G.txt --events EVENTS.txt
                 [--pairs NPAIRS.txt | --focus EVENT] [--top-k K]
-                [--mode exact|anytime:EPS] [--threads 0]
+                [--mode exact|anytime:EPS] [--deadline DUR] [--threads 0]
                 [--h 1] [--n 900] [--tail upper|lower|two] [--alpha 0.05]
                 [--sampler batch|reject|importance|whole]
                 [--statistic kendall|spearman] [--seed 42] [--cache on|off]
@@ -793,7 +797,24 @@ fn run_rank_on<G: Adjacency>(
         eprintln!("note: --mode anytime needs --top-k; running exact");
     }
     req = req.with_mode(mode);
-    let report = tesc::rank_pairs(&engine, &req);
+    let deadline = parse_deadline_flag(flags)?;
+    if let Some(d) = deadline {
+        engine = engine.with_budget(tesc::Budget::with_deadline(d));
+    }
+    // The budgeted entry point surfaces the typed `Interrupted` error;
+    // under anytime + top-k an exhausted budget degrades to the best
+    // ranking decided in time instead (marked below the table).
+    let report = match tesc::rank_pairs_budgeted(&engine, &req) {
+        Ok(report) => report,
+        Err(i) => return Err(format!("interrupted: {i}")),
+    };
+    if report.degraded {
+        eprintln!(
+            "note: deadline of {:?} exhausted after {} round(s); showing the best ranking decided in time",
+            deadline.unwrap_or_default(),
+            report.rounds
+        );
+    }
 
     if anytime {
         println!(
@@ -839,6 +860,27 @@ fn run_rank_on<G: Adjacency>(
     }
     println!("summary: {}", report.summary());
     Ok(())
+}
+
+/// Parse `--deadline DUR` where DUR is `500ms`, `2s`, or a bare
+/// millisecond count (default: no deadline).
+fn parse_deadline_flag(flags: &HashMap<String, String>) -> Result<Option<Duration>, String> {
+    let Some(s) = flags.get("deadline") else {
+        return Ok(None);
+    };
+    let (digits, unit_ms) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1000)
+    } else {
+        (s.as_str(), 1)
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .filter(|&v| v >= 1)
+        .map(|v| Some(Duration::from_millis(v.saturating_mul(unit_ms))))
+        .ok_or_else(|| format!("--deadline must be a duration like 500ms or 2s, got {s:?}"))
 }
 
 /// Parse `--mode exact|anytime:EPS` (default exact).

@@ -55,6 +55,15 @@ OPTIONS:
   --seed N               demo-scenario RNG seed          [default: 42]
   --debug-endpoints      enable the test-only POST /sleep endpoint
 
+DEADLINES:
+  --default-deadline MS  deadline applied to query requests that do not
+                         send their own `deadline_ms`  [default: none]
+  --max-deadline MS      clamp client `deadline_ms` values to at most
+                         this many milliseconds        [default: none]
+  --read-timeout MS      slowloris guard: total time a client gets to
+                         deliver one request (head + body)
+                                                       [default: 5000]
+
 DURABILITY:
   --data-dir DIR         persist ingestion to DIR (snapshots + WAL).
                          A non-empty DIR is recovered on boot and
@@ -212,6 +221,22 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     };
 
+    let parse_ms = |key: &str| -> Result<Option<std::time::Duration>, String> {
+        match flags.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .map(|ms| Some(std::time::Duration::from_millis(ms)))
+                .ok_or(format!("--{key} must be an integer ≥ 1 (milliseconds)")),
+        }
+    };
+    let default_deadline = parse_ms("default-deadline")?;
+    let max_deadline = parse_ms("max-deadline")?;
+    let max_request_read =
+        parse_ms("read-timeout")?.unwrap_or(std::time::Duration::from_millis(5000));
+
     let cfg = ServerConfig {
         addr: get(&flags, "listen", "127.0.0.1:7878").to_string(),
         workers,
@@ -219,6 +244,9 @@ fn run(args: &[String]) -> Result<(), String> {
         max_body_bytes,
         debug_endpoints: flags.contains_key("debug-endpoints"),
         access_log: flags.get("access-log").map(PathBuf::from),
+        default_deadline,
+        max_deadline,
+        max_request_read,
     };
     let server = Server::spawn(ctx, cfg).map_err(|e| format!("binding listener: {e}"))?;
     // Scripts (and the integration suite) key on this exact line to

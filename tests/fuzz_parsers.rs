@@ -83,7 +83,7 @@ fn http_seeds() -> Vec<Vec<u8>> {
 /// to a 4xx (or a connection-level condition with no status at all).
 fn assert_http_contract(bytes: &[u8], case: &str) {
     let mut reader = BufReader::new(bytes);
-    match read_request(&mut reader, 1 << 20) {
+    match read_request(&mut reader, 1 << 20, std::time::Duration::from_secs(5)) {
         Ok(_) => {}
         Err(e) => {
             if let Some((status, _)) = e.status() {

@@ -291,3 +291,100 @@ fn content_seeds_are_stable_across_label_and_representation() {
         }
     }
 }
+
+#[test]
+fn doomed_budget_storm_never_poisons_shared_caches() {
+    // Satellite (robustness PR): interrupted runs must unwind without
+    // publishing partial state. A storm of budget-doomed rankings —
+    // deadlines from "already expired" to "dies mid-run", exact and
+    // anytime, all sharing one density cache — must leave that cache
+    // exactly as consistent as before: the same request re-run without
+    // a budget afterwards is bit-identical to a clean engine that
+    // never saw an interruption.
+    use std::time::Duration;
+    use tesc::rank::{rank_pairs_budgeted, RankMode};
+    use tesc::{Budget, DensityCache, TescError};
+
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(70));
+    let idx = VicinityIndex::build(&s.graph, 2);
+    let cache = std::sync::Arc::new(DensityCache::for_graph(&s.graph));
+    let pairs = candidate_pairs(&s, 71);
+    let cfg = TescConfig::new(2)
+        .with_sample_size(400)
+        .with_tail(Tail::Upper);
+    let exact_req = RankRequest::new(cfg)
+        .with_seed(13)
+        .with_threads(2)
+        .with_pairs(pairs.clone());
+    let anytime_req = exact_req
+        .clone()
+        .with_mode(RankMode::Anytime { eps: 0.2 })
+        .with_top_k(2);
+
+    // The storm: escalating deadlines so interruptions land at every
+    // depth (before the first tier, mid-density, mid-scoring), plus an
+    // explicit cancellation.
+    for round in 0..10u64 {
+        let doomed = TescEngine::with_vicinity_index(&s.graph, &idx)
+            .with_density_cache(cache.clone())
+            .with_budget(Budget::with_deadline(Duration::from_micros(round * 150)));
+        for req in [&exact_req, &anytime_req] {
+            if let Err(i) = rank_pairs_budgeted(&doomed, req) {
+                assert!(!i.cancelled, "deadline exhaustion, not cancellation");
+            }
+        }
+    }
+    let cancel = Budget::cancellable();
+    cancel.cancel();
+    let cancelled_engine = TescEngine::with_vicinity_index(&s.graph, &idx)
+        .with_density_cache(cache.clone())
+        .with_budget(cancel);
+    let err = rank_pairs_budgeted(&cancelled_engine, &exact_req)
+        .expect_err("a cancelled budget must interrupt");
+    assert!(err.cancelled);
+
+    // The infallible wrapper surfaces the same interruption as typed
+    // per-pair failures instead of panicking or returning junk.
+    let wrapped = rank_pairs(&cancelled_engine, &exact_req);
+    assert!(wrapped.ranked.is_empty());
+    assert_eq!(wrapped.failed.len(), pairs.len());
+    assert!(wrapped
+        .failed
+        .iter()
+        .all(|f| matches!(f.result, Err(TescError::Interrupted(i)) if i.cancelled)));
+
+    // After the storm: bit-identical to an engine that never saw it.
+    let survivor = TescEngine::with_vicinity_index(&s.graph, &idx).with_density_cache(cache);
+    let clean = TescEngine::with_vicinity_index(&s.graph, &idx)
+        .with_density_cache(std::sync::Arc::new(DensityCache::for_graph(&s.graph)));
+    assert_eq!(
+        fingerprint(&rank_pairs(&survivor, &exact_req)),
+        fingerprint(&rank_pairs(&clean, &exact_req)),
+        "storm-surviving cache must replay the exact ranking bit for bit"
+    );
+    assert_eq!(
+        fingerprint(&rank_pairs(&survivor, &anytime_req)),
+        fingerprint(&rank_pairs(&clean, &anytime_req)),
+        "storm-surviving cache must replay the anytime ranking bit for bit"
+    );
+}
+
+#[test]
+fn unlimited_budget_rankings_never_degrade() {
+    // `degraded` is a deadline-only phenomenon: without a budget the
+    // report must come back complete, whatever the mode.
+    let s = DblpScenario::build(DblpConfig::small(), &mut rng(80));
+    let engine = TescEngine::new(&s.graph);
+    let cfg = TescConfig::new(2)
+        .with_sample_size(200)
+        .with_tail(Tail::Upper);
+    let req = RankRequest::new(cfg)
+        .with_seed(3)
+        .with_pairs(candidate_pairs(&s, 81));
+    use tesc::rank::RankMode;
+    for mode in [RankMode::Exact, RankMode::Anytime { eps: 0.0 }] {
+        let report = rank_pairs(&engine, &req.clone().with_mode(mode).with_top_k(3));
+        assert!(!report.degraded, "{mode:?} degraded without a deadline");
+        assert_eq!(report.ranked.len(), 3);
+    }
+}

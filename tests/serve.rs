@@ -63,6 +63,13 @@ impl Client {
     }
 
     fn read_response(&mut self) -> (u16, Json) {
+        let (status, _, body) = self.read_response_full();
+        (status, body)
+    }
+
+    /// Like [`read_response`], but also returns the response headers
+    /// with lowercased names (for `Retry-After` assertions).
+    fn read_response_full(&mut self) -> (u16, HashMap<String, String>, Json) {
         let mut status_line = String::new();
         self.reader
             .read_line(&mut status_line)
@@ -74,6 +81,7 @@ impl Client {
             .parse()
             .expect("numeric status");
         let mut content_length = 0usize;
+        let mut headers = HashMap::new();
         loop {
             let mut line = String::new();
             self.reader.read_line(&mut line).expect("read header");
@@ -85,12 +93,13 @@ impl Client {
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse().expect("content length");
                 }
+                headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body).expect("read body");
         let body = String::from_utf8(body).expect("utf8 body");
-        (status, Json::parse(&body).expect("json body"))
+        (status, headers, Json::parse(&body).expect("json body"))
     }
 }
 
@@ -115,6 +124,7 @@ fn default_cfg() -> ServerConfig {
         max_body_bytes: 1 << 20,
         debug_endpoints: true,
         access_log: None,
+        ..ServerConfig::default()
     }
 }
 
@@ -376,6 +386,9 @@ fn malformed_requests_get_4xx_and_never_wedge_the_server() {
         ("/test", r#"{"a":[0],"b":[1],"seed":-4}"#, 400),
         ("/batch", r#"{"pairs":[]}"#, 400),
         ("/batch", r#"{"pairs":[["alpha"]]}"#, 400),
+        ("/test", r#"{"a":[0],"b":[1],"deadline_ms":0}"#, 400),
+        ("/test", r#"{"a":[0],"b":[1],"deadline_ms":"soon"}"#, 400),
+        ("/rank", r#"{"deadline_ms":-5}"#, 400),
         ("/rank", r#"{"focus":"nope"}"#, 400),
         ("/rank", r#"{"mode":7}"#, 400),
         ("/rank", r#"{"mode":"psychic"}"#, 400),
@@ -467,8 +480,17 @@ fn saturated_server_answers_503_at_the_door() {
     let mut saw_503 = false;
     for _ in 0..5 {
         let mut client = Client::connect(addr);
-        let (status, _) = client.request("GET", "/stats", "");
+        let head = "GET /stats HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n";
+        client.stream.write_all(head.as_bytes()).expect("write");
+        let (status, headers, _) = client.read_response_full();
         if status == 503 {
+            // Satellite: at-the-door 503s tell the client when to come
+            // back instead of leaving them to guess.
+            assert_eq!(
+                headers.get("retry-after").map(String::as_str),
+                Some("1"),
+                "503 must carry Retry-After"
+            );
             saw_503 = true;
             break;
         }
@@ -488,6 +510,28 @@ fn saturated_server_answers_503_at_the_door() {
     assert_eq!(status, 200);
     let queue = stats.get("queue").unwrap();
     assert!(get_i64(queue, "rejected_connections") >= 1);
+    assert!(
+        get_i64(queue, "rejected_queue_full") >= 1,
+        "the 503s above were queue-full rejections: {queue:?}"
+    );
+    assert_eq!(
+        get_i64(queue, "rejected_queue_full") + get_i64(queue, "rejected_shutdown"),
+        get_i64(queue, "rejected_connections"),
+        "per-cause rejection counters must sum to the total"
+    );
+    let wait_hist = queue
+        .get("wait_us_log2")
+        .and_then(Json::as_array)
+        .expect("queue wait histogram");
+    assert_eq!(wait_hist.len(), tesc::serve::metrics::LATENCY_BUCKETS);
+    let wait_mass: i64 = wait_hist
+        .iter()
+        .map(|b| b.as_i64().expect("bucket count"))
+        .sum();
+    assert!(
+        wait_mass >= 1,
+        "every dequeued connection lands in the wait histogram"
+    );
     let endpoints = stats.get("endpoints").unwrap();
     let total_5xx: i64 = match endpoints {
         Json::Obj(members) => members
@@ -986,4 +1030,331 @@ fn data_dir_round_trip_survives_kill_nine() {
     assert_eq!(status, 200);
     child.wait().expect("clean shutdown");
     std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// Satellite 1 (slowloris guard): a client that opens a connection and
+/// then stalls — or trickles a request forever — is cut off with 408
+/// once the *total* head+body read budget is spent, instead of pinning
+/// a worker for as long as it cares to keep the socket open.
+#[test]
+fn slowloris_clients_get_408_within_the_read_budget() {
+    let mut cfg = default_cfg();
+    cfg.max_request_read = Duration::from_millis(300);
+    let server = spawn(cfg);
+    let addr = server.addr();
+
+    // Partial request head, then silence. The read clock starts at the
+    // first byte, so the 408 lands shortly after the 300 ms budget —
+    // not after the 5 s default, and not never.
+    let start = std::time::Instant::now();
+    let mut client = Client::connect(addr);
+    client
+        .stream
+        .write_all(b"POST /test HTTP/1.1\r\nHost: slow")
+        .expect("partial head");
+    let (status, body) = client.read_response();
+    assert_eq!(status, 408, "{body:?}");
+    let waited = start.elapsed();
+    assert!(
+        waited >= Duration::from_millis(250),
+        "408 fired after {waited:?}, before the budget was spent"
+    );
+    assert!(
+        waited < Duration::from_millis(2000),
+        "408 took {waited:?}; the guard must track the configured budget"
+    );
+
+    // A declared body that never arrives is the same attack one layer
+    // down; the body read shares the one budget with the head.
+    let mut client = Client::connect(addr);
+    client
+        .stream
+        .write_all(b"POST /test HTTP/1.1\r\nHost: slow\r\nContent-Length: 64\r\n\r\n{\"a\"")
+        .expect("partial body");
+    let (status, _) = client.read_response();
+    assert_eq!(status, 408);
+
+    // Trickling one byte at a time does not reset the clock.
+    let mut client = Client::connect(addr);
+    for byte in b"POST /test HTTP/1.1\r\nHost: t\r\nContent-Length: 2000\r\n" {
+        if client.stream.write_all(&[*byte]).is_err() {
+            break; // server already gave up on us — that's the point
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (status, _) = client.read_response();
+    assert_eq!(status, 408, "trickled bytes must not extend the budget");
+
+    // None of that wedged the server for honest clients.
+    let mut client = Client::connect(addr);
+    let (status, _) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    server.shutdown_and_join();
+}
+
+/// The tentpole acceptance test: a `/rank` that would run for many
+/// seconds uncapped, sent with a small `deadline_ms`, must come back
+/// within deadline + slack — either as a 504 or as a degraded 200
+/// carrying the best ranking decided in time — while a concurrent
+/// no-deadline `/test` on another connection stays bit-identical to an
+/// offline engine run. Deadlines shed load; they never bend results.
+#[test]
+fn doomed_rank_answers_within_deadline_while_healthy_queries_stay_exact() {
+    // Big enough that this /rank (6 pairs, n = 5M) takes many seconds
+    // uncapped: the deadline is what brings it back in milliseconds.
+    // A preferential-attachment graph puts hubs in every 2-hop
+    // vicinity, so the reference population is tens of thousands of
+    // nodes with expensive BFS each — a grid would saturate at a
+    // few hundred refs and finish honestly under any deadline.
+    fn heavy_context() -> TescContext {
+        let graph =
+            tesc_graph::generators::barabasi_albert(20_000, 5, &mut StdRng::seed_from_u64(1234));
+        let mut events = EventStore::new();
+        events.add_event("alpha", (0..400).collect());
+        events.add_event("beta", (200..600).collect());
+        events.add_event("gamma", (500..900).collect());
+        events.add_event("delta", (800..1200).collect());
+        TescContext::new(graph, events, 2)
+    }
+    let server = Server::spawn(heavy_context(), default_cfg()).expect("spawn server");
+    let addr = server.addr();
+
+    const DEADLINE_MS: u64 = 300;
+    const SLACK_MS: u64 = 250;
+    let doomed = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        let start = std::time::Instant::now();
+        let (status, body) = client.request(
+            "POST",
+            "/rank",
+            &format!(r#"{{"n":5000000,"seed":3,"deadline_ms":{DEADLINE_MS}}}"#),
+        );
+        (status, body, start.elapsed())
+    });
+
+    // Concurrent healthy query, no deadline: exact answer, exact bits.
+    let mut client = Client::connect(addr);
+    let (status, resp) = client.request(
+        "POST",
+        "/test",
+        r#"{"events":["alpha","beta"],"h":2,"n":80,"seed":11}"#,
+    );
+    assert_eq!(status, 200, "{resp:?}");
+    let offline_ctx = heavy_context();
+    let snap = offline_ctx.snapshot();
+    let events = snap.events();
+    let offline = snap
+        .engine()
+        .test(
+            events.nodes(events.id_by_name("alpha").unwrap()),
+            events.nodes(events.id_by_name("beta").unwrap()),
+            &TescConfig::new(2).with_sample_size(80),
+            &mut StdRng::seed_from_u64(11),
+        )
+        .expect("offline test");
+    assert_eq!(
+        get_str(resp.get("result").unwrap(), "z_bits"),
+        format!("{:016x}", offline.z().to_bits()),
+        "a deadline elsewhere must not bend a healthy query's bits"
+    );
+
+    let (status, body, elapsed) = doomed.join().expect("doomed thread");
+    assert!(
+        elapsed <= Duration::from_millis(DEADLINE_MS + SLACK_MS),
+        "doomed /rank took {elapsed:?}, budget was {DEADLINE_MS} ms + {SLACK_MS} ms slack"
+    );
+    match status {
+        // Graceful degradation: the anytime executor got at least one
+        // tier through and answers with what it decided in time.
+        200 => {
+            assert_eq!(
+                body.get("degraded"),
+                Some(&Json::Bool(true)),
+                "an uncapped-many-seconds rank cannot finish honestly in {DEADLINE_MS} ms: {body:?}"
+            );
+            assert_eq!(get_i64(&body, "deadline_ms"), DEADLINE_MS as i64);
+            let ranked = body.get("ranked").and_then(Json::as_array).expect("ranked");
+            assert!(!ranked.is_empty(), "degraded 200 must carry a ranking");
+            for entry in ranked {
+                assert!(
+                    get_i64(entry, "decided_at_n") >= 1,
+                    "degraded entries still expose their evidence level: {entry:?}"
+                );
+            }
+        }
+        // Or the budget died before anything was decided: a typed 504
+        // with the elapsed/limit pair surfaced for resizing.
+        504 => {
+            assert!(get_i64(&body, "elapsed_ms") >= 0);
+            assert_eq!(get_i64(&body, "deadline_ms"), DEADLINE_MS as i64);
+            assert_eq!(body.get("cancelled"), Some(&Json::Bool(false)));
+        }
+        other => panic!("doomed /rank answered {other}: {body:?}"),
+    }
+
+    // The accounting shows up in /stats either way (a degraded 200
+    // bumps both the degraded and timeout counters).
+    let (status, stats) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    let deadlines = stats.get("deadlines").expect("deadlines section");
+    assert!(get_i64(deadlines, "timeouts") >= 1, "{deadlines:?}");
+    assert_eq!(get_i64(deadlines, "cancelled"), 0);
+    server.shutdown_and_join();
+}
+
+/// Satellite 3 (cancellation storm): doomed queries hammering the
+/// server while a writer streams commits must leave it fully
+/// serviceable, with every published snapshot — and every shared
+/// cache — exactly as consistent as if the storm never happened:
+/// identical post-storm queries are bit-identical to offline replay
+/// and to a twin server that never saw a deadline.
+#[test]
+fn cancellation_storm_keeps_server_serviceable_and_state_consistent() {
+    const STORMERS: usize = 4;
+    const DOOMED: usize = 5;
+    const COMMITS: usize = 4;
+    fn edge_batch(i: usize) -> Vec<(NodeId, NodeId)> {
+        let base = (4 * i) as NodeId;
+        vec![(base, base + 17), (base + 1, base + 18)]
+    }
+
+    let server = spawn(default_cfg());
+    let addr = server.addr();
+
+    // Ingestion races the storm: acknowledged commits must publish
+    // no matter how many queries around them are being torn down.
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        for i in 0..COMMITS {
+            let edges: Vec<String> = edge_batch(i)
+                .iter()
+                .map(|(u, v)| format!("[{u},{v}]"))
+                .collect();
+            let (status, _) = client.request(
+                "POST",
+                "/edges",
+                &format!(r#"{{"edges":[{}]}}"#, edges.join(",")),
+            );
+            assert_eq!(status, 200);
+            let (status, body) = client.request("POST", "/commit", "");
+            assert_eq!(status, 200, "{body:?}");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    });
+    let stormers: Vec<_> = (0..STORMERS)
+        .map(|s| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut timed_out = 0i64;
+                for q in 0..DOOMED {
+                    let (status, body) = client.request(
+                        "POST",
+                        "/rank",
+                        &format!(r#"{{"n":2000000,"seed":{},"deadline_ms":1}}"#, s * 100 + q),
+                    );
+                    match status {
+                        // A degraded best-effort answer (counted as a
+                        // timeout), the rare full finish inside 1 ms,
+                        // or a clean typed 504 — never a wedge, never
+                        // a malformed response.
+                        200 => match body.get("degraded") {
+                            Some(&Json::Bool(true)) => timed_out += 1,
+                            Some(&Json::Bool(false)) => {}
+                            other => panic!("deadline'd 200 without a degraded marker: {other:?}"),
+                        },
+                        504 => {
+                            assert_eq!(get_i64(&body, "deadline_ms"), 1);
+                            timed_out += 1;
+                        }
+                        other => panic!("doomed rank answered {other}: {body:?}"),
+                    }
+                }
+                timed_out
+            })
+        })
+        .collect();
+    writer.join().expect("writer");
+    let timed_out: i64 = stormers
+        .into_iter()
+        .map(|s| s.join().expect("stormer"))
+        .sum();
+    assert!(timed_out >= 1, "the storm never produced a single timeout");
+
+    // Serviceable, and bit-identical to offline replay: rebuild the
+    // final version offline and replay a fresh query against it.
+    let mut client = Client::connect(addr);
+    let (status, resp) = client.request(
+        "POST",
+        "/test",
+        r#"{"events":["alpha","beta"],"h":2,"n":80,"seed":21}"#,
+    );
+    assert_eq!(status, 200, "{resp:?}");
+    assert_eq!(get_i64(&resp, "version"), (COMMITS + 1) as i64);
+    let offline_ctx = test_context();
+    let mut final_snap = offline_ctx.snapshot();
+    for i in 0..COMMITS {
+        final_snap = offline_ctx
+            .add_edges(&edge_batch(i))
+            .expect("offline ingest");
+    }
+    let events = final_snap.events();
+    let offline = final_snap
+        .engine()
+        .test(
+            events.nodes(events.id_by_name("alpha").unwrap()),
+            events.nodes(events.id_by_name("beta").unwrap()),
+            &TescConfig::new(2).with_sample_size(80),
+            &mut StdRng::seed_from_u64(21),
+        )
+        .expect("offline replay");
+    assert_eq!(
+        get_str(resp.get("result").unwrap(), "z_bits"),
+        format!("{:016x}", offline.z().to_bits()),
+        "post-storm query must replay offline bit for bit"
+    );
+
+    // And to a twin server that never saw the storm: same commits,
+    // same no-deadline /rank, byte-identical response.
+    let rank_body = r#"{"n":300,"seed":5}"#;
+    let (status, after_storm) = client.request("POST", "/rank", rank_body);
+    assert_eq!(status, 200);
+    let twin = spawn(default_cfg());
+    let mut twin_client = Client::connect(twin.addr());
+    for i in 0..COMMITS {
+        let edges: Vec<String> = edge_batch(i)
+            .iter()
+            .map(|(u, v)| format!("[{u},{v}]"))
+            .collect();
+        let (status, _) = twin_client.request(
+            "POST",
+            "/edges",
+            &format!(r#"{{"edges":[{}]}}"#, edges.join(",")),
+        );
+        assert_eq!(status, 200);
+        let (status, _) = twin_client.request("POST", "/commit", "");
+        assert_eq!(status, 200);
+    }
+    let (status, pristine) = twin_client.request("POST", "/rank", rank_body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        after_storm.encode(),
+        pristine.encode(),
+        "the storm must not leave a single divergent bit in serving state"
+    );
+    twin.shutdown_and_join();
+
+    // The storm is visible in the books: every doomed request landed
+    // in the timeout accounting, none of them as an unexplained 5xx
+    // elsewhere.
+    let (status, stats) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    let deadlines = stats.get("deadlines").expect("deadlines section");
+    assert_eq!(get_i64(deadlines, "timeouts"), timed_out, "{deadlines:?}");
+    assert_eq!(get_i64(deadlines, "cancelled"), 0);
+    let rank_stats = stats.get("endpoints").unwrap().get("rank").unwrap();
+    assert_eq!(
+        get_i64(rank_stats, "requests"),
+        (STORMERS * DOOMED + 1) as i64
+    );
+    server.shutdown_and_join();
 }
